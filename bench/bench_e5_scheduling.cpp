@@ -1,0 +1,116 @@
+// E5 — Least Laxity local scheduling (§2).
+//
+// "Our scheduling algorithm is based on the Least Laxity Scheduling (LLS)
+// algorithm that exploits the deadlines of the applications and the actual
+// computation and execution times on the processors."
+//
+// Single-processor utilization sweep comparing LLS against EDF, FIFO and
+// static-importance priority on deadline miss ratio and preemption counts.
+#include <iostream>
+
+#include "sched/processor.hpp"
+#include "sim/simulator.hpp"
+#include "util/args.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace p2prm;
+
+namespace {
+
+struct Outcome {
+  double miss_ratio;
+  double mean_lateness_s;  // over late jobs
+  std::uint64_t preemptions;
+};
+
+Outcome run(sched::Policy policy, double load, std::uint64_t seed, int jobs,
+            bool drop_hopeless = false) {
+  sim::Simulator sim(seed);
+  std::size_t missed = 0;
+  double lateness = 0.0;
+  sched::Processor cpu(
+      sim,
+      {.ops_per_second = 1e6,
+       .policy = policy,
+       .drop_hopeless_jobs = drop_hopeless},
+      [&](const sched::Job& j, sched::JobStatus s) {
+        if (s != sched::JobStatus::Completed) {
+          ++missed;
+          if (j.completed >= 0) {
+            lateness += util::to_seconds(j.completed - j.absolute_deadline);
+          }
+        }
+      });
+  util::Rng rng(seed * 31 + 7);
+  util::SimTime t = 0;
+  for (int i = 0; i < jobs; ++i) {
+    t += util::from_seconds(rng.exponential(1.0 / load));
+    sched::Job j;
+    j.id = util::JobId{static_cast<std::uint64_t>(i)};
+    j.release = t;
+    j.total_ops = rng.uniform(0.4e6, 1.6e6);  // mean 1s of work
+    j.remaining_ops = j.total_ops;
+    j.absolute_deadline = t + util::from_seconds(rng.uniform(1.5, 8.0));
+    j.importance = rng.uniform(1.0, 10.0);
+    sim.schedule_at(t, [&cpu, j] { cpu.submit(j); });
+  }
+  sim.run_until();
+  return Outcome{static_cast<double>(missed) / jobs,
+                 missed ? lateness / static_cast<double>(missed) : 0.0,
+                 cpu.stats().preemptions};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Args args(argc, argv);
+  const int jobs = static_cast<int>(args.get_int("jobs", 2000));
+  const int seeds = static_cast<int>(args.get_int("seeds", 5));
+
+  std::cout << "E5: local scheduling policy sweep (single processor, "
+            << jobs << " jobs x " << seeds << " seeds, deadline 1.5-8x mean "
+            << "service time)\n\n";
+
+  util::Table t({"offered load", "policy", "miss ratio", "mean lateness (s)",
+                 "preemptions"});
+  struct Variant {
+    sched::Policy policy;
+    bool drop;
+    const char* label;
+  };
+  const Variant variants[] = {
+      {sched::Policy::LeastLaxity, false, "LLS"},
+      {sched::Policy::LeastLaxity, true, "LLS+shed"},
+      {sched::Policy::WeightedLaxity, false, "WLLS"},
+      {sched::Policy::EarliestDeadline, false, "EDF"},
+      {sched::Policy::Fifo, false, "FIFO"},
+      {sched::Policy::StaticImportance, false, "SP"},
+  };
+  for (const double load : {0.5, 0.7, 0.9, 1.1, 1.3}) {
+    for (const auto& v : variants) {
+      double miss = 0.0, late = 0.0, preempt = 0.0;
+      for (int s = 1; s <= seeds; ++s) {
+        const auto out =
+            run(v.policy, load, static_cast<std::uint64_t>(s), jobs, v.drop);
+        miss += out.miss_ratio;
+        late += out.mean_lateness_s;
+        preempt += static_cast<double>(out.preemptions);
+      }
+      t.cell(load, 2)
+          .cell(v.label)
+          .cell(miss / seeds, 4)
+          .cell(late / seeds, 3)
+          .cell(preempt / seeds, 0)
+          .end_row();
+    }
+  }
+  if (args.get_bool("csv", false)) t.write_csv(std::cout);
+  else t.print(std::cout);
+  std::cout << "\nExpectation: LLS and EDF track each other and beat FIFO/SP "
+               "below saturation;\nabove saturation every keep-everything "
+               "policy collapses (domino misses) while LLS+shed\n(drop jobs "
+               "whose deadline is unreachable) keeps serving the schedulable "
+               "subset.\nLLS pays preemptions — the classic LLF cost.\n";
+  return 0;
+}

@@ -1,0 +1,149 @@
+// E7 — inter-domain summaries: gossip convergence and Bloom sizing
+// (§3.1, §4.4, §4.5).
+//
+// Part A: convergence time and traffic of the lazy gossip protocol as the
+// number of domains grows.
+// Part B: Bloom filter false-positive rate vs. bits/element — the cost of
+// a wrong inter-domain redirect is a wasted query hop, so this is the
+// sizing curve an operator needs.
+#include <iostream>
+
+#include "bloom/bloom_filter.hpp"
+#include "gossip/gossip_engine.hpp"
+#include "util/args.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace p2prm;
+
+namespace {
+
+struct ConvergenceResult {
+  double mean_rounds_to_full;
+  double seconds_to_full;
+  std::uint64_t messages;
+  std::uint64_t bytes;
+};
+
+ConvergenceResult run_convergence(std::size_t domains, std::size_t fanout,
+                                  std::uint64_t seed) {
+  sim::Simulator sim(seed);
+  net::Topology topo;
+  net::Network net(sim, topo);
+  gossip::GossipConfig config;
+  config.fanout = fanout;
+  config.period = util::seconds(2);
+
+  std::vector<util::PeerId> rms;
+  std::vector<std::unique_ptr<gossip::GossipEngine>> engines;
+  util::Rng rng(seed);
+  for (std::uint64_t i = 0; i < domains; ++i) {
+    const util::PeerId id{i + 1};
+    rms.push_back(id);
+    topo.place_at(id, {rng.uniform(0, 1000), rng.uniform(0, 1000)});
+  }
+  for (std::uint64_t i = 0; i < domains; ++i) {
+    const util::PeerId id{i + 1};
+    auto engine = std::make_unique<gossip::GossipEngine>(
+        sim, net, id, config, [&rms] { return rms; });
+    engines.push_back(std::move(engine));
+    auto* raw = engines.back().get();
+    net.attach(id, {}, [raw](util::PeerId from, const net::Message& m) {
+      if (const auto* g = net::message_cast<gossip::GossipMessage>(m)) {
+        raw->handle_message(from, *g);
+      }
+    });
+    gossip::DomainSummary s;
+    s.domain = util::DomainId{i};
+    s.resource_manager = id;
+    s.version = 1;
+    s.objects = bloom::BloomFilter({2048, 4});
+    s.services = bloom::BloomFilter({2048, 4});
+    engines.back()->set_local_summary(s);
+    engines.back()->start();
+  }
+
+  util::SimTime converged_at = -1;
+  while (converged_at < 0 && sim.now() < util::minutes(10)) {
+    sim.run_until(sim.now() + util::seconds(1));
+    bool all = true;
+    for (const auto& e : engines) {
+      if (e->known().size() < domains) {
+        all = false;
+        break;
+      }
+    }
+    if (all) converged_at = sim.now();
+  }
+  ConvergenceResult r;
+  r.seconds_to_full = converged_at < 0 ? -1 : util::to_seconds(converged_at);
+  r.mean_rounds_to_full =
+      converged_at < 0 ? -1
+                       : r.seconds_to_full / util::to_seconds(config.period);
+  r.messages = net.stats().per_type_count.count("gossip.summaries")
+                   ? net.stats().per_type_count.at("gossip.summaries")
+                   : 0;
+  r.bytes = net.stats().per_type_bytes.count("gossip.summaries")
+                ? net.stats().per_type_bytes.at("gossip.summaries")
+                : 0;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Args args(argc, argv);
+  const std::uint64_t seed = args.get_int("seed", 42);
+
+  std::cout << "E7a: gossip convergence of domain summaries (period 2s)\n\n";
+  util::Table a({"domains", "fanout", "converged (s)", "rounds", "messages",
+                 "KB sent"});
+  for (const std::size_t domains : {4u, 8u, 16u, 32u, 64u}) {
+    for (const std::size_t fanout : {1u, 2u, 3u}) {
+      const auto r = run_convergence(domains, fanout, seed);
+      a.cell(domains)
+          .cell(fanout)
+          .cell(r.seconds_to_full, 1)
+          .cell(r.mean_rounds_to_full, 1)
+          .cell(r.messages)
+          .cell(static_cast<double>(r.bytes) / 1024.0, 1)
+          .end_row();
+    }
+  }
+  if (args.get_bool("csv", false)) a.write_csv(std::cout);
+  else a.print(std::cout);
+  std::cout << "\nExpectation: rounds-to-convergence grows ~logarithmically "
+               "with the domain count\nand shrinks with fanout — the lazy "
+               "propagation the paper argues 'should suffice'.\n";
+
+  std::cout << "\nE7b: Bloom summary sizing — false-positive probability vs "
+               "bits/element\n(a false positive = one wasted inter-domain "
+               "redirect)\n\n";
+  util::Table b({"bits/elem", "hashes (opt)", "measured fpp", "theory fpp",
+                 "summary KB (1000 objs)"});
+  util::Rng rng(seed);
+  const std::size_t n = 1000;
+  for (const std::size_t bpe : {2u, 4u, 6u, 8u, 12u, 16u}) {
+    bloom::BloomParameters params;
+    params.bits = bpe * n;
+    params.hashes = bloom::optimal_hash_count(params.bits, n);
+    bloom::BloomFilter bf(params);
+    for (std::size_t i = 0; i < n; ++i) bf.insert(rng.next());
+    std::size_t fp = 0;
+    const std::size_t probes = 100000;
+    for (std::size_t i = 0; i < probes; ++i) {
+      if (bf.possibly_contains(rng.next())) ++fp;
+    }
+    b.cell(bpe)
+        .cell(params.hashes)
+        .cell(static_cast<double>(fp) / probes, 5)
+        .cell(bloom::expected_fpp(params.bits, params.hashes, n), 5)
+        .cell(static_cast<double>(bf.wire_size()) / 1024.0, 2)
+        .end_row();
+  }
+  if (args.get_bool("csv", false)) b.write_csv(std::cout);
+  else b.print(std::cout);
+  std::cout << "\nExpectation: measured fpp tracks theory; ~8-12 bits/elem "
+               "(1-2 KB per 1000 entries)\nmakes wrong redirects rare.\n";
+  return 0;
+}

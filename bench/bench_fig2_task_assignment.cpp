@@ -1,0 +1,111 @@
+// F2 — Figure 2: the task-assignment walkthrough.
+//
+// "(A) A peer submits a query to the Resource Manager. (B) The Resource
+// Manager assigns the task to peers. (C) Transcoded media streaming
+// begins."
+//
+// Runs one query through a live 8-peer domain and reports the protocol
+// messages exchanged in each phase, plus the task timeline.
+#include <iostream>
+
+#include "exp_common.hpp"
+
+using namespace p2prm;
+using namespace p2prm::bench;
+
+namespace {
+
+std::map<std::string, std::uint64_t> snapshot(const core::System& system) {
+  return const_cast<core::System&>(system).network().stats().per_type_count;
+}
+
+std::map<std::string, std::uint64_t> delta(
+    const std::map<std::string, std::uint64_t>& before,
+    const std::map<std::string, std::uint64_t>& after) {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [k, v] : after) {
+    const auto it = before.find(k);
+    const std::uint64_t prev = it == before.end() ? 0 : it->second;
+    if (v > prev) out[k] = v - prev;
+  }
+  return out;
+}
+
+void print_phase(const char* title,
+                 const std::map<std::string, std::uint64_t>& counts) {
+  std::cout << "\n" << title << "\n";
+  util::Table t({"message", "count"});
+  for (const auto& [k, v] : counts) t.cell(k).cell(v).end_row();
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Args args(argc, argv);
+  WorldConfig config;
+  config.peers = args.get_int("peers", 8);
+  config.system.seed = args.get_int("seed", 42);
+  World world(config);
+  const auto ids = world.bootstrap();
+  print_header("F2 / Figure 2", "Task assignment walkthrough: query -> "
+               "assignment -> transcoded streaming");
+
+  auto& system = world.system();
+  const auto before_query = snapshot(system);
+
+  // Phase A: "A peer submits a query to the Resource Manager."
+  const auto& object = world.population().at(0);
+  media::MediaFormat target = object.format;
+  target.bitrate_kbps = object.format.bitrate_kbps / 2;
+  core::QoSRequirements q;
+  q.object = object.id;
+  q.acceptable_formats = {target};
+  q.deadline = util::minutes(3);
+  const util::PeerId origin = ids.back();
+  const util::SimTime submitted = system.simulator().now();
+  const auto task = system.submit_task(origin, q);
+  // Run just long enough for the query to reach the RM and the composition
+  // messages to go out.
+  system.run_for(util::milliseconds(50));
+  const auto after_assignment = snapshot(system);
+
+  // Phase C: streaming to completion.
+  system.run_for(util::minutes(4));
+  const auto after_streaming = snapshot(system);
+
+  std::cout << "query: object " << object.id << " ("
+            << object.format.to_string() << ", "
+            << util::format("%.1fs", object.duration_s) << ") -> "
+            << target.to_string() << ", deadline "
+            << util::format_time(q.deadline) << ", origin peer " << origin
+            << "\n";
+
+  print_phase("(A)+(B) query and task assignment (first 50 ms):",
+              delta(before_query, after_assignment));
+  print_phase("(C) transcoded media streaming:",
+              delta(after_assignment, after_streaming));
+
+  const auto* record = system.ledger().record(task);
+  std::cout << "\nTask timeline\n";
+  util::Table t({"event", "value"});
+  t.cell("status").cell(std::string(core::task_status_name(record->status)))
+      .end_row();
+  t.cell("submitted at").cell(util::format_time(submitted)).end_row();
+  if (record->finished >= 0) {
+    t.cell("delivered at").cell(util::format_time(record->finished)).end_row();
+    t.cell("response time")
+        .cell(util::format_time(record->response_time()))
+        .end_row();
+  }
+  t.cell("deadline met").cell(record->missed_deadline ? "no" : "yes").end_row();
+  t.print(std::cout);
+
+  // The service graph the RM composed (queried before completion cleanup is
+  // not possible here, so re-derive from the RM stats instead).
+  const auto agg = metrics::aggregate_rm_stats(system);
+  std::cout << "\nRM decisions: " << agg.queries << " queries, "
+            << agg.admitted << " admitted, " << agg.rejected << " rejected\n";
+
+  return record->status == core::TaskStatus::Completed ? 0 : 1;
+}

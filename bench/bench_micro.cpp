@@ -1,0 +1,136 @@
+// M1 — microbenchmarks of the hot paths (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "bloom/bloom_filter.hpp"
+#include "core/allocation.hpp"
+#include "fairness/fairness.hpp"
+#include "graph/path_search.hpp"
+#include "media/catalog.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace p2prm;
+
+void BM_JainIndex(benchmark::State& state) {
+  util::Rng rng(1);
+  std::vector<double> loads(static_cast<std::size_t>(state.range(0)));
+  for (auto& l : loads) l = rng.uniform(0.0, 100.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fairness::jain_index(loads));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_JainIndex)->Range(8, 4096)->Complexity(benchmark::oN);
+
+void BM_IncrementalFairnessHypothetical(benchmark::State& state) {
+  util::Rng rng(2);
+  fairness::IncrementalFairness inc;
+  for (std::uint64_t i = 0; i < static_cast<std::uint64_t>(state.range(0));
+       ++i) {
+    inc.set(util::PeerId{i}, rng.uniform(0.0, 100.0));
+  }
+  const std::vector<std::pair<util::PeerId, double>> deltas{
+      {util::PeerId{1}, 5.0}, {util::PeerId{3}, 2.0}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inc.index_with(deltas));
+  }
+}
+BENCHMARK(BM_IncrementalFairnessHypothetical)->Range(8, 4096);
+
+void BM_BloomInsert(benchmark::State& state) {
+  bloom::BloomFilter bf({65536, 5});
+  util::Rng rng(3);
+  for (auto _ : state) {
+    bf.insert(rng.next());
+  }
+}
+BENCHMARK(BM_BloomInsert);
+
+void BM_BloomQuery(benchmark::State& state) {
+  bloom::BloomFilter bf({65536, 5});
+  util::Rng rng(4);
+  for (int i = 0; i < 5000; ++i) bf.insert(rng.next());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bf.possibly_contains(rng.next()));
+  }
+}
+BENCHMARK(BM_BloomQuery);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  util::Rng rng(5);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      q.push(static_cast<util::SimTime>(rng.below(1'000'000)), [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().when);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EventQueuePushPop)->Range(64, 16384)->Complexity(benchmark::oNLogN);
+
+void BM_LlsSelect(benchmark::State& state) {
+  util::Rng rng(6);
+  std::vector<sched::Job> ready(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < ready.size(); ++i) {
+    ready[i].id = util::JobId{i};
+    ready[i].total_ops = ready[i].remaining_ops = rng.uniform(1e5, 1e7);
+    ready[i].absolute_deadline = util::from_seconds(rng.uniform(1.0, 100.0));
+  }
+  const auto policy = sched::make_policy(sched::Policy::LeastLaxity);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->select(ready, 0, 1e6));
+  }
+}
+BENCHMARK(BM_LlsSelect)->Range(2, 256);
+
+void BM_TranscodeCostModel(benchmark::State& state) {
+  const media::TranscoderType type{
+      {media::Codec::MPEG2, media::kRes800x600, 512},
+      {media::Codec::MPEG4, media::kRes640x480, 128}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(media::transcode_ops_per_media_second(type));
+  }
+}
+BENCHMARK(BM_TranscodeCostModel);
+
+void BM_Figure3Bfs(benchmark::State& state) {
+  // Paper BFS over a randomly provisioned ladder graph.
+  util::Rng rng(7);
+  const media::Catalog catalog = media::ladder_catalog();
+  graph::ResourceGraph gr;
+  const auto edges = static_cast<std::uint64_t>(state.range(0));
+  for (std::uint64_t e = 0; e < edges; ++e) {
+    gr.add_service(util::ServiceId{e}, util::PeerId{rng.below(64)},
+                   catalog.conversions()[rng.below(catalog.conversions().size())]);
+  }
+  const auto start = gr.find_state(
+      media::MediaFormat{media::Codec::MPEG2, media::kRes800x600, 512});
+  const auto goal = gr.find_state(
+      media::MediaFormat{media::Codec::MPEG4, media::kRes640x480, 128});
+  if (!start || !goal) {
+    state.SkipWithError("graph lacks endpoints");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::bfs_paths(gr, *start, *goal));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Figure3Bfs)->Range(32, 2048)->Complexity(benchmark::oN);
+
+void BM_TypeKey(benchmark::State& state) {
+  const media::TranscoderType type{
+      {media::Codec::MPEG2, media::kRes800x600, 512},
+      {media::Codec::MPEG4, media::kRes640x480, 128}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(type.type_key());
+  }
+}
+BENCHMARK(BM_TypeKey);
+
+}  // namespace

@@ -1,0 +1,127 @@
+// Shared experiment scaffolding for the bench binaries.
+//
+// Every experiment builds a World: a System bootstrapped through the join
+// protocol with a synthesized heterogeneous population, plus the standard
+// workload machinery. Binaries parameterize it per DESIGN.md's experiment
+// index and print paper-style tables.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <optional>
+
+#include "core/system.hpp"
+#include "media/catalog.hpp"
+#include "metrics/collectors.hpp"
+#include "metrics/report.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/churn.hpp"
+#include "workload/heterogeneity.hpp"
+#include "workload/requests.hpp"
+
+namespace p2prm::bench {
+
+struct WorldConfig {
+  core::SystemConfig system{};
+  std::size_t peers = 32;
+  workload::HeterogeneityConfig het{};
+  workload::PopulationConfig pop{};
+  workload::ProvisionConfig prov{};
+  workload::RequestConfig req{};
+  util::SimDuration settle = util::seconds(5);
+
+  WorldConfig() {
+    // Objects scale with the hosting capacity so every object is hosted.
+    pop.object_count = 0;  // resolved in World: peers * 2
+  }
+};
+
+class World {
+ public:
+  explicit World(WorldConfig config)
+      : config_(std::move(config)),
+        catalog_(media::ladder_catalog()),
+        system_(config_.system),
+        rng_(config_.system.seed * 7919 + 17),
+        population_(catalog_,
+                    [&] {
+                      auto pop = config_.pop;
+                      if (pop.object_count == 0) {
+                        pop.object_count = std::max<std::size_t>(
+                            10, config_.peers * 2);
+                      }
+                      return pop;
+                    }(),
+                    system_, rng_),
+        factory_(workload::make_peer_factory(catalog_, population_,
+                                             config_.het, config_.prov,
+                                             system_, rng_)),
+        synthesizer_(catalog_, population_, config_.req) {}
+
+  std::vector<util::PeerId> bootstrap() {
+    return workload::bootstrap_network(system_, factory_, config_.peers,
+                                       config_.settle);
+  }
+
+  // Runs a Poisson workload for `duration`, then drains for `drain`.
+  // Returns the number of submitted tasks.
+  std::size_t run_poisson(double rate_per_s, util::SimDuration duration,
+                          util::SimDuration drain) {
+    workload::WorkloadDriver driver(
+        system_, std::make_unique<workload::PoissonArrivals>(rate_per_s),
+        synthesizer_);
+    driver.start(system_.simulator().now() + duration);
+    system_.run_for(duration + drain);
+    system_.ledger().orphan_pending(system_.simulator().now());
+    return driver.submitted();
+  }
+
+  [[nodiscard]] core::System& system() { return system_; }
+  [[nodiscard]] const media::Catalog& catalog() const { return catalog_; }
+  [[nodiscard]] workload::ObjectPopulation& population() { return population_; }
+  [[nodiscard]] const workload::PeerFactory& factory() const { return factory_; }
+  [[nodiscard]] workload::RequestSynthesizer& synthesizer() {
+    return synthesizer_;
+  }
+  [[nodiscard]] util::Rng& rng() { return rng_; }
+
+ private:
+  WorldConfig config_;
+  media::Catalog catalog_;
+  core::System system_;
+  util::Rng rng_;
+  workload::ObjectPopulation population_;
+  workload::PeerFactory factory_;
+  workload::RequestSynthesizer synthesizer_;
+};
+
+// Renders a result table: pretty-printed by default, RFC-4180 CSV when the
+// binary was invoked with --csv (for piping into plotting scripts).
+inline void emit(const util::Table& table, const util::Args& args) {
+  if (args.get_bool("csv", false)) {
+    table.write_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+inline void print_header(const std::string& id, const std::string& claim) {
+  std::cout << "\n================================================================\n"
+            << id << "\n" << claim << "\n"
+            << "================================================================\n";
+}
+
+// Average control bytes per submitted task (stream payloads excluded).
+inline double control_bytes_per_task(const core::System& system,
+                                     std::size_t submitted) {
+  const auto split = metrics::split_traffic(
+      const_cast<core::System&>(system).network().stats());
+  return submitted
+             ? static_cast<double>(split.control_bytes) /
+                   static_cast<double>(submitted)
+             : 0.0;
+}
+
+}  // namespace p2prm::bench

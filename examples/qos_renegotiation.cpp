@@ -1,0 +1,132 @@
+// Dynamic QoS renegotiation (§4.5): "Users may change QoS requirements
+// dynamically. Specifically, they may reduce the requested bit-rate or
+// relax their deadlines to cope with congested networks, or increase the
+// QoS parameters if they assume resources are abundant."
+//
+// Two stories:
+//   1. A task is admitted with a feasible deadline, then the transcoder
+//      host gets hit by unexpected background load; the user relaxes the
+//      deadline mid-stream, so the late delivery is judged against the
+//      renegotiated requirement instead of counting as a miss.
+//   2. A user tightens a lazy deadline; the RM re-plans the pipeline if a
+//      faster assignment exists (and keeps the old one otherwise).
+#include <iostream>
+
+#include "core/system.hpp"
+#include "core/trace.hpp"
+#include "media/catalog.hpp"
+#include "metrics/report.hpp"
+#include "workload/heterogeneity.hpp"
+
+using namespace p2prm;
+
+int main() {
+  core::SystemConfig config;
+  config.seed = 31;
+  config.admission_control = false;  // let optimistic plans through
+  core::System system(config);
+  core::Tracer tracer;
+  system.set_tracer(&tracer);
+
+  media::Catalog catalog = media::ladder_catalog();
+  util::Rng rng(31);
+  workload::PopulationConfig pop;
+  workload::ObjectPopulation population(catalog, pop, system, rng);
+  auto factory = workload::make_peer_factory(
+      catalog, population, workload::HeterogeneityConfig{},
+      workload::ProvisionConfig{}, system, rng);
+  const auto ids = workload::bootstrap_network(system, factory, 10);
+
+  // A dedicated (modest) host for the conversions we will request, so both
+  // stories exercise a real transcode whose duration the deadlines bracket.
+  const auto& object = population.at(0);
+  media::MediaFormat target = object.format;
+  target.bitrate_kbps = object.format.bitrate_kbps / 2;
+  const auto& object2 = population.at(1);
+  media::MediaFormat target2 = object2.format;
+  target2.bitrate_kbps = object2.format.bitrate_kbps / 2;
+  util::PeerId transcoder_host;
+  {
+    overlay::PeerSpec spec;
+    spec.capacity_ops_per_s = 40e6;  // a transcode takes several seconds
+    core::PeerInventory inv;
+    inv.services = {
+        {system.next_service_id(), media::TranscoderType{object.format, target}},
+        {system.next_service_id(),
+         media::TranscoderType{object2.format, target2}}};
+    transcoder_host = system.add_peer(spec, std::move(inv));
+    system.run_for(util::seconds(2));
+  }
+
+  const auto report = [&](const char* label, util::TaskId task) {
+    const auto* r = system.ledger().record(task);
+    std::cout << "  [" << label << "] "
+              << core::task_status_name(r->status);
+    if (r->finished >= 0) {
+      std::cout << " in " << util::format_time(r->response_time())
+                << " against a " << util::format_time(r->deadline)
+                << " deadline -> "
+                << (r->missed_deadline ? "MISSED" : "met");
+    }
+    std::cout << "\n";
+  };
+
+  // Story 1: the plan was feasible, then the world changed; the user
+  // relaxes the deadline rather than losing the stream.
+  {
+    core::QoSRequirements q;
+    q.object = object.id;
+    q.acceptable_formats = {target};
+    q.deadline = util::seconds(25);  // feasible at admission time
+    const auto task = system.submit_task(ids.back(), q);
+    std::cout << "task " << task << ": submitted with a 25 s deadline ("
+              << util::format("%.0fs", object.duration_s)
+              << " of media, one transcode hop)\n";
+    system.run_for(util::milliseconds(300));
+    // Unexpected background load lands on the only transcoder host.
+    std::cout << "  ... background job slams the transcoder host\n";
+    sched::Job background;
+    background.id = system.next_job_id();
+    background.total_ops = background.remaining_ops = 1200e6;  // ~30 s busy
+    background.absolute_deadline = system.simulator().now() + util::minutes(10);
+    system.peer(transcoder_host)->processor().submit(background);
+    system.run_for(util::seconds(2));
+    std::cout << "  ... user sees the stall and relaxes to 2 minutes\n";
+    system.update_task_deadline(task, util::minutes(2));
+    system.run_for(util::minutes(3));
+    report("relaxed", task);
+  }
+
+  // Story 2: tighten a lazy deadline mid-flight.
+  {
+    core::QoSRequirements q;
+    q.object = object2.id;
+    q.acceptable_formats = {target2};
+    q.deadline = util::minutes(10);
+    const auto task = system.submit_task(ids.front(), q);
+    std::cout << "task " << task << ": submitted with a lazy 10 min deadline\n";
+    system.run_for(util::milliseconds(200));
+    std::cout << "  ... user tightens to 1 minute; the RM re-plans if a "
+                 "faster assignment exists\n";
+    system.update_task_deadline(task, util::minutes(1));
+    system.run_for(util::minutes(3));
+    report("tightened", task);
+  }
+
+  std::cout << "\nRM-side renegotiation trace:\n";
+  util::Table t({"time", "event", "task", "detail"});
+  for (const auto& e : tracer.events()) {
+    if (e.kind == core::TraceKind::TaskRecovered ||
+        e.kind == core::TraceKind::TaskAdmitted) {
+      t.cell(util::format_time(e.at))
+          .cell(std::string(core::trace_kind_name(e.kind)))
+          .cell(util::to_string(e.task))
+          .cell(e.detail)
+          .end_row();
+    }
+  }
+  t.print(std::cout);
+
+  const auto& ledger = system.ledger();
+  return ledger.completed() == 2 && ledger.missed() == 0 ? 0 : 1;
+}

@@ -1,0 +1,164 @@
+#include "bloom/bloom_filter.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace p2prm::bloom {
+
+namespace {
+constexpr std::uint64_t kPrime1 = 0x9e3779b185ebca87ULL;
+constexpr std::uint64_t kPrime2 = 0xc2b2ae3d27d4eb4fULL;
+
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+Hash128 hash_bytes(const void* data, std::size_t len, std::uint64_t seed) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint64_t h1 = seed ^ (len * kPrime1);
+  std::uint64_t h2 = seed ^ kPrime2;
+  while (len >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    h1 = mix(h1 ^ word) * kPrime1;
+    h2 = mix(h2 + word) * kPrime2;
+    p += 8;
+    len -= 8;
+  }
+  std::uint64_t tail = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    tail |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  h1 = mix(h1 ^ tail);
+  h2 = mix(h2 + tail + (h1 >> 17));
+  return Hash128{h1, h2 | 1};  // odd h2 -> all k indices distinct mod 2^w
+}
+
+Hash128 hash_key(std::string_view key, std::uint64_t seed) {
+  return hash_bytes(key.data(), key.size(), seed);
+}
+
+Hash128 hash_key(std::uint64_t key, std::uint64_t seed) {
+  return hash_bytes(&key, sizeof key, seed);
+}
+
+std::size_t optimal_hash_count(std::size_t bits, std::size_t expected_elements) {
+  if (expected_elements == 0) return 1;
+  const double k = std::log(2.0) * static_cast<double>(bits) /
+                   static_cast<double>(expected_elements);
+  return std::max<std::size_t>(1, static_cast<std::size_t>(std::lround(k)));
+}
+
+double expected_fpp(std::size_t bits, std::size_t hashes, std::size_t elements) {
+  if (bits == 0) return 1.0;
+  const double exponent = -static_cast<double>(hashes) *
+                          static_cast<double>(elements) /
+                          static_cast<double>(bits);
+  return std::pow(1.0 - std::exp(exponent), static_cast<double>(hashes));
+}
+
+BloomFilter::BloomFilter(BloomParameters params) : params_(params) {
+  if (params_.bits == 0 || params_.hashes == 0) {
+    throw std::invalid_argument("BloomFilter: bits and hashes must be > 0");
+  }
+  words_.assign((params_.bits + 63) / 64, 0);
+}
+
+BloomFilter BloomFilter::for_capacity(std::size_t expected_elements,
+                                      double target_fpp) {
+  if (expected_elements == 0) expected_elements = 1;
+  if (target_fpp <= 0.0 || target_fpp >= 1.0) {
+    throw std::invalid_argument("BloomFilter: target_fpp must be in (0,1)");
+  }
+  const double ln2 = std::log(2.0);
+  const double m = -static_cast<double>(expected_elements) *
+                   std::log(target_fpp) / (ln2 * ln2);
+  BloomParameters p;
+  p.bits = std::max<std::size_t>(64, static_cast<std::size_t>(std::ceil(m)));
+  p.hashes = optimal_hash_count(p.bits, expected_elements);
+  return BloomFilter(p);
+}
+
+void BloomFilter::set_bit(std::size_t i) {
+  words_[i / 64] |= (std::uint64_t{1} << (i % 64));
+}
+
+bool BloomFilter::test_bit(std::size_t i) const {
+  return (words_[i / 64] >> (i % 64)) & 1;
+}
+
+void BloomFilter::insert_hash(Hash128 h) {
+  for (std::size_t i = 0; i < params_.hashes; ++i) {
+    set_bit((h.h1 + i * h.h2) % params_.bits);
+  }
+  ++inserted_;
+}
+
+bool BloomFilter::contains_hash(Hash128 h) const {
+  for (std::size_t i = 0; i < params_.hashes; ++i) {
+    if (!test_bit((h.h1 + i * h.h2) % params_.bits)) return false;
+  }
+  return true;
+}
+
+void BloomFilter::insert(std::string_view key) { insert_hash(hash_key(key)); }
+void BloomFilter::insert(std::uint64_t key) { insert_hash(hash_key(key)); }
+
+bool BloomFilter::possibly_contains(std::string_view key) const {
+  return contains_hash(hash_key(key));
+}
+bool BloomFilter::possibly_contains(std::uint64_t key) const {
+  return contains_hash(hash_key(key));
+}
+
+void BloomFilter::merge(const BloomFilter& other) {
+  if (!same_geometry(other)) {
+    throw std::invalid_argument("BloomFilter::merge: geometry mismatch");
+  }
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  inserted_ += other.inserted_;
+}
+
+void BloomFilter::clear() {
+  words_.assign(words_.size(), 0);
+  inserted_ = 0;
+}
+
+void BloomFilter::adopt_words(std::vector<std::uint64_t> words,
+                              std::size_t inserted) {
+  if (words.size() != words_.size()) {
+    throw std::invalid_argument("BloomFilter::adopt_words: size mismatch");
+  }
+  words_ = std::move(words);
+  inserted_ = inserted;
+}
+
+std::size_t BloomFilter::set_bits() const {
+  std::size_t n = 0;
+  for (auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+double BloomFilter::estimated_cardinality() const {
+  const auto m = static_cast<double>(params_.bits);
+  const auto k = static_cast<double>(params_.hashes);
+  const auto x = static_cast<double>(set_bits());
+  if (x >= m) return m;  // saturated
+  return -(m / k) * std::log(1.0 - x / m);
+}
+
+double BloomFilter::fill_ratio_fpp() const {
+  const double fill =
+      static_cast<double>(set_bits()) / static_cast<double>(params_.bits);
+  return std::pow(fill, static_cast<double>(params_.hashes));
+}
+
+}  // namespace p2prm::bloom

@@ -1,0 +1,98 @@
+// Bloom filters for inter-domain object/service summaries (§3.1: "The
+// summaries can be obtained using Bloom Filters").
+//
+// Classic partitioned-by-double-hashing design (Kirsch–Mitzenmitzer):
+// k index functions derived from two 64-bit hashes, so inserting a key is
+// 1 hash + k probes. Filters of identical geometry can be merged (bitwise
+// OR), which is what a Resource Manager does when a domain's summary is
+// assembled from many peers.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/ids.hpp"
+
+namespace p2prm::bloom {
+
+// 128-bit hash of arbitrary bytes (xxhash-style mixing, not cryptographic).
+struct Hash128 {
+  std::uint64_t h1;
+  std::uint64_t h2;
+};
+[[nodiscard]] Hash128 hash_bytes(const void* data, std::size_t len,
+                                 std::uint64_t seed = 0);
+[[nodiscard]] Hash128 hash_key(std::string_view key, std::uint64_t seed = 0);
+[[nodiscard]] Hash128 hash_key(std::uint64_t key, std::uint64_t seed = 0);
+
+struct BloomParameters {
+  std::size_t bits = 1024;  // m
+  std::size_t hashes = 4;   // k
+};
+
+// Optimal k for m bits / n expected elements, and expected false-positive
+// probability — used by E7 to sweep bits-per-element.
+[[nodiscard]] std::size_t optimal_hash_count(std::size_t bits,
+                                             std::size_t expected_elements);
+[[nodiscard]] double expected_fpp(std::size_t bits, std::size_t hashes,
+                                  std::size_t elements);
+
+class BloomFilter {
+ public:
+  explicit BloomFilter(BloomParameters params = {});
+  // Geometry chosen for a target false-positive probability.
+  static BloomFilter for_capacity(std::size_t expected_elements,
+                                  double target_fpp);
+
+  void insert(std::string_view key);
+  void insert(std::uint64_t key);
+  template <typename Tag>
+  void insert(util::StrongId<Tag> id) {
+    insert(id.value());
+  }
+
+  [[nodiscard]] bool possibly_contains(std::string_view key) const;
+  [[nodiscard]] bool possibly_contains(std::uint64_t key) const;
+  template <typename Tag>
+  [[nodiscard]] bool possibly_contains(util::StrongId<Tag> id) const {
+    return possibly_contains(id.value());
+  }
+
+  // Bitwise union; both filters must share geometry.
+  void merge(const BloomFilter& other);
+
+  void clear();
+  [[nodiscard]] std::size_t bit_count() const { return params_.bits; }
+  [[nodiscard]] std::size_t hash_count() const { return params_.hashes; }
+  [[nodiscard]] std::size_t set_bits() const;
+  [[nodiscard]] std::size_t inserted() const { return inserted_; }
+  // Maximum-likelihood estimate of distinct elements from bit density.
+  [[nodiscard]] double estimated_cardinality() const;
+  // FPP estimate from the actual fill ratio.
+  [[nodiscard]] double fill_ratio_fpp() const;
+  // Wire size when shipped inside a gossip digest.
+  [[nodiscard]] std::size_t wire_size() const { return (params_.bits + 7) / 8; }
+
+  [[nodiscard]] bool same_geometry(const BloomFilter& other) const {
+    return params_.bits == other.params_.bits &&
+           params_.hashes == other.params_.hashes;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const { return words_; }
+
+  // Replaces the bitmap wholesale (deserialization, counting-filter
+  // projection). `words` must have exactly ceil(bits/64) entries.
+  void adopt_words(std::vector<std::uint64_t> words, std::size_t inserted);
+
+ private:
+  void set_bit(std::size_t i);
+  [[nodiscard]] bool test_bit(std::size_t i) const;
+  void insert_hash(Hash128 h);
+  [[nodiscard]] bool contains_hash(Hash128 h) const;
+
+  BloomParameters params_;
+  std::vector<std::uint64_t> words_;
+  std::size_t inserted_ = 0;
+};
+
+}  // namespace p2prm::bloom

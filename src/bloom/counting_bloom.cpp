@@ -1,0 +1,78 @@
+#include "bloom/counting_bloom.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace p2prm::bloom {
+
+CountingBloomFilter::CountingBloomFilter(BloomParameters params)
+    : params_(params) {
+  if (params_.bits == 0 || params_.hashes == 0) {
+    throw std::invalid_argument("CountingBloomFilter: bits/hashes must be > 0");
+  }
+  counters_.assign(params_.bits, 0);
+}
+
+void CountingBloomFilter::bump(Hash128 h) {
+  for (std::size_t i = 0; i < params_.hashes; ++i) {
+    auto& c = counters_[(h.h1 + i * h.h2) % params_.bits];
+    if (c < std::numeric_limits<std::uint16_t>::max()) ++c;
+  }
+}
+
+bool CountingBloomFilter::all_positive(Hash128 h) const {
+  for (std::size_t i = 0; i < params_.hashes; ++i) {
+    if (counters_[(h.h1 + i * h.h2) % params_.bits] == 0) return false;
+  }
+  return true;
+}
+
+bool CountingBloomFilter::drop(Hash128 h) {
+  if (!all_positive(h)) return false;
+  for (std::size_t i = 0; i < params_.hashes; ++i) {
+    --counters_[(h.h1 + i * h.h2) % params_.bits];
+  }
+  return true;
+}
+
+void CountingBloomFilter::insert(std::string_view key) { bump(hash_key(key)); }
+void CountingBloomFilter::insert(std::uint64_t key) { bump(hash_key(key)); }
+
+bool CountingBloomFilter::erase(std::string_view key) {
+  return drop(hash_key(key));
+}
+bool CountingBloomFilter::erase(std::uint64_t key) { return drop(hash_key(key)); }
+
+bool CountingBloomFilter::possibly_contains(std::string_view key) const {
+  return all_positive(hash_key(key));
+}
+bool CountingBloomFilter::possibly_contains(std::uint64_t key) const {
+  return all_positive(hash_key(key));
+}
+
+BloomFilter CountingBloomFilter::to_bloom() const {
+  BloomFilter bf(params_);
+  std::vector<std::uint64_t> words((params_.bits + 63) / 64, 0);
+  for (std::size_t i = 0; i < params_.bits; ++i) {
+    if (counters_[i] > 0) words[i / 64] |= (std::uint64_t{1} << (i % 64));
+  }
+  bf.adopt_words(std::move(words), nonzero_counters());
+  return bf;
+}
+
+void CountingBloomFilter::clear() { counters_.assign(counters_.size(), 0); }
+
+std::size_t CountingBloomFilter::nonzero_counters() const {
+  return static_cast<std::size_t>(
+      std::count_if(counters_.begin(), counters_.end(),
+                    [](std::uint16_t c) { return c > 0; }));
+}
+
+std::uint16_t CountingBloomFilter::max_counter() const {
+  return counters_.empty()
+             ? std::uint16_t{0}
+             : *std::max_element(counters_.begin(), counters_.end());
+}
+
+}  // namespace p2prm::bloom

@@ -1,0 +1,64 @@
+// Counting Bloom filter: supports deletion.
+//
+// Domain summaries must shrink when peers leave and take their objects and
+// services with them (§4.1: the RM "update[s] the available data objects
+// and services in the system to include the change"). A plain Bloom filter
+// cannot remove keys, so Resource Managers maintain a counting filter
+// internally and export its plain-bitmap projection in gossip digests.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "bloom/bloom_filter.hpp"
+
+namespace p2prm::bloom {
+
+class CountingBloomFilter {
+ public:
+  explicit CountingBloomFilter(BloomParameters params = {});
+
+  void insert(std::string_view key);
+  void insert(std::uint64_t key);
+  // Removes one occurrence. Returns false (and changes nothing) if any
+  // counter is already zero — the key was provably never inserted.
+  bool erase(std::string_view key);
+  bool erase(std::uint64_t key);
+
+  [[nodiscard]] bool possibly_contains(std::string_view key) const;
+  [[nodiscard]] bool possibly_contains(std::uint64_t key) const;
+
+  template <typename Tag>
+  void insert(util::StrongId<Tag> id) {
+    insert(id.value());
+  }
+  template <typename Tag>
+  bool erase(util::StrongId<Tag> id) {
+    return erase(id.value());
+  }
+  template <typename Tag>
+  [[nodiscard]] bool possibly_contains(util::StrongId<Tag> id) const {
+    return possibly_contains(id.value());
+  }
+
+  // Plain-bitmap snapshot with identical geometry (counter > 0 -> bit set),
+  // suitable for shipping in a gossip digest.
+  [[nodiscard]] BloomFilter to_bloom() const;
+
+  void clear();
+  [[nodiscard]] std::size_t bit_count() const { return params_.bits; }
+  [[nodiscard]] std::size_t hash_count() const { return params_.hashes; }
+  [[nodiscard]] std::size_t nonzero_counters() const;
+  [[nodiscard]] std::uint16_t max_counter() const;
+
+ private:
+  void bump(Hash128 h);
+  [[nodiscard]] bool all_positive(Hash128 h) const;
+  bool drop(Hash128 h);
+
+  BloomParameters params_;
+  std::vector<std::uint16_t> counters_;
+};
+
+}  // namespace p2prm::bloom

@@ -1,0 +1,76 @@
+#include "core/admission.hpp"
+
+namespace p2prm::core {
+
+bool domain_overloaded(const InfoBase& info, const SystemConfig& config) {
+  const auto members = info.domain().member_ids();
+  if (members.empty()) return true;
+  for (const auto peer : members) {
+    const auto* rec = info.domain().member(peer);
+    const double cap = rec->spec.capacity_ops_per_s;
+    const double util = cap > 0.0 ? info.effective_load(peer) / cap : 1.0;
+    if (util < config.overload_utilization) return false;
+  }
+  return true;
+}
+
+double mean_domain_utilization(const InfoBase& info) {
+  double load = 0.0;
+  double capacity = 0.0;
+  for (const auto peer : info.domain().member_ids()) {
+    const auto* rec = info.domain().member(peer);
+    load += info.effective_load(peer);
+    capacity += rec->spec.capacity_ops_per_s;
+  }
+  return capacity > 0.0 ? load / capacity : 1.0;
+}
+
+AdmissionDecision check_admission(const InfoBase& info,
+                                  const SystemConfig& config,
+                                  double importance) {
+  AdmissionDecision d;
+  if (!config.admission_control) return d;
+  if (domain_overloaded(info, config)) {
+    d.admit = false;
+    d.domain_overloaded = true;
+    d.reason = "domain-overloaded";
+    return d;
+  }
+  if (config.min_importance_when_busy > 0.0 &&
+      importance < config.min_importance_when_busy &&
+      mean_domain_utilization(info) >= config.busy_utilization) {
+    d.admit = false;
+    d.reason = "low-importance-while-busy";
+  }
+  return d;
+}
+
+OverloadDetector::OverloadDetector(double threshold, int consecutive)
+    : threshold_(threshold), consecutive_(consecutive) {}
+
+bool OverloadDetector::record(util::PeerId peer, double utilization) {
+  int& streak = streak_[peer];
+  if (utilization >= threshold_) {
+    ++streak;
+  } else {
+    streak = 0;
+  }
+  return streak >= consecutive_;
+}
+
+bool OverloadDetector::overloaded(util::PeerId peer) const {
+  const auto it = streak_.find(peer);
+  return it != streak_.end() && it->second >= consecutive_;
+}
+
+void OverloadDetector::forget(util::PeerId peer) { streak_.erase(peer); }
+
+std::size_t OverloadDetector::overloaded_count() const {
+  std::size_t n = 0;
+  for (const auto& [_, s] : streak_) {
+    if (s >= consecutive_) ++n;
+  }
+  return n;
+}
+
+}  // namespace p2prm::core

@@ -1,0 +1,64 @@
+// Admission control and overload detection (§4.5).
+//
+// "When admitting a new application task the resource manager estimates
+// whether its QoS requirements can be accommodated by the system's current
+// resources without overloading the system. If all peers are too loaded to
+// provide the requested QoS guarantees, then the task is not admitted ...
+// Instead, the task query is redirected to a Resource Manager of another
+// domain."
+//
+// "When the Resource Manager determines that the system is overloaded (for
+// example if the processor or network load is constantly above a certain
+// threshold for all peers or if the applications do not meet their
+// deadlines), some of the currently running application tasks might be
+// reassigned."
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "core/config.hpp"
+#include "core/info_base.hpp"
+
+namespace p2prm::core {
+
+struct AdmissionDecision {
+  bool admit = true;
+  bool domain_overloaded = false;
+  std::string reason;
+};
+
+// Pre-allocation gate: refuses outright when every peer in the domain is
+// above the overload threshold (allocation could only make things worse),
+// and — when the value-based gate is enabled — turns away low-importance
+// tasks while the domain is busy.
+[[nodiscard]] AdmissionDecision check_admission(const InfoBase& info,
+                                                const SystemConfig& config,
+                                                double importance = 1e300);
+
+// True when every member's effective utilization exceeds the threshold.
+[[nodiscard]] bool domain_overloaded(const InfoBase& info,
+                                     const SystemConfig& config);
+
+// Mean effective utilization across the domain (load / capacity).
+[[nodiscard]] double mean_domain_utilization(const InfoBase& info);
+
+// Tracks per-peer consecutive overloaded reports ("constantly above a
+// certain threshold", not just a blip).
+class OverloadDetector {
+ public:
+  explicit OverloadDetector(double threshold, int consecutive);
+
+  // Feed one profiler report's utilization; returns the updated verdict.
+  bool record(util::PeerId peer, double utilization);
+  [[nodiscard]] bool overloaded(util::PeerId peer) const;
+  void forget(util::PeerId peer);
+  [[nodiscard]] std::size_t overloaded_count() const;
+
+ private:
+  double threshold_;
+  int consecutive_;
+  std::unordered_map<util::PeerId, int> streak_;
+};
+
+}  // namespace p2prm::core

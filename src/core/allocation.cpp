@@ -1,0 +1,339 @@
+#include "core/allocation.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace p2prm::core {
+
+util::SimDuration estimate_compute_time(const InfoBase& info,
+                                        const SystemConfig& config,
+                                        util::PeerId peer, double ops) {
+  const auto* rec = info.domain().member(peer);
+  if (rec == nullptr) return util::kTimeInfinity;
+  const double capacity = rec->spec.capacity_ops_per_s;
+  const double spare = std::max(capacity - info.effective_load(peer),
+                                capacity * config.min_spare_capacity_fraction);
+  const double backlog_s = rec->last_sample.backlog_seconds;
+  return util::from_seconds(backlog_s + ops / spare);
+}
+
+util::SimDuration estimate_service_time(const InfoBase& info,
+                                        const SystemConfig& config,
+                                        util::PeerId peer, double ops,
+                                        std::uint64_t type_key) {
+  const util::SimDuration model = estimate_compute_time(info, config, peer, ops);
+  if (!config.use_measured_execution_times) return model;
+  const double measured_s = info.measured_execution_s(peer, type_key);
+  if (measured_s < 0.0) return model;
+  return std::max(model, util::from_seconds(measured_s));
+}
+
+namespace {
+
+[[nodiscard]] std::size_t stream_bytes(const media::MediaFormat& format,
+                                       double media_seconds) {
+  return static_cast<std::size_t>(static_cast<double>(format.bitrate_kbps) *
+                                  1000.0 / 8.0 * media_seconds);
+}
+
+// Cost of the partial pipeline: transfer into hop 1, then per-hop compute
+// and inter-hop transfers. Excludes the final hop->sink transfer (added by
+// evaluate_path); monotone in path length, so usable as a BFS pruner.
+[[nodiscard]] util::SimDuration partial_cost(const InfoBase& info,
+                                             const net::Network& network,
+                                             const SystemConfig& config,
+                                             util::PeerId source_peer,
+                                             double media_seconds,
+                                             const graph::EdgePath& path) {
+  util::SimDuration total = 0;
+  util::PeerId prev = source_peer;
+  for (const graph::ServiceEdge* e : path) {
+    total += network.estimate_delay(prev, e->peer,
+                                    stream_bytes(e->type.input, media_seconds));
+    const double ops =
+        media::transcode_ops_per_media_second(e->type, config.cost_model) *
+        media_seconds;
+    total += estimate_service_time(info, config, e->peer, ops,
+                                   e->type.type_key());
+    prev = e->peer;
+  }
+  return total;
+}
+
+}  // namespace
+
+PathEvaluation evaluate_path(const InfoBase& info, const net::Network& network,
+                             const SystemConfig& config,
+                             const AllocationRequest& request,
+                             const ObjectLocation& source,
+                             const media::MediaFormat& target,
+                             const graph::EdgePath& path) {
+  PathEvaluation ev;
+  ev.source_peer = source.peer;
+  ev.object = source.object;
+  ev.target = target;
+
+  const double media_seconds = source.object.duration_s;
+  util::SimDuration total = 0;
+  util::PeerId prev = source.peer;
+
+  for (const graph::ServiceEdge* e : path) {
+    graph::ServiceHop hop;
+    hop.service = e->id;
+    hop.peer = e->peer;
+    hop.type = e->type;
+    hop.estimated_ops =
+        media::transcode_ops_per_media_second(e->type, config.cost_model) *
+        media_seconds;
+    hop.estimated_transfer_time = network.estimate_delay(
+        prev, e->peer, stream_bytes(e->type.input, media_seconds));
+    hop.estimated_compute_time = estimate_service_time(
+        info, config, e->peer, hop.estimated_ops, e->type.type_key());
+    total += hop.estimated_transfer_time + hop.estimated_compute_time;
+    // Streaming at realtime rate consumes ops/media-second continuously.
+    ev.load_deltas.emplace_back(
+        e->peer,
+        media::transcode_ops_per_media_second(e->type, config.cost_model));
+    ev.hops.push_back(std::move(hop));
+    prev = e->peer;
+  }
+  // Final delivery to the sink.
+  total += network.estimate_delay(prev, request.sink,
+                                  stream_bytes(target, media_seconds));
+
+  ev.exec_time = total;
+  ev.feasible = request.now + total <= request.absolute_deadline();
+  ev.fairness_after = info.fairness().index_with(ev.load_deltas);
+
+  double max_util = 0.0;
+  for (const auto& [peer, delta] : ev.load_deltas) {
+    const auto* rec = info.domain().member(peer);
+    if (rec == nullptr) continue;
+    const double cap = rec->spec.capacity_ops_per_s;
+    max_util =
+        std::max(max_util, (info.effective_load(peer) + delta) / cap);
+  }
+  ev.max_utilization_after = max_util;
+  return ev;
+}
+
+std::vector<PathEvaluation> enumerate_candidates(
+    const InfoBase& info, const net::Network& network,
+    const SystemConfig& config, const AllocationRequest& request,
+    bool exhaustive, graph::SearchStats* stats) {
+  std::vector<PathEvaluation> out;
+  graph::SearchStats accumulated;
+  const auto* locs = info.locations(request.q.object);
+  if (locs == nullptr) {
+    if (stats) *stats = accumulated;
+    return out;
+  }
+  const auto& gr = info.resource_graph();
+
+  for (const ObjectLocation& source : *locs) {
+    for (const media::MediaFormat& target : request.q.acceptable_formats) {
+      // Direct delivery: object already in an acceptable format.
+      if (source.object.format == target) {
+        out.push_back(evaluate_path(info, network, config, request, source,
+                                    target, {}));
+        continue;
+      }
+      const auto v_init = gr.find_state(source.object.format);
+      const auto v_sol = gr.find_state(target);
+      if (!v_init || !v_sol) continue;
+
+      // Fig. 3's pruning: drop partial sequences that already blow the
+      // deadline (costs only grow with more hops).
+      const auto prune = [&](const graph::EdgePath& partial) {
+        const auto cost = partial_cost(info, network, config, source.peer,
+                                       source.object.duration_s, partial);
+        return request.now + cost <= request.absolute_deadline();
+      };
+
+      graph::SearchStats s;
+      const auto paths =
+          exhaustive
+              ? graph::all_simple_paths(gr, *v_init, *v_sol,
+                                        config.exhaustive_max_hops, prune, &s)
+              : graph::bfs_paths(gr, *v_init, *v_sol, prune, &s);
+      accumulated.vertices_popped += s.vertices_popped;
+      accumulated.sequences_enqueued += s.sequences_enqueued;
+      accumulated.candidates_found += s.candidates_found;
+      accumulated.pruned += s.pruned;
+
+      for (const auto& path : paths) {
+        out.push_back(evaluate_path(info, network, config, request, source,
+                                    target, path));
+      }
+    }
+  }
+  if (stats) *stats = accumulated;
+  return out;
+}
+
+AllocationResult finalize(const AllocationRequest& request,
+                          const PathEvaluation& winner) {
+  AllocationResult result;
+  result.found = true;
+  result.fairness_after = winner.fairness_after;
+  result.estimated_execution = winner.exec_time;
+  result.load_deltas = winner.load_deltas;
+  result.sg = graph::ServiceGraph(request.task, winner.source_peer,
+                                  winner.object.id, request.sink,
+                                  winner.object.format, winner.target);
+  for (const auto& hop : winner.hops) result.sg.add_hop(hop);
+  assert(result.sg.chain_consistent());
+  return result;
+}
+
+namespace {
+
+// Shared driver: enumerate candidates, filter feasible, delegate the final
+// choice to `pick`.
+template <typename Pick>
+AllocationResult allocate_with(const InfoBase& info,
+                               const net::Network& network,
+                               const SystemConfig& config,
+                               const AllocationRequest& request,
+                               bool exhaustive, Pick pick) {
+  AllocationResult result;
+  auto candidates = enumerate_candidates(info, network, config, request,
+                                         exhaustive, &result.search);
+  result.candidates_considered = candidates.size();
+
+  std::vector<const PathEvaluation*> feasible;
+  for (const auto& c : candidates) {
+    if (c.feasible) feasible.push_back(&c);
+  }
+  result.candidates_feasible = feasible.size();
+
+  if (feasible.empty()) {
+    if (info.locations(request.q.object) == nullptr) {
+      result.failure_reason = "no-object";
+    } else if (candidates.empty() && result.search.pruned == 0) {
+      result.failure_reason = "no-path";
+    } else {
+      // Either complete candidates missed the deadline, or QoS pruning cut
+      // every partial sequence before it could complete.
+      result.failure_reason = "deadline";
+    }
+    return result;
+  }
+  const PathEvaluation* winner = pick(feasible);
+  auto finalized = finalize(request, *winner);
+  finalized.search = result.search;
+  finalized.candidates_considered = result.candidates_considered;
+  finalized.candidates_feasible = result.candidates_feasible;
+  return finalized;
+}
+
+class PaperBfsAllocator final : public Allocator {
+ public:
+  AllocationResult allocate(const InfoBase& info, const net::Network& network,
+                            const SystemConfig& config,
+                            const AllocationRequest& request,
+                            util::Rng&) const override {
+    return allocate_with(
+        info, network, config, request, /*exhaustive=*/false,
+        [](const std::vector<const PathEvaluation*>& feasible) {
+          // Fig. 3's f_max loop: keep the allocation with maximum fairness.
+          const PathEvaluation* best = feasible.front();
+          for (const auto* c : feasible) {
+            if (c->fairness_after > best->fairness_after) best = c;
+          }
+          return best;
+        });
+  }
+  AllocatorKind kind() const override { return AllocatorKind::PaperBfs; }
+};
+
+class ExhaustiveAllocator final : public Allocator {
+ public:
+  AllocationResult allocate(const InfoBase& info, const net::Network& network,
+                            const SystemConfig& config,
+                            const AllocationRequest& request,
+                            util::Rng&) const override {
+    return allocate_with(
+        info, network, config, request, /*exhaustive=*/true,
+        [](const std::vector<const PathEvaluation*>& feasible) {
+          const PathEvaluation* best = feasible.front();
+          for (const auto* c : feasible) {
+            if (c->fairness_after > best->fairness_after) best = c;
+          }
+          return best;
+        });
+  }
+  AllocatorKind kind() const override { return AllocatorKind::Exhaustive; }
+};
+
+class MinHopAllocator final : public Allocator {
+ public:
+  AllocationResult allocate(const InfoBase& info, const net::Network& network,
+                            const SystemConfig& config,
+                            const AllocationRequest& request,
+                            util::Rng&) const override {
+    return allocate_with(
+        info, network, config, request, /*exhaustive=*/false,
+        [](const std::vector<const PathEvaluation*>& feasible) {
+          const PathEvaluation* best = feasible.front();
+          for (const auto* c : feasible) {
+            if (c->hops.size() < best->hops.size()) best = c;
+          }
+          return best;
+        });
+  }
+  AllocatorKind kind() const override { return AllocatorKind::MinHop; }
+};
+
+class RandomAllocator final : public Allocator {
+ public:
+  AllocationResult allocate(const InfoBase& info, const net::Network& network,
+                            const SystemConfig& config,
+                            const AllocationRequest& request,
+                            util::Rng& rng) const override {
+    return allocate_with(
+        info, network, config, request, /*exhaustive=*/false,
+        [&rng](const std::vector<const PathEvaluation*>& feasible) {
+          return feasible[rng.below(feasible.size())];
+        });
+  }
+  AllocatorKind kind() const override { return AllocatorKind::Random; }
+};
+
+class LeastLoadedAllocator final : public Allocator {
+ public:
+  AllocationResult allocate(const InfoBase& info, const net::Network& network,
+                            const SystemConfig& config,
+                            const AllocationRequest& request,
+                            util::Rng&) const override {
+    return allocate_with(
+        info, network, config, request, /*exhaustive=*/false,
+        [](const std::vector<const PathEvaluation*>& feasible) {
+          const PathEvaluation* best = feasible.front();
+          for (const auto* c : feasible) {
+            if (c->max_utilization_after < best->max_utilization_after) {
+              best = c;
+            }
+          }
+          return best;
+        });
+  }
+  AllocatorKind kind() const override { return AllocatorKind::LeastLoaded; }
+};
+
+}  // namespace
+
+std::unique_ptr<Allocator> make_allocator(AllocatorKind kind) {
+  switch (kind) {
+    case AllocatorKind::PaperBfs: return std::make_unique<PaperBfsAllocator>();
+    case AllocatorKind::Exhaustive:
+      return std::make_unique<ExhaustiveAllocator>();
+    case AllocatorKind::MinHop: return std::make_unique<MinHopAllocator>();
+    case AllocatorKind::Random: return std::make_unique<RandomAllocator>();
+    case AllocatorKind::LeastLoaded:
+      return std::make_unique<LeastLoadedAllocator>();
+  }
+  throw std::invalid_argument("make_allocator: bad kind");
+}
+
+}  // namespace p2prm::core

@@ -1,0 +1,28 @@
+#include "core/config.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace p2prm::core {
+
+std::string_view allocator_name(AllocatorKind k) {
+  switch (k) {
+    case AllocatorKind::PaperBfs: return "paper-bfs";
+    case AllocatorKind::Exhaustive: return "exhaustive";
+    case AllocatorKind::MinHop: return "min-hop";
+    case AllocatorKind::Random: return "random";
+    case AllocatorKind::LeastLoaded: return "least-loaded";
+  }
+  return "?";
+}
+
+AllocatorKind allocator_from_name(std::string_view name) {
+  if (name == "paper-bfs") return AllocatorKind::PaperBfs;
+  if (name == "exhaustive") return AllocatorKind::Exhaustive;
+  if (name == "min-hop") return AllocatorKind::MinHop;
+  if (name == "random") return AllocatorKind::Random;
+  if (name == "least-loaded") return AllocatorKind::LeastLoaded;
+  throw std::invalid_argument("unknown allocator: " + std::string(name));
+}
+
+}  // namespace p2prm::core

@@ -1,0 +1,289 @@
+#include "core/info_base.hpp"
+
+#include <algorithm>
+
+namespace p2prm::core {
+
+bool ActiveTask::all_hops_done() const {
+  return std::all_of(hop_done.begin(), hop_done.end(),
+                     [](bool b) { return b; });
+}
+
+std::optional<std::size_t> ActiveTask::first_pending_hop() const {
+  for (std::size_t i = 0; i < hop_done.size(); ++i) {
+    if (!hop_done[i]) return i;
+  }
+  return std::nullopt;
+}
+
+std::size_t InfoBaseSnapshot::wire_size() const {
+  std::size_t n = 64;
+  n += domain.size() * 96;
+  for (const auto& [_, objs] : objects) n += 16 + objs.size() * 64;
+  for (const auto& [_, svcs] : services) n += 16 + svcs.size() * 32;
+  for (const auto& t : tasks) n += 64 + t.sg.hop_count() * 48;
+  return n;
+}
+
+InfoBase::InfoBase(util::DomainId domain, util::PeerId rm)
+    : domain_(domain, rm) {}
+
+void InfoBase::add_member(const overlay::PeerSpec& spec, util::SimTime now) {
+  domain_.add_member(spec, now);
+  fairness_.set(spec.id, 0.0);
+}
+
+void InfoBase::add_inventory(const PeerAnnounce& announce) {
+  // Idempotent: a peer may re-announce after an RM failover or a rejoin.
+  const util::PeerId peer = announce.spec.id;
+  for (const auto& obj : announce.objects) {
+    auto& locs = objects_[obj.id];
+    const bool present =
+        std::any_of(locs.begin(), locs.end(), [&](const ObjectLocation& l) {
+          return l.peer == peer && l.object.format == obj.format;
+        });
+    if (!present) locs.push_back(ObjectLocation{peer, obj});
+  }
+  for (const auto& svc : announce.services) {
+    if (!gr_.has_service(svc.id)) gr_.add_service(svc.id, peer, svc.type);
+  }
+  bump_summary_version();
+}
+
+std::vector<util::TaskId> InfoBase::remove_peer(util::PeerId peer) {
+  domain_.remove_member(peer);
+  fairness_.remove(peer);
+  pending_commit_.erase(peer);
+  measured_exec_.erase(peer);
+  gr_.remove_peer(peer);
+  for (auto it = objects_.begin(); it != objects_.end();) {
+    auto& locs = it->second;
+    locs.erase(std::remove_if(locs.begin(), locs.end(),
+                              [&](const ObjectLocation& l) {
+                                return l.peer == peer;
+                              }),
+               locs.end());
+    if (locs.empty()) {
+      it = objects_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  bump_summary_version();
+  return tasks_involving(peer);
+}
+
+void InfoBase::record_report(util::PeerId peer, const ProfilerReport& report,
+                             util::SimTime now) {
+  domain_.record_report(peer, report.sample, now, report.eligible_rm,
+                        report.rm_score);
+  purge_commitments(now);
+  fairness_.set(peer, effective_load(peer));
+  if (!report.measured_exec_s.empty()) {
+    auto& per_type = measured_exec_[peer];
+    for (const auto& [key, mean_s] : report.measured_exec_s) {
+      per_type[key] = mean_s;
+    }
+  }
+}
+
+double InfoBase::measured_execution_s(util::PeerId peer,
+                                      std::uint64_t type_key) const {
+  const auto it = measured_exec_.find(peer);
+  if (it == measured_exec_.end()) return -1.0;
+  const auto jt = it->second.find(type_key);
+  return jt == it->second.end() ? -1.0 : jt->second;
+}
+
+double InfoBase::effective_load(util::PeerId peer) const {
+  const auto* rec = domain_.member(peer);
+  const double reported = rec ? rec->last_sample.smoothed_load_ops : 0.0;
+  const auto it = pending_commit_.find(peer);
+  double committed = 0.0;
+  if (it != pending_commit_.end()) {
+    for (const auto& c : it->second) committed += c.rate;
+  }
+  return reported + committed;
+}
+
+void InfoBase::commit_load(util::PeerId peer, double ops_rate,
+                           util::SimTime now, util::SimDuration ttl) {
+  pending_commit_[peer].push_back(Commitment{ops_rate, now + ttl});
+  fairness_.set(peer, effective_load(peer));
+}
+
+void InfoBase::release_load(util::PeerId peer, double ops_rate) {
+  const auto it = pending_commit_.find(peer);
+  if (it == pending_commit_.end()) return;
+  // Release the earliest commitments up to the requested amount.
+  double remaining = ops_rate;
+  auto& commits = it->second;
+  for (auto c = commits.begin(); c != commits.end() && remaining > 0.0;) {
+    const double take = std::min(remaining, c->rate);
+    c->rate -= take;
+    remaining -= take;
+    if (c->rate <= 1e-9) {
+      c = commits.erase(c);
+    } else {
+      ++c;
+    }
+  }
+  if (commits.empty()) pending_commit_.erase(it);
+  fairness_.set(peer, effective_load(peer));
+}
+
+void InfoBase::purge_commitments(util::SimTime now) {
+  for (auto it = pending_commit_.begin(); it != pending_commit_.end();) {
+    auto& commits = it->second;
+    const std::size_t before = commits.size();
+    commits.erase(std::remove_if(commits.begin(), commits.end(),
+                                 [&](const Commitment& c) {
+                                   return c.expires_at <= now;
+                                 }),
+                  commits.end());
+    const util::PeerId peer = it->first;
+    const bool changed = commits.size() != before;
+    if (commits.empty()) {
+      it = pending_commit_.erase(it);
+    } else {
+      ++it;
+    }
+    if (changed) fairness_.set(peer, effective_load(peer));
+  }
+}
+
+const std::vector<ObjectLocation>* InfoBase::locations(
+    util::ObjectId object) const {
+  const auto it = objects_.find(object);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+std::vector<util::ObjectId> InfoBase::all_objects() const {
+  std::vector<util::ObjectId> out;
+  out.reserve(objects_.size());
+  for (const auto& [id, _] : objects_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+ActiveTask& InfoBase::add_task(ActiveTask task) {
+  const util::TaskId id = task.sg.task();
+  return tasks_[id] = std::move(task);
+}
+
+ActiveTask* InfoBase::task(util::TaskId id) {
+  const auto it = tasks_.find(id);
+  return it == tasks_.end() ? nullptr : &it->second;
+}
+
+const ActiveTask* InfoBase::task(util::TaskId id) const {
+  const auto it = tasks_.find(id);
+  return it == tasks_.end() ? nullptr : &it->second;
+}
+
+void InfoBase::remove_task(util::TaskId id) { tasks_.erase(id); }
+
+std::vector<util::TaskId> InfoBase::tasks_involving(util::PeerId peer) const {
+  std::vector<util::TaskId> out;
+  for (const auto& [id, t] : tasks_) {
+    if (t.sg.involves(peer)) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<util::TaskId> InfoBase::running_task_ids() const {
+  std::vector<util::TaskId> out;
+  for (const auto& [id, t] : tasks_) {
+    if (t.sg.state == graph::TaskState::Running ||
+        t.sg.state == graph::TaskState::Composing) {
+      out.push_back(id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+gossip::DomainSummary InfoBase::build_summary(std::size_t bloom_bits,
+                                              std::size_t bloom_hashes) const {
+  gossip::DomainSummary s;
+  s.domain = domain_.id();
+  s.resource_manager = domain_.resource_manager();
+  s.version = summary_version_;
+  s.peer_count = domain_.size();
+  s.total_capacity_ops = domain_.total_capacity_ops();
+  s.total_load_ops = domain_.total_load_ops();
+  const bloom::BloomParameters params{bloom_bits, bloom_hashes};
+  s.objects = bloom::BloomFilter(params);
+  s.services = bloom::BloomFilter(params);
+  for (const auto& [id, _] : objects_) s.objects.insert(id);
+  for (const auto* e : gr_.all_services()) {
+    s.services.insert(e->type.type_key());
+  }
+  return s;
+}
+
+InfoBaseSnapshot InfoBase::snapshot() const {
+  InfoBaseSnapshot snap;
+  snap.domain = domain_;
+  snap.summary_version = summary_version_;
+  // Objects grouped by hosting peer.
+  std::unordered_map<util::PeerId, std::vector<media::MediaObject>> by_peer;
+  for (const auto& [_, locs] : objects_) {
+    for (const auto& loc : locs) by_peer[loc.peer].push_back(loc.object);
+  }
+  for (auto& [peer, objs] : by_peer) {
+    std::sort(objs.begin(), objs.end(),
+              [](const media::MediaObject& a, const media::MediaObject& b) {
+                return a.id < b.id;
+              });
+    snap.objects.emplace_back(peer, std::move(objs));
+  }
+  std::sort(snap.objects.begin(), snap.objects.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  // Services grouped by hosting peer.
+  std::unordered_map<util::PeerId, std::vector<ServiceOffering>> svc_by_peer;
+  for (const auto* e : gr_.all_services()) {
+    svc_by_peer[e->peer].push_back(ServiceOffering{e->id, e->type});
+  }
+  for (auto& [peer, svcs] : svc_by_peer) {
+    snap.services.emplace_back(peer, std::move(svcs));
+  }
+  std::sort(snap.services.begin(), snap.services.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [_, t] : tasks_) snap.tasks.push_back(t);
+  std::sort(snap.tasks.begin(), snap.tasks.end(),
+            [](const ActiveTask& a, const ActiveTask& b) {
+              return a.sg.task() < b.sg.task();
+            });
+  return snap;
+}
+
+void InfoBase::restore(const InfoBaseSnapshot& snap) {
+  domain_ = snap.domain;
+  summary_version_ = snap.summary_version;
+  objects_.clear();
+  tasks_.clear();
+  pending_commit_.clear();
+  gr_ = graph::ResourceGraph();
+  for (const auto& [peer, objs] : snap.objects) {
+    for (const auto& obj : objs) {
+      objects_[obj.id].push_back(ObjectLocation{peer, obj});
+    }
+  }
+  for (const auto& [peer, svcs] : snap.services) {
+    for (const auto& svc : svcs) gr_.add_service(svc.id, peer, svc.type);
+  }
+  for (const auto& t : snap.tasks) tasks_[t.sg.task()] = t;
+  rebuild_fairness();
+}
+
+void InfoBase::rebuild_fairness() {
+  fairness_ = fairness::IncrementalFairness();
+  for (const auto id : domain_.member_ids()) {
+    const auto* rec = domain_.member(id);
+    fairness_.set(id, rec ? rec->last_sample.smoothed_load_ops : 0.0);
+  }
+}
+
+}  // namespace p2prm::core

@@ -1,0 +1,153 @@
+// The Resource Manager's information base (§3.1).
+//
+// Everything an RM knows about its domain: members and their profiled
+// loads (l_i, bw_i), the application objects O_ij and services S_ij, the
+// resource graph G_r, and the service graphs of currently executing tasks.
+// The whole structure snapshots/restores for backup-RM synchronization.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/messages.hpp"
+#include "fairness/fairness.hpp"
+#include "gossip/summary.hpp"
+#include "graph/resource_graph.hpp"
+#include "graph/service_graph.hpp"
+#include "overlay/domain.hpp"
+#include "overlay/membership.hpp"
+
+namespace p2prm::core {
+
+struct ObjectLocation {
+  util::PeerId peer;
+  media::MediaObject object;
+};
+
+struct ActiveTask {
+  graph::ServiceGraph sg;
+  QoSRequirements q;
+  util::PeerId origin;
+  util::SimTime submitted_at = 0;
+  util::SimTime absolute_deadline = 0;
+  std::vector<bool> hop_done;
+  int recompositions = 0;  // failure-recovery / reassignment count
+
+  [[nodiscard]] bool all_hops_done() const;
+  [[nodiscard]] std::optional<std::size_t> first_pending_hop() const;
+};
+
+// Serializable copy of the info base shipped to the backup RM (§4.1: the
+// backup keeps "an up-to-date copy of all the information the Resource
+// Manager stores").
+struct InfoBaseSnapshot {
+  overlay::Domain domain;
+  std::vector<std::pair<util::PeerId, std::vector<media::MediaObject>>> objects;
+  std::vector<std::pair<util::PeerId, std::vector<ServiceOffering>>> services;
+  std::vector<ActiveTask> tasks;
+  std::uint64_t summary_version = 0;
+
+  [[nodiscard]] std::size_t wire_size() const;
+};
+
+struct BackupSync final : net::Message {
+  InfoBaseSnapshot snapshot;
+  // The RMs of other domains, so a takeover RM can resume gossiping.
+  std::vector<overlay::RmInfo> known_rms;
+  std::size_t wire_size() const override {
+    return snapshot.wire_size() + known_rms.size() * 16;
+  }
+  std::string_view type_name() const override { return "core.backup_sync"; }
+};
+
+class InfoBase {
+ public:
+  InfoBase() = default;
+  InfoBase(util::DomainId domain, util::PeerId rm);
+
+  // --- membership & inventory ------------------------------------------------
+  void add_member(const overlay::PeerSpec& spec, util::SimTime now);
+  void add_inventory(const PeerAnnounce& announce);
+  // Removes the peer, its objects and its G_r edges. Returns the ids of
+  // active tasks whose service graph involved the peer (§4.1: these must
+  // be repaired).
+  std::vector<util::TaskId> remove_peer(util::PeerId peer);
+
+  void record_report(util::PeerId peer, const ProfilerReport& report,
+                     util::SimTime now);
+
+  // --- load accounting ----------------------------------------------------------
+  // Effective load = last reported smoothed load + outstanding commitments
+  // the RM has made (so back-to-back allocations do not dog-pile one peer).
+  // A commitment expires after `ttl` — by then the work shows up in the
+  // peer's own reports — or earlier via release_load (hop finished). Expiry
+  // must be time-based, not cleared-on-report: profiler reports can arrive
+  // faster than composed work reaches the peer's CPU.
+  [[nodiscard]] double effective_load(util::PeerId peer) const;
+  void commit_load(util::PeerId peer, double ops_rate,
+                   util::SimTime now = 0,
+                   util::SimDuration ttl = util::seconds(3));
+  void release_load(util::PeerId peer, double ops_rate);
+  // Drops expired commitments; call with the current time before reading
+  // loads in bulk (record_report and the adaptation loop do).
+  void purge_commitments(util::SimTime now);
+
+  // Measured mean execution time (seconds) of a service type on a peer, as
+  // propagated in profiler reports; < 0 when no measurement exists.
+  [[nodiscard]] double measured_execution_s(util::PeerId peer,
+                                            std::uint64_t type_key) const;
+  [[nodiscard]] const fairness::IncrementalFairness& fairness() const {
+    return fairness_;
+  }
+  [[nodiscard]] double current_fairness() const { return fairness_.index(); }
+
+  // --- object & service lookup ---------------------------------------------------
+  [[nodiscard]] const std::vector<ObjectLocation>* locations(
+      util::ObjectId object) const;
+  [[nodiscard]] std::vector<util::ObjectId> all_objects() const;
+
+  // --- tasks ---------------------------------------------------------------------
+  ActiveTask& add_task(ActiveTask task);
+  [[nodiscard]] ActiveTask* task(util::TaskId id);
+  [[nodiscard]] const ActiveTask* task(util::TaskId id) const;
+  void remove_task(util::TaskId id);
+  [[nodiscard]] std::vector<util::TaskId> tasks_involving(
+      util::PeerId peer) const;
+  [[nodiscard]] std::vector<util::TaskId> running_task_ids() const;
+  [[nodiscard]] std::size_t task_count() const { return tasks_.size(); }
+
+  // --- summaries (§3.1 SumO / SumS) ---------------------------------------------
+  [[nodiscard]] gossip::DomainSummary build_summary(
+      std::size_t bloom_bits, std::size_t bloom_hashes) const;
+  void bump_summary_version() { ++summary_version_; }
+  [[nodiscard]] std::uint64_t summary_version() const { return summary_version_; }
+
+  // --- backup sync ------------------------------------------------------------------
+  [[nodiscard]] InfoBaseSnapshot snapshot() const;
+  void restore(const InfoBaseSnapshot& snap);
+
+  [[nodiscard]] overlay::Domain& domain() { return domain_; }
+  [[nodiscard]] const overlay::Domain& domain() const { return domain_; }
+  [[nodiscard]] graph::ResourceGraph& resource_graph() { return gr_; }
+  [[nodiscard]] const graph::ResourceGraph& resource_graph() const { return gr_; }
+
+ private:
+  void rebuild_fairness();
+
+  overlay::Domain domain_;
+  graph::ResourceGraph gr_;
+  std::unordered_map<util::ObjectId, std::vector<ObjectLocation>> objects_;
+  struct Commitment {
+    double rate;
+    util::SimTime expires_at;
+  };
+  std::unordered_map<util::TaskId, ActiveTask> tasks_;
+  std::unordered_map<util::PeerId, std::vector<Commitment>> pending_commit_;
+  std::unordered_map<util::PeerId, std::unordered_map<std::uint64_t, double>>
+      measured_exec_;  // soft state, re-learned after failover
+  fairness::IncrementalFairness fairness_;
+  std::uint64_t summary_version_ = 0;
+};
+
+}  // namespace p2prm::core

@@ -1,0 +1,221 @@
+// Task-protocol and resource-feedback messages (§4.3, §4.4).
+//
+// Overlay membership messages live in overlay/membership.hpp; everything a
+// task's lifecycle or the RM's information base needs is here.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/service_graph.hpp"
+#include "media/catalog.hpp"
+#include "net/message.hpp"
+#include "overlay/peer.hpp"
+#include "profile/profiler.hpp"
+#include "util/ids.hpp"
+
+namespace p2prm::core {
+
+// ---- inventory -----------------------------------------------------------
+
+struct ServiceOffering {
+  util::ServiceId id;  // instance id, unique system-wide
+  media::TranscoderType type;
+};
+
+// Sent by a peer right after JoinAccept: "here is what I store and what I
+// can do" (§3.2 items 1-2). Also re-sent to a takeover RM.
+struct PeerAnnounce final : net::Message {
+  overlay::PeerSpec spec;
+  std::vector<media::MediaObject> objects;
+  std::vector<ServiceOffering> services;
+
+  std::size_t wire_size() const override {
+    return 48 + objects.size() * 64 + services.size() * 32;
+  }
+  std::string_view type_name() const override { return "core.peer_announce"; }
+};
+
+// ---- task submission --------------------------------------------------------
+
+// What the user asks for (§4.3): an object "by name, also specifying a set
+// of acceptable bitrates, resolutions and codecs", a deadline and an
+// importance.
+struct QoSRequirements {
+  util::ObjectId object;
+  std::vector<media::MediaFormat> acceptable_formats;
+  util::SimDuration deadline = util::seconds(10);  // relative to submission
+  double importance = 1.0;
+};
+
+struct TaskQuery final : net::Message {
+  util::TaskId task;
+  util::PeerId origin;  // the requesting peer == the media sink
+  QoSRequirements q;
+  util::SimTime submitted_at = 0;
+  int redirect_count = 0;
+
+  std::size_t wire_size() const override {
+    return 64 + q.acceptable_formats.size() * 12;
+  }
+  std::string_view type_name() const override { return "core.task_query"; }
+};
+
+struct TaskReject final : net::Message {
+  util::TaskId task;
+  std::string reason;
+  std::size_t wire_size() const override { return 24 + reason.size(); }
+  std::string_view type_name() const override { return "core.task_reject"; }
+};
+
+struct TaskAccept final : net::Message {
+  util::TaskId task;
+  util::PeerId serving_rm;
+  util::SimDuration estimated_execution = 0;
+  std::size_t wire_size() const override { return 32; }
+  std::string_view type_name() const override { return "core.task_accept"; }
+};
+
+// ---- service-graph composition (§4.3) -------------------------------------------
+// "Graph composition messages are sent to the nodes that will participate
+// in the streaming graph, allowing them to establish the appropriate
+// connections."
+
+struct HopSpec {
+  util::TaskId task;
+  std::size_t hop_index = 0;  // 0-based position in the chain
+  util::ServiceId service;
+  media::TranscoderType type;
+  util::PeerId rm;          // where to send HopDone feedback
+  util::PeerId prev_peer;   // data comes from here
+  util::PeerId next_peer;   // send output here (the sink for the last hop)
+  bool next_is_sink = false;
+  util::ObjectId object;
+  double media_seconds = 0.0;
+  util::SimTime absolute_deadline = 0;
+  double importance = 1.0;
+};
+
+struct GraphCompose final : net::Message {
+  HopSpec hop;
+  std::size_t wire_size() const override { return 96; }
+  std::string_view type_name() const override { return "core.graph_compose"; }
+};
+
+// RM -> source peer: begin pushing the object into the chain.
+struct SourceStart final : net::Message {
+  util::TaskId task;
+  util::ObjectId object;
+  util::PeerId first_hop;  // first transcoder peer, or the sink directly
+  bool first_is_sink = false;
+  double media_seconds = 0.0;
+  media::MediaFormat format{};
+  util::SimTime absolute_deadline = 0;
+  util::PeerId rm;
+  std::size_t wire_size() const override { return 72; }
+  std::string_view type_name() const override { return "core.source_start"; }
+};
+
+// The media payload moving between pipeline stages. wire_size is the real
+// stream size, so transmission time models the data plane.
+struct StreamData final : net::Message {
+  util::TaskId task;
+  std::size_t dest_hop_index = 0;  // meaningless when for_sink
+  bool for_sink = false;
+  util::ObjectId object;
+  media::MediaFormat format{};
+  double media_seconds = 0.0;
+  util::SimTime pipeline_started_at = 0;
+  util::SimTime sent_at = 0;
+
+  [[nodiscard]] std::size_t payload_bytes() const {
+    return static_cast<std::size_t>(static_cast<double>(format.bitrate_kbps) *
+                                    1000.0 / 8.0 * media_seconds);
+  }
+  std::size_t wire_size() const override { return 64 + payload_bytes(); }
+  std::string_view type_name() const override { return "core.stream_data"; }
+};
+
+// ---- execution feedback (§4.4 intra-domain propagation) ---------------------------
+
+// Hop peer -> RM when its transcode job finished.
+struct HopDone final : net::Message {
+  util::TaskId task;
+  std::size_t hop_index = 0;
+  util::SimDuration execution_time = 0;  // measured by the local profiler
+  bool missed_local_deadline = false;
+  std::size_t wire_size() const override { return 40; }
+  std::string_view type_name() const override { return "core.hop_done"; }
+};
+
+// Sink (the requesting peer) -> RM on delivery.
+struct TaskCompleted final : net::Message {
+  util::TaskId task;
+  util::SimTime completed_at = 0;
+  bool missed_deadline = false;
+  std::size_t wire_size() const override { return 32; }
+  std::string_view type_name() const override { return "core.task_completed"; }
+};
+
+// RM -> origin peer: the task is unrecoverable.
+struct TaskFailedMsg final : net::Message {
+  util::TaskId task;
+  std::string reason;
+  std::size_t wire_size() const override { return 24 + reason.size(); }
+  std::string_view type_name() const override { return "core.task_failed"; }
+};
+
+// Hop peer -> RM: this hop cannot complete (e.g. its job was dropped as
+// hopeless); the RM decides whether to re-plan or fail the task.
+struct HopFailed final : net::Message {
+  util::TaskId task;
+  std::size_t hop_index = 0;
+  std::string reason;
+  std::size_t wire_size() const override { return 32 + reason.size(); }
+  std::string_view type_name() const override { return "core.hop_failed"; }
+};
+
+// Peer -> RM, periodic (§4.4 intra-domain propagation). Carries the load
+// sample plus the profiler's measured mean execution time per service type
+// ("monitoring the computation and communication times of the applications
+// as they execute", §2) so the RM's estimates improve over time.
+struct ProfilerReport final : net::Message {
+  profile::LoadSample sample{};
+  bool eligible_rm = false;
+  double rm_score = 0.0;
+  std::size_t active_hops = 0;
+  // (TranscoderType::type_key, mean measured execution seconds).
+  std::vector<std::pair<std::uint64_t, double>> measured_exec_s;
+  std::size_t wire_size() const override {
+    return 80 + measured_exec_s.size() * 16;
+  }
+  std::string_view type_name() const override { return "core.profiler_report"; }
+};
+
+// ---- adaptation (§4.5) -----------------------------------------------------------
+
+// RM -> hop peer: abandon this hop (task reassigned or failed).
+struct HopCancel final : net::Message {
+  util::TaskId task;
+  std::size_t hop_index = 0;
+  std::size_t wire_size() const override { return 24; }
+  std::string_view type_name() const override { return "core.hop_cancel"; }
+};
+
+// Origin peer -> RM: dynamic QoS renegotiation ("Users may change QoS
+// requirements dynamically. Specifically, they may reduce the requested
+// bit-rate or relax their deadlines to cope with congested networks, or
+// increase the QoS parameters if they assume resources are abundant.")
+struct TaskQosUpdate final : net::Message {
+  util::TaskId task;
+  // New deadline, still relative to the original submission time.
+  util::SimDuration new_deadline = 0;
+  // Optionally replace the acceptable target formats (empty = keep).
+  std::vector<media::MediaFormat> new_acceptable_formats;
+  std::size_t wire_size() const override {
+    return 32 + new_acceptable_formats.size() * 12;
+  }
+  std::string_view type_name() const override { return "core.task_qos_update"; }
+};
+
+}  // namespace p2prm::core

@@ -1,0 +1,187 @@
+// A peer in the overlay: the actor that joins a domain, runs the local
+// Connection Manager / Profiler / Scheduler (§2), executes service-graph
+// hops, and — when selected — hosts the domain's Resource Manager.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/messages.hpp"
+#include "core/resource_manager.hpp"
+#include "overlay/connection_manager.hpp"
+#include "overlay/membership.hpp"
+#include "overlay/peer.hpp"
+#include "profile/profiler.hpp"
+#include "sched/processor.hpp"
+
+namespace p2prm::core {
+
+class System;
+
+struct PeerInventory {
+  std::vector<media::MediaObject> objects;
+  std::vector<ServiceOffering> services;
+};
+
+struct PeerStats {
+  std::uint64_t hops_executed = 0;
+  std::uint64_t hops_cancelled = 0;
+  std::uint64_t streams_forwarded = 0;
+  std::uint64_t rejoin_attempts = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+class PeerNode {
+ public:
+  PeerNode(System& system, overlay::PeerSpec spec, PeerInventory inventory);
+  ~PeerNode();
+
+  PeerNode(const PeerNode&) = delete;
+  PeerNode& operator=(const PeerNode&) = delete;
+
+  // --- lifecycle ----------------------------------------------------------
+  // Joins through `contact` (any alive peer); with no contact the peer
+  // founds the first domain and becomes its RM.
+  void start(std::optional<util::PeerId> contact);
+  // Graceful departure: notify the RM, cancel local work.
+  void leave();
+  // Abrupt failure: everything local stops silently.
+  void crash();
+  [[nodiscard]] bool alive() const { return alive_; }
+  [[nodiscard]] bool joined() const { return joined_; }
+
+  // --- identity / roles ------------------------------------------------------
+  [[nodiscard]] const overlay::PeerSpec& spec() const { return spec_; }
+  [[nodiscard]] util::PeerId id() const { return spec_.id; }
+  [[nodiscard]] overlay::PeerRole role() const {
+    return rm_ ? overlay::PeerRole::ResourceManager : overlay::PeerRole::Regular;
+  }
+  [[nodiscard]] util::DomainId domain() const { return domain_; }
+  [[nodiscard]] util::PeerId current_rm() const { return my_rm_; }
+  [[nodiscard]] ResourceManager* resource_manager() { return rm_.get(); }
+  [[nodiscard]] const ResourceManager* resource_manager() const {
+    return rm_.get();
+  }
+
+  // --- user API ----------------------------------------------------------------
+  // Submits a query from the user at this peer to its RM (Fig. 2 step A).
+  void submit_request(util::TaskId task, QoSRequirements q);
+  // §4.5 dynamic QoS change: send the RM a new (relaxed or tightened)
+  // deadline for a task this user submitted.
+  void request_qos_update(util::TaskId task, util::SimDuration new_deadline);
+
+  // --- components -----------------------------------------------------------------
+  [[nodiscard]] sched::Processor& processor() { return *processor_; }
+  [[nodiscard]] profile::Profiler& profiler() { return profiler_; }
+  [[nodiscard]] overlay::ConnectionManager& connections() { return conns_; }
+  [[nodiscard]] const PeerInventory& inventory() const { return inventory_; }
+  [[nodiscard]] const PeerStats& peer_stats() const { return stats_; }
+  [[nodiscard]] std::size_t active_sessions() const { return sessions_.size(); }
+  // The profiler report period currently in force (RM-announced under
+  // adaptive feedback, else the configured default).
+  [[nodiscard]] util::SimDuration current_report_period() const;
+  [[nodiscard]] std::size_t buffered_early_data() const {
+    return early_data_.size();
+  }
+
+  // --- plumbing used by ResourceManager and System ------------------------------
+  void handle_message(util::PeerId from, const net::Message& message);
+  void send(util::PeerId to, net::MessagePtr message);
+  [[nodiscard]] System& system() { return system_; }
+  // Promotion entry point (first node, JoinPromote, backup takeover).
+  void become_rm(util::DomainId domain, std::vector<overlay::RmInfo> known_rms,
+                 std::uint64_t epoch,
+                 std::optional<InfoBaseSnapshot> restored);
+  // Step down with no known successor and rejoin through the overlay (an
+  // RM that lost every member to failure detection is almost certainly the
+  // partitioned one). Invoked by the hosted ResourceManager via a deferred
+  // event.
+  void demote_and_rejoin();
+
+ private:
+  struct HopSession {
+    HopSpec spec;
+    bool job_submitted = false;
+    util::JobId job;
+    util::SimTime data_arrived_at = 0;
+    util::SimTime pipeline_started_at = 0;
+    // Distinguishes re-compositions of the same (task, hop) so expiry
+    // events for a superseded session cannot reap its successor.
+    std::uint64_t token = 0;
+  };
+  using SessionKey = std::pair<util::TaskId, std::size_t>;
+
+  // --- membership client side ---------------------------------------------------
+  void on_join_redirect(const overlay::JoinRedirect& m);
+  void on_join_accept(util::PeerId from, const overlay::JoinAccept& m);
+  void on_join_promote(const overlay::JoinPromote& m);
+  void on_rm_heartbeat(util::PeerId from, const overlay::RmHeartbeat& m);
+  void on_rm_takeover(util::PeerId from, const overlay::RmTakeover& m);
+  // Step down as RM in favour of a higher-epoch successor (split-brain
+  // resolution after a partition heals).
+  void abdicate(util::PeerId new_rm, std::uint64_t new_epoch);
+  void on_backup_sync(const BackupSync& m, util::PeerId from);
+  void announce_to_rm();
+  void membership_check_tick();
+  void rejoin();
+
+  // --- session execution (Fig. 2 step C) --------------------------------------------
+  void on_graph_compose(const GraphCompose& m);
+  void on_source_start(const SourceStart& m);
+  void on_stream_data(const StreamData& m);
+  void on_hop_cancel(const HopCancel& m);
+  void on_job_finished(const sched::Job& job, sched::JobStatus status);
+  void forward_hop_output(const HopSession& session);
+  void deliver_to_user(const StreamData& m);
+
+  // --- profiler reporting ----------------------------------------------------------
+  void report_tick();
+
+  void stop_local_work();
+
+  System& system_;
+  overlay::PeerSpec spec_;
+  PeerInventory inventory_;
+
+  std::unique_ptr<sched::Processor> processor_;
+  profile::Profiler profiler_;
+  overlay::ConnectionManager conns_;
+  std::unique_ptr<ResourceManager> rm_;
+
+  bool alive_ = false;
+  bool joined_ = false;
+  util::DomainId domain_;
+  util::PeerId my_rm_;
+  std::uint64_t epoch_ = 0;
+  util::SimTime last_rm_heartbeat_ = 0;
+  util::PeerId designated_backup_;
+  std::optional<InfoBaseSnapshot> backup_copy_;
+  std::vector<overlay::RmInfo> backup_known_rms_;
+
+  std::map<SessionKey, HopSession> sessions_;
+  std::map<util::JobId, SessionKey> job_index_;
+  // StreamData that arrived before its GraphCompose (reordering guard),
+  // stamped with a token for expiry.
+  std::map<SessionKey, std::pair<StreamData, std::uint64_t>> early_data_;
+  std::uint64_t session_tokens_ = 0;
+  void close_session_connections(const HopSession& session);
+
+  sim::Timer report_timer_;
+  util::SimDuration report_period_ = 0;  // current (possibly RM-announced)
+  sim::Timer membership_timer_;
+  PeerStats stats_;
+  // Join progress: redirect hops this attempt; retries scheduled with
+  // backoff when an attempt dead-ends (rejection or a redirect loop).
+  int redirect_hops_ = 0;
+  int join_attempts_ = 0;
+  int join_watchdog_token_ = 0;
+  void schedule_join_retry();
+  // Arms a timeout for the join request just sent: a lost request (drop,
+  // partition, dead contact) must not leave the peer detached forever.
+  void arm_join_watchdog();
+};
+
+}  // namespace p2prm::core

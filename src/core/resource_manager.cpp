@@ -1,0 +1,783 @@
+#include "core/resource_manager.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/peer_node.hpp"
+#include "core/system.hpp"
+#include "util/logging.hpp"
+
+namespace p2prm::core {
+
+namespace {
+constexpr const char* kLog = "rm";
+
+[[nodiscard]] double hop_ops_rate(const graph::ServiceHop& hop,
+                                  const media::CostModelConfig& cost) {
+  return media::transcode_ops_per_media_second(hop.type, cost);
+}
+}  // namespace
+
+ResourceManager::ResourceManager(PeerNode& host, util::DomainId domain,
+                                 std::vector<overlay::RmInfo> known_rms,
+                                 std::optional<InfoBaseSnapshot> restored,
+                                 std::uint64_t epoch)
+    : host_(host),
+      info_(domain, host.id()),
+      allocator_(make_allocator(host.system().config().allocator)),
+      overload_(host.system().config().overload_utilization,
+                host.system().config().overload_consecutive_reports),
+      known_rms_(std::move(known_rms)),
+      rng_(host.system().simulator().rng().fork()) {
+  auto& system = host_.system();
+  if (restored) {
+    info_.restore(*restored);
+    info_.domain().set_resource_manager(host_.id());
+    info_.domain().set_epoch(epoch);
+    info_.bump_summary_version();
+  } else {
+    info_.domain().set_epoch(epoch);
+    // The RM is itself a processor of the domain.
+    info_.add_member(host_.spec(), system.simulator().now());
+    PeerAnnounce self;
+    self.spec = host_.spec();
+    self.objects = host_.inventory().objects;
+    self.services = host_.inventory().services;
+    info_.add_inventory(self);
+  }
+  gossip_ = std::make_unique<gossip::GossipEngine>(
+      system.simulator(), system.network(), host_.id(),
+      system.config().gossip, [this] { return rm_peer_ids(); });
+  gossip_->set_on_change([this](std::size_t) {
+    // Learn new RMs (new domains, failovers) from incoming summaries.
+    for (const auto& s : gossip_->known()) {
+      add_known_rm(overlay::RmInfo{s.domain, s.resource_manager});
+    }
+  });
+}
+
+ResourceManager::~ResourceManager() { stop(); }
+
+void ResourceManager::start() {
+  if (started_) return;
+  started_ = true;
+  auto& sim = host_.system().simulator();
+  const auto& config = host_.system().config();
+  heartbeat_timer_ = sim.every(config.heartbeat_period, [this] {
+    heartbeat_tick();
+  });
+  if (config.enable_backup_rm) {
+    backup_sync_timer_ = sim.every(config.backup_sync_period, [this] {
+      backup_sync_tick();
+    });
+  }
+  adaptation_timer_ = sim.every(config.adaptation_period, [this] {
+    adaptation_tick();
+  });
+  publish_summary();
+  gossip_->start();
+}
+
+void ResourceManager::stop() {
+  heartbeat_timer_.cancel();
+  backup_sync_timer_.cancel();
+  adaptation_timer_.cancel();
+  if (gossip_) gossip_->stop();
+  started_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+
+bool ResourceManager::handle(util::PeerId from, const net::Message& message) {
+  if (const auto* m = net::message_cast<overlay::JoinRequest>(message)) {
+    on_join_request(from, *m);
+    return true;
+  }
+  if (net::message_cast<overlay::LeaveNotice>(message) != nullptr) {
+    on_leave(from);
+    return true;
+  }
+  if (const auto* m = net::message_cast<PeerAnnounce>(message)) {
+    on_peer_announce(*m);
+    return true;
+  }
+  if (const auto* m = net::message_cast<ProfilerReport>(message)) {
+    on_profiler_report(from, *m);
+    return true;
+  }
+  if (const auto* m = net::message_cast<TaskQuery>(message)) {
+    on_task_query(*m);
+    return true;
+  }
+  if (const auto* m = net::message_cast<HopDone>(message)) {
+    on_hop_done(from, *m);
+    return true;
+  }
+  if (const auto* m = net::message_cast<TaskCompleted>(message)) {
+    on_task_completed(*m);
+    return true;
+  }
+  if (const auto* m = net::message_cast<HopFailed>(message)) {
+    if (auto* task = info_.task(m->task)) fail_task(*task, m->reason);
+    return true;
+  }
+  if (const auto* m = net::message_cast<TaskQosUpdate>(message)) {
+    on_qos_update(*m);
+    return true;
+  }
+  if (const auto* m = net::message_cast<overlay::RmPeerIntro>(message)) {
+    on_rm_intro(*m);
+    return true;
+  }
+  if (const auto* m = net::message_cast<gossip::GossipMessage>(message)) {
+    gossip_->handle_message(from, *m);
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Membership (RM side)
+
+void ResourceManager::on_join_request(util::PeerId from,
+                                      const overlay::JoinRequest& m) {
+  auto& system = host_.system();
+  const auto& config = system.config();
+  overlay::JoinDecisionInput input;
+  input.domain_size = info_.domain().size();
+  input.max_domain_size = config.max_domain_size;
+  input.newcomer_qualifies = overlay::qualifies_for_rm(
+      m.spec, system.simulator().now(), config.qualification);
+  input.other_rms_known = !known_rms_.empty();
+
+  // Prefer steering the joiner to a domain with spare slots (known from
+  // gossip summaries) over founding yet another domain. Among underfull
+  // domains pick the one whose RM is closest to the joiner — the paper's
+  // domains are *geographical* ("grouped into domains according to their
+  // topological proximity", §2); we stand in for an RTT probe with the
+  // network's delay estimate.
+  util::PeerId underfull_rm = util::PeerId::invalid();
+  util::SimDuration best_proximity = util::kTimeInfinity;
+  for (const auto& s : gossip_->known()) {
+    if (s.domain == info_.domain().id()) continue;
+    if (s.peer_count < config.max_domain_size &&
+        s.resource_manager.valid() && s.resource_manager != host_.id()) {
+      const auto rtt =
+          system.network().estimate_delay(from, s.resource_manager, 64);
+      if (rtt < best_proximity) {
+        underfull_rm = s.resource_manager;
+        best_proximity = rtt;
+      }
+    }
+  }
+  if (!underfull_rm.valid()) {
+    // A known RM we have no summary for yet is a freshly founded domain:
+    // it is almost certainly underfull (gossip simply has not caught up).
+    for (const auto& rm_info : known_rms_) {
+      if (rm_info.rm == host_.id()) continue;
+      if (gossip_->summary_of(rm_info.domain) == nullptr) {
+        underfull_rm = rm_info.rm;
+        break;
+      }
+    }
+  }
+  input.underfull_domain_known = underfull_rm.valid();
+
+  switch (overlay::decide_join(input)) {
+    case overlay::JoinOutcome::Accept: {
+      info_.add_member(m.spec, system.simulator().now());
+      auto accept = std::make_unique<overlay::JoinAccept>();
+      accept->domain = info_.domain().id();
+      accept->rm = host_.id();
+      accept->epoch = info_.domain().epoch();
+      host_.send(from, std::move(accept));
+      ++stats_.joins_accepted;
+      break;
+    }
+    case overlay::JoinOutcome::Promote: {
+      const util::DomainId new_domain = system.next_domain_id();
+      auto promote = std::make_unique<overlay::JoinPromote>();
+      promote->new_domain = new_domain;
+      promote->known_rms = known_rms_;
+      promote->known_rms.push_back(
+          overlay::RmInfo{info_.domain().id(), host_.id()});
+      host_.send(from, std::move(promote));
+      add_known_rm(overlay::RmInfo{new_domain, from});
+      ++stats_.joins_promoted;
+      break;
+    }
+    case overlay::JoinOutcome::Redirect: {
+      auto redirect = std::make_unique<overlay::JoinRedirect>();
+      redirect->target_rm = underfull_rm.valid()
+                                ? underfull_rm
+                                : known_rms_[rng_.below(known_rms_.size())].rm;
+      host_.send(from, std::move(redirect));
+      ++stats_.joins_redirected;
+      break;
+    }
+    case overlay::JoinOutcome::Reject: {
+      auto redirect = std::make_unique<overlay::JoinRedirect>();
+      redirect->target_rm = util::PeerId::invalid();
+      host_.send(from, std::move(redirect));
+      break;
+    }
+  }
+}
+
+void ResourceManager::on_leave(util::PeerId from) {
+  host_.system().trace(TraceKind::PeerLeft, from, util::TaskId::invalid(),
+                       info_.domain().id());
+  handle_member_failure(from);
+}
+
+void ResourceManager::on_peer_announce(const PeerAnnounce& m) {
+  if (!info_.domain().has_member(m.spec.id)) {
+    // Announce can race ahead of our accept bookkeeping after a takeover.
+    info_.add_member(m.spec, host_.system().simulator().now());
+  }
+  info_.add_inventory(m);
+  publish_summary();
+}
+
+void ResourceManager::on_profiler_report(util::PeerId from,
+                                         const ProfilerReport& m) {
+  const auto& config = host_.system().config();
+  info_.record_report(from, m, host_.system().simulator().now());
+  // "Overloaded" needs both a hot CPU and work piling up behind it — a
+  // saturated processor with an empty queue is just a transcode in flight.
+  const bool hot_cpu =
+      m.sample.smoothed_utilization >= config.overload_utilization &&
+      (m.sample.queue_length >= config.overload_min_queue ||
+       m.sample.backlog_seconds > config.overload_backlog_seconds);
+  // §4.5 names "processor or network load": a saturated uplink also counts.
+  bool hot_net = false;
+  if (const auto* rec = info_.domain().member(from)) {
+    const double link = rec->spec.bandwidth_bytes_per_s();
+    hot_net = link > 0.0 && m.sample.smoothed_bandwidth >=
+                                config.overload_bandwidth_fraction * link;
+  }
+  overload_.record(from, (hot_cpu || hot_net) ? 1.0 : 0.0);
+}
+
+void ResourceManager::on_rm_intro(const overlay::RmPeerIntro& m) {
+  for (const auto& info : m.rms) add_known_rm(info);
+}
+
+// ---------------------------------------------------------------------------
+// Task admission and allocation (§4.3, §4.5)
+
+void ResourceManager::on_task_query(const TaskQuery& m) {
+  ++stats_.queries_received;
+  if (m.redirect_count > 0) ++stats_.queries_redirected_in;
+  admit_or_redirect(m);
+}
+
+void ResourceManager::admit_or_redirect(const TaskQuery& query) {
+  const auto& config = host_.system().config();
+  const auto decision = check_admission(info_, config, query.q.importance);
+  if (!decision.admit) {
+    redirect_query(query, decision.reason);
+    return;
+  }
+  if (try_allocate_and_compose(query)) return;
+  // Allocation failed; failure counters were updated there. Redirect if the
+  // object or capacity may exist elsewhere.
+  redirect_query(query, "allocation-failed");
+}
+
+bool ResourceManager::try_allocate_and_compose(const TaskQuery& query) {
+  auto& system = host_.system();
+  AllocationRequest request;
+  request.task = query.task;
+  request.q = query.q;
+  request.sink = query.origin;
+  request.now = system.simulator().now();
+  request.submitted_at = query.submitted_at;
+
+  const AllocationResult result = allocator_->allocate(
+      info_, system.network(), system.config(), request, rng_);
+  if (!result.found) {
+    if (result.failure_reason == "no-object") ++stats_.allocation_no_object;
+    else if (result.failure_reason == "no-path") ++stats_.allocation_no_path;
+    else ++stats_.allocation_deadline;
+    return false;
+  }
+
+  ActiveTask task;
+  task.sg = result.sg;
+  task.sg.state = graph::TaskState::Running;
+  task.sg.composed_at = system.simulator().now();
+  task.q = query.q;
+  task.origin = query.origin;
+  task.submitted_at = query.submitted_at;
+  task.absolute_deadline = query.submitted_at + query.q.deadline;
+  task.hop_done.assign(task.sg.hop_count(), false);
+  ActiveTask& stored = info_.add_task(std::move(task));
+
+  compose(stored, result.load_deltas);
+  ++stats_.tasks_admitted;
+  host_.system().trace(TraceKind::TaskAdmitted, host_.id(), query.task,
+                       info_.domain().id(),
+                       util::format("%zu hops, fairness %.3f",
+                                    stored.sg.hop_count(),
+                                    result.fairness_after));
+  stats_.allocation_fairness.add(result.fairness_after);
+  stats_.candidates_per_allocation.add(
+      static_cast<double>(result.candidates_considered));
+
+  auto accept = std::make_unique<TaskAccept>();
+  accept->task = query.task;
+  accept->serving_rm = host_.id();
+  accept->estimated_execution = result.estimated_execution;
+  host_.send(query.origin, std::move(accept));
+  return true;
+}
+
+void ResourceManager::compose(
+    ActiveTask& task,
+    const std::vector<std::pair<util::PeerId, double>>& deltas) {
+  auto& system = host_.system();
+  auto& gr = info_.resource_graph();
+  const auto& cost = system.config().cost_model;
+
+  for (const auto& [peer, rate] : deltas) {
+    info_.commit_load(peer, rate, system.simulator().now());
+  }
+
+  const auto& hops = task.sg.hops();
+  // Locate the object's duration for the stream messages.
+  double media_seconds = 0.0;
+  if (const auto* locs = info_.locations(task.sg.object())) {
+    for (const auto& loc : *locs) {
+      if (loc.peer == task.sg.source_peer()) {
+        media_seconds = loc.object.duration_s;
+        break;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    const auto& hop = hops[i];
+    if (gr.has_service(hop.service)) {
+      gr.set_service_load(hop.service,
+                          gr.service(hop.service).load + hop_ops_rate(hop, cost));
+    }
+    auto msg = std::make_unique<GraphCompose>();
+    msg->hop.task = task.sg.task();
+    msg->hop.hop_index = i;
+    msg->hop.service = hop.service;
+    msg->hop.type = hop.type;
+    msg->hop.rm = host_.id();
+    msg->hop.prev_peer = i == 0 ? task.sg.source_peer() : hops[i - 1].peer;
+    msg->hop.next_peer =
+        i + 1 < hops.size() ? hops[i + 1].peer : task.sg.sink_peer();
+    msg->hop.next_is_sink = i + 1 == hops.size();
+    msg->hop.object = task.sg.object();
+    msg->hop.media_seconds = media_seconds;
+    msg->hop.absolute_deadline = task.absolute_deadline;
+    msg->hop.importance = task.q.importance;
+    host_.send(hop.peer, std::move(msg));
+  }
+
+  auto start = std::make_unique<SourceStart>();
+  start->task = task.sg.task();
+  start->object = task.sg.object();
+  start->first_hop = hops.empty() ? task.sg.sink_peer() : hops.front().peer;
+  start->first_is_sink = hops.empty();
+  start->media_seconds = media_seconds;
+  start->format = task.sg.source_format();
+  start->absolute_deadline = task.absolute_deadline;
+  start->rm = host_.id();
+  host_.send(task.sg.source_peer(), std::move(start));
+}
+
+void ResourceManager::redirect_query(const TaskQuery& query,
+                                     const std::string& reason) {
+  const auto& config = host_.system().config();
+  if (!config.redirect_across_domains ||
+      query.redirect_count >= config.max_redirects || known_rms_.empty()) {
+    reject_task(query, reason);
+    return;
+  }
+  // "To maximize the probability that the task will be admitted, the
+  // summaries of the available objects and services in other domains are
+  // utilized to direct the query to the appropriate domain." (§4.5)
+  util::PeerId target = util::PeerId::invalid();
+  const auto candidates =
+      gossip_->domains_with_object(query.q.object, info_.domain().id());
+  for (const auto* s : candidates) {
+    if (s->resource_manager != host_.id()) {
+      target = s->resource_manager;
+      break;
+    }
+  }
+  if (!target.valid()) {
+    // No summary hit: fall back to the least-utilized known domain.
+    const gossip::DomainSummary* best = nullptr;
+    for (const auto& s : gossip_->known()) {
+      if (s.domain == info_.domain().id()) continue;
+      if (best == nullptr || s.utilization() < best->utilization()) best = &s;
+    }
+    if (best != nullptr) {
+      target = best->resource_manager;
+    } else {
+      target = known_rms_[rng_.below(known_rms_.size())].rm;
+    }
+  }
+  if (!target.valid() || target == host_.id()) {
+    reject_task(query, reason);
+    return;
+  }
+  auto fwd = std::make_unique<TaskQuery>(query);
+  fwd->redirect_count = query.redirect_count + 1;
+  host_.send(target, std::move(fwd));
+  ++stats_.redirects_out;
+  host_.system().trace(TraceKind::TaskRedirected, host_.id(), query.task,
+                       info_.domain().id(),
+                       "to RM " + util::to_string(target) + " (" + reason +
+                           ")");
+}
+
+void ResourceManager::reject_task(const TaskQuery& query,
+                                  const std::string& reason) {
+  auto reject = std::make_unique<TaskReject>();
+  reject->task = query.task;
+  reject->reason = reason;
+  host_.send(query.origin, std::move(reject));
+  ++stats_.tasks_rejected;
+}
+
+// ---------------------------------------------------------------------------
+// Execution feedback
+
+void ResourceManager::on_hop_done(util::PeerId from, const HopDone& m) {
+  auto* task = info_.task(m.task);
+  if (task == nullptr) return;
+  if (m.hop_index >= task->hop_done.size()) return;
+  if (task->hop_done[m.hop_index]) return;
+  task->hop_done[m.hop_index] = true;
+
+  const auto& hop = task->sg.hops()[m.hop_index];
+  const auto& cost = host_.system().config().cost_model;
+  const double rate = hop_ops_rate(hop, cost);
+  info_.release_load(from, rate);
+  auto& gr = info_.resource_graph();
+  if (gr.has_service(hop.service)) {
+    gr.set_service_load(hop.service,
+                        std::max(0.0, gr.service(hop.service).load - rate));
+  }
+}
+
+void ResourceManager::on_task_completed(const TaskCompleted& m) {
+  auto* task = info_.task(m.task);
+  if (task == nullptr) return;
+  // Release anything HopDone messages have not released yet.
+  release_task_loads(*task);
+  ++stats_.tasks_completed;
+  if (m.missed_deadline) ++stats_.tasks_missed;
+  info_.remove_task(m.task);
+}
+
+void ResourceManager::on_qos_update(const TaskQosUpdate& m) {
+  auto* task = info_.task(m.task);
+  if (task == nullptr) return;
+  ++stats_.qos_updates;
+  const util::SimTime old_deadline = task->absolute_deadline;
+  task->q.deadline = m.new_deadline;
+  task->absolute_deadline = task->submitted_at + m.new_deadline;
+  if (!m.new_acceptable_formats.empty()) {
+    task->q.acceptable_formats = m.new_acceptable_formats;
+  }
+  // Relaxations need no action — the running pipeline only gets easier.
+  // A tightened deadline (or new formats) may invalidate the current
+  // assignment: attempt a re-plan, keeping the old one when no feasible
+  // alternative exists (it may still finish in time).
+  const bool tightened = task->absolute_deadline < old_deadline;
+  if (tightened || !m.new_acceptable_formats.empty()) {
+    if (recover_task(m.task, "qos-update", /*keep_if_infeasible=*/true)) {
+      ++stats_.qos_replans;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptation (§4.5)
+
+void ResourceManager::adaptation_tick() {
+  auto& system = host_.system();
+  const auto& config = system.config();
+  info_.purge_commitments(system.simulator().now());
+
+  // 1. Failure detection: members whose profiler reports stopped.
+  const auto stale = info_.domain().stale_members(
+      system.simulator().now(), config.member_failure_timeout);
+  for (const auto peer : stale) {
+    P2PRM_LOG(Info, kLog, system.simulator().now_seconds())
+        << "RM " << host_.id() << " detected failure of member " << peer;
+    handle_member_failure(peer);
+  }
+  // Losing *every* member to failure detection means the fault is almost
+  // certainly on our side of a partition (the members elected a backup and
+  // moved on). Step down and rejoin — deferred to a fresh event because
+  // demotion destroys this object.
+  if (!stale.empty() && info_.domain().size() <= 1) {
+    PeerNode* host = &host_;
+    const util::DomainId d = info_.domain().id();
+    system.simulator().schedule_after(1, [host, d] {
+      auto* rm = host->resource_manager();
+      if (host->alive() && rm != nullptr && rm->domain_id() == d &&
+          rm->info().domain().size() <= 1) {
+        host->demote_and_rejoin();
+      }
+    });
+    return;
+  }
+
+  // 2. Garbage-collect tasks whose terminal reports were lost (sink died,
+  //    RM failover raced the completion message): long past the deadline
+  //    they only pin load commitments.
+  std::vector<util::TaskId> expired;
+  for (const auto id : info_.running_task_ids()) {
+    const auto* task = info_.task(id);
+    if (task != nullptr &&
+        system.simulator().now() >
+            task->absolute_deadline + config.task_gc_grace) {
+      expired.push_back(id);
+    }
+  }
+  for (const auto id : expired) {
+    auto* task = info_.task(id);
+    cancel_task_hops(*task, /*notify_peers=*/true);
+    release_task_loads(*task);
+    info_.remove_task(id);
+    ++stats_.tasks_expired;
+  }
+
+  // 3. Overload reassignment: "some of the currently running application
+  //    tasks might be reassigned."
+  if (!config.enable_reassignment) return;
+  if (domain_overloaded(info_, config)) return;  // nowhere better inside
+
+  std::vector<util::PeerId> hot;
+  for (const auto peer : info_.domain().member_ids()) {
+    if (overload_.overloaded(peer)) hot.push_back(peer);
+  }
+  if (hot.empty()) return;
+
+  int budget = 2;  // bounded work per tick
+  for (const auto peer : hot) {
+    if (budget <= 0) break;
+    for (const auto task_id : info_.tasks_involving(peer)) {
+      if (budget <= 0) break;
+      const auto* task = info_.task(task_id);
+      if (task == nullptr || task->sg.state != graph::TaskState::Running) {
+        continue;
+      }
+      if (task->recompositions >= config.max_reassignments_per_task) continue;
+      if (task->sg.composed_at >= 0 &&
+          system.simulator().now() - task->sg.composed_at <
+              config.reassignment_cooldown) {
+        continue;  // give the current composition a chance to run
+      }
+      // Only tasks whose hot hops have not finished benefit from moving.
+      bool worth_moving = false;
+      for (std::size_t i = 0; i < task->sg.hop_count(); ++i) {
+        if (!task->hop_done[i] && task->sg.hops()[i].peer == peer) {
+          worth_moving = true;
+          break;
+        }
+      }
+      if (!worth_moving) continue;
+      if (recover_task(task_id, "reassignment", /*keep_if_infeasible=*/true)) {
+        ++stats_.reassignments;
+        --budget;
+      }
+    }
+  }
+}
+
+void ResourceManager::handle_member_failure(util::PeerId peer) {
+  ++stats_.member_failures;
+  host_.system().trace(TraceKind::PeerFailed, peer, util::TaskId::invalid(),
+                       info_.domain().id());
+  overload_.forget(peer);
+  const auto affected = info_.remove_peer(peer);
+  publish_summary();
+  for (const auto task_id : affected) {
+    auto* task = info_.task(task_id);
+    if (task == nullptr) continue;
+    if (task->origin == peer || task->sg.sink_peer() == peer) {
+      // Nobody left to deliver to; drop quietly.
+      cancel_task_hops(*task, /*notify_peers=*/true);
+      release_task_loads(*task);
+      info_.remove_task(task_id);
+      continue;
+    }
+    if (!recover_task(task_id, "member-failure")) {
+      // recover_task already failed the task.
+    }
+  }
+}
+
+bool ResourceManager::recover_task(util::TaskId task_id, const char* cause,
+                                   bool keep_if_infeasible) {
+  auto& system = host_.system();
+  auto* task = info_.task(task_id);
+  if (task == nullptr) return false;
+  ++stats_.recoveries_attempted;
+
+  if (!keep_if_infeasible) {
+    // The old assignment is already broken (a participant died): tear it
+    // down before re-planning.
+    cancel_task_hops(*task, /*notify_peers=*/true);
+    release_task_loads(*task);
+  }
+
+  AllocationRequest request;
+  request.task = task_id;
+  request.q = task->q;
+  request.sink = task->sg.sink_peer();
+  request.now = system.simulator().now();
+  request.submitted_at = task->submitted_at;
+
+  const AllocationResult result = allocator_->allocate(
+      info_, system.network(), system.config(), request, rng_);
+  if (!result.found) {
+    if (keep_if_infeasible) return false;  // old assignment stays in force
+    fail_task(*task, std::string("unrecoverable-") + cause);
+    return false;
+  }
+  if (keep_if_infeasible) {
+    // Commit to the move only now that a feasible alternative exists.
+    cancel_task_hops(*task, /*notify_peers=*/true);
+    release_task_loads(*task);
+  }
+  const int recompositions = task->recompositions + 1;
+  task->sg = result.sg;
+  task->sg.state = graph::TaskState::Running;
+  task->sg.composed_at = system.simulator().now();
+  task->recompositions = recompositions;
+  task->hop_done.assign(task->sg.hop_count(), false);
+  compose(*task, result.load_deltas);
+  ++stats_.recoveries_succeeded;
+  host_.system().trace(TraceKind::TaskRecovered, host_.id(), task_id,
+                       info_.domain().id(), cause);
+  P2PRM_LOG(Debug, kLog, system.simulator().now_seconds())
+      << "RM " << host_.id() << " recomposed task " << task_id << " ("
+      << cause << ")";
+  return true;
+}
+
+void ResourceManager::cancel_task_hops(ActiveTask& task, bool notify_peers) {
+  if (!notify_peers) return;
+  const auto& hops = task.sg.hops();
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    if (task.hop_done[i]) continue;
+    auto cancel = std::make_unique<HopCancel>();
+    cancel->task = task.sg.task();
+    cancel->hop_index = i;
+    host_.send(hops[i].peer, std::move(cancel));
+  }
+}
+
+void ResourceManager::release_task_loads(ActiveTask& task) {
+  const auto& cost = host_.system().config().cost_model;
+  auto& gr = info_.resource_graph();
+  const auto& hops = task.sg.hops();
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    if (task.hop_done[i]) continue;
+    const double rate = hop_ops_rate(hops[i], cost);
+    info_.release_load(hops[i].peer, rate);
+    if (gr.has_service(hops[i].service)) {
+      gr.set_service_load(
+          hops[i].service,
+          std::max(0.0, gr.service(hops[i].service).load - rate));
+    }
+    task.hop_done[i] = true;  // accounted; do not release twice
+  }
+}
+
+void ResourceManager::fail_task(ActiveTask& task, const std::string& reason) {
+  const util::TaskId id = task.sg.task();
+  cancel_task_hops(task, /*notify_peers=*/true);
+  release_task_loads(task);
+  auto failed = std::make_unique<TaskFailedMsg>();
+  failed->task = id;
+  failed->reason = reason;
+  host_.send(task.origin, std::move(failed));
+  ++stats_.tasks_failed;
+  info_.remove_task(id);
+}
+
+// ---------------------------------------------------------------------------
+// Periodic work
+
+void ResourceManager::heartbeat_tick() {
+  const auto& config = host_.system().config();
+  const auto backup = info_.domain().backup();
+
+  // §4.4: derive the update frequency from the application QoS — the
+  // tighter the closest running deadline, the fresher the loads must be.
+  util::SimDuration announce_period = 0;
+  if (config.adaptive_report_period) {
+    const util::SimTime now = host_.system().simulator().now();
+    util::SimDuration tightest = util::kTimeInfinity;
+    for (const auto id : info_.running_task_ids()) {
+      const auto* task = info_.task(id);
+      if (task != nullptr && task->absolute_deadline > now) {
+        tightest = std::min(tightest, task->absolute_deadline - now);
+      }
+    }
+    announce_period =
+        tightest == util::kTimeInfinity
+            ? config.report_period  // idle: relax to the default
+            : std::clamp(tightest / 10, config.report_period_min,
+                         config.report_period);
+  }
+
+  for (const auto member : info_.domain().member_ids()) {
+    if (member == host_.id()) continue;
+    auto hb = std::make_unique<overlay::RmHeartbeat>();
+    hb->domain = info_.domain().id();
+    hb->epoch = info_.domain().epoch();
+    hb->backup = backup.value_or(util::PeerId::invalid());
+    hb->report_period = announce_period;
+    host_.send(member, std::move(hb));
+  }
+}
+
+void ResourceManager::backup_sync_tick() {
+  const auto backup = info_.domain().backup();
+  if (!backup) return;
+  auto sync = std::make_unique<BackupSync>();
+  sync->snapshot = info_.snapshot();
+  sync->known_rms = known_rms_;
+  host_.send(*backup, std::move(sync));
+}
+
+void ResourceManager::publish_summary() {
+  const auto& config = host_.system().config();
+  gossip_->set_local_summary(
+      info_.build_summary(config.bloom_bits, config.bloom_hashes));
+}
+
+std::vector<util::PeerId> ResourceManager::rm_peer_ids() const {
+  std::vector<util::PeerId> out;
+  out.reserve(known_rms_.size());
+  for (const auto& info : known_rms_) out.push_back(info.rm);
+  return out;
+}
+
+void ResourceManager::add_known_rm(overlay::RmInfo info) {
+  if (info.rm == host_.id()) return;
+  for (auto& existing : known_rms_) {
+    if (existing.domain == info.domain) {
+      existing.rm = info.rm;  // failover replaced the RM
+      return;
+    }
+  }
+  known_rms_.push_back(info);
+}
+
+}  // namespace p2prm::core

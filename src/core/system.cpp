@@ -1,0 +1,277 @@
+#include "core/system.hpp"
+
+#include <algorithm>
+
+namespace p2prm::core {
+
+std::string_view task_status_name(TaskStatus s) {
+  switch (s) {
+    case TaskStatus::Pending: return "pending";
+    case TaskStatus::Completed: return "completed";
+    case TaskStatus::Rejected: return "rejected";
+    case TaskStatus::Failed: return "failed";
+    case TaskStatus::Orphaned: return "orphaned";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// TaskLedger
+
+void TaskLedger::on_submitted(const TaskRecord& record) {
+  records_[record.id] = record;
+}
+
+void TaskLedger::on_estimate(util::TaskId id, util::SimDuration estimated) {
+  const auto it = records_.find(id);
+  if (it == records_.end()) return;
+  it->second.estimated_execution = estimated;
+}
+
+void TaskLedger::on_deadline_update(util::TaskId id,
+                                    util::SimDuration new_deadline) {
+  const auto it = records_.find(id);
+  if (it == records_.end() || it->second.status != TaskStatus::Pending) return;
+  it->second.deadline = new_deadline;
+}
+
+void TaskLedger::on_completed(util::TaskId id, util::SimTime at, bool missed) {
+  const auto it = records_.find(id);
+  if (it == records_.end() || it->second.status != TaskStatus::Pending) return;
+  it->second.status = TaskStatus::Completed;
+  it->second.missed_deadline = missed;
+  it->second.finished = at;
+  ++completed_;
+  if (missed) ++missed_;
+  response_times_.add(util::to_seconds(at - it->second.submitted));
+}
+
+void TaskLedger::on_rejected(util::TaskId id, const std::string& reason) {
+  const auto it = records_.find(id);
+  if (it == records_.end() || it->second.status != TaskStatus::Pending) return;
+  it->second.status = TaskStatus::Rejected;
+  it->second.reason = reason;
+  ++rejected_;
+}
+
+void TaskLedger::on_failed(util::TaskId id, const std::string& reason) {
+  const auto it = records_.find(id);
+  if (it == records_.end() || it->second.status != TaskStatus::Pending) return;
+  it->second.status = TaskStatus::Failed;
+  it->second.reason = reason;
+  ++failed_;
+}
+
+void TaskLedger::orphan_pending(util::SimTime at) {
+  for (auto& [_, record] : records_) {
+    if (record.status == TaskStatus::Pending) {
+      record.status = TaskStatus::Orphaned;
+      record.finished = at;
+      ++orphaned_;
+    }
+  }
+}
+
+const TaskRecord* TaskLedger::record(util::TaskId id) const {
+  const auto it = records_.find(id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+std::size_t TaskLedger::pending() const {
+  return records_.size() - completed_ - rejected_ - failed_ - orphaned_;
+}
+
+double TaskLedger::on_time_ratio() const {
+  return completed_ ? static_cast<double>(completed_ - missed_) /
+                          static_cast<double>(completed_)
+                    : 0.0;
+}
+
+double TaskLedger::miss_ratio() const {
+  if (records_.empty()) return 0.0;
+  const std::size_t bad = missed_ + rejected_ + failed_ + orphaned_;
+  return static_cast<double>(bad) / static_cast<double>(records_.size());
+}
+
+double TaskLedger::goodput() const {
+  if (records_.empty()) return 0.0;
+  return static_cast<double>(completed_ - missed_) /
+         static_cast<double>(records_.size());
+}
+
+// ---------------------------------------------------------------------------
+// System
+
+System::System(SystemConfig config)
+    : config_(config),
+      sim_(config.seed),
+      topology_(config.topology),
+      placement_rng_(sim_.rng().fork()),
+      workload_rng_(sim_.rng().fork()) {
+  network_ = std::make_unique<net::Network>(sim_, topology_,
+                                            config.message_drop_probability);
+}
+
+System::~System() = default;
+
+util::PeerId System::add_peer(const overlay::PeerSpec& spec_template,
+                              PeerInventory inventory,
+                              std::optional<net::Coordinates> at,
+                              std::optional<util::PeerId> contact) {
+  overlay::PeerSpec spec = spec_template;
+  if (!spec.id.valid()) spec.id = next_peer_id();
+  // A peer's uptime history may predate joining this overlay (the caller
+  // sets online_since in the past to model long-running machines, which is
+  // what makes RM qualification attainable); never let it sit in the future.
+  if (spec.online_since > sim_.now()) spec.online_since = sim_.now();
+
+  if (at) {
+    topology_.place_at(spec.id, *at);
+  } else {
+    topology_.place(spec.id, placement_rng_);
+  }
+
+  auto node = std::make_unique<PeerNode>(*this, spec, std::move(inventory));
+  PeerNode* raw = node.get();
+  peers_[spec.id] = std::move(node);
+
+  network_->attach(spec.id, spec.link,
+                   [raw](util::PeerId from, const net::Message& m) {
+                     raw->handle_message(from, m);
+                   });
+
+  std::optional<util::PeerId> boot = contact;
+  if (!boot) boot = random_alive_peer(spec.id);
+  raw->start(boot);
+  return spec.id;
+}
+
+void System::leave_peer(util::PeerId peer) {
+  const auto it = peers_.find(peer);
+  if (it == peers_.end()) return;
+  it->second->leave();
+  network_->detach(peer);
+}
+
+void System::crash_peer(util::PeerId peer) {
+  const auto it = peers_.find(peer);
+  if (it == peers_.end()) return;
+  network_->detach(peer);  // detach first: a crash sends nothing
+  it->second->crash();
+}
+
+PeerNode* System::peer(util::PeerId id) {
+  const auto it = peers_.find(id);
+  return it == peers_.end() ? nullptr : it->second.get();
+}
+
+const PeerNode* System::peer(util::PeerId id) const {
+  const auto it = peers_.find(id);
+  return it == peers_.end() ? nullptr : it->second.get();
+}
+
+std::vector<util::PeerId> System::peer_ids() const {
+  std::vector<util::PeerId> out;
+  out.reserve(peers_.size());
+  for (const auto& [id, _] : peers_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<util::PeerId> System::alive_peer_ids() const {
+  std::vector<util::PeerId> out;
+  for (const auto& [id, node] : peers_) {
+    if (node->alive()) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<util::PeerId> System::resource_manager_ids() const {
+  std::vector<util::PeerId> out;
+  for (const auto& [id, node] : peers_) {
+    if (node->alive() && node->resource_manager() != nullptr) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<util::PeerId> System::random_alive_peer(util::PeerId exclude) {
+  std::vector<util::PeerId> candidates;
+  for (const auto& [id, node] : peers_) {
+    if (id != exclude && node->alive() && node->joined()) {
+      candidates.push_back(id);
+    }
+  }
+  if (candidates.empty()) return std::nullopt;
+  std::sort(candidates.begin(), candidates.end());
+  return candidates[placement_rng_.below(candidates.size())];
+}
+
+std::size_t System::alive_count() const {
+  std::size_t n = 0;
+  for (const auto& [_, node] : peers_) {
+    if (node->alive()) ++n;
+  }
+  return n;
+}
+
+util::TaskId System::submit_task(util::PeerId origin, QoSRequirements q) {
+  const util::TaskId id = next_task_id();
+  TaskRecord record;
+  record.id = id;
+  record.origin = origin;
+  record.submitted = sim_.now();
+  record.deadline = q.deadline;
+  ledger_.on_submitted(record);
+  trace(TraceKind::TaskSubmitted, origin, id);
+
+  PeerNode* node = peer(origin);
+  if (node == nullptr || !node->alive() || !node->joined()) {
+    ledger_.on_rejected(id, "origin-unavailable");
+    return id;
+  }
+  node->submit_request(id, std::move(q));
+  return id;
+}
+
+void System::trace(TraceKind kind, util::PeerId peer, util::TaskId task,
+                   util::DomainId domain, std::string detail) {
+  if (tracer_ == nullptr) return;
+  TraceEvent e;
+  e.at = sim_.now();
+  e.kind = kind;
+  e.peer = peer;
+  e.task = task;
+  e.domain = domain;
+  e.detail = std::move(detail);
+  tracer_->record(std::move(e));
+}
+
+bool System::update_task_deadline(util::TaskId task,
+                                  util::SimDuration new_deadline) {
+  const auto* record = ledger_.record(task);
+  if (record == nullptr || record->status != TaskStatus::Pending) return false;
+  PeerNode* origin = peer(record->origin);
+  if (origin == nullptr || !origin->alive() || !origin->joined()) return false;
+  ledger_.on_deadline_update(task, new_deadline);
+  origin->request_qos_update(task, new_deadline);
+  return true;
+}
+
+std::vector<System::DomainInfo> System::domains() const {
+  std::vector<DomainInfo> out;
+  for (const auto& [id, node] : peers_) {
+    const auto* rm = node->resource_manager();
+    if (node->alive() && rm != nullptr) {
+      out.push_back(DomainInfo{rm->info().domain().id(), id,
+                               rm->info().domain().size()});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const DomainInfo& a, const DomainInfo& b) {
+    return a.domain < b.domain;
+  });
+  return out;
+}
+
+}  // namespace p2prm::core

@@ -1,0 +1,185 @@
+// The System facade: owns the simulator, the network, every peer, and the
+// global task ledger. This is the entry point examples and experiments use.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/peer_node.hpp"
+#include "core/trace.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace p2prm::core {
+
+// Terminal status of a task as observed at its origin peer.
+enum class TaskStatus { Pending, Completed, Rejected, Failed, Orphaned };
+[[nodiscard]] std::string_view task_status_name(TaskStatus s);
+
+struct TaskRecord {
+  util::TaskId id;
+  util::PeerId origin;
+  util::SimTime submitted = 0;
+  util::SimDuration deadline = 0;
+  TaskStatus status = TaskStatus::Pending;
+  bool missed_deadline = false;
+  util::SimTime finished = -1;
+  // The RM's execution-time prediction at admission (from TaskAccept);
+  // negative when the task never got that far. Lets experiments score the
+  // estimator against the realized response time.
+  util::SimDuration estimated_execution = -1;
+  std::string reason;  // reject/fail reason
+
+  [[nodiscard]] util::SimDuration response_time() const {
+    return finished >= 0 ? finished - submitted : -1;
+  }
+};
+
+// Aggregated outcome bookkeeping for experiments.
+class TaskLedger {
+ public:
+  void on_submitted(const TaskRecord& record);
+  void on_estimate(util::TaskId id, util::SimDuration estimated);
+  // QoS renegotiation: the deadline the outcome is judged against changes.
+  void on_deadline_update(util::TaskId id, util::SimDuration new_deadline);
+  void on_completed(util::TaskId id, util::SimTime at, bool missed);
+  void on_rejected(util::TaskId id, const std::string& reason);
+  void on_failed(util::TaskId id, const std::string& reason);
+  // Marks every still-pending task as orphaned (end-of-run cleanup).
+  void orphan_pending(util::SimTime at);
+
+  [[nodiscard]] const TaskRecord* record(util::TaskId id) const;
+  [[nodiscard]] std::size_t submitted() const { return records_.size(); }
+  [[nodiscard]] std::size_t completed() const { return completed_; }
+  [[nodiscard]] std::size_t completed_on_time() const {
+    return completed_ - missed_;
+  }
+  [[nodiscard]] std::size_t missed() const { return missed_; }
+  [[nodiscard]] std::size_t rejected() const { return rejected_; }
+  [[nodiscard]] std::size_t failed() const { return failed_; }
+  [[nodiscard]] std::size_t orphaned() const { return orphaned_; }
+  [[nodiscard]] std::size_t pending() const;
+
+  // Fraction of *finished* tasks that made their deadline.
+  [[nodiscard]] double on_time_ratio() const;
+  // Fraction of submitted tasks that missed, were rejected, failed or
+  // orphaned — the paper's notion of not "meeting their deadlines".
+  [[nodiscard]] double miss_ratio() const;
+  [[nodiscard]] double goodput() const;  // on-time completions / submitted
+  [[nodiscard]] const util::Samples& response_times_s() const {
+    return response_times_;
+  }
+
+ private:
+  std::unordered_map<util::TaskId, TaskRecord> records_;
+  std::size_t completed_ = 0;
+  std::size_t missed_ = 0;
+  std::size_t rejected_ = 0;
+  std::size_t failed_ = 0;
+  std::size_t orphaned_ = 0;
+  util::Samples response_times_;
+};
+
+class System {
+ public:
+  explicit System(SystemConfig config);
+  ~System();
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  // --- population ------------------------------------------------------------
+  // Creates, places and starts a peer. With no explicit contact, an alive
+  // peer is picked at random (the "random peer who redirects it to the
+  // Resource Manager" of §4.1); the very first peer founds domain 0.
+  util::PeerId add_peer(const overlay::PeerSpec& spec_template,
+                        PeerInventory inventory,
+                        std::optional<net::Coordinates> at = std::nullopt,
+                        std::optional<util::PeerId> contact = std::nullopt);
+  void leave_peer(util::PeerId peer);   // graceful
+  void crash_peer(util::PeerId peer);   // abrupt failure
+
+  [[nodiscard]] PeerNode* peer(util::PeerId id);
+  [[nodiscard]] const PeerNode* peer(util::PeerId id) const;
+  [[nodiscard]] std::vector<util::PeerId> peer_ids() const;
+  [[nodiscard]] std::vector<util::PeerId> alive_peer_ids() const;
+  [[nodiscard]] std::vector<util::PeerId> resource_manager_ids() const;
+  [[nodiscard]] std::optional<util::PeerId> random_alive_peer(
+      util::PeerId exclude);
+  [[nodiscard]] std::size_t alive_count() const;
+
+  // --- workload entry point ------------------------------------------------------
+  // Submits a user query at `origin`; returns the task id (recorded in the
+  // ledger immediately).
+  util::TaskId submit_task(util::PeerId origin, QoSRequirements q);
+  // Dynamic QoS renegotiation (§4.5): the user at the task's origin changes
+  // the deadline (still relative to the original submission). Returns false
+  // if the origin is gone or never owned the task.
+  bool update_task_deadline(util::TaskId task, util::SimDuration new_deadline);
+
+  // --- run -------------------------------------------------------------------------
+  void run_for(util::SimDuration d) { sim_.run_until(sim_.now() + d); }
+  void run_until(util::SimTime t) { sim_.run_until(t); }
+
+  // --- access ------------------------------------------------------------------------
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] net::Network& network() { return *network_; }
+  [[nodiscard]] net::Topology& topology() { return topology_; }
+  [[nodiscard]] const SystemConfig& config() const { return config_; }
+  [[nodiscard]] TaskLedger& ledger() { return ledger_; }
+  [[nodiscard]] const TaskLedger& ledger() const { return ledger_; }
+  [[nodiscard]] util::Rng& workload_rng() { return workload_rng_; }
+
+  // --- tracing ---------------------------------------------------------------------
+  // Attach a tracer to capture structured control-plane events (task
+  // lifecycle, membership, failover). nullptr (default) disables tracing.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  [[nodiscard]] Tracer* tracer() { return tracer_; }
+  // Emits one event if a tracer is attached (timestamp filled in here).
+  void trace(TraceKind kind, util::PeerId peer,
+             util::TaskId task = util::TaskId::invalid(),
+             util::DomainId domain = util::DomainId::invalid(),
+             std::string detail = {});
+
+  // Global id factories (unique across the whole system).
+  [[nodiscard]] util::TaskId next_task_id() { return task_ids_.next(); }
+  [[nodiscard]] util::JobId next_job_id() { return job_ids_.next(); }
+  [[nodiscard]] util::ServiceId next_service_id() { return service_ids_.next(); }
+  [[nodiscard]] util::ObjectId next_object_id() { return object_ids_.next(); }
+  [[nodiscard]] util::PeerId next_peer_id() { return peer_ids_gen_.next(); }
+  [[nodiscard]] util::DomainId next_domain_id() { return domain_ids_.next(); }
+
+  // Domain census: (domain id, rm peer, member count) per live RM.
+  struct DomainInfo {
+    util::DomainId domain;
+    util::PeerId rm;
+    std::size_t members;
+  };
+  [[nodiscard]] std::vector<DomainInfo> domains() const;
+
+ private:
+  SystemConfig config_;
+  sim::Simulator sim_;
+  net::Topology topology_;
+  std::unique_ptr<net::Network> network_;
+  std::unordered_map<util::PeerId, std::unique_ptr<PeerNode>> peers_;
+  TaskLedger ledger_;
+  Tracer* tracer_ = nullptr;
+  util::Rng placement_rng_;
+  util::Rng workload_rng_;
+
+  util::IdGenerator<util::TaskId> task_ids_;
+  util::IdGenerator<util::JobId> job_ids_;
+  util::IdGenerator<util::ServiceId> service_ids_;
+  util::IdGenerator<util::ObjectId> object_ids_;
+  util::IdGenerator<util::PeerId> peer_ids_gen_;
+  util::IdGenerator<util::DomainId> domain_ids_;
+};
+
+}  // namespace p2prm::core

@@ -1,0 +1,83 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+
+namespace p2prm::core {
+
+std::string_view trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::TaskSubmitted: return "task.submitted";
+    case TraceKind::TaskAdmitted: return "task.admitted";
+    case TraceKind::TaskRedirected: return "task.redirected";
+    case TraceKind::TaskRejected: return "task.rejected";
+    case TraceKind::TaskCompleted: return "task.completed";
+    case TraceKind::TaskFailed: return "task.failed";
+    case TraceKind::TaskRecovered: return "task.recovered";
+    case TraceKind::PeerJoined: return "peer.joined";
+    case TraceKind::PeerLeft: return "peer.left";
+    case TraceKind::PeerFailed: return "peer.failed";
+    case TraceKind::RmPromoted: return "rm.promoted";
+    case TraceKind::RmTakeover: return "rm.takeover";
+    case TraceKind::RmDemoted: return "rm.demoted";
+  }
+  return "?";
+}
+
+Tracer::Tracer(std::size_t capacity) : capacity_(std::max<std::size_t>(capacity, 16)) {
+  events_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+void Tracer::record(TraceEvent event) {
+  ++recorded_;
+  if (events_.size() >= capacity_) {
+    // Drop the oldest half; keeping a ring index is not worth the
+    // complexity at trace volumes.
+    events_.erase(events_.begin(),
+                  events_.begin() + static_cast<std::ptrdiff_t>(capacity_ / 2));
+  }
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::task_timeline(util::TaskId task) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.task == task) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> Tracer::of_kind(TraceKind kind) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+std::size_t Tracer::count_of(TraceKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [&](const TraceEvent& e) { return e.kind == kind; }));
+}
+
+util::Table Tracer::to_table(std::optional<util::TaskId> task) const {
+  util::Table t({"time", "event", "peer", "task", "domain", "detail"});
+  for (const auto& e : events_) {
+    if (task && e.task != *task) continue;
+    t.cell(util::format_time(e.at))
+        .cell(std::string(trace_kind_name(e.kind)))
+        .cell(util::to_string(e.peer))
+        .cell(e.task.valid() ? util::to_string(e.task) : "")
+        .cell(e.domain.valid() ? util::to_string(e.domain) : "")
+        .cell(e.detail)
+        .end_row();
+  }
+  return t;
+}
+
+void Tracer::clear() {
+  events_.clear();
+  recorded_ = 0;
+}
+
+}  // namespace p2prm::core

@@ -1,0 +1,81 @@
+// Structured event tracing.
+//
+// The middleware emits a typed event at every interesting control-plane
+// moment (task lifecycle, membership changes, failover, adaptation). The
+// Tracer collects them with simulated timestamps; experiments and examples
+// use it to print per-task timelines or audit protocol behaviour without
+// scraping logs. Tracing is off unless a Tracer is attached to the System.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/table.hpp"
+#include "util/time.hpp"
+
+namespace p2prm::core {
+
+enum class TraceKind {
+  // task lifecycle
+  TaskSubmitted,
+  TaskAdmitted,
+  TaskRedirected,
+  TaskRejected,
+  TaskCompleted,
+  TaskFailed,
+  TaskRecovered,    // re-planned after failure / reassignment / QoS change
+  // membership & roles
+  PeerJoined,
+  PeerLeft,
+  PeerFailed,       // detected by the RM
+  RmPromoted,
+  RmTakeover,
+  RmDemoted,
+};
+
+[[nodiscard]] std::string_view trace_kind_name(TraceKind kind);
+
+struct TraceEvent {
+  util::SimTime at = 0;
+  TraceKind kind{};
+  util::PeerId peer;        // acting peer (RM for decisions, subject else)
+  util::TaskId task;        // invalid for membership events
+  util::DomainId domain;    // invalid when not applicable
+  std::string detail;       // free-form: reason, target, ...
+};
+
+class Tracer {
+ public:
+  // `capacity` bounds memory: the buffer keeps the most recent events.
+  explicit Tracer(std::size_t capacity = 65536);
+
+  void record(TraceEvent event);
+
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] std::uint64_t total_recorded() const { return recorded_; }
+  [[nodiscard]] bool dropped_any() const { return recorded_ > events_.size(); }
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+
+  // All events of one task, in order (the per-task timeline).
+  [[nodiscard]] std::vector<TraceEvent> task_timeline(util::TaskId task) const;
+  [[nodiscard]] std::vector<TraceEvent> of_kind(TraceKind kind) const;
+  [[nodiscard]] std::size_t count_of(TraceKind kind) const;
+
+  // Renders events (optionally one task only) as a table.
+  [[nodiscard]] util::Table to_table(
+      std::optional<util::TaskId> task = std::nullopt) const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> events_;  // ring, compacted on overflow
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace p2prm::core

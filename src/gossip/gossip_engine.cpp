@@ -1,0 +1,104 @@
+#include "gossip/gossip_engine.hpp"
+
+#include <algorithm>
+
+namespace p2prm::gossip {
+
+GossipEngine::GossipEngine(sim::Simulator& simulator, net::Network& network,
+                           util::PeerId self, GossipConfig config,
+                           PeerProvider rm_peers)
+    : sim_(simulator),
+      net_(network),
+      self_(self),
+      config_(config),
+      rm_peers_(std::move(rm_peers)),
+      rng_(simulator.rng().fork()) {}
+
+GossipEngine::~GossipEngine() { stop(); }
+
+void GossipEngine::start() {
+  if (timer_.active()) return;
+  timer_ = sim_.every(config_.period, [this] { round(); });
+}
+
+void GossipEngine::stop() { timer_.cancel(); }
+
+void GossipEngine::set_local_summary(DomainSummary summary) {
+  std::vector<DomainSummary> one{std::move(summary)};
+  // Local summaries always win ties: force version-monotonic callers, but
+  // replace equal versions too (contents may have been rebuilt).
+  const auto it = std::find_if(summaries_.begin(), summaries_.end(),
+                               [&](const DomainSummary& s) {
+                                 return s.domain == one[0].domain;
+                               });
+  if (it == summaries_.end()) {
+    summaries_.push_back(std::move(one[0]));
+  } else if (one[0].version >= it->version) {
+    *it = std::move(one[0]);
+  }
+}
+
+void GossipEngine::handle_message(util::PeerId, const GossipMessage& msg) {
+  const std::size_t changed = reconcile(summaries_, msg.summaries);
+  if (changed && on_change_) on_change_(changed);
+}
+
+void GossipEngine::round() {
+  ++rounds_;
+  if (summaries_.empty()) return;
+  std::vector<util::PeerId> peers = rm_peers_();
+  peers.erase(std::remove(peers.begin(), peers.end(), self_), peers.end());
+  if (peers.empty()) return;
+  rng_.shuffle(peers.begin(), peers.end());
+  const std::size_t n = std::min(config_.fanout, peers.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    auto msg = std::make_unique<GossipMessage>();
+    msg->sender = self_;
+    msg->summaries = summaries_;
+    net_.send(self_, peers[i], std::move(msg));
+  }
+}
+
+const DomainSummary* GossipEngine::summary_of(util::DomainId domain) const {
+  const auto it = std::find_if(summaries_.begin(), summaries_.end(),
+                               [&](const DomainSummary& s) {
+                                 return s.domain == domain;
+                               });
+  return it == summaries_.end() ? nullptr : &*it;
+}
+
+namespace {
+template <typename Pred>
+std::vector<const DomainSummary*> filter_sorted(
+    const std::vector<DomainSummary>& all, util::DomainId exclude, Pred pred) {
+  std::vector<const DomainSummary*> out;
+  for (const auto& s : all) {
+    if (s.domain == exclude) continue;
+    if (pred(s)) out.push_back(&s);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DomainSummary* a, const DomainSummary* b) {
+              if (a->utilization() != b->utilization()) {
+                return a->utilization() < b->utilization();
+              }
+              return a->domain < b->domain;
+            });
+  return out;
+}
+}  // namespace
+
+std::vector<const DomainSummary*> GossipEngine::domains_with_service(
+    std::uint64_t key, util::DomainId exclude) const {
+  return filter_sorted(summaries_, exclude, [&](const DomainSummary& s) {
+    return s.services.possibly_contains(key);
+  });
+}
+
+std::vector<const DomainSummary*> GossipEngine::domains_with_object(
+    util::ObjectId object, util::DomainId exclude) const {
+  return filter_sorted(summaries_, exclude, [&](const DomainSummary& s) {
+    return s.objects.possibly_contains(object);
+  });
+}
+
+}  // namespace p2prm::gossip

@@ -1,0 +1,100 @@
+// Lazy inter-domain dissemination (§4.4, "Inter-Domain Propagation").
+//
+// "A gossiping protocol (similar for example to the one used in [29 —
+// Astrolabe]) should suffice for lazily propagating changes among the
+// Resource Managers."
+//
+// Push gossip with freshest-wins reconciliation: every period each RM picks
+// `fanout` random RM peers and pushes all summaries it knows (domain count
+// is small — one summary per domain, kilobytes each). Receivers keep newer
+// versions and learn of domains they had never heard of. Anti-entropy in
+// both directions comes for free because every RM pushes.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "gossip/summary.hpp"
+#include "net/message.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace p2prm::gossip {
+
+struct GossipMessage final : net::Message {
+  util::PeerId sender;
+  std::vector<DomainSummary> summaries;
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    std::size_t n = 16;
+    for (const auto& s : summaries) n += s.wire_size();
+    return n;
+  }
+  [[nodiscard]] std::string_view type_name() const override {
+    return "gossip.summaries";
+  }
+};
+
+struct GossipConfig {
+  util::SimDuration period = util::seconds(2);
+  std::size_t fanout = 2;
+};
+
+class GossipEngine {
+ public:
+  // `rm_peers` yields the RM's current view of other domains' RM addresses
+  // (it changes as domains form and RMs fail over).
+  using PeerProvider = std::function<std::vector<util::PeerId>()>;
+  // Invoked whenever reconciliation changed at least one summary.
+  using ChangeFn = std::function<void(std::size_t changed)>;
+
+  GossipEngine(sim::Simulator& simulator, net::Network& network,
+               util::PeerId self, GossipConfig config, PeerProvider rm_peers);
+  ~GossipEngine();
+
+  GossipEngine(const GossipEngine&) = delete;
+  GossipEngine& operator=(const GossipEngine&) = delete;
+
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const { return timer_.active(); }
+
+  // Publishes/refreshes this RM's own domain summary (version must be
+  // bumped by the caller when membership changed).
+  void set_local_summary(DomainSummary summary);
+
+  // Owner's message dispatcher routes gossip messages here.
+  void handle_message(util::PeerId from, const GossipMessage& msg);
+
+  void set_on_change(ChangeFn fn) { on_change_ = std::move(fn); }
+
+  // --- Queries (used for inter-domain redirection, §4.5) ------------------
+  [[nodiscard]] const std::vector<DomainSummary>& known() const {
+    return summaries_;
+  }
+  [[nodiscard]] const DomainSummary* summary_of(util::DomainId domain) const;
+  // Domains (excluding `exclude`) whose service summary may contain `key`,
+  // least-utilized first.
+  [[nodiscard]] std::vector<const DomainSummary*> domains_with_service(
+      std::uint64_t key, util::DomainId exclude) const;
+  [[nodiscard]] std::vector<const DomainSummary*> domains_with_object(
+      util::ObjectId object, util::DomainId exclude) const;
+
+  [[nodiscard]] std::uint64_t rounds() const { return rounds_; }
+
+ private:
+  void round();
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  util::PeerId self_;
+  GossipConfig config_;
+  PeerProvider rm_peers_;
+  ChangeFn on_change_;
+  util::Rng rng_;
+  sim::Timer timer_;
+  std::vector<DomainSummary> summaries_;  // includes our own
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace p2prm::gossip

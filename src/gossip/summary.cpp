@@ -1,0 +1,26 @@
+#include "gossip/summary.hpp"
+
+#include <algorithm>
+
+namespace p2prm::gossip {
+
+std::size_t reconcile(std::vector<DomainSummary>& into,
+                      const std::vector<DomainSummary>& from) {
+  std::size_t changed = 0;
+  for (const auto& incoming : from) {
+    const auto it = std::find_if(into.begin(), into.end(),
+                                 [&](const DomainSummary& s) {
+                                   return s.domain == incoming.domain;
+                                 });
+    if (it == into.end()) {
+      into.push_back(incoming);
+      ++changed;
+    } else if (incoming.version > it->version) {
+      *it = incoming;
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+}  // namespace p2prm::gossip

@@ -1,0 +1,46 @@
+// Versioned domain summaries exchanged between Resource Managers.
+//
+// §3.1: each RM stores, per remote domain, "a summary of the available
+// application objects SumO_k and the available services SumS_k", obtained
+// with Bloom filters. §4.4: summaries "have to be updated only when peers
+// join or leave the system", so they carry a version the gossip layer uses
+// for freshest-wins reconciliation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bloom/bloom_filter.hpp"
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace p2prm::gossip {
+
+struct DomainSummary {
+  util::DomainId domain;
+  util::PeerId resource_manager;
+  std::uint64_t version = 0;
+
+  // Aggregates used for inter-domain redirection decisions (§4.5: redirect
+  // "to the appropriate domain" with capacity to spare).
+  std::size_t peer_count = 0;
+  double total_capacity_ops = 0.0;
+  double total_load_ops = 0.0;
+
+  bloom::BloomFilter objects{};   // SumO_k
+  bloom::BloomFilter services{};  // SumS_k  (keyed by TranscoderType::type_key)
+
+  [[nodiscard]] double utilization() const {
+    return total_capacity_ops > 0.0 ? total_load_ops / total_capacity_ops : 0.0;
+  }
+  [[nodiscard]] std::size_t wire_size() const {
+    return 8 * 6 + objects.wire_size() + services.wire_size();
+  }
+};
+
+// Freshest-wins merge of summary sets: for each domain keep the higher
+// version. Returns how many entries of `into` were created or replaced.
+std::size_t reconcile(std::vector<DomainSummary>& into,
+                      const std::vector<DomainSummary>& from);
+
+}  // namespace p2prm::gossip

@@ -1,0 +1,124 @@
+#include "graph/path_search.hpp"
+
+#include <deque>
+
+namespace p2prm::graph {
+
+std::vector<EdgePath> bfs_paths(const ResourceGraph& graph, StateIndex start,
+                                StateIndex goal, const PrunePredicate& accept,
+                                SearchStats* stats) {
+  SearchStats local;
+  std::vector<EdgePath> found;
+  if (start >= graph.state_count() || goal >= graph.state_count()) {
+    if (stats) *stats = local;
+    return found;
+  }
+
+  // Fig. 3: queue of vertices paired with the execution sequence that
+  // reached them.
+  struct Item {
+    StateIndex v;
+    EdgePath seq;
+  };
+  std::deque<Item> queue;
+  queue.push_back({start, {}});
+  local.sequences_enqueued = 1;
+  std::vector<bool> expanded(graph.state_count(), false);
+
+  while (!queue.empty()) {
+    Item item = std::move(queue.front());
+    queue.pop_front();
+    ++local.vertices_popped;
+
+    // "if v has not been visited before and e_seq fulfills requirements".
+    // v_sol is never expanded, so it never becomes visited and every
+    // arrival produces a candidate.
+    if (item.v != goal && expanded[item.v]) continue;
+    if (accept && !accept(item.seq)) {
+      ++local.pruned;
+      continue;
+    }
+    if (item.v == goal) {
+      if (!item.seq.empty()) {  // start==goal with empty seq is not a task
+        ++local.candidates_found;
+        found.push_back(item.seq);
+      }
+      continue;
+    }
+    expanded[item.v] = true;
+    for (const ServiceEdge* e : graph.edges_from(item.v)) {
+      EdgePath next = item.seq;
+      next.push_back(e);
+      queue.push_back({e->to, std::move(next)});
+      ++local.sequences_enqueued;
+    }
+  }
+  if (stats) *stats = local;
+  return found;
+}
+
+namespace {
+void dfs(const ResourceGraph& graph, StateIndex v, StateIndex goal,
+         std::size_t max_hops, const PrunePredicate& accept,
+         std::vector<bool>& on_path, EdgePath& seq,
+         std::vector<EdgePath>& found, SearchStats& stats) {
+  ++stats.vertices_popped;
+  if (accept && !accept(seq)) {
+    ++stats.pruned;
+    return;
+  }
+  if (v == goal && !seq.empty()) {
+    ++stats.candidates_found;
+    found.push_back(seq);
+    return;  // simple paths: do not extend beyond the goal
+  }
+  if (seq.size() >= max_hops) return;
+  on_path[v] = true;
+  for (const ServiceEdge* e : graph.edges_from(v)) {
+    if (on_path[e->to]) continue;
+    seq.push_back(e);
+    ++stats.sequences_enqueued;
+    dfs(graph, e->to, goal, max_hops, accept, on_path, seq, found, stats);
+    seq.pop_back();
+  }
+  on_path[v] = false;
+}
+}  // namespace
+
+std::vector<EdgePath> all_simple_paths(const ResourceGraph& graph,
+                                       StateIndex start, StateIndex goal,
+                                       std::size_t max_hops,
+                                       const PrunePredicate& accept,
+                                       SearchStats* stats) {
+  SearchStats local;
+  std::vector<EdgePath> found;
+  if (start < graph.state_count() && goal < graph.state_count()) {
+    std::vector<bool> on_path(graph.state_count(), false);
+    EdgePath seq;
+    dfs(graph, start, goal, max_hops, accept, on_path, seq, found, local);
+  }
+  if (stats) *stats = local;
+  return found;
+}
+
+bool reachable(const ResourceGraph& graph, StateIndex start, StateIndex goal) {
+  if (start >= graph.state_count() || goal >= graph.state_count()) return false;
+  if (start == goal) return true;
+  std::vector<bool> seen(graph.state_count(), false);
+  std::deque<StateIndex> queue{start};
+  seen[start] = true;
+  while (!queue.empty()) {
+    const StateIndex v = queue.front();
+    queue.pop_front();
+    for (const ServiceEdge* e : graph.edges_from(v)) {
+      if (e->to == goal) return true;
+      if (!seen[e->to]) {
+        seen[e->to] = true;
+        queue.push_back(e->to);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace p2prm::graph

@@ -1,0 +1,118 @@
+#include "graph/resource_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace p2prm::graph {
+
+StateIndex ResourceGraph::add_state(const media::MediaFormat& format) {
+  const auto it = state_index_.find(format);
+  if (it != state_index_.end()) return it->second;
+  const StateIndex idx = states_.size();
+  states_.push_back(format);
+  state_index_[format] = idx;
+  out_.emplace_back();
+  return idx;
+}
+
+std::optional<StateIndex> ResourceGraph::find_state(
+    const media::MediaFormat& format) const {
+  const auto it = state_index_.find(format);
+  if (it == state_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const media::MediaFormat& ResourceGraph::state(StateIndex i) const {
+  return states_.at(i);
+}
+
+void ResourceGraph::add_service(util::ServiceId id, util::PeerId peer,
+                                const media::TranscoderType& type) {
+  if (edges_.count(id)) {
+    throw std::logic_error("ResourceGraph: duplicate service id " +
+                           util::to_string(id));
+  }
+  ServiceEdge edge;
+  edge.id = id;
+  edge.peer = peer;
+  edge.type = type;
+  edge.from = add_state(type.input);
+  edge.to = add_state(type.output);
+  out_[edge.from].push_back(id);
+  edges_.emplace(id, edge);
+}
+
+bool ResourceGraph::remove_service(util::ServiceId id) {
+  const auto it = edges_.find(id);
+  if (it == edges_.end()) return false;
+  auto& adj = out_[it->second.from];
+  adj.erase(std::remove(adj.begin(), adj.end(), id), adj.end());
+  edges_.erase(it);
+  return true;
+}
+
+std::size_t ResourceGraph::remove_peer(util::PeerId peer) {
+  std::vector<util::ServiceId> doomed;
+  for (const auto& [id, e] : edges_) {
+    if (e.peer == peer) doomed.push_back(id);
+  }
+  for (auto id : doomed) remove_service(id);
+  return doomed.size();
+}
+
+bool ResourceGraph::has_service(util::ServiceId id) const {
+  return edges_.count(id) != 0;
+}
+
+const ServiceEdge& ResourceGraph::service(util::ServiceId id) const {
+  const auto it = edges_.find(id);
+  if (it == edges_.end()) {
+    throw std::out_of_range("ResourceGraph: unknown service " +
+                            util::to_string(id));
+  }
+  return it->second;
+}
+
+void ResourceGraph::set_service_load(util::ServiceId id, double load) {
+  const auto it = edges_.find(id);
+  if (it == edges_.end()) {
+    throw std::out_of_range("ResourceGraph: unknown service " +
+                            util::to_string(id));
+  }
+  it->second.load = load;
+}
+
+std::vector<const ServiceEdge*> ResourceGraph::edges_from(StateIndex v) const {
+  std::vector<const ServiceEdge*> out;
+  if (v >= out_.size()) return out;
+  out.reserve(out_[v].size());
+  for (auto id : out_[v]) out.push_back(&edges_.at(id));
+  return out;
+}
+
+std::vector<const ServiceEdge*> ResourceGraph::services_of(
+    util::PeerId peer) const {
+  std::vector<const ServiceEdge*> out;
+  for (const auto& [_, e] : edges_) {
+    if (e.peer == peer) out.push_back(&e);
+  }
+  // Deterministic order regardless of hash iteration.
+  std::sort(out.begin(), out.end(),
+            [](const ServiceEdge* a, const ServiceEdge* b) {
+              return a->id < b->id;
+            });
+  return out;
+}
+
+std::vector<const ServiceEdge*> ResourceGraph::all_services() const {
+  std::vector<const ServiceEdge*> out;
+  out.reserve(edges_.size());
+  for (const auto& [_, e] : edges_) out.push_back(&e);
+  std::sort(out.begin(), out.end(),
+            [](const ServiceEdge* a, const ServiceEdge* b) {
+              return a->id < b->id;
+            });
+  return out;
+}
+
+}  // namespace p2prm::graph

@@ -1,0 +1,77 @@
+// The resource graph G_r (§3.4).
+//
+// "Each vertex v of G_r represents an application state, while each edge e
+// represents a service, accompanied by its current load."
+//
+// Vertices are media formats (application states); edges are *service
+// instances*: a transcoder type hosted by a concrete peer, annotated with
+// that service's current load. Parallel edges are real and meaningful —
+// Figure 1's e2 and e3 are the same conversion offered by different peers.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "media/catalog.hpp"
+#include "media/transcoder.hpp"
+#include "util/ids.hpp"
+
+namespace p2prm::graph {
+
+using StateIndex = std::size_t;
+inline constexpr StateIndex kNoState = static_cast<StateIndex>(-1);
+
+struct ServiceEdge {
+  util::ServiceId id;
+  util::PeerId peer;
+  media::TranscoderType type;
+  StateIndex from = kNoState;
+  StateIndex to = kNoState;
+  // Current load on this service: number of active sessions weighted by
+  // their CPU demand, kept fresh by profiler reports.
+  double load = 0.0;
+};
+
+class ResourceGraph {
+ public:
+  // --- States -------------------------------------------------------------
+  StateIndex add_state(const media::MediaFormat& format);
+  [[nodiscard]] std::optional<StateIndex> find_state(
+      const media::MediaFormat& format) const;
+  [[nodiscard]] const media::MediaFormat& state(StateIndex i) const;
+  [[nodiscard]] std::size_t state_count() const { return states_.size(); }
+
+  // --- Service edges --------------------------------------------------------
+  // Adds a service instance; creates endpoint states as needed.
+  void add_service(util::ServiceId id, util::PeerId peer,
+                   const media::TranscoderType& type);
+  bool remove_service(util::ServiceId id);
+  // Removes every service hosted by `peer` (§4.1: on disconnect the RM
+  // removes "the edges that were referring to the services offered by the
+  // particular peer"). Returns how many were removed.
+  std::size_t remove_peer(util::PeerId peer);
+
+  [[nodiscard]] bool has_service(util::ServiceId id) const;
+  [[nodiscard]] const ServiceEdge& service(util::ServiceId id) const;
+  [[nodiscard]] std::size_t service_count() const { return edges_.size(); }
+
+  void set_service_load(util::ServiceId id, double load);
+
+  // Outgoing service edges of a state, in insertion order (deterministic).
+  [[nodiscard]] std::vector<const ServiceEdge*> edges_from(StateIndex v) const;
+  [[nodiscard]] std::vector<const ServiceEdge*> services_of(
+      util::PeerId peer) const;
+  [[nodiscard]] std::vector<const ServiceEdge*> all_services() const;
+
+ private:
+  std::vector<media::MediaFormat> states_;
+  std::unordered_map<media::MediaFormat, StateIndex> state_index_;
+  std::unordered_map<util::ServiceId, ServiceEdge> edges_;
+  // adjacency: state -> service ids (kept sorted by insertion sequence).
+  std::vector<std::vector<util::ServiceId>> out_;
+};
+
+}  // namespace p2prm::graph

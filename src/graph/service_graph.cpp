@@ -1,0 +1,97 @@
+#include "graph/service_graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace p2prm::graph {
+
+std::string_view task_state_name(TaskState s) {
+  switch (s) {
+    case TaskState::Composing: return "composing";
+    case TaskState::Running: return "running";
+    case TaskState::Completed: return "completed";
+    case TaskState::Failed: return "failed";
+    case TaskState::Rejected: return "rejected";
+    case TaskState::Redirected: return "redirected";
+  }
+  return "?";
+}
+
+ServiceGraph::ServiceGraph(util::TaskId task, util::PeerId source_peer,
+                           util::ObjectId object, util::PeerId sink_peer,
+                           media::MediaFormat source_format,
+                           media::MediaFormat target_format)
+    : task_(task),
+      source_peer_(source_peer),
+      object_(object),
+      sink_peer_(sink_peer),
+      source_format_(source_format),
+      target_format_(target_format) {}
+
+void ServiceGraph::add_hop(ServiceHop hop) { hops_.push_back(std::move(hop)); }
+
+void ServiceGraph::substitute_hop(std::size_t i, const ServiceHop& replacement) {
+  if (i >= hops_.size()) {
+    throw std::out_of_range("ServiceGraph::substitute_hop: bad index");
+  }
+  if (replacement.type != hops_[i].type) {
+    throw std::invalid_argument(
+        "ServiceGraph::substitute_hop: replacement must offer the same "
+        "conversion");
+  }
+  hops_[i] = replacement;
+}
+
+std::vector<util::PeerId> ServiceGraph::participants() const {
+  std::vector<util::PeerId> out;
+  out.push_back(source_peer_);
+  for (const auto& h : hops_) out.push_back(h.peer);
+  out.push_back(sink_peer_);
+  return out;
+}
+
+bool ServiceGraph::involves(util::PeerId peer) const {
+  if (peer == source_peer_ || peer == sink_peer_) return true;
+  return std::any_of(hops_.begin(), hops_.end(),
+                     [&](const ServiceHop& h) { return h.peer == peer; });
+}
+
+std::vector<std::size_t> ServiceGraph::hops_on(util::PeerId peer) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < hops_.size(); ++i) {
+    if (hops_[i].peer == peer) out.push_back(i);
+  }
+  return out;
+}
+
+util::SimDuration ServiceGraph::estimated_execution_time() const {
+  util::SimDuration total = 0;
+  for (const auto& h : hops_) {
+    total += h.estimated_compute_time + h.estimated_transfer_time;
+  }
+  return total;
+}
+
+bool ServiceGraph::chain_consistent() const {
+  if (hops_.empty()) return source_format_ == target_format_;
+  if (hops_.front().type.input != source_format_) return false;
+  if (hops_.back().type.output != target_format_) return false;
+  for (std::size_t i = 0; i + 1 < hops_.size(); ++i) {
+    if (hops_[i].type.output != hops_[i + 1].type.input) return false;
+  }
+  return true;
+}
+
+std::string ServiceGraph::to_string() const {
+  std::ostringstream os;
+  os << "task " << task_ << " [" << task_state_name(state) << "] "
+     << "peer " << source_peer_ << " (" << source_format_.to_string() << ")";
+  for (const auto& h : hops_) {
+    os << " -> T@" << h.peer << " (" << h.type.output.to_string() << ")";
+  }
+  os << " -> peer " << sink_peer_;
+  return os.str();
+}
+
+}  // namespace p2prm::graph

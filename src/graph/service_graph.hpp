@@ -1,0 +1,97 @@
+// The application service graph G_s (§3.3).
+//
+// "The vertices of the service graph represent objects or services of the
+// system, while the edges represent connections between the peers."
+//
+// For a streaming/transcoding task G_s is a chain: the source object's
+// peer, then each chosen transcoder hop, then the requesting peer. We keep
+// the per-hop resource estimates the RM computed at composition time so
+// adaptation can later compare predictions against profiler measurements.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "media/format.hpp"
+#include "media/transcoder.hpp"
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace p2prm::graph {
+
+struct ServiceHop {
+  util::ServiceId service;
+  util::PeerId peer;
+  media::TranscoderType type;
+  // RM estimates at composition time (§3.3 Execution_time components).
+  double estimated_ops = 0.0;                    // CPU work for this hop
+  util::SimDuration estimated_compute_time = 0;  // under load at composition
+  util::SimDuration estimated_transfer_time = 0; // link to the next hop
+};
+
+enum class TaskState {
+  Composing,   // RM searching / sending graph composition messages
+  Running,     // all hops connected, media flowing
+  Completed,   // delivered; deadline verdict recorded
+  Failed,      // unrecoverable (no substitute peer found)
+  Rejected,    // admission control turned the task away
+  Redirected,  // forwarded to another domain's RM
+};
+[[nodiscard]] std::string_view task_state_name(TaskState s);
+
+class ServiceGraph {
+ public:
+  ServiceGraph() = default;
+  ServiceGraph(util::TaskId task, util::PeerId source_peer,
+               util::ObjectId object, util::PeerId sink_peer,
+               media::MediaFormat source_format,
+               media::MediaFormat target_format);
+
+  void add_hop(ServiceHop hop);
+  // Replace the peer serving hop `i` (recovery after a peer failure, §4.1).
+  void substitute_hop(std::size_t i, const ServiceHop& replacement);
+
+  [[nodiscard]] util::TaskId task() const { return task_; }
+  [[nodiscard]] util::PeerId source_peer() const { return source_peer_; }
+  [[nodiscard]] util::ObjectId object() const { return object_; }
+  [[nodiscard]] util::PeerId sink_peer() const { return sink_peer_; }
+  [[nodiscard]] const media::MediaFormat& source_format() const {
+    return source_format_;
+  }
+  [[nodiscard]] const media::MediaFormat& target_format() const {
+    return target_format_;
+  }
+  [[nodiscard]] const std::vector<ServiceHop>& hops() const { return hops_; }
+  [[nodiscard]] std::size_t hop_count() const { return hops_.size(); }
+
+  // Every peer participating (source, transcoder hosts, sink) in order.
+  [[nodiscard]] std::vector<util::PeerId> participants() const;
+  [[nodiscard]] bool involves(util::PeerId peer) const;
+  // Indices of hops hosted on `peer`.
+  [[nodiscard]] std::vector<std::size_t> hops_on(util::PeerId peer) const;
+
+  // Sum of the per-hop estimates: the RM's §3.3 Execution_time prediction.
+  [[nodiscard]] util::SimDuration estimated_execution_time() const;
+
+  // Chain consistency: hop i's output format equals hop i+1's input, first
+  // input matches the source format, last output matches the target.
+  [[nodiscard]] bool chain_consistent() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  TaskState state = TaskState::Composing;
+  util::SimTime composed_at = -1;
+  util::SimTime started_at = -1;
+  util::SimTime completed_at = -1;
+
+ private:
+  util::TaskId task_;
+  util::PeerId source_peer_;
+  util::ObjectId object_;
+  util::PeerId sink_peer_;
+  media::MediaFormat source_format_{};
+  media::MediaFormat target_format_{};
+  std::vector<ServiceHop> hops_;
+};
+
+}  // namespace p2prm::graph

@@ -1,0 +1,138 @@
+#include "media/catalog.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace p2prm::media {
+
+std::size_t Catalog::add_format(const MediaFormat& f) {
+  const auto it = index_.find(f);
+  if (it != index_.end()) return it->second;
+  const std::size_t idx = formats_.size();
+  formats_.push_back(f);
+  index_[f] = idx;
+  return idx;
+}
+
+void Catalog::add_conversion(const MediaFormat& from, const MediaFormat& to) {
+  if (!has_format(from) || !has_format(to)) {
+    throw std::logic_error("Catalog::add_conversion: unknown format");
+  }
+  conversions_.push_back(TranscoderType{from, to});
+}
+
+bool Catalog::has_format(const MediaFormat& f) const {
+  return index_.count(f) != 0;
+}
+
+std::size_t Catalog::index_of(const MediaFormat& f) const {
+  const auto it = index_.find(f);
+  if (it == index_.end()) {
+    throw std::out_of_range("Catalog: unknown format " + f.to_string());
+  }
+  return it->second;
+}
+
+const MediaFormat& Catalog::format(std::size_t index) const {
+  return formats_.at(index);
+}
+
+std::vector<TranscoderType> Catalog::conversions_from(
+    const MediaFormat& f) const {
+  std::vector<TranscoderType> out;
+  for (const auto& c : conversions_) {
+    if (c.input == f) out.push_back(c);
+  }
+  return out;
+}
+
+const MediaFormat& Catalog::random_format(util::Rng& rng) const {
+  if (formats_.empty()) throw std::logic_error("Catalog: no formats");
+  return formats_[rng.below(formats_.size())];
+}
+
+const TranscoderType& Catalog::random_conversion(util::Rng& rng) const {
+  if (conversions_.empty()) throw std::logic_error("Catalog: no conversions");
+  return conversions_[rng.below(conversions_.size())];
+}
+
+Figure1Catalog figure1_catalog() {
+  Figure1Catalog fig;
+  fig.v1 = MediaFormat{Codec::MPEG2, kRes800x600, 512};
+  fig.v2 = MediaFormat{Codec::MPEG4, kRes800x600, 512};
+  fig.v3 = MediaFormat{Codec::MPEG4, kRes640x480, 64};
+  fig.v4 = MediaFormat{Codec::MPEG4, kRes640x480, 256};
+  fig.v5 = MediaFormat{Codec::MPEG4, kRes640x480, 128};
+  for (const auto& f : {fig.v1, fig.v2, fig.v3, fig.v4, fig.v5}) {
+    fig.catalog.add_format(f);
+  }
+  // e1..e8; e3 duplicates e2's type (two peers offering the same service).
+  fig.edges = {
+      TranscoderType{fig.v1, fig.v2},  // e1: codec conversion
+      TranscoderType{fig.v2, fig.v3},  // e2: downscale + reduce
+      TranscoderType{fig.v2, fig.v3},  // e3: same service, other peer
+      TranscoderType{fig.v2, fig.v4},  // e4
+      TranscoderType{fig.v4, fig.v5},  // e5
+      TranscoderType{fig.v2, fig.v1},  // e6: reverse codec conversion
+      TranscoderType{fig.v5, fig.v4},  // e7: reverse (bitrate increase)
+      TranscoderType{fig.v5, fig.v3},  // e8
+  };
+  for (const auto& e : fig.edges) {
+    fig.catalog.add_conversion(e.input, e.output);
+  }
+  return fig;
+}
+
+namespace {
+// Index of x in v, or -1.
+template <typename T>
+int find_index(const std::vector<T>& v, const T& x) {
+  const auto it = std::find(v.begin(), v.end(), x);
+  return it == v.end() ? -1 : static_cast<int>(it - v.begin());
+}
+}  // namespace
+
+Catalog ladder_catalog(const LadderConfig& config) {
+  Catalog cat;
+  for (Codec c : config.codecs) {
+    for (const Resolution& r : config.resolutions) {
+      for (std::uint32_t b : config.bitrates_kbps) {
+        cat.add_format(MediaFormat{c, r, b});
+      }
+    }
+  }
+  const auto& formats = cat.formats();
+  for (const auto& from : formats) {
+    for (const auto& to : formats) {
+      if (!is_sensible_conversion(from, to)) continue;
+      int changes = 0;
+      if (from.codec != to.codec) ++changes;
+      const int ri = find_index(config.resolutions, from.resolution);
+      const int rj = find_index(config.resolutions, to.resolution);
+      const int bi = find_index(config.bitrates_kbps, from.bitrate_kbps);
+      const int bj = find_index(config.bitrates_kbps, to.bitrate_kbps);
+      const int res_step = std::abs(ri - rj);
+      const int bit_step = std::abs(bi - bj);
+      if (res_step > 0) ++changes;
+      if (bit_step > 0) ++changes;
+      if (changes == 0 || changes > config.max_aspect_changes) continue;
+      if (config.adjacent_steps_only && (res_step > 1 || bit_step > 1)) continue;
+      cat.add_conversion(from, to);
+    }
+  }
+  return cat;
+}
+
+MediaObject make_object(util::ObjectId id, const MediaFormat& f,
+                        double duration_s, util::Rng& rng) {
+  MediaObject obj;
+  obj.id = id;
+  obj.name = "object-" + util::to_string(id);
+  obj.format = f;
+  obj.duration_s = duration_s;
+  obj.content_hash = rng.next();
+  return obj;
+}
+
+}  // namespace p2prm::media

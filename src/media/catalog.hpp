@@ -1,0 +1,96 @@
+// Format catalogs: the universe of media formats and feasible transcoding
+// steps an experiment works with.
+//
+// Two constructions:
+//  * figure1_catalog(): the exact 5-state, 8-edge example of the paper's
+//    Figure 1 (v1..v5, e1..e8, with the three v1->v3 paths the text lists).
+//  * ladder_catalog(): a parameterized codec x resolution x bitrate ladder
+//    whose sensible conversions form the state space for the large
+//    experiments.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "media/transcoder.hpp"
+#include "util/rng.hpp"
+
+namespace p2prm::media {
+
+class Catalog {
+ public:
+  // Adds a format; returns its dense index (stable, insertion-ordered).
+  std::size_t add_format(const MediaFormat& f);
+  // Registers a conversion between two known formats.
+  void add_conversion(const MediaFormat& from, const MediaFormat& to);
+
+  [[nodiscard]] std::size_t format_count() const { return formats_.size(); }
+  [[nodiscard]] const std::vector<MediaFormat>& formats() const {
+    return formats_;
+  }
+  [[nodiscard]] const std::vector<TranscoderType>& conversions() const {
+    return conversions_;
+  }
+  [[nodiscard]] bool has_format(const MediaFormat& f) const;
+  [[nodiscard]] std::size_t index_of(const MediaFormat& f) const;
+  [[nodiscard]] const MediaFormat& format(std::size_t index) const;
+
+  // Conversions whose input is `f`.
+  [[nodiscard]] std::vector<TranscoderType> conversions_from(
+      const MediaFormat& f) const;
+
+  // A uniformly random format / conversion (workload synthesis).
+  [[nodiscard]] const MediaFormat& random_format(util::Rng& rng) const;
+  [[nodiscard]] const TranscoderType& random_conversion(util::Rng& rng) const;
+
+ private:
+  std::vector<MediaFormat> formats_;
+  std::vector<TranscoderType> conversions_;
+  std::unordered_map<MediaFormat, std::size_t> index_;
+};
+
+// ---- Figure 1 ----------------------------------------------------------
+// The concrete formats behind v1..v5 and the conversions behind e1..e8.
+// Vertices (from §4.3's narrative):
+//   v1 = 800x600 MPEG-2 512kbps   (source format)
+//   v2 = 800x600 MPEG-4 512kbps   (after codec conversion e1)
+//   v3 = 640x480 MPEG-4  64kbps   (requested target)
+//   v4 = 640x480 MPEG-4 256kbps
+//   v5 = 640x480 MPEG-4 128kbps
+// Edges: e1: v1->v2, e2: v2->v3, e3: v2->v3 (second provider), e4: v2->v4,
+//        e5: v4->v5, e6: v2->v1, e7: v5->v4, e8: v5->v3.
+// The simple v1->v3 paths are exactly {e1,e2}, {e1,e3}, {e1,e4,e5,e8} as
+// the paper states.
+struct Figure1Catalog {
+  Catalog catalog;
+  MediaFormat v1, v2, v3, v4, v5;
+  // Edge list in paper order (e1..e8); e2 and e3 share a TranscoderType and
+  // are distinguished by being hosted on different peers.
+  std::vector<TranscoderType> edges;
+};
+[[nodiscard]] Figure1Catalog figure1_catalog();
+
+// ---- Parameterized ladder ----------------------------------------------
+struct LadderConfig {
+  std::vector<Codec> codecs{Codec::MPEG2, Codec::MPEG4};
+  std::vector<Resolution> resolutions{kRes800x600, kRes640x480, kRes320x240};
+  std::vector<std::uint32_t> bitrates_kbps{512, 256, 128, 64};
+  // Conversions are generated between formats that differ in at most
+  // `max_aspect_changes` of {codec, resolution-step, bitrate-step}, always
+  // moving "down" (is_sensible_conversion).
+  int max_aspect_changes = 2;
+  // Only adjacent rungs (one step down in resolution/bitrate) are directly
+  // convertible; multi-rung targets require chains — this is what makes
+  // multi-hop service graphs necessary, as in the paper's example.
+  bool adjacent_steps_only = true;
+};
+[[nodiscard]] Catalog ladder_catalog(const LadderConfig& config = {});
+
+// Random media object in a catalog format (Zipf-popular names).
+[[nodiscard]] MediaObject make_object(util::ObjectId id, const MediaFormat& f,
+                                      double duration_s, util::Rng& rng);
+
+}  // namespace p2prm::media

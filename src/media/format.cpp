@@ -1,0 +1,32 @@
+#include "media/format.hpp"
+
+#include "util/table.hpp"
+
+namespace p2prm::media {
+
+std::string_view codec_name(Codec c) {
+  switch (c) {
+    case Codec::MPEG2: return "MPEG-2";
+    case Codec::MPEG4: return "MPEG-4";
+    case Codec::H263: return "H.263";
+    case Codec::MJPEG: return "MJPEG";
+  }
+  return "?";
+}
+
+double codec_complexity(Codec c) {
+  switch (c) {
+    case Codec::MJPEG: return 0.5;
+    case Codec::H263: return 0.8;
+    case Codec::MPEG2: return 1.0;
+    case Codec::MPEG4: return 1.4;
+  }
+  return 1.0;
+}
+
+std::string MediaFormat::to_string() const {
+  return util::format("%ux%u %s %ukbps", resolution.width, resolution.height,
+                      std::string(codec_name(codec)).c_str(), bitrate_kbps);
+}
+
+}  // namespace p2prm::media

@@ -1,0 +1,79 @@
+// Media formats — the "application states" of the paper's resource graph.
+//
+// In the motivating transcoding application, a vertex of G_r is a media
+// presentation format (§4.3's example: "800x600 MPEG-2 video at 512 Kbps").
+// Objects carry the metadata the paper lists in §3.1 item 5: "hash value,
+// bitrate, resolution, codec".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/ids.hpp"
+
+namespace p2prm::media {
+
+enum class Codec : std::uint8_t { MPEG2, MPEG4, H263, MJPEG };
+
+[[nodiscard]] std::string_view codec_name(Codec c);
+// Relative computational complexity of decoding/encoding this codec
+// (MJPEG cheapest, MPEG-4 most expensive). Feeds the transcode cost model.
+[[nodiscard]] double codec_complexity(Codec c);
+
+struct Resolution {
+  std::uint16_t width = 0;
+  std::uint16_t height = 0;
+
+  [[nodiscard]] std::uint32_t pixels() const {
+    return static_cast<std::uint32_t>(width) * height;
+  }
+  friend constexpr auto operator<=>(const Resolution&, const Resolution&) = default;
+};
+
+// Common ladder used by catalogs and workloads.
+inline constexpr Resolution kRes800x600{800, 600};
+inline constexpr Resolution kRes640x480{640, 480};
+inline constexpr Resolution kRes320x240{320, 240};
+inline constexpr Resolution kRes176x144{176, 144};
+
+struct MediaFormat {
+  Codec codec = Codec::MPEG2;
+  Resolution resolution{};
+  std::uint32_t bitrate_kbps = 0;
+
+  friend constexpr auto operator<=>(const MediaFormat&, const MediaFormat&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+// A stored media object (§3.1 item 5): content identified by a hash, plus
+// its presentation format and extent.
+struct MediaObject {
+  util::ObjectId id;
+  std::string name;
+  MediaFormat format;
+  double duration_s = 0.0;
+  std::uint64_t content_hash = 0;
+
+  [[nodiscard]] std::uint64_t size_bytes() const {
+    return static_cast<std::uint64_t>(static_cast<double>(format.bitrate_kbps) *
+                                      1000.0 / 8.0 * duration_s);
+  }
+};
+
+}  // namespace p2prm::media
+
+template <>
+struct std::hash<p2prm::media::MediaFormat> {
+  std::size_t operator()(const p2prm::media::MediaFormat& f) const noexcept {
+    std::uint64_t x = static_cast<std::uint64_t>(f.codec);
+    x = x * 1000003u + f.resolution.width;
+    x = x * 1000003u + f.resolution.height;
+    x = x * 1000003u + f.bitrate_kbps;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    return static_cast<std::size_t>(x);
+  }
+};

@@ -1,0 +1,76 @@
+#include "media/transcoder.hpp"
+
+#include "bloom/bloom_filter.hpp"
+#include "util/table.hpp"
+
+namespace p2prm::media {
+
+TranscodeAspect TranscoderType::aspects() const {
+  TranscodeAspect a = TranscodeAspect::None;
+  if (input.codec != output.codec) a = a | TranscodeAspect::CodecChange;
+  if (output.resolution.pixels() < input.resolution.pixels()) {
+    a = a | TranscodeAspect::Downscale;
+  } else if (output.resolution.pixels() > input.resolution.pixels()) {
+    a = a | TranscodeAspect::Upscale;
+  }
+  if (output.bitrate_kbps < input.bitrate_kbps) {
+    a = a | TranscodeAspect::BitrateReduce;
+  } else if (output.bitrate_kbps > input.bitrate_kbps) {
+    a = a | TranscodeAspect::BitrateIncrease;
+  }
+  return a;
+}
+
+std::string TranscoderType::to_string() const {
+  return input.to_string() + " -> " + output.to_string();
+}
+
+std::uint64_t TranscoderType::type_key() const {
+  // Hash explicit fields, never raw struct bytes: struct padding is
+  // uninitialized and would make equal types hash differently.
+  const std::uint64_t packed[2] = {
+      static_cast<std::uint64_t>(input.codec) |
+          (std::uint64_t{input.resolution.width} << 8) |
+          (std::uint64_t{input.resolution.height} << 24) |
+          (std::uint64_t{input.bitrate_kbps} << 40),
+      static_cast<std::uint64_t>(output.codec) |
+          (std::uint64_t{output.resolution.width} << 8) |
+          (std::uint64_t{output.resolution.height} << 24) |
+          (std::uint64_t{output.bitrate_kbps} << 40),
+  };
+  return bloom::hash_bytes(packed, sizeof packed).h1;
+}
+
+double transcode_ops_per_media_second(const TranscoderType& type,
+                                      const CostModelConfig& config) {
+  // Decode cost scales with input pixel rate and codec, encode with output.
+  const double decode = static_cast<double>(type.input.resolution.pixels()) *
+                        config.ops_per_pixel_per_s *
+                        codec_complexity(type.input.codec);
+  const double encode = static_cast<double>(type.output.resolution.pixels()) *
+                        config.ops_per_pixel_per_s *
+                        codec_complexity(type.output.codec);
+  // Pure bitrate shaping without codec change is cheaper (no full re-encode
+  // of motion estimation): apply a discount.
+  double encode_factor = 1.0;
+  const TranscodeAspect a = type.aspects();
+  if (!has_aspect(a, TranscodeAspect::CodecChange) &&
+      !has_aspect(a, TranscodeAspect::Downscale) &&
+      !has_aspect(a, TranscodeAspect::Upscale)) {
+    encode_factor = 0.4;
+  }
+  return config.base_ops_per_s + decode + encode * encode_factor;
+}
+
+double output_bytes_per_media_second(const TranscoderType& type) {
+  return static_cast<double>(type.output.bitrate_kbps) * 1000.0 / 8.0;
+}
+
+bool is_sensible_conversion(const MediaFormat& in, const MediaFormat& out) {
+  if (in == out) return false;
+  if (out.resolution.pixels() > in.resolution.pixels()) return false;
+  if (out.bitrate_kbps > in.bitrate_kbps) return false;
+  return true;
+}
+
+}  // namespace p2prm::media

@@ -1,0 +1,78 @@
+// Transcoder types and their resource cost model.
+//
+// The paper's services are transcoders ("the transcoding services available
+// in each processor", §3.1). We cannot run real codecs inside the
+// simulator, so a transcoder is represented by its *resource footprint*:
+// how much CPU work one media-second of conversion costs and how much
+// bandwidth the output stream occupies. Allocation and scheduling only
+// ever consume this footprint, so the substitution preserves behaviour
+// (DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "media/format.hpp"
+
+namespace p2prm::media {
+
+// What a transcoding step changes. A single service may change several
+// aspects at once (e.g. downscale + bitrate reduction).
+enum class TranscodeAspect : std::uint8_t {
+  None = 0,
+  CodecChange = 1 << 0,
+  Downscale = 1 << 1,
+  Upscale = 1 << 2,
+  BitrateReduce = 1 << 3,
+  BitrateIncrease = 1 << 4,
+};
+[[nodiscard]] constexpr TranscodeAspect operator|(TranscodeAspect a,
+                                                  TranscodeAspect b) {
+  return static_cast<TranscodeAspect>(static_cast<std::uint8_t>(a) |
+                                      static_cast<std::uint8_t>(b));
+}
+[[nodiscard]] constexpr bool has_aspect(TranscodeAspect set, TranscodeAspect a) {
+  return (static_cast<std::uint8_t>(set) & static_cast<std::uint8_t>(a)) != 0;
+}
+
+// The *type* of a transcoding service: a format conversion. Instances of a
+// type live on peers (see overlay::ServiceInstance).
+struct TranscoderType {
+  MediaFormat input;
+  MediaFormat output;
+
+  friend constexpr auto operator<=>(const TranscoderType&,
+                                    const TranscoderType&) = default;
+
+  [[nodiscard]] TranscodeAspect aspects() const;
+  [[nodiscard]] std::string to_string() const;
+
+  // Deterministic identity usable in Bloom summaries; collision-resistant
+  // enough for simulation-scale catalogs.
+  [[nodiscard]] std::uint64_t type_key() const;
+};
+
+struct CostModelConfig {
+  // Ops per (pixel/second) of decode + encode work; multiplied by codec
+  // complexity. Calibrated so 800x600 MPEG-2 -> MPEG-4 costs ~23 Mops per
+  // media-second (realtime on a mid-range simulated peer of 50 Mops/s).
+  double ops_per_pixel_per_s = 25.0;
+  double base_ops_per_s = 1.0e6;  // fixed per-stream overhead
+};
+
+// CPU work (abstract ops) to transcode one second of media through `type`.
+[[nodiscard]] double transcode_ops_per_media_second(
+    const TranscoderType& type, const CostModelConfig& config = {});
+
+// Output network footprint in bytes per media-second.
+[[nodiscard]] double output_bytes_per_media_second(const TranscoderType& type);
+
+// Whether this conversion is one a sane transcoder library offers (no
+// upscaling/bitrate inflation, at most one codec hop at a time for
+// catalog-generated types).
+[[nodiscard]] bool is_sensible_conversion(const MediaFormat& in,
+                                          const MediaFormat& out);
+
+}  // namespace p2prm::media

@@ -1,0 +1,58 @@
+#include "metrics/report.hpp"
+
+namespace p2prm::metrics {
+
+util::Table task_table(const core::TaskLedger& ledger) {
+  util::Table t({"metric", "value"});
+  t.cell("tasks submitted").cell(ledger.submitted()).end_row();
+  t.cell("completed on time").cell(ledger.completed_on_time()).end_row();
+  t.cell("completed late").cell(ledger.missed()).end_row();
+  t.cell("rejected").cell(ledger.rejected()).end_row();
+  t.cell("failed").cell(ledger.failed()).end_row();
+  t.cell("orphaned").cell(ledger.orphaned()).end_row();
+  t.cell("pending").cell(ledger.pending()).end_row();
+  t.cell("goodput").cell(ledger.goodput(), 4).end_row();
+  t.cell("miss ratio").cell(ledger.miss_ratio(), 4).end_row();
+  const auto& rt = ledger.response_times_s();
+  if (!rt.empty()) {
+    t.cell("response time p50 (s)").cell(rt.quantile(0.5), 3).end_row();
+    t.cell("response time p95 (s)").cell(rt.quantile(0.95), 3).end_row();
+  }
+  return t;
+}
+
+util::Table traffic_table(const net::NetworkStats& stats) {
+  util::Table t({"message type", "count", "bytes"});
+  for (const auto& [type, count] : stats.per_type_count) {
+    t.cell(type).cell(count).cell(stats.per_type_bytes.at(type)).end_row();
+  }
+  const auto split = split_traffic(stats);
+  t.cell("TOTAL control").cell(split.control_messages).cell(split.control_bytes)
+      .end_row();
+  t.cell("TOTAL data").cell(split.data_messages).cell(split.data_bytes)
+      .end_row();
+  return t;
+}
+
+util::Table domain_table(const core::System& system) {
+  util::Table t({"domain", "rm peer", "members", "admitted", "rejected",
+                 "redirects out", "recoveries"});
+  for (const auto id : system.peer_ids()) {
+    const auto* node = system.peer(id);
+    if (node == nullptr || !node->alive()) continue;
+    const auto* rm = node->resource_manager();
+    if (rm == nullptr) continue;
+    const auto& s = rm->stats();
+    t.cell(util::to_string(rm->info().domain().id()))
+        .cell(util::to_string(id))
+        .cell(rm->info().domain().size())
+        .cell(s.tasks_admitted)
+        .cell(s.tasks_rejected)
+        .cell(s.redirects_out)
+        .cell(s.recoveries_succeeded)
+        .end_row();
+  }
+  return t;
+}
+
+}  // namespace p2prm::metrics

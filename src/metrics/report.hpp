@@ -1,0 +1,19 @@
+// Standard report tables shared by examples and experiment binaries.
+#pragma once
+
+#include "core/system.hpp"
+#include "metrics/collectors.hpp"
+#include "util/table.hpp"
+
+namespace p2prm::metrics {
+
+// Task outcome summary (submitted / completed / on-time / ...).
+[[nodiscard]] util::Table task_table(const core::TaskLedger& ledger);
+
+// Per-message-type traffic with a control/data split footer.
+[[nodiscard]] util::Table traffic_table(const net::NetworkStats& stats);
+
+// One row per live domain: RM, members, admitted, rejected, redirects.
+[[nodiscard]] util::Table domain_table(const core::System& system);
+
+}  // namespace p2prm::metrics

@@ -1,0 +1,42 @@
+// Base type for every protocol message in the middleware.
+//
+// Concrete message structs live in the modules that own the protocol
+// (overlay join, profiler reports, task queries, gossip digests, ...).
+// Each message reports a wire size so the network can model transmission
+// delay and the experiments can account control-plane overhead in bytes,
+// and a type name for per-type traffic statistics.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+
+#include "util/ids.hpp"
+
+namespace p2prm::net {
+
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  // Serialized size in bytes (headers included). Used for transmission
+  // delay and traffic accounting; it does not need to match any real codec,
+  // only to scale with the information carried.
+  [[nodiscard]] virtual std::size_t wire_size() const = 0;
+
+  // Stable name used as the statistics key, e.g. "overlay.join_request".
+  [[nodiscard]] virtual std::string_view type_name() const = 0;
+};
+
+using MessagePtr = std::unique_ptr<Message>;
+
+// Fixed per-message envelope overhead added to every wire_size().
+inline constexpr std::size_t kEnvelopeBytes = 40;
+
+// Downcast helper: returns nullptr when the runtime type differs.
+template <typename T>
+[[nodiscard]] const T* message_cast(const Message& m) {
+  return dynamic_cast<const T*>(&m);
+}
+
+}  // namespace p2prm::net

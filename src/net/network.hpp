@@ -1,0 +1,105 @@
+// Message-level overlay transport on top of the simulator.
+//
+// Delivery delay = propagation latency (Topology) + transmission delay
+// (wire size over the bottleneck of sender uplink / receiver downlink).
+// Messages to detached (failed / departed) peers are silently dropped —
+// exactly the failure signal the paper's RMs and backup RMs react to.
+// All control-plane traffic is accounted per message type so experiments
+// can report protocol overhead.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <map>
+#include <unordered_map>
+
+#include "net/message.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "util/ids.hpp"
+
+namespace p2prm::net {
+
+struct LinkCapacity {
+  double uplink_bytes_per_s = 1.25e6;    // ~10 Mbit/s default
+  double downlink_bytes_per_s = 1.25e6;
+};
+
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;     // random loss
+  std::uint64_t messages_partitioned = 0; // blocked by an active partition
+  std::uint64_t messages_undeliverable = 0;  // receiver detached
+  std::uint64_t bytes_sent = 0;
+  // Keyed by Message::type_name(). std::map keeps report output sorted.
+  std::map<std::string, std::uint64_t> per_type_count;
+  std::map<std::string, std::uint64_t> per_type_bytes;
+};
+
+class Network {
+ public:
+  using Handler =
+      std::function<void(util::PeerId from, const Message& message)>;
+
+  Network(sim::Simulator& simulator, Topology& topology,
+          double drop_probability = 0.0);
+
+  // Attach a peer endpoint. The handler runs at delivery time. A peer must
+  // already be placed in the topology.
+  void attach(util::PeerId peer, LinkCapacity capacity, Handler handler);
+  // Detach (departure or crash): pending deliveries to this peer vanish.
+  void detach(util::PeerId peer);
+  [[nodiscard]] bool attached(util::PeerId peer) const;
+
+  // Fire-and-forget unicast. Ownership of the message transfers; delivery
+  // (if any) happens strictly after `now`.
+  void send(util::PeerId from, util::PeerId to, MessagePtr message);
+
+  // --- partition injection ("dynamic environments", failure testing) ------
+  // Splits the network: peers listed in `groups[i]` form island i+1; every
+  // unlisted peer is in island 0. Messages between different islands are
+  // silently lost until heal_partition(). Messages already in flight when
+  // the partition starts still arrive (they were on the wire).
+  void set_partition(const std::vector<std::vector<util::PeerId>>& groups);
+  // Convenience: cut the listed peers off from everyone else.
+  void isolate(const std::vector<util::PeerId>& peers) { set_partition({peers}); }
+  void heal_partition();
+  [[nodiscard]] bool partition_active() const { return !islands_.empty(); }
+  [[nodiscard]] bool can_reach(util::PeerId a, util::PeerId b) const;
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = NetworkStats{}; }
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] const Topology& topology() const { return topology_; }
+
+  // Estimated one-way delay for a message of `bytes` from a to b under the
+  // current capacities — what an RM uses to predict communication times
+  // when composing a service graph (§3.3). Does not include jitter/loss.
+  [[nodiscard]] util::SimDuration estimate_delay(util::PeerId a, util::PeerId b,
+                                                 std::size_t bytes) const;
+
+ private:
+  struct Endpoint {
+    LinkCapacity capacity;
+    Handler handler;
+    std::uint64_t epoch = 0;  // bumped on detach to invalidate in-flight msgs
+    // FIFO uplink serialization: concurrent sends from one peer share its
+    // uplink, so a second stream starts transmitting only when the first
+    // has left the interface.
+    util::SimTime uplink_free_at = 0;
+  };
+
+  sim::Simulator& sim_;
+  Topology& topology_;
+  double drop_probability_;
+  util::Rng rng_;
+  std::unordered_map<util::PeerId, Endpoint> endpoints_;
+  // Peer -> island id; empty map = no partition; unlisted peers are 0.
+  std::unordered_map<util::PeerId, int> islands_;
+  NetworkStats stats_;
+};
+
+}  // namespace p2prm::net

@@ -1,0 +1,83 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace p2prm::net {
+
+double distance(Coordinates a, Coordinates b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+Topology::Topology(TopologyConfig config) : config_(config) {
+  if (config_.world_size <= 0.0) {
+    throw std::invalid_argument("Topology: world_size must be positive");
+  }
+}
+
+void Topology::ensure_clusters(util::Rng& rng) {
+  if (config_.cluster_count <= 0 || !cluster_centers_.empty()) return;
+  cluster_centers_.reserve(static_cast<std::size_t>(config_.cluster_count));
+  for (int i = 0; i < config_.cluster_count; ++i) {
+    cluster_centers_.push_back(Coordinates{
+        rng.uniform(0.0, config_.world_size),
+        rng.uniform(0.0, config_.world_size),
+    });
+  }
+}
+
+Coordinates Topology::place(util::PeerId peer, util::Rng& rng) {
+  Coordinates c;
+  if (config_.cluster_count > 0) {
+    ensure_clusters(rng);
+    const auto& center =
+        cluster_centers_[rng.below(cluster_centers_.size())];
+    c.x = std::clamp(center.x + rng.normal(0.0, config_.cluster_stddev), 0.0,
+                     config_.world_size);
+    c.y = std::clamp(center.y + rng.normal(0.0, config_.cluster_stddev), 0.0,
+                     config_.world_size);
+  } else {
+    c.x = rng.uniform(0.0, config_.world_size);
+    c.y = rng.uniform(0.0, config_.world_size);
+  }
+  coords_[peer] = c;
+  return c;
+}
+
+void Topology::place_at(util::PeerId peer, Coordinates c) { coords_[peer] = c; }
+
+void Topology::remove(util::PeerId peer) { coords_.erase(peer); }
+
+bool Topology::contains(util::PeerId peer) const {
+  return coords_.count(peer) != 0;
+}
+
+Coordinates Topology::coordinates(util::PeerId peer) const {
+  const auto it = coords_.find(peer);
+  if (it == coords_.end()) {
+    throw std::out_of_range("Topology: unknown peer " + util::to_string(peer));
+  }
+  return it->second;
+}
+
+util::SimDuration Topology::latency(util::PeerId a, util::PeerId b) const {
+  if (a == b) return 0;
+  const double d = distance(coordinates(a), coordinates(b));
+  const double s = config_.base_latency_s + d * config_.latency_per_unit_s;
+  return util::from_seconds(s);
+}
+
+util::SimDuration Topology::latency_jittered(util::PeerId a, util::PeerId b,
+                                             util::Rng& rng) const {
+  const util::SimDuration base = latency(a, b);
+  if (config_.jitter_fraction <= 0.0) return base;
+  const double f = rng.uniform(-config_.jitter_fraction, config_.jitter_fraction);
+  const auto jittered =
+      static_cast<util::SimDuration>(static_cast<double>(base) * (1.0 + f));
+  return std::max<util::SimDuration>(jittered, 0);
+}
+
+}  // namespace p2prm::net

@@ -1,0 +1,46 @@
+#include "overlay/connection_manager.hpp"
+
+namespace p2prm::overlay {
+
+ConnectionManager::ConnectionManager(std::size_t max_connections)
+    : max_connections_(max_connections) {}
+
+bool ConnectionManager::open(util::PeerId peer, ConnectionPurpose purpose) {
+  auto it = table_.find(peer);
+  if (it == table_.end()) {
+    if (full()) {
+      ++total_rejected_;
+      return false;
+    }
+    it = table_.emplace(peer, Refs{}).first;
+    ++total_opened_;
+  }
+  if (purpose == ConnectionPurpose::Control) {
+    ++it->second.control;
+  } else {
+    ++it->second.streaming;
+  }
+  return true;
+}
+
+void ConnectionManager::close(util::PeerId peer, ConnectionPurpose purpose) {
+  const auto it = table_.find(peer);
+  if (it == table_.end()) return;
+  auto& refs = it->second;
+  if (purpose == ConnectionPurpose::Control) {
+    if (refs.control > 0) --refs.control;
+  } else {
+    if (refs.streaming > 0) --refs.streaming;
+  }
+  if (refs.empty()) table_.erase(it);
+}
+
+void ConnectionManager::drop_all_to(util::PeerId peer) { table_.erase(peer); }
+
+void ConnectionManager::drop_everything() { table_.clear(); }
+
+bool ConnectionManager::connected(util::PeerId peer) const {
+  return table_.count(peer) != 0;
+}
+
+}  // namespace p2prm::overlay

@@ -1,0 +1,58 @@
+// The per-peer Connection Manager (§2).
+//
+// "The Connection Manager is responsible for managing the peer connections;
+// that is, establishing or destroying connections of the processor to other
+// peers. The number of connections is typically limited by the resources at
+// the peer."
+//
+// Connections are refcounted by purpose: the control link to the RM stays
+// up for the peer's domain lifetime, while streaming links open per task
+// hop and close when the hop finishes. open() fails when the table is full
+// — allocation treats that peer pair as unusable for a new session.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/ids.hpp"
+
+namespace p2prm::overlay {
+
+enum class ConnectionPurpose : std::uint8_t { Control, Streaming };
+
+class ConnectionManager {
+ public:
+  explicit ConnectionManager(std::size_t max_connections = 32);
+
+  // Opens (or refs) a connection to `peer`. Returns false iff a brand-new
+  // connection is needed but the table is full.
+  bool open(util::PeerId peer, ConnectionPurpose purpose);
+  // Unrefs; the connection closes when both purposes drop to zero refs.
+  void close(util::PeerId peer, ConnectionPurpose purpose);
+  // Drops every connection to `peer` (peer failed/left).
+  void drop_all_to(util::PeerId peer);
+  void drop_everything();
+
+  [[nodiscard]] bool connected(util::PeerId peer) const;
+  [[nodiscard]] std::size_t connection_count() const { return table_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return max_connections_; }
+  [[nodiscard]] bool full() const { return table_.size() >= max_connections_; }
+
+  [[nodiscard]] std::uint64_t total_opened() const { return total_opened_; }
+  [[nodiscard]] std::uint64_t total_rejected() const { return total_rejected_; }
+
+ private:
+  struct Refs {
+    std::uint32_t control = 0;
+    std::uint32_t streaming = 0;
+    [[nodiscard]] bool empty() const { return control == 0 && streaming == 0; }
+  };
+
+  std::size_t max_connections_;
+  std::unordered_map<util::PeerId, Refs> table_;
+  std::uint64_t total_opened_ = 0;
+  std::uint64_t total_rejected_ = 0;
+};
+
+}  // namespace p2prm::overlay

@@ -1,0 +1,105 @@
+#include "overlay/domain.hpp"
+
+#include <algorithm>
+
+namespace p2prm::overlay {
+
+Domain::Domain(util::DomainId id, util::PeerId resource_manager)
+    : id_(id), rm_(resource_manager) {}
+
+void Domain::add_member(const PeerSpec& spec, util::SimTime now) {
+  MemberRecord rec;
+  rec.spec = spec;
+  rec.joined_at = now;
+  rec.last_report = now;
+  members_[spec.id] = rec;
+}
+
+bool Domain::remove_member(util::PeerId peer) {
+  return members_.erase(peer) > 0;
+}
+
+bool Domain::has_member(util::PeerId peer) const {
+  return members_.count(peer) != 0;
+}
+
+const MemberRecord* Domain::member(util::PeerId peer) const {
+  const auto it = members_.find(peer);
+  return it == members_.end() ? nullptr : &it->second;
+}
+
+std::vector<util::PeerId> Domain::member_ids() const {
+  std::vector<util::PeerId> out;
+  out.reserve(members_.size());
+  for (const auto& [id, _] : members_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Domain::record_report(util::PeerId peer, const profile::LoadSample& sample,
+                           util::SimTime now, bool eligible, double score) {
+  const auto it = members_.find(peer);
+  if (it == members_.end()) return;
+  it->second.last_sample = sample;
+  it->second.last_report = now;
+  it->second.eligible_rm = eligible;
+  it->second.score = score;
+}
+
+std::vector<util::PeerId> Domain::stale_members(
+    util::SimTime now, util::SimDuration timeout) const {
+  std::vector<util::PeerId> out;
+  for (const auto& [id, rec] : members_) {
+    if (id == rm_) continue;  // the RM does not report to itself
+    if (now - rec.last_report > timeout) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<util::PeerId> Domain::eligible_ranked() const {
+  std::vector<std::pair<double, util::PeerId>> ranked;
+  for (const auto& [id, rec] : members_) {
+    if (id == rm_ || !rec.eligible_rm) continue;
+    ranked.emplace_back(rec.score, id);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  std::vector<util::PeerId> out;
+  out.reserve(ranked.size());
+  for (const auto& [_, id] : ranked) out.push_back(id);
+  return out;
+}
+
+std::optional<util::PeerId> Domain::backup() const {
+  const auto ranked = eligible_ranked();
+  if (ranked.empty()) return std::nullopt;
+  return ranked.front();
+}
+
+double Domain::total_capacity_ops() const {
+  double sum = 0.0;
+  for (const auto& [_, rec] : members_) sum += rec.spec.capacity_ops_per_s;
+  return sum;
+}
+
+double Domain::total_load_ops() const {
+  double sum = 0.0;
+  for (const auto& [_, rec] : members_) sum += rec.last_sample.smoothed_load_ops;
+  return sum;
+}
+
+std::vector<std::pair<util::PeerId, double>> Domain::load_vector() const {
+  std::vector<std::pair<util::PeerId, double>> out;
+  out.reserve(members_.size());
+  for (const auto& [id, rec] : members_) {
+    out.emplace_back(id, rec.last_sample.smoothed_load_ops);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+}  // namespace p2prm::overlay

@@ -1,0 +1,77 @@
+// RM-side domain membership bookkeeping (§2, §4.1).
+//
+// A domain is "a single Resource Manager for the domain and Connection
+// Managers, Profilers and Schedulers for each of the processors in the
+// domain". This class is the RM's membership table: who is in the domain,
+// their specs, their freshest profiler reports, and the ranked list of
+// peers eligible to become Resource Managers (whose head is the backup RM).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "overlay/peer.hpp"
+#include "profile/profiler.hpp"
+#include "util/ids.hpp"
+
+namespace p2prm::overlay {
+
+struct MemberRecord {
+  PeerSpec spec;
+  util::SimTime joined_at = 0;
+  util::SimTime last_report = 0;
+  profile::LoadSample last_sample{};
+  bool eligible_rm = false;
+  double score = 0.0;
+};
+
+class Domain {
+ public:
+  Domain() = default;
+  Domain(util::DomainId id, util::PeerId resource_manager);
+
+  [[nodiscard]] util::DomainId id() const { return id_; }
+  [[nodiscard]] util::PeerId resource_manager() const { return rm_; }
+  void set_resource_manager(util::PeerId rm) { rm_ = rm; }
+  // Epoch bumps on every RM change; stale-epoch messages are ignored.
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  void bump_epoch() { ++epoch_; }
+  void set_epoch(std::uint64_t e) { epoch_ = e; }
+
+  // --- membership -----------------------------------------------------------
+  void add_member(const PeerSpec& spec, util::SimTime now);
+  bool remove_member(util::PeerId peer);
+  [[nodiscard]] bool has_member(util::PeerId peer) const;
+  [[nodiscard]] const MemberRecord* member(util::PeerId peer) const;
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+  // Member ids sorted ascending (deterministic iteration).
+  [[nodiscard]] std::vector<util::PeerId> member_ids() const;
+
+  // --- profiler feedback ------------------------------------------------------
+  void record_report(util::PeerId peer, const profile::LoadSample& sample,
+                     util::SimTime now, bool eligible, double score);
+  // Members whose last report is older than `timeout` (failure suspects).
+  [[nodiscard]] std::vector<util::PeerId> stale_members(
+      util::SimTime now, util::SimDuration timeout) const;
+
+  // --- RM succession ---------------------------------------------------------
+  // Eligible members ranked by score desc (ties by id asc), excluding the
+  // current RM. The head is the backup Resource Manager.
+  [[nodiscard]] std::vector<util::PeerId> eligible_ranked() const;
+  [[nodiscard]] std::optional<util::PeerId> backup() const;
+
+  // --- aggregates -------------------------------------------------------------
+  [[nodiscard]] double total_capacity_ops() const;
+  [[nodiscard]] double total_load_ops() const;
+  // (peer, load) pairs for the fairness index, sorted by peer id.
+  [[nodiscard]] std::vector<std::pair<util::PeerId, double>> load_vector() const;
+
+ private:
+  util::DomainId id_;
+  util::PeerId rm_;
+  std::uint64_t epoch_ = 0;
+  std::unordered_map<util::PeerId, MemberRecord> members_;
+};
+
+}  // namespace p2prm::overlay

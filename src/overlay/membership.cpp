@@ -1,0 +1,13 @@
+#include "overlay/membership.hpp"
+
+namespace p2prm::overlay {
+
+JoinOutcome decide_join(const JoinDecisionInput& input) {
+  if (input.domain_size < input.max_domain_size) return JoinOutcome::Accept;
+  if (input.underfull_domain_known) return JoinOutcome::Redirect;
+  if (input.newcomer_qualifies) return JoinOutcome::Promote;
+  if (input.other_rms_known) return JoinOutcome::Redirect;
+  return JoinOutcome::Reject;
+}
+
+}  // namespace p2prm::overlay

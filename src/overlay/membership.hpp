@@ -1,0 +1,113 @@
+// Join / leave / RM-succession protocol messages and decision rules (§4.1).
+//
+// "The protocol used for connecting to the network is analogous to the
+// ultrapeer negotiation utilized in Gnutella 0.6. When a new peer joins the
+// network, it connects to the Resource Manager of its geographical domain,
+// or to a random peer who redirects it to the Resource Manager. If the
+// Resource Manager has available bandwidth and processing power, it accepts
+// the processor in its domain ... If the Resource Manager has reached the
+// maximum number of processors it can support, it accepts the newcomer as a
+// new Resource Manager if it qualifies, otherwise it redirects it to a
+// Resource Manager of another domain."
+#pragma once
+
+#include <vector>
+
+#include "net/message.hpp"
+#include "overlay/peer.hpp"
+#include "util/ids.hpp"
+
+namespace p2prm::overlay {
+
+struct RmInfo {
+  util::DomainId domain;
+  util::PeerId rm;
+};
+
+// ---- messages ---------------------------------------------------------------
+
+struct JoinRequest final : net::Message {
+  PeerSpec spec;
+  std::size_t wire_size() const override { return 48; }
+  std::string_view type_name() const override { return "overlay.join_request"; }
+};
+
+// A non-RM contact (or an RM that cannot take the peer) points the joiner
+// at another Resource Manager.
+struct JoinRedirect final : net::Message {
+  util::PeerId target_rm;
+  std::size_t wire_size() const override { return 16; }
+  std::string_view type_name() const override { return "overlay.join_redirect"; }
+};
+
+struct JoinAccept final : net::Message {
+  util::DomainId domain;
+  util::PeerId rm;
+  std::uint64_t epoch = 0;
+  std::size_t wire_size() const override { return 32; }
+  std::string_view type_name() const override { return "overlay.join_accept"; }
+};
+
+// Domain full and the joiner qualifies: it becomes the RM of a fresh
+// domain, seeded with the RMs the promoting RM knows about.
+struct JoinPromote final : net::Message {
+  util::DomainId new_domain;
+  std::vector<RmInfo> known_rms;
+  std::size_t wire_size() const override { return 16 + known_rms.size() * 16; }
+  std::string_view type_name() const override { return "overlay.join_promote"; }
+};
+
+struct LeaveNotice final : net::Message {
+  std::size_t wire_size() const override { return 8; }
+  std::string_view type_name() const override { return "overlay.leave"; }
+};
+
+// RM -> members, periodic. Absence of heartbeats is how members (and above
+// all the backup) "sense the withdrawn connection" of a failed RM.
+struct RmHeartbeat final : net::Message {
+  util::DomainId domain;
+  std::uint64_t epoch = 0;
+  util::PeerId backup;  // invalid when no eligible backup exists
+  // §4.4 adaptive feedback frequency: the period members should report at
+  // (0 = keep whatever you are doing).
+  util::SimDuration report_period = 0;
+  std::size_t wire_size() const override { return 40; }
+  std::string_view type_name() const override { return "overlay.rm_heartbeat"; }
+};
+
+// Backup -> members after RM failure: "I am the Resource Manager now".
+struct RmTakeover final : net::Message {
+  util::DomainId domain;
+  std::uint64_t epoch = 0;  // already bumped past the dead RM's epoch
+  std::size_t wire_size() const override { return 24; }
+  std::string_view type_name() const override { return "overlay.rm_takeover"; }
+};
+
+// RM <-> RM introduction when a new domain is created or an RM changes.
+struct RmPeerIntro final : net::Message {
+  std::vector<RmInfo> rms;
+  std::size_t wire_size() const override { return 8 + rms.size() * 16; }
+  std::string_view type_name() const override { return "overlay.rm_intro"; }
+};
+
+// ---- join decision rule -------------------------------------------------------
+
+enum class JoinOutcome { Accept, Promote, Redirect, Reject };
+
+struct JoinDecisionInput {
+  std::size_t domain_size = 0;
+  std::size_t max_domain_size = 0;
+  bool newcomer_qualifies = false;
+  bool other_rms_known = false;
+  // Gossip summaries show another domain with spare membership slots. When
+  // one exists, a full RM redirects there instead of promoting — otherwise
+  // every qualified newcomer hitting a full domain would found a fresh
+  // domain and the network would fragment into singleton domains.
+  bool underfull_domain_known = false;
+};
+
+// The §4.1 rule. Reject only happens when the domain is full, the newcomer
+// does not qualify, and no other domain is known to redirect to.
+[[nodiscard]] JoinOutcome decide_join(const JoinDecisionInput& input);
+
+}  // namespace p2prm::overlay

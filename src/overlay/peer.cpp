@@ -1,0 +1,31 @@
+#include "overlay/peer.hpp"
+
+#include <algorithm>
+
+namespace p2prm::overlay {
+
+bool qualifies_for_rm(const PeerSpec& spec, util::SimTime now,
+                      const QualificationConfig& config) {
+  if (spec.bandwidth_bytes_per_s() < config.min_bandwidth_bytes_per_s) {
+    return false;
+  }
+  if (spec.capacity_ops_per_s < config.min_capacity_ops_per_s) return false;
+  const util::SimDuration uptime = now - spec.online_since;
+  return uptime >= config.min_uptime;
+}
+
+double rm_score(const PeerSpec& spec, util::SimTime now,
+                const QualificationConfig& config) {
+  const double bw = std::min(
+      spec.bandwidth_bytes_per_s() / config.norm_bandwidth, 1.0);
+  const double cpu =
+      std::min(spec.capacity_ops_per_s / config.norm_capacity, 1.0);
+  const double up = std::min(
+      static_cast<double>(now - spec.online_since) /
+          static_cast<double>(std::max<util::SimDuration>(config.norm_uptime, 1)),
+      1.0);
+  return config.weight_bandwidth * bw + config.weight_capacity * cpu +
+         config.weight_uptime * up;
+}
+
+}  // namespace p2prm::overlay

@@ -1,0 +1,56 @@
+// Peer descriptors and Resource-Manager qualification (§4.1).
+//
+// "A peer must demonstrate that it has sufficient resources and stability
+// before it can qualify for becoming a Resource Manager ... i) Sufficient
+// bandwidth, ii) Sufficient processing power, iii) Sufficient uptime.
+// According to how affluent a peer is in those resources, it is assigned a
+// score, that determines its position in the list of peers in the domain
+// that are eligible for becoming Resource Managers."
+#pragma once
+
+#include <string>
+
+#include "net/network.hpp"
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace p2prm::overlay {
+
+enum class PeerRole { Regular, ResourceManager };
+
+// Static description of a peer's resources (assigned by the heterogeneity
+// generator; announced during join).
+struct PeerSpec {
+  util::PeerId id;
+  double capacity_ops_per_s = 50e6;
+  net::LinkCapacity link{};
+  util::SimTime online_since = 0;
+
+  [[nodiscard]] double bandwidth_bytes_per_s() const {
+    return std::min(link.uplink_bytes_per_s, link.downlink_bytes_per_s);
+  }
+};
+
+struct QualificationConfig {
+  // Minimum requirements (thresholds i-iii).
+  double min_bandwidth_bytes_per_s = 6.25e5;  // 5 Mbit/s
+  double min_capacity_ops_per_s = 30e6;
+  util::SimDuration min_uptime = util::seconds(30);
+  // Score weights; normalization scales map resources to ~[0,1].
+  double weight_bandwidth = 1.0;
+  double weight_capacity = 1.0;
+  double weight_uptime = 0.5;
+  double norm_bandwidth = 1.25e7;   // 100 Mbit/s -> 1.0
+  double norm_capacity = 200e6;     // 200 Mops/s -> 1.0
+  util::SimDuration norm_uptime = util::minutes(30);
+};
+
+// True when the peer meets all three minimum requirements at time `now`.
+[[nodiscard]] bool qualifies_for_rm(const PeerSpec& spec, util::SimTime now,
+                                    const QualificationConfig& config);
+
+// The eligibility score (higher = better backup / RM candidate).
+[[nodiscard]] double rm_score(const PeerSpec& spec, util::SimTime now,
+                              const QualificationConfig& config);
+
+}  // namespace p2prm::overlay

@@ -1,0 +1,2 @@
+// Ewma is header-only; this TU anchors the target.
+#include "profile/ewma.hpp"

@@ -1,0 +1,40 @@
+// Exponentially-weighted moving averages for load smoothing.
+#pragma once
+
+#include <stdexcept>
+
+namespace p2prm::profile {
+
+// Classic fixed-alpha EWMA. First observation initializes the average.
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.3) : alpha_(alpha) {
+    if (alpha <= 0.0 || alpha > 1.0) {
+      throw std::invalid_argument("Ewma: alpha must be in (0, 1]");
+    }
+  }
+
+  void update(double x) {
+    if (!initialized_) {
+      value_ = x;
+      initialized_ = true;
+    } else {
+      value_ = alpha_ * x + (1.0 - alpha_) * value_;
+    }
+  }
+
+  [[nodiscard]] bool initialized() const { return initialized_; }
+  [[nodiscard]] double value() const { return initialized_ ? value_ : 0.0; }
+  [[nodiscard]] double value_or(double fallback) const {
+    return initialized_ ? value_ : fallback;
+  }
+  [[nodiscard]] double alpha() const { return alpha_; }
+  void reset() { initialized_ = false; value_ = 0.0; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace p2prm::profile

@@ -1,0 +1,85 @@
+#include "profile/profiler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace p2prm::profile {
+
+Profiler::Profiler(double capacity_ops_per_s, ProfilerConfig config)
+    : capacity_ops_per_s_(capacity_ops_per_s),
+      config_(config),
+      util_ewma_(config.ewma_alpha),
+      load_ewma_(config.ewma_alpha),
+      bw_ewma_(config.ewma_alpha) {
+  if (capacity_ops_per_s <= 0.0) {
+    throw std::invalid_argument("Profiler: capacity must be positive");
+  }
+}
+
+LoadSample Profiler::sample(util::SimTime now, util::SimDuration cumulative_busy,
+                            std::uint64_t cumulative_bytes_sent,
+                            std::size_t queue_length, double backlog_seconds) {
+  LoadSample s;
+  s.at = now;
+  s.queue_length = queue_length;
+  s.backlog_seconds = backlog_seconds;
+
+  if (has_baseline_ && now > prev_time_) {
+    const double period_s = util::to_seconds(now - prev_time_);
+    const double busy_s = util::to_seconds(
+        std::max<util::SimDuration>(cumulative_busy - prev_busy_, 0));
+    s.utilization = std::clamp(busy_s / period_s, 0.0, 1.0);
+    s.load_ops = s.utilization * capacity_ops_per_s_;
+    const double bytes =
+        static_cast<double>(cumulative_bytes_sent - prev_bytes_);
+    s.bandwidth_bytes_per_s = bytes / period_s;
+
+    util_ewma_.update(s.utilization);
+    load_ewma_.update(s.load_ops);
+    bw_ewma_.update(s.bandwidth_bytes_per_s);
+  }
+  has_baseline_ = true;
+  prev_time_ = now;
+  prev_busy_ = cumulative_busy;
+  prev_bytes_ = cumulative_bytes_sent;
+
+  s.smoothed_utilization = util_ewma_.value();
+  s.smoothed_load_ops = load_ewma_.value();
+  s.smoothed_bandwidth = bw_ewma_.value();
+  last_ = s;
+  return s;
+}
+
+void Profiler::record_execution(std::uint64_t service_type_key,
+                                util::SimDuration measured) {
+  exec_[service_type_key].add(util::to_seconds(measured));
+}
+
+void Profiler::record_communication(util::PeerId neighbour,
+                                    util::SimDuration measured) {
+  auto [it, inserted] = comm_.try_emplace(neighbour, config_.ewma_alpha);
+  it->second.update(util::to_seconds(measured));
+}
+
+util::SimDuration Profiler::estimated_execution(
+    std::uint64_t service_type_key, util::SimDuration fallback) const {
+  const auto it = exec_.find(service_type_key);
+  if (it == exec_.end() || it->second.count() == 0) return fallback;
+  return util::from_seconds(it->second.mean());
+}
+
+util::SimDuration Profiler::estimated_communication(
+    util::PeerId neighbour, util::SimDuration fallback) const {
+  const auto it = comm_.find(neighbour);
+  if (it == comm_.end() || !it->second.initialized()) return fallback;
+  return util::from_seconds(it->second.value());
+}
+
+const util::RunningStats* Profiler::execution_stats(
+    std::uint64_t service_type_key) const {
+  const auto it = exec_.find(service_type_key);
+  return it == exec_.end() ? nullptr : &it->second;
+}
+
+}  // namespace p2prm::profile

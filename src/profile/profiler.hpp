@@ -1,0 +1,92 @@
+// The per-peer Profiler (§2, §3.2, §4.4).
+//
+// "The Profiler on the processor is responsible for measuring the current
+// processor and network load of the peer and monitoring the computation
+// and communication times of the applications as they execute."
+//
+// The profiler converts raw counters (cumulative busy time, cumulative
+// bytes sent) into periodic LoadSamples — utilization, the paper's load
+// metric l_i = processing_power x utilization, and used bandwidth bw_i —
+// and keeps per-service execution-time and per-neighbour communication-time
+// statistics that feed the RM's execution-time estimates.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "profile/ewma.hpp"
+#include "util/ids.hpp"
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace p2prm::profile {
+
+struct LoadSample {
+  util::SimTime at = 0;
+  double utilization = 0.0;         // busy fraction over the last period
+  double load_ops = 0.0;            // l_i = capacity x utilization (paper §3.1)
+  double bandwidth_bytes_per_s = 0; // bw_i over the last period
+  std::size_t queue_length = 0;
+  double backlog_seconds = 0.0;
+  // Smoothed values (what the RM should use for decisions).
+  double smoothed_utilization = 0.0;
+  double smoothed_load_ops = 0.0;
+  double smoothed_bandwidth = 0.0;
+};
+
+struct ProfilerConfig {
+  double ewma_alpha = 0.3;
+};
+
+class Profiler {
+ public:
+  Profiler(double capacity_ops_per_s, ProfilerConfig config = {});
+
+  // Produces the sample for the period ending at `now` given cumulative
+  // counters. Counters must be monotone; the first call establishes the
+  // baseline and reports zeros.
+  LoadSample sample(util::SimTime now, util::SimDuration cumulative_busy,
+                    std::uint64_t cumulative_bytes_sent,
+                    std::size_t queue_length, double backlog_seconds);
+
+  // --- execution / communication time records -----------------------------
+  void record_execution(std::uint64_t service_type_key,
+                        util::SimDuration measured);
+  void record_communication(util::PeerId neighbour, util::SimDuration measured);
+
+  // Mean measured execution time for a service type; fallback when unseen.
+  [[nodiscard]] util::SimDuration estimated_execution(
+      std::uint64_t service_type_key, util::SimDuration fallback) const;
+  [[nodiscard]] util::SimDuration estimated_communication(
+      util::PeerId neighbour, util::SimDuration fallback) const;
+
+  [[nodiscard]] const util::RunningStats* execution_stats(
+      std::uint64_t service_type_key) const;
+  // All per-service-type execution records (propagated to the RM, §4.4).
+  [[nodiscard]] const std::unordered_map<std::uint64_t, util::RunningStats>&
+  execution_records() const {
+    return exec_;
+  }
+
+  [[nodiscard]] double capacity() const { return capacity_ops_per_s_; }
+  [[nodiscard]] const LoadSample& last_sample() const { return last_; }
+
+ private:
+  double capacity_ops_per_s_;
+  ProfilerConfig config_;
+
+  bool has_baseline_ = false;
+  util::SimTime prev_time_ = 0;
+  util::SimDuration prev_busy_ = 0;
+  std::uint64_t prev_bytes_ = 0;
+
+  Ewma util_ewma_;
+  Ewma load_ewma_;
+  Ewma bw_ewma_;
+  LoadSample last_;
+
+  std::unordered_map<std::uint64_t, util::RunningStats> exec_;
+  std::unordered_map<util::PeerId, Ewma> comm_;
+};
+
+}  // namespace p2prm::profile

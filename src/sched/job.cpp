@@ -1,0 +1,20 @@
+#include "sched/job.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace p2prm::sched {
+
+util::SimDuration remaining_time(const Job& job, double ops_per_second) {
+  assert(ops_per_second > 0.0);
+  if (job.remaining_ops <= 0.0) return 0;
+  const double seconds = job.remaining_ops / ops_per_second;
+  return static_cast<util::SimDuration>(std::ceil(seconds * 1e9));
+}
+
+util::SimDuration laxity(const Job& job, util::SimTime now,
+                         double ops_per_second) {
+  return (job.absolute_deadline - now) - remaining_time(job, ops_per_second);
+}
+
+}  // namespace p2prm::sched

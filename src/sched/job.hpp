@@ -1,0 +1,44 @@
+// The unit of work a Local Scheduler orders on one processor.
+//
+// An application task (§3.3) fans out into one job per service invocation;
+// each job carries the task deadline and importance so the Local Scheduler
+// can "exploit the deadlines of the applications and the actual computation
+// and execution times on the processors" (§2).
+#pragma once
+
+#include <cstdint>
+
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace p2prm::sched {
+
+struct Job {
+  util::JobId id;
+  util::TaskId task;  // owning application task (invalid for background work)
+
+  util::SimTime release = 0;            // arrival at this processor
+  util::SimTime absolute_deadline = 0;  // miss if completion exceeds this
+  double importance = 1.0;              // paper §3.3 Importance_t
+
+  double total_ops = 0.0;      // work, in abstract CPU ops
+  double remaining_ops = 0.0;  // decreases while running
+
+  // Filled in by the processor.
+  util::SimTime first_started = -1;
+  util::SimTime completed = -1;
+
+  [[nodiscard]] bool done() const { return remaining_ops <= 0.0; }
+};
+
+// Time still needed at `ops_per_second`, rounded up to whole nanoseconds.
+[[nodiscard]] util::SimDuration remaining_time(const Job& job,
+                                               double ops_per_second);
+
+// Laxity at `now`: slack before the job can no longer meet its deadline if
+// executed without interruption. Negative laxity means the deadline is
+// already unreachable.
+[[nodiscard]] util::SimDuration laxity(const Job& job, util::SimTime now,
+                                       double ops_per_second);
+
+}  // namespace p2prm::sched

@@ -1,0 +1,188 @@
+#include "sched/processor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace p2prm::sched {
+
+Processor::Processor(sim::Simulator& simulator, ProcessorConfig config,
+                     FinishFn on_finish)
+    : sim_(simulator),
+      config_(config),
+      policy_(make_policy(config.policy)),
+      on_finish_(std::move(on_finish)) {
+  assert(config_.ops_per_second > 0.0);
+}
+
+Processor::~Processor() {
+  if (pending_event_) sim_.cancel(*pending_event_);
+}
+
+void Processor::submit(Job job) {
+  if (job.release < sim_.now()) job.release = sim_.now();
+  if (job.remaining_ops <= 0.0) job.remaining_ops = job.total_ops;
+  ++stats_.submitted;
+  settle_running();
+  ready_.push_back(job);
+  reschedule();
+}
+
+bool Processor::cancel(util::JobId id) {
+  // Probe before settling: cancelling an unknown job must not disturb the
+  // schedule in flight.
+  const auto exists = std::any_of(ready_.begin(), ready_.end(),
+                                  [&](const Job& j) { return j.id == id; });
+  if (!exists) return false;
+  settle_running();
+  const auto it = std::find_if(ready_.begin(), ready_.end(),
+                               [&](const Job& j) { return j.id == id; });
+  ready_.erase(it);
+  ++stats_.cancelled;
+  reschedule();
+  return true;
+}
+
+void Processor::cancel_all() {
+  settle_running();
+  stats_.cancelled += ready_.size();
+  ready_.clear();
+  reschedule();
+}
+
+void Processor::set_policy(Policy p) {
+  settle_running();
+  policy_ = make_policy(p);
+  config_.policy = p;
+  reschedule();
+}
+
+double Processor::backlog_seconds() const {
+  double ops = 0.0;
+  for (const Job& j : ready_) ops += j.remaining_ops;
+  // If a job is mid-slice its remaining_ops is slightly stale (settled only
+  // at scheduling points); correct by the elapsed slice time.
+  if (running_) {
+    const double elapsed_s = util::to_seconds(sim_.now() - slice_start_);
+    ops -= elapsed_s * config_.ops_per_second;
+  }
+  return std::max(ops, 0.0) / config_.ops_per_second;
+}
+
+util::SimDuration Processor::busy_time() const {
+  util::SimDuration t = stats_.busy_time;
+  if (running_) t += sim_.now() - slice_start_;
+  return t;
+}
+
+util::SimTime Processor::estimate_completion(double ops) const {
+  return sim_.now() +
+         util::from_seconds(backlog_seconds() + ops / config_.ops_per_second);
+}
+
+void Processor::settle_running() {
+  if (!running_) return;
+  const util::SimDuration elapsed = sim_.now() - slice_start_;
+  if (elapsed > 0) {
+    const double done_ops = util::to_seconds(elapsed) * config_.ops_per_second;
+    for (Job& j : ready_) {
+      if (j.id == *running_) {
+        j.remaining_ops = std::max(0.0, j.remaining_ops - done_ops);
+        break;
+      }
+    }
+    stats_.busy_time += elapsed;
+  }
+  running_.reset();
+  if (pending_event_) {
+    sim_.cancel(*pending_event_);
+    pending_event_.reset();
+  }
+}
+
+void Processor::finish(std::size_t index, JobStatus status) {
+  Job job = ready_[index];
+  ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(index));
+  switch (status) {
+    case JobStatus::Completed: ++stats_.completed_on_time; break;
+    case JobStatus::CompletedLate: ++stats_.completed_late; break;
+    case JobStatus::Dropped: ++stats_.dropped; break;
+    case JobStatus::Cancelled: ++stats_.cancelled; break;
+  }
+  if (on_finish_) on_finish_(job, status);
+}
+
+void Processor::reschedule() {
+  assert(!running_ && !pending_event_);
+  ++reschedule_epoch_;
+
+  if (config_.drop_hopeless_jobs) {
+    for (std::size_t i = 0; i < ready_.size();) {
+      if (laxity(ready_[i], sim_.now(), config_.ops_per_second) < 0 &&
+          ready_[i].remaining_ops > 0.0) {
+        Job& j = ready_[i];
+        j.completed = -1;
+        finish(i, JobStatus::Dropped);
+      } else {
+        ++i;
+      }
+    }
+  }
+  if (ready_.empty()) return;
+
+  const std::size_t chosen =
+      policy_->select(ready_, sim_.now(), config_.ops_per_second);
+  Job& job = ready_[chosen];
+  if (job.first_started < 0) job.first_started = sim_.now();
+  running_ = job.id;
+  slice_start_ = sim_.now();
+
+  const util::SimDuration to_completion =
+      remaining_time(job, config_.ops_per_second);
+
+  util::SimTime check = policy_->next_preemption_check(
+      job,
+      [&] {
+        std::vector<Job> waiting;
+        waiting.reserve(ready_.size() - 1);
+        for (const Job& j : ready_) {
+          if (j.id != job.id) waiting.push_back(j);
+        }
+        return waiting;
+      }(),
+      sim_.now(), config_.ops_per_second);
+
+  const util::SimTime completion_at = sim_.now() + to_completion;
+  const std::uint64_t epoch = reschedule_epoch_;
+  if (check < completion_at) {
+    // Re-evaluate the schedule at the laxity crossover; the running job may
+    // get preempted there.
+    pending_event_ = sim_.schedule_at(check, [this, epoch] {
+      if (reschedule_epoch_ != epoch) return;
+      pending_event_.reset();
+      const auto before = running_;
+      settle_running();
+      reschedule();
+      if (before && running_ && *before != *running_) ++stats_.preemptions;
+    });
+  } else {
+    const util::JobId finishing = job.id;
+    pending_event_ = sim_.schedule_at(completion_at, [this, epoch, finishing] {
+      if (reschedule_epoch_ != epoch) return;
+      pending_event_.reset();
+      settle_running();
+      const auto it =
+          std::find_if(ready_.begin(), ready_.end(),
+                       [&](const Job& j) { return j.id == finishing; });
+      assert(it != ready_.end());
+      it->remaining_ops = 0.0;
+      it->completed = sim_.now();
+      const bool missed = sim_.now() > it->absolute_deadline;
+      finish(static_cast<std::size_t>(it - ready_.begin()),
+             missed ? JobStatus::CompletedLate : JobStatus::Completed);
+      reschedule();
+    });
+  }
+}
+
+}  // namespace p2prm::sched

@@ -1,0 +1,109 @@
+// Preemptive single-CPU execution on the simulator.
+//
+// A Processor is the execution engine behind one peer: the Local Scheduler
+// (policy) picks which ready job runs; the processor advances work at the
+// peer's speed, fires completion events, and — for LLS — schedules exact
+// laxity-crossover preemption checks so the implementation is true
+// continuous LLS, not a quantized approximation.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace p2prm::sched {
+
+struct ProcessorConfig {
+  double ops_per_second = 50e6;  // heterogeneous across peers
+  Policy policy = Policy::LeastLaxity;
+  // Soft real-time keeps late jobs (paper's model); hard-drop mode abandons
+  // jobs whose deadline can no longer be met (used in ablations).
+  bool drop_hopeless_jobs = false;
+};
+
+enum class JobStatus {
+  Completed,      // finished at or before its deadline
+  CompletedLate,  // finished after the deadline (soft real-time miss)
+  Dropped,        // abandoned: deadline unreachable (drop_hopeless_jobs)
+  Cancelled,      // removed by the middleware (reassignment, peer leave)
+};
+
+struct ProcessorStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed_on_time = 0;
+  std::uint64_t completed_late = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t preemptions = 0;
+  util::SimDuration busy_time = 0;
+
+  [[nodiscard]] std::uint64_t finished() const {
+    return completed_on_time + completed_late + dropped;
+  }
+  [[nodiscard]] double miss_ratio() const {
+    const auto f = finished();
+    return f ? static_cast<double>(completed_late + dropped) /
+                   static_cast<double>(f)
+             : 0.0;
+  }
+};
+
+class Processor {
+ public:
+  // `on_finish` fires for Completed/CompletedLate/Dropped (not Cancelled).
+  using FinishFn = std::function<void(const Job&, JobStatus)>;
+
+  Processor(sim::Simulator& simulator, ProcessorConfig config,
+            FinishFn on_finish = {});
+  ~Processor();
+
+  Processor(const Processor&) = delete;
+  Processor& operator=(const Processor&) = delete;
+
+  // Enqueues the job (release defaults to now if unset in the past).
+  void submit(Job job);
+  // Removes a queued or running job; returns false if unknown.
+  bool cancel(util::JobId id);
+  // Cancels everything (peer departure). on_finish is NOT called.
+  void cancel_all();
+
+  void set_policy(Policy p);
+  [[nodiscard]] Policy policy() const { return policy_->policy(); }
+  [[nodiscard]] double ops_per_second() const { return config_.ops_per_second; }
+
+  // --- Introspection (what the Profiler samples) -------------------------
+  [[nodiscard]] std::size_t queue_length() const { return ready_.size(); }
+  [[nodiscard]] bool busy() const { return running_.has_value(); }
+  // Total outstanding work, in seconds at this processor's speed.
+  [[nodiscard]] double backlog_seconds() const;
+  // Cumulative busy time; utilization over a window is a delta of this.
+  [[nodiscard]] util::SimDuration busy_time() const;
+  [[nodiscard]] const ProcessorStats& stats() const { return stats_; }
+
+  // Estimated completion time of a hypothetical job of `ops` arriving now,
+  // assuming current backlog runs first (conservative FIFO bound). Used by
+  // Resource Managers for §3.3 execution-time estimates.
+  [[nodiscard]] util::SimTime estimate_completion(double ops) const;
+
+ private:
+  void settle_running();
+  void reschedule();
+  void finish(std::size_t index, JobStatus status);
+
+  sim::Simulator& sim_;
+  ProcessorConfig config_;
+  std::unique_ptr<SchedulingPolicy> policy_;
+  FinishFn on_finish_;
+
+  std::vector<Job> ready_;  // includes the running job
+  std::optional<util::JobId> running_;
+  util::SimTime slice_start_ = 0;
+  std::optional<sim::EventId> pending_event_;
+  ProcessorStats stats_;
+  std::uint64_t reschedule_epoch_ = 0;
+};
+
+}  // namespace p2prm::sched

@@ -1,0 +1,197 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace p2prm::sched {
+
+std::string_view policy_name(Policy p) {
+  switch (p) {
+    case Policy::LeastLaxity: return "LLS";
+    case Policy::EarliestDeadline: return "EDF";
+    case Policy::Fifo: return "FIFO";
+    case Policy::StaticImportance: return "SP";
+    case Policy::WeightedLaxity: return "WLLS";
+  }
+  return "?";
+}
+
+Policy policy_from_name(std::string_view name) {
+  if (name == "LLS" || name == "lls") return Policy::LeastLaxity;
+  if (name == "EDF" || name == "edf") return Policy::EarliestDeadline;
+  if (name == "FIFO" || name == "fifo") return Policy::Fifo;
+  if (name == "SP" || name == "sp") return Policy::StaticImportance;
+  if (name == "WLLS" || name == "wlls") return Policy::WeightedLaxity;
+  throw std::invalid_argument("unknown scheduling policy: " + std::string(name));
+}
+
+bool tie_break_before(const Job& a, const Job& b) {
+  if (a.absolute_deadline != b.absolute_deadline) {
+    return a.absolute_deadline < b.absolute_deadline;
+  }
+  if (a.importance != b.importance) return a.importance > b.importance;
+  return a.id < b.id;
+}
+
+util::SimTime SchedulingPolicy::next_preemption_check(
+    const Job&, const std::vector<Job>&, util::SimTime, double) const {
+  // Work-conserving fixed-key policies only switch at arrivals/completions.
+  return util::kTimeInfinity;
+}
+
+namespace {
+
+template <typename Better>
+std::size_t select_best(const std::vector<Job>& ready, Better better) {
+  assert(!ready.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < ready.size(); ++i) {
+    if (better(ready[i], ready[best])) best = i;
+  }
+  return best;
+}
+
+class LeastLaxityPolicy final : public SchedulingPolicy {
+ public:
+  // Preemption hysteresis: a waiting job must beat the running job's laxity
+  // by this margin before it preempts. Pure LLS thrashes between
+  // equal-laxity jobs (a textbook pathology — with nanosecond timestamps it
+  // degenerates into one context switch per nanosecond); the quantum bounds
+  // switches to one per millisecond in the worst case while changing
+  // schedules only by sub-millisecond laxity differences.
+  static constexpr util::SimDuration kLaxityQuantum = util::milliseconds(1);
+
+  std::size_t select(const std::vector<Job>& ready, util::SimTime now,
+                     double ops_per_second) const override {
+    return select_best(ready, [&](const Job& a, const Job& b) {
+      const auto la = laxity(a, now, ops_per_second);
+      const auto lb = laxity(b, now, ops_per_second);
+      if (la != lb) return la < lb;
+      return tie_break_before(a, b);
+    });
+  }
+
+  util::SimTime next_preemption_check(const Job& running,
+                                      const std::vector<Job>& waiting,
+                                      util::SimTime now,
+                                      double ops_per_second) const override {
+    // While `running` executes, its laxity is constant:
+    //   L_r = deadline_r - now - remaining_r(now).
+    // A waiting job's laxity decays linearly:
+    //   L_w(t) = deadline_w - t - remaining_w   (remaining_w frozen).
+    // The first flip is at the smallest t with L_w(t) < L_r, i.e.
+    //   t = deadline_w - remaining_w - L_r.
+    const util::SimDuration l_run = laxity(running, now, ops_per_second);
+    util::SimTime earliest = util::kTimeInfinity;
+    for (const Job& w : waiting) {
+      const util::SimTime cross =
+          w.absolute_deadline - remaining_time(w, ops_per_second) - l_run;
+      earliest = std::min(earliest, cross);
+    }
+    if (earliest == util::kTimeInfinity) return earliest;
+    // Check one quantum past the crossing point: the waiting job then leads
+    // by a full quantum, so flips cost at least kLaxityQuantum of progress
+    // each (no nanosecond-scale thrashing between equal-laxity jobs).
+    return std::max(earliest + kLaxityQuantum, now + kLaxityQuantum);
+  }
+
+  Policy policy() const override { return Policy::LeastLaxity; }
+};
+
+// Value-density scheduling: minimize laxity / importance. An important
+// job with moderate slack outranks an unimportant one that is slightly
+// tighter; under overload the scarce slack goes to the valuable work.
+class WeightedLaxityPolicy final : public SchedulingPolicy {
+ public:
+  static constexpr util::SimDuration kLaxityQuantum = util::milliseconds(1);
+
+  static double key(const Job& j, util::SimTime now, double ops_per_second) {
+    return static_cast<double>(laxity(j, now, ops_per_second)) /
+           std::max(j.importance, 1e-9);
+  }
+
+  std::size_t select(const std::vector<Job>& ready, util::SimTime now,
+                     double ops_per_second) const override {
+    return select_best(ready, [&](const Job& a, const Job& b) {
+      const double ka = key(a, now, ops_per_second);
+      const double kb = key(b, now, ops_per_second);
+      if (ka != kb) return ka < kb;
+      return tie_break_before(a, b);
+    });
+  }
+
+  util::SimTime next_preemption_check(const Job& running,
+                                      const std::vector<Job>& waiting,
+                                      util::SimTime now,
+                                      double ops_per_second) const override {
+    // Waiting key decays with slope -1/w_w; the running key is constant at
+    // L_r / w_r. Crossover: t = D_w - R_w - L_r * w_w / w_r.
+    const double run_key = key(running, now, ops_per_second);
+    util::SimTime earliest = util::kTimeInfinity;
+    for (const Job& w : waiting) {
+      const double cross_d =
+          static_cast<double>(w.absolute_deadline -
+                              remaining_time(w, ops_per_second)) -
+          run_key * std::max(w.importance, 1e-9);
+      const auto cross = static_cast<util::SimTime>(cross_d);
+      earliest = std::min(earliest, cross);
+    }
+    if (earliest == util::kTimeInfinity) return earliest;
+    return std::max(earliest + kLaxityQuantum, now + kLaxityQuantum);
+  }
+
+  Policy policy() const override { return Policy::WeightedLaxity; }
+};
+
+class EdfPolicy final : public SchedulingPolicy {
+ public:
+  std::size_t select(const std::vector<Job>& ready, util::SimTime,
+                     double) const override {
+    return select_best(ready, [](const Job& a, const Job& b) {
+      return tie_break_before(a, b);  // primary key is already the deadline
+    });
+  }
+  Policy policy() const override { return Policy::EarliestDeadline; }
+};
+
+class FifoPolicy final : public SchedulingPolicy {
+ public:
+  std::size_t select(const std::vector<Job>& ready, util::SimTime,
+                     double) const override {
+    return select_best(ready, [](const Job& a, const Job& b) {
+      if (a.release != b.release) return a.release < b.release;
+      return a.id < b.id;
+    });
+  }
+  Policy policy() const override { return Policy::Fifo; }
+};
+
+class StaticImportancePolicy final : public SchedulingPolicy {
+ public:
+  std::size_t select(const std::vector<Job>& ready, util::SimTime,
+                     double) const override {
+    return select_best(ready, [](const Job& a, const Job& b) {
+      if (a.importance != b.importance) return a.importance > b.importance;
+      return tie_break_before(a, b);
+    });
+  }
+  Policy policy() const override { return Policy::StaticImportance; }
+};
+
+}  // namespace
+
+std::unique_ptr<SchedulingPolicy> make_policy(Policy p) {
+  switch (p) {
+    case Policy::LeastLaxity: return std::make_unique<LeastLaxityPolicy>();
+    case Policy::EarliestDeadline: return std::make_unique<EdfPolicy>();
+    case Policy::Fifo: return std::make_unique<FifoPolicy>();
+    case Policy::StaticImportance:
+      return std::make_unique<StaticImportancePolicy>();
+    case Policy::WeightedLaxity:
+      return std::make_unique<WeightedLaxityPolicy>();
+  }
+  throw std::invalid_argument("make_policy: bad policy");
+}
+
+}  // namespace p2prm::sched

@@ -1,0 +1,60 @@
+// Local scheduling policies.
+//
+// The paper's Local Scheduler "is based on the Least Laxity Scheduling
+// (LLS) algorithm" (§2). We implement LLS plus the classic baselines the
+// evaluation compares against: EDF, FIFO and static importance priority.
+// A policy is a pure selection rule — the Processor owns time, preemption
+// and execution.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sched/job.hpp"
+
+namespace p2prm::sched {
+
+enum class Policy {
+  LeastLaxity,
+  EarliestDeadline,
+  Fifo,
+  StaticImportance,
+  // Importance-weighted least laxity (value-density, after the paper's
+  // refs [10]/[26]): runs the job minimizing laxity / importance, so when
+  // slack is scarce it is spent on the valuable tasks.
+  WeightedLaxity,
+};
+
+[[nodiscard]] std::string_view policy_name(Policy p);
+[[nodiscard]] Policy policy_from_name(std::string_view name);
+
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+
+  // Index (into `ready`) of the job to run at `now`. `ready` is non-empty.
+  // `ops_per_second` is the processor speed (needed for laxity).
+  [[nodiscard]] virtual std::size_t select(const std::vector<Job>& ready,
+                                           util::SimTime now,
+                                           double ops_per_second) const = 0;
+
+  // Earliest future instant at which the selection could flip from
+  // `running` to some waiting job even with no arrivals or completions
+  // (only LLS has such instants: a waiting job's laxity decays while the
+  // running job's laxity is constant). kTimeInfinity when no flip happens.
+  [[nodiscard]] virtual util::SimTime next_preemption_check(
+      const Job& running, const std::vector<Job>& waiting, util::SimTime now,
+      double ops_per_second) const;
+
+  [[nodiscard]] virtual Policy policy() const = 0;
+};
+
+[[nodiscard]] std::unique_ptr<SchedulingPolicy> make_policy(Policy p);
+
+// Deterministic total tie-break shared by all policies: earlier deadline,
+// then higher importance, then lower job id.
+[[nodiscard]] bool tie_break_before(const Job& a, const Job& b);
+
+}  // namespace p2prm::sched

@@ -1,0 +1,55 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace p2prm::sim {
+
+EventId EventQueue::push(util::SimTime when, EventFn fn) {
+  const EventId id = next_id_++;
+  heap_.push_back(Entry{when, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id >= next_id_) return false;
+  // Only mark if it could still be pending; popped events are gone from the
+  // heap, and double-cancel must not corrupt the live count.
+  if (cancelled_.insert(id).second) {
+    // We cannot cheaply tell whether `id` was already popped; callers only
+    // cancel ids they know are pending (timer handles), so decrement here.
+    if (live_ == 0) return false;
+    --live_;
+    return true;
+  }
+  return false;
+}
+
+void EventQueue::drop_cancelled_head() {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.front().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    heap_.pop_back();
+  }
+}
+
+util::SimTime EventQueue::next_time() {
+  drop_cancelled_head();
+  return heap_.empty() ? util::kTimeInfinity : heap_.front().when;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_cancelled_head();
+  assert(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  --live_;
+  return Popped{e.when, e.id, std::move(e.fn)};
+}
+
+}  // namespace p2prm::sim

@@ -1,0 +1,64 @@
+// Deterministic pending-event set.
+//
+// Events at equal timestamps fire in insertion order (sequence-number
+// tie-break), which is what makes whole-system runs bit-reproducible.
+// Cancellation is lazy: a cancelled event stays in the heap but is skipped
+// on pop, keeping cancel() O(1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace p2prm::sim {
+
+using EventId = std::uint64_t;
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  EventId push(util::SimTime when, EventFn fn);
+
+  // True if the event was still pending.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  // Timestamp of the next live event; kTimeInfinity when empty.
+  [[nodiscard]] util::SimTime next_time();
+
+  // Pops and returns the next live event. Precondition: !empty().
+  struct Popped {
+    util::SimTime when;
+    EventId id;
+    EventFn fn;
+  };
+  Popped pop();
+
+  [[nodiscard]] std::uint64_t total_scheduled() const { return next_id_; }
+
+ private:
+  struct Entry {
+    util::SimTime when;
+    EventId id;
+    EventFn fn;
+  };
+  // Min-heap ordering: earlier time first, then lower id.
+  static bool later(const Entry& a, const Entry& b) {
+    if (a.when != b.when) return a.when > b.when;
+    return a.id > b.id;
+  }
+
+  void drop_cancelled_head();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace p2prm::sim

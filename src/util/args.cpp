@@ -1,0 +1,67 @@
+#include "util/args.hpp"
+
+#include <stdexcept>
+
+namespace p2prm::util {
+
+Args::Args(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      kv_[arg] = argv[++i];
+    } else {
+      kv_[arg] = "1";
+    }
+  }
+}
+
+bool Args::has(const std::string& key) const {
+  touched_[key] = true;
+  return kv_.count(key) != 0;
+}
+
+std::string Args::get(const std::string& key, const std::string& fallback) const {
+  touched_[key] = true;
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : it->second;
+}
+
+std::int64_t Args::get_int(const std::string& key, std::int64_t fallback) const {
+  touched_[key] = true;
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  return std::stoll(it->second);
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  touched_[key] = true;
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  return std::stod(it->second);
+}
+
+bool Args::get_bool(const std::string& key, bool fallback) const {
+  touched_[key] = true;
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  const std::string& v = it->second;
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::vector<std::string> Args::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [k, _] : kv_) {
+    if (!touched_.count(k)) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace p2prm::util

@@ -1,0 +1,40 @@
+// Tiny command-line parser for benches and examples.
+//
+// All binaries must run with zero arguments (CI runs them bare); flags only
+// override experiment defaults, e.g.  --peers=128 --seed=7 --csv.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace p2prm::util {
+
+class Args {
+ public:
+  // Accepts --key=value, --key value, and bare --flag (value "1").
+  // Throws std::invalid_argument on malformed input (e.g. positional args).
+  Args(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+  // Keys that were provided but never queried — typo detection for users.
+  [[nodiscard]] std::vector<std::string> unused() const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> kv_;
+  mutable std::map<std::string, bool> touched_;
+};
+
+}  // namespace p2prm::util

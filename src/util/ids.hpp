@@ -1,0 +1,94 @@
+// Strongly-typed identifiers used throughout the middleware.
+//
+// The paper identifies processors by "a unique ID (such as the pair
+// <IP_i, port_i> or a randomly generated number)" (§3.1). We use 64-bit
+// integral ids wrapped in distinct types so that a PeerId can never be
+// accidentally passed where a DomainId is expected.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace p2prm::util {
+
+// CRTP-free strong id: Tag makes each instantiation a distinct type.
+template <typename Tag>
+class StrongId {
+ public:
+  using underlying_type = std::uint64_t;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(underlying_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  // An id that never names a real entity.
+  static constexpr StrongId invalid() { return StrongId{kInvalid}; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    if (!id.valid()) return os << "<invalid>";
+    return os << id.value_;
+  }
+
+ private:
+  static constexpr underlying_type kInvalid = ~underlying_type{0};
+  underlying_type value_ = kInvalid;
+};
+
+struct PeerIdTag {};
+struct DomainIdTag {};
+struct TaskIdTag {};
+struct ServiceIdTag {};
+struct ObjectIdTag {};
+struct SessionIdTag {};
+struct JobIdTag {};
+
+using PeerId = StrongId<PeerIdTag>;        // a processor in the overlay
+using DomainId = StrongId<DomainIdTag>;    // a geographical domain
+using TaskId = StrongId<TaskIdTag>;        // an application task (user query)
+using ServiceId = StrongId<ServiceIdTag>;  // a service instance on a peer
+using ObjectId = StrongId<ObjectIdTag>;    // an application/media object
+using SessionId = StrongId<SessionIdTag>;  // a running service session
+using JobId = StrongId<JobIdTag>;          // a unit of work on one processor
+
+// Monotonic id factory. Each entity family typically owns one.
+template <typename Id>
+class IdGenerator {
+ public:
+  constexpr IdGenerator() = default;
+  constexpr explicit IdGenerator(typename Id::underlying_type first)
+      : next_(first) {}
+
+  Id next() { return Id{next_++}; }
+  [[nodiscard]] typename Id::underlying_type issued() const { return next_; }
+
+ private:
+  typename Id::underlying_type next_ = 0;
+};
+
+template <typename Tag>
+[[nodiscard]] inline std::string to_string(StrongId<Tag> id) {
+  return id.valid() ? std::to_string(id.value()) : std::string("<invalid>");
+}
+
+}  // namespace p2prm::util
+
+template <typename Tag>
+struct std::hash<p2prm::util::StrongId<Tag>> {
+  std::size_t operator()(p2prm::util::StrongId<Tag> id) const noexcept {
+    // splitmix64 finalizer: ids are sequential, spread them.
+    std::uint64_t x = id.value();
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};

@@ -1,0 +1,42 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+#include <iostream>
+
+namespace p2prm::util {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::write(LogLevel level, const std::string& component,
+                   const std::string& message, double sim_now_seconds) {
+  if (!enabled(level)) return;
+  std::ostream& os = sink_ ? *sink_ : std::clog;
+  char prefix[64];
+  if (sim_now_seconds >= 0.0) {
+    std::snprintf(prefix, sizeof prefix, "[%10.6f] %s %-8s ", sim_now_seconds,
+                  level_name(level), component.c_str());
+  } else {
+    std::snprintf(prefix, sizeof prefix, "[   ------  ] %s %-8s ",
+                  level_name(level), component.c_str());
+  }
+  os << prefix << message << '\n';
+}
+
+}  // namespace p2prm::util

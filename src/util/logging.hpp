@@ -1,0 +1,64 @@
+// Minimal leveled logging.
+//
+// Off (Warn) by default so tests and benches stay quiet; examples flip it
+// to Info/Debug to narrate protocol activity. Not thread-safe by design:
+// the simulator is single-threaded and deterministic.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace p2prm::util {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  // `sim_now_seconds` < 0 means "no simulated clock available".
+  void write(LogLevel level, const std::string& component,
+             const std::string& message, double sim_now_seconds = -1.0);
+
+  // Benches/tests can capture output instead of printing.
+  void set_sink(std::ostream* sink) { sink_ = sink; }
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::Warn;
+  std::ostream* sink_ = nullptr;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component, double now)
+      : level_(level), component_(std::move(component)), now_(now) {}
+  ~LogLine() { Logger::instance().write(level_, component_, os_.str(), now_); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  double now_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace p2prm::util
+
+// Usage: P2PRM_LOG(Info, "rm", now_s) << "peer " << id << " joined";
+#define P2PRM_LOG(level, component, now_s)                                \
+  if (!::p2prm::util::Logger::instance().enabled(                        \
+          ::p2prm::util::LogLevel::level)) {                             \
+  } else                                                                 \
+    ::p2prm::util::detail::LogLine(::p2prm::util::LogLevel::level,       \
+                                   (component), (now_s))

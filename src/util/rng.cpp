@@ -1,0 +1,188 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace p2prm::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+[[nodiscard]] constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::fork() {
+  // Seeding a child from two draws keeps the streams decorrelated without
+  // implementing the full jump() polynomial.
+  const std::uint64_t a = next();
+  const std::uint64_t b = next();
+  return Rng(a ^ rotl(b, 31) ^ 0xd1b54a32d192ed03ULL);
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t t = (0 - bound) % bound;
+    while (l < t) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(span == 0 ? next() : below(span));
+}
+
+double Rng::uniform01() {
+  // 53 random bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform01();
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Rng::exponential(double mean) {
+  assert(mean > 0.0);
+  double u;
+  do {
+    u = uniform01();
+  } while (u == 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1;
+  do {
+    u1 = uniform01();
+  } while (u1 == 0.0);
+  const double u2 = uniform01();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::pareto(double x_m, double alpha) {
+  assert(x_m > 0.0 && alpha > 0.0);
+  double u;
+  do {
+    u = uniform01();
+  } while (u == 0.0);
+  return x_m / std::pow(u, 1.0 / alpha);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("weighted_index: all weights are zero");
+  }
+  double r = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.size() - 1;  // floating-point edge: return last positive
+}
+
+// ---------------------------------------------------------------------------
+// ZipfDistribution: rejection-inversion sampling (Hörmann & Derflinger 1996),
+// the same scheme used by Apache Commons' RejectionInversionZipfSampler.
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double s) : n_(n), s_(s) {
+  if (n == 0) throw std::invalid_argument("Zipf: n must be >= 1");
+  if (s <= 0.0) throw std::invalid_argument("Zipf: s must be > 0");
+  h_integral_x1_ = h_integral(1.5) - 1.0;
+  h_integral_n_ = h_integral(static_cast<double>(n) + 0.5);
+  s_over_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+}
+
+double ZipfDistribution::h(double x) const { return std::exp(-s_ * std::log(x)); }
+
+double ZipfDistribution::h_integral(double x) const {
+  const double log_x = std::log(x);
+  // helper: (exp(x*t)-1)/x, stable near x == 0.
+  const double t = log_x * (1.0 - s_);
+  double v;
+  if (std::abs(t) > 1e-8) {
+    v = (std::exp(t) - 1.0) / (1.0 - s_);
+  } else {
+    v = log_x * (1.0 + t * (0.5 + t / 6.0));
+  }
+  return v;
+}
+
+double ZipfDistribution::h_integral_inverse(double x) const {
+  double t = x * (1.0 - s_);
+  if (t < -1.0) t = -1.0;  // numeric guard
+  double log_res;
+  if (std::abs(t) > 1e-8) {
+    log_res = std::log1p(t) / (1.0 - s_);
+  } else {
+    log_res = x * (1.0 - t * (0.5 - t / 3.0));
+  }
+  return std::exp(log_res);
+}
+
+std::size_t ZipfDistribution::operator()(Rng& rng) {
+  while (true) {
+    const double u =
+        h_integral_n_ + rng.uniform01() * (h_integral_x1_ - h_integral_n_);
+    const double x = h_integral_inverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) k = 1.0;
+    if (k > static_cast<double>(n_)) k = static_cast<double>(n_);
+    if (k - x <= s_over_ || u >= h_integral(k + 0.5) - h(k)) {
+      return static_cast<std::size_t>(k) - 1;  // 0-based rank
+    }
+  }
+}
+
+}  // namespace p2prm::util

@@ -1,0 +1,91 @@
+// Deterministic random number generation.
+//
+// Every stochastic element of the middleware (workloads, churn, topology,
+// gossip partner choice) draws from an Rng seeded by the experiment, so a
+// run is exactly reproducible from (code, seed). The generator is
+// xoshiro256** seeded via splitmix64 — fast, high quality, and trivially
+// forkable so independent subsystems get decorrelated streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace p2prm::util {
+
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // UniformRandomBitGenerator interface (usable with <random> distributions).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  // A generator whose stream is independent of this one's future output.
+  [[nodiscard]] Rng fork();
+
+  // Uniform integer in [0, bound) without modulo bias. bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  // Uniform double in [0, 1).
+  double uniform01();
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  // True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+  // Exponential with given mean (> 0).
+  double exponential(double mean);
+  // Normal via Box-Muller.
+  double normal(double mean, double stddev);
+  // Pareto with scale x_m > 0 and shape alpha > 0 (heavy-tailed capacities).
+  double pareto(double x_m, double alpha);
+  // Log-normal parameterized by the mean/stddev of the *underlying* normal.
+  double lognormal(double mu, double sigma);
+
+  // Random index from non-negative weights (at least one positive).
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  template <typename It>
+  void shuffle(It first, It last) {
+    const auto n = static_cast<std::uint64_t>(last - first);
+    for (std::uint64_t i = n; i > 1; --i) {
+      std::swap(first[i - 1], first[below(i)]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+// Zipf(s, n) sampler over {0, ..., n-1} using the rejection-inversion
+// method of Hörmann & Derflinger; O(1) per sample after O(1) setup.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double s);
+
+  std::size_t operator()(Rng& rng);
+
+  [[nodiscard]] std::size_t n() const { return n_; }
+  [[nodiscard]] double s() const { return s_; }
+
+ private:
+  [[nodiscard]] double h(double x) const;
+  [[nodiscard]] double h_integral(double x) const;
+  [[nodiscard]] double h_integral_inverse(double x) const;
+
+  std::size_t n_;
+  double s_;
+  double h_integral_x1_;
+  double h_integral_n_;
+  double s_over_;
+};
+
+}  // namespace p2prm::util

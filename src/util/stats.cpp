@@ -1,0 +1,164 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace p2prm::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::sample_variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+// ---------------------------------------------------------------------------
+
+double Samples::mean() const {
+  if (data_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : data_) s += x;
+  return s / static_cast<double>(data_.size());
+}
+
+double Samples::stddev() const {
+  if (data_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (double x : data_) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(data_.size()));
+}
+
+double Samples::min() const {
+  if (data_.empty()) return 0.0;
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+double Samples::max() const {
+  if (data_.empty()) return 0.0;
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+double Samples::quantile(double q) const {
+  if (data_.empty()) return 0.0;
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0,1]");
+  if (!sorted_) {
+    std::sort(data_.begin(), data_.end());
+    sorted_ = true;
+  }
+  const double pos = q * static_cast<double>(data_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= data_.size()) return data_.back();
+  return data_[lo] * (1.0 - frac) + data_[lo + 1] * frac;
+}
+
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  if (!(lo < hi) || buckets == 0) {
+    throw std::invalid_argument("Histogram: need lo < hi and buckets > 0");
+  }
+}
+
+void Histogram::add(double x) {
+  const double span = hi_ - lo_;
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / span *
+                                         static_cast<double>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bucket_low(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bucket_high(std::size_t i) const { return bucket_low(i + 1); }
+
+std::string Histogram::render(std::size_t max_width) const {
+  std::ostringstream os;
+  std::uint64_t peak = 0;
+  for (auto c : counts_) peak = std::max(peak, c);
+  if (peak == 0) return "(empty histogram)\n";
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(max_width));
+    char label[64];
+    std::snprintf(label, sizeof label, "[%9.3g, %9.3g) %8llu ",
+                  bucket_low(i), bucket_high(i),
+                  static_cast<unsigned long long>(counts_[i]));
+    os << label << std::string(std::max<std::size_t>(bar, 1), '#') << '\n';
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+
+void TimeSeries::add(double t_seconds, double value) {
+  assert(points_.empty() || t_seconds >= points_.back().first);
+  points_.emplace_back(t_seconds, value);
+}
+
+double TimeSeries::mean_over(double t0, double t1) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& [t, v] : points_) {
+    if (t >= t0 && t < t1) {
+      sum += v;
+      ++n;
+    }
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double TimeSeries::last() const {
+  return points_.empty() ? 0.0 : points_.back().second;
+}
+
+}  // namespace p2prm::util

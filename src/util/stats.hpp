@@ -1,0 +1,95 @@
+// Streaming statistics used by profilers and the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace p2prm::util {
+
+// Welford's online mean/variance plus min/max. O(1) space.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  // population variance
+  [[nodiscard]] double sample_variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Stores samples; exact quantiles on demand. For experiment-scale sample
+// counts (<= millions) this is simpler and more trustworthy than sketches.
+class Samples {
+ public:
+  void add(double x) { data_.push_back(x); }
+  void reserve(std::size_t n) { data_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  // Linear-interpolated quantile, q in [0, 1]. Sorts lazily.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] const std::vector<double>& values() const { return data_; }
+
+ private:
+  mutable std::vector<double> data_;
+  mutable bool sorted_ = false;
+};
+
+// Fixed-width histogram over [lo, hi); out-of-range values clamp to the
+// edge buckets. Used for latency/laxity distributions in reports.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] double bucket_low(std::size_t i) const;
+  [[nodiscard]] double bucket_high(std::size_t i) const;
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  // ASCII rendering, one line per non-empty bucket.
+  [[nodiscard]] std::string render(std::size_t max_width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+// A time series of (t_seconds, value) pairs with downsampled rendering.
+class TimeSeries {
+ public:
+  void add(double t_seconds, double value);
+  [[nodiscard]] std::size_t count() const { return points_.size(); }
+  [[nodiscard]] double value_at(std::size_t i) const { return points_[i].second; }
+  [[nodiscard]] double time_at(std::size_t i) const { return points_[i].first; }
+  // Mean of values with t in [t0, t1).
+  [[nodiscard]] double mean_over(double t0, double t1) const;
+  [[nodiscard]] double last() const;
+
+ private:
+  std::vector<std::pair<double, double>> points_;
+};
+
+}  // namespace p2prm::util

@@ -1,0 +1,50 @@
+// Console table / CSV rendering for experiment output.
+//
+// Every bench binary prints paper-style tables through this facility so all
+// experiments share one output format (and EXPERIMENTS.md can quote them
+// verbatim).
+#pragma once
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace p2prm::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Row-building: add cells one at a time, then end_row(), or push a whole
+  // row at once.
+  Table& cell(std::string value);
+  Table& cell(const char* value) { return cell(std::string(value)); }
+  Table& cell(double value, int precision = 3);
+  Table& cell(std::int64_t value);
+  Table& cell(std::uint64_t value);
+  Table& cell(int value) { return cell(static_cast<std::int64_t>(value)); }
+  Table& cell(unsigned value) { return cell(static_cast<std::uint64_t>(value)); }
+  Table& end_row();
+  Table& row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  // Pretty-prints with aligned columns and a header rule.
+  void print(std::ostream& os) const;
+  // RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  void write_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> pending_;
+};
+
+// printf-style helper producing std::string.
+[[nodiscard]] std::string format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace p2prm::util

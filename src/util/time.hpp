@@ -1,0 +1,71 @@
+// Simulated-time primitives.
+//
+// All timestamps inside the middleware are integer nanoseconds since the
+// start of the simulation. Integer time keeps the event queue exactly
+// deterministic (no FP associativity surprises) while still being fine
+// enough to express sub-millisecond network latencies.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace p2prm::util {
+
+// Nanoseconds since simulation start. Signed so durations subtract safely.
+using SimTime = std::int64_t;
+using SimDuration = std::int64_t;
+
+inline constexpr SimTime kTimeZero = 0;
+inline constexpr SimTime kTimeInfinity = std::numeric_limits<SimTime>::max();
+
+[[nodiscard]] constexpr SimDuration nanoseconds(std::int64_t n) { return n; }
+[[nodiscard]] constexpr SimDuration microseconds(std::int64_t us) {
+  return us * 1'000;
+}
+[[nodiscard]] constexpr SimDuration milliseconds(std::int64_t ms) {
+  return ms * 1'000'000;
+}
+[[nodiscard]] constexpr SimDuration seconds(std::int64_t s) {
+  return s * 1'000'000'000;
+}
+[[nodiscard]] constexpr SimDuration minutes(std::int64_t m) {
+  return seconds(m * 60);
+}
+
+// Fractional seconds -> SimDuration, rounded to the nearest nanosecond
+// (workloads are parameterized in seconds).
+[[nodiscard]] constexpr SimDuration from_seconds(double s) {
+  const double ns = s * 1e9;
+  return static_cast<SimDuration>(ns >= 0.0 ? ns + 0.5 : ns - 0.5);
+}
+[[nodiscard]] constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) * 1e-9;
+}
+[[nodiscard]] constexpr double to_milliseconds(SimDuration d) {
+  return static_cast<double>(d) * 1e-6;
+}
+
+template <typename Rep, typename Period>
+[[nodiscard]] constexpr SimDuration from_chrono(
+    std::chrono::duration<Rep, Period> d) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(d).count();
+}
+
+// "12.345s" style rendering for logs and tables.
+[[nodiscard]] inline std::string format_time(SimTime t) {
+  if (t == kTimeInfinity) return "inf";
+  const double s = to_seconds(t);
+  char buf[32];
+  if (s >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.3fs", s);
+  } else if (s >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.3fms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3fus", s * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace p2prm::util

@@ -1,0 +1,87 @@
+#include "workload/arrivals.hpp"
+
+#include <stdexcept>
+
+namespace p2prm::workload {
+
+PoissonArrivals::PoissonArrivals(double rate_per_s) : mean_(1.0 / rate_per_s) {
+  if (rate_per_s <= 0.0) {
+    throw std::invalid_argument("PoissonArrivals: rate must be positive");
+  }
+}
+
+double PoissonArrivals::next_interarrival(util::Rng& rng) {
+  return rng.exponential(mean_);
+}
+
+MmppArrivals::MmppArrivals(double calm_rate_per_s, double burst_rate_per_s,
+                           double mean_calm_s, double mean_burst_s)
+    : calm_mean_(1.0 / calm_rate_per_s),
+      burst_mean_(1.0 / burst_rate_per_s),
+      mean_calm_s_(mean_calm_s),
+      mean_burst_s_(mean_burst_s) {
+  if (calm_rate_per_s <= 0.0 || burst_rate_per_s <= 0.0 || mean_calm_s <= 0.0 ||
+      mean_burst_s <= 0.0) {
+    throw std::invalid_argument("MmppArrivals: all parameters must be positive");
+  }
+}
+
+double MmppArrivals::next_interarrival(util::Rng& rng) {
+  double waited = 0.0;
+  while (true) {
+    if (phase_left_s_ <= 0.0) {
+      phase_left_s_ =
+          rng.exponential(bursting_ ? mean_burst_s_ : mean_calm_s_);
+    }
+    const double gap = rng.exponential(bursting_ ? burst_mean_ : calm_mean_);
+    if (gap <= phase_left_s_) {
+      phase_left_s_ -= gap;
+      return waited + gap;
+    }
+    // Phase ends before the next arrival: cross into the other phase.
+    waited += phase_left_s_;
+    phase_left_s_ = 0.0;
+    bursting_ = !bursting_;
+  }
+}
+
+WorkloadDriver::WorkloadDriver(core::System& system,
+                               std::unique_ptr<ArrivalProcess> process,
+                               RequestSynthesizer& synthesizer)
+    : system_(system),
+      process_(std::move(process)),
+      synthesizer_(synthesizer),
+      rng_(system.workload_rng().fork()) {}
+
+WorkloadDriver::~WorkloadDriver() { stop(); }
+
+void WorkloadDriver::start(util::SimTime until) {
+  until_ = until;
+  running_ = true;
+  arm_next();
+}
+
+void WorkloadDriver::stop() { running_ = false; }
+
+void WorkloadDriver::arm_next() {
+  if (!running_) return;
+  const double gap_s = process_->next_interarrival(rng_);
+  const util::SimTime when = system_.simulator().now() + util::from_seconds(gap_s);
+  if (when > until_) {
+    running_ = false;
+    return;
+  }
+  system_.simulator().schedule_at(when, [this] {
+    if (!running_) return;
+    const auto origin = system_.random_alive_peer(util::PeerId::invalid());
+    if (origin) {
+      auto q = synthesizer_.draw(rng_);
+      const auto task = system_.submit_task(*origin, std::move(q));
+      ++submitted_;
+      if (on_submit) on_submit(task);
+    }
+    arm_next();
+  });
+}
+
+}  // namespace p2prm::workload

@@ -1,0 +1,76 @@
+// Arrival processes driving task submission.
+//
+// Poisson arrivals model independent users; the MMPP (Markov-modulated
+// Poisson process) variant adds bursty phases, the "unpredictability in the
+// arrival times of the application execution" the paper calls out (§1).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/system.hpp"
+#include "sim/simulator.hpp"
+#include "workload/requests.hpp"
+
+namespace p2prm::workload {
+
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  // Seconds until the next arrival.
+  [[nodiscard]] virtual double next_interarrival(util::Rng& rng) = 0;
+};
+
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(double rate_per_s);
+  double next_interarrival(util::Rng& rng) override;
+
+ private:
+  double mean_;
+};
+
+// Two-state MMPP: alternates between a calm and a burst phase, each with
+// exponential dwell times and its own Poisson rate.
+class MmppArrivals final : public ArrivalProcess {
+ public:
+  MmppArrivals(double calm_rate_per_s, double burst_rate_per_s,
+               double mean_calm_s, double mean_burst_s);
+  double next_interarrival(util::Rng& rng) override;
+
+ private:
+  double calm_mean_, burst_mean_;
+  double mean_calm_s_, mean_burst_s_;
+  bool bursting_ = false;
+  double phase_left_s_ = 0.0;
+};
+
+// Drives a System: on each arrival, submits a synthesized request from a
+// uniformly random alive peer. Stops at the horizon or when stop() is
+// called.
+class WorkloadDriver {
+ public:
+  WorkloadDriver(core::System& system, std::unique_ptr<ArrivalProcess> process,
+                 RequestSynthesizer& synthesizer);
+  ~WorkloadDriver();
+
+  void start(util::SimTime until);
+  void stop();
+
+  [[nodiscard]] std::size_t submitted() const { return submitted_; }
+  // Optional hook called with each submitted task id.
+  std::function<void(util::TaskId)> on_submit;
+
+ private:
+  void arm_next();
+
+  core::System& system_;
+  std::unique_ptr<ArrivalProcess> process_;
+  RequestSynthesizer& synthesizer_;
+  util::Rng rng_;
+  util::SimTime until_ = 0;
+  bool running_ = false;
+  std::size_t submitted_ = 0;
+};
+
+}  // namespace p2prm::workload

@@ -1,0 +1,55 @@
+#include "workload/churn.hpp"
+
+namespace p2prm::workload {
+
+ChurnDriver::ChurnDriver(core::System& system, PeerFactory factory,
+                         ChurnConfig config)
+    : system_(system),
+      factory_(std::move(factory)),
+      config_(config),
+      rng_(system.workload_rng().fork()) {}
+
+void ChurnDriver::track(util::PeerId peer) { schedule_departure(peer); }
+
+void ChurnDriver::track_all_alive() {
+  for (const auto id : system_.alive_peer_ids()) schedule_departure(id);
+}
+
+void ChurnDriver::schedule_departure(util::PeerId peer) {
+  const double session_s = rng_.exponential(config_.mean_session_s);
+  system_.simulator().schedule_after(util::from_seconds(session_s),
+                                     [this, peer] { depart(peer); });
+}
+
+void ChurnDriver::depart(util::PeerId peer) {
+  if (!running_) return;
+  auto* node = system_.peer(peer);
+  if (node == nullptr || !node->alive()) return;
+  if (!config_.churn_rms && node->resource_manager() != nullptr) {
+    // Spared this time; try again after another session.
+    schedule_departure(peer);
+    return;
+  }
+  if (node->resource_manager() != nullptr) ++stats_.rm_departures;
+  ++stats_.departures;
+  if (rng_.bernoulli(config_.crash_fraction)) {
+    ++stats_.crashes;
+    system_.crash_peer(peer);
+  } else {
+    system_.leave_peer(peer);
+  }
+  if (config_.respawn) schedule_respawn();
+}
+
+void ChurnDriver::schedule_respawn() {
+  const double offline_s = rng_.exponential(config_.mean_offline_s);
+  system_.simulator().schedule_after(util::from_seconds(offline_s), [this] {
+    if (!running_) return;
+    auto [spec, inv] = factory_();
+    const auto id = system_.add_peer(spec, std::move(inv));
+    ++stats_.respawns;
+    schedule_departure(id);
+  });
+}
+
+}  // namespace p2prm::workload

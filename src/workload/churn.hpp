@@ -1,0 +1,58 @@
+// Churn: "nodes may connect, disconnect or fail unexpectedly" (§1).
+//
+// Every tracked peer gets an exponential session lifetime; on expiry it
+// either leaves gracefully or crashes (no goodbye). When respawn is on, a
+// statistically identical replacement joins after an exponential offline
+// gap, keeping the population roughly stationary — the standard churn
+// model for P2P evaluations.
+#pragma once
+
+#include <unordered_set>
+
+#include "core/system.hpp"
+#include "workload/heterogeneity.hpp"
+
+namespace p2prm::workload {
+
+struct ChurnConfig {
+  double mean_session_s = 300.0;
+  double crash_fraction = 0.5;  // else graceful leave
+  bool respawn = true;
+  double mean_offline_s = 20.0;
+  // When false, peers currently acting as RM are spared (ablation: isolate
+  // member churn from RM failover).
+  bool churn_rms = true;
+};
+
+struct ChurnStats {
+  std::size_t departures = 0;
+  std::size_t crashes = 0;
+  std::size_t rm_departures = 0;
+  std::size_t respawns = 0;
+};
+
+class ChurnDriver {
+ public:
+  ChurnDriver(core::System& system, PeerFactory factory, ChurnConfig config);
+
+  // Schedules a departure for an existing peer.
+  void track(util::PeerId peer);
+  void track_all_alive();
+  void stop() { running_ = false; }
+
+  [[nodiscard]] const ChurnStats& stats() const { return stats_; }
+
+ private:
+  void schedule_departure(util::PeerId peer);
+  void depart(util::PeerId peer);
+  void schedule_respawn();
+
+  core::System& system_;
+  PeerFactory factory_;
+  ChurnConfig config_;
+  util::Rng rng_;
+  bool running_ = true;
+  ChurnStats stats_;
+};
+
+}  // namespace p2prm::workload

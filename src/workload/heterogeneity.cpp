@@ -1,0 +1,165 @@
+#include "workload/heterogeneity.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace p2prm::workload {
+
+std::string_view capacity_distribution_name(CapacityDistribution d) {
+  switch (d) {
+    case CapacityDistribution::Homogeneous: return "homogeneous";
+    case CapacityDistribution::Uniform: return "uniform";
+    case CapacityDistribution::Bimodal: return "bimodal";
+    case CapacityDistribution::Pareto: return "pareto";
+  }
+  return "?";
+}
+
+overlay::PeerSpec draw_peer_spec(const HeterogeneityConfig& config,
+                                 util::Rng& rng, util::SimTime now) {
+  overlay::PeerSpec spec;
+  switch (config.distribution) {
+    case CapacityDistribution::Homogeneous:
+      spec.capacity_ops_per_s = config.mean_capacity_ops;
+      break;
+    case CapacityDistribution::Uniform: {
+      const double hi = 2.0 * config.mean_capacity_ops - config.min_capacity_ops;
+      spec.capacity_ops_per_s = rng.uniform(config.min_capacity_ops, hi);
+      break;
+    }
+    case CapacityDistribution::Bimodal: {
+      // Solve weak so that the mix hits the configured mean.
+      const double f = config.bimodal_strong_fraction;
+      const double m = config.bimodal_strong_multiplier;
+      const double weak =
+          config.mean_capacity_ops / (f * m + (1.0 - f));
+      spec.capacity_ops_per_s =
+          rng.bernoulli(f) ? weak * m : weak;
+      break;
+    }
+    case CapacityDistribution::Pareto: {
+      // E[X] = alpha*x_m/(alpha-1)  ->  x_m = mean*(alpha-1)/alpha.
+      const double alpha = config.pareto_alpha;
+      const double x_m = config.mean_capacity_ops * (alpha - 1.0) / alpha;
+      spec.capacity_ops_per_s = rng.pareto(x_m, alpha);
+      break;
+    }
+  }
+  spec.capacity_ops_per_s =
+      std::max(spec.capacity_ops_per_s, config.min_capacity_ops);
+
+  const double link =
+      rng.uniform(config.min_link_bytes_per_s, config.max_link_bytes_per_s);
+  spec.link.uplink_bytes_per_s = link;
+  spec.link.downlink_bytes_per_s = link;
+
+  const double prior_uptime = rng.exponential(config.mean_prior_uptime_s);
+  spec.online_since = now - util::from_seconds(prior_uptime);
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+
+ObjectPopulation::ObjectPopulation(const media::Catalog& catalog,
+                                   const PopulationConfig& config,
+                                   core::System& system, util::Rng& rng)
+    : zipf_(std::max<std::size_t>(config.object_count, 1), config.zipf_skew) {
+  std::vector<media::MediaFormat> source_formats;
+  for (const auto& f : catalog.formats()) {
+    if (f.bitrate_kbps >= config.source_min_bitrate_kbps) {
+      source_formats.push_back(f);
+    }
+  }
+  if (source_formats.empty()) {
+    throw std::invalid_argument(
+        "ObjectPopulation: no catalog format reaches source_min_bitrate_kbps");
+  }
+  objects_.reserve(config.object_count);
+  for (std::size_t i = 0; i < config.object_count; ++i) {
+    const auto& fmt = source_formats[rng.below(source_formats.size())];
+    const double duration =
+        rng.uniform(config.min_duration_s, config.max_duration_s);
+    objects_.push_back(
+        media::make_object(system.next_object_id(), fmt, duration, rng));
+  }
+}
+
+const media::MediaObject& ObjectPopulation::sample(util::Rng& rng) {
+  return objects_[zipf_(rng)];
+}
+
+const media::MediaObject* ObjectPopulation::next_unhosted() {
+  if (next_unhosted_ >= objects_.size()) return nullptr;
+  return &objects_[next_unhosted_++];
+}
+
+// ---------------------------------------------------------------------------
+
+core::PeerInventory provision_inventory(const media::Catalog& catalog,
+                                        ObjectPopulation& population,
+                                        const ProvisionConfig& config,
+                                        core::System& system, util::Rng& rng) {
+  core::PeerInventory inv;
+  // Cover the population first (every object should exist somewhere in the
+  // network), then add Zipf-weighted replicas — popular objects end up on
+  // more peers, as in real content distributions.
+  std::unordered_set<std::uint64_t> have_obj;
+  for (std::size_t i = 0; i < config.objects_per_peer && population.size() > 0;
+       ++i) {
+    const media::MediaObject* obj = population.next_unhosted();
+    if (obj == nullptr) {
+      const auto& replica = population.sample(rng);
+      if (!have_obj.insert(replica.id.value()).second) continue;
+      inv.objects.push_back(replica);
+      continue;
+    }
+    if (have_obj.insert(obj->id.value()).second) inv.objects.push_back(*obj);
+  }
+  // Sample service types without replacement so a peer really offers
+  // `services_per_peer` distinct conversions.
+  const auto& conversions = catalog.conversions();
+  std::vector<std::size_t> picks(conversions.size());
+  for (std::size_t i = 0; i < picks.size(); ++i) picks[i] = i;
+  rng.shuffle(picks.begin(), picks.end());
+  const std::size_t n = std::min(config.services_per_peer, picks.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    inv.services.push_back(core::ServiceOffering{system.next_service_id(),
+                                                 conversions[picks[i]]});
+  }
+  return inv;
+}
+
+PeerFactory make_peer_factory(const media::Catalog& catalog,
+                              ObjectPopulation& population,
+                              const HeterogeneityConfig& het,
+                              const ProvisionConfig& prov, core::System& system,
+                              util::Rng& rng) {
+  // The factory shares one RNG stream so respawned peers continue the same
+  // statistical population.
+  auto shared_rng = std::make_shared<util::Rng>(rng.fork());
+  return [&catalog, &population, het, prov, &system, shared_rng] {
+    auto spec = draw_peer_spec(het, *shared_rng, system.simulator().now());
+    auto inv =
+        provision_inventory(catalog, population, prov, system, *shared_rng);
+    return std::make_pair(spec, std::move(inv));
+  };
+}
+
+std::vector<util::PeerId> bootstrap_network(core::System& system,
+                                            const PeerFactory& factory,
+                                            std::size_t count,
+                                            util::SimDuration settle) {
+  std::vector<util::PeerId> ids;
+  ids.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto [spec, inv] = factory();
+    ids.push_back(system.add_peer(spec, std::move(inv)));
+    // Small spacing keeps join traffic from synchronizing pathologically.
+    system.run_for(util::milliseconds(20));
+  }
+  system.run_for(settle);
+  return ids;
+}
+
+}  // namespace p2prm::workload

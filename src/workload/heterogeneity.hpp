@@ -1,0 +1,116 @@
+// Heterogeneous peer synthesis.
+//
+// The paper stresses "the heterogeneity of the peers, in terms of
+// processing power, network connectivity, and available software" (§1).
+// This generator draws peer capacities from configurable distributions
+// (uniform / bimodal / Pareto), link speeds, uptime histories (which decide
+// RM eligibility), and provisions each peer with media objects and
+// transcoder services ("available software").
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/peer_node.hpp"
+#include "core/system.hpp"
+#include "media/catalog.hpp"
+#include "overlay/peer.hpp"
+#include "util/rng.hpp"
+
+namespace p2prm::workload {
+
+enum class CapacityDistribution { Homogeneous, Uniform, Bimodal, Pareto };
+[[nodiscard]] std::string_view capacity_distribution_name(
+    CapacityDistribution d);
+
+struct HeterogeneityConfig {
+  CapacityDistribution distribution = CapacityDistribution::Uniform;
+  double mean_capacity_ops = 50e6;
+  double min_capacity_ops = 10e6;
+  // Uniform: capacity in [min, 2*mean - min].
+  // Bimodal: a strong minority and a weak majority.
+  double bimodal_strong_fraction = 0.2;
+  double bimodal_strong_multiplier = 4.0;
+  // Pareto: heavy tail with this shape (scale set to match the mean).
+  double pareto_alpha = 1.8;
+  // Links: uniform in [min, max].
+  double min_link_bytes_per_s = 6.25e5;   // 5 Mbit/s
+  double max_link_bytes_per_s = 1.25e7;   // 100 Mbit/s
+  // Prior uptime (exponential mean); decides initial RM eligibility.
+  double mean_prior_uptime_s = 3600.0;
+};
+
+// Draws one peer spec (id left invalid: the System assigns it).
+[[nodiscard]] overlay::PeerSpec draw_peer_spec(const HeterogeneityConfig& config,
+                                               util::Rng& rng,
+                                               util::SimTime now);
+
+// --- media object population -------------------------------------------------
+
+struct PopulationConfig {
+  std::size_t object_count = 40;
+  double zipf_skew = 0.8;  // request popularity
+  double min_duration_s = 5.0;
+  double max_duration_s = 30.0;
+  // Objects are stored in "source grade" formats: at least this bitrate.
+  std::uint32_t source_min_bitrate_kbps = 512;
+};
+
+// The universe of media objects experiments draw from. Each object has one
+// canonical source format; peers host replicas.
+class ObjectPopulation {
+ public:
+  ObjectPopulation(const media::Catalog& catalog, const PopulationConfig& config,
+                   core::System& system, util::Rng& rng);
+
+  [[nodiscard]] std::size_t size() const { return objects_.size(); }
+  [[nodiscard]] const media::MediaObject& at(std::size_t i) const {
+    return objects_.at(i);
+  }
+  // Zipf-popular draw (rank 0 most popular).
+  [[nodiscard]] const media::MediaObject& sample(util::Rng& rng);
+
+  // Provisioning support: the next object no peer hosts yet (round-robin
+  // coverage before replication), or nullptr once all are hosted.
+  [[nodiscard]] const media::MediaObject* next_unhosted();
+
+ private:
+  std::vector<media::MediaObject> objects_;
+  util::ZipfDistribution zipf_;
+  std::size_t next_unhosted_ = 0;
+};
+
+// --- per-peer provisioning -------------------------------------------------------
+
+struct ProvisionConfig {
+  // Replicas: each peer hosts this many distinct objects (uniform draw over
+  // the population — replication emerges from collisions).
+  std::size_t objects_per_peer = 4;
+  // Each peer offers this many distinct transcoder services (sampled
+  // without replacement from the catalog's conversions).
+  std::size_t services_per_peer = 8;
+};
+
+[[nodiscard]] core::PeerInventory provision_inventory(
+    const media::Catalog& catalog, ObjectPopulation& population,
+    const ProvisionConfig& config, core::System& system, util::Rng& rng);
+
+// Convenience: a factory closure that churn and bootstrap share, so that
+// respawned peers are statistically identical to the original population.
+using PeerFactory =
+    std::function<std::pair<overlay::PeerSpec, core::PeerInventory>()>;
+
+[[nodiscard]] PeerFactory make_peer_factory(
+    const media::Catalog& catalog, ObjectPopulation& population,
+    const HeterogeneityConfig& het, const ProvisionConfig& prov,
+    core::System& system, util::Rng& rng);
+
+// Bootstraps a network of `count` peers through the join protocol and runs
+// the simulator long enough for domains to settle. Returns the peer ids.
+std::vector<util::PeerId> bootstrap_network(core::System& system,
+                                            const PeerFactory& factory,
+                                            std::size_t count,
+                                            util::SimDuration settle =
+                                                util::seconds(5));
+
+}  // namespace p2prm::workload

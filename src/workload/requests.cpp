@@ -1,0 +1,86 @@
+#include "workload/requests.hpp"
+
+#include <algorithm>
+
+namespace p2prm::workload {
+
+namespace {
+// Ladder distance between two formats: codec change + resolution rungs +
+// bitrate rungs, with rung indices derived from the catalog's distinct
+// values sorted descending.
+int ladder_steps(const media::Catalog& catalog, const media::MediaFormat& a,
+                 const media::MediaFormat& b) {
+  std::vector<std::uint32_t> pixels;
+  std::vector<std::uint32_t> bitrates;
+  for (const auto& f : catalog.formats()) {
+    pixels.push_back(f.resolution.pixels());
+    bitrates.push_back(f.bitrate_kbps);
+  }
+  auto uniq_desc = [](std::vector<std::uint32_t>& v) {
+    std::sort(v.begin(), v.end(), std::greater<>());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  uniq_desc(pixels);
+  uniq_desc(bitrates);
+  auto index_of = [](const std::vector<std::uint32_t>& v, std::uint32_t x) {
+    return static_cast<int>(std::find(v.begin(), v.end(), x) - v.begin());
+  };
+  int steps = a.codec != b.codec ? 1 : 0;
+  steps += std::abs(index_of(pixels, a.resolution.pixels()) -
+                    index_of(pixels, b.resolution.pixels()));
+  steps += std::abs(index_of(bitrates, a.bitrate_kbps) -
+                    index_of(bitrates, b.bitrate_kbps));
+  return steps;
+}
+}  // namespace
+
+RequestSynthesizer::RequestSynthesizer(const media::Catalog& catalog,
+                                       ObjectPopulation& population,
+                                       RequestConfig config)
+    : catalog_(catalog), population_(population), config_(config) {}
+
+core::QoSRequirements RequestSynthesizer::draw(util::Rng& rng) {
+  return draw_for(population_.sample(rng), rng);
+}
+
+core::QoSRequirements RequestSynthesizer::draw_for(
+    const media::MediaObject& object, util::Rng& rng) {
+  core::QoSRequirements q;
+  q.object = object.id;
+
+  if (rng.bernoulli(config_.passthrough_probability)) {
+    q.acceptable_formats.push_back(object.format);
+  } else {
+    // Candidate targets: strictly "smaller" formats than the source (the
+    // receiver is a constrained device, §1's transcoding motivation).
+    std::vector<media::MediaFormat> candidates;
+    for (const auto& f : catalog_.formats()) {
+      if (media::is_sensible_conversion(object.format, f) &&
+          ladder_steps(catalog_, object.format, f) <= config_.max_target_steps) {
+        candidates.push_back(f);
+      }
+    }
+    if (candidates.empty()) {
+      q.acceptable_formats.push_back(object.format);
+    } else {
+      rng.shuffle(candidates.begin(), candidates.end());
+      const std::size_t want = static_cast<std::size_t>(rng.uniform_int(
+          static_cast<std::int64_t>(config_.min_acceptable_formats),
+          static_cast<std::int64_t>(config_.max_acceptable_formats)));
+      const std::size_t n = std::min(want, candidates.size());
+      q.acceptable_formats.assign(candidates.begin(),
+                                  candidates.begin() +
+                                      static_cast<std::ptrdiff_t>(n));
+    }
+  }
+
+  const double tightness = rng.uniform(config_.min_deadline_tightness,
+                                       config_.max_deadline_tightness);
+  const double bound_s =
+      object.duration_s * config_.assumed_hops + config_.transfer_allowance_s;
+  q.deadline = util::from_seconds(tightness * bound_s);
+  q.importance = rng.uniform(config_.min_importance, config_.max_importance);
+  return q;
+}
+
+}  // namespace p2prm::workload

@@ -1,0 +1,53 @@
+// Request synthesis: turns the object population into the user queries of
+// §4.3 ("a peer might ask for a media object by name, also specifying a set
+// of acceptable bitrates, resolutions and codecs").
+#pragma once
+
+#include "core/messages.hpp"
+#include "media/catalog.hpp"
+#include "workload/heterogeneity.hpp"
+
+namespace p2prm::workload {
+
+struct RequestConfig {
+  // How many alternative target formats a user lists (uniform in range).
+  std::size_t min_acceptable_formats = 1;
+  std::size_t max_acceptable_formats = 3;
+  // Deadline = tightness x (pipeline lower bound); tightness drawn
+  // uniformly from [min, max]. Values near 1 are hard; >> 1 is relaxed.
+  double min_deadline_tightness = 2.0;
+  double max_deadline_tightness = 6.0;
+  // A crude lower bound for one transcode chain used to scale deadlines:
+  // the object's duration (a realtime transcoder needs about that long)
+  // times this many expected hops, plus a transfer allowance.
+  double assumed_hops = 2.0;
+  double transfer_allowance_s = 2.0;
+  double min_importance = 1.0;
+  double max_importance = 10.0;
+  // Probability that the request accepts the source format unchanged
+  // (pure delivery, no transcoding).
+  double passthrough_probability = 0.05;
+  // Targets further than this many ladder steps (codec change + resolution
+  // rungs + bitrate rungs) from the source are not requested: users ask for
+  // presentations the service mesh can plausibly produce in a few hops.
+  int max_target_steps = 3;
+};
+
+class RequestSynthesizer {
+ public:
+  RequestSynthesizer(const media::Catalog& catalog,
+                     ObjectPopulation& population, RequestConfig config);
+
+  // Draws a complete requirement set for a random (Zipf-popular) object.
+  [[nodiscard]] core::QoSRequirements draw(util::Rng& rng);
+  // Same, for a specific object.
+  [[nodiscard]] core::QoSRequirements draw_for(const media::MediaObject& object,
+                                               util::Rng& rng);
+
+ private:
+  const media::Catalog& catalog_;
+  ObjectPopulation& population_;
+  RequestConfig config_;
+};
+
+}  // namespace p2prm::workload

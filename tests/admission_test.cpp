@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "core/admission.hpp"
+
+namespace p2prm::core {
+namespace {
+
+using util::PeerId;
+
+InfoBase make_info(std::initializer_list<std::pair<std::uint64_t, double>>
+                       peer_utilizations) {
+  InfoBase info(util::DomainId{0}, PeerId{1});
+  for (const auto& [id, utilization] : peer_utilizations) {
+    overlay::PeerSpec spec;
+    spec.id = PeerId{id};
+    spec.capacity_ops_per_s = 100e6;
+    info.add_member(spec, 0);
+    ProfilerReport report;
+    report.sample.smoothed_utilization = utilization;
+    report.sample.smoothed_load_ops = utilization * 100e6;
+    info.record_report(PeerId{id}, report, 0);
+  }
+  return info;
+}
+
+TEST(Admission, AdmitsWhenAnyPeerHasHeadroom) {
+  const auto info = make_info({{1, 0.95}, {2, 0.95}, {3, 0.2}});
+  SystemConfig config;
+  const auto d = check_admission(info, config);
+  EXPECT_TRUE(d.admit);
+  EXPECT_FALSE(d.domain_overloaded);
+}
+
+TEST(Admission, RefusesWhenAllPeersOverloaded) {
+  const auto info = make_info({{1, 0.95}, {2, 0.97}, {3, 0.99}});
+  SystemConfig config;
+  const auto d = check_admission(info, config);
+  EXPECT_FALSE(d.admit);
+  EXPECT_TRUE(d.domain_overloaded);
+  EXPECT_EQ(d.reason, "domain-overloaded");
+}
+
+TEST(Admission, DisabledAdmissionAlwaysAdmits) {
+  const auto info = make_info({{1, 0.99}});
+  SystemConfig config;
+  config.admission_control = false;
+  EXPECT_TRUE(check_admission(info, config).admit);
+}
+
+TEST(Admission, EmptyDomainCountsAsOverloaded) {
+  const InfoBase info(util::DomainId{0}, PeerId{1});
+  SystemConfig config;
+  EXPECT_TRUE(domain_overloaded(info, config));
+}
+
+TEST(Admission, ThresholdIsConfigurable) {
+  const auto info = make_info({{1, 0.8}, {2, 0.85}});
+  SystemConfig config;
+  config.overload_utilization = 0.75;
+  EXPECT_FALSE(check_admission(info, config).admit);
+}
+
+TEST(Admission, CommittedLoadCountsTowardOverload) {
+  auto info = make_info({{1, 0.85}});
+  SystemConfig config;
+  EXPECT_TRUE(check_admission(info, config).admit);
+  info.commit_load(PeerId{1}, 10e6);  // pushes utilization to 0.95
+  EXPECT_FALSE(check_admission(info, config).admit);
+}
+
+TEST(Admission, MeanUtilizationAggregates) {
+  const auto info = make_info({{1, 0.2}, {2, 0.6}});
+  EXPECT_NEAR(mean_domain_utilization(info), 0.4, 1e-9);
+  const InfoBase empty(util::DomainId{0}, PeerId{1});
+  EXPECT_DOUBLE_EQ(mean_domain_utilization(empty), 1.0);
+}
+
+TEST(Admission, ImportanceGateOnlyWhenBusy) {
+  SystemConfig config;
+  config.min_importance_when_busy = 5.0;
+  config.busy_utilization = 0.75;
+  {
+    // Idle domain: low-importance tasks sail through.
+    const auto info = make_info({{1, 0.2}, {2, 0.2}});
+    EXPECT_TRUE(check_admission(info, config, 1.0).admit);
+  }
+  {
+    // Busy domain: low importance is turned away, high admitted.
+    const auto info = make_info({{1, 0.8}, {2, 0.85}});
+    const auto low = check_admission(info, config, 1.0);
+    EXPECT_FALSE(low.admit);
+    EXPECT_EQ(low.reason, "low-importance-while-busy");
+    EXPECT_FALSE(low.domain_overloaded);  // redirectable, not hopeless
+    EXPECT_TRUE(check_admission(info, config, 9.0).admit);
+  }
+}
+
+TEST(Admission, ImportanceGateDisabledByDefault) {
+  SystemConfig config;  // min_importance_when_busy == 0
+  const auto info = make_info({{1, 0.85}});
+  EXPECT_TRUE(check_admission(info, config, 0.001).admit);
+}
+
+TEST(OverloadDetector, NeedsConsecutiveReports) {
+  OverloadDetector det(0.9, 3);
+  EXPECT_FALSE(det.record(PeerId{1}, 0.95));
+  EXPECT_FALSE(det.record(PeerId{1}, 0.95));
+  EXPECT_TRUE(det.record(PeerId{1}, 0.95));
+  EXPECT_TRUE(det.overloaded(PeerId{1}));
+  EXPECT_EQ(det.overloaded_count(), 1u);
+}
+
+TEST(OverloadDetector, DipResetsStreak) {
+  OverloadDetector det(0.9, 3);
+  det.record(PeerId{1}, 0.95);
+  det.record(PeerId{1}, 0.95);
+  det.record(PeerId{1}, 0.5);  // blip below threshold
+  EXPECT_FALSE(det.record(PeerId{1}, 0.95));
+  EXPECT_FALSE(det.overloaded(PeerId{1}));
+}
+
+TEST(OverloadDetector, ForgetClearsState) {
+  OverloadDetector det(0.9, 1);
+  det.record(PeerId{1}, 1.0);
+  EXPECT_TRUE(det.overloaded(PeerId{1}));
+  det.forget(PeerId{1});
+  EXPECT_FALSE(det.overloaded(PeerId{1}));
+}
+
+TEST(OverloadDetector, TracksPeersIndependently) {
+  OverloadDetector det(0.9, 2);
+  det.record(PeerId{1}, 0.95);
+  det.record(PeerId{2}, 0.95);
+  det.record(PeerId{1}, 0.95);
+  EXPECT_TRUE(det.overloaded(PeerId{1}));
+  EXPECT_FALSE(det.overloaded(PeerId{2}));
+}
+
+}  // namespace
+}  // namespace p2prm::core

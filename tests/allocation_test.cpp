@@ -1,0 +1,308 @@
+// Unit tests for the Fig. 3 allocation algorithm and its baselines,
+// exercised directly against an InfoBase (no live overlay needed).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/allocation.hpp"
+#include "media/catalog.hpp"
+
+namespace p2prm::core {
+namespace {
+
+using util::PeerId;
+using util::ServiceId;
+using util::seconds;
+
+struct Fixture {
+  sim::Simulator sim{1};
+  net::Topology topo{};
+  net::Network net{sim, topo};
+  SystemConfig config{};
+  util::Rng rng{42};
+  media::Figure1Catalog cat = media::figure1_catalog();
+  InfoBase info{util::DomainId{0}, PeerId{1}};
+  media::MediaObject object;
+
+  static constexpr std::uint64_t kSource = 10;
+  static constexpr std::uint64_t kSink = 20;
+
+  Fixture() {
+    // Peers 1..8 host e1..e8; 10 is the source, 20 the sink.
+    for (std::uint64_t p : std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6, 7, 8,
+                                                      kSource, kSink}) {
+      overlay::PeerSpec spec;
+      spec.id = PeerId{p};
+      spec.capacity_ops_per_s = 50e6;
+      topo.place_at(spec.id, {static_cast<double>(p), 0.0});
+      info.add_member(spec, 0);
+    }
+    PeerAnnounce announce;
+    announce.spec.id = PeerId{kSource};
+    object = media::make_object(util::ObjectId{1}, cat.v1, 10.0, rng);
+    announce.objects = {object};
+    info.add_inventory(announce);
+    for (std::size_t i = 0; i < cat.edges.size(); ++i) {
+      PeerAnnounce svc;
+      svc.spec.id = PeerId{i + 1};
+      svc.services = {ServiceOffering{ServiceId{i + 1}, cat.edges[i]}};
+      info.add_inventory(svc);
+    }
+  }
+
+  AllocationRequest request(util::SimDuration deadline = seconds(60)) {
+    AllocationRequest r;
+    r.task = util::TaskId{1};
+    r.q.object = object.id;
+    r.q.acceptable_formats = {cat.v3};
+    r.q.deadline = deadline;
+    r.sink = PeerId{kSink};
+    r.now = 0;
+    r.submitted_at = 0;
+    return r;
+  }
+
+  void set_load(std::uint64_t peer, double load_ops, double backlog_s = 0.0) {
+    ProfilerReport report;
+    report.sample.smoothed_load_ops = load_ops;
+    report.sample.backlog_seconds = backlog_s;
+    report.sample.smoothed_utilization = load_ops / 50e6;
+    info.record_report(PeerId{peer}, report, 0);
+  }
+
+  AllocationResult run(AllocatorKind kind,
+                       util::SimDuration deadline = seconds(60)) {
+    return make_allocator(kind)->allocate(info, net, config, request(deadline),
+                                          rng);
+  }
+};
+
+TEST(Allocation, PaperBfsFindsConsistentServiceGraph) {
+  Fixture fx;
+  const auto result = fx.run(AllocatorKind::PaperBfs);
+  ASSERT_TRUE(result.found) << result.failure_reason;
+  EXPECT_TRUE(result.sg.chain_consistent());
+  EXPECT_EQ(result.sg.source_peer(), PeerId{Fixture::kSource});
+  EXPECT_EQ(result.sg.sink_peer(), PeerId{Fixture::kSink});
+  EXPECT_EQ(result.sg.source_format(), fx.cat.v1);
+  EXPECT_EQ(result.sg.target_format(), fx.cat.v3);
+  // Three candidates as in the paper's example.
+  EXPECT_EQ(result.candidates_considered, 3u);
+  EXPECT_GT(result.estimated_execution, 0);
+}
+
+TEST(Allocation, FairnessSteersAwayFromLoadedPeer) {
+  // Note: with everyone idle, fairness maximization legitimately prefers
+  // the 4-hop path (it spreads load over more peers). The property under
+  // test is only that a hot peer is avoided when an alternative exists.
+  for (const std::uint64_t hot : {2ull, 3ull}) {
+    Fixture fx;
+    fx.set_load(hot, 40e6);
+    const auto result = fx.run(AllocatorKind::PaperBfs);
+    ASSERT_TRUE(result.found);
+    for (const auto& hop : result.sg.hops()) {
+      EXPECT_NE(hop.peer, PeerId{hot});
+    }
+  }
+}
+
+TEST(Allocation, FairnessPrefersSpreadingOverFewHops) {
+  // The paper's objective is fairness, not efficiency: on an idle domain
+  // the 4-hop chain {e1,e4,e5,e8} loads four peers lightly and wins over
+  // the 2-hop chains that load two peers heavily.
+  Fixture fx;
+  const auto result = fx.run(AllocatorKind::PaperBfs);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.sg.hop_count(), 4u);
+  const auto min_hop = fx.run(AllocatorKind::MinHop);
+  ASSERT_TRUE(min_hop.found);
+  EXPECT_LE(min_hop.fairness_after, result.fairness_after + 1e-12);
+}
+
+TEST(Allocation, ReturnsMaxFairnessAmongFeasible) {
+  Fixture fx;
+  graph::SearchStats stats;
+  const auto candidates = enumerate_candidates(fx.info, fx.net, fx.config,
+                                               fx.request(), false, &stats);
+  ASSERT_EQ(candidates.size(), 3u);
+  const auto result = fx.run(AllocatorKind::PaperBfs);
+  ASSERT_TRUE(result.found);
+  for (const auto& c : candidates) {
+    if (c.feasible) {
+      EXPECT_GE(result.fairness_after, c.fairness_after - 1e-12);
+    }
+  }
+}
+
+TEST(Allocation, ImpossibleDeadlineReportsDeadline) {
+  Fixture fx;
+  const auto result = fx.run(AllocatorKind::PaperBfs, util::milliseconds(1));
+  EXPECT_FALSE(result.found);
+  EXPECT_EQ(result.failure_reason, "deadline");
+}
+
+TEST(Allocation, UnknownObjectReportsNoObject) {
+  Fixture fx;
+  auto req = fx.request();
+  req.q.object = util::ObjectId{777};
+  const auto result = make_allocator(AllocatorKind::PaperBfs)
+                          ->allocate(fx.info, fx.net, fx.config, req, fx.rng);
+  EXPECT_FALSE(result.found);
+  EXPECT_EQ(result.failure_reason, "no-object");
+}
+
+TEST(Allocation, UnreachableTargetReportsNoPath) {
+  Fixture fx;
+  auto req = fx.request();
+  // A format nobody can produce.
+  req.q.acceptable_formats = {
+      media::MediaFormat{media::Codec::MJPEG, media::kRes176x144, 16}};
+  const auto result = make_allocator(AllocatorKind::PaperBfs)
+                          ->allocate(fx.info, fx.net, fx.config, req, fx.rng);
+  EXPECT_FALSE(result.found);
+  EXPECT_EQ(result.failure_reason, "no-path");
+}
+
+TEST(Allocation, DirectDeliveryWhenSourceFormatAcceptable) {
+  Fixture fx;
+  auto req = fx.request();
+  req.q.acceptable_formats = {fx.cat.v1};
+  const auto result = make_allocator(AllocatorKind::PaperBfs)
+                          ->allocate(fx.info, fx.net, fx.config, req, fx.rng);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.sg.hop_count(), 0u);
+  EXPECT_TRUE(result.sg.chain_consistent());
+}
+
+TEST(Allocation, MinHopPrefersShortestChain) {
+  Fixture fx;
+  const auto result = fx.run(AllocatorKind::MinHop);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.sg.hop_count(), 2u);  // never the 4-hop path
+}
+
+TEST(Allocation, LeastLoadedMinimizesPeakUtilization) {
+  Fixture fx;
+  fx.set_load(2, 45e6);
+  const auto result = fx.run(AllocatorKind::LeastLoaded);
+  ASSERT_TRUE(result.found);
+  for (const auto& hop : result.sg.hops()) {
+    EXPECT_NE(hop.peer, PeerId{2});
+  }
+}
+
+TEST(Allocation, RandomIsDeterministicGivenSeedAndFeasible) {
+  Fixture fx1, fx2;
+  const auto a = fx1.run(AllocatorKind::Random);
+  const auto b = fx2.run(AllocatorKind::Random);
+  ASSERT_TRUE(a.found);
+  ASSERT_TRUE(b.found);
+  ASSERT_EQ(a.sg.hop_count(), b.sg.hop_count());
+  for (std::size_t i = 0; i < a.sg.hop_count(); ++i) {
+    EXPECT_EQ(a.sg.hops()[i].peer, b.sg.hops()[i].peer);
+  }
+}
+
+TEST(Allocation, ExhaustiveNeverWorseThanPaperBfs) {
+  Fixture fx;
+  const auto bfs = fx.run(AllocatorKind::PaperBfs);
+  const auto full = fx.run(AllocatorKind::Exhaustive);
+  ASSERT_TRUE(bfs.found);
+  ASSERT_TRUE(full.found);
+  EXPECT_GE(full.fairness_after, bfs.fairness_after - 1e-12);
+  EXPECT_GE(full.candidates_considered, bfs.candidates_considered);
+}
+
+TEST(Allocation, EstimateComputeTimeShape) {
+  Fixture fx;
+  const double ops = 50e6;  // one second of work on an idle 50 Mops peer
+  const auto idle = estimate_compute_time(fx.info, fx.config, PeerId{4}, ops);
+  EXPECT_EQ(idle, seconds(1));
+  fx.set_load(4, 25e6, 2.0);  // half loaded + 2s backlog
+  const auto loaded = estimate_compute_time(fx.info, fx.config, PeerId{4}, ops);
+  EXPECT_EQ(loaded, seconds(4));  // 2s backlog + ops at 25 Mops spare
+  EXPECT_EQ(estimate_compute_time(fx.info, fx.config, PeerId{99}, ops),
+            util::kTimeInfinity);
+}
+
+TEST(Allocation, SpareCapacityFloorPreventsDivergence) {
+  Fixture fx;
+  fx.set_load(4, 50e6);  // fully loaded
+  const auto t = estimate_compute_time(fx.info, fx.config, PeerId{4}, 50e6);
+  // Floor: 10% of capacity -> 10 seconds, not infinity.
+  EXPECT_EQ(t, seconds(10));
+}
+
+TEST(Allocation, MeasuredExecutionTimesRaiseEstimates) {
+  Fixture fx;
+  const std::uint64_t key = fx.cat.edges[0].type_key();
+  const double ops = 50e6;  // 1s model estimate on the idle 50 Mops peer 1
+  const auto model =
+      estimate_service_time(fx.info, fx.config, PeerId{1}, ops, key);
+  EXPECT_EQ(model, seconds(1));
+  // The profiler reports this conversion actually takes 4s on peer 1.
+  ProfilerReport report;
+  report.measured_exec_s = {{key, 4.0}};
+  fx.info.record_report(PeerId{1}, report, 0);
+  EXPECT_EQ(estimate_service_time(fx.info, fx.config, PeerId{1}, ops, key),
+            seconds(4));
+  // Measurements *below* the model never lower the estimate (max-blend).
+  ProfilerReport optimistic;
+  optimistic.measured_exec_s = {{key, 0.1}};
+  fx.info.record_report(PeerId{1}, optimistic, 0);
+  EXPECT_EQ(estimate_service_time(fx.info, fx.config, PeerId{1}, ops, key),
+            seconds(1));
+  // Ablation flag: off -> pure model.
+  ProfilerReport slow;
+  slow.measured_exec_s = {{key, 4.0}};
+  fx.info.record_report(PeerId{1}, slow, 0);
+  auto config = fx.config;
+  config.use_measured_execution_times = false;
+  EXPECT_EQ(estimate_service_time(fx.info, config, PeerId{1}, ops, key),
+            seconds(1));
+}
+
+TEST(Allocation, CommittedLoadVisibleToNextAllocation) {
+  Fixture fx;
+  const auto first = fx.run(AllocatorKind::PaperBfs);
+  ASSERT_TRUE(first.found);
+  // Commit the first allocation's loads as the RM would.
+  for (const auto& [peer, rate] : first.load_deltas) {
+    fx.info.commit_load(peer, rate);
+  }
+  const auto second = fx.run(AllocatorKind::PaperBfs);
+  ASSERT_TRUE(second.found);
+  // The second allocation must steer around the peers the first loaded
+  // wherever alternatives exist: peer 1 (e1) is unavoidable, but the
+  // downstream hops have disjoint alternatives.
+  std::set<std::uint64_t> first_peers, second_peers;
+  for (std::size_t i = 1; i < first.sg.hop_count(); ++i) {
+    first_peers.insert(first.sg.hops()[i].peer.value());
+  }
+  for (std::size_t i = 1; i < second.sg.hop_count(); ++i) {
+    second_peers.insert(second.sg.hops()[i].peer.value());
+  }
+  for (const auto p : second_peers) {
+    EXPECT_FALSE(first_peers.count(p)) << "peer " << p << " reused";
+  }
+}
+
+TEST(Allocation, PicksLessLoadedReplicaOfSameObject) {
+  Fixture fx;
+  // Second replica of the object on peer 6, already in the target format.
+  PeerAnnounce announce;
+  announce.spec.id = PeerId{6};
+  auto replica = fx.object;
+  replica.format = fx.cat.v3;
+  announce.objects = {replica};
+  fx.info.add_inventory(announce);
+
+  const auto result = fx.run(AllocatorKind::PaperBfs);
+  ASSERT_TRUE(result.found);
+  // Direct delivery from the v3 replica adds zero load: maximum fairness.
+  EXPECT_EQ(result.sg.hop_count(), 0u);
+  EXPECT_EQ(result.sg.source_peer(), PeerId{6});
+}
+
+}  // namespace
+}  // namespace p2prm::core

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "bloom/bloom_filter.hpp"
+#include "bloom/counting_bloom.hpp"
+#include "util/rng.hpp"
+
+namespace p2prm::bloom {
+namespace {
+
+TEST(Hash, DeterministicAndSeedSensitive) {
+  const auto a = hash_key("hello");
+  const auto b = hash_key("hello");
+  const auto c = hash_key("hello", 1);
+  const auto d = hash_key("hellp");
+  EXPECT_EQ(a.h1, b.h1);
+  EXPECT_EQ(a.h2, b.h2);
+  EXPECT_NE(a.h1, c.h1);
+  EXPECT_NE(a.h1, d.h1);
+  EXPECT_EQ(hash_key("hello").h2 & 1, 1u);  // h2 forced odd
+}
+
+TEST(BloomFilter, NoFalseNegatives) {
+  BloomFilter bf({4096, 4});
+  for (std::uint64_t k = 0; k < 200; ++k) bf.insert(k * 7919);
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    EXPECT_TRUE(bf.possibly_contains(k * 7919)) << k;
+  }
+}
+
+TEST(BloomFilter, FalsePositiveRateNearTheory) {
+  const std::size_t n = 1000;
+  BloomFilter bf = BloomFilter::for_capacity(n, 0.01);
+  for (std::uint64_t k = 0; k < n; ++k) bf.insert(k);
+  std::size_t fp = 0;
+  const std::size_t probes = 20000;
+  for (std::uint64_t k = 0; k < probes; ++k) {
+    if (bf.possibly_contains(k + 1'000'000)) ++fp;
+  }
+  const double rate = static_cast<double>(fp) / probes;
+  EXPECT_LT(rate, 0.02);  // within 2x of the 1% target
+}
+
+TEST(BloomFilter, StringsAndIdsSupported) {
+  BloomFilter bf({1024, 3});
+  bf.insert("object-a");
+  bf.insert(util::ObjectId{17});
+  EXPECT_TRUE(bf.possibly_contains("object-a"));
+  EXPECT_TRUE(bf.possibly_contains(util::ObjectId{17}));
+  EXPECT_FALSE(bf.possibly_contains("object-b"));
+}
+
+TEST(BloomFilter, MergeIsUnion) {
+  BloomFilter a({2048, 4}), b({2048, 4});
+  a.insert(std::uint64_t{1});
+  b.insert(std::uint64_t{2});
+  a.merge(b);
+  EXPECT_TRUE(a.possibly_contains(std::uint64_t{1}));
+  EXPECT_TRUE(a.possibly_contains(std::uint64_t{2}));
+  BloomFilter c({1024, 4});
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(BloomFilter, CardinalityEstimate) {
+  BloomFilter bf({16384, 4});
+  for (std::uint64_t k = 0; k < 500; ++k) bf.insert(k);
+  EXPECT_NEAR(bf.estimated_cardinality(), 500.0, 50.0);
+}
+
+TEST(BloomFilter, ClearResets) {
+  BloomFilter bf({512, 3});
+  bf.insert(std::uint64_t{5});
+  bf.clear();
+  EXPECT_EQ(bf.set_bits(), 0u);
+  EXPECT_FALSE(bf.possibly_contains(std::uint64_t{5}));
+}
+
+TEST(BloomFilter, OptimalParametersSane) {
+  EXPECT_EQ(optimal_hash_count(9585, 1000), 7u);  // ln2 * m/n
+  EXPECT_LT(expected_fpp(9585, 7, 1000), 0.011);
+  EXPECT_GT(expected_fpp(100, 3, 1000), 0.5);
+}
+
+TEST(BloomFilter, RejectsZeroGeometry) {
+  EXPECT_THROW(BloomFilter({0, 3}), std::invalid_argument);
+  EXPECT_THROW(BloomFilter({64, 0}), std::invalid_argument);
+  EXPECT_THROW(BloomFilter::for_capacity(10, 0.0), std::invalid_argument);
+}
+
+TEST(CountingBloom, InsertEraseRoundTrip) {
+  CountingBloomFilter cbf({2048, 4});
+  cbf.insert(std::uint64_t{10});
+  cbf.insert(std::uint64_t{11});
+  EXPECT_TRUE(cbf.possibly_contains(std::uint64_t{10}));
+  EXPECT_TRUE(cbf.erase(std::uint64_t{10}));
+  EXPECT_FALSE(cbf.possibly_contains(std::uint64_t{10}));
+  EXPECT_TRUE(cbf.possibly_contains(std::uint64_t{11}));
+}
+
+TEST(CountingBloom, EraseOfAbsentKeyIsRejected) {
+  CountingBloomFilter cbf({2048, 4});
+  EXPECT_FALSE(cbf.erase(std::uint64_t{99}));
+}
+
+TEST(CountingBloom, DuplicateInsertsNeedMatchingErases) {
+  CountingBloomFilter cbf({2048, 4});
+  cbf.insert("x");
+  cbf.insert("x");
+  EXPECT_TRUE(cbf.erase("x"));
+  EXPECT_TRUE(cbf.possibly_contains("x"));
+  EXPECT_TRUE(cbf.erase("x"));
+  EXPECT_FALSE(cbf.possibly_contains("x"));
+}
+
+TEST(CountingBloom, ProjectionMatchesMembership) {
+  CountingBloomFilter cbf({4096, 4});
+  util::Rng rng(3);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 100; ++i) keys.push_back(rng.next());
+  for (auto k : keys) cbf.insert(k);
+  const BloomFilter bf = cbf.to_bloom();
+  for (auto k : keys) EXPECT_TRUE(bf.possibly_contains(k));
+  EXPECT_EQ(bf.set_bits(), cbf.nonzero_counters());
+}
+
+}  // namespace
+}  // namespace p2prm::bloom

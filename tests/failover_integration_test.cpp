@@ -1,0 +1,336 @@
+// Failure handling end-to-end: member crashes with task recovery, graceful
+// leave, RM failover through the backup, and churn survival.
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "media/catalog.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/churn.hpp"
+#include "workload/heterogeneity.hpp"
+
+namespace p2prm {
+namespace {
+
+using namespace core;
+using namespace workload;
+
+SystemConfig failover_config(std::uint64_t seed = 11) {
+  SystemConfig config;
+  config.seed = seed;
+  config.max_domain_size = 24;
+  return config;
+}
+
+struct World {
+  media::Catalog catalog = media::ladder_catalog();
+  System system;
+  util::Rng rng{321};
+  ObjectPopulation population;
+  PeerFactory factory;
+
+  explicit World(SystemConfig config = failover_config())
+      : system(config),
+        population(catalog, PopulationConfig{}, system, rng),
+        factory(make_peer_factory(catalog, population, HeterogeneityConfig{},
+                                  ProvisionConfig{}, system, rng)) {}
+};
+
+TEST(Failover, GracefulLeaveRemovesMemberFromDomain) {
+  World world;
+  const auto ids = bootstrap_network(world.system, world.factory, 8);
+  const auto rm_id = world.system.resource_manager_ids().at(0);
+  util::PeerId victim;
+  for (const auto id : ids) {
+    if (id != rm_id) victim = id;
+  }
+  world.system.leave_peer(victim);
+  world.system.run_for(util::seconds(5));
+  auto* rm = world.system.peer(rm_id)->resource_manager();
+  ASSERT_NE(rm, nullptr);
+  EXPECT_FALSE(rm->info().domain().has_member(victim));
+}
+
+TEST(Failover, CrashedMemberDetectedByReportTimeout) {
+  World world;
+  const auto ids = bootstrap_network(world.system, world.factory, 8);
+  const auto rm_id = world.system.resource_manager_ids().at(0);
+  util::PeerId victim;
+  for (const auto id : ids) {
+    if (id != rm_id) victim = id;
+  }
+  world.system.crash_peer(victim);  // silent: no LeaveNotice
+  world.system.run_for(util::seconds(10));
+  auto* rm = world.system.peer(rm_id)->resource_manager();
+  ASSERT_NE(rm, nullptr);
+  EXPECT_FALSE(rm->info().domain().has_member(victim));
+  EXPECT_GE(rm->stats().member_failures, 1u);
+}
+
+TEST(Failover, BackupTakesOverAfterRmCrash) {
+  World world;
+  bootstrap_network(world.system, world.factory, 10);
+  // Let backup sync run a few rounds.
+  world.system.run_for(util::seconds(5));
+  const auto old_rm = world.system.resource_manager_ids().at(0);
+
+  world.system.crash_peer(old_rm);
+  world.system.run_for(util::seconds(15));
+
+  const auto rms = world.system.resource_manager_ids();
+  ASSERT_EQ(rms.size(), 1u) << "exactly one RM should lead the domain";
+  EXPECT_NE(rms[0], old_rm);
+  auto* rm = world.system.peer(rms[0])->resource_manager();
+  // The restored info base kept the membership (minus the dead RM).
+  EXPECT_GE(rm->info().domain().size(), 8u);
+  EXPECT_FALSE(rm->info().domain().has_member(old_rm));
+  // Members follow the new RM.
+  for (const auto id : world.system.alive_peer_ids()) {
+    EXPECT_EQ(world.system.peer(id)->current_rm(), rms[0]) << "peer " << id;
+  }
+}
+
+TEST(Failover, TasksSurviveRmFailover) {
+  World world;
+  const auto ids = bootstrap_network(world.system, world.factory, 12);
+  world.system.run_for(util::seconds(5));
+  const auto rm_id = world.system.resource_manager_ids().at(0);
+
+  // A long-deadline task whose pipeline outlives the RM crash.
+  const auto& object = world.population.at(0);
+  QoSRequirements q;
+  q.object = object.id;
+  q.acceptable_formats = {object.format};
+  q.deadline = util::minutes(5);
+  util::PeerId origin;
+  for (const auto id : ids) {
+    if (id != rm_id) origin = id;
+  }
+  const auto task = world.system.submit_task(origin, q);
+  // Crash the RM while the task runs.
+  world.system.run_for(util::milliseconds(100));
+  world.system.crash_peer(rm_id);
+  world.system.run_for(util::minutes(2));
+
+  const auto* record = world.system.ledger().record(task);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->status, TaskStatus::Completed)
+      << "reason: " << record->reason;
+}
+
+TEST(Failover, TaskRecoveredWhenHopPeerCrashes) {
+  // Deterministically construct a domain where the only two providers of a
+  // conversion exist, kill the chosen one mid-flight, and verify the RM
+  // recomposes onto the other.
+  SystemConfig config = failover_config();
+  config.max_domain_size = 8;
+  World world(config);
+  auto& system = world.system;
+
+  const auto fig = media::figure1_catalog();
+
+  auto add_peer = [&](std::vector<media::MediaObject> objects,
+                      std::vector<ServiceOffering> services) {
+    overlay::PeerSpec spec;
+    spec.capacity_ops_per_s = 100e6;
+    spec.link.uplink_bytes_per_s = 1.25e7;
+    spec.link.downlink_bytes_per_s = 1.25e7;
+    spec.online_since = -util::minutes(60);
+    PeerInventory inv;
+    inv.objects = std::move(objects);
+    inv.services = std::move(services);
+    const auto id = system.add_peer(spec, std::move(inv));
+    system.run_for(util::milliseconds(50));
+    return id;
+  };
+
+  util::Rng orng{5};
+  const auto object =
+      media::make_object(system.next_object_id(), fig.v1, 20.0, orng);
+
+  add_peer({}, {});  // founder/RM
+  const auto source = add_peer({object}, {});
+  const auto codec_host =
+      add_peer({}, {{system.next_service_id(), fig.edges[0]}});  // e1
+  const auto host_a =
+      add_peer({}, {{system.next_service_id(), fig.edges[1]}});  // e2
+  const auto host_b =
+      add_peer({}, {{system.next_service_id(), fig.edges[2]}});  // e3
+  const auto sink = add_peer({}, {});
+  system.run_for(util::seconds(3));
+
+  QoSRequirements q;
+  q.object = object.id;
+  q.acceptable_formats = {fig.v3};
+  q.deadline = util::minutes(4);
+  const auto task = system.submit_task(sink, q);
+  system.run_for(util::milliseconds(500));
+
+  // Find which of host_a/host_b got the second hop and kill it.
+  const auto rm_id = system.resource_manager_ids().at(0);
+  auto* rm = system.peer(rm_id)->resource_manager();
+  const auto* active = rm->info().task(task);
+  ASSERT_NE(active, nullptr);
+  ASSERT_EQ(active->sg.hop_count(), 2u);
+  const auto chosen = active->sg.hops()[1].peer;
+  ASSERT_TRUE(chosen == host_a || chosen == host_b);
+  system.crash_peer(chosen);
+  system.run_for(util::minutes(3));
+
+  const auto* record = system.ledger().record(task);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->status, TaskStatus::Completed)
+      << "reason: " << record->reason;
+  EXPECT_GE(rm->stats().recoveries_succeeded, 1u);
+  (void)codec_host;
+  (void)source;
+}
+
+TEST(Failover, TaskFailsWhenNoSubstituteExists) {
+  SystemConfig config = failover_config();
+  config.redirect_across_domains = false;
+  World world(config);
+  auto& system = world.system;
+  const auto fig = media::figure1_catalog();
+
+  auto add_peer = [&](std::vector<media::MediaObject> objects,
+                      std::vector<ServiceOffering> services) {
+    overlay::PeerSpec spec;
+    spec.capacity_ops_per_s = 100e6;
+    spec.online_since = -util::minutes(60);
+    PeerInventory inv;
+    inv.objects = std::move(objects);
+    inv.services = std::move(services);
+    const auto id = system.add_peer(spec, std::move(inv));
+    system.run_for(util::milliseconds(50));
+    return id;
+  };
+
+  util::Rng orng{6};
+  const auto object =
+      media::make_object(system.next_object_id(), fig.v2, 20.0, orng);
+  add_peer({}, {});
+  add_peer({object}, {});
+  const auto only_host =
+      add_peer({}, {{system.next_service_id(), fig.edges[1]}});  // sole e2
+  const auto sink = add_peer({}, {});
+  system.run_for(util::seconds(3));
+
+  QoSRequirements q;
+  q.object = object.id;
+  q.acceptable_formats = {fig.v3};
+  q.deadline = util::minutes(4);
+  const auto task = system.submit_task(sink, q);
+  system.run_for(util::milliseconds(500));
+  system.crash_peer(only_host);
+  system.run_for(util::seconds(30));
+
+  const auto* record = system.ledger().record(task);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->status, TaskStatus::Failed);
+}
+
+TEST(Failover, SplitBrainResolvedAfterPartitionHeals) {
+  World world;
+  bootstrap_network(world.system, world.factory, 12);
+  world.system.run_for(util::seconds(5));  // backup sync settles
+  const auto old_rm = world.system.resource_manager_ids().at(0);
+
+  // Cut the RM off (it stays alive, believing it still leads).
+  world.system.network().isolate({old_rm});
+  world.system.run_for(util::seconds(20));
+  {
+    // The majority side elects the backup; the isolated RM notices it lost
+    // every member to failure detection and demotes itself, so the split
+    // brain is short-lived even while the partition holds.
+    const auto rms = world.system.resource_manager_ids();
+    ASSERT_GE(rms.size(), 1u);
+    ASSERT_LE(rms.size(), 2u);
+    bool majority_has_new_leader = false;
+    for (const auto id : rms) majority_has_new_leader |= (id != old_rm);
+    EXPECT_TRUE(majority_has_new_leader);
+  }
+  // Heal: the deposed RM's rejoin attempts now reach the network.
+  world.system.network().heal_partition();
+  world.system.run_for(util::seconds(20));
+  const auto rms = world.system.resource_manager_ids();
+  ASSERT_EQ(rms.size(), 1u) << "split brain must resolve to one RM";
+  EXPECT_NE(rms[0], old_rm);
+  // The old RM rejoined as a regular member of the domain.
+  auto* node = world.system.peer(old_rm);
+  EXPECT_TRUE(node->joined());
+  EXPECT_EQ(node->current_rm(), rms[0]);
+  auto* new_rm = world.system.peer(rms[0])->resource_manager();
+  EXPECT_TRUE(new_rm->info().domain().has_member(old_rm));
+}
+
+TEST(Failover, OrphanedTasksAreGarbageCollected) {
+  SystemConfig config = failover_config();
+  config.task_gc_grace = util::seconds(5);
+  World world(config);
+  const auto ids = bootstrap_network(world.system, world.factory, 10);
+  const auto rm_id = world.system.resource_manager_ids().at(0);
+  auto* rm = world.system.peer(rm_id)->resource_manager();
+
+  // Submit a task, then crash its sink so TaskCompleted never arrives.
+  const auto& object = world.population.at(0);
+  QoSRequirements q;
+  q.object = object.id;
+  q.acceptable_formats = {object.format};
+  q.deadline = util::seconds(10);
+  util::PeerId sink;
+  for (const auto id : ids) {
+    if (id != rm_id) sink = id;
+  }
+  const auto task = world.system.submit_task(sink, q);
+  world.system.run_for(util::milliseconds(200));
+  // Confirm the RM tracks it, then remove the sink silently... but a
+  // detected sink failure already cleans up. Instead simulate a lost
+  // completion: crash the sink *after* data is in flight but keep the RM
+  // from detecting it quickly by using the member timeout. The GC must
+  // reap the task within deadline + grace regardless of which mechanism
+  // wins, leaving the info base empty.
+  world.system.crash_peer(sink);
+  world.system.run_for(util::seconds(40));
+  EXPECT_EQ(rm->info().task(task), nullptr);
+  EXPECT_EQ(rm->info().running_task_ids().size(), 0u);
+}
+
+TEST(Failover, NetworkSurvivesSustainedChurn) {
+  World world;
+  bootstrap_network(world.system, world.factory, 20);
+
+  ChurnConfig churn_config;
+  churn_config.mean_session_s = 30.0;
+  churn_config.crash_fraction = 0.5;
+  ChurnDriver churn(world.system, world.factory, churn_config);
+  churn.track_all_alive();
+
+  RequestConfig rc;
+  RequestSynthesizer synth(world.catalog, world.population, rc);
+  WorkloadDriver driver(world.system,
+                        std::make_unique<PoissonArrivals>(0.3), synth);
+  driver.start(world.system.simulator().now() + util::seconds(90));
+  world.system.run_for(util::seconds(150));
+  churn.stop();
+
+  EXPECT_GT(churn.stats().departures, 5u);
+  EXPECT_GT(world.system.alive_count(), 5u);
+  // The network still functions: most joined peers follow a live RM.
+  std::size_t with_rm = 0, joined = 0;
+  for (const auto id : world.system.alive_peer_ids()) {
+    auto* node = world.system.peer(id);
+    if (!node->joined()) continue;
+    ++joined;
+    const auto rm = node->current_rm();
+    auto* rm_node = world.system.peer(rm);
+    if (rm_node != nullptr && rm_node->alive()) ++with_rm;
+  }
+  ASSERT_GT(joined, 0u);
+  EXPECT_GE(static_cast<double>(with_rm) / static_cast<double>(joined), 0.8);
+  // And some work still completes under churn.
+  world.system.ledger().orphan_pending(world.system.simulator().now());
+  EXPECT_GT(world.system.ledger().completed(), 0u);
+}
+
+}  // namespace
+}  // namespace p2prm

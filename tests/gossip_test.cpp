@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "gossip/gossip_engine.hpp"
+#include "gossip/summary.hpp"
+
+namespace p2prm::gossip {
+namespace {
+
+using util::DomainId;
+using util::PeerId;
+
+DomainSummary make_summary(std::uint64_t domain, std::uint64_t rm,
+                           std::uint64_t version, double util = 0.5) {
+  DomainSummary s;
+  s.domain = DomainId{domain};
+  s.resource_manager = PeerId{rm};
+  s.version = version;
+  s.peer_count = 4;
+  s.total_capacity_ops = 100.0;
+  s.total_load_ops = util * 100.0;
+  s.objects = bloom::BloomFilter({512, 3});
+  s.services = bloom::BloomFilter({512, 3});
+  return s;
+}
+
+TEST(Reconcile, FreshestWins) {
+  std::vector<DomainSummary> mine{make_summary(1, 10, 3)};
+  const std::vector<DomainSummary> theirs{make_summary(1, 11, 5),
+                                          make_summary(2, 20, 1)};
+  EXPECT_EQ(reconcile(mine, theirs), 2u);
+  ASSERT_EQ(mine.size(), 2u);
+  EXPECT_EQ(mine[0].version, 5u);
+  EXPECT_EQ(mine[0].resource_manager, PeerId{11});  // failover learned
+}
+
+TEST(Reconcile, StaleIncomingIgnored) {
+  std::vector<DomainSummary> mine{make_summary(1, 10, 7)};
+  const std::vector<DomainSummary> theirs{make_summary(1, 10, 2)};
+  EXPECT_EQ(reconcile(mine, theirs), 0u);
+  EXPECT_EQ(mine[0].version, 7u);
+}
+
+struct GossipRig {
+  sim::Simulator sim{1};
+  net::Topology topo{};
+  net::Network net{sim, topo};
+  std::vector<std::unique_ptr<GossipEngine>> engines;
+  std::vector<PeerId> rms;
+
+  explicit GossipRig(std::size_t n, GossipConfig config = {}) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const PeerId id{i + 1};
+      rms.push_back(id);
+      topo.place_at(id, {static_cast<double>(i * 10), 0});
+    }
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const PeerId id{i + 1};
+      auto engine = std::make_unique<GossipEngine>(
+          sim, net, id, config, [this] { return rms; });
+      engines.push_back(std::move(engine));
+      GossipEngine* raw = engines.back().get();
+      net.attach(id, {}, [raw](PeerId from, const net::Message& m) {
+        if (const auto* g = net::message_cast<GossipMessage>(m)) {
+          raw->handle_message(from, *g);
+        }
+      });
+      engines.back()->set_local_summary(make_summary(i + 1, i + 1, 1));
+      engines.back()->start();
+    }
+  }
+};
+
+TEST(GossipEngine, AllSummariesConverge) {
+  GossipRig rig(8);
+  rig.sim.run_until(util::seconds(30));
+  for (const auto& engine : rig.engines) {
+    EXPECT_EQ(engine->known().size(), 8u);
+  }
+}
+
+TEST(GossipEngine, VersionBumpPropagates) {
+  GossipRig rig(6);
+  rig.sim.run_until(util::seconds(20));
+  // Domain 1 changes (peer joined): bump version with a new load picture.
+  rig.engines[0]->set_local_summary(make_summary(1, 1, 2, 0.9));
+  rig.sim.run_until(util::seconds(50));
+  for (const auto& engine : rig.engines) {
+    const auto* s = engine->summary_of(DomainId{1});
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->version, 2u);
+    EXPECT_NEAR(s->utilization(), 0.9, 1e-9);
+  }
+}
+
+TEST(GossipEngine, ServiceQueryFiltersAndSortsByUtilization) {
+  sim::Simulator sim{1};
+  net::Topology topo;
+  net::Network net{sim, topo};
+  topo.place_at(PeerId{1}, {0, 0});
+  GossipEngine engine(sim, net, PeerId{1}, {}, [] {
+    return std::vector<PeerId>{};
+  });
+
+  auto hot = make_summary(2, 20, 1, 0.9);
+  hot.services.insert(std::uint64_t{777});
+  auto cold = make_summary(3, 30, 1, 0.1);
+  cold.services.insert(std::uint64_t{777});
+  auto without = make_summary(4, 40, 1, 0.0);
+  engine.set_local_summary(make_summary(1, 1, 1));
+  engine.handle_message(PeerId{20}, [&] {
+    GossipMessage m;
+    m.sender = PeerId{20};
+    m.summaries = {hot, cold, without};
+    return m;
+  }());
+
+  const auto hits = engine.domains_with_service(777, DomainId{1});
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0]->domain, DomainId{3});  // least utilized first
+  EXPECT_EQ(hits[1]->domain, DomainId{2});
+}
+
+TEST(GossipEngine, ObjectQueryExcludesOwnDomain) {
+  sim::Simulator sim{1};
+  net::Topology topo;
+  net::Network net{sim, topo};
+  topo.place_at(PeerId{1}, {0, 0});
+  GossipEngine engine(sim, net, PeerId{1}, {}, [] {
+    return std::vector<PeerId>{};
+  });
+  auto own = make_summary(1, 1, 1);
+  own.objects.insert(util::ObjectId{5});
+  engine.set_local_summary(own);
+  const auto hits = engine.domains_with_object(util::ObjectId{5}, DomainId{1});
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST(GossipEngine, ChangeCallbackFires) {
+  sim::Simulator sim{1};
+  net::Topology topo;
+  net::Network net{sim, topo};
+  topo.place_at(PeerId{1}, {0, 0});
+  GossipEngine engine(sim, net, PeerId{1}, {}, [] {
+    return std::vector<PeerId>{};
+  });
+  std::size_t changes = 0;
+  engine.set_on_change([&](std::size_t n) { changes += n; });
+  GossipMessage m;
+  m.sender = PeerId{2};
+  m.summaries = {make_summary(7, 70, 1)};
+  engine.handle_message(PeerId{2}, m);
+  EXPECT_EQ(changes, 1u);
+  engine.handle_message(PeerId{2}, m);  // same version: no change
+  EXPECT_EQ(changes, 1u);
+}
+
+TEST(GossipEngine, StopHaltsRounds) {
+  GossipRig rig(3);
+  rig.sim.run_until(util::seconds(10));
+  const auto rounds = rig.engines[0]->rounds();
+  EXPECT_GT(rounds, 0u);
+  for (auto& e : rig.engines) e->stop();
+  rig.sim.run_until(util::seconds(20));
+  EXPECT_EQ(rig.engines[0]->rounds(), rounds);
+}
+
+TEST(GossipEngine, TrafficScalesWithFanoutNotPopulation) {
+  // Per round each RM sends exactly `fanout` messages.
+  GossipConfig config;
+  config.fanout = 2;
+  config.period = util::seconds(1);
+  GossipRig rig(10, config);
+  rig.sim.run_until(util::seconds(10) + util::milliseconds(1));
+  const auto& stats = rig.net.stats();
+  // 10 engines x 10 rounds x 2 fanout.
+  EXPECT_EQ(stats.per_type_count.at("gossip.summaries"), 200u);
+}
+
+}  // namespace
+}  // namespace p2prm::gossip

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/path_search.hpp"
+#include "graph/resource_graph.hpp"
+#include "graph/service_graph.hpp"
+#include "media/catalog.hpp"
+
+namespace p2prm::graph {
+namespace {
+
+using util::PeerId;
+using util::ServiceId;
+
+// Builds the Figure 1 resource graph: e1..e8 hosted on distinct peers
+// (except e2/e3 which share a type but live on peers 2 and 3).
+struct Fig1 {
+  media::Figure1Catalog cat = media::figure1_catalog();
+  ResourceGraph gr;
+  StateIndex v1, v3;
+
+  Fig1() {
+    for (std::size_t i = 0; i < cat.edges.size(); ++i) {
+      gr.add_service(ServiceId{i + 1}, PeerId{i + 1}, cat.edges[i]);
+    }
+    v1 = *gr.find_state(cat.v1);
+    v3 = *gr.find_state(cat.v3);
+  }
+};
+
+std::set<std::vector<std::uint64_t>> path_ids(const std::vector<EdgePath>& paths) {
+  std::set<std::vector<std::uint64_t>> out;
+  for (const auto& p : paths) {
+    std::vector<std::uint64_t> ids;
+    for (const auto* e : p) ids.push_back(e->id.value());
+    out.insert(ids);
+  }
+  return out;
+}
+
+TEST(ResourceGraph, StatesAreDeduplicated) {
+  ResourceGraph gr;
+  const media::MediaFormat f{media::Codec::MPEG2, media::kRes800x600, 512};
+  const auto a = gr.add_state(f);
+  const auto b = gr.add_state(f);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(gr.state_count(), 1u);
+  EXPECT_EQ(gr.state(a), f);
+}
+
+TEST(ResourceGraph, AddRemoveService) {
+  Fig1 fig;
+  EXPECT_EQ(fig.gr.service_count(), 8u);
+  EXPECT_TRUE(fig.gr.has_service(ServiceId{1}));
+  EXPECT_TRUE(fig.gr.remove_service(ServiceId{1}));
+  EXPECT_FALSE(fig.gr.remove_service(ServiceId{1}));
+  EXPECT_EQ(fig.gr.service_count(), 7u);
+  EXPECT_THROW((void)fig.gr.service(ServiceId{1}), std::out_of_range);
+}
+
+TEST(ResourceGraph, DuplicateServiceIdRejected) {
+  Fig1 fig;
+  EXPECT_THROW(fig.gr.add_service(ServiceId{1}, PeerId{9}, fig.cat.edges[0]),
+               std::logic_error);
+}
+
+TEST(ResourceGraph, RemovePeerRemovesItsEdges) {
+  Fig1 fig;
+  // Peer 2 hosts e2 only.
+  EXPECT_EQ(fig.gr.remove_peer(PeerId{2}), 1u);
+  EXPECT_FALSE(fig.gr.has_service(ServiceId{2}));
+  EXPECT_EQ(fig.gr.remove_peer(PeerId{2}), 0u);
+}
+
+TEST(ResourceGraph, EdgeLoadAnnotations) {
+  Fig1 fig;
+  fig.gr.set_service_load(ServiceId{4}, 2.5);
+  EXPECT_DOUBLE_EQ(fig.gr.service(ServiceId{4}).load, 2.5);
+  EXPECT_THROW(fig.gr.set_service_load(ServiceId{99}, 1.0), std::out_of_range);
+}
+
+TEST(ResourceGraph, ServicesOfPeerSorted) {
+  ResourceGraph gr;
+  const media::Figure1Catalog cat = media::figure1_catalog();
+  gr.add_service(ServiceId{5}, PeerId{1}, cat.edges[0]);
+  gr.add_service(ServiceId{2}, PeerId{1}, cat.edges[1]);
+  const auto services = gr.services_of(PeerId{1});
+  ASSERT_EQ(services.size(), 2u);
+  EXPECT_EQ(services[0]->id, ServiceId{2});
+  EXPECT_EQ(services[1]->id, ServiceId{5});
+}
+
+// ---- Figure 3 BFS -----------------------------------------------------------
+
+TEST(PathSearch, Figure1YieldsExactlyThePaperPaths) {
+  Fig1 fig;
+  SearchStats stats;
+  const auto paths = bfs_paths(fig.gr, fig.v1, fig.v3, {}, &stats);
+  // "we can follow any of the {e1,e2}, {e1,e3} or {e1,e4,e5,e8}" (§4.3)
+  const auto ids = path_ids(paths);
+  EXPECT_EQ(ids, (std::set<std::vector<std::uint64_t>>{
+                     {1, 2}, {1, 3}, {1, 4, 5, 8}}));
+  EXPECT_EQ(stats.candidates_found, 3u);
+}
+
+TEST(PathSearch, BfsFindsShortestFirst) {
+  Fig1 fig;
+  const auto paths = bfs_paths(fig.gr, fig.v1, fig.v3);
+  ASSERT_GE(paths.size(), 3u);
+  EXPECT_EQ(paths.front().size(), 2u);
+  EXPECT_EQ(paths.back().size(), 4u);
+}
+
+TEST(PathSearch, PruningCutsLongSequences) {
+  Fig1 fig;
+  SearchStats stats;
+  const auto paths = bfs_paths(
+      fig.gr, fig.v1, fig.v3,
+      [](const EdgePath& partial) { return partial.size() <= 2; }, &stats);
+  EXPECT_EQ(path_ids(paths),
+            (std::set<std::vector<std::uint64_t>>{{1, 2}, {1, 3}}));
+  EXPECT_GT(stats.pruned, 0u);
+}
+
+TEST(PathSearch, UnreachableGoal) {
+  Fig1 fig;
+  // v1 has no incoming path from v3 except via e6 (v2 -> v1): v3 -> v1 is
+  // unreachable because v3 has no outgoing edges.
+  const auto paths = bfs_paths(fig.gr, fig.v3, fig.v1);
+  EXPECT_TRUE(paths.empty());
+  EXPECT_FALSE(reachable(fig.gr, fig.v3, fig.v1));
+  EXPECT_TRUE(reachable(fig.gr, fig.v1, fig.v3));
+}
+
+TEST(PathSearch, ExhaustiveMatchesBfsOnFigure1) {
+  // Figure 1 has no cross-branch simple paths the BFS's visited-pruning
+  // would miss, so both enumerations agree exactly.
+  Fig1 fig;
+  const auto bfs = path_ids(bfs_paths(fig.gr, fig.v1, fig.v3));
+  const auto all = path_ids(all_simple_paths(fig.gr, fig.v1, fig.v3, 8));
+  EXPECT_EQ(bfs, all);
+}
+
+TEST(PathSearch, ExhaustiveFindsPathsBfsPrunes) {
+  // Diamond with a second entry into the middle vertex: BFS expands the
+  // middle once, the exhaustive search keeps both simple paths.
+  ResourceGraph gr;
+  media::MediaFormat a{media::Codec::MPEG2, media::kRes800x600, 512};
+  media::MediaFormat b{media::Codec::MPEG4, media::kRes800x600, 512};
+  media::MediaFormat c{media::Codec::MPEG4, media::kRes640x480, 512};
+  media::MediaFormat d{media::Codec::MPEG4, media::kRes640x480, 256};
+  gr.add_service(ServiceId{1}, PeerId{1}, {a, b});  // a->b
+  gr.add_service(ServiceId{2}, PeerId{2}, {a, c});  // a->c
+  gr.add_service(ServiceId{3}, PeerId{3}, {b, c});  // b->c
+  gr.add_service(ServiceId{4}, PeerId{4}, {c, d});  // c->d
+  const auto va = *gr.find_state(a);
+  const auto vd = *gr.find_state(d);
+  const auto bfs = path_ids(bfs_paths(gr, va, vd));
+  const auto all = path_ids(all_simple_paths(gr, va, vd, 8));
+  EXPECT_EQ(all, (std::set<std::vector<std::uint64_t>>{{1, 3, 4}, {2, 4}}));
+  // Fig. 3's visited rule: c is expanded once (first arrival via a->c at
+  // depth 1), so the deeper arrival via b cannot re-expand it.
+  EXPECT_EQ(bfs, (std::set<std::vector<std::uint64_t>>{{2, 4}}));
+}
+
+TEST(PathSearch, MaxHopsBoundsExhaustive) {
+  Fig1 fig;
+  const auto short_only = all_simple_paths(fig.gr, fig.v1, fig.v3, 2);
+  EXPECT_EQ(path_ids(short_only),
+            (std::set<std::vector<std::uint64_t>>{{1, 2}, {1, 3}}));
+}
+
+// ---- ServiceGraph -------------------------------------------------------------
+
+ServiceHop make_hop(std::uint64_t service, std::uint64_t peer,
+                    media::TranscoderType type) {
+  ServiceHop hop;
+  hop.service = ServiceId{service};
+  hop.peer = PeerId{peer};
+  hop.type = type;
+  return hop;
+}
+
+TEST(ServiceGraph, ChainConsistency) {
+  const auto cat = media::figure1_catalog();
+  ServiceGraph sg(util::TaskId{1}, PeerId{10}, util::ObjectId{5}, PeerId{20},
+                  cat.v1, cat.v3);
+  EXPECT_FALSE(sg.chain_consistent());  // no hops yet but v1 != v3
+  sg.add_hop(make_hop(1, 1, cat.edges[0]));  // v1->v2
+  sg.add_hop(make_hop(2, 2, cat.edges[1]));  // v2->v3
+  EXPECT_TRUE(sg.chain_consistent());
+  EXPECT_EQ(sg.hop_count(), 2u);
+}
+
+TEST(ServiceGraph, ParticipantsAndInvolvement) {
+  const auto cat = media::figure1_catalog();
+  ServiceGraph sg(util::TaskId{1}, PeerId{10}, util::ObjectId{5}, PeerId{20},
+                  cat.v1, cat.v3);
+  sg.add_hop(make_hop(1, 1, cat.edges[0]));
+  sg.add_hop(make_hop(2, 2, cat.edges[1]));
+  EXPECT_EQ(sg.participants(),
+            (std::vector<PeerId>{PeerId{10}, PeerId{1}, PeerId{2}, PeerId{20}}));
+  EXPECT_TRUE(sg.involves(PeerId{1}));
+  EXPECT_TRUE(sg.involves(PeerId{10}));
+  EXPECT_FALSE(sg.involves(PeerId{99}));
+  EXPECT_EQ(sg.hops_on(PeerId{2}), (std::vector<std::size_t>{1}));
+}
+
+TEST(ServiceGraph, SubstituteHopRequiresSameConversion) {
+  const auto cat = media::figure1_catalog();
+  ServiceGraph sg(util::TaskId{1}, PeerId{10}, util::ObjectId{5}, PeerId{20},
+                  cat.v2, cat.v3);
+  sg.add_hop(make_hop(2, 2, cat.edges[1]));
+  // e3 offers the same conversion on another peer: valid substitute.
+  sg.substitute_hop(0, make_hop(3, 3, cat.edges[2]));
+  EXPECT_EQ(sg.hops()[0].peer, PeerId{3});
+  EXPECT_TRUE(sg.chain_consistent());
+  EXPECT_THROW(sg.substitute_hop(0, make_hop(4, 4, cat.edges[3])),
+               std::invalid_argument);
+  EXPECT_THROW(sg.substitute_hop(9, make_hop(3, 3, cat.edges[2])),
+               std::out_of_range);
+}
+
+TEST(ServiceGraph, EstimatedExecutionSumsHops) {
+  const auto cat = media::figure1_catalog();
+  ServiceGraph sg(util::TaskId{1}, PeerId{10}, util::ObjectId{5}, PeerId{20},
+                  cat.v1, cat.v3);
+  auto h1 = make_hop(1, 1, cat.edges[0]);
+  h1.estimated_compute_time = util::seconds(2);
+  h1.estimated_transfer_time = util::seconds(1);
+  auto h2 = make_hop(2, 2, cat.edges[1]);
+  h2.estimated_compute_time = util::seconds(3);
+  sg.add_hop(h1);
+  sg.add_hop(h2);
+  EXPECT_EQ(sg.estimated_execution_time(), util::seconds(6));
+}
+
+TEST(ServiceGraph, ZeroHopPassthrough) {
+  const auto cat = media::figure1_catalog();
+  ServiceGraph sg(util::TaskId{1}, PeerId{10}, util::ObjectId{5}, PeerId{20},
+                  cat.v1, cat.v1);
+  EXPECT_TRUE(sg.chain_consistent());
+  EXPECT_EQ(sg.estimated_execution_time(), 0);
+}
+
+}  // namespace
+}  // namespace p2prm::graph

@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include "core/info_base.hpp"
+#include "media/catalog.hpp"
+
+namespace p2prm::core {
+namespace {
+
+using util::ObjectId;
+using util::PeerId;
+using util::ServiceId;
+using util::TaskId;
+
+struct Fixture {
+  media::Figure1Catalog cat = media::figure1_catalog();
+  InfoBase info{util::DomainId{3}, PeerId{1}};
+  util::Rng rng{9};
+
+  overlay::PeerSpec add_member(std::uint64_t id, double capacity = 50e6) {
+    overlay::PeerSpec spec;
+    spec.id = PeerId{id};
+    spec.capacity_ops_per_s = capacity;
+    info.add_member(spec, 0);
+    return spec;
+  }
+
+  void announce(std::uint64_t peer, std::vector<media::MediaObject> objects,
+                std::vector<ServiceOffering> services) {
+    PeerAnnounce a;
+    a.spec.id = PeerId{peer};
+    a.objects = std::move(objects);
+    a.services = std::move(services);
+    info.add_inventory(a);
+  }
+
+  ActiveTask make_task(std::uint64_t id, std::uint64_t hop_peer) {
+    ActiveTask t;
+    t.sg = graph::ServiceGraph(TaskId{id}, PeerId{10}, ObjectId{1}, PeerId{20},
+                               cat.v1, cat.v2);
+    graph::ServiceHop hop;
+    hop.service = ServiceId{1};
+    hop.peer = PeerId{hop_peer};
+    hop.type = cat.edges[0];
+    t.sg.add_hop(hop);
+    t.sg.state = graph::TaskState::Running;
+    t.hop_done = {false};
+    t.origin = PeerId{20};
+    return t;
+  }
+};
+
+TEST(InfoBase, InventoryIndexing) {
+  Fixture fx;
+  fx.add_member(5);
+  const auto obj = media::make_object(ObjectId{1}, fx.cat.v1, 10.0, fx.rng);
+  fx.announce(5, {obj}, {{ServiceId{1}, fx.cat.edges[0]}});
+  const auto* locs = fx.info.locations(ObjectId{1});
+  ASSERT_NE(locs, nullptr);
+  ASSERT_EQ(locs->size(), 1u);
+  EXPECT_EQ((*locs)[0].peer, PeerId{5});
+  EXPECT_TRUE(fx.info.resource_graph().has_service(ServiceId{1}));
+  EXPECT_EQ(fx.info.all_objects(), (std::vector<ObjectId>{ObjectId{1}}));
+}
+
+TEST(InfoBase, RemovePeerPurgesEverythingAndReportsAffectedTasks) {
+  Fixture fx;
+  fx.add_member(5);
+  fx.add_member(6);
+  const auto obj = media::make_object(ObjectId{1}, fx.cat.v1, 10.0, fx.rng);
+  fx.announce(5, {obj}, {{ServiceId{1}, fx.cat.edges[0]}});
+  fx.info.add_task(fx.make_task(100, 5));
+  fx.info.add_task(fx.make_task(101, 6));
+
+  const auto affected = fx.info.remove_peer(PeerId{5});
+  EXPECT_EQ(affected, (std::vector<TaskId>{TaskId{100}}));
+  EXPECT_EQ(fx.info.locations(ObjectId{1}), nullptr);
+  EXPECT_FALSE(fx.info.resource_graph().has_service(ServiceId{1}));
+  EXPECT_FALSE(fx.info.domain().has_member(PeerId{5}));
+}
+
+TEST(InfoBase, EffectiveLoadCombinesReportAndCommitments) {
+  Fixture fx;
+  fx.add_member(5, 100e6);
+  ProfilerReport report;
+  report.sample.smoothed_load_ops = 20e6;
+  fx.info.record_report(PeerId{5}, report, 0);
+  EXPECT_DOUBLE_EQ(fx.info.effective_load(PeerId{5}), 20e6);
+  fx.info.commit_load(PeerId{5}, 30e6);
+  EXPECT_DOUBLE_EQ(fx.info.effective_load(PeerId{5}), 50e6);
+  fx.info.release_load(PeerId{5}, 10e6);
+  EXPECT_DOUBLE_EQ(fx.info.effective_load(PeerId{5}), 40e6);
+  // Commitments expire after their TTL, not on the next report (reports
+  // can be more frequent than composition-to-execution latency).
+  fx.info.record_report(PeerId{5}, report, util::seconds(1));
+  EXPECT_DOUBLE_EQ(fx.info.effective_load(PeerId{5}), 40e6);
+  fx.info.purge_commitments(util::seconds(10));
+  EXPECT_DOUBLE_EQ(fx.info.effective_load(PeerId{5}), 20e6);
+}
+
+TEST(InfoBase, ReleaseConsumesEarliestCommitments) {
+  Fixture fx;
+  fx.add_member(5, 100e6);
+  fx.info.commit_load(PeerId{5}, 10e6, 0, util::seconds(3));
+  fx.info.commit_load(PeerId{5}, 20e6, util::seconds(1), util::seconds(3));
+  fx.info.release_load(PeerId{5}, 15e6);  // eats the 10e6 + 5e6 of the 20e6
+  EXPECT_DOUBLE_EQ(fx.info.effective_load(PeerId{5}), 15e6);
+  // First commitment gone; the remainder expires with the second's TTL.
+  fx.info.purge_commitments(util::seconds(3) + 1);
+  EXPECT_DOUBLE_EQ(fx.info.effective_load(PeerId{5}), 15e6);
+  fx.info.purge_commitments(util::seconds(4) + 1);
+  EXPECT_DOUBLE_EQ(fx.info.effective_load(PeerId{5}), 0.0);
+}
+
+TEST(InfoBase, ReleaseBelowZeroClamps) {
+  Fixture fx;
+  fx.add_member(5);
+  fx.info.commit_load(PeerId{5}, 10e6);
+  fx.info.release_load(PeerId{5}, 50e6);
+  EXPECT_DOUBLE_EQ(fx.info.effective_load(PeerId{5}), 0.0);
+}
+
+TEST(InfoBase, FairnessTracksEffectiveLoads) {
+  Fixture fx;
+  fx.add_member(1);
+  fx.add_member(2);
+  EXPECT_DOUBLE_EQ(fx.info.current_fairness(), 1.0);  // both idle
+  fx.info.commit_load(PeerId{1}, 10e6);
+  EXPECT_DOUBLE_EQ(fx.info.current_fairness(), 0.5);
+  fx.info.commit_load(PeerId{2}, 10e6);
+  EXPECT_DOUBLE_EQ(fx.info.current_fairness(), 1.0);
+}
+
+TEST(InfoBase, TaskLifecycle) {
+  Fixture fx;
+  fx.info.add_task(fx.make_task(7, 5));
+  ASSERT_NE(fx.info.task(TaskId{7}), nullptr);
+  EXPECT_EQ(fx.info.task_count(), 1u);
+  EXPECT_EQ(fx.info.running_task_ids(), (std::vector<TaskId>{TaskId{7}}));
+  EXPECT_EQ(fx.info.tasks_involving(PeerId{5}),
+            (std::vector<TaskId>{TaskId{7}}));
+  EXPECT_EQ(fx.info.tasks_involving(PeerId{20}),
+            (std::vector<TaskId>{TaskId{7}}));  // sink counts
+  fx.info.remove_task(TaskId{7});
+  EXPECT_EQ(fx.info.task(TaskId{7}), nullptr);
+}
+
+TEST(InfoBase, ActiveTaskHopBookkeeping) {
+  ActiveTask t;
+  t.hop_done = {true, false, true};
+  EXPECT_FALSE(t.all_hops_done());
+  ASSERT_TRUE(t.first_pending_hop().has_value());
+  EXPECT_EQ(*t.first_pending_hop(), 1u);
+  t.hop_done[1] = true;
+  EXPECT_TRUE(t.all_hops_done());
+  EXPECT_FALSE(t.first_pending_hop().has_value());
+}
+
+TEST(InfoBase, ReAnnounceIsIdempotent) {
+  Fixture fx;
+  fx.add_member(5);
+  const auto obj = media::make_object(ObjectId{1}, fx.cat.v1, 10.0, fx.rng);
+  fx.announce(5, {obj}, {{ServiceId{1}, fx.cat.edges[0]}});
+  // A peer re-announces after an RM failover: no duplicates, no throw.
+  fx.announce(5, {obj}, {{ServiceId{1}, fx.cat.edges[0]}});
+  EXPECT_EQ(fx.info.locations(ObjectId{1})->size(), 1u);
+  EXPECT_EQ(fx.info.resource_graph().service_count(), 1u);
+}
+
+TEST(InfoBase, MeasuredExecutionTimesFromReports) {
+  Fixture fx;
+  fx.add_member(5);
+  const std::uint64_t key = fx.cat.edges[0].type_key();
+  EXPECT_LT(fx.info.measured_execution_s(PeerId{5}, key), 0.0);
+  ProfilerReport report;
+  report.measured_exec_s = {{key, 2.5}};
+  fx.info.record_report(PeerId{5}, report, 0);
+  EXPECT_DOUBLE_EQ(fx.info.measured_execution_s(PeerId{5}, key), 2.5);
+  EXPECT_LT(fx.info.measured_execution_s(PeerId{6}, key), 0.0);
+  // Gone with the peer.
+  fx.info.remove_peer(PeerId{5});
+  EXPECT_LT(fx.info.measured_execution_s(PeerId{5}, key), 0.0);
+}
+
+TEST(InfoBase, SummaryContainsObjectsAndServices) {
+  Fixture fx;
+  fx.add_member(5);
+  const auto obj = media::make_object(ObjectId{42}, fx.cat.v1, 10.0, fx.rng);
+  fx.announce(5, {obj}, {{ServiceId{1}, fx.cat.edges[0]}});
+  const auto summary = fx.info.build_summary(2048, 4);
+  EXPECT_EQ(summary.domain, util::DomainId{3});
+  EXPECT_EQ(summary.resource_manager, PeerId{1});
+  EXPECT_EQ(summary.peer_count, 1u);
+  EXPECT_TRUE(summary.objects.possibly_contains(ObjectId{42}));
+  EXPECT_TRUE(
+      summary.services.possibly_contains(fx.cat.edges[0].type_key()));
+  EXPECT_FALSE(summary.objects.possibly_contains(ObjectId{4242}));
+}
+
+TEST(InfoBase, SummaryVersionBumpsOnInventoryChange) {
+  Fixture fx;
+  fx.add_member(5);
+  const auto v0 = fx.info.summary_version();
+  fx.announce(5, {}, {{ServiceId{1}, fx.cat.edges[0]}});
+  EXPECT_GT(fx.info.summary_version(), v0);
+  const auto v1 = fx.info.summary_version();
+  fx.info.remove_peer(PeerId{5});
+  EXPECT_GT(fx.info.summary_version(), v1);
+}
+
+TEST(InfoBase, SnapshotRestoreRoundTrip) {
+  Fixture fx;
+  fx.add_member(5);
+  fx.add_member(6);
+  const auto obj = media::make_object(ObjectId{1}, fx.cat.v1, 10.0, fx.rng);
+  fx.announce(5, {obj}, {{ServiceId{1}, fx.cat.edges[0]}});
+  fx.announce(6, {}, {{ServiceId{2}, fx.cat.edges[1]}});
+  fx.info.add_task(fx.make_task(9, 5));
+  ProfilerReport report;
+  report.sample.smoothed_load_ops = 10e6;
+  fx.info.record_report(PeerId{5}, report, 0);
+
+  const auto snap = fx.info.snapshot();
+  EXPECT_GT(snap.wire_size(), 0u);
+
+  InfoBase restored(util::DomainId{99}, PeerId{99});
+  restored.restore(snap);
+  EXPECT_EQ(restored.domain().id(), util::DomainId{3});
+  EXPECT_TRUE(restored.domain().has_member(PeerId{5}));
+  EXPECT_TRUE(restored.domain().has_member(PeerId{6}));
+  ASSERT_NE(restored.locations(ObjectId{1}), nullptr);
+  EXPECT_TRUE(restored.resource_graph().has_service(ServiceId{1}));
+  EXPECT_TRUE(restored.resource_graph().has_service(ServiceId{2}));
+  ASSERT_NE(restored.task(TaskId{9}), nullptr);
+  EXPECT_EQ(restored.task(TaskId{9})->sg.hops()[0].peer, PeerId{5});
+  EXPECT_DOUBLE_EQ(restored.effective_load(PeerId{5}), 10e6);
+  EXPECT_EQ(restored.summary_version(), fx.info.summary_version());
+}
+
+TEST(InfoBase, RestoredBaseSupportsTakeoverEdits) {
+  Fixture fx;
+  fx.add_member(5);
+  fx.announce(5, {}, {{ServiceId{1}, fx.cat.edges[0]}});
+  const auto snap = fx.info.snapshot();
+
+  InfoBase restored(util::DomainId{3}, PeerId{6});
+  restored.restore(snap);
+  restored.domain().set_resource_manager(PeerId{6});
+  restored.domain().bump_epoch();
+  const auto affected = restored.remove_peer(PeerId{1});  // dead old RM
+  EXPECT_TRUE(affected.empty());
+  EXPECT_EQ(restored.domain().resource_manager(), PeerId{6});
+}
+
+}  // namespace
+}  // namespace p2prm::core

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "media/catalog.hpp"
+#include "media/format.hpp"
+#include "media/transcoder.hpp"
+
+namespace p2prm::media {
+namespace {
+
+TEST(Format, EqualityAndToString) {
+  const MediaFormat a{Codec::MPEG2, kRes800x600, 512};
+  const MediaFormat b{Codec::MPEG2, kRes800x600, 512};
+  const MediaFormat c{Codec::MPEG4, kRes800x600, 512};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.to_string(), "800x600 MPEG-2 512kbps");
+}
+
+TEST(Format, ObjectSizeFromBitrateAndDuration) {
+  MediaObject obj;
+  obj.format = MediaFormat{Codec::MPEG2, kRes640x480, 512};
+  obj.duration_s = 10.0;
+  EXPECT_EQ(obj.size_bytes(), 640000u);  // 512kbps * 10s / 8
+}
+
+TEST(Transcoder, AspectsDetected) {
+  const TranscoderType codec_change{{Codec::MPEG2, kRes800x600, 512},
+                                    {Codec::MPEG4, kRes800x600, 512}};
+  EXPECT_TRUE(has_aspect(codec_change.aspects(), TranscodeAspect::CodecChange));
+  EXPECT_FALSE(has_aspect(codec_change.aspects(), TranscodeAspect::Downscale));
+
+  const TranscoderType shrink{{Codec::MPEG4, kRes800x600, 512},
+                              {Codec::MPEG4, kRes320x240, 64}};
+  EXPECT_TRUE(has_aspect(shrink.aspects(), TranscodeAspect::Downscale));
+  EXPECT_TRUE(has_aspect(shrink.aspects(), TranscodeAspect::BitrateReduce));
+}
+
+TEST(Transcoder, CostScalesWithPixelsAndCodec) {
+  const TranscoderType small{{Codec::MPEG2, kRes320x240, 256},
+                             {Codec::MPEG2, kRes320x240, 128}};
+  const TranscoderType large{{Codec::MPEG2, kRes800x600, 256},
+                             {Codec::MPEG2, kRes800x600, 128}};
+  EXPECT_LT(transcode_ops_per_media_second(small),
+            transcode_ops_per_media_second(large));
+
+  const TranscoderType mpeg4{{Codec::MPEG4, kRes800x600, 256},
+                             {Codec::MPEG4, kRes800x600, 128}};
+  EXPECT_LT(transcode_ops_per_media_second(large),
+            transcode_ops_per_media_second(mpeg4));
+}
+
+TEST(Transcoder, BitrateOnlyShapingIsCheaperThanFullReencode) {
+  const TranscoderType shaping{{Codec::MPEG4, kRes640x480, 512},
+                               {Codec::MPEG4, kRes640x480, 256}};
+  const TranscoderType reencode{{Codec::MPEG2, kRes640x480, 512},
+                                {Codec::MPEG4, kRes640x480, 256}};
+  EXPECT_LT(transcode_ops_per_media_second(shaping),
+            transcode_ops_per_media_second(reencode));
+}
+
+TEST(Transcoder, OutputBandwidthFollowsTargetBitrate) {
+  const TranscoderType t{{Codec::MPEG2, kRes640x480, 512},
+                         {Codec::MPEG4, kRes640x480, 64}};
+  EXPECT_DOUBLE_EQ(output_bytes_per_media_second(t), 8000.0);
+}
+
+TEST(Transcoder, SensibleConversionRules) {
+  const MediaFormat hi{Codec::MPEG2, kRes800x600, 512};
+  const MediaFormat lo{Codec::MPEG4, kRes640x480, 128};
+  EXPECT_TRUE(is_sensible_conversion(hi, lo));
+  EXPECT_FALSE(is_sensible_conversion(lo, hi));  // no upscaling
+  EXPECT_FALSE(is_sensible_conversion(hi, hi));  // no identity
+}
+
+TEST(Transcoder, TypeKeyDistinguishesConversions) {
+  const TranscoderType a{{Codec::MPEG2, kRes800x600, 512},
+                         {Codec::MPEG4, kRes800x600, 512}};
+  const TranscoderType b{{Codec::MPEG2, kRes800x600, 512},
+                         {Codec::MPEG4, kRes640x480, 512}};
+  EXPECT_NE(a.type_key(), b.type_key());
+  EXPECT_EQ(a.type_key(), TranscoderType{a}.type_key());
+}
+
+TEST(Catalog, AddAndLookup) {
+  Catalog cat;
+  const MediaFormat f{Codec::MPEG2, kRes800x600, 512};
+  const auto i = cat.add_format(f);
+  EXPECT_EQ(cat.add_format(f), i);  // idempotent
+  EXPECT_TRUE(cat.has_format(f));
+  EXPECT_EQ(cat.index_of(f), i);
+  EXPECT_EQ(cat.format(i), f);
+  EXPECT_THROW((void)cat.index_of(MediaFormat{}), std::out_of_range);
+}
+
+TEST(Catalog, ConversionRequiresKnownFormats) {
+  Catalog cat;
+  const MediaFormat a{Codec::MPEG2, kRes800x600, 512};
+  cat.add_format(a);
+  EXPECT_THROW(cat.add_conversion(a, MediaFormat{Codec::MPEG4, kRes640x480, 64}),
+               std::logic_error);
+}
+
+TEST(Figure1, ExactStructure) {
+  const Figure1Catalog fig = figure1_catalog();
+  EXPECT_EQ(fig.catalog.format_count(), 5u);
+  ASSERT_EQ(fig.edges.size(), 8u);
+  // e1 converts the source codec; e2 == e3 (two providers).
+  EXPECT_EQ(fig.edges[0].input, fig.v1);
+  EXPECT_EQ(fig.edges[0].output, fig.v2);
+  EXPECT_EQ(fig.edges[1], fig.edges[2]);
+  EXPECT_EQ(fig.edges[7].input, fig.v5);
+  EXPECT_EQ(fig.edges[7].output, fig.v3);
+  // The §4.3 narrative formats.
+  EXPECT_EQ(fig.v1.to_string(), "800x600 MPEG-2 512kbps");
+  EXPECT_EQ(fig.v3.to_string(), "640x480 MPEG-4 64kbps");
+}
+
+TEST(LadderCatalog, AdjacencyAndSensibility) {
+  const Catalog cat = ladder_catalog();
+  EXPECT_EQ(cat.format_count(), 24u);  // 2 codecs x 3 res x 4 bitrates
+  EXPECT_FALSE(cat.conversions().empty());
+  for (const auto& c : cat.conversions()) {
+    EXPECT_TRUE(is_sensible_conversion(c.input, c.output)) << c.to_string();
+  }
+  // Adjacent-steps-only: no conversion skips a bitrate rung.
+  for (const auto& c : cat.conversions()) {
+    const double ratio = static_cast<double>(c.input.bitrate_kbps) /
+                         std::max(1u, c.output.bitrate_kbps);
+    EXPECT_LE(ratio, 2.01) << c.to_string();
+  }
+}
+
+TEST(LadderCatalog, EveryNonBottomFormatHasAnOutgoingConversion) {
+  const Catalog cat = ladder_catalog();
+  for (const auto& f : cat.formats()) {
+    const bool bottom = f.bitrate_kbps == 64 &&
+                        f.resolution.pixels() == kRes320x240.pixels() &&
+                        f.codec == Codec::MPEG4;
+    if (!bottom) {
+      EXPECT_FALSE(cat.conversions_from(f).empty()) << f.to_string();
+    }
+  }
+}
+
+TEST(MakeObject, PopulatesMetadata) {
+  util::Rng rng(5);
+  const MediaFormat f{Codec::MPEG2, kRes800x600, 512};
+  const auto obj = make_object(util::ObjectId{7}, f, 12.0, rng);
+  EXPECT_EQ(obj.id, util::ObjectId{7});
+  EXPECT_EQ(obj.format, f);
+  EXPECT_DOUBLE_EQ(obj.duration_s, 12.0);
+  EXPECT_NE(obj.content_hash, 0u);
+  EXPECT_EQ(obj.name, "object-7");
+}
+
+}  // namespace
+}  // namespace p2prm::media

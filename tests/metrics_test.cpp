@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "metrics/collectors.hpp"
+#include "metrics/report.hpp"
+#include "workload/heterogeneity.hpp"
+
+namespace p2prm::metrics {
+namespace {
+
+using core::System;
+using core::SystemConfig;
+using core::TaskRecord;
+
+TEST(TaskLedger, CountsAndRatios) {
+  core::TaskLedger ledger;
+  auto submit = [&](std::uint64_t id) {
+    TaskRecord r;
+    r.id = util::TaskId{id};
+    r.submitted = 0;
+    r.deadline = util::seconds(10);
+    ledger.on_submitted(r);
+  };
+  for (std::uint64_t i = 0; i < 5; ++i) submit(i);
+  ledger.on_completed(util::TaskId{0}, util::seconds(5), false);
+  ledger.on_completed(util::TaskId{1}, util::seconds(15), true);
+  ledger.on_rejected(util::TaskId{2}, "nope");
+  ledger.on_failed(util::TaskId{3}, "dead");
+  ledger.orphan_pending(util::seconds(20));
+
+  EXPECT_EQ(ledger.submitted(), 5u);
+  EXPECT_EQ(ledger.completed(), 2u);
+  EXPECT_EQ(ledger.completed_on_time(), 1u);
+  EXPECT_EQ(ledger.missed(), 1u);
+  EXPECT_EQ(ledger.rejected(), 1u);
+  EXPECT_EQ(ledger.failed(), 1u);
+  EXPECT_EQ(ledger.orphaned(), 1u);
+  EXPECT_EQ(ledger.pending(), 0u);
+  EXPECT_DOUBLE_EQ(ledger.on_time_ratio(), 0.5);
+  EXPECT_DOUBLE_EQ(ledger.goodput(), 0.2);
+  EXPECT_DOUBLE_EQ(ledger.miss_ratio(), 0.8);
+}
+
+TEST(TaskLedger, DoubleTerminalEventsIgnored) {
+  core::TaskLedger ledger;
+  TaskRecord r;
+  r.id = util::TaskId{1};
+  r.deadline = util::seconds(10);
+  ledger.on_submitted(r);
+  ledger.on_completed(util::TaskId{1}, util::seconds(1), false);
+  ledger.on_failed(util::TaskId{1}, "late news");
+  ledger.on_completed(util::TaskId{1}, util::seconds(2), true);
+  EXPECT_EQ(ledger.completed(), 1u);
+  EXPECT_EQ(ledger.failed(), 0u);
+  EXPECT_EQ(ledger.record(util::TaskId{1})->status,
+            core::TaskStatus::Completed);
+}
+
+TEST(TaskLedger, UnknownTaskEventsIgnored) {
+  core::TaskLedger ledger;
+  ledger.on_completed(util::TaskId{42}, 0, false);
+  EXPECT_EQ(ledger.completed(), 0u);
+}
+
+TEST(TrafficSplit, SeparatesStreamData) {
+  net::NetworkStats stats;
+  stats.per_type_count["core.stream_data"] = 3;
+  stats.per_type_bytes["core.stream_data"] = 3000;
+  stats.per_type_count["core.task_query"] = 2;
+  stats.per_type_bytes["core.task_query"] = 200;
+  const auto split = split_traffic(stats);
+  EXPECT_EQ(split.data_messages, 3u);
+  EXPECT_EQ(split.data_bytes, 3000u);
+  EXPECT_EQ(split.control_messages, 2u);
+  EXPECT_EQ(split.control_bytes, 200u);
+}
+
+TEST(LoadProbe, MeasuresTrueFairnessOfIdleSystem) {
+  media::Catalog catalog = media::ladder_catalog();
+  System system{SystemConfig{}};
+  util::Rng rng{5};
+  workload::PopulationConfig pop;
+  workload::ObjectPopulation population(catalog, pop, system, rng);
+  auto factory = workload::make_peer_factory(
+      catalog, population, workload::HeterogeneityConfig{},
+      workload::ProvisionConfig{}, system, rng);
+  workload::bootstrap_network(system, factory, 6);
+
+  LoadProbe probe(system, util::milliseconds(500));
+  probe.start();
+  system.run_for(util::seconds(10));
+  probe.stop();
+
+  ASSERT_GT(probe.fairness_series().count(), 5u);
+  // Idle peers -> all-zero loads -> Jain index 1.
+  EXPECT_NEAR(probe.fairness_series().last(), 1.0, 1e-9);
+  EXPECT_NEAR(probe.mean_utilization(0.0, 10.0), 0.0, 0.02);
+}
+
+TEST(LoadProbe, DetectsActivity) {
+  media::Catalog catalog = media::ladder_catalog();
+  System system{SystemConfig{}};
+  util::Rng rng{6};
+  workload::PopulationConfig pop;
+  workload::ObjectPopulation population(catalog, pop, system, rng);
+  auto factory = workload::make_peer_factory(
+      catalog, population, workload::HeterogeneityConfig{},
+      workload::ProvisionConfig{}, system, rng);
+  const auto ids = workload::bootstrap_network(system, factory, 8);
+
+  // Guarantee a host for the exact conversion we will request, so the test
+  // does not depend on random provisioning.
+  const auto& object = population.at(0);
+  media::MediaFormat target = object.format;
+  target.bitrate_kbps = object.format.bitrate_kbps / 2;
+  overlay::PeerSpec spec;
+  spec.capacity_ops_per_s = 60e6;
+  core::PeerInventory inv;
+  inv.services = {{system.next_service_id(),
+                   media::TranscoderType{object.format, target}}};
+  system.add_peer(spec, std::move(inv));
+  system.run_for(util::seconds(2));
+
+  LoadProbe probe(system, util::milliseconds(500));
+  probe.start();
+  core::QoSRequirements q;
+  q.object = object.id;
+  q.acceptable_formats = {target};
+  q.deadline = util::minutes(2);
+  system.submit_task(ids.front(), q);
+  system.run_for(util::seconds(20));
+  probe.stop();
+
+  double peak = 0.0;
+  for (std::size_t i = 0; i < probe.max_utilization_series().count(); ++i) {
+    peak = std::max(peak, probe.max_utilization_series().value_at(i));
+  }
+  EXPECT_GT(peak, 0.5);  // someone actually transcoded
+}
+
+TEST(Reports, TablesRenderWithoutCrashing) {
+  media::Catalog catalog = media::ladder_catalog();
+  System system{SystemConfig{}};
+  util::Rng rng{7};
+  workload::PopulationConfig pop;
+  workload::ObjectPopulation population(catalog, pop, system, rng);
+  auto factory = workload::make_peer_factory(
+      catalog, population, workload::HeterogeneityConfig{},
+      workload::ProvisionConfig{}, system, rng);
+  workload::bootstrap_network(system, factory, 5);
+
+  const auto tasks = task_table(system.ledger());
+  EXPECT_GT(tasks.rows(), 5u);
+  const auto traffic = traffic_table(system.network().stats());
+  EXPECT_GT(traffic.rows(), 2u);
+  const auto domains = domain_table(system);
+  EXPECT_EQ(domains.rows(), 1u);
+  const auto agg = aggregate_rm_stats(system);
+  EXPECT_EQ(agg.domains, 1u);
+}
+
+}  // namespace
+}  // namespace p2prm::metrics

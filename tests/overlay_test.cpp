@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "overlay/connection_manager.hpp"
+#include "overlay/domain.hpp"
+#include "overlay/membership.hpp"
+#include "overlay/peer.hpp"
+
+namespace p2prm::overlay {
+namespace {
+
+using util::PeerId;
+using util::seconds;
+
+PeerSpec make_spec(std::uint64_t id, double capacity = 100e6,
+                   double link = 1.25e7, util::SimTime online_since = 0) {
+  PeerSpec spec;
+  spec.id = PeerId{id};
+  spec.capacity_ops_per_s = capacity;
+  spec.link.uplink_bytes_per_s = link;
+  spec.link.downlink_bytes_per_s = link;
+  spec.online_since = online_since;
+  return spec;
+}
+
+// ---- qualification ------------------------------------------------------------
+
+TEST(Qualification, RequiresAllThreeThresholds) {
+  const QualificationConfig config;
+  const util::SimTime now = seconds(3600);
+  EXPECT_TRUE(qualifies_for_rm(make_spec(1), now, config));
+  // i) insufficient bandwidth
+  EXPECT_FALSE(qualifies_for_rm(make_spec(1, 100e6, 1e3), now, config));
+  // ii) insufficient processing power
+  EXPECT_FALSE(qualifies_for_rm(make_spec(1, 1e6), now, config));
+  // iii) insufficient uptime
+  EXPECT_FALSE(
+      qualifies_for_rm(make_spec(1, 100e6, 1.25e7, now - seconds(1)), now, config));
+}
+
+TEST(Qualification, ScoreOrdersByAffluence) {
+  const QualificationConfig config;
+  const util::SimTime now = seconds(3600);
+  const double strong = rm_score(make_spec(1, 200e6, 1.25e7), now, config);
+  const double weak = rm_score(make_spec(2, 40e6, 1e6), now, config);
+  EXPECT_GT(strong, weak);
+}
+
+TEST(Qualification, ScoreSaturates) {
+  const QualificationConfig config;
+  const util::SimTime now = seconds(36000);
+  const double huge = rm_score(make_spec(1, 1e12, 1e12), now, config);
+  EXPECT_LE(huge, config.weight_bandwidth + config.weight_capacity +
+                      config.weight_uptime + 1e-9);
+}
+
+// ---- join decision --------------------------------------------------------------
+
+TEST(JoinDecision, PaperRule) {
+  // Room in the domain -> accept.
+  EXPECT_EQ(decide_join({5, 10, false, false, false}), JoinOutcome::Accept);
+  EXPECT_EQ(decide_join({5, 10, true, true, true}), JoinOutcome::Accept);
+  // Full + qualifies -> promote to new RM.
+  EXPECT_EQ(decide_join({10, 10, true, false, false}), JoinOutcome::Promote);
+  // Full + does not qualify + other RMs known -> redirect.
+  EXPECT_EQ(decide_join({10, 10, false, true, false}), JoinOutcome::Redirect);
+  // Nowhere to go.
+  EXPECT_EQ(decide_join({10, 10, false, false, false}), JoinOutcome::Reject);
+}
+
+TEST(JoinDecision, UnderfullDomainBeatsPromotion) {
+  // A qualified newcomer is still redirected when gossip shows another
+  // domain with spare slots — prevents domain fragmentation.
+  EXPECT_EQ(decide_join({10, 10, true, true, true}), JoinOutcome::Redirect);
+  EXPECT_EQ(decide_join({10, 10, false, true, true}), JoinOutcome::Redirect);
+}
+
+// ---- connection manager ------------------------------------------------------------
+
+TEST(ConnectionManager, RefCountsByPurpose) {
+  ConnectionManager cm(4);
+  EXPECT_TRUE(cm.open(PeerId{1}, ConnectionPurpose::Control));
+  EXPECT_TRUE(cm.open(PeerId{1}, ConnectionPurpose::Streaming));
+  EXPECT_EQ(cm.connection_count(), 1u);  // one link, two purposes
+  cm.close(PeerId{1}, ConnectionPurpose::Control);
+  EXPECT_TRUE(cm.connected(PeerId{1}));
+  cm.close(PeerId{1}, ConnectionPurpose::Streaming);
+  EXPECT_FALSE(cm.connected(PeerId{1}));
+}
+
+TEST(ConnectionManager, EnforcesLimit) {
+  ConnectionManager cm(2);
+  EXPECT_TRUE(cm.open(PeerId{1}, ConnectionPurpose::Streaming));
+  EXPECT_TRUE(cm.open(PeerId{2}, ConnectionPurpose::Streaming));
+  EXPECT_FALSE(cm.open(PeerId{3}, ConnectionPurpose::Streaming));
+  EXPECT_TRUE(cm.full());
+  EXPECT_EQ(cm.total_rejected(), 1u);
+  // Existing connections can still gain refs.
+  EXPECT_TRUE(cm.open(PeerId{2}, ConnectionPurpose::Control));
+}
+
+TEST(ConnectionManager, DropAll) {
+  ConnectionManager cm(8);
+  cm.open(PeerId{1}, ConnectionPurpose::Streaming);
+  cm.open(PeerId{2}, ConnectionPurpose::Streaming);
+  cm.drop_all_to(PeerId{1});
+  EXPECT_FALSE(cm.connected(PeerId{1}));
+  cm.drop_everything();
+  EXPECT_EQ(cm.connection_count(), 0u);
+}
+
+TEST(ConnectionManager, CloseUnknownIsNoop) {
+  ConnectionManager cm(2);
+  cm.close(PeerId{9}, ConnectionPurpose::Control);
+  EXPECT_EQ(cm.connection_count(), 0u);
+}
+
+// ---- domain -------------------------------------------------------------------------
+
+profile::LoadSample sample_with(double load, double util = 0.5) {
+  profile::LoadSample s;
+  s.smoothed_load_ops = load;
+  s.smoothed_utilization = util;
+  return s;
+}
+
+TEST(Domain, MembershipBasics) {
+  Domain d(util::DomainId{1}, PeerId{100});
+  d.add_member(make_spec(100), 0);
+  d.add_member(make_spec(1), 0);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_TRUE(d.has_member(PeerId{1}));
+  EXPECT_TRUE(d.remove_member(PeerId{1}));
+  EXPECT_FALSE(d.remove_member(PeerId{1}));
+  EXPECT_EQ(d.member_ids(), (std::vector<PeerId>{PeerId{100}}));
+}
+
+TEST(Domain, BackupIsHighestScoringEligible) {
+  Domain d(util::DomainId{1}, PeerId{100});
+  d.add_member(make_spec(100), 0);
+  d.add_member(make_spec(1), 0);
+  d.add_member(make_spec(2), 0);
+  d.record_report(PeerId{1}, sample_with(0), seconds(1), true, 1.5);
+  d.record_report(PeerId{2}, sample_with(0), seconds(1), true, 2.5);
+  ASSERT_TRUE(d.backup().has_value());
+  EXPECT_EQ(*d.backup(), PeerId{2});
+  EXPECT_EQ(d.eligible_ranked(), (std::vector<PeerId>{PeerId{2}, PeerId{1}}));
+}
+
+TEST(Domain, RmIsNeverItsOwnBackup) {
+  Domain d(util::DomainId{1}, PeerId{100});
+  d.add_member(make_spec(100), 0);
+  d.record_report(PeerId{100}, sample_with(0), seconds(1), true, 9.0);
+  EXPECT_FALSE(d.backup().has_value());
+}
+
+TEST(Domain, StaleMemberDetection) {
+  Domain d(util::DomainId{1}, PeerId{100});
+  d.add_member(make_spec(100), 0);
+  d.add_member(make_spec(1), 0);
+  d.add_member(make_spec(2), 0);
+  d.record_report(PeerId{1}, sample_with(0), seconds(10), true, 1.0);
+  // Peer 2 never reported after joining at t=0.
+  const auto stale = d.stale_members(seconds(12), seconds(5));
+  EXPECT_EQ(stale, (std::vector<PeerId>{PeerId{2}}));
+}
+
+TEST(Domain, AggregatesAndLoadVector) {
+  Domain d(util::DomainId{1}, PeerId{100});
+  d.add_member(make_spec(100, 100e6), 0);
+  d.add_member(make_spec(1, 50e6), 0);
+  d.record_report(PeerId{100}, sample_with(30e6), seconds(1), false, 0);
+  d.record_report(PeerId{1}, sample_with(10e6), seconds(1), false, 0);
+  EXPECT_DOUBLE_EQ(d.total_capacity_ops(), 150e6);
+  EXPECT_DOUBLE_EQ(d.total_load_ops(), 40e6);
+  const auto lv = d.load_vector();
+  ASSERT_EQ(lv.size(), 2u);
+  EXPECT_EQ(lv[0].first, PeerId{1});
+  EXPECT_DOUBLE_EQ(lv[0].second, 10e6);
+}
+
+TEST(Domain, EpochBumping) {
+  Domain d(util::DomainId{1}, PeerId{100});
+  EXPECT_EQ(d.epoch(), 0u);
+  d.bump_epoch();
+  EXPECT_EQ(d.epoch(), 1u);
+  d.set_epoch(9);
+  EXPECT_EQ(d.epoch(), 9u);
+}
+
+}  // namespace
+}  // namespace p2prm::overlay

@@ -1,0 +1,143 @@
+// Peer-side session mechanics: the execution of service-graph hops
+// (Fig. 2 step C) on a deterministic, hand-built domain.
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "media/catalog.hpp"
+
+namespace p2prm {
+namespace {
+
+using namespace core;
+
+// A minimal world: RM, source with one object, two transcoder hosts for the
+// same conversion, and a sink.
+struct MiniWorld {
+  SystemConfig config;
+  System system;
+  media::Figure1Catalog fig = media::figure1_catalog();
+  media::MediaObject object;
+  util::PeerId rm, source, host_e1, host_e2, sink;
+
+  explicit MiniWorld(std::uint64_t seed = 3)
+      : config([seed] {
+          SystemConfig c;
+          c.seed = seed;
+          return c;
+        }()),
+        system(config) {
+    util::Rng rng(seed);
+    object = media::make_object(system.next_object_id(), fig.v1, 10.0, rng);
+    rm = add({}, {});
+    core::PeerInventory lib;
+    lib.objects = {object};
+    source = add(std::move(lib), {});
+    host_e1 = add({}, {{system.next_service_id(), fig.edges[0]}});  // v1->v2
+    host_e2 = add({}, {{system.next_service_id(), fig.edges[1]}});  // v2->v3
+    sink = add({}, {});
+    system.run_for(util::seconds(2));
+  }
+
+  util::PeerId add(PeerInventory inv, std::vector<ServiceOffering> services) {
+    for (auto& s : services) inv.services.push_back(s);
+    overlay::PeerSpec spec;
+    spec.capacity_ops_per_s = 100e6;
+    spec.online_since = -util::minutes(60);
+    const auto id = system.add_peer(spec, std::move(inv));
+    system.run_for(util::milliseconds(50));
+    return id;
+  }
+
+  util::TaskId request_v3() {
+    QoSRequirements q;
+    q.object = object.id;
+    q.acceptable_formats = {fig.v3};
+    q.deadline = util::minutes(2);
+    return system.submit_task(sink, q);
+  }
+};
+
+TEST(PeerSession, TwoHopPipelineExecutesOnTheRightPeers) {
+  MiniWorld world;
+  const auto task = world.request_v3();
+  world.system.run_for(util::minutes(3));
+
+  const auto* record = world.system.ledger().record(task);
+  ASSERT_EQ(record->status, TaskStatus::Completed);
+  EXPECT_EQ(world.system.peer(world.host_e1)->peer_stats().hops_executed, 1u);
+  EXPECT_EQ(world.system.peer(world.host_e2)->peer_stats().hops_executed, 1u);
+  // The source forwarded one stream; each hop forwarded its output.
+  EXPECT_EQ(world.system.peer(world.source)->peer_stats().streams_forwarded, 1u);
+  // All sessions cleaned up.
+  for (const auto id : world.system.alive_peer_ids()) {
+    EXPECT_EQ(world.system.peer(id)->active_sessions(), 0u) << "peer " << id;
+    EXPECT_EQ(world.system.peer(id)->buffered_early_data(), 0u);
+  }
+}
+
+TEST(PeerSession, ProfilerLearnsExecutionTimes) {
+  MiniWorld world;
+  const auto task = world.request_v3();
+  world.system.run_for(util::minutes(3));
+  ASSERT_EQ(world.system.ledger().record(task)->status, TaskStatus::Completed);
+  // The e1 host recorded an execution sample for its conversion type.
+  auto& profiler = world.system.peer(world.host_e1)->profiler();
+  const auto* stats = profiler.execution_stats(world.fig.edges[0].type_key());
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->count(), 1u);
+  EXPECT_GT(stats->mean(), 0.0);
+  // And the RM learned it through the next profiler report.
+  world.system.run_for(util::seconds(2));
+  auto* rm = world.system.peer(world.rm)->resource_manager();
+  EXPECT_GT(rm->info().measured_execution_s(world.host_e1,
+                                            world.fig.edges[0].type_key()),
+            0.0);
+}
+
+TEST(PeerSession, RepeatedTasksReuseThePipeline) {
+  MiniWorld world;
+  std::vector<util::TaskId> tasks;
+  for (int i = 0; i < 4; ++i) {
+    tasks.push_back(world.request_v3());
+    world.system.run_for(util::seconds(30));
+  }
+  world.system.run_for(util::minutes(3));
+  for (const auto task : tasks) {
+    EXPECT_EQ(world.system.ledger().record(task)->status,
+              TaskStatus::Completed);
+  }
+  EXPECT_EQ(world.system.peer(world.host_e1)->peer_stats().hops_executed, 4u);
+}
+
+TEST(PeerSession, HopCancelStopsWorkAndCleansUp) {
+  MiniWorld world;
+  const auto task = world.request_v3();
+  // Let the pipeline start, then let the RM fail the task by killing the
+  // only v2->v3 host: the e1 host's remaining session must be cancelled via
+  // HopCancel or consumed; either way nothing leaks.
+  world.system.run_for(util::milliseconds(300));
+  world.system.crash_peer(world.host_e2);
+  world.system.run_for(util::minutes(2));
+
+  const auto* record = world.system.ledger().record(task);
+  EXPECT_EQ(record->status, TaskStatus::Failed);
+  for (const auto id : world.system.alive_peer_ids()) {
+    EXPECT_EQ(world.system.peer(id)->active_sessions(), 0u) << "peer " << id;
+  }
+  EXPECT_EQ(world.system.peer(world.host_e1)->processor().queue_length(), 0u);
+}
+
+TEST(PeerSession, ConnectionsOpenDuringStreamingAndClose) {
+  MiniWorld world;
+  const auto task = world.request_v3();
+  world.system.run_for(util::minutes(3));
+  ASSERT_EQ(world.system.ledger().record(task)->status, TaskStatus::Completed);
+  // Streaming links are closed after the hop; only the control link to the
+  // RM remains.
+  auto& conns = world.system.peer(world.host_e1)->connections();
+  EXPECT_LE(conns.connection_count(), 1u);
+  EXPECT_GE(conns.total_opened(), 2u);  // prev + next were opened
+}
+
+}  // namespace
+}  // namespace p2prm

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "profile/ewma.hpp"
+#include "profile/profiler.hpp"
+
+namespace p2prm::profile {
+namespace {
+
+using util::milliseconds;
+using util::seconds;
+
+TEST(Ewma, FirstValueInitializes) {
+  Ewma e(0.5);
+  EXPECT_FALSE(e.initialized());
+  EXPECT_DOUBLE_EQ(e.value_or(7.0), 7.0);
+  e.update(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(Ewma, ConvergesTowardConstantInput) {
+  Ewma e(0.3);
+  e.update(0.0);
+  for (int i = 0; i < 50; ++i) e.update(4.0);
+  EXPECT_NEAR(e.value(), 4.0, 1e-6);
+}
+
+TEST(Ewma, AlphaOneTracksExactly) {
+  Ewma e(1.0);
+  e.update(1.0);
+  e.update(9.0);
+  EXPECT_DOUBLE_EQ(e.value(), 9.0);
+}
+
+TEST(Ewma, RejectsBadAlpha) {
+  EXPECT_THROW(Ewma(0.0), std::invalid_argument);
+  EXPECT_THROW(Ewma(1.5), std::invalid_argument);
+}
+
+TEST(Ewma, Reset) {
+  Ewma e(0.5);
+  e.update(3.0);
+  e.reset();
+  EXPECT_FALSE(e.initialized());
+  EXPECT_DOUBLE_EQ(e.value(), 0.0);
+}
+
+TEST(Profiler, FirstSampleIsBaseline) {
+  Profiler prof(10e6);
+  const auto s = prof.sample(seconds(1), seconds(0), 0, 0, 0.0);
+  EXPECT_DOUBLE_EQ(s.utilization, 0.0);
+  EXPECT_DOUBLE_EQ(s.load_ops, 0.0);
+}
+
+TEST(Profiler, UtilizationFromBusyDelta) {
+  Profiler prof(10e6);
+  prof.sample(seconds(0), 0, 0, 0, 0.0);
+  // 500ms busy over a 1s period -> 50% utilization, load = 5 Mops.
+  const auto s = prof.sample(seconds(1), milliseconds(500), 0, 2, 1.5);
+  EXPECT_NEAR(s.utilization, 0.5, 1e-9);
+  EXPECT_NEAR(s.load_ops, 5e6, 1.0);
+  EXPECT_EQ(s.queue_length, 2u);
+  EXPECT_DOUBLE_EQ(s.backlog_seconds, 1.5);
+}
+
+TEST(Profiler, PaperLoadMetricIsCapacityTimesUtilization) {
+  // "current processor load l_i ... expressed as the product of processing
+  // power with current utilization" (§3.1 item 3).
+  Profiler fast(100e6), slow(10e6);
+  fast.sample(seconds(0), 0, 0, 0, 0);
+  slow.sample(seconds(0), 0, 0, 0, 0);
+  const auto f = fast.sample(seconds(1), milliseconds(500), 0, 0, 0);
+  const auto s = slow.sample(seconds(1), milliseconds(500), 0, 0, 0);
+  EXPECT_NEAR(f.utilization, s.utilization, 1e-9);
+  EXPECT_NEAR(f.load_ops / s.load_ops, 10.0, 1e-6);
+}
+
+TEST(Profiler, BandwidthFromByteDelta) {
+  Profiler prof(10e6);
+  prof.sample(seconds(0), 0, 0, 0, 0.0);
+  const auto s = prof.sample(seconds(2), 0, 2'000'000, 0, 0.0);
+  EXPECT_NEAR(s.bandwidth_bytes_per_s, 1e6, 1.0);
+}
+
+TEST(Profiler, SmoothingDampsSpikes) {
+  Profiler prof(10e6, {.ewma_alpha = 0.2});
+  prof.sample(seconds(0), 0, 0, 0, 0.0);
+  util::SimDuration busy = 0;
+  // Steady 10% load...
+  for (int t = 1; t <= 10; ++t) {
+    busy += milliseconds(100);
+    prof.sample(seconds(t), busy, 0, 0, 0.0);
+  }
+  // ...then one fully-busy second.
+  busy += seconds(1);
+  const auto s = prof.sample(seconds(11), busy, 0, 0, 0.0);
+  EXPECT_DOUBLE_EQ(s.utilization, 1.0);
+  EXPECT_LT(s.smoothed_utilization, 0.35);  // spike damped
+  EXPECT_GT(s.smoothed_utilization, 0.2);
+}
+
+TEST(Profiler, ExecutionRecordsImproveEstimates) {
+  Profiler prof(10e6);
+  const std::uint64_t key = 12345;
+  EXPECT_EQ(prof.estimated_execution(key, seconds(9)), seconds(9));  // fallback
+  prof.record_execution(key, seconds(2));
+  prof.record_execution(key, seconds(4));
+  EXPECT_EQ(prof.estimated_execution(key, seconds(9)), seconds(3));
+  const auto* stats = prof.execution_stats(key);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->count(), 2u);
+}
+
+TEST(Profiler, CommunicationRecordsPerNeighbour) {
+  Profiler prof(10e6);
+  const util::PeerId a{1}, b{2};
+  prof.record_communication(a, milliseconds(10));
+  prof.record_communication(a, milliseconds(10));
+  EXPECT_EQ(prof.estimated_communication(a, seconds(1)), milliseconds(10));
+  EXPECT_EQ(prof.estimated_communication(b, seconds(1)), seconds(1));
+}
+
+TEST(Profiler, RejectsNonPositiveCapacity) {
+  EXPECT_THROW(Profiler(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p2prm::profile

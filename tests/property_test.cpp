@@ -1,0 +1,309 @@
+// Property-based suites: invariants checked across randomized sweeps using
+// parameterized gtest (TEST_P / INSTANTIATE_TEST_SUITE_P).
+#include <gtest/gtest.h>
+
+#include "bloom/bloom_filter.hpp"
+#include "core/allocation.hpp"
+#include "fairness/fairness.hpp"
+#include "graph/path_search.hpp"
+#include "media/catalog.hpp"
+#include "sched/processor.hpp"
+#include "sim/simulator.hpp"
+
+namespace p2prm {
+namespace {
+
+// ---- fairness properties over random load vectors -----------------------------
+
+class FairnessProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FairnessProperty, BoundsScaleInvarianceAndPermutation) {
+  util::Rng rng(GetParam());
+  const std::size_t n = 1 + rng.below(30);
+  std::vector<double> loads;
+  for (std::size_t i = 0; i < n; ++i) loads.push_back(rng.uniform(0.0, 1000.0));
+
+  const double f = fairness::jain_index(loads);
+  // Bounds: 1/n <= F <= 1.
+  EXPECT_GE(f, 1.0 / static_cast<double>(n) - 1e-12);
+  EXPECT_LE(f, 1.0 + 1e-12);
+  // Scale invariance.
+  auto scaled = loads;
+  const double c = rng.uniform(0.001, 100.0);
+  for (auto& l : scaled) l *= c;
+  EXPECT_NEAR(fairness::jain_index(scaled), f, 1e-9);
+  // Permutation invariance.
+  auto shuffled = loads;
+  rng.shuffle(shuffled.begin(), shuffled.end());
+  EXPECT_NEAR(fairness::jain_index(shuffled), f, 1e-12);
+  // Equalizing transfer (Pigou-Dalton): moving load from the most to the
+  // least loaded peer never decreases fairness.
+  if (n >= 2) {
+    auto transferred = loads;
+    auto hi = std::max_element(transferred.begin(), transferred.end());
+    auto lo = std::min_element(transferred.begin(), transferred.end());
+    if (hi != lo && *hi > *lo) {
+      const double amount = (*hi - *lo) * 0.25;
+      *hi -= amount;
+      *lo += amount;
+      EXPECT_GE(fairness::jain_index(transferred), f - 1e-9);
+    }
+  }
+}
+
+TEST_P(FairnessProperty, IncrementalAgreesWithBatchUnderRandomOps) {
+  util::Rng rng(GetParam() * 977 + 3);
+  fairness::IncrementalFairness inc;
+  std::unordered_map<std::uint64_t, double> reference;
+  for (int op = 0; op < 300; ++op) {
+    const std::uint64_t peer = rng.below(20);
+    if (rng.bernoulli(0.85)) {
+      const double load = rng.uniform(0.0, 10.0);
+      inc.set(util::PeerId{peer}, load);
+      reference[peer] = load;
+    } else {
+      inc.remove(util::PeerId{peer});
+      reference.erase(peer);
+    }
+    std::vector<double> loads;
+    for (const auto& [_, l] : reference) loads.push_back(l);
+    EXPECT_NEAR(inc.index(), fairness::jain_index(loads), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FairnessProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// ---- Bloom filter properties -------------------------------------------------------
+
+class BloomProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(BloomProperty, NoFalseNegativesAndFppWithinTheory) {
+  const auto [bits_per_element, n] = GetParam();
+  util::Rng rng(bits_per_element * 31 + n);
+  bloom::BloomParameters params;
+  params.bits = bits_per_element * n;
+  params.hashes = bloom::optimal_hash_count(params.bits, n);
+  bloom::BloomFilter bf(params);
+
+  std::vector<std::uint64_t> keys;
+  for (std::size_t i = 0; i < n; ++i) keys.push_back(rng.next());
+  for (auto k : keys) bf.insert(k);
+  for (auto k : keys) ASSERT_TRUE(bf.possibly_contains(k));
+
+  std::size_t fp = 0;
+  const std::size_t probes = 5000;
+  for (std::size_t i = 0; i < probes; ++i) {
+    if (bf.possibly_contains(rng.next())) ++fp;
+  }
+  const double measured = static_cast<double>(fp) / probes;
+  const double theory = bloom::expected_fpp(params.bits, params.hashes, n);
+  EXPECT_LE(measured, std::max(theory * 2.5, 0.01))
+      << "bits/elem=" << bits_per_element << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometry, BloomProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(4, 8, 12, 16),
+                       ::testing::Values<std::size_t>(100, 1000)));
+
+// ---- scheduling properties ---------------------------------------------------------
+
+struct SchedCase {
+  std::uint64_t seed;
+  double load_factor;
+};
+
+class SchedulerProperty : public ::testing::TestWithParam<SchedCase> {};
+
+TEST_P(SchedulerProperty, WorkConservationAndNoLostJobs) {
+  const auto param = GetParam();
+  util::Rng rng(param.seed);
+  sim::Simulator sim(param.seed);
+  std::size_t finished = 0;
+  double total_ops = 0.0;
+  sched::Processor cpu(sim, {.ops_per_second = 1e6,
+                             .policy = sched::Policy::LeastLaxity},
+                       [&](const sched::Job&, sched::JobStatus) { ++finished; });
+  const int jobs = 100;
+  util::SimTime t = 0;
+  for (int i = 0; i < jobs; ++i) {
+    t += util::from_seconds(rng.exponential(1.0 / param.load_factor));
+    sched::Job j;
+    j.id = util::JobId{static_cast<std::uint64_t>(i)};
+    j.release = t;
+    j.total_ops = rng.uniform(0.2e6, 1.8e6);
+    j.remaining_ops = j.total_ops;
+    j.absolute_deadline = t + util::from_seconds(rng.uniform(1.0, 6.0));
+    total_ops += j.total_ops;
+    sim.schedule_at(t, [&cpu, j] { cpu.submit(j); });
+  }
+  sim.run_until();
+  // Every job finishes exactly once (none lost to preemption bookkeeping).
+  EXPECT_EQ(finished, static_cast<std::size_t>(jobs));
+  // Work conservation: busy time equals total work at unit speed.
+  EXPECT_NEAR(util::to_seconds(cpu.busy_time()), total_ops / 1e6, 0.01);
+  EXPECT_EQ(cpu.queue_length(), 0u);
+}
+
+TEST_P(SchedulerProperty, LlsNeverMissesWhenFeasibleScheduleTrivial) {
+  // Jobs released together with generous non-overlapping slack must all
+  // meet deadlines under LLS (sanity bound, not a general feasibility
+  // claim).
+  const auto param = GetParam();
+  util::Rng rng(param.seed + 999);
+  sim::Simulator sim(1);
+  std::size_t missed = 0;
+  sched::Processor cpu(sim, {.ops_per_second = 1e6,
+                             .policy = sched::Policy::LeastLaxity},
+                       [&](const sched::Job&, sched::JobStatus s) {
+                         if (s != sched::JobStatus::Completed) ++missed;
+                       });
+  double cumulative_s = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    sched::Job j;
+    j.id = util::JobId{static_cast<std::uint64_t>(i)};
+    j.release = 0;
+    j.total_ops = rng.uniform(0.5e6, 1.5e6);
+    j.remaining_ops = j.total_ops;
+    cumulative_s += j.total_ops / 1e6;
+    // Deadline far beyond the total backlog: trivially feasible under EDF
+    // order, hence under LLS too.
+    j.absolute_deadline = util::from_seconds(cumulative_s * 2.0 + 5.0);
+    cpu.submit(j);
+  }
+  sim.run_until();
+  EXPECT_EQ(missed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SchedulerProperty,
+    ::testing::Values(SchedCase{1, 0.5}, SchedCase{2, 0.9}, SchedCase{3, 1.2},
+                      SchedCase{4, 1.5}, SchedCase{5, 0.7}, SchedCase{6, 2.0}));
+
+// ---- allocation properties over random resource graphs -------------------------------
+
+class AllocationProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AllocationProperty, WinnerFeasibleChainConsistentAndFairnessMaximal) {
+  util::Rng rng(GetParam() * 7919);
+  sim::Simulator sim(1);
+  net::Topology topo;
+  net::Network net(sim, topo);
+  core::SystemConfig config;
+  const media::Catalog catalog = media::ladder_catalog();
+  core::InfoBase info(util::DomainId{0}, util::PeerId{0});
+
+  // Random membership with random service placement.
+  const std::size_t peers = 6 + rng.below(10);
+  for (std::uint64_t p = 0; p < peers; ++p) {
+    overlay::PeerSpec spec;
+    spec.id = util::PeerId{p};
+    spec.capacity_ops_per_s = rng.uniform(20e6, 120e6);
+    topo.place_at(spec.id, {rng.uniform(0, 500), rng.uniform(0, 500)});
+    info.add_member(spec, 0);
+    core::PeerAnnounce announce;
+    announce.spec = spec;
+    const std::size_t services = 2 + rng.below(6);
+    for (std::size_t s = 0; s < services; ++s) {
+      announce.services.push_back(core::ServiceOffering{
+          util::ServiceId{p * 100 + s},
+          catalog.conversions()[rng.below(catalog.conversions().size())]});
+    }
+    core::ProfilerReport report;
+    report.sample.smoothed_load_ops = rng.uniform(0.0, 0.5) *
+                                      spec.capacity_ops_per_s;
+    info.add_inventory(announce);
+    info.record_report(spec.id, report, 0);
+  }
+  // One object on peer 0 in a top-rung format.
+  const auto object = media::make_object(
+      util::ObjectId{1},
+      media::MediaFormat{media::Codec::MPEG2, media::kRes800x600, 512}, 8.0,
+      rng);
+  core::PeerAnnounce src;
+  src.spec.id = util::PeerId{0};
+  src.objects = {object};
+  info.add_inventory(src);
+
+  core::AllocationRequest request;
+  request.task = util::TaskId{1};
+  request.q.object = object.id;
+  request.q.acceptable_formats = {
+      media::MediaFormat{media::Codec::MPEG4, media::kRes640x480, 256},
+      media::MediaFormat{media::Codec::MPEG2, media::kRes640x480, 256}};
+  request.q.deadline = util::seconds(120);
+  request.sink = util::PeerId{peers - 1};
+
+  graph::SearchStats stats;
+  const auto candidates =
+      core::enumerate_candidates(info, net, config, request, false, &stats);
+  const auto result = core::make_allocator(core::AllocatorKind::PaperBfs)
+                          ->allocate(info, net, config, request, rng);
+
+  if (!result.found) {
+    // Then no candidate can be feasible.
+    for (const auto& c : candidates) EXPECT_FALSE(c.feasible);
+    return;
+  }
+  EXPECT_TRUE(result.sg.chain_consistent());
+  // Deadline honored by the estimate.
+  EXPECT_LE(result.estimated_execution, request.q.deadline);
+  // Fairness-maximal among feasible candidates.
+  for (const auto& c : candidates) {
+    if (c.feasible) {
+      EXPECT_GE(result.fairness_after, c.fairness_after - 1e-9);
+    }
+  }
+  // All hops reference services the info base actually has, hosted by the
+  // peer the hop claims.
+  for (const auto& hop : result.sg.hops()) {
+    ASSERT_TRUE(info.resource_graph().has_service(hop.service));
+    EXPECT_EQ(info.resource_graph().service(hop.service).peer, hop.peer);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AllocationProperty,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+// ---- BFS vs exhaustive relationship ---------------------------------------------------
+
+class SearchProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SearchProperty, BfsPathsAreSubsetOfSimplePathsOnRandomGraphs) {
+  util::Rng rng(GetParam() * 104729);
+  const media::Catalog catalog = media::ladder_catalog();
+  graph::ResourceGraph gr;
+  const std::size_t edges = 10 + rng.below(40);
+  for (std::uint64_t e = 0; e < edges; ++e) {
+    gr.add_service(util::ServiceId{e}, util::PeerId{rng.below(8)},
+                   catalog.conversions()[rng.below(catalog.conversions().size())]);
+  }
+  if (gr.state_count() < 2) return;
+  const graph::StateIndex start = rng.below(gr.state_count());
+  const graph::StateIndex goal = rng.below(gr.state_count());
+  if (start == goal) return;
+
+  auto ids = [](const graph::EdgePath& p) {
+    std::vector<std::uint64_t> v;
+    for (const auto* e : p) v.push_back(e->id.value());
+    return v;
+  };
+  std::set<std::vector<std::uint64_t>> all;
+  for (const auto& p : graph::all_simple_paths(gr, start, goal, 16)) {
+    all.insert(ids(p));
+  }
+  for (const auto& p : graph::bfs_paths(gr, start, goal)) {
+    // Every BFS result is a genuine simple path of the graph.
+    EXPECT_TRUE(all.count(ids(p))) << "BFS produced a non-simple path";
+  }
+  // Consistency with reachability.
+  EXPECT_EQ(!all.empty(), graph::reachable(gr, start, goal));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SearchProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace p2prm

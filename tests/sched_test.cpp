@@ -1,0 +1,325 @@
+#include <gtest/gtest.h>
+
+#include "sched/processor.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace p2prm::sched {
+namespace {
+
+using util::milliseconds;
+using util::seconds;
+
+Job make_job(std::uint64_t id, util::SimTime release, util::SimTime deadline,
+             double ops, double importance = 1.0) {
+  Job j;
+  j.id = util::JobId{id};
+  j.task = util::TaskId{id};
+  j.release = release;
+  j.absolute_deadline = deadline;
+  j.total_ops = ops;
+  j.remaining_ops = ops;
+  j.importance = importance;
+  return j;
+}
+
+TEST(Job, RemainingTimeAndLaxity) {
+  const Job j = make_job(1, 0, seconds(10), 5e6);
+  EXPECT_EQ(remaining_time(j, 1e6), seconds(5));
+  EXPECT_EQ(laxity(j, seconds(2), 1e6), seconds(3));
+  EXPECT_LT(laxity(j, seconds(6), 1e6), 0);  // deadline unreachable
+}
+
+TEST(Policy, NamesRoundTrip) {
+  for (Policy p : {Policy::LeastLaxity, Policy::EarliestDeadline, Policy::Fifo,
+                   Policy::StaticImportance}) {
+    EXPECT_EQ(policy_from_name(policy_name(p)), p);
+  }
+  EXPECT_THROW((void)policy_from_name("nope"), std::invalid_argument);
+}
+
+TEST(Policy, LlsSelectsMinimumLaxity) {
+  auto policy = make_policy(Policy::LeastLaxity);
+  // Same deadline; job with more remaining work has less laxity.
+  std::vector<Job> ready{make_job(1, 0, seconds(10), 1e6),
+                         make_job(2, 0, seconds(10), 8e6)};
+  EXPECT_EQ(policy->select(ready, 0, 1e6), 1u);
+}
+
+TEST(Policy, EdfSelectsEarliestDeadline) {
+  auto policy = make_policy(Policy::EarliestDeadline);
+  std::vector<Job> ready{make_job(1, 0, seconds(10), 1e6),
+                         make_job(2, 0, seconds(5), 1e6)};
+  EXPECT_EQ(policy->select(ready, 0, 1e6), 1u);
+}
+
+TEST(Policy, FifoSelectsEarliestRelease) {
+  auto policy = make_policy(Policy::Fifo);
+  std::vector<Job> ready{make_job(1, seconds(2), seconds(10), 1e6),
+                         make_job(2, seconds(1), seconds(50), 1e6)};
+  EXPECT_EQ(policy->select(ready, seconds(3), 1e6), 1u);
+}
+
+TEST(Policy, WeightedLaxityTradesSlackForValue) {
+  auto policy = make_policy(Policy::WeightedLaxity);
+  // Job 1: laxity 4s, importance 1 -> key 4. Job 2: laxity 8s, importance
+  // 4 -> key 2: the important job runs first despite more slack.
+  std::vector<Job> ready{make_job(1, 0, seconds(5), 1e6, 1.0),
+                         make_job(2, 0, seconds(9), 1e6, 4.0)};
+  EXPECT_EQ(policy->select(ready, 0, 1e6), 1u);
+  // With equal importance it degrades to plain LLS ordering.
+  ready[1].importance = 1.0;
+  EXPECT_EQ(policy->select(ready, 0, 1e6), 0u);
+}
+
+TEST(Policy, WeightedLaxityCrossoverIsFinite) {
+  auto policy = make_policy(Policy::WeightedLaxity);
+  const Job running = make_job(1, 0, seconds(20), 1e6, 1.0);
+  const std::vector<Job> waiting{make_job(2, 0, seconds(22), 1e6, 2.0)};
+  const auto check = policy->next_preemption_check(running, waiting, 0, 1e6);
+  EXPECT_GT(check, 0);
+  EXPECT_LT(check, seconds(30));
+}
+
+TEST(Processor, WeightedLaxityProtectsImportantUnderOverload) {
+  // 130% load; importance split 1 vs 10. WLLS should miss far fewer of the
+  // important jobs than plain LLS.
+  auto run = [](Policy policy) {
+    sim::Simulator sim(11);
+    std::size_t important_missed = 0, important_total = 0;
+    Processor cpu(sim, {.ops_per_second = 1e6, .policy = policy},
+                  [&](const Job& j, JobStatus s) {
+                    if (j.importance > 5.0) {
+                      ++important_total;
+                      if (s != JobStatus::Completed) ++important_missed;
+                    }
+                  });
+    util::Rng rng(23);
+    util::SimTime t = 0;
+    for (int i = 0; i < 400; ++i) {
+      t += util::from_seconds(rng.exponential(1.0 / 1.3));
+      Job j = make_job(static_cast<std::uint64_t>(i), t,
+                       t + util::from_seconds(rng.uniform(1.5, 6.0)),
+                       rng.uniform(0.4e6, 1.6e6),
+                       rng.bernoulli(0.3) ? 10.0 : 1.0);
+      sim.schedule_at(t, [&cpu, j] { cpu.submit(j); });
+    }
+    sim.run_until();
+    return important_total
+               ? static_cast<double>(important_missed) / important_total
+               : 0.0;
+  };
+  EXPECT_LT(run(Policy::WeightedLaxity), run(Policy::LeastLaxity));
+}
+
+TEST(Policy, StaticImportancePrefersImportant) {
+  auto policy = make_policy(Policy::StaticImportance);
+  std::vector<Job> ready{make_job(1, 0, seconds(5), 1e6, 1.0),
+                         make_job(2, 0, seconds(50), 1e6, 9.0)};
+  EXPECT_EQ(policy->select(ready, 0, 1e6), 1u);
+}
+
+TEST(Policy, LlsPredictsCrossover) {
+  auto policy = make_policy(Policy::LeastLaxity);
+  // Running job: deadline 20s, 1s work left at t=0 -> laxity 19s.
+  const Job running = make_job(1, 0, seconds(20), 1e6);
+  // Waiting: deadline 22s, 1s work -> laxity 21s now, crosses at t=2s.
+  const std::vector<Job> waiting{make_job(2, 0, seconds(22), 1e6)};
+  const auto check = policy->next_preemption_check(running, waiting, 0, 1e6);
+  EXPECT_GE(check, seconds(2));
+  EXPECT_LE(check, seconds(2) + milliseconds(2));
+}
+
+// ---- Processor -----------------------------------------------------------------
+
+struct Collected {
+  std::vector<std::pair<util::JobId, JobStatus>> finished;
+};
+
+struct Rig {
+  sim::Simulator sim{1};
+  Collected out;
+  std::unique_ptr<Processor> cpu;
+
+  explicit Rig(ProcessorConfig config = {}) {
+    cpu = std::make_unique<Processor>(
+        sim, config, [this](const Job& j, JobStatus s) {
+          out.finished.emplace_back(j.id, s);
+        });
+  }
+};
+
+TEST(Processor, RunsSingleJobToCompletion) {
+  Rig rig({.ops_per_second = 1e6, .policy = Policy::Fifo});
+  rig.cpu->submit(make_job(1, 0, seconds(10), 2e6));
+  rig.sim.run_until();
+  ASSERT_EQ(rig.out.finished.size(), 1u);
+  EXPECT_EQ(rig.out.finished[0].second, JobStatus::Completed);
+  EXPECT_EQ(rig.sim.now(), seconds(2));
+  EXPECT_EQ(rig.cpu->stats().completed_on_time, 1u);
+  EXPECT_EQ(rig.cpu->busy_time(), seconds(2));
+}
+
+TEST(Processor, LateCompletionIsFlagged) {
+  Rig rig({.ops_per_second = 1e6, .policy = Policy::Fifo});
+  rig.cpu->submit(make_job(1, 0, seconds(1), 5e6));  // needs 5s, deadline 1s
+  rig.sim.run_until();
+  ASSERT_EQ(rig.out.finished.size(), 1u);
+  EXPECT_EQ(rig.out.finished[0].second, JobStatus::CompletedLate);
+  EXPECT_DOUBLE_EQ(rig.cpu->stats().miss_ratio(), 1.0);
+}
+
+TEST(Processor, EdfOrdersByDeadline) {
+  Rig rig({.ops_per_second = 1e6, .policy = Policy::EarliestDeadline});
+  rig.cpu->submit(make_job(1, 0, seconds(100), 1e6));
+  rig.cpu->submit(make_job(2, 0, seconds(5), 1e6));
+  rig.sim.run_until();
+  ASSERT_EQ(rig.out.finished.size(), 2u);
+  EXPECT_EQ(rig.out.finished[0].first, util::JobId{2});
+  EXPECT_EQ(rig.out.finished[1].first, util::JobId{1});
+}
+
+TEST(Processor, PreemptionOnUrgentArrival) {
+  Rig rig({.ops_per_second = 1e6, .policy = Policy::EarliestDeadline});
+  rig.cpu->submit(make_job(1, 0, seconds(100), 10e6));  // long, lax
+  rig.sim.schedule_at(seconds(1), [&] {
+    rig.cpu->submit(make_job(2, seconds(1), seconds(3), 1e6));  // urgent
+  });
+  rig.sim.run_until();
+  ASSERT_EQ(rig.out.finished.size(), 2u);
+  EXPECT_EQ(rig.out.finished[0].first, util::JobId{2});
+  EXPECT_EQ(rig.out.finished[0].second, JobStatus::Completed);
+  // The long job resumed and finished with its full work done: 1+1+9 = 11s.
+  EXPECT_EQ(rig.sim.now(), seconds(11));
+}
+
+TEST(Processor, LlsPreemptsAtLaxityCrossover) {
+  Rig rig({.ops_per_second = 1e6, .policy = Policy::LeastLaxity});
+  // A: 10s work, deadline 30 -> laxity 20. Runs first (lower laxity than B).
+  // B: 1s work, deadline 22 -> laxity 21 at t=0, decays while waiting;
+  // crosses A's constant 20 at t=1, so B must preempt and complete well
+  // before its deadline even though A started first.
+  rig.cpu->submit(make_job(1, 0, seconds(30), 10e6));
+  rig.cpu->submit(make_job(2, 0, seconds(22), 1e6));
+  rig.sim.run_until();
+  ASSERT_EQ(rig.out.finished.size(), 2u);
+  EXPECT_EQ(rig.out.finished[0].first, util::JobId{2});
+  EXPECT_EQ(rig.out.finished[0].second, JobStatus::Completed);
+  EXPECT_EQ(rig.out.finished[1].second, JobStatus::Completed);
+  EXPECT_GT(rig.cpu->stats().preemptions, 0u);
+}
+
+TEST(Processor, FifoDoesNotPreempt) {
+  Rig rig({.ops_per_second = 1e6, .policy = Policy::Fifo});
+  rig.cpu->submit(make_job(1, 0, seconds(100), 10e6));
+  rig.sim.schedule_at(seconds(1), [&] {
+    rig.cpu->submit(make_job(2, seconds(1), seconds(3), 1e6));
+  });
+  rig.sim.run_until();
+  ASSERT_EQ(rig.out.finished.size(), 2u);
+  EXPECT_EQ(rig.out.finished[0].first, util::JobId{1});
+  EXPECT_EQ(rig.out.finished[1].second, JobStatus::CompletedLate);
+}
+
+TEST(Processor, CancelQueuedAndRunning) {
+  Rig rig({.ops_per_second = 1e6, .policy = Policy::Fifo});
+  rig.cpu->submit(make_job(1, 0, seconds(100), 10e6));
+  rig.cpu->submit(make_job(2, 0, seconds(100), 1e6));
+  rig.sim.schedule_at(seconds(1), [&] {
+    EXPECT_TRUE(rig.cpu->cancel(util::JobId{1}));   // running
+    EXPECT_FALSE(rig.cpu->cancel(util::JobId{99})); // unknown
+  });
+  rig.sim.run_until();
+  // Only job 2 finishes; no callback for the cancelled job.
+  ASSERT_EQ(rig.out.finished.size(), 1u);
+  EXPECT_EQ(rig.out.finished[0].first, util::JobId{2});
+  EXPECT_EQ(rig.cpu->stats().cancelled, 1u);
+  EXPECT_EQ(rig.sim.now(), seconds(2));  // 1s of job1 + 1s of job2
+}
+
+TEST(Processor, CancelAllSilences) {
+  Rig rig({.ops_per_second = 1e6, .policy = Policy::Fifo});
+  rig.cpu->submit(make_job(1, 0, seconds(10), 5e6));
+  rig.cpu->submit(make_job(2, 0, seconds(10), 5e6));
+  rig.sim.schedule_at(seconds(1), [&] { rig.cpu->cancel_all(); });
+  rig.sim.run_until();
+  EXPECT_TRUE(rig.out.finished.empty());
+  EXPECT_EQ(rig.cpu->stats().cancelled, 2u);
+}
+
+TEST(Processor, DropHopelessMode) {
+  Rig rig({.ops_per_second = 1e6,
+           .policy = Policy::EarliestDeadline,
+           .drop_hopeless_jobs = true});
+  rig.cpu->submit(make_job(1, 0, seconds(10), 5e6));
+  // Hopeless on arrival behind job 1: 5s queue + 6s work > 8s deadline.
+  rig.cpu->submit(make_job(2, 0, seconds(8), 6e6));
+  rig.sim.run_until();
+  ASSERT_EQ(rig.out.finished.size(), 2u);
+  bool saw_drop = false;
+  for (const auto& [id, status] : rig.out.finished) {
+    if (status == JobStatus::Dropped) saw_drop = true;
+  }
+  EXPECT_TRUE(saw_drop);
+}
+
+TEST(Processor, BacklogAndEstimates) {
+  Rig rig({.ops_per_second = 1e6, .policy = Policy::Fifo});
+  rig.cpu->submit(make_job(1, 0, seconds(100), 3e6));
+  rig.cpu->submit(make_job(2, 0, seconds(100), 2e6));
+  EXPECT_NEAR(rig.cpu->backlog_seconds(), 5.0, 1e-6);
+  EXPECT_EQ(rig.cpu->queue_length(), 2u);
+  const auto eta = rig.cpu->estimate_completion(1e6);
+  EXPECT_EQ(eta, seconds(6));
+  rig.sim.run_until(seconds(1));
+  EXPECT_NEAR(rig.cpu->backlog_seconds(), 4.0, 1e-6);
+}
+
+TEST(Processor, UtilizationSweepMissRatioOrdering) {
+  // Near saturation (but not hopelessly beyond it), deadline-aware policies
+  // must beat FIFO on miss ratio.
+  auto run = [](Policy policy) {
+    sim::Simulator sim(3);
+    std::size_t missed = 0;
+    Processor cpu(sim, {.ops_per_second = 1e6, .policy = policy},
+                  [&](const Job&, JobStatus s) {
+                    if (s != JobStatus::Completed) ++missed;
+                  });
+    util::Rng rng(17);
+    std::uint64_t id = 0;
+    // ~70% load with a wide deadline spread: queues form transiently and
+    // ordering decides which of the queued jobs make their deadlines.
+    util::SimTime t = 0;
+    for (int i = 0; i < 400; ++i) {
+      t += util::from_seconds(rng.exponential(1.0 / 0.7));
+      Job j = make_job(++id, t, t + util::from_seconds(rng.uniform(1.0, 8.0)),
+                       rng.uniform(0.4e6, 1.6e6));
+      sim.schedule_at(t, [&cpu, j] { cpu.submit(j); });
+    }
+    sim.run_until();
+    return static_cast<double>(missed) / 400.0;
+  };
+  const double fifo = run(Policy::Fifo);
+  const double edf = run(Policy::EarliestDeadline);
+  const double lls = run(Policy::LeastLaxity);
+  EXPECT_LT(edf, fifo);
+  EXPECT_LT(lls, fifo);
+}
+
+TEST(Processor, SetPolicyMidStreamReordersQueue) {
+  Rig rig({.ops_per_second = 1e6, .policy = Policy::Fifo});
+  rig.cpu->submit(make_job(1, 0, seconds(100), 5e6));  // first in FIFO order
+  rig.cpu->submit(make_job(2, 0, seconds(3), 1e6));    // urgent
+  rig.sim.schedule_at(seconds(1), [&] {
+    rig.cpu->set_policy(Policy::EarliestDeadline);
+    EXPECT_EQ(rig.cpu->policy(), Policy::EarliestDeadline);
+  });
+  rig.sim.run_until();
+  ASSERT_EQ(rig.out.finished.size(), 2u);
+  // After the switch the urgent job jumps the queue and makes its deadline.
+  EXPECT_EQ(rig.out.finished[0].first, util::JobId{2});
+  EXPECT_EQ(rig.out.finished[0].second, JobStatus::Completed);
+}
+
+}  // namespace
+}  // namespace p2prm::sched

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace p2prm::sim {
+namespace {
+
+using util::milliseconds;
+using util::seconds;
+
+TEST(EventQueue, OrdersByTimeThenInsertion) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(20, [&] { order.push_back(2); });
+  q.push(10, [&] { order.push_back(1); });
+  q.push(10, [&] { order.push_back(11); });  // same time, later insertion
+  while (!q.empty()) {
+    auto e = q.pop();
+    e.fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 11, 2}));
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue q;
+  int fired = 0;
+  const auto id = q.push(10, [&] { ++fired; });
+  q.push(20, [&] { ++fired; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.next_time(), 20);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, EmptyReportsInfinity) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.next_time(), util::kTimeInfinity);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<util::SimTime> stamps;
+  sim.schedule_at(seconds(3), [&] { stamps.push_back(sim.now()); });
+  sim.schedule_at(seconds(1), [&] { stamps.push_back(sim.now()); });
+  sim.schedule_after(seconds(2), [&] { stamps.push_back(sim.now()); });
+  sim.run_until();
+  EXPECT_EQ(stamps, (std::vector<util::SimTime>{seconds(1), seconds(2), seconds(3)}));
+}
+
+TEST(Simulator, RunUntilHorizonStopsAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(seconds(1), [&] { ++fired; });
+  sim.schedule_at(seconds(10), [&] { ++fired; });
+  sim.run_until(seconds(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), seconds(5));
+  sim.run_until(seconds(20));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, SchedulingIntoThePastThrows) {
+  Simulator sim;
+  sim.schedule_at(seconds(2), [] {});
+  sim.run_until();
+  EXPECT_EQ(sim.now(), seconds(2));
+  EXPECT_THROW(sim.schedule_at(seconds(1), [] {}), std::logic_error);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_after(milliseconds(1), recurse);
+  };
+  sim.schedule_after(milliseconds(1), recurse);
+  sim.run_until();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), milliseconds(5));
+}
+
+TEST(Simulator, StopInsideHandlerHalts) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(seconds(1), [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_at(seconds(2), [&] { ++fired; });
+  sim.run_until();
+  EXPECT_EQ(fired, 1);
+  sim.run_until();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunEventsBudget) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(seconds(i + 1), [&] { ++fired; });
+  }
+  EXPECT_EQ(sim.run_events(3), 3u);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Timer, FiresPeriodicallyUntilCancelled) {
+  Simulator sim;
+  int ticks = 0;
+  Timer t = sim.every(seconds(1), [&] { ++ticks; });
+  sim.run_until(seconds(5));
+  EXPECT_EQ(ticks, 5);
+  t.cancel();
+  EXPECT_FALSE(t.active());
+  sim.run_until(seconds(10));
+  EXPECT_EQ(ticks, 5);
+}
+
+TEST(Timer, InitialDelayIndependentOfPeriod) {
+  Simulator sim;
+  std::vector<util::SimTime> stamps;
+  sim.every(milliseconds(500), seconds(2), [&] { stamps.push_back(sim.now()); });
+  sim.run_until(seconds(5));
+  ASSERT_GE(stamps.size(), 2u);
+  EXPECT_EQ(stamps[0], milliseconds(500));
+  EXPECT_EQ(stamps[1], milliseconds(2500));
+}
+
+TEST(Timer, CallbackMayCancelItself) {
+  Simulator sim;
+  int ticks = 0;
+  Timer t;
+  t = sim.every(seconds(1), [&] {
+    if (++ticks == 3) t.cancel();
+  });
+  sim.run_until(seconds(10));
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(Timer, ZeroPeriodRejected) {
+  Simulator sim;
+  EXPECT_THROW(sim.every(0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, DeterministicEventCountAcrossRuns) {
+  auto run = [] {
+    Simulator sim(5);
+    int sum = 0;
+    for (int i = 0; i < 100; ++i) {
+      sim.schedule_after(static_cast<util::SimDuration>(sim.rng().below(1000) + 1),
+                         [&sum, &sim, i] { sum += i * static_cast<int>(sim.now() % 97); });
+    }
+    sim.run_until();
+    return sum;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(EventQueue, CancelAfterPopIsHarmless) {
+  EventQueue q;
+  const auto id = q.push(5, [] {});
+  auto e = q.pop();
+  e.fn();
+  // The event already ran; cancelling its id must not corrupt the queue.
+  q.push(7, [] {});
+  q.cancel(id);
+  EXPECT_GE(q.size(), 0u);
+  EXPECT_LE(q.next_time(), util::kTimeInfinity);
+}
+
+TEST(Simulator, CancelScheduledEvent) {
+  Simulator sim;
+  int fired = 0;
+  const auto id = sim.schedule_at(seconds(1), [&] { ++fired; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run_until();
+  EXPECT_EQ(fired, 0);
+}
+
+}  // namespace
+}  // namespace p2prm::sim

@@ -1,0 +1,198 @@
+// End-to-end integration: bootstrap, allocation, streaming, completion.
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "media/catalog.hpp"
+#include "metrics/collectors.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/heterogeneity.hpp"
+
+namespace p2prm {
+namespace {
+
+using namespace core;
+using namespace workload;
+
+SystemConfig small_config(std::uint64_t seed = 7) {
+  SystemConfig config;
+  config.seed = seed;
+  config.max_domain_size = 16;
+  return config;
+}
+
+struct SmallWorld {
+  media::Catalog catalog = media::ladder_catalog();
+  System system;
+  util::Rng rng{123};
+  ObjectPopulation population;
+  PeerFactory factory;
+
+  explicit SmallWorld(SystemConfig config = small_config(),
+                      PopulationConfig pop = {}, HeterogeneityConfig het = {},
+                      ProvisionConfig prov = {})
+      : system(config),
+        population(catalog, pop, system, rng),
+        factory(make_peer_factory(catalog, population, het, prov, system, rng)) {}
+};
+
+TEST(SystemIntegration, FirstPeerBecomesResourceManager) {
+  SmallWorld world;
+  auto [spec, inv] = world.factory();
+  const auto id = world.system.add_peer(spec, std::move(inv));
+  world.system.run_for(util::seconds(1));
+  auto* node = world.system.peer(id);
+  ASSERT_NE(node, nullptr);
+  EXPECT_TRUE(node->joined());
+  EXPECT_EQ(node->role(), overlay::PeerRole::ResourceManager);
+  EXPECT_EQ(world.system.resource_manager_ids().size(), 1u);
+}
+
+TEST(SystemIntegration, PeersJoinFirstDomain) {
+  SmallWorld world;
+  const auto ids = bootstrap_network(world.system, world.factory, 8);
+  ASSERT_EQ(ids.size(), 8u);
+  for (const auto id : ids) {
+    EXPECT_TRUE(world.system.peer(id)->joined()) << "peer " << id;
+  }
+  const auto domains = world.system.domains();
+  ASSERT_EQ(domains.size(), 1u);
+  EXPECT_EQ(domains[0].members, 8u);
+}
+
+TEST(SystemIntegration, DomainSplitsWhenFull) {
+  auto config = small_config();
+  config.max_domain_size = 6;
+  SmallWorld world(config);
+  bootstrap_network(world.system, world.factory, 20);
+  world.system.run_for(util::seconds(10));
+  const auto domains = world.system.domains();
+  EXPECT_GE(domains.size(), 2u) << "domain should have split";
+  std::size_t members = 0;
+  for (const auto& d : domains) {
+    EXPECT_LE(d.members, 6u);
+    members += d.members;
+  }
+  EXPECT_EQ(members, 20u);
+}
+
+TEST(SystemIntegration, TranscodingTaskCompletesEndToEnd) {
+  SmallWorld world;
+  const auto ids = bootstrap_network(world.system, world.factory, 10);
+
+  // Request an object the population definitely holds, with a generous
+  // deadline, from a random peer.
+  const auto& object = world.population.at(0);
+  QoSRequirements q;
+  q.object = object.id;
+  q.acceptable_formats = {object.format};  // passthrough: always feasible
+  q.deadline = util::seconds(60);
+  const auto task = world.system.submit_task(ids.back(), q);
+
+  world.system.run_for(util::seconds(30));
+  const auto* record = world.system.ledger().record(task);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->status, TaskStatus::Completed)
+      << "reason: " << record->reason;
+  EXPECT_FALSE(record->missed_deadline);
+}
+
+TEST(SystemIntegration, TranscodedDeliveryThroughPipeline) {
+  SmallWorld world;
+  const auto ids = bootstrap_network(world.system, world.factory, 12);
+
+  // Force a real transcode: target a strictly smaller format.
+  const auto& object = world.population.at(1);
+  media::MediaFormat target = object.format;
+  target.resolution = media::kRes320x240;
+  target.bitrate_kbps = 64;
+  target.codec = media::Codec::MPEG4;
+
+  QoSRequirements q;
+  q.object = object.id;
+  q.acceptable_formats = {target};
+  q.deadline = util::minutes(5);
+  const auto task = world.system.submit_task(ids.front(), q);
+
+  world.system.run_for(util::minutes(6));
+  const auto* record = world.system.ledger().record(task);
+  ASSERT_NE(record, nullptr);
+  // Either completed through a chain, or rejected because no service chain
+  // exists in this random provisioning — but with 12 peers x 4 services the
+  // ladder is almost surely covered. Assert completion to catch pipeline
+  // bugs loudly.
+  EXPECT_EQ(record->status, TaskStatus::Completed)
+      << "reason: " << record->reason;
+}
+
+TEST(SystemIntegration, SteadyWorkloadMostlyOnTime) {
+  SmallWorld world;
+  bootstrap_network(world.system, world.factory, 16);
+
+  RequestConfig rc;
+  RequestSynthesizer synth(world.catalog, world.population, rc);
+  WorkloadDriver driver(world.system,
+                        std::make_unique<PoissonArrivals>(0.5), synth);
+  driver.start(world.system.simulator().now() + util::seconds(60));
+  world.system.run_for(util::seconds(120));
+  world.system.ledger().orphan_pending(world.system.simulator().now());
+
+  const auto& ledger = world.system.ledger();
+  EXPECT_GT(ledger.submitted(), 10u);
+  EXPECT_GT(ledger.goodput(), 0.5)
+      << "completed=" << ledger.completed() << " rejected=" << ledger.rejected()
+      << " failed=" << ledger.failed() << " orphaned=" << ledger.orphaned();
+}
+
+TEST(SystemIntegration, DeterministicAcrossRuns) {
+  auto run = [](std::uint64_t seed) {
+    SmallWorld world(small_config(seed));
+    bootstrap_network(world.system, world.factory, 10);
+    RequestConfig rc;
+    RequestSynthesizer synth(world.catalog, world.population, rc);
+    WorkloadDriver driver(world.system,
+                          std::make_unique<PoissonArrivals>(1.0), synth);
+    driver.start(world.system.simulator().now() + util::seconds(30));
+    world.system.run_for(util::seconds(60));
+    return std::make_tuple(world.system.ledger().submitted(),
+                           world.system.ledger().completed(),
+                           world.system.network().stats().messages_sent,
+                           world.system.network().stats().bytes_sent);
+  };
+  EXPECT_EQ(run(99), run(99));
+  EXPECT_NE(run(99), run(100));  // and seeds actually matter
+}
+
+TEST(SystemIntegration, LedgerTracksRejectionWhenObjectUnknown) {
+  SmallWorld world;
+  const auto ids = bootstrap_network(world.system, world.factory, 6);
+  QoSRequirements q;
+  q.object = util::ObjectId{999999};  // nobody has this
+  q.acceptable_formats = {media::MediaFormat{media::Codec::MPEG4,
+                                             media::kRes320x240, 64}};
+  q.deadline = util::seconds(30);
+  const auto task = world.system.submit_task(ids.front(), q);
+  world.system.run_for(util::seconds(10));
+  const auto* record = world.system.ledger().record(task);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->status, TaskStatus::Rejected);
+}
+
+TEST(SystemIntegration, TrafficAccountingSplitsControlAndData) {
+  SmallWorld world;
+  const auto ids = bootstrap_network(world.system, world.factory, 8);
+  const auto& object = world.population.at(0);
+  QoSRequirements q;
+  q.object = object.id;
+  q.acceptable_formats = {object.format};
+  q.deadline = util::seconds(60);
+  world.system.submit_task(ids.back(), q);
+  world.system.run_for(util::seconds(30));
+
+  const auto split = metrics::split_traffic(world.system.network().stats());
+  EXPECT_GT(split.control_messages, 0u);
+  EXPECT_GT(split.data_messages, 0u);
+  EXPECT_GT(split.data_bytes, 100000u);  // the media payload dominates
+}
+
+}  // namespace
+}  // namespace p2prm

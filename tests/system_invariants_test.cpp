@@ -1,0 +1,196 @@
+// Whole-system conservation and cleanliness invariants, checked across
+// randomized seeds on a churning, loaded network. These are the checks that
+// catch protocol leaks (sessions that never close, load commitments that
+// never release, ledger double counting) regardless of scenario specifics.
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "media/catalog.hpp"
+#include "metrics/collectors.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/churn.hpp"
+#include "workload/heterogeneity.hpp"
+
+namespace p2prm {
+namespace {
+
+using namespace core;
+using namespace workload;
+
+class SystemInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SystemInvariants, HoldAfterChurnAndLoad) {
+  const std::uint64_t seed = GetParam();
+  SystemConfig config;
+  config.seed = seed;
+  config.max_domain_size = 16;
+  config.task_gc_grace = util::seconds(20);
+  media::Catalog catalog = media::ladder_catalog();
+  System system(config);
+  util::Rng rng(seed * 31 + 5);
+  ObjectPopulation population(catalog, PopulationConfig{}, system, rng);
+  auto factory = make_peer_factory(catalog, population, HeterogeneityConfig{},
+                                   ProvisionConfig{}, system, rng);
+  bootstrap_network(system, factory, 20);
+
+  ChurnConfig churn_config;
+  churn_config.mean_session_s = 90.0;
+  churn_config.crash_fraction = 0.5;
+  ChurnDriver churn(system, factory, churn_config);
+  churn.track_all_alive();
+
+  RequestConfig rc;
+  RequestSynthesizer synth(catalog, population, rc);
+  WorkloadDriver driver(system, std::make_unique<PoissonArrivals>(0.8), synth);
+  driver.start(system.simulator().now() + util::seconds(90));
+
+  system.run_for(util::seconds(90));
+  churn.stop();
+  // Drain: enough for pipelines to finish and the RM GC to reap strays.
+  system.run_for(util::minutes(8));
+  system.ledger().orphan_pending(system.simulator().now());
+
+  const auto& ledger = system.ledger();
+
+  // --- Ledger conservation -------------------------------------------------
+  EXPECT_EQ(ledger.submitted(),
+            ledger.completed() + ledger.rejected() + ledger.failed() +
+                ledger.orphaned() + ledger.pending());
+  EXPECT_EQ(ledger.pending(), 0u);
+  EXPECT_GE(ledger.completed(), 1u) << "workload must have produced work";
+  EXPECT_GE(ledger.on_time_ratio(), 0.0);
+  EXPECT_LE(ledger.on_time_ratio(), 1.0);
+
+  // Every terminal record is self-consistent.
+  for (std::uint64_t id = 0;; ++id) {
+    const auto* r = ledger.record(util::TaskId{id});
+    if (r == nullptr) break;
+    if (r->status == TaskStatus::Completed) {
+      EXPECT_GE(r->finished, r->submitted);
+      EXPECT_EQ(r->missed_deadline,
+                r->finished > r->submitted + r->deadline);
+    }
+    if (r->status == TaskStatus::Rejected || r->status == TaskStatus::Failed) {
+      EXPECT_FALSE(r->reason.empty());
+    }
+  }
+
+  // --- Network conservation --------------------------------------------------
+  const auto& net_stats = system.network().stats();
+  EXPECT_LE(net_stats.messages_delivered + net_stats.messages_dropped +
+                net_stats.messages_partitioned +
+                net_stats.messages_undeliverable,
+            net_stats.messages_sent);
+  EXPECT_GT(net_stats.messages_delivered, 0u);
+  EXPECT_EQ(net_stats.messages_dropped, 0u);  // no loss configured
+  EXPECT_EQ(net_stats.messages_partitioned, 0u);
+
+  // --- Peer-local cleanliness -----------------------------------------------
+  const util::SimDuration elapsed = system.simulator().now();
+  for (const auto id : system.alive_peer_ids()) {
+    auto* node = system.peer(id);
+    // After the drain every session, buffer and queue is empty.
+    EXPECT_EQ(node->active_sessions(), 0u) << "peer " << id;
+    EXPECT_EQ(node->buffered_early_data(), 0u) << "peer " << id;
+    EXPECT_EQ(node->processor().queue_length(), 0u) << "peer " << id;
+    // Physics: a CPU cannot be busy longer than wall time.
+    EXPECT_LE(node->processor().busy_time(), elapsed);
+  }
+
+  // --- RM-side cleanliness -----------------------------------------------------
+  std::size_t rms = 0;
+  for (const auto id : system.resource_manager_ids()) {
+    ++rms;
+    auto* rm = system.peer(id)->resource_manager();
+    // No running tasks left; all loads released.
+    EXPECT_TRUE(rm->info().running_task_ids().empty()) << "RM " << id;
+    for (const auto member : rm->info().domain().member_ids()) {
+      // Effective load contains no stale commitments (reported load may be
+      // nonzero only from EWMA tails).
+      rm->info().purge_commitments(system.simulator().now());
+      EXPECT_LT(rm->info().effective_load(member),
+                rm->info().domain().member(member)->spec.capacity_ops_per_s)
+          << "member " << member;
+    }
+    // Fairness index in bounds.
+    const double f = rm->info().current_fairness();
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0 + 1e-9);
+  }
+  EXPECT_GE(rms, 1u);
+
+  // --- Membership sanity ----------------------------------------------------------
+  std::size_t joined = 0;
+  for (const auto id : system.alive_peer_ids()) {
+    auto* node = system.peer(id);
+    if (!node->joined()) continue;
+    ++joined;
+    const auto rm = node->current_rm();
+    auto* rm_node = system.peer(rm);
+    EXPECT_TRUE(rm_node != nullptr && rm_node->alive()) << "peer " << id;
+  }
+  EXPECT_GE(joined, system.alive_count() * 8 / 10)
+      << "most survivors should be attached to a live domain";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SystemInvariants,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// Same conservation/cleanliness checks with 1 % random message loss: the
+// protocol must stay leak-free (timeouts, watchdogs and GC absorb losses)
+// even though individual tasks may fail or expire.
+class LossyInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LossyInvariants, HoldUnderMessageLoss) {
+  const std::uint64_t seed = GetParam();
+  SystemConfig config;
+  config.seed = seed;
+  config.message_drop_probability = 0.01;
+  config.task_gc_grace = util::seconds(20);
+  media::Catalog catalog = media::ladder_catalog();
+  System system(config);
+  util::Rng rng(seed * 17 + 3);
+  ObjectPopulation population(catalog, PopulationConfig{}, system, rng);
+  auto factory = make_peer_factory(catalog, population, HeterogeneityConfig{},
+                                   ProvisionConfig{}, system, rng);
+  bootstrap_network(system, factory, 16, util::seconds(10));
+
+  RequestConfig rc;
+  RequestSynthesizer synth(catalog, population, rc);
+  WorkloadDriver driver(system, std::make_unique<PoissonArrivals>(0.6), synth);
+  driver.start(system.simulator().now() + util::seconds(60));
+  system.run_for(util::seconds(60));
+  system.run_for(util::minutes(8));  // drain + GC
+  system.ledger().orphan_pending(system.simulator().now());
+
+  const auto& ledger = system.ledger();
+  EXPECT_EQ(ledger.pending(), 0u);
+  EXPECT_EQ(ledger.submitted(),
+            ledger.completed() + ledger.rejected() + ledger.failed() +
+                ledger.orphaned());
+  // Losses happened, and the system still got most work through.
+  EXPECT_GT(system.network().stats().messages_dropped, 0u);
+  if (ledger.submitted() > 10) {
+    EXPECT_GT(ledger.goodput(), 0.5)
+        << "1% loss should not collapse goodput; completed="
+        << ledger.completed() << " failed=" << ledger.failed()
+        << " orphaned=" << ledger.orphaned();
+  }
+  // No leaked sessions or queued work anywhere.
+  for (const auto id : system.alive_peer_ids()) {
+    auto* node = system.peer(id);
+    EXPECT_EQ(node->active_sessions(), 0u) << "peer " << id;
+    EXPECT_EQ(node->buffered_early_data(), 0u) << "peer " << id;
+    EXPECT_EQ(node->processor().queue_length(), 0u) << "peer " << id;
+  }
+  for (const auto id : system.resource_manager_ids()) {
+    auto* rm = system.peer(id)->resource_manager();
+    EXPECT_TRUE(rm->info().running_task_ids().empty()) << "RM " << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LossyInvariants,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+}  // namespace
+}  // namespace p2prm

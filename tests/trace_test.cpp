@@ -1,0 +1,127 @@
+// The structured tracer: buffer semantics and the events the middleware
+// actually emits during a run.
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "core/trace.hpp"
+#include "media/catalog.hpp"
+#include "workload/heterogeneity.hpp"
+
+namespace p2prm::core {
+namespace {
+
+TraceEvent make_event(util::SimTime at, TraceKind kind, std::uint64_t task) {
+  TraceEvent e;
+  e.at = at;
+  e.kind = kind;
+  e.peer = util::PeerId{1};
+  e.task = util::TaskId{task};
+  return e;
+}
+
+TEST(Tracer, RecordsAndFilters) {
+  Tracer tracer;
+  tracer.record(make_event(1, TraceKind::TaskSubmitted, 7));
+  tracer.record(make_event(2, TraceKind::TaskAdmitted, 7));
+  tracer.record(make_event(3, TraceKind::TaskSubmitted, 8));
+  tracer.record(make_event(4, TraceKind::TaskCompleted, 7));
+
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.count_of(TraceKind::TaskSubmitted), 2u);
+  const auto timeline = tracer.task_timeline(util::TaskId{7});
+  ASSERT_EQ(timeline.size(), 3u);
+  EXPECT_EQ(timeline.front().kind, TraceKind::TaskSubmitted);
+  EXPECT_EQ(timeline.back().kind, TraceKind::TaskCompleted);
+  EXPECT_EQ(tracer.of_kind(TraceKind::TaskAdmitted).size(), 1u);
+}
+
+TEST(Tracer, BoundedBufferDropsOldest) {
+  Tracer tracer(16);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    tracer.record(make_event(static_cast<util::SimTime>(i),
+                             TraceKind::TaskSubmitted, i));
+  }
+  EXPECT_LE(tracer.size(), 16u);
+  EXPECT_EQ(tracer.total_recorded(), 100u);
+  EXPECT_TRUE(tracer.dropped_any());
+  // The newest event survives.
+  EXPECT_EQ(tracer.events().back().task, util::TaskId{99});
+}
+
+TEST(Tracer, TableRendersAndClearResets) {
+  Tracer tracer;
+  tracer.record(make_event(1, TraceKind::RmPromoted, 0));
+  const auto table = tracer.to_table();
+  EXPECT_EQ(table.rows(), 1u);
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.total_recorded(), 0u);
+}
+
+TEST(Tracer, KindNamesAreStable) {
+  EXPECT_EQ(trace_kind_name(TraceKind::TaskSubmitted), "task.submitted");
+  EXPECT_EQ(trace_kind_name(TraceKind::RmTakeover), "rm.takeover");
+  EXPECT_EQ(trace_kind_name(TraceKind::PeerFailed), "peer.failed");
+}
+
+TEST(TracerIntegration, CapturesTaskLifecycleAndMembership) {
+  SystemConfig config;
+  config.seed = 4;
+  System system(config);
+  Tracer tracer;
+  system.set_tracer(&tracer);
+
+  media::Catalog catalog = media::ladder_catalog();
+  util::Rng rng(4);
+  workload::PopulationConfig pop;
+  workload::ObjectPopulation population(catalog, pop, system, rng);
+  auto factory = workload::make_peer_factory(
+      catalog, population, workload::HeterogeneityConfig{},
+      workload::ProvisionConfig{}, system, rng);
+  const auto ids = workload::bootstrap_network(system, factory, 8);
+
+  // Founding RM promotion + 7 joins.
+  EXPECT_EQ(tracer.count_of(TraceKind::RmPromoted), 1u);
+  EXPECT_EQ(tracer.count_of(TraceKind::PeerJoined), 7u);
+
+  const auto& object = population.at(0);
+  QoSRequirements q;
+  q.object = object.id;
+  q.acceptable_formats = {object.format};
+  q.deadline = util::minutes(2);
+  const auto task = system.submit_task(ids.back(), q);
+  system.run_for(util::minutes(3));
+
+  const auto timeline = tracer.task_timeline(task);
+  ASSERT_GE(timeline.size(), 3u);
+  EXPECT_EQ(timeline[0].kind, TraceKind::TaskSubmitted);
+  EXPECT_EQ(timeline[1].kind, TraceKind::TaskAdmitted);
+  EXPECT_EQ(timeline.back().kind, TraceKind::TaskCompleted);
+  EXPECT_EQ(timeline.back().detail, "on-time");
+
+  // Failover leaves a takeover trace.
+  const auto rm = system.resource_manager_ids().at(0);
+  system.run_for(util::seconds(5));
+  system.crash_peer(rm);
+  system.run_for(util::seconds(15));
+  EXPECT_EQ(tracer.count_of(TraceKind::RmTakeover), 1u);
+  EXPECT_GE(tracer.count_of(TraceKind::PeerFailed), 1u);
+}
+
+TEST(TracerIntegration, NoTracerMeansNoOverheadOrCrash) {
+  SystemConfig config;
+  config.seed = 5;
+  System system(config);  // no tracer attached
+  media::Catalog catalog = media::ladder_catalog();
+  util::Rng rng(5);
+  workload::PopulationConfig pop;
+  workload::ObjectPopulation population(catalog, pop, system, rng);
+  auto factory = workload::make_peer_factory(
+      catalog, population, workload::HeterogeneityConfig{},
+      workload::ProvisionConfig{}, system, rng);
+  workload::bootstrap_network(system, factory, 4);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace p2prm::core

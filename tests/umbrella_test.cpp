@@ -1,0 +1,12 @@
+// The umbrella header must compile standalone and expose the public API.
+#include "p2prm.hpp"
+
+#include <gtest/gtest.h>
+
+TEST(Umbrella, PublicApiVisible) {
+  p2prm::core::SystemConfig config;
+  config.seed = 1;
+  p2prm::core::System system(config);
+  EXPECT_EQ(system.alive_count(), 0u);
+  EXPECT_EQ(p2prm::fairness::jain_index(std::vector<double>{1.0, 1.0}), 1.0);
+}

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/args.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/time.hpp"
+
+namespace p2prm::util {
+namespace {
+
+// ---- ids -------------------------------------------------------------------
+
+TEST(Ids, DistinctTypesAndInvalidSentinel) {
+  PeerId p{3};
+  TaskId t{3};
+  EXPECT_EQ(p.value(), t.value());
+  static_assert(!std::is_same_v<PeerId, TaskId>);
+  EXPECT_FALSE(PeerId::invalid().valid());
+  EXPECT_TRUE(p.valid());
+  EXPECT_EQ(to_string(PeerId::invalid()), "<invalid>");
+}
+
+TEST(Ids, GeneratorIsMonotonic) {
+  IdGenerator<TaskId> gen;
+  const auto a = gen.next();
+  const auto b = gen.next();
+  EXPECT_LT(a, b);
+  EXPECT_EQ(gen.issued(), 2u);
+}
+
+TEST(Ids, HashSpreadsSequentialIds) {
+  std::unordered_set<std::size_t> hashes;
+  std::hash<PeerId> h;
+  for (std::uint64_t i = 0; i < 1000; ++i) hashes.insert(h(PeerId{i}));
+  EXPECT_EQ(hashes.size(), 1000u);  // no collisions on a small sequence
+}
+
+// ---- time -------------------------------------------------------------------
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(seconds(2), 2'000'000'000);
+  EXPECT_EQ(milliseconds(3), 3'000'000);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(5)), 5.0);
+  EXPECT_EQ(from_seconds(1.5), 1'500'000'000);
+  EXPECT_EQ(from_chrono(std::chrono::milliseconds(7)), milliseconds(7));
+}
+
+TEST(Time, Formatting) {
+  EXPECT_EQ(format_time(seconds(2)), "2.000s");
+  EXPECT_EQ(format_time(milliseconds(3)), "3.000ms");
+  EXPECT_EQ(format_time(microseconds(4)), "4.000us");
+  EXPECT_EQ(format_time(kTimeInfinity), "inf");
+}
+
+// ---- rng -------------------------------------------------------------------
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i) differs |= (a2.next() != c.next());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BelowIsInRangeAndCoversValues) {
+  Rng rng(1);
+  std::unordered_set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.below(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(3);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(4);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ParetoRespectsScale) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) ASSERT_GE(rng.pareto(3.0, 2.0), 3.0);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(6);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.bernoulli(0.25);
+  EXPECT_NEAR(heads / 10000.0, 0.25, 0.02);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng a(7);
+  Rng b = a.fork();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng(8);
+  std::vector<double> w{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40000; ++i) ++counts[rng.weighted_index(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+  EXPECT_THROW(rng.weighted_index({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v.begin(), v.end());
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Zipf, RankOneMostFrequentAndRatioMatches) {
+  Rng rng(10);
+  ZipfDistribution zipf(10, 1.0);
+  std::vector<int> counts(10, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[zipf(rng)];
+  for (std::size_t i = 1; i < counts.size(); ++i) {
+    EXPECT_GE(counts[0], counts[i]);
+  }
+  // With s=1, P(rank1)/P(rank2) == 2.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / counts[1], 2.0, 0.2);
+}
+
+TEST(Zipf, RejectsBadParameters) {
+  EXPECT_THROW(ZipfDistribution(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfDistribution(10, 0.0), std::invalid_argument);
+}
+
+// ---- stats -------------------------------------------------------------------
+
+TEST(RunningStats, WelfordMatchesDirectComputation) {
+  RunningStats stats;
+  std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+  double sum = 0.0;
+  for (double x : xs) {
+    stats.add(x);
+    sum += x;
+  }
+  const double mean = sum / xs.size();
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= xs.size();
+  EXPECT_DOUBLE_EQ(stats.mean(), mean);
+  EXPECT_NEAR(stats.variance(), var, 1e-12);
+  EXPECT_EQ(stats.min(), 1.0);
+  EXPECT_EQ(stats.max(), 16.0);
+  EXPECT_EQ(stats.count(), 5u);
+}
+
+TEST(RunningStats, MergeEqualsCombinedStream) {
+  Rng rng(11);
+  RunningStats a, b, all;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(0, 1);
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Samples, QuantilesExact) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_THROW((void)s.quantile(1.5), std::invalid_argument);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(5.5);
+  h.add(-3.0);   // clamps to first
+  h.add(100.0);  // clamps to last
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(5), 1u);
+  EXPECT_EQ(h.bucket(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_FALSE(h.render().empty());
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(TimeSeries, WindowedMean) {
+  TimeSeries ts;
+  ts.add(0.0, 1.0);
+  ts.add(1.0, 2.0);
+  ts.add(2.0, 3.0);
+  EXPECT_DOUBLE_EQ(ts.mean_over(0.0, 2.0), 1.5);
+  EXPECT_DOUBLE_EQ(ts.last(), 3.0);
+}
+
+// ---- table -------------------------------------------------------------------
+
+TEST(Table, AlignedOutputAndCsv) {
+  Table t({"name", "count"});
+  t.cell("alpha").cell(std::int64_t{10}).end_row();
+  t.cell("b,c").cell(2.5, 1).end_row();
+  const std::string pretty = t.to_string();
+  EXPECT_NE(pretty.find("alpha"), std::string::npos);
+  EXPECT_NE(pretty.find("-----"), std::string::npos);
+  std::ostringstream csv;
+  t.write_csv(csv);
+  EXPECT_NE(csv.str().find("\"b,c\""), std::string::npos);
+}
+
+TEST(Table, RowArityEnforced) {
+  Table t({"a", "b"});
+  t.cell("only-one");
+  EXPECT_THROW(t.end_row(), std::logic_error);
+}
+
+TEST(Format, PrintfStyle) {
+  EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+}
+
+// ---- args -------------------------------------------------------------------
+
+TEST(Args, ParsesAllForms) {
+  const char* argv[] = {"prog", "--peers=32", "--seed", "9", "--csv"};
+  Args args(5, argv);
+  EXPECT_EQ(args.get_int("peers", 0), 32);
+  EXPECT_EQ(args.get_int("seed", 0), 9);
+  EXPECT_TRUE(args.get_bool("csv", false));
+  EXPECT_EQ(args.get_int("missing", 5), 5);
+  EXPECT_TRUE(args.unused().empty());
+}
+
+TEST(Args, RejectsPositional) {
+  const char* argv[] = {"prog", "oops"};
+  EXPECT_THROW(Args(2, argv), std::invalid_argument);
+}
+
+TEST(Args, TracksUnusedKeys) {
+  const char* argv[] = {"prog", "--typo=1"};
+  Args args(2, argv);
+  EXPECT_EQ(args.unused().size(), 1u);
+}
+
+}  // namespace
+}  // namespace p2prm::util

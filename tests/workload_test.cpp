@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "media/catalog.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/churn.hpp"
+#include "workload/heterogeneity.hpp"
+#include "workload/requests.hpp"
+
+namespace p2prm::workload {
+namespace {
+
+using core::System;
+using core::SystemConfig;
+
+struct Ctx {
+  media::Catalog catalog = media::ladder_catalog();
+  System system{SystemConfig{}};
+  util::Rng rng{77};
+};
+
+TEST(Heterogeneity, HomogeneousIsConstant) {
+  Ctx ctx;
+  HeterogeneityConfig config;
+  config.distribution = CapacityDistribution::Homogeneous;
+  for (int i = 0; i < 10; ++i) {
+    const auto spec = draw_peer_spec(config, ctx.rng, 0);
+    EXPECT_DOUBLE_EQ(spec.capacity_ops_per_s, config.mean_capacity_ops);
+  }
+}
+
+TEST(Heterogeneity, DistributionsHitTargetMean) {
+  Ctx ctx;
+  for (auto dist : {CapacityDistribution::Uniform, CapacityDistribution::Bimodal,
+                    CapacityDistribution::Pareto}) {
+    HeterogeneityConfig config;
+    config.distribution = dist;
+    util::RunningStats stats;
+    for (int i = 0; i < 50000; ++i) {
+      stats.add(draw_peer_spec(config, ctx.rng, 0).capacity_ops_per_s);
+    }
+    EXPECT_NEAR(stats.mean() / config.mean_capacity_ops, 1.0, 0.12)
+        << capacity_distribution_name(dist);
+    EXPECT_GE(stats.min(), config.min_capacity_ops);
+  }
+}
+
+TEST(Heterogeneity, ParetoIsHeavierTailedThanUniform) {
+  Ctx ctx;
+  auto p99 = [&](CapacityDistribution dist) {
+    HeterogeneityConfig config;
+    config.distribution = dist;
+    util::Samples s;
+    for (int i = 0; i < 20000; ++i) {
+      s.add(draw_peer_spec(config, ctx.rng, 0).capacity_ops_per_s);
+    }
+    return s.quantile(0.99);
+  };
+  EXPECT_GT(p99(CapacityDistribution::Pareto),
+            p99(CapacityDistribution::Uniform) * 1.5);
+}
+
+TEST(Heterogeneity, UptimeHistoryInThePast) {
+  Ctx ctx;
+  HeterogeneityConfig config;
+  const auto spec = draw_peer_spec(config, ctx.rng, util::seconds(100));
+  EXPECT_LE(spec.online_since, util::seconds(100));
+}
+
+TEST(Population, CoverageThenReplication) {
+  Ctx ctx;
+  PopulationConfig pop;
+  pop.object_count = 10;
+  ObjectPopulation population(ctx.catalog, pop, ctx.system, ctx.rng);
+  EXPECT_EQ(population.size(), 10u);
+  // First 10 unhosted draws cover every object exactly once.
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10; ++i) {
+    const auto* obj = population.next_unhosted();
+    ASSERT_NE(obj, nullptr);
+    seen.insert(obj->id.value());
+  }
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(population.next_unhosted(), nullptr);
+}
+
+TEST(Population, SourceFormatsRespectMinimumBitrate) {
+  Ctx ctx;
+  PopulationConfig pop;
+  pop.source_min_bitrate_kbps = 512;
+  ObjectPopulation population(ctx.catalog, pop, ctx.system, ctx.rng);
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    EXPECT_GE(population.at(i).format.bitrate_kbps, 512u);
+  }
+}
+
+TEST(Provision, InventoryHasDistinctServices) {
+  Ctx ctx;
+  PopulationConfig pop;
+  ObjectPopulation population(ctx.catalog, pop, ctx.system, ctx.rng);
+  ProvisionConfig prov;
+  prov.services_per_peer = 6;
+  const auto inv =
+      provision_inventory(ctx.catalog, population, prov, ctx.system, ctx.rng);
+  EXPECT_EQ(inv.services.size(), 6u);
+  std::set<std::pair<media::MediaFormat, media::MediaFormat>> types;
+  for (const auto& s : inv.services) {
+    types.insert({s.type.input, s.type.output});
+  }
+  EXPECT_EQ(types.size(), 6u);  // no duplicate conversion types
+}
+
+TEST(Requests, AcceptableFormatsAreSensibleAndNearby) {
+  Ctx ctx;
+  PopulationConfig pop;
+  ObjectPopulation population(ctx.catalog, pop, ctx.system, ctx.rng);
+  RequestConfig rc;
+  rc.passthrough_probability = 0.0;
+  RequestSynthesizer synth(ctx.catalog, population, rc);
+  for (int i = 0; i < 200; ++i) {
+    const auto q = synth.draw(ctx.rng);
+    ASSERT_FALSE(q.acceptable_formats.empty());
+    ASSERT_LE(q.acceptable_formats.size(), rc.max_acceptable_formats);
+    const auto* locs = [&]() -> const media::MediaObject* {
+      for (std::size_t j = 0; j < population.size(); ++j) {
+        if (population.at(j).id == q.object) return &population.at(j);
+      }
+      return nullptr;
+    }();
+    ASSERT_NE(locs, nullptr);
+    for (const auto& f : q.acceptable_formats) {
+      EXPECT_TRUE(media::is_sensible_conversion(locs->format, f) ||
+                  f == locs->format);
+    }
+    EXPECT_GT(q.deadline, 0);
+    EXPECT_GE(q.importance, rc.min_importance);
+    EXPECT_LE(q.importance, rc.max_importance);
+  }
+}
+
+TEST(Requests, DeadlineScalesWithTightness) {
+  Ctx ctx;
+  PopulationConfig pop;
+  ObjectPopulation population(ctx.catalog, pop, ctx.system, ctx.rng);
+  RequestConfig tight;
+  tight.min_deadline_tightness = 1.0;
+  tight.max_deadline_tightness = 1.0;
+  RequestConfig loose;
+  loose.min_deadline_tightness = 10.0;
+  loose.max_deadline_tightness = 10.0;
+  RequestSynthesizer tight_synth(ctx.catalog, population, tight);
+  RequestSynthesizer loose_synth(ctx.catalog, population, loose);
+  const auto& obj = population.at(0);
+  const auto qt = tight_synth.draw_for(obj, ctx.rng);
+  const auto ql = loose_synth.draw_for(obj, ctx.rng);
+  EXPECT_NEAR(static_cast<double>(ql.deadline) / static_cast<double>(qt.deadline),
+              10.0, 0.01);
+}
+
+TEST(Arrivals, PoissonMeanRate) {
+  PoissonArrivals arrivals(4.0);
+  util::Rng rng(5);
+  double total = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) total += arrivals.next_interarrival(rng);
+  EXPECT_NEAR(total / n, 0.25, 0.01);
+  EXPECT_THROW(PoissonArrivals(0.0), std::invalid_argument);
+}
+
+TEST(Arrivals, MmppMeanBetweenPhases) {
+  MmppArrivals arrivals(1.0, 10.0, 10.0, 10.0);
+  util::Rng rng(6);
+  double total = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) total += arrivals.next_interarrival(rng);
+  const double rate = n / total;
+  EXPECT_GT(rate, 1.5);  // faster than calm alone
+  EXPECT_LT(rate, 9.0);  // slower than burst alone
+}
+
+TEST(Arrivals, MmppIsBurstier) {
+  // Coefficient of variation of interarrivals must exceed Poisson's 1.0.
+  MmppArrivals mmpp(0.5, 20.0, 5.0, 1.0);
+  util::Rng rng(7);
+  util::RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(mmpp.next_interarrival(rng));
+  const double cv = stats.stddev() / stats.mean();
+  EXPECT_GT(cv, 1.2);
+}
+
+TEST(Churn, StatsTrackDepartures) {
+  media::Catalog catalog = media::ladder_catalog();
+  System system{SystemConfig{}};
+  util::Rng rng{3};
+  PopulationConfig pop;
+  ObjectPopulation population(catalog, pop, system, rng);
+  auto factory = make_peer_factory(catalog, population, HeterogeneityConfig{},
+                                   ProvisionConfig{}, system, rng);
+  bootstrap_network(system, factory, 10);
+
+  ChurnConfig config;
+  config.mean_session_s = 10.0;
+  config.respawn = true;
+  config.mean_offline_s = 5.0;
+  ChurnDriver churn(system, factory, config);
+  churn.track_all_alive();
+  system.run_for(util::seconds(60));
+  churn.stop();
+  EXPECT_GT(churn.stats().departures, 3u);
+  EXPECT_GT(churn.stats().respawns, 0u);
+  EXPECT_GT(system.alive_count(), 2u);
+}
+
+}  // namespace
+}  // namespace p2prm::workload
