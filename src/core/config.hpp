@@ -15,6 +15,7 @@
 #include "net/topology.hpp"
 #include "overlay/peer.hpp"
 #include "sched/scheduler.hpp"
+#include "util/backoff.hpp"
 #include "util/time.hpp"
 
 namespace p2prm::core {
@@ -29,12 +30,43 @@ enum class AllocatorKind {
 [[nodiscard]] std::string_view allocator_name(AllocatorKind k);
 [[nodiscard]] AllocatorKind allocator_from_name(std::string_view name);
 
+// Per-message-class retry/timeout/backoff policies (see docs/FAULT_MODEL.md).
+// A policy's `initial` is that class's ack timeout; `max_attempts` counts
+// the original send. Set max_attempts = 1 to disable retries for a class.
+struct RetryConfig {
+  // Join attempts through a fresh random contact after a dead-ended try.
+  // A detached peer whose every attempt finds nobody reachable founds a
+  // fresh domain once the attempts are exhausted (sole-survivor rule).
+  util::BackoffPolicy join{util::seconds(2), 1.5, util::seconds(10), 5, 0.0};
+  // TaskQuery -> TaskAccept/TaskReject (the task-allocation RPC). Timeout
+  // must comfortably exceed a WAN round trip plus allocation time.
+  util::BackoffPolicy task_query{util::milliseconds(1500), 2.0,
+                                 util::seconds(6), 4, 0.1};
+  // ProfilerReport -> ReportAck. Bounded well under the report period so a
+  // retried report still lands before the next one supersedes it.
+  util::BackoffPolicy profiler_report{util::milliseconds(150), 2.0,
+                                      util::milliseconds(300), 2, 0.0};
+  // BackupSync -> BackupSyncAck. Snapshots are the failover lifeline; retry
+  // harder than reports but give up before the next sync period.
+  util::BackoffPolicy backup_sync{util::milliseconds(250), 2.0,
+                                  util::milliseconds(500), 3, 0.0};
+};
+
 struct SystemConfig {
   std::uint64_t seed = 42;
 
   // --- substrate -----------------------------------------------------------
   net::TopologyConfig topology{};
   double message_drop_probability = 0.0;
+
+  // --- retry / timeout hardening -------------------------------------------
+  // The protocol tolerates loss passively (watchdogs, GC, periodic gossip);
+  // these make the critical exchanges *actively* reliable under injected
+  // faults. Acks cost one tiny message per report/sync; disable for
+  // overhead ablations.
+  RetryConfig retry{};
+  bool ack_profiler_reports = true;
+  bool ack_backup_sync = true;
 
   // --- overlay / domains (§4.1) ---------------------------------------------
   // "The only parameter determining the domain size is the maximum number

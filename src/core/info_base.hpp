@@ -33,6 +33,9 @@ struct ActiveTask {
   util::SimTime absolute_deadline = 0;
   std::vector<bool> hop_done;
   int recompositions = 0;  // failure-recovery / reassignment count
+  // The admission-time execution estimate, kept so a retried TaskQuery can
+  // be answered with the original TaskAccept contents.
+  util::SimDuration estimated_execution = -1;
 
   [[nodiscard]] bool all_hops_done() const;
   [[nodiscard]] std::optional<std::size_t> first_pending_hop() const;
@@ -55,10 +58,23 @@ struct BackupSync final : net::Message {
   InfoBaseSnapshot snapshot;
   // The RMs of other domains, so a takeover RM can resume gossiping.
   std::vector<overlay::RmInfo> known_rms;
+  // Monotonic per-RM sequence; acked by the backup so a lost snapshot is
+  // retried instead of leaving the backup a full sync period stale.
+  std::uint64_t seq = 0;
   std::size_t wire_size() const override {
     return snapshot.wire_size() + known_rms.size() * 16;
   }
   std::string_view type_name() const override { return "core.backup_sync"; }
+};
+
+// Backup RM -> primary RM: acknowledges BackupSync `seq` (when
+// SystemConfig::ack_backup_sync is on).
+struct BackupSyncAck final : net::Message {
+  std::uint64_t seq = 0;
+  std::size_t wire_size() const override { return 16; }
+  std::string_view type_name() const override {
+    return "core.backup_sync_ack";
+  }
 };
 
 class InfoBase {

@@ -186,10 +186,23 @@ struct ProfilerReport final : net::Message {
   std::size_t active_hops = 0;
   // (TranscoderType::type_key, mean measured execution seconds).
   std::vector<std::pair<std::uint64_t, double>> measured_exec_s;
+  // Monotonic per-peer sequence number; lets the RM ack and the peer retry
+  // a lost report without the RM ever applying stale state (it keeps the
+  // highest seq seen per member).
+  std::uint64_t seq = 0;
   std::size_t wire_size() const override {
     return 80 + measured_exec_s.size() * 16;
   }
   std::string_view type_name() const override { return "core.profiler_report"; }
+};
+
+// RM -> peer: acknowledges ProfilerReport `seq` (when
+// SystemConfig::ack_profiler_reports is on). Absence of the ack within the
+// retry policy's timeout triggers a resend of the same sample.
+struct ReportAck final : net::Message {
+  std::uint64_t seq = 0;
+  std::size_t wire_size() const override { return 16; }
+  std::string_view type_name() const override { return "core.report_ack"; }
 };
 
 // ---- adaptation (§4.5) -----------------------------------------------------------

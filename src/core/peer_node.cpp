@@ -71,6 +71,9 @@ void PeerNode::crash() {
 void PeerNode::stop_local_work() {
   report_timer_.cancel();
   membership_timer_.cancel();
+  report_retry_op_.cancel();
+  for (auto& [task, op] : query_retries_) op.cancel();
+  query_retries_.clear();
   if (rm_) {
     rm_->stop();
     rm_.reset();
@@ -180,19 +183,26 @@ void PeerNode::handle_message(util::PeerId from, const net::Message& message) {
     return;
   }
   if (const auto* m = net::message_cast<TaskAccept>(message)) {
+    settle_task_query(m->task);
     system_.ledger().on_estimate(m->task, m->estimated_execution);
     return;
   }
   if (const auto* m = net::message_cast<TaskReject>(message)) {
+    settle_task_query(m->task);
     system_.ledger().on_rejected(m->task, m->reason);
     system_.trace(TraceKind::TaskRejected, spec_.id, m->task,
                   util::DomainId::invalid(), m->reason);
     return;
   }
   if (const auto* m = net::message_cast<TaskFailedMsg>(message)) {
+    settle_task_query(m->task);
     system_.ledger().on_failed(m->task, m->reason);
     system_.trace(TraceKind::TaskFailed, spec_.id, m->task,
                   util::DomainId::invalid(), m->reason);
+    return;
+  }
+  if (const auto* m = net::message_cast<ReportAck>(message)) {
+    if (m->seq == report_seq_) report_retry_op_.ack();
     return;
   }
   if (net::message_cast<TaskQuery>(message) != nullptr && joined_ &&
@@ -236,20 +246,22 @@ void PeerNode::arm_join_watchdog() {
 }
 
 void PeerNode::schedule_join_retry() {
-  ++join_attempts_;
-  // Linear backoff capped at 10 s; retry through a fresh random contact.
+  // Exponential backoff per the configured join policy; retry through a
+  // fresh random contact.
+  const util::BackoffPolicy& policy = system_.config().retry.join;
   const auto delay =
-      std::min<util::SimDuration>(util::seconds(2) * join_attempts_,
-                                  util::seconds(10));
+      policy.delay(join_attempts_, &system_.simulator().rng());
+  ++join_attempts_;
+  ++stats_.join_retries;
   system_.simulator().schedule_after(delay, [this] {
     if (!alive_ || joined_) return;
     redirect_hops_ = 0;
     const auto contact = system_.random_alive_peer(spec_.id);
     if (!contact) {
-      // Nobody reachable. After several lonely attempts, assume the rest
-      // of the network is gone and found a fresh domain — otherwise a sole
-      // survivor would stay detached forever.
-      if (join_attempts_ >= 5) {
+      // Nobody reachable. Once the policy's attempts are spent on lonely
+      // retries, assume the rest of the network is gone and found a fresh
+      // domain — otherwise a sole survivor would stay detached forever.
+      if (system_.config().retry.join.exhausted(join_attempts_ - 1)) {
         become_rm(system_.next_domain_id(), {}, /*epoch=*/1, std::nullopt);
         return;
       }
@@ -395,6 +407,11 @@ void PeerNode::on_backup_sync(const BackupSync& m, util::PeerId from) {
   if (!joined_ || rm_ || from != my_rm_) return;
   backup_copy_ = m.snapshot;
   backup_known_rms_ = m.known_rms;
+  if (system_.config().ack_backup_sync && m.seq != 0) {
+    auto ack = std::make_unique<BackupSyncAck>();
+    ack->seq = m.seq;
+    send(from, std::move(ack));
+  }
 }
 
 void PeerNode::membership_check_tick() {
@@ -466,7 +483,30 @@ void PeerNode::submit_request(util::TaskId task, QoSRequirements q) {
   query->origin = spec_.id;
   query->q = std::move(q);
   query->submitted_at = system_.simulator().now();
+  const TaskQuery original = *query;
   send(my_rm_, std::move(query));
+
+  // Watch the allocation RPC: resend (to whatever RM we know *now* — it may
+  // have failed over) until accepted, rejected or exhausted. The RM side
+  // deduplicates retried queries, so a slow answer plus a retry is safe.
+  const util::BackoffPolicy& policy = system_.config().retry.task_query;
+  if (policy.max_attempts <= 1) return;
+  sim::RetryOp& op = query_retries_[task];
+  op.arm(
+      system_.simulator(), policy, &system_.simulator().rng(),
+      [this, original](int /*attempt*/) {
+        if (!alive_ || !joined_ || !my_rm_.valid()) return;
+        send(my_rm_, std::make_unique<TaskQuery>(original));
+      },
+      [this, task] {
+        // No answer within the whole retry budget: the ledger records a
+        // reject unless a (late) terminal outcome already landed.
+        query_retries_.erase(task);
+        system_.ledger().on_rejected(task, "rpc-timeout");
+        system_.trace(TraceKind::TaskRejected, spec_.id, task,
+                      util::DomainId::invalid(), "rpc-timeout");
+      },
+      &stats_.query_retry);
 }
 
 void PeerNode::request_qos_update(util::TaskId task,
@@ -634,7 +674,15 @@ void PeerNode::forward_hop_output(const HopSession& session) {
   send(session.spec.next_peer, std::move(data));
 }
 
+void PeerNode::settle_task_query(util::TaskId task) {
+  const auto it = query_retries_.find(task);
+  if (it == query_retries_.end()) return;
+  it->second.ack();
+  query_retries_.erase(it);
+}
+
 void PeerNode::deliver_to_user(const StreamData& m) {
+  settle_task_query(m.task);
   const util::SimTime now = system_.simulator().now();
   const TaskRecord* record = system_.ledger().record(m.task);
   bool missed = false;
@@ -688,7 +736,24 @@ void PeerNode::report_tick() {
       report->measured_exec_s.emplace_back(key, stats.mean());
     }
   }
+  report->seq = ++report_seq_;
+  if (system_.config().ack_profiler_reports) pending_report_ = *report;
   send(my_rm_, std::move(report));
+
+  // Resend until the RM acks this seq; the next tick supersedes (cancels)
+  // any still-armed retry — a report is only worth repeating while fresh.
+  const util::BackoffPolicy& policy = system_.config().retry.profiler_report;
+  if (!system_.config().ack_profiler_reports || policy.max_attempts <= 1) {
+    return;
+  }
+  report_retry_op_.cancel();
+  report_retry_op_.arm(
+      system_.simulator(), policy, &system_.simulator().rng(),
+      [this](int /*attempt*/) {
+        if (!alive_ || !joined_ || !my_rm_.valid()) return;
+        send(my_rm_, std::make_unique<ProfilerReport>(pending_report_));
+      },
+      /*on_exhausted=*/{}, &stats_.report_retry);
 }
 
 }  // namespace p2prm::core

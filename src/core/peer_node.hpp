@@ -16,6 +16,7 @@
 #include "overlay/peer.hpp"
 #include "profile/profiler.hpp"
 #include "sched/processor.hpp"
+#include "sim/retry.hpp"
 
 namespace p2prm::core {
 
@@ -32,6 +33,11 @@ struct PeerStats {
   std::uint64_t streams_forwarded = 0;
   std::uint64_t rejoin_attempts = 0;
   std::uint64_t bytes_sent = 0;
+  std::uint64_t join_retries = 0;
+  // TaskQuery -> TaskAccept/TaskReject RPC retries (fault hardening).
+  sim::RetryStats query_retry;
+  // ProfilerReport -> ReportAck retries (when acks are enabled).
+  sim::RetryStats report_retry;
 };
 
 class PeerNode {
@@ -140,6 +146,10 @@ class PeerNode {
   // --- profiler reporting ----------------------------------------------------------
   void report_tick();
 
+  // Settles the retry op watching `task`'s TaskQuery (any terminal signal —
+  // accept, reject, failure, completion — counts as an ack).
+  void settle_task_query(util::TaskId task);
+
   void stop_local_work();
 
   System& system_;
@@ -173,6 +183,13 @@ class PeerNode {
   util::SimDuration report_period_ = 0;  // current (possibly RM-announced)
   sim::Timer membership_timer_;
   PeerStats stats_;
+  // Retry/timeout hardening (see docs/FAULT_MODEL.md). Each submitted
+  // TaskQuery is watched until a terminal answer; each profiler report is
+  // resent until acked (or superseded by the next report).
+  std::map<util::TaskId, sim::RetryOp> query_retries_;
+  sim::RetryOp report_retry_op_;
+  std::uint64_t report_seq_ = 0;
+  ProfilerReport pending_report_;
   // Join progress: redirect hops this attempt; retries scheduled with
   // backoff when an attempt dead-ends (rejection or a redirect loop).
   int redirect_hops_ = 0;

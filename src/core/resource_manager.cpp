@@ -82,6 +82,7 @@ void ResourceManager::stop() {
   heartbeat_timer_.cancel();
   backup_sync_timer_.cancel();
   adaptation_timer_.cancel();
+  backup_sync_retry_op_.cancel();
   if (gossip_) gossip_->stop();
   started_ = false;
 }
@@ -128,6 +129,10 @@ bool ResourceManager::handle(util::PeerId from, const net::Message& message) {
   }
   if (const auto* m = net::message_cast<overlay::RmPeerIntro>(message)) {
     on_rm_intro(*m);
+    return true;
+  }
+  if (const auto* m = net::message_cast<BackupSyncAck>(message)) {
+    if (m->seq == backup_sync_seq_) backup_sync_retry_op_.ack();
     return true;
   }
   if (const auto* m = net::message_cast<gossip::GossipMessage>(message)) {
@@ -236,6 +241,8 @@ void ResourceManager::on_peer_announce(const PeerAnnounce& m) {
     // Announce can race ahead of our accept bookkeeping after a takeover.
     info_.add_member(m.spec, host_.system().simulator().now());
   }
+  // A (re)joining peer restarts its report sequence from 1.
+  last_report_seq_.erase(m.spec.id);
   info_.add_inventory(m);
   publish_summary();
 }
@@ -243,6 +250,20 @@ void ResourceManager::on_peer_announce(const PeerAnnounce& m) {
 void ResourceManager::on_profiler_report(util::PeerId from,
                                          const ProfilerReport& m) {
   const auto& config = host_.system().config();
+  if (config.ack_profiler_reports && m.seq != 0) {
+    auto ack = std::make_unique<ReportAck>();
+    ack->seq = m.seq;
+    host_.send(from, std::move(ack));
+    // Retransmissions and network duplicates are re-acked but must not be
+    // re-applied: overload detection counts *consecutive* hot reports, so a
+    // duplicate would double-count one observation.
+    auto& last_seq = last_report_seq_[from];
+    if (m.seq <= last_seq) {
+      ++stats_.duplicate_reports;
+      return;
+    }
+    last_seq = m.seq;
+  }
   info_.record_report(from, m, host_.system().simulator().now());
   // "Overloaded" needs both a hot CPU and work piling up behind it — a
   // saturated processor with an empty queue is just a transcode in flight.
@@ -270,7 +291,39 @@ void ResourceManager::on_rm_intro(const overlay::RmPeerIntro& m) {
 void ResourceManager::on_task_query(const TaskQuery& m) {
   ++stats_.queries_received;
   if (m.redirect_count > 0) ++stats_.queries_redirected_in;
+  // Retried or network-duplicated queries must be idempotent (§ fault
+  // hardening): an already-admitted task gets its accept re-sent, a
+  // recently terminal one a reject that settles the origin's retry loop
+  // (its ledger is already terminal, so the reject is a no-op there).
+  if (const auto* active = info_.task(m.task)) {
+    ++stats_.duplicate_queries;
+    auto accept = std::make_unique<TaskAccept>();
+    accept->task = m.task;
+    accept->serving_rm = host_.id();
+    accept->estimated_execution =
+        active->estimated_execution >= 0 ? active->estimated_execution : 0;
+    host_.send(m.origin, std::move(accept));
+    return;
+  }
+  if (recent_terminal_.count(m.task) != 0) {
+    ++stats_.duplicate_queries;
+    auto reject = std::make_unique<TaskReject>();
+    reject->task = m.task;
+    reject->reason = "stale-duplicate";
+    host_.send(m.origin, std::move(reject));
+    return;
+  }
   admit_or_redirect(m);
+}
+
+void ResourceManager::note_terminal(util::TaskId id) {
+  if (!recent_terminal_.insert(id).second) return;
+  recent_terminal_order_.push_back(id);
+  constexpr std::size_t kRememberTerminal = 512;
+  while (recent_terminal_order_.size() > kRememberTerminal) {
+    recent_terminal_.erase(recent_terminal_order_.front());
+    recent_terminal_order_.pop_front();
+  }
 }
 
 void ResourceManager::admit_or_redirect(const TaskQuery& query) {
@@ -313,6 +366,7 @@ bool ResourceManager::try_allocate_and_compose(const TaskQuery& query) {
   task.submitted_at = query.submitted_at;
   task.absolute_deadline = query.submitted_at + query.q.deadline;
   task.hop_done.assign(task.sg.hop_count(), false);
+  task.estimated_execution = result.estimated_execution;
   ActiveTask& stored = info_.add_task(std::move(task));
 
   compose(stored, result.load_deltas);
@@ -476,6 +530,7 @@ void ResourceManager::on_task_completed(const TaskCompleted& m) {
   release_task_loads(*task);
   ++stats_.tasks_completed;
   if (m.missed_deadline) ++stats_.tasks_missed;
+  note_terminal(m.task);
   info_.remove_task(m.task);
 }
 
@@ -550,6 +605,7 @@ void ResourceManager::adaptation_tick() {
     auto* task = info_.task(id);
     cancel_task_hops(*task, /*notify_peers=*/true);
     release_task_loads(*task);
+    note_terminal(id);
     info_.remove_task(id);
     ++stats_.tasks_expired;
   }
@@ -707,6 +763,7 @@ void ResourceManager::fail_task(ActiveTask& task, const std::string& reason) {
   failed->reason = reason;
   host_.send(task.origin, std::move(failed));
   ++stats_.tasks_failed;
+  note_terminal(id);
   info_.remove_task(id);
 }
 
@@ -750,10 +807,29 @@ void ResourceManager::heartbeat_tick() {
 void ResourceManager::backup_sync_tick() {
   const auto backup = info_.domain().backup();
   if (!backup) return;
+  const auto& config = host_.system().config();
   auto sync = std::make_unique<BackupSync>();
   sync->snapshot = info_.snapshot();
   sync->known_rms = known_rms_;
+  sync->seq = ++backup_sync_seq_;
+  if (config.ack_backup_sync) pending_sync_ = *sync;
   host_.send(*backup, std::move(sync));
+
+  // The snapshot is the failover lifeline: resend until the backup acks,
+  // giving up when the next periodic sync is about to supersede it anyway.
+  const util::BackoffPolicy& policy = config.retry.backup_sync;
+  if (!config.ack_backup_sync || policy.max_attempts <= 1) return;
+  backup_sync_retry_op_.cancel();
+  backup_sync_retry_op_.arm(
+      host_.system().simulator(), policy, &rng_,
+      [this](int /*attempt*/) {
+        // Re-resolve: if the backup changed since the tick, the (slightly
+        // stale) snapshot still beats the new backup having none at all.
+        const auto current = info_.domain().backup();
+        if (!current) return;
+        host_.send(*current, std::make_unique<BackupSync>(pending_sync_));
+      },
+      /*on_exhausted=*/{}, &stats_.backup_sync_retry);
 }
 
 void ResourceManager::publish_summary() {

@@ -12,8 +12,11 @@
 // synchronization and the inter-domain gossip engine.
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <optional>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/admission.hpp"
@@ -22,6 +25,7 @@
 #include "core/messages.hpp"
 #include "gossip/gossip_engine.hpp"
 #include "overlay/membership.hpp"
+#include "sim/retry.hpp"
 #include "util/stats.hpp"
 
 namespace p2prm::core {
@@ -50,6 +54,10 @@ struct RmStats {
   std::uint64_t joins_accepted = 0;
   std::uint64_t joins_promoted = 0;
   std::uint64_t joins_redirected = 0;
+  // Fault hardening: duplicate-suppression and retry bookkeeping.
+  std::uint64_t duplicate_queries = 0;   // retried/duplicated TaskQuery
+  std::uint64_t duplicate_reports = 0;   // stale-seq ProfilerReport
+  sim::RetryStats backup_sync_retry;     // BackupSync -> BackupSyncAck
   util::RunningStats allocation_fairness;
   util::RunningStats candidates_per_allocation;
 };
@@ -79,6 +87,7 @@ class ResourceManager {
   [[nodiscard]] InfoBase& info() { return info_; }
   [[nodiscard]] const InfoBase& info() const { return info_; }
   [[nodiscard]] gossip::GossipEngine& gossip() { return *gossip_; }
+  [[nodiscard]] const gossip::GossipEngine& gossip() const { return *gossip_; }
   [[nodiscard]] const RmStats& stats() const { return stats_; }
   [[nodiscard]] const std::vector<overlay::RmInfo>& known_rms() const {
     return known_rms_;
@@ -127,6 +136,9 @@ class ResourceManager {
   void publish_summary();
   [[nodiscard]] std::vector<util::PeerId> rm_peer_ids() const;
   void add_known_rm(overlay::RmInfo info);
+  // Remembers a task that reached a terminal state, so a retried (or
+  // network-duplicated) TaskQuery for it cannot re-admit it.
+  void note_terminal(util::TaskId id);
 
   PeerNode& host_;
   InfoBase info_;
@@ -141,6 +153,15 @@ class ResourceManager {
   sim::Timer backup_sync_timer_;
   sim::Timer adaptation_timer_;
   bool started_ = false;
+
+  // Fault hardening (see docs/FAULT_MODEL.md): report duplicate detection,
+  // BackupSync retry, and a bounded memory of recently terminal tasks.
+  std::unordered_map<util::PeerId, std::uint64_t> last_report_seq_;
+  sim::RetryOp backup_sync_retry_op_;
+  std::uint64_t backup_sync_seq_ = 0;
+  BackupSync pending_sync_;
+  std::deque<util::TaskId> recent_terminal_order_;
+  std::unordered_set<util::TaskId> recent_terminal_;
 };
 
 }  // namespace p2prm::core

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fault/fault_injector.hpp"
+
 namespace p2prm::core {
 
 std::string_view task_status_name(TaskStatus s) {
@@ -24,7 +26,10 @@ void TaskLedger::on_submitted(const TaskRecord& record) {
 
 void TaskLedger::on_estimate(util::TaskId id, util::SimDuration estimated) {
   const auto it = records_.find(id);
-  if (it == records_.end()) return;
+  // A late (retried/duplicated) accept after the terminal outcome must not
+  // count again: on_completed already credited the admission.
+  if (it == records_.end() || it->second.status != TaskStatus::Pending) return;
+  if (it->second.estimated_execution < 0) ++admitted_;
   it->second.estimated_execution = estimated;
 }
 
@@ -41,6 +46,8 @@ void TaskLedger::on_completed(util::TaskId id, util::SimTime at, bool missed) {
   it->second.status = TaskStatus::Completed;
   it->second.missed_deadline = missed;
   it->second.finished = at;
+  // A completion implies admission even if the TaskAccept itself was lost.
+  if (it->second.estimated_execution < 0) ++admitted_;
   ++completed_;
   if (missed) ++missed_;
   response_times_.add(util::to_seconds(at - it->second.submitted));
@@ -158,6 +165,45 @@ void System::crash_peer(util::PeerId peer) {
   if (it == peers_.end()) return;
   network_->detach(peer);  // detach first: a crash sends nothing
   it->second->crash();
+}
+
+bool System::restart_peer(util::PeerId peer) {
+  const auto it = peers_.find(peer);
+  if (it == peers_.end() || it->second->alive()) return false;
+  overlay::PeerSpec spec = it->second->spec();
+  PeerInventory inventory = it->second->inventory();
+  // The process restarted: uptime history starts over (this matters for RM
+  // qualification), but identity, placement and stored media survive.
+  spec.online_since = sim_.now();
+  auto node = std::make_unique<PeerNode>(*this, spec, std::move(inventory));
+  PeerNode* raw = node.get();
+  // The dead node may still be referenced by simulator callbacks it
+  // scheduled before crashing (they no-op once !alive_). Park it instead of
+  // destroying it — nodes are never freed mid-run.
+  retired_.push_back(std::move(it->second));
+  it->second = std::move(node);
+  network_->attach(spec.id, spec.link,
+                   [raw](util::PeerId from, const net::Message& m) {
+                     raw->handle_message(from, m);
+                   });
+  raw->start(random_alive_peer(spec.id));
+  trace(TraceKind::PeerJoined, spec.id, util::TaskId::invalid(),
+        util::DomainId::invalid(), "restarted");
+  return true;
+}
+
+fault::FaultInjector& System::install_fault_plan(fault::FaultPlan plan) {
+  fault::FaultInjector::Hooks hooks;
+  hooks.crash = [this](util::PeerId p) { crash_peer(p); };
+  hooks.restart = [this](util::PeerId p) { restart_peer(p); };
+  hooks.primary_rm = [this] {
+    const auto rms = resource_manager_ids();
+    return rms.empty() ? util::PeerId::invalid() : rms.front();
+  };
+  fault_injector_ = std::make_unique<fault::FaultInjector>(
+      sim_, *network_, std::move(plan), std::move(hooks));
+  fault_injector_->arm();
+  return *fault_injector_;
 }
 
 PeerNode* System::peer(util::PeerId id) {

@@ -11,10 +11,15 @@
 #include "core/config.hpp"
 #include "core/peer_node.hpp"
 #include "core/trace.hpp"
+#include "fault/fault_plan.hpp"
 #include "net/network.hpp"
 #include "net/topology.hpp"
 #include "sim/simulator.hpp"
 #include "util/stats.hpp"
+
+namespace p2prm::fault {
+class FaultInjector;
+}
 
 namespace p2prm::core {
 
@@ -56,6 +61,10 @@ class TaskLedger {
 
   [[nodiscard]] const TaskRecord* record(util::TaskId id) const;
   [[nodiscard]] std::size_t submitted() const { return records_.size(); }
+  // Tasks for which the origin saw an admission (TaskAccept, or completion
+  // when the accept itself was lost). Survives RM crash-restarts, unlike
+  // per-RM counters.
+  [[nodiscard]] std::size_t admitted() const { return admitted_; }
   [[nodiscard]] std::size_t completed() const { return completed_; }
   [[nodiscard]] std::size_t completed_on_time() const {
     return completed_ - missed_;
@@ -78,6 +87,7 @@ class TaskLedger {
 
  private:
   std::unordered_map<util::TaskId, TaskRecord> records_;
+  std::size_t admitted_ = 0;
   std::size_t completed_ = 0;
   std::size_t missed_ = 0;
   std::size_t rejected_ = 0;
@@ -104,6 +114,21 @@ class System {
                         std::optional<util::PeerId> contact = std::nullopt);
   void leave_peer(util::PeerId peer);   // graceful
   void crash_peer(util::PeerId peer);   // abrupt failure
+  // Brings a previously crashed/left peer back with the same identity,
+  // placement and inventory (a process restart: uptime history resets, the
+  // peer rejoins through a random contact). Returns false when the id is
+  // unknown or the peer is still alive.
+  bool restart_peer(util::PeerId peer);
+
+  // --- fault injection -------------------------------------------------------
+  // Installs and arms a deterministic fault plan (docs/FAULT_MODEL.md):
+  // link-level loss/delay/duplication/reordering plus scheduled partitions
+  // and crash-restarts, all reproducible from plan.seed. Call before
+  // running the simulation. The returned injector exposes the event trace.
+  fault::FaultInjector& install_fault_plan(fault::FaultPlan plan);
+  [[nodiscard]] fault::FaultInjector* fault_injector() {
+    return fault_injector_.get();
+  }
 
   [[nodiscard]] PeerNode* peer(util::PeerId id);
   [[nodiscard]] const PeerNode* peer(util::PeerId id) const;
@@ -130,6 +155,7 @@ class System {
   // --- access ------------------------------------------------------------------------
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] net::Network& network() { return *network_; }
+  [[nodiscard]] const net::Network& network() const { return *network_; }
   [[nodiscard]] net::Topology& topology() { return topology_; }
   [[nodiscard]] const SystemConfig& config() const { return config_; }
   [[nodiscard]] TaskLedger& ledger() { return ledger_; }
@@ -169,6 +195,10 @@ class System {
   net::Topology topology_;
   std::unique_ptr<net::Network> network_;
   std::unordered_map<util::PeerId, std::unique_ptr<PeerNode>> peers_;
+  // Crashed nodes replaced by restart_peer(). Kept alive until teardown:
+  // simulator callbacks they scheduled may still fire (guarded by alive_).
+  std::vector<std::unique_ptr<PeerNode>> retired_;
+  std::unique_ptr<fault::FaultInjector> fault_injector_;
   TaskLedger ledger_;
   Tracer* tracer_ = nullptr;
   util::Rng placement_rng_;

@@ -1,0 +1,134 @@
+#include "fault/fault_injector.hpp"
+
+#include <stdexcept>
+
+namespace p2prm::fault {
+
+FaultInjector::FaultInjector(sim::Simulator& simulator, net::Network& network,
+                             FaultPlan plan, Hooks hooks)
+    : sim_(simulator),
+      net_(network),
+      plan_(std::move(plan)),
+      hooks_(std::move(hooks)),
+      rng_(plan_.seed) {}
+
+FaultInjector::~FaultInjector() {
+  if (net_.fault_hook() == this) net_.set_fault_hook(nullptr);
+}
+
+void FaultInjector::record(FaultAction action, util::PeerId a, util::PeerId b,
+                           util::SimDuration delay) {
+  trace_.push_back(FaultEvent{sim_.now(), action, a, b, delay});
+}
+
+void FaultInjector::arm() {
+  if (armed_) throw std::logic_error("FaultInjector::arm: already armed");
+  armed_ = true;
+  net_.set_fault_hook(this);
+
+  for (const auto& p : plan_.partitions) {
+    sim_.schedule_at(p.at, [this, &p] {
+      auto groups = p.groups;
+      if (p.isolate_primary_rm) {
+        const util::PeerId rm =
+            hooks_.primary_rm ? hooks_.primary_rm() : util::PeerId::invalid();
+        if (!rm.valid()) return;  // nobody to isolate; skip (still recorded)
+        groups = {{rm}};
+      }
+      net_.set_partition(groups);
+      util::PeerId first;
+      if (!groups.empty() && !groups.front().empty()) {
+        first = groups.front().front();
+      }
+      record(FaultAction::PartitionStart, first, util::PeerId::invalid());
+    });
+    if (p.heal_at != util::kTimeInfinity) {
+      sim_.schedule_at(p.heal_at, [this] {
+        net_.heal_partition();
+        record(FaultAction::PartitionHeal, util::PeerId::invalid(),
+               util::PeerId::invalid());
+      });
+    }
+  }
+
+  for (const auto& c : plan_.crashes) {
+    sim_.schedule_at(c.at, [this, &c] {
+      util::PeerId victim = c.peer;
+      if (c.target_primary_rm) {
+        victim =
+            hooks_.primary_rm ? hooks_.primary_rm() : util::PeerId::invalid();
+      }
+      if (!victim.valid() || !hooks_.crash) return;
+      hooks_.crash(victim);
+      record(FaultAction::Crash, victim, util::PeerId::invalid());
+      if (c.restart_at != util::kTimeInfinity) {
+        sim_.schedule_at(c.restart_at, [this, victim] {
+          if (!hooks_.restart) return;
+          hooks_.restart(victim);
+          record(FaultAction::Restart, victim, util::PeerId::invalid());
+        });
+      }
+    });
+  }
+}
+
+net::FaultDecision FaultInjector::on_send(util::PeerId from, util::PeerId to,
+                                          std::size_t /*bytes*/,
+                                          std::string_view /*type*/) {
+  const LinkFaults& link = plan_.link(from, to);
+  net::FaultDecision d;
+  if (link.trivial()) return d;
+
+  if (link.drop_probability > 0.0 && rng_.bernoulli(link.drop_probability)) {
+    d.drop = true;
+    record(FaultAction::Drop, from, to);
+    return d;
+  }
+  if (link.extra_delay > 0 || link.delay_jitter > 0) {
+    d.extra_delay = link.extra_delay;
+    if (link.delay_jitter > 0) {
+      d.extra_delay += static_cast<util::SimDuration>(
+          rng_.below(static_cast<std::uint64_t>(link.delay_jitter) + 1));
+    }
+    if (d.extra_delay > 0) {
+      record(FaultAction::Delay, from, to, d.extra_delay);
+    }
+  }
+  if (link.reorder_probability > 0.0 &&
+      rng_.bernoulli(link.reorder_probability)) {
+    // Hold this message back past its natural slot so later traffic on the
+    // same link overtakes it.
+    d.extra_delay += link.reorder_delay;
+    record(FaultAction::Reorder, from, to, link.reorder_delay);
+  }
+  if (link.duplicate_probability > 0.0 &&
+      rng_.bernoulli(link.duplicate_probability)) {
+    // The copy trails the original by a small deterministic-from-seed gap.
+    d.duplicate_after =
+        util::milliseconds(1) +
+        static_cast<util::SimDuration>(rng_.below(util::milliseconds(10)));
+    record(FaultAction::Duplicate, from, to, d.duplicate_after);
+  }
+  return d;
+}
+
+std::uint64_t FaultInjector::trace_fingerprint() const {
+  // FNV-1a over the packed event fields; order-sensitive by construction.
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const auto& e : trace_) {
+    mix(static_cast<std::uint64_t>(e.at));
+    mix(static_cast<std::uint64_t>(e.action));
+    mix(e.a.value());
+    mix(e.b.value());
+    mix(static_cast<std::uint64_t>(e.delay));
+  }
+  return h;
+}
+
+}  // namespace p2prm::fault

@@ -1,0 +1,74 @@
+// Executes a FaultPlan against a Network/Simulator pair.
+//
+// The injector is the net::FaultHook the Network consults on every send
+// (stochastic link faults) and the scheduler of the plan's timed events
+// (partitions, crashes, restarts). Crash/restart and "who is the primary
+// RM right now" are delegated to caller-supplied hooks so this module
+// depends only on net/sim — core::System wires itself in via
+// System::install_fault_plan().
+//
+// Determinism: all randomness comes from one RNG seeded by the plan, and
+// every decision is appended to an event trace. Two runs of the same
+// (plan, workload, seed) produce identical traces — a property the test
+// suite asserts — so any failing fault run reproduces from its seed.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace p2prm::fault {
+
+class FaultInjector final : public net::FaultHook {
+ public:
+  struct Hooks {
+    // Crash a peer abruptly / restart a previously crashed peer. Either may
+    // be empty when the plan contains no crash events.
+    std::function<void(util::PeerId)> crash;
+    std::function<void(util::PeerId)> restart;
+    // Resolve the current primary RM (invalid id = none); used by events
+    // with target_primary_rm / isolate_primary_rm.
+    std::function<util::PeerId()> primary_rm;
+  };
+
+  FaultInjector(sim::Simulator& simulator, net::Network& network,
+                FaultPlan plan, Hooks hooks = {});
+  ~FaultInjector() override;
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Installs the hook on the network and schedules every timed event.
+  // Call exactly once, before running the simulation past the plan's
+  // earliest event.
+  void arm();
+
+  // net::FaultHook: one verdict per message send.
+  net::FaultDecision on_send(util::PeerId from, util::PeerId to,
+                             std::size_t bytes,
+                             std::string_view type) override;
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] const std::vector<FaultEvent>& trace() const { return trace_; }
+  // Order-sensitive 64-bit digest of the trace; equal across two runs of
+  // the same plan+seed iff the traces are identical.
+  [[nodiscard]] std::uint64_t trace_fingerprint() const;
+
+ private:
+  void record(FaultAction action, util::PeerId a, util::PeerId b,
+              util::SimDuration delay = 0);
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  FaultPlan plan_;
+  Hooks hooks_;
+  util::Rng rng_;
+  bool armed_ = false;
+  std::vector<FaultEvent> trace_;
+};
+
+}  // namespace p2prm::fault

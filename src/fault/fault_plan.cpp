@@ -1,0 +1,80 @@
+#include "fault/fault_plan.hpp"
+
+#include <cstdio>
+
+namespace p2prm::fault {
+
+FaultPlan FaultPlan::uniform_loss(double p, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.default_link.drop_probability = p;
+  return plan;
+}
+
+FaultPlan& FaultPlan::add_partition(
+    util::SimTime at, util::SimTime heal_at,
+    std::vector<std::vector<util::PeerId>> groups) {
+  PartitionEvent e;
+  e.at = at;
+  e.heal_at = heal_at;
+  e.groups = std::move(groups);
+  partitions.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::isolate_primary_rm(util::SimTime at,
+                                         util::SimTime heal_at) {
+  PartitionEvent e;
+  e.at = at;
+  e.heal_at = heal_at;
+  e.isolate_primary_rm = true;
+  partitions.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash_restart(util::PeerId peer, util::SimTime at,
+                                    util::SimTime restart_at) {
+  CrashEvent e;
+  e.at = at;
+  e.restart_at = restart_at;
+  e.peer = peer;
+  crashes.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash_restart_primary_rm(util::SimTime at,
+                                               util::SimTime restart_at) {
+  CrashEvent e;
+  e.at = at;
+  e.restart_at = restart_at;
+  e.target_primary_rm = true;
+  crashes.push_back(e);
+  return *this;
+}
+
+std::string_view fault_action_name(FaultAction a) {
+  switch (a) {
+    case FaultAction::Drop: return "drop";
+    case FaultAction::Duplicate: return "duplicate";
+    case FaultAction::Delay: return "delay";
+    case FaultAction::Reorder: return "reorder";
+    case FaultAction::PartitionStart: return "partition-start";
+    case FaultAction::PartitionHeal: return "partition-heal";
+    case FaultAction::Crash: return "crash";
+    case FaultAction::Restart: return "restart";
+  }
+  return "?";
+}
+
+std::string to_string(const FaultEvent& e) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%lld %s %llu->%llu +%lld",
+                static_cast<long long>(e.at),
+                std::string(fault_action_name(e.action)).c_str(),
+                static_cast<unsigned long long>(e.a.value()),
+                static_cast<unsigned long long>(e.b.value()),
+                static_cast<long long>(e.delay));
+  return buf;
+}
+
+}  // namespace p2prm::fault

@@ -1,0 +1,115 @@
+// Declarative fault plans for resilience experiments.
+//
+// A FaultPlan composes everything the paper's "dynamic environments" claim
+// must survive: per-link message loss, delay/jitter, duplication,
+// reordering, scheduled network partitions (split/heal), and peer or RM
+// crash-restart events. A plan is pure data; the FaultInjector executes it
+// against a Network/Simulator pair using a single RNG forked from the
+// plan's seed, so any run — including every fault decision — reproduces
+// byte-for-byte from (plan, seed). See docs/FAULT_MODEL.md.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace p2prm::fault {
+
+// Stochastic message-level faults applied to traffic on one link (ordered
+// sender -> receiver pair) or, via FaultPlan::default_link, to all links.
+struct LinkFaults {
+  double drop_probability = 0.0;       // uniform loss, [0,1]
+  double duplicate_probability = 0.0;  // deliver one extra copy
+  // Extra one-way delay: fixed component plus U[0, jitter] per message.
+  util::SimDuration extra_delay = 0;
+  util::SimDuration delay_jitter = 0;
+  // Reordering: with this probability a message is additionally held back
+  // by reorder_delay, letting later sends overtake it.
+  double reorder_probability = 0.0;
+  util::SimDuration reorder_delay = util::milliseconds(50);
+
+  [[nodiscard]] bool trivial() const {
+    return drop_probability == 0.0 && duplicate_probability == 0.0 &&
+           extra_delay == 0 && delay_jitter == 0 && reorder_probability == 0.0;
+  }
+};
+
+// Split the network at `at`: each group becomes an island, unlisted peers
+// form island 0 (see net::Network::set_partition). Heals at `heal_at`
+// unless another partition event replaced it first.
+struct PartitionEvent {
+  util::SimTime at = 0;
+  util::SimTime heal_at = util::kTimeInfinity;  // infinity = never heals
+  std::vector<std::vector<util::PeerId>> groups;
+  // When set, the groups are ignored and the peer currently acting as the
+  // primary RM (resolved at fire time) is isolated from everyone else.
+  bool isolate_primary_rm = false;
+};
+
+// Crash a peer at `at`; restart the same peer (same id, spec, inventory)
+// at `restart_at` unless it is infinity.
+struct CrashEvent {
+  util::SimTime at = 0;
+  util::SimTime restart_at = util::kTimeInfinity;
+  util::PeerId peer;  // ignored when target_primary_rm is set
+  // Resolve the victim at fire time: whoever leads the first domain then.
+  bool target_primary_rm = false;
+};
+
+struct FaultPlan {
+  // Seed for every stochastic decision the plan makes. Two runs of the same
+  // plan with the same seed produce identical fault-event traces.
+  std::uint64_t seed = 1;
+  LinkFaults default_link{};
+  // Ordered (from, to) overrides; a listed link ignores default_link.
+  std::map<std::pair<util::PeerId, util::PeerId>, LinkFaults> per_link;
+  std::vector<PartitionEvent> partitions;
+  std::vector<CrashEvent> crashes;
+
+  [[nodiscard]] const LinkFaults& link(util::PeerId from,
+                                       util::PeerId to) const {
+    const auto it = per_link.find({from, to});
+    return it == per_link.end() ? default_link : it->second;
+  }
+
+  // --- convenience builders used by benches and tests ----------------------
+  [[nodiscard]] static FaultPlan uniform_loss(double p, std::uint64_t seed);
+  FaultPlan& add_partition(util::SimTime at, util::SimTime heal_at,
+                           std::vector<std::vector<util::PeerId>> groups);
+  FaultPlan& isolate_primary_rm(util::SimTime at, util::SimTime heal_at);
+  FaultPlan& crash_restart(util::PeerId peer, util::SimTime at,
+                           util::SimTime restart_at);
+  FaultPlan& crash_restart_primary_rm(util::SimTime at,
+                                      util::SimTime restart_at);
+};
+
+// One entry of the deterministic event trace the injector records.
+enum class FaultAction {
+  Drop,
+  Duplicate,
+  Delay,
+  Reorder,
+  PartitionStart,
+  PartitionHeal,
+  Crash,
+  Restart,
+};
+[[nodiscard]] std::string_view fault_action_name(FaultAction a);
+
+struct FaultEvent {
+  util::SimTime at = 0;
+  FaultAction action{};
+  util::PeerId a;  // sender / victim
+  util::PeerId b;  // receiver (invalid for non-link events)
+  util::SimDuration delay = 0;  // extra delay for Delay/Duplicate/Reorder
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+[[nodiscard]] std::string to_string(const FaultEvent& e);
+
+}  // namespace p2prm::fault

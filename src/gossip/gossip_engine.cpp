@@ -38,13 +38,21 @@ void GossipEngine::set_local_summary(DomainSummary summary) {
   }
 }
 
-void GossipEngine::handle_message(util::PeerId, const GossipMessage& msg) {
+void GossipEngine::handle_message(util::PeerId from, const GossipMessage& msg) {
+  last_heard_[msg.sender.valid() ? msg.sender : from] = sim_.now();
   const std::size_t changed = reconcile(summaries_, msg.summaries);
   if (changed && on_change_) on_change_(changed);
 }
 
+void GossipEngine::push_to(util::PeerId peer) {
+  auto msg = std::make_unique<GossipMessage>();
+  msg->sender = self_;
+  msg->summaries = summaries_;
+  net_.send(self_, peer, std::move(msg));
+}
+
 void GossipEngine::round() {
-  ++rounds_;
+  ++stats_.rounds;
   if (summaries_.empty()) return;
   std::vector<util::PeerId> peers = rm_peers_();
   peers.erase(std::remove(peers.begin(), peers.end(), self_), peers.end());
@@ -52,10 +60,27 @@ void GossipEngine::round() {
   rng_.shuffle(peers.begin(), peers.end());
   const std::size_t n = std::min(config_.fanout, peers.size());
   for (std::size_t i = 0; i < n; ++i) {
-    auto msg = std::make_unique<GossipMessage>();
-    msg->sender = self_;
-    msg->summaries = summaries_;
-    net_.send(self_, peers[i], std::move(msg));
+    push_to(peers[i]);
+    ++stats_.pushes;
+  }
+
+  // Anti-entropy: partners we have not heard from within the silence window
+  // get a targeted push beyond the random fanout, so lossy links and healed
+  // partitions reconverge promptly instead of waiting on random selection.
+  if (config_.partner_silence_timeout <= 0) return;
+  const util::SimTime now = sim_.now();
+  std::size_t extra = 0;
+  for (std::size_t i = n;
+       i < peers.size() && extra < config_.max_anti_entropy_pushes; ++i) {
+    const auto it = last_heard_.find(peers[i]);
+    const util::SimTime heard = it == last_heard_.end() ? 0 : it->second;
+    if (now - heard < config_.partner_silence_timeout) continue;
+    push_to(peers[i]);
+    ++stats_.anti_entropy_pushes;
+    ++extra;
+    // Reset the clock so one silent partner is not hammered every round
+    // while the silence window is still open.
+    last_heard_[peers[i]] = now;
   }
 }
 

@@ -38,6 +38,20 @@ struct GossipMessage final : net::Message {
 struct GossipConfig {
   util::SimDuration period = util::seconds(2);
   std::size_t fanout = 2;
+  // Anti-entropy retry: an RM peer we have not heard from for this long is
+  // pushed to *in addition to* the random fanout each round, so a silent
+  // partner (lossy link, healed partition) reconverges instead of waiting
+  // on random selection. 0 disables the mechanism.
+  util::SimDuration partner_silence_timeout = util::seconds(6);
+  // Bound on extra targeted pushes per round (keeps overhead predictable
+  // when many partners go silent at once, e.g. during a partition).
+  std::size_t max_anti_entropy_pushes = 2;
+};
+
+struct GossipStats {
+  std::uint64_t rounds = 0;
+  std::uint64_t pushes = 0;               // random-fanout sends
+  std::uint64_t anti_entropy_pushes = 0;  // targeted silent-partner sends
 };
 
 class GossipEngine {
@@ -80,10 +94,12 @@ class GossipEngine {
   [[nodiscard]] std::vector<const DomainSummary*> domains_with_object(
       util::ObjectId object, util::DomainId exclude) const;
 
-  [[nodiscard]] std::uint64_t rounds() const { return rounds_; }
+  [[nodiscard]] std::uint64_t rounds() const { return stats_.rounds; }
+  [[nodiscard]] const GossipStats& stats() const { return stats_; }
 
  private:
   void round();
+  void push_to(util::PeerId peer);
 
   sim::Simulator& sim_;
   net::Network& net_;
@@ -94,7 +110,9 @@ class GossipEngine {
   util::Rng rng_;
   sim::Timer timer_;
   std::vector<DomainSummary> summaries_;  // includes our own
-  std::uint64_t rounds_ = 0;
+  // Last time a GossipMessage arrived from each RM peer (anti-entropy).
+  std::unordered_map<util::PeerId, util::SimTime> last_heard_;
+  GossipStats stats_;
 };
 
 }  // namespace p2prm::gossip

@@ -96,6 +96,29 @@ RmAggregate aggregate_rm_stats(const core::System& system) {
   return agg;
 }
 
+RetryAggregate aggregate_retry_stats(const core::System& system) {
+  RetryAggregate agg;
+  for (const auto id : system.peer_ids()) {
+    const auto* node = system.peer(id);
+    if (node == nullptr) continue;
+    const auto& s = node->peer_stats();
+    agg.query_retries += s.query_retry.retries;
+    agg.query_acked += s.query_retry.acked;
+    agg.query_exhausted += s.query_retry.exhausted;
+    agg.report_retries += s.report_retry.retries;
+    agg.report_acked += s.report_retry.acked;
+    agg.join_retries += s.join_retries;
+    const auto* rm = node->resource_manager();
+    if (rm == nullptr || !node->alive()) continue;
+    agg.backup_sync_retries += rm->stats().backup_sync_retry.retries;
+    agg.backup_sync_acked += rm->stats().backup_sync_retry.acked;
+    agg.duplicate_queries += rm->stats().duplicate_queries;
+    agg.duplicate_reports += rm->stats().duplicate_reports;
+    agg.gossip_anti_entropy_pushes += rm->gossip().stats().anti_entropy_pushes;
+  }
+  return agg;
+}
+
 TrafficSplit split_traffic(const net::NetworkStats& stats) {
   TrafficSplit split;
   for (const auto& [type, count] : stats.per_type_count) {

@@ -87,4 +87,21 @@ struct TrafficSplit {
 };
 [[nodiscard]] TrafficSplit split_traffic(const net::NetworkStats& stats);
 
+// Retry/timeout-hardening counters summed over every peer that still holds
+// its stats (a restarted peer starts fresh) and every live RM.
+struct RetryAggregate {
+  std::uint64_t query_retries = 0;
+  std::uint64_t query_acked = 0;
+  std::uint64_t query_exhausted = 0;
+  std::uint64_t report_retries = 0;
+  std::uint64_t report_acked = 0;
+  std::uint64_t backup_sync_retries = 0;
+  std::uint64_t backup_sync_acked = 0;
+  std::uint64_t join_retries = 0;
+  std::uint64_t duplicate_queries = 0;   // RM-side suppressed duplicates
+  std::uint64_t duplicate_reports = 0;
+  std::uint64_t gossip_anti_entropy_pushes = 0;
+};
+[[nodiscard]] RetryAggregate aggregate_retry_stats(const core::System& system);
+
 }  // namespace p2prm::metrics

@@ -1,5 +1,9 @@
 #include "metrics/report.hpp"
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
 namespace p2prm::metrics {
 
 util::Table task_table(const core::TaskLedger& ledger) {
@@ -31,6 +35,13 @@ util::Table traffic_table(const net::NetworkStats& stats) {
       .end_row();
   t.cell("TOTAL data").cell(split.data_messages).cell(split.data_bytes)
       .end_row();
+  if (stats.messages_fault_dropped + stats.messages_duplicated +
+          stats.messages_delayed >
+      0) {
+    t.cell("FAULT dropped").cell(stats.messages_fault_dropped).cell(0).end_row();
+    t.cell("FAULT duplicated").cell(stats.messages_duplicated).cell(0).end_row();
+    t.cell("FAULT delayed").cell(stats.messages_delayed).cell(0).end_row();
+  }
   return t;
 }
 
@@ -53,6 +64,81 @@ util::Table domain_table(const core::System& system) {
         .end_row();
   }
   return t;
+}
+
+util::Table retry_table(const core::System& system) {
+  const RetryAggregate agg = aggregate_retry_stats(system);
+  util::Table t({"retry metric", "value"});
+  t.cell("task-query retries").cell(agg.query_retries).end_row();
+  t.cell("task-query acked").cell(agg.query_acked).end_row();
+  t.cell("task-query exhausted").cell(agg.query_exhausted).end_row();
+  t.cell("report retries").cell(agg.report_retries).end_row();
+  t.cell("backup-sync retries").cell(agg.backup_sync_retries).end_row();
+  t.cell("join retries").cell(agg.join_retries).end_row();
+  t.cell("duplicate queries suppressed").cell(agg.duplicate_queries).end_row();
+  t.cell("duplicate reports suppressed").cell(agg.duplicate_reports).end_row();
+  t.cell("gossip anti-entropy pushes")
+      .cell(agg.gossip_anti_entropy_pushes)
+      .end_row();
+  return t;
+}
+
+std::string metrics_json(const core::System& system) {
+  const auto& ledger = system.ledger();
+  const auto& net = system.network().stats();
+  const RetryAggregate retry = aggregate_retry_stats(system);
+  const RmAggregate rm = aggregate_rm_stats(system);
+
+  std::ostringstream out;
+  out << "{\n";
+  const auto field = [&out](const char* key, double value, bool last = false) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    out << "  \"" << key << "\": " << buf << (last ? "\n" : ",\n");
+  };
+  field("tasks_submitted", static_cast<double>(ledger.submitted()));
+  field("tasks_admitted", static_cast<double>(ledger.admitted()));
+  field("tasks_completed", static_cast<double>(ledger.completed()));
+  field("tasks_completed_on_time",
+        static_cast<double>(ledger.completed_on_time()));
+  field("tasks_rejected", static_cast<double>(ledger.rejected()));
+  field("tasks_failed", static_cast<double>(ledger.failed()));
+  field("tasks_orphaned", static_cast<double>(ledger.orphaned()));
+  field("goodput", ledger.goodput());
+  field("miss_ratio", ledger.miss_ratio());
+  field("rm_queries", static_cast<double>(rm.queries));
+  field("rm_admitted", static_cast<double>(rm.admitted));
+  field("rm_rejected", static_cast<double>(rm.rejected));
+  field("rm_recoveries_succeeded",
+        static_cast<double>(rm.recoveries_succeeded));
+  field("domains", static_cast<double>(rm.domains));
+  field("messages_sent", static_cast<double>(net.messages_sent));
+  field("messages_delivered", static_cast<double>(net.messages_delivered));
+  field("messages_dropped", static_cast<double>(net.messages_dropped));
+  field("messages_partitioned", static_cast<double>(net.messages_partitioned));
+  field("fault_dropped", static_cast<double>(net.messages_fault_dropped));
+  field("fault_duplicated", static_cast<double>(net.messages_duplicated));
+  field("fault_delayed", static_cast<double>(net.messages_delayed));
+  field("query_retries", static_cast<double>(retry.query_retries));
+  field("query_acked", static_cast<double>(retry.query_acked));
+  field("query_exhausted", static_cast<double>(retry.query_exhausted));
+  field("report_retries", static_cast<double>(retry.report_retries));
+  field("backup_sync_retries",
+        static_cast<double>(retry.backup_sync_retries));
+  field("join_retries", static_cast<double>(retry.join_retries));
+  field("duplicate_queries", static_cast<double>(retry.duplicate_queries));
+  field("duplicate_reports", static_cast<double>(retry.duplicate_reports));
+  field("gossip_anti_entropy_pushes",
+        static_cast<double>(retry.gossip_anti_entropy_pushes), /*last=*/true);
+  out << "}\n";
+  return out.str();
+}
+
+bool write_metrics_json(const core::System& system, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << metrics_json(system);
+  return static_cast<bool>(out);
 }
 
 }  // namespace p2prm::metrics

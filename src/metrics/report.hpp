@@ -10,10 +10,20 @@ namespace p2prm::metrics {
 // Task outcome summary (submitted / completed / on-time / ...).
 [[nodiscard]] util::Table task_table(const core::TaskLedger& ledger);
 
-// Per-message-type traffic with a control/data split footer.
+// Per-message-type traffic with a control/data split footer and, when any
+// fault injection happened, the injected drop/duplicate/delay counts.
 [[nodiscard]] util::Table traffic_table(const net::NetworkStats& stats);
 
 // One row per live domain: RM, members, admitted, rejected, redirects.
 [[nodiscard]] util::Table domain_table(const core::System& system);
+
+// Retry/timeout hardening counters (see docs/FAULT_MODEL.md).
+[[nodiscard]] util::Table retry_table(const core::System& system);
+
+// Machine-readable run summary for CI artifacts: task outcomes, retry
+// aggregates and network/fault counters as a flat JSON object.
+[[nodiscard]] std::string metrics_json(const core::System& system);
+// Convenience: write metrics_json to `path` (returns false on I/O error).
+bool write_metrics_json(const core::System& system, const std::string& path);
 
 }  // namespace p2prm::metrics

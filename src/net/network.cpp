@@ -12,8 +12,9 @@ Network::Network(sim::Simulator& simulator, Topology& topology,
       topology_(topology),
       drop_probability_(drop_probability),
       rng_(simulator.rng().fork()) {
-  if (drop_probability_ < 0.0 || drop_probability_ >= 1.0) {
-    throw std::invalid_argument("Network: drop_probability must be in [0,1)");
+  // 1.0 is a legitimate (if brutal) fault configuration: drop everything.
+  if (drop_probability_ < 0.0 || drop_probability_ > 1.0) {
+    throw std::invalid_argument("Network: drop_probability must be in [0,1]");
   }
 }
 
@@ -130,9 +131,32 @@ void Network::send(util::PeerId from, util::PeerId to, MessagePtr message) {
   // delivery (and may send during their own construction).
   delay = std::max<util::SimDuration>(delay, 1);
 
-  const std::uint64_t epoch = endpoints_.at(to).epoch;
+  FaultDecision fault;
+  if (fault_hook_ != nullptr) {
+    fault = fault_hook_->on_send(from, to, bytes, type);
+  }
+  if (fault.drop) {
+    ++stats_.messages_fault_dropped;
+    return;
+  }
+  if (fault.extra_delay > 0) {
+    ++stats_.messages_delayed;
+    delay += fault.extra_delay;
+  }
+
   auto shared = std::shared_ptr<Message>(std::move(message));
-  sim_.schedule_after(delay, [this, from, to, epoch, shared] {
+  schedule_delivery(from, to, delay, shared);
+  if (fault.duplicate_after > 0) {
+    ++stats_.messages_duplicated;
+    schedule_delivery(from, to, delay + fault.duplicate_after, shared);
+  }
+}
+
+void Network::schedule_delivery(util::PeerId from, util::PeerId to,
+                                util::SimDuration delay,
+                                const std::shared_ptr<Message>& message) {
+  const std::uint64_t epoch = endpoints_.at(to).epoch;
+  sim_.schedule_after(delay, [this, from, to, epoch, message] {
     const auto it = endpoints_.find(to);
     if (it == endpoints_.end() || it->second.epoch != epoch ||
         !it->second.handler) {
@@ -140,7 +164,7 @@ void Network::send(util::PeerId from, util::PeerId to, MessagePtr message) {
       return;
     }
     ++stats_.messages_delivered;
-    it->second.handler(from, *shared);
+    it->second.handler(from, *message);
   });
 }
 

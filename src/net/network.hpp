@@ -32,10 +32,34 @@ struct NetworkStats {
   std::uint64_t messages_dropped = 0;     // random loss
   std::uint64_t messages_partitioned = 0; // blocked by an active partition
   std::uint64_t messages_undeliverable = 0;  // receiver detached
+  std::uint64_t messages_fault_dropped = 0;  // dropped by a FaultHook
+  std::uint64_t messages_duplicated = 0;     // extra copies from a FaultHook
+  std::uint64_t messages_delayed = 0;        // extra delay from a FaultHook
   std::uint64_t bytes_sent = 0;
   // Keyed by Message::type_name(). std::map keeps report output sorted.
   std::map<std::string, std::uint64_t> per_type_count;
   std::map<std::string, std::uint64_t> per_type_bytes;
+};
+
+// What a fault-injection layer may do to one message send. The hook is
+// consulted once per send, after partition filtering; the network applies
+// the verdict mechanically so all fault randomness stays inside the hook
+// (where it is driven by the fault plan's own seeded RNG).
+struct FaultDecision {
+  bool drop = false;
+  // Extra one-way delay added on top of the modelled latency. Large values
+  // past other traffic's delivery times produce reordering.
+  util::SimDuration extra_delay = 0;
+  // Deliver one duplicate copy this much after the original (0 = none).
+  util::SimDuration duplicate_after = 0;
+};
+
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+  virtual FaultDecision on_send(util::PeerId from, util::PeerId to,
+                                std::size_t bytes,
+                                std::string_view type) = 0;
 };
 
 class Network {
@@ -69,6 +93,13 @@ class Network {
   [[nodiscard]] bool partition_active() const { return !islands_.empty(); }
   [[nodiscard]] bool can_reach(util::PeerId a, util::PeerId b) const;
 
+  // --- fault injection (src/fault) ----------------------------------------
+  // The hook sees every send and may drop, delay or duplicate it. Not owned;
+  // pass nullptr to remove. Loss configured via `drop_probability` composes
+  // with (applies before) the hook.
+  void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
+  [[nodiscard]] FaultHook* fault_hook() const { return fault_hook_; }
+
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
   void reset_stats() { stats_ = NetworkStats{}; }
 
@@ -92,9 +123,14 @@ class Network {
     util::SimTime uplink_free_at = 0;
   };
 
+  void schedule_delivery(util::PeerId from, util::PeerId to,
+                         util::SimDuration delay,
+                         const std::shared_ptr<Message>& message);
+
   sim::Simulator& sim_;
   Topology& topology_;
   double drop_probability_;
+  FaultHook* fault_hook_ = nullptr;
   util::Rng rng_;
   std::unordered_map<util::PeerId, Endpoint> endpoints_;
   // Peer -> island id; empty map = no partition; unlisted peers are 0.

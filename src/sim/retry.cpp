@@ -1,0 +1,60 @@
+#include "sim/retry.hpp"
+
+namespace p2prm::sim {
+
+void RetryOp::arm(Simulator& simulator, const util::BackoffPolicy& policy,
+                  util::Rng* rng, ResendFn resend, ExhaustedFn on_exhausted,
+                  RetryStats* stats) {
+  cancel();
+  if (policy.max_attempts <= 1) return;  // retries disabled for this class
+  state_ = std::make_shared<State>();
+  state_->sim = &simulator;
+  state_->policy = policy;
+  state_->rng = rng;
+  state_->resend = std::move(resend);
+  state_->on_exhausted = std::move(on_exhausted);
+  state_->stats = stats;
+  state_->active = true;
+  schedule_next(state_);
+}
+
+void RetryOp::schedule_next(const std::shared_ptr<State>& state) {
+  // attempt == N means N retries have fired; the next timeout either fires
+  // retry N+1 or, once the policy's budget is spent, declares exhaustion —
+  // one full delay *after* the final resend so it too can be acked.
+  const auto delay = state->policy.delay(state->attempt, state->rng);
+  std::weak_ptr<State> weak = state;
+  state->pending = state->sim->schedule_after(delay, [weak] {
+    const auto s = weak.lock();
+    if (!s || !s->active) return;
+    if (s->policy.exhausted(s->attempt)) {
+      s->active = false;
+      if (s->stats != nullptr) ++s->stats->exhausted;
+      if (s->on_exhausted) s->on_exhausted();
+      return;
+    }
+    ++s->attempt;
+    if (s->stats != nullptr) ++s->stats->retries;
+    s->resend(s->attempt);
+    schedule_next(s);
+  });
+}
+
+void RetryOp::ack() {
+  if (!state_ || !state_->active) return;
+  state_->active = false;
+  state_->sim->cancel(state_->pending);
+  if (state_->stats != nullptr) ++state_->stats->acked;
+}
+
+void RetryOp::cancel() {
+  if (!state_ || !state_->active) return;
+  state_->active = false;
+  state_->sim->cancel(state_->pending);
+}
+
+bool RetryOp::active() const { return state_ && state_->active; }
+
+int RetryOp::attempts() const { return state_ ? state_->attempt : 0; }
+
+}  // namespace p2prm::sim

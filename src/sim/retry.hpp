@@ -1,0 +1,65 @@
+// Simulator-driven retry loop for unreliable request/ack exchanges.
+//
+// Usage: send the original message, then arm() a RetryOp with the message
+// class's BackoffPolicy. If ack() is not called before the policy's delay
+// elapses, `resend` fires (and the loop re-arms with the next, longer
+// delay) until the policy is exhausted, at which point `on_exhausted` runs
+// once. Handles are copyable shared references, like sim::Timer, so an
+// entity can keep one per in-flight operation and ack from any callback.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/simulator.hpp"
+#include "util/backoff.hpp"
+
+namespace p2prm::sim {
+
+struct RetryStats {
+  std::uint64_t retries = 0;     // resend invocations
+  std::uint64_t exhausted = 0;   // operations that gave up
+  std::uint64_t acked = 0;       // operations acked (any attempt)
+};
+
+class RetryOp {
+ public:
+  // `resend(attempt)` is invoked with the 1-based retry number (the original
+  // send was attempt 0 and has already happened). `stats` may be nullptr.
+  using ResendFn = std::function<void(int attempt)>;
+  using ExhaustedFn = std::function<void()>;
+
+  RetryOp() = default;
+
+  // Arms (or re-arms, cancelling any previous schedule) the retry loop.
+  // `rng` feeds jitter; pass nullptr for an unjittered schedule.
+  void arm(Simulator& simulator, const util::BackoffPolicy& policy,
+           util::Rng* rng, ResendFn resend, ExhaustedFn on_exhausted = {},
+           RetryStats* stats = nullptr);
+
+  // The awaited response arrived: stop retrying. Idempotent.
+  void ack();
+  // Abandon without counting an ack (operation superseded or cancelled).
+  void cancel();
+
+  [[nodiscard]] bool active() const;
+  [[nodiscard]] int attempts() const;  // retries fired so far
+
+ private:
+  struct State {
+    Simulator* sim = nullptr;
+    util::BackoffPolicy policy;
+    util::Rng* rng = nullptr;
+    ResendFn resend;
+    ExhaustedFn on_exhausted;
+    RetryStats* stats = nullptr;
+    EventId pending = 0;
+    int attempt = 0;  // 0 = waiting for the original send's ack
+    bool active = false;
+  };
+  static void schedule_next(const std::shared_ptr<State>& state);
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace p2prm::sim

@@ -1,0 +1,25 @@
+#include "util/backoff.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p2prm::util {
+
+SimDuration BackoffPolicy::delay(int attempt, Rng* rng) const {
+  const double base = static_cast<double>(std::max<SimDuration>(initial, 1));
+  const double factor = std::pow(std::max(multiplier, 1.0),
+                                 static_cast<double>(std::max(attempt, 0)));
+  double d = std::min(base * factor, static_cast<double>(max_delay));
+  if (rng != nullptr && jitter_fraction > 0.0) {
+    d *= rng->uniform(1.0 - jitter_fraction, 1.0 + jitter_fraction);
+  }
+  return std::max<SimDuration>(from_seconds(d * 1e-9), 1);
+}
+
+SimDuration BackoffPolicy::total_budget() const {
+  SimDuration total = 0;
+  for (int a = 0; a < max_attempts; ++a) total += delay(a);
+  return total;
+}
+
+}  // namespace p2prm::util

@@ -1,0 +1,43 @@
+// Generic retry/timeout/exponential-backoff policy.
+//
+// Every unreliable RPC in the middleware (task queries, profiler reports,
+// backup-RM sync, join attempts) retries on a schedule described by one of
+// these. The policy itself is pure arithmetic — deterministic given the
+// attempt number and an optional Rng for jitter — so retry behaviour is
+// exactly reproducible from the run seed. The simulator-bound driver that
+// consumes a policy lives in sim/retry.hpp.
+#pragma once
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace p2prm::util {
+
+struct BackoffPolicy {
+  // Delay before the first retry (== the per-message-class ack timeout).
+  SimDuration initial = milliseconds(500);
+  // Each subsequent delay is the previous one times this factor.
+  double multiplier = 2.0;
+  // Ceiling on any single delay.
+  SimDuration max_delay = seconds(10);
+  // Total attempts including the original send; <= 1 disables retries.
+  int max_attempts = 4;
+  // Symmetric jitter applied to each delay: d * U[1-j, 1+j]. Zero keeps the
+  // schedule exactly periodic (and consumes no randomness).
+  double jitter_fraction = 0.0;
+
+  // Delay to wait after attempt number `attempt` (0-based: attempt 0 is the
+  // original send). Exponential with cap; jittered when an Rng is supplied
+  // and jitter_fraction > 0.
+  [[nodiscard]] SimDuration delay(int attempt, Rng* rng = nullptr) const;
+
+  // True when `attempt` (0-based) was the last allowed one.
+  [[nodiscard]] bool exhausted(int attempt) const {
+    return attempt + 1 >= max_attempts;
+  }
+
+  // Upper bound on the total time from first send to giving up (no jitter).
+  [[nodiscard]] SimDuration total_budget() const;
+};
+
+}  // namespace p2prm::util

@@ -229,6 +229,47 @@ TEST(Failover, TaskFailsWhenNoSubstituteExists) {
   EXPECT_EQ(record->status, TaskStatus::Failed);
 }
 
+TEST(Failover, TaskSubmittedMomentsBeforeRmCrashStillResolves) {
+  // The hardest window for the allocation RPC: the TaskQuery is in flight
+  // (or just arrived) when the primary RM dies, so no TaskAccept/TaskReject
+  // ever comes back from it. The origin's retry loop must re-send until the
+  // backup takes over and answer — the task must not hang as Pending.
+  World world;
+  const auto ids = bootstrap_network(world.system, world.factory, 12);
+  world.system.run_for(util::seconds(5));  // backup sync settles
+  const auto rm_id = world.system.resource_manager_ids().at(0);
+
+  const auto& object = world.population.at(0);
+  QoSRequirements q;
+  q.object = object.id;
+  q.acceptable_formats = {object.format};
+  q.deadline = util::minutes(5);
+  util::PeerId origin;
+  for (const auto id : ids) {
+    if (id != rm_id) origin = id;
+  }
+  const auto task = world.system.submit_task(origin, q);
+  // Crash the RM before the query's one-way latency elapses: the message
+  // dies with the receiver and only a retry can save the task.
+  world.system.run_for(util::microseconds(100));
+  world.system.crash_peer(rm_id);
+  world.system.run_for(util::minutes(2));
+
+  const auto* record = world.system.ledger().record(task);
+  ASSERT_NE(record, nullptr);
+  EXPECT_NE(record->status, TaskStatus::Pending)
+      << "query lost to the dead RM was never retried";
+  EXPECT_EQ(record->status, TaskStatus::Completed)
+      << "reason: " << record->reason;
+  // The answer came from the backup, after at least one retry.
+  const auto* node = world.system.peer(origin);
+  ASSERT_NE(node, nullptr);
+  EXPECT_GE(node->peer_stats().query_retry.retries, 1u);
+  const auto rms = world.system.resource_manager_ids();
+  ASSERT_EQ(rms.size(), 1u);
+  EXPECT_NE(rms[0], rm_id);
+}
+
 TEST(Failover, SplitBrainResolvedAfterPartitionHeals) {
   World world;
   bootstrap_network(world.system, world.factory, 12);

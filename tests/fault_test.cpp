@@ -1,0 +1,273 @@
+// FaultPlan / FaultInjector: stochastic link faults, scheduled partitions
+// and crash-restarts, and the byte-for-byte determinism guarantee
+// (docs/FAULT_MODEL.md).
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "media/catalog.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/heterogeneity.hpp"
+#include "workload/requests.hpp"
+
+namespace p2prm {
+namespace {
+
+using util::PeerId;
+
+struct Ping final : net::Message {
+  std::size_t wire_size() const override { return 100; }
+  std::string_view type_name() const override { return "test.ping"; }
+};
+
+// Two peers, a counter on the receiver, and an injector running `plan`.
+struct NetRig {
+  sim::Simulator sim{1};
+  net::Topology topo{};
+  net::Network net{sim, topo};
+  int received = 0;
+  fault::FaultInjector injector;
+
+  explicit NetRig(fault::FaultPlan plan, fault::FaultInjector::Hooks hooks = {})
+      : injector(sim, net, std::move(plan), std::move(hooks)) {
+    topo.place_at(PeerId{1}, {0, 0});
+    topo.place_at(PeerId{2}, {10, 0});
+    net.attach(PeerId{1}, {}, [](PeerId, const net::Message&) {});
+    net.attach(PeerId{2}, {},
+               [this](PeerId, const net::Message&) { ++received; });
+    injector.arm();
+  }
+
+  void send_pings(int n) {
+    for (int i = 0; i < n; ++i) {
+      net.send(PeerId{1}, PeerId{2}, std::make_unique<Ping>());
+    }
+  }
+};
+
+TEST(FaultInjector, UniformLossDropsRoughlyTheConfiguredFraction) {
+  NetRig rig(fault::FaultPlan::uniform_loss(0.25, 9));
+  rig.send_pings(2000);
+  rig.sim.run_until();
+  EXPECT_NEAR(rig.received / 2000.0, 0.75, 0.05);
+  EXPECT_EQ(rig.net.stats().messages_fault_dropped,
+            2000u - static_cast<unsigned>(rig.received));
+  for (const auto& e : rig.injector.trace()) {
+    EXPECT_EQ(e.action, fault::FaultAction::Drop);
+  }
+}
+
+TEST(FaultInjector, LossOfOneDropsEverything) {
+  NetRig rig(fault::FaultPlan::uniform_loss(1.0, 9));
+  rig.send_pings(50);
+  rig.sim.run_until();
+  EXPECT_EQ(rig.received, 0);
+  EXPECT_EQ(rig.net.stats().messages_fault_dropped, 50u);
+}
+
+TEST(FaultInjector, DuplicationDeliversExtraCopies) {
+  fault::FaultPlan plan;
+  plan.seed = 4;
+  plan.default_link.duplicate_probability = 1.0;
+  NetRig rig(std::move(plan));
+  rig.send_pings(20);
+  rig.sim.run_until();
+  EXPECT_EQ(rig.received, 40);
+  EXPECT_EQ(rig.net.stats().messages_duplicated, 20u);
+}
+
+TEST(FaultInjector, ExtraDelayPostponesDelivery) {
+  fault::FaultPlan plan;
+  plan.seed = 4;
+  plan.default_link.extra_delay = util::seconds(2);
+  NetRig rig(std::move(plan));
+  util::SimTime delivered_at = -1;
+  rig.net.attach(PeerId{2}, {}, [&](PeerId, const net::Message&) {
+    delivered_at = rig.sim.now();
+  });
+  rig.net.send(PeerId{1}, PeerId{2}, std::make_unique<Ping>());
+  rig.sim.run_until();
+  EXPECT_GE(delivered_at, util::seconds(2));
+}
+
+TEST(FaultInjector, PerLinkFaultsOverrideTheDefault) {
+  fault::FaultPlan plan;
+  plan.seed = 4;
+  plan.default_link.drop_probability = 1.0;
+  plan.per_link[{PeerId{1}, PeerId{2}}] = fault::LinkFaults{};  // clean link
+  NetRig rig(std::move(plan));
+  rig.send_pings(10);
+  // The reverse direction uses the lossy default.
+  for (int i = 0; i < 10; ++i) {
+    rig.net.send(PeerId{2}, PeerId{1}, std::make_unique<Ping>());
+  }
+  rig.sim.run_until();
+  EXPECT_EQ(rig.received, 10);
+  EXPECT_EQ(rig.net.stats().messages_fault_dropped, 10u);
+}
+
+TEST(FaultInjector, PartitionWindowSplitsThenHeals) {
+  fault::FaultPlan plan;
+  plan.seed = 4;
+  plan.add_partition(util::seconds(1), util::seconds(2),
+                     {{PeerId{1}}, {PeerId{2}}});
+  NetRig rig(std::move(plan));
+
+  // Before the split: delivered. During: blocked. After heal: delivered.
+  rig.sim.schedule_at(util::milliseconds(500), [&] { rig.send_pings(1); });
+  rig.sim.schedule_at(util::milliseconds(1500), [&] { rig.send_pings(1); });
+  rig.sim.schedule_at(util::milliseconds(2500), [&] { rig.send_pings(1); });
+  rig.sim.run_until();
+
+  EXPECT_EQ(rig.received, 2);
+  EXPECT_EQ(rig.net.stats().messages_partitioned, 1u);
+  EXPECT_FALSE(rig.net.partition_active());
+  // The trace recorded both edges of the window.
+  int starts = 0, heals = 0;
+  for (const auto& e : rig.injector.trace()) {
+    starts += e.action == fault::FaultAction::PartitionStart;
+    heals += e.action == fault::FaultAction::PartitionHeal;
+  }
+  EXPECT_EQ(starts, 1);
+  EXPECT_EQ(heals, 1);
+}
+
+TEST(FaultInjector, CrashRestartFiresHooksAtScheduledTimes) {
+  fault::FaultPlan plan;
+  plan.seed = 4;
+  plan.crash_restart(PeerId{2}, util::seconds(1), util::seconds(3));
+
+  std::vector<std::pair<util::SimTime, bool>> calls;  // (time, is_restart)
+  fault::FaultInjector::Hooks hooks;
+  NetRig* rig_ptr = nullptr;
+  hooks.crash = [&](PeerId p) {
+    EXPECT_EQ(p, PeerId{2});
+    calls.emplace_back(rig_ptr->sim.now(), false);
+  };
+  hooks.restart = [&](PeerId p) {
+    EXPECT_EQ(p, PeerId{2});
+    calls.emplace_back(rig_ptr->sim.now(), true);
+  };
+  NetRig rig(std::move(plan), std::move(hooks));
+  rig_ptr = &rig;
+  rig.sim.run_until(util::seconds(10));
+
+  ASSERT_EQ(calls.size(), 2u);
+  EXPECT_EQ(calls[0], (std::pair<util::SimTime, bool>{util::seconds(1), false}));
+  EXPECT_EQ(calls[1], (std::pair<util::SimTime, bool>{util::seconds(3), true}));
+  int crashes = 0, restarts = 0;
+  for (const auto& e : rig.injector.trace()) {
+    crashes += e.action == fault::FaultAction::Crash;
+    restarts += e.action == fault::FaultAction::Restart;
+  }
+  EXPECT_EQ(crashes, 1);
+  EXPECT_EQ(restarts, 1);
+}
+
+// --- full-system determinism (the acceptance property) ----------------------
+
+// Runs a complete middleware world under a composite fault plan and returns
+// the injector's trace fingerprint plus a workload outcome digest.
+struct RunResult {
+  std::uint64_t fingerprint = 0;
+  std::size_t trace_len = 0;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+};
+
+RunResult run_faulted_world(std::uint64_t plan_seed) {
+  media::Catalog catalog = media::ladder_catalog();
+  core::SystemConfig config;
+  config.seed = 11;
+  core::System system(config);
+  util::Rng rng{321};
+  workload::ObjectPopulation population(catalog, workload::PopulationConfig{},
+                                        system, rng);
+  auto factory = workload::make_peer_factory(
+      catalog, population, workload::HeterogeneityConfig{},
+      workload::ProvisionConfig{}, system, rng);
+  workload::bootstrap_network(system, factory, 16);
+
+  const util::SimTime t0 = system.simulator().now();
+  fault::FaultPlan plan;
+  plan.seed = plan_seed;
+  plan.default_link.drop_probability = 0.1;
+  plan.default_link.duplicate_probability = 0.02;
+  plan.default_link.reorder_probability = 0.05;
+  plan.isolate_primary_rm(t0 + util::seconds(10), t0 + util::seconds(15));
+  plan.crash_restart_primary_rm(t0 + util::seconds(20), t0 + util::seconds(28));
+  auto& injector = system.install_fault_plan(std::move(plan));
+
+  workload::RequestConfig rc;
+  workload::RequestSynthesizer synth(catalog, population, rc);
+  workload::WorkloadDriver driver(
+      system, std::make_unique<workload::PoissonArrivals>(0.5), synth);
+  driver.start(system.simulator().now() + util::seconds(40));
+  system.run_for(util::seconds(70));
+
+  RunResult r;
+  r.fingerprint = injector.trace_fingerprint();
+  r.trace_len = injector.trace().size();
+  r.completed = system.ledger().completed();
+  r.rejected = system.ledger().rejected();
+  return r;
+}
+
+TEST(FaultDeterminism, IdenticalPlanAndSeedReproduceTheTraceExactly) {
+  const RunResult a = run_faulted_world(77);
+  const RunResult b = run_faulted_world(77);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.trace_len, b.trace_len);
+  // Not just the faults: the whole run is bit-identical.
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_GT(a.trace_len, 0u);
+}
+
+TEST(FaultDeterminism, DifferentSeedsDiverge) {
+  const RunResult a = run_faulted_world(77);
+  const RunResult b = run_faulted_world(78);
+  EXPECT_NE(a.fingerprint, b.fingerprint);
+}
+
+TEST(FaultDeterminism, SystemSurvivesPrimaryRmCrashRestart) {
+  // The composite plan kills and restarts the primary RM mid-run; after the
+  // dust settles the domain has exactly one leader and peers follow it.
+  media::Catalog catalog = media::ladder_catalog();
+  core::SystemConfig config;
+  config.seed = 11;
+  core::System system(config);
+  util::Rng rng{321};
+  workload::ObjectPopulation population(catalog, workload::PopulationConfig{},
+                                        system, rng);
+  auto factory = workload::make_peer_factory(
+      catalog, population, workload::HeterogeneityConfig{},
+      workload::ProvisionConfig{}, system, rng);
+  workload::bootstrap_network(system, factory, 12);
+
+  const util::SimTime t0 = system.simulator().now();
+  const auto old_rm = system.resource_manager_ids().at(0);
+  fault::FaultPlan plan;
+  plan.seed = 5;
+  plan.crash_restart_primary_rm(t0 + util::seconds(5), t0 + util::seconds(15));
+  system.install_fault_plan(std::move(plan));
+  system.run_for(util::seconds(40));
+
+  // The restarted ex-RM is alive again and rejoined as a member.
+  auto* node = system.peer(old_rm);
+  ASSERT_NE(node, nullptr);
+  EXPECT_TRUE(node->alive());
+  EXPECT_TRUE(node->joined());
+  const auto rms = system.resource_manager_ids();
+  ASSERT_EQ(rms.size(), 1u);
+  for (const auto id : system.alive_peer_ids()) {
+    EXPECT_EQ(system.peer(id)->current_rm(), rms[0]) << "peer " << id;
+  }
+}
+
+}  // namespace
+}  // namespace p2prm

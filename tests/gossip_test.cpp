@@ -165,15 +165,42 @@ TEST(GossipEngine, StopHaltsRounds) {
 }
 
 TEST(GossipEngine, TrafficScalesWithFanoutNotPopulation) {
-  // Per round each RM sends exactly `fanout` messages.
+  // Per round each RM sends exactly `fanout` messages. Anti-entropy is off
+  // (it adds targeted extra pushes to silent partners — tested separately).
   GossipConfig config;
   config.fanout = 2;
   config.period = util::seconds(1);
+  config.partner_silence_timeout = 0;
   GossipRig rig(10, config);
   rig.sim.run_until(util::seconds(10) + util::milliseconds(1));
   const auto& stats = rig.net.stats();
   // 10 engines x 10 rounds x 2 fanout.
   EXPECT_EQ(stats.per_type_count.at("gossip.summaries"), 200u);
+}
+
+TEST(GossipEngine, AntiEntropyPushesTargetSilentPartners) {
+  // With a large population and tiny fanout, random pushes alone leave some
+  // partners unheard-from for long stretches; the silence window triggers
+  // extra targeted pushes at them.
+  GossipConfig config;
+  config.fanout = 1;
+  config.period = util::seconds(1);
+  config.partner_silence_timeout = util::seconds(3);
+  config.max_anti_entropy_pushes = 2;
+  GossipRig rig(12, config);
+  rig.sim.run_until(util::seconds(30));
+  std::uint64_t anti_entropy = 0;
+  for (const auto& engine : rig.engines) {
+    anti_entropy += engine->stats().anti_entropy_pushes;
+  }
+  EXPECT_GT(anti_entropy, 0u);
+  // Bounded: at most max_anti_entropy_pushes extra sends per round.
+  std::uint64_t rounds = 0, pushes = 0;
+  for (const auto& engine : rig.engines) {
+    rounds += engine->stats().rounds;
+    pushes += engine->stats().pushes + engine->stats().anti_entropy_pushes;
+  }
+  EXPECT_LE(pushes, rounds * (config.fanout + config.max_anti_entropy_pushes));
 }
 
 }  // namespace

@@ -208,6 +208,31 @@ TEST(Network, RandomLossDropsRoughlyTheConfiguredFraction) {
   EXPECT_NEAR(static_cast<double>(got) / n, 0.7, 0.05);
 }
 
+TEST(Network, DropProbabilityOneIsLegalAndDropsEverything) {
+  sim::Simulator sim(7);
+  Topology topo;
+  Network net(sim, topo, 1.0);
+  topo.place_at(PeerId{1}, {0, 0});
+  topo.place_at(PeerId{2}, {1, 0});
+  int got = 0;
+  net.attach(PeerId{1}, {}, [](PeerId, const Message&) {});
+  net.attach(PeerId{2}, {}, [&](PeerId, const Message&) { ++got; });
+  for (int i = 0; i < 100; ++i) {
+    net.send(PeerId{1}, PeerId{2}, std::make_unique<Ping>());
+  }
+  sim.run_until();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(net.stats().messages_dropped, 100u);
+  EXPECT_EQ(net.stats().messages_delivered, 0u);
+}
+
+TEST(Network, DropProbabilityOutsideUnitIntervalThrows) {
+  sim::Simulator sim(7);
+  Topology topo;
+  EXPECT_THROW((Network{sim, topo, 1.0001}), std::invalid_argument);
+  EXPECT_THROW((Network{sim, topo, -0.1}), std::invalid_argument);
+}
+
 TEST(Network, UplinkSerializesConcurrentStreams) {
   Rig rig;
   util::SimTime first_at = 0, second_at = 0;

@@ -1,0 +1,162 @@
+// BackoffPolicy arithmetic and the simulator-driven RetryOp loop
+// (see docs/FAULT_MODEL.md for how protocols use them).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/retry.hpp"
+#include "util/backoff.hpp"
+
+namespace p2prm {
+namespace {
+
+using sim::RetryOp;
+using sim::RetryStats;
+using util::BackoffPolicy;
+
+TEST(BackoffPolicy, ExponentialScheduleWithCap) {
+  BackoffPolicy p;
+  p.initial = util::milliseconds(100);
+  p.multiplier = 2.0;
+  p.max_delay = util::milliseconds(350);
+  p.max_attempts = 5;
+  EXPECT_EQ(p.delay(0), util::milliseconds(100));
+  EXPECT_EQ(p.delay(1), util::milliseconds(200));
+  EXPECT_EQ(p.delay(2), util::milliseconds(350));  // capped, not 400
+  EXPECT_EQ(p.delay(3), util::milliseconds(350));
+}
+
+TEST(BackoffPolicy, ExhaustedCountsTheOriginalSend) {
+  BackoffPolicy p;
+  p.max_attempts = 3;  // original + 2 retries
+  EXPECT_FALSE(p.exhausted(0));
+  EXPECT_FALSE(p.exhausted(1));
+  EXPECT_TRUE(p.exhausted(2));
+}
+
+TEST(BackoffPolicy, JitterStaysWithinFractionAndIsSeeded) {
+  BackoffPolicy p;
+  p.initial = util::milliseconds(1000);
+  p.multiplier = 1.0;
+  p.jitter_fraction = 0.2;
+  util::Rng rng{7};
+  for (int i = 0; i < 50; ++i) {
+    const auto d = p.delay(0, &rng);
+    EXPECT_GE(d, util::milliseconds(800));
+    EXPECT_LE(d, util::milliseconds(1200));
+  }
+  // Same seed, same draws: the jittered schedule is reproducible.
+  util::Rng a{42}, b{42};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(p.delay(i, &a), p.delay(i, &b));
+  }
+}
+
+TEST(BackoffPolicy, TotalBudgetSumsAllDelays) {
+  BackoffPolicy p;
+  p.initial = util::milliseconds(100);
+  p.multiplier = 2.0;
+  p.max_delay = util::seconds(10);
+  p.max_attempts = 4;  // waits of 100, 200, 400 (+ exhaustion wait)
+  EXPECT_GE(p.total_budget(), util::milliseconds(700));
+}
+
+TEST(RetryOp, ResendsOnScheduleUntilExhausted) {
+  sim::Simulator simulator{1};
+  BackoffPolicy p;
+  p.initial = util::milliseconds(100);
+  p.multiplier = 2.0;
+  p.max_attempts = 3;
+
+  std::vector<std::pair<util::SimTime, int>> resends;
+  bool exhausted = false;
+  RetryStats stats;
+  RetryOp op;
+  op.arm(
+      simulator, p, nullptr,
+      [&](int attempt) { resends.emplace_back(simulator.now(), attempt); },
+      [&] { exhausted = true; }, &stats);
+
+  simulator.run_until(util::seconds(5));
+  // Original at t=0 (not by the op), retry 1 at 100ms, retry 2 at 300ms.
+  ASSERT_EQ(resends.size(), 2u);
+  EXPECT_EQ(resends[0], (std::pair<util::SimTime, int>{
+                            util::milliseconds(100), 1}));
+  EXPECT_EQ(resends[1], (std::pair<util::SimTime, int>{
+                            util::milliseconds(300), 2}));
+  EXPECT_TRUE(exhausted);
+  EXPECT_FALSE(op.active());
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.exhausted, 1u);
+  EXPECT_EQ(stats.acked, 0u);
+}
+
+TEST(RetryOp, AckStopsTheLoop) {
+  sim::Simulator simulator{1};
+  BackoffPolicy p;
+  p.initial = util::milliseconds(100);
+  p.max_attempts = 5;
+
+  int resends = 0;
+  RetryStats stats;
+  RetryOp op;
+  op.arm(simulator, p, nullptr, [&](int) { ++resends; }, {}, &stats);
+  simulator.schedule_after(util::milliseconds(150), [&] { op.ack(); });
+  simulator.run_until(util::seconds(10));
+  EXPECT_EQ(resends, 1);  // only the retry before the ack landed
+  EXPECT_EQ(stats.acked, 1u);
+  EXPECT_EQ(stats.exhausted, 0u);
+  op.ack();  // idempotent
+  EXPECT_EQ(stats.acked, 1u);
+}
+
+TEST(RetryOp, CancelStopsWithoutCountingAnAck) {
+  sim::Simulator simulator{1};
+  BackoffPolicy p;
+  p.initial = util::milliseconds(100);
+  p.max_attempts = 5;
+
+  int resends = 0;
+  RetryStats stats;
+  RetryOp op;
+  op.arm(simulator, p, nullptr, [&](int) { ++resends; }, {}, &stats);
+  op.cancel();
+  simulator.run_until(util::seconds(10));
+  EXPECT_EQ(resends, 0);
+  EXPECT_EQ(stats.acked, 0u);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_FALSE(op.active());
+}
+
+TEST(RetryOp, RearmSupersedesPreviousSchedule) {
+  sim::Simulator simulator{1};
+  BackoffPolicy p;
+  p.initial = util::milliseconds(100);
+  p.max_attempts = 2;
+
+  int first = 0, second = 0;
+  RetryOp op;
+  op.arm(simulator, p, nullptr, [&](int) { ++first; });
+  op.arm(simulator, p, nullptr, [&](int) { ++second; });
+  simulator.run_until(util::seconds(5));
+  EXPECT_EQ(first, 0) << "superseded schedule must not fire";
+  EXPECT_EQ(second, 1);
+}
+
+TEST(RetryOp, SingleAttemptPolicyDisablesRetries) {
+  sim::Simulator simulator{1};
+  BackoffPolicy p;
+  p.max_attempts = 1;
+  int resends = 0;
+  bool exhausted = false;
+  RetryOp op;
+  op.arm(simulator, p, nullptr, [&](int) { ++resends; },
+         [&] { exhausted = true; });
+  simulator.run_until(util::seconds(60));
+  EXPECT_EQ(resends, 0);
+  EXPECT_FALSE(exhausted);
+  EXPECT_FALSE(op.active());
+}
+
+}  // namespace
+}  // namespace p2prm
