@@ -5,12 +5,111 @@
 // held constant, and reports deadline performance, fairness, per-task
 // control overhead, per-RM control load and domain structure. A scalable
 // design keeps the per-peer/per-task figures flat while domains multiply.
+//
+// Gate mode (--json=FILE [--gate-only]): replays a fixed sequence of
+// allocation queries against one bootstrapped RM twice — path cache off,
+// then on — and emits the search counters as machine-readable JSON. The
+// counters are pure simulation quantities (no wall-clock), so two runs of
+// the same binary produce byte-identical files; CI's perf-smoke job diffs
+// the output against the committed BENCH_PR2.json baseline (see
+// docs/BENCHMARKS.md).
 #include <chrono>
+#include <fstream>
 
+#include "core/allocation.hpp"
 #include "exp_common.hpp"
 
 using namespace p2prm;
 using namespace p2prm::bench;
+
+namespace {
+
+struct GateCounters {
+  std::uint64_t vertices_popped = 0;
+  std::uint64_t sequences_enqueued = 0;
+  std::uint64_t candidates = 0;  // PathEvaluations constructed ("allocations")
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t found = 0;  // sanity: must match between off/on runs
+};
+
+// Replays `queries` identical allocation queries against the RM's info
+// base without composing (loads never change, so the graph epoch is
+// stable — the repeated-query regime the cache targets).
+GateCounters run_gate_queries(core::System& system, core::InfoBase& info,
+                              const media::Catalog& catalog,
+                              std::size_t queries, bool cache_on,
+                              std::uint64_t seed) {
+  core::SystemConfig cfg = system.config();
+  cfg.enable_path_cache = cache_on;
+  info.path_cache().clear();
+  const auto allocator = core::make_allocator(core::AllocatorKind::PaperBfs);
+  util::Rng rng(seed);
+
+  const auto objects = info.all_objects();
+  const auto members = info.domain().member_ids();
+  GateCounters c;
+  for (std::size_t i = 0; i < queries; ++i) {
+    const util::ObjectId object = objects[i % objects.size()];
+    const auto* locs = info.locations(object);
+    // Walk two sensible conversion steps down from the source format so
+    // most queries require a real multi-hop Figure 3 search.
+    media::MediaFormat target = locs->front().object.format;
+    for (int depth = 0; depth < 2; ++depth) {
+      const auto steps = catalog.conversions_from(target);
+      if (steps.empty()) break;
+      target = steps[(i + static_cast<std::size_t>(depth)) % steps.size()]
+                   .output;
+    }
+    core::AllocationRequest request;
+    request.task = util::TaskId{100000 + i};
+    request.q.object = object;
+    request.q.acceptable_formats = {target};
+    request.q.deadline = util::seconds(120);
+    request.sink = members[i % members.size()];
+    request.now = system.simulator().now();
+    request.submitted_at = request.now;
+
+    const auto result =
+        allocator->allocate(info, system.network(), cfg, request, rng);
+    c.vertices_popped += result.search.vertices_popped;
+    c.sequences_enqueued += result.search.sequences_enqueued;
+    c.candidates += result.candidates_considered;
+    c.cache_hits += result.search.cache_hits;
+    c.cache_misses += result.search.cache_misses;
+    if (result.found) ++c.found;
+  }
+  return c;
+}
+
+void write_counters(std::ostream& out, const char* name,
+                    const GateCounters& c, std::size_t queries) {
+  const auto per_query = [&](std::uint64_t n) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g",
+                  static_cast<double>(n) / static_cast<double>(queries));
+    return std::string(buf);
+  };
+  const double probes = static_cast<double>(c.cache_hits + c.cache_misses);
+  char rate[64];
+  std::snprintf(rate, sizeof rate, "%.6g",
+                probes > 0.0 ? static_cast<double>(c.cache_hits) / probes
+                             : 0.0);
+  out << "    \"" << name << "\": {\n"
+      << "      \"vertices_popped\": " << c.vertices_popped << ",\n"
+      << "      \"vertices_popped_per_query\": " << per_query(c.vertices_popped)
+      << ",\n"
+      << "      \"sequences_enqueued\": " << c.sequences_enqueued << ",\n"
+      << "      \"allocations_per_query\": " << per_query(c.candidates)
+      << ",\n"
+      << "      \"cache_hits\": " << c.cache_hits << ",\n"
+      << "      \"cache_misses\": " << c.cache_misses << ",\n"
+      << "      \"cache_hit_rate\": " << rate << ",\n"
+      << "      \"found\": " << c.found << "\n"
+      << "    }";
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   util::Args args(argc, argv);
@@ -18,6 +117,77 @@ int main(int argc, char** argv) {
   const double measure_s = args.get_double("measure-s", 60);
   const std::uint64_t seed = args.get_int("seed", 42);
   const std::size_t max_peers = args.get_int("max-peers", 512);
+  const std::string json_path = args.get("json", "");
+  const bool gate_only = args.get_bool("gate-only", false);
+  const std::size_t gate_queries = args.get_int("gate-queries", 4096);
+  const std::size_t gate_peers = args.get_int("gate-peers", 64);
+
+  if (!json_path.empty()) {
+    WorldConfig config;
+    config.peers = gate_peers;
+    config.system.seed = seed;
+    config.system.max_domain_size = 32;
+    World world(config);
+    world.bootstrap();
+    core::System& system = world.system();
+
+    // Deterministic RM choice: the one seeing the most services (biggest
+    // resource graph), ties broken by lowest peer id.
+    core::InfoBase* info = nullptr;
+    for (const auto id : system.peer_ids()) {
+      auto* node = system.peer(id);
+      if (node == nullptr || !node->alive()) continue;
+      auto* rm = node->resource_manager();
+      if (rm == nullptr) continue;
+      if (info == nullptr || rm->info().resource_graph().service_count() >
+                                 info->resource_graph().service_count()) {
+        info = &rm->info();
+      }
+    }
+    if (info == nullptr || info->all_objects().empty()) {
+      std::cerr << "gate: no RM with objects after bootstrap\n";
+      return 1;
+    }
+
+    const auto nocache = run_gate_queries(system, *info, world.catalog(),
+                                          gate_queries, false, seed);
+    const auto cached = run_gate_queries(system, *info, world.catalog(),
+                                         gate_queries, true, seed);
+    char reduction[64];
+    std::snprintf(reduction, sizeof reduction, "%.6g",
+                  cached.vertices_popped > 0
+                      ? static_cast<double>(nocache.vertices_popped) /
+                            static_cast<double>(cached.vertices_popped)
+                      : 0.0);
+
+    std::ofstream out(json_path);
+    out << "{\n"
+        << "  \"schema\": \"p2prm-bench-gate/1\",\n"
+        << "  \"bench\": \"e2_scalability\",\n"
+        << "  \"seed\": " << seed << ",\n"
+        << "  \"gate\": {\n"
+        << "    \"peers\": " << gate_peers << ",\n"
+        << "    \"queries\": " << gate_queries << ",\n";
+    write_counters(out, "nocache", nocache, gate_queries);
+    out << ",\n";
+    write_counters(out, "cache", cached, gate_queries);
+    out << ",\n    \"vertices_popped_reduction\": " << reduction << "\n"
+        << "  }\n"
+        << "}\n";
+    std::cout << "gate: " << gate_queries << " queries over " << gate_peers
+              << " peers -> vertices_popped " << nocache.vertices_popped
+              << " (cache off) vs " << cached.vertices_popped
+              << " (cache on), reduction " << reduction << "x, written to "
+              << json_path << "\n";
+    if (nocache.found != cached.found ||
+        nocache.candidates != cached.candidates) {
+      std::cerr << "gate: cache on/off result divergence (found "
+                << nocache.found << " vs " << cached.found << ", candidates "
+                << nocache.candidates << " vs " << cached.candidates << ")\n";
+      return 1;
+    }
+    if (gate_only) return 0;
+  }
 
   print_header("E2", "Claim (§1, §6): the architecture scales well with "
                "respect to the number of peers");

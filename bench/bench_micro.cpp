@@ -1,9 +1,16 @@
 // M1 — microbenchmarks of the hot paths (google-benchmark).
+//
+// Run with --benchmark_format=json for machine-readable output; the
+// deterministic work counters (vertices popped, cache hit rate, heap-
+// spilled callables, compactions) ride along as benchmark counters, so
+// the JSON doubles as a structural-regression record independent of
+// wall-clock noise (see docs/BENCHMARKS.md).
 #include <benchmark/benchmark.h>
 
 #include "bloom/bloom_filter.hpp"
 #include "core/allocation.hpp"
 #include "fairness/fairness.hpp"
+#include "graph/path_cache.hpp"
 #include "graph/path_search.hpp"
 #include "media/catalog.hpp"
 #include "sched/scheduler.hpp"
@@ -61,17 +68,59 @@ BENCHMARK(BM_BloomQuery);
 
 void BM_EventQueuePushPop(benchmark::State& state) {
   util::Rng rng(5);
+  const std::uint64_t heap_before = sim::EventFn::heap_constructions();
   for (auto _ : state) {
     sim::EventQueue q;
     const int n = static_cast<int>(state.range(0));
     for (int i = 0; i < n; ++i) {
-      q.push(static_cast<util::SimTime>(rng.below(1'000'000)), [] {});
+      // Capture shape of the hot schedule sites: a pointer plus ids.
+      void* ctx = &q;
+      const std::uint64_t a = rng.next();
+      const std::uint64_t b = i;
+      q.push(static_cast<util::SimTime>(rng.below(1'000'000)),
+             [ctx, a, b] { benchmark::DoNotOptimize(ctx == nullptr ? a : b); });
     }
     while (!q.empty()) benchmark::DoNotOptimize(q.pop().when);
   }
+  // 0 when every callable fit EventFn's inline buffer.
+  state.counters["callable_heap_allocs"] = static_cast<double>(
+      sim::EventFn::heap_constructions() - heap_before);
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_EventQueuePushPop)->Range(64, 16384)->Complexity(benchmark::oNLogN);
+
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  // Timer-heavy regime: most scheduled events are cancelled before firing
+  // (retries that succeed, re-armed timeouts). Exercises tombstone
+  // compaction; the counters record how much garbage the compactor drops.
+  util::Rng rng(51);
+  double compactions = 0.0;
+  double dropped = 0.0;
+  for (auto _ : state) {
+    sim::EventQueue q;
+    const int n = static_cast<int>(state.range(0));
+    std::vector<sim::EventId> ids;
+    ids.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      ids.push_back(
+          q.push(static_cast<util::SimTime>(rng.below(1'000'000)), [] {}));
+    }
+    for (int i = 0; i < n; ++i) {
+      if (i % 8 != 0) q.cancel(ids[static_cast<std::size_t>(i)]);
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().when);
+    compactions += static_cast<double>(q.stats().compactions);
+    dropped += static_cast<double>(q.stats().tombstones_compacted);
+  }
+  state.counters["compactions"] =
+      benchmark::Counter(compactions, benchmark::Counter::kAvgIterations);
+  state.counters["tombstones_dropped"] =
+      benchmark::Counter(dropped, benchmark::Counter::kAvgIterations);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EventQueueCancelHeavy)
+    ->Range(256, 16384)
+    ->Complexity(benchmark::oNLogN);
 
 void BM_LlsSelect(benchmark::State& state) {
   util::Rng rng(6);
@@ -116,12 +165,48 @@ void BM_Figure3Bfs(benchmark::State& state) {
     state.SkipWithError("graph lacks endpoints");
     return;
   }
+  graph::SearchStats stats;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(graph::bfs_paths(gr, *start, *goal));
+    benchmark::DoNotOptimize(graph::bfs_paths(gr, *start, *goal, {}, &stats));
   }
+  // Per-search work, independent of wall clock (last iteration's stats —
+  // the graph is fixed, so every iteration pops the same count).
+  state.counters["vertices_popped"] = static_cast<double>(stats.vertices_popped);
+  state.counters["candidates"] = static_cast<double>(stats.candidates_found);
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_Figure3Bfs)->Range(32, 2048)->Complexity(benchmark::oN);
+
+void BM_PathCacheRepeatedQuery(benchmark::State& state) {
+  // The allocator's steady-state regime between load reports: the same
+  // (start, goal) enumeration over an unchanged graph, served memoized.
+  util::Rng rng(7);
+  const media::Catalog catalog = media::ladder_catalog();
+  graph::ResourceGraph gr;
+  const auto edges = static_cast<std::uint64_t>(state.range(0));
+  for (std::uint64_t e = 0; e < edges; ++e) {
+    gr.add_service(util::ServiceId{e}, util::PeerId{rng.below(64)},
+                   catalog.conversions()[rng.below(catalog.conversions().size())]);
+  }
+  const auto start = gr.find_state(
+      media::MediaFormat{media::Codec::MPEG2, media::kRes800x600, 512});
+  const auto goal = gr.find_state(
+      media::MediaFormat{media::Codec::MPEG4, media::kRes640x480, 128});
+  if (!start || !goal) {
+    state.SkipWithError("graph lacks endpoints");
+    return;
+  }
+  graph::PathCache cache;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.bfs_paths(gr, *start, *goal));
+  }
+  const double probes =
+      static_cast<double>(cache.stats().hits + cache.stats().misses);
+  state.counters["cache_hit_rate"] =
+      probes > 0.0 ? static_cast<double>(cache.stats().hits) / probes : 0.0;
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PathCacheRepeatedQuery)->Range(32, 2048)->Complexity(benchmark::oN);
 
 void BM_TypeKey(benchmark::State& state) {
   const media::TranscoderType type{

@@ -3,26 +3,15 @@
 namespace p2prm::core {
 
 bool domain_overloaded(const InfoBase& info, const SystemConfig& config) {
-  const auto members = info.domain().member_ids();
-  if (members.empty()) return true;
-  for (const auto peer : members) {
-    const auto* rec = info.domain().member(peer);
-    const double cap = rec->spec.capacity_ops_per_s;
-    const double util = cap > 0.0 ? info.effective_load(peer) / cap : 1.0;
-    if (util < config.overload_utilization) return false;
-  }
-  return true;
+  // "Every member is at or above the threshold" is a minimum-utilization
+  // query; the incrementally maintained load index answers it without
+  // walking the membership (min_utilization() is +inf for an empty
+  // domain, so an RM with no members correctly reports overloaded).
+  return info.load_index().min_utilization() >= config.overload_utilization;
 }
 
 double mean_domain_utilization(const InfoBase& info) {
-  double load = 0.0;
-  double capacity = 0.0;
-  for (const auto peer : info.domain().member_ids()) {
-    const auto* rec = info.domain().member(peer);
-    load += info.effective_load(peer);
-    capacity += rec->spec.capacity_ops_per_s;
-  }
-  return capacity > 0.0 ? load / capacity : 1.0;
+  return info.load_index().mean_utilization();
 }
 
 AdmissionDecision check_admission(const InfoBase& info,

@@ -142,24 +142,37 @@ std::vector<PathEvaluation> enumerate_candidates(
       const auto v_sol = gr.find_state(target);
       if (!v_init || !v_sol) continue;
 
-      // Fig. 3's pruning: drop partial sequences that already blow the
-      // deadline (costs only grow with more hops).
-      const auto prune = [&](const graph::EdgePath& partial) {
-        const auto cost = partial_cost(info, network, config, source.peer,
-                                       source.object.duration_s, partial);
-        return request.now + cost <= request.absolute_deadline();
-      };
-
+      // QoS feasibility is applied post-hoc (evaluate_path sets
+      // ev.feasible) rather than as an in-BFS prune: pruning interacts
+      // with Fig. 3's visited-on-expansion rule — an infeasible partial
+      // arriving first can claim a vertex a feasible one would have
+      // expanded — so the enumeration result would depend on the deadline
+      // and could never be memoized. Unpruned enumeration depends only on
+      // graph structure, which is what makes the path cache's answers
+      // exactly interchangeable with fresh searches. The exhaustive
+      // ablation keeps its in-walk prune: DFS over simple paths visits
+      // every extension independently, so there pruning == post-filter.
       graph::SearchStats s;
-      const auto paths =
-          exhaustive
-              ? graph::all_simple_paths(gr, *v_init, *v_sol,
-                                        config.exhaustive_max_hops, prune, &s)
-              : graph::bfs_paths(gr, *v_init, *v_sol, prune, &s);
+      std::vector<graph::EdgePath> paths;
+      if (exhaustive) {
+        const auto prune = [&](const graph::EdgePath& partial) {
+          const auto cost = partial_cost(info, network, config, source.peer,
+                                         source.object.duration_s, partial);
+          return request.now + cost <= request.absolute_deadline();
+        };
+        paths = graph::all_simple_paths(gr, *v_init, *v_sol,
+                                        config.exhaustive_max_hops, prune, &s);
+      } else if (config.enable_path_cache) {
+        paths = info.path_cache().bfs_paths(gr, *v_init, *v_sol, &s);
+      } else {
+        paths = graph::bfs_paths(gr, *v_init, *v_sol, {}, &s);
+      }
       accumulated.vertices_popped += s.vertices_popped;
       accumulated.sequences_enqueued += s.sequences_enqueued;
       accumulated.candidates_found += s.candidates_found;
       accumulated.pruned += s.pruned;
+      accumulated.cache_hits += s.cache_hits;
+      accumulated.cache_misses += s.cache_misses;
 
       for (const auto& path : paths) {
         out.push_back(evaluate_path(info, network, config, request, source,

@@ -104,6 +104,11 @@ struct SystemConfig {
   // --- allocation (§4.3) --------------------------------------------------------
   AllocatorKind allocator = AllocatorKind::PaperBfs;
   std::size_t exhaustive_max_hops = 6;
+  // Memoize Figure 3 enumerations per (start, goal) state pair until a
+  // service or load change bumps the resource-graph epoch. Pure
+  // memoization: results are identical with the cache off, just slower
+  // (path_cache_test.cpp enforces this).
+  bool enable_path_cache = true;
   // Floor on assumed spare capacity when estimating compute times on a
   // loaded peer (prevents divide-by-zero optimism inversion).
   double min_spare_capacity_fraction = 0.10;

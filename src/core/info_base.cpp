@@ -31,6 +31,14 @@ InfoBase::InfoBase(util::DomainId domain, util::PeerId rm)
 void InfoBase::add_member(const overlay::PeerSpec& spec, util::SimTime now) {
   domain_.add_member(spec, now);
   fairness_.set(spec.id, 0.0);
+  load_index_.set(spec.id, 0.0, spec.capacity_ops_per_s);
+}
+
+void InfoBase::refresh_load(util::PeerId peer) {
+  const double load = effective_load(peer);
+  fairness_.set(peer, load);
+  const auto* rec = domain_.member(peer);
+  load_index_.set(peer, load, rec ? rec->spec.capacity_ops_per_s : 0.0);
 }
 
 void InfoBase::add_inventory(const PeerAnnounce& announce) {
@@ -53,6 +61,7 @@ void InfoBase::add_inventory(const PeerAnnounce& announce) {
 std::vector<util::TaskId> InfoBase::remove_peer(util::PeerId peer) {
   domain_.remove_member(peer);
   fairness_.remove(peer);
+  load_index_.remove(peer);
   pending_commit_.erase(peer);
   measured_exec_.erase(peer);
   gr_.remove_peer(peer);
@@ -78,7 +87,7 @@ void InfoBase::record_report(util::PeerId peer, const ProfilerReport& report,
   domain_.record_report(peer, report.sample, now, report.eligible_rm,
                         report.rm_score);
   purge_commitments(now);
-  fairness_.set(peer, effective_load(peer));
+  refresh_load(peer);
   if (!report.measured_exec_s.empty()) {
     auto& per_type = measured_exec_[peer];
     for (const auto& [key, mean_s] : report.measured_exec_s) {
@@ -109,7 +118,7 @@ double InfoBase::effective_load(util::PeerId peer) const {
 void InfoBase::commit_load(util::PeerId peer, double ops_rate,
                            util::SimTime now, util::SimDuration ttl) {
   pending_commit_[peer].push_back(Commitment{ops_rate, now + ttl});
-  fairness_.set(peer, effective_load(peer));
+  refresh_load(peer);
 }
 
 void InfoBase::release_load(util::PeerId peer, double ops_rate) {
@@ -129,7 +138,7 @@ void InfoBase::release_load(util::PeerId peer, double ops_rate) {
     }
   }
   if (commits.empty()) pending_commit_.erase(it);
-  fairness_.set(peer, effective_load(peer));
+  refresh_load(peer);
 }
 
 void InfoBase::purge_commitments(util::SimTime now) {
@@ -148,7 +157,7 @@ void InfoBase::purge_commitments(util::SimTime now) {
     } else {
       ++it;
     }
-    if (changed) fairness_.set(peer, effective_load(peer));
+    if (changed) refresh_load(peer);
   }
 }
 
@@ -166,9 +175,29 @@ std::vector<util::ObjectId> InfoBase::all_objects() const {
   return out;
 }
 
+void InfoBase::index_task(const ActiveTask& t) {
+  for (const auto peer : t.sg.participants()) {
+    tasks_by_peer_[peer].insert(t.sg.task());
+  }
+}
+
+void InfoBase::unindex_task(const ActiveTask& t) {
+  const util::TaskId id = t.sg.task();
+  for (const auto peer : t.sg.participants()) {
+    const auto it = tasks_by_peer_.find(peer);
+    if (it == tasks_by_peer_.end()) continue;
+    it->second.erase(id);
+    if (it->second.empty()) tasks_by_peer_.erase(it);
+  }
+}
+
 ActiveTask& InfoBase::add_task(ActiveTask task) {
   const util::TaskId id = task.sg.task();
-  return tasks_[id] = std::move(task);
+  const auto it = tasks_.find(id);
+  if (it != tasks_.end()) unindex_task(it->second);
+  ActiveTask& stored = tasks_[id] = std::move(task);
+  index_task(stored);
+  return stored;
 }
 
 ActiveTask* InfoBase::task(util::TaskId id) {
@@ -181,15 +210,35 @@ const ActiveTask* InfoBase::task(util::TaskId id) const {
   return it == tasks_.end() ? nullptr : &it->second;
 }
 
-void InfoBase::remove_task(util::TaskId id) { tasks_.erase(id); }
+void InfoBase::remove_task(util::TaskId id) {
+  const auto it = tasks_.find(id);
+  if (it == tasks_.end()) return;
+  unindex_task(it->second);
+  tasks_.erase(it);
+}
+
+void InfoBase::reindex_task(util::TaskId id) {
+  const auto it = tasks_.find(id);
+  if (it == tasks_.end()) return;
+  // The stored sg may already have been replaced, so the index entries for
+  // the *old* participants cannot be derived from it; rebuild by scan. A
+  // task's graph is only swapped on recovery, so this stays off the
+  // per-query hot path.
+  for (auto jt = tasks_by_peer_.begin(); jt != tasks_by_peer_.end();) {
+    jt->second.erase(id);
+    if (jt->second.empty()) {
+      jt = tasks_by_peer_.erase(jt);
+    } else {
+      ++jt;
+    }
+  }
+  index_task(it->second);
+}
 
 std::vector<util::TaskId> InfoBase::tasks_involving(util::PeerId peer) const {
-  std::vector<util::TaskId> out;
-  for (const auto& [id, t] : tasks_) {
-    if (t.sg.involves(peer)) out.push_back(id);
-  }
-  std::sort(out.begin(), out.end());
-  return out;
+  const auto it = tasks_by_peer_.find(peer);
+  if (it == tasks_by_peer_.end()) return {};
+  return {it->second.begin(), it->second.end()};
 }
 
 std::vector<util::TaskId> InfoBase::running_task_ids() const {
@@ -264,8 +313,10 @@ void InfoBase::restore(const InfoBaseSnapshot& snap) {
   summary_version_ = snap.summary_version;
   objects_.clear();
   tasks_.clear();
+  tasks_by_peer_.clear();
   pending_commit_.clear();
   gr_ = graph::ResourceGraph();
+  path_cache_.clear();
   for (const auto& [peer, objs] : snap.objects) {
     for (const auto& obj : objs) {
       objects_[obj.id].push_back(ObjectLocation{peer, obj});
@@ -274,15 +325,21 @@ void InfoBase::restore(const InfoBaseSnapshot& snap) {
   for (const auto& [peer, svcs] : snap.services) {
     for (const auto& svc : svcs) gr_.add_service(svc.id, peer, svc.type);
   }
-  for (const auto& t : snap.tasks) tasks_[t.sg.task()] = t;
+  for (const auto& t : snap.tasks) {
+    ActiveTask& stored = tasks_[t.sg.task()] = t;
+    index_task(stored);
+  }
   rebuild_fairness();
 }
 
 void InfoBase::rebuild_fairness() {
   fairness_ = fairness::IncrementalFairness();
+  load_index_.clear();
   for (const auto id : domain_.member_ids()) {
     const auto* rec = domain_.member(id);
     fairness_.set(id, rec ? rec->last_sample.smoothed_load_ops : 0.0);
+    load_index_.set(id, rec ? rec->last_sample.smoothed_load_ops : 0.0,
+                    rec ? rec->spec.capacity_ops_per_s : 0.0);
   }
 }
 

@@ -10,9 +10,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include <set>
+
+#include "core/load_index.hpp"
 #include "core/messages.hpp"
 #include "fairness/fairness.hpp"
 #include "gossip/summary.hpp"
+#include "graph/path_cache.hpp"
 #include "graph/resource_graph.hpp"
 #include "graph/service_graph.hpp"
 #include "overlay/domain.hpp"
@@ -118,6 +122,11 @@ class InfoBase {
   }
   [[nodiscard]] double current_fairness() const { return fairness_.index(); }
 
+  // Load-sorted member view, maintained incrementally at every point where
+  // a peer's effective load changes. Admission's overload and mean-
+  // utilization checks read this instead of rescanning the domain.
+  [[nodiscard]] const LoadIndex& load_index() const { return load_index_; }
+
   // --- object & service lookup ---------------------------------------------------
   [[nodiscard]] const std::vector<ObjectLocation>* locations(
       util::ObjectId object) const;
@@ -128,6 +137,10 @@ class InfoBase {
   [[nodiscard]] ActiveTask* task(util::TaskId id);
   [[nodiscard]] const ActiveTask* task(util::TaskId id) const;
   void remove_task(util::TaskId id);
+  // Re-derives the participant index of `id` from its current service
+  // graph. Must be called after mutating a stored task's sg in place
+  // (recovery swaps the whole graph).
+  void reindex_task(util::TaskId id);
   [[nodiscard]] std::vector<util::TaskId> tasks_involving(
       util::PeerId peer) const;
   [[nodiscard]] std::vector<util::TaskId> running_task_ids() const;
@@ -148,8 +161,18 @@ class InfoBase {
   [[nodiscard]] graph::ResourceGraph& resource_graph() { return gr_; }
   [[nodiscard]] const graph::ResourceGraph& resource_graph() const { return gr_; }
 
+  // Memoized Figure 3 enumerations over gr_, invalidated by its epoch.
+  // Mutable: serving a query from cache does not change what the RM knows.
+  [[nodiscard]] graph::PathCache& path_cache() const { return path_cache_; }
+
  private:
   void rebuild_fairness();
+  // Push `peer`'s current effective load into the fairness and load
+  // indices; the single choke point every load-changing mutation funnels
+  // through, so the indices can never drift from effective_load().
+  void refresh_load(util::PeerId peer);
+  void index_task(const ActiveTask& t);
+  void unindex_task(const ActiveTask& t);
 
   overlay::Domain domain_;
   graph::ResourceGraph gr_;
@@ -163,6 +186,11 @@ class InfoBase {
   std::unordered_map<util::PeerId, std::unordered_map<std::uint64_t, double>>
       measured_exec_;  // soft state, re-learned after failover
   fairness::IncrementalFairness fairness_;
+  LoadIndex load_index_;
+  // participant peer -> ids of active tasks whose service graph involves
+  // it; answers tasks_involving() without walking every task.
+  std::unordered_map<util::PeerId, std::set<util::TaskId>> tasks_by_peer_;
+  mutable graph::PathCache path_cache_;
   std::uint64_t summary_version_ = 0;
 };
 

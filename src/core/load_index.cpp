@@ -1,0 +1,64 @@
+#include "core/load_index.hpp"
+
+namespace p2prm::core {
+
+void LoadIndex::set(util::PeerId peer, double load, double capacity_ops) {
+  const auto it = recs_.find(peer);
+  if (it != recs_.end()) {
+    ordered_.erase({it->second.util, peer});
+    total_load_ -= it->second.load;
+    total_capacity_ -= it->second.capacity;
+  }
+  Rec rec{load, capacity_ops, util_of(load, capacity_ops)};
+  ordered_.insert({rec.util, peer});
+  total_load_ += rec.load;
+  total_capacity_ += rec.capacity;
+  recs_[peer] = rec;
+}
+
+void LoadIndex::remove(util::PeerId peer) {
+  const auto it = recs_.find(peer);
+  if (it == recs_.end()) return;
+  ordered_.erase({it->second.util, peer});
+  total_load_ -= it->second.load;
+  total_capacity_ -= it->second.capacity;
+  recs_.erase(it);
+  if (recs_.empty()) {
+    // Re-zero so incremental float error cannot outlive the members.
+    total_load_ = 0.0;
+    total_capacity_ = 0.0;
+  }
+}
+
+void LoadIndex::clear() {
+  recs_.clear();
+  ordered_.clear();
+  total_load_ = 0.0;
+  total_capacity_ = 0.0;
+}
+
+double LoadIndex::utilization(util::PeerId peer) const {
+  const auto it = recs_.find(peer);
+  return it == recs_.end() ? -1.0 : it->second.util;
+}
+
+double LoadIndex::min_utilization() const {
+  if (ordered_.empty()) return std::numeric_limits<double>::infinity();
+  return ordered_.begin()->first;
+}
+
+double LoadIndex::mean_utilization() const {
+  return total_capacity_ > 0.0 ? total_load_ / total_capacity_ : 1.0;
+}
+
+std::vector<util::PeerId> LoadIndex::by_utilization(std::size_t limit) const {
+  std::vector<util::PeerId> out;
+  out.reserve(ordered_.size() < limit ? ordered_.size() : limit);
+  for (const auto& [_, peer] : ordered_) {
+    if (out.size() >= limit) break;
+    out.push_back(peer);
+  }
+  return out;
+}
+
+}  // namespace p2prm::core

@@ -1,0 +1,63 @@
+// Incrementally maintained utilization view of the RM's domain members.
+//
+// Admission (§3.2) needs two aggregate questions answered per task query:
+// "is every member above the overload threshold?" (a minimum-utilization
+// query) and "what is the mean domain utilization?" (a ratio of totals).
+// The info base answers both from this index in O(1)/O(log n) instead of
+// re-walking every member and its commitment list, updating it at exactly
+// the points where a peer's effective load changes. info_base_test.cpp
+// checks equivalence against the fresh linear recomputation.
+#pragma once
+
+#include <limits>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/ids.hpp"
+
+namespace p2prm::core {
+
+class LoadIndex {
+ public:
+  // Upserts a peer with its current effective load and fixed capacity.
+  void set(util::PeerId peer, double load, double capacity_ops);
+  void remove(util::PeerId peer);
+  void clear();
+
+  [[nodiscard]] std::size_t size() const { return recs_.size(); }
+  [[nodiscard]] bool empty() const { return recs_.empty(); }
+
+  // Utilization = load / capacity; a peer with no capacity counts as fully
+  // utilized (matches admission's convention). Unknown peer: -1.
+  [[nodiscard]] double utilization(util::PeerId peer) const;
+  // Minimum utilization across members; +infinity when empty.
+  [[nodiscard]] double min_utilization() const;
+  [[nodiscard]] double total_load() const { return total_load_; }
+  [[nodiscard]] double total_capacity() const { return total_capacity_; }
+  // total_load / total_capacity, or 1.0 when the domain has no capacity.
+  [[nodiscard]] double mean_utilization() const;
+
+  // Members ordered by (utilization, peer id) ascending — the load-sorted
+  // peer view. Deterministic: ties break on the id.
+  [[nodiscard]] std::vector<util::PeerId> by_utilization(
+      std::size_t limit = std::numeric_limits<std::size_t>::max()) const;
+
+ private:
+  struct Rec {
+    double load = 0.0;
+    double capacity = 0.0;
+    double util = 0.0;
+  };
+  static double util_of(double load, double capacity) {
+    return capacity > 0.0 ? load / capacity : 1.0;
+  }
+
+  std::unordered_map<util::PeerId, Rec> recs_;
+  std::set<std::pair<double, util::PeerId>> ordered_;
+  double total_load_ = 0.0;
+  double total_capacity_ = 0.0;
+};
+
+}  // namespace p2prm::core

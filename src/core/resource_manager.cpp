@@ -350,6 +350,9 @@ bool ResourceManager::try_allocate_and_compose(const TaskQuery& query) {
 
   const AllocationResult result = allocator_->allocate(
       info_, system.network(), system.config(), request, rng_);
+  stats_.search_vertices_popped += result.search.vertices_popped;
+  stats_.path_cache_hits += result.search.cache_hits;
+  stats_.path_cache_misses += result.search.cache_misses;
   if (!result.found) {
     if (result.failure_reason == "no-object") ++stats_.allocation_no_object;
     else if (result.failure_reason == "no-path") ++stats_.allocation_no_path;
@@ -699,6 +702,9 @@ bool ResourceManager::recover_task(util::TaskId task_id, const char* cause,
 
   const AllocationResult result = allocator_->allocate(
       info_, system.network(), system.config(), request, rng_);
+  stats_.search_vertices_popped += result.search.vertices_popped;
+  stats_.path_cache_hits += result.search.cache_hits;
+  stats_.path_cache_misses += result.search.cache_misses;
   if (!result.found) {
     if (keep_if_infeasible) return false;  // old assignment stays in force
     fail_task(*task, std::string("unrecoverable-") + cause);
@@ -715,6 +721,8 @@ bool ResourceManager::recover_task(util::TaskId task_id, const char* cause,
   task->sg.composed_at = system.simulator().now();
   task->recompositions = recompositions;
   task->hop_done.assign(task->sg.hop_count(), false);
+  // The participant set just changed under the stored task.
+  info_.reindex_task(task_id);
   compose(*task, result.load_deltas);
   ++stats_.recoveries_succeeded;
   host_.system().trace(TraceKind::TaskRecovered, host_.id(), task_id,

@@ -57,6 +57,11 @@ struct RmStats {
   // Fault hardening: duplicate-suppression and retry bookkeeping.
   std::uint64_t duplicate_queries = 0;   // retried/duplicated TaskQuery
   std::uint64_t duplicate_reports = 0;   // stale-seq ProfilerReport
+  // Control-plane hot-path counters: Figure 3 search work and path-cache
+  // effectiveness, accumulated over every allocation this RM ran.
+  std::uint64_t search_vertices_popped = 0;
+  std::uint64_t path_cache_hits = 0;
+  std::uint64_t path_cache_misses = 0;
   sim::RetryStats backup_sync_retry;     // BackupSync -> BackupSyncAck
   util::RunningStats allocation_fairness;
   util::RunningStats candidates_per_allocation;

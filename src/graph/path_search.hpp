@@ -33,6 +33,11 @@ struct SearchStats {
   std::size_t sequences_enqueued = 0;
   std::size_t candidates_found = 0;
   std::size_t pruned = 0;
+  // PathCache bookkeeping: a hit answers the query from memoized sequences
+  // without popping a single vertex; a miss falls through to the BFS above
+  // (whose work lands in the counters above as usual).
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
 };
 
 // Figure 3 BFS. Returns every candidate sequence reaching `goal` in the

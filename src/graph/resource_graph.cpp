@@ -39,7 +39,9 @@ void ResourceGraph::add_service(util::ServiceId id, util::PeerId peer,
   edge.from = add_state(type.input);
   edge.to = add_state(type.output);
   out_[edge.from].push_back(id);
+  by_peer_[peer].push_back(id);
   edges_.emplace(id, edge);
+  ++epoch_;
 }
 
 bool ResourceGraph::remove_service(util::ServiceId id) {
@@ -47,15 +49,22 @@ bool ResourceGraph::remove_service(util::ServiceId id) {
   if (it == edges_.end()) return false;
   auto& adj = out_[it->second.from];
   adj.erase(std::remove(adj.begin(), adj.end(), id), adj.end());
+  const auto host = by_peer_.find(it->second.peer);
+  if (host != by_peer_.end()) {
+    auto& owned = host->second;
+    owned.erase(std::remove(owned.begin(), owned.end(), id), owned.end());
+    if (owned.empty()) by_peer_.erase(host);
+  }
   edges_.erase(it);
+  ++epoch_;
   return true;
 }
 
 std::size_t ResourceGraph::remove_peer(util::PeerId peer) {
-  std::vector<util::ServiceId> doomed;
-  for (const auto& [id, e] : edges_) {
-    if (e.peer == peer) doomed.push_back(id);
-  }
+  const auto it = by_peer_.find(peer);
+  if (it == by_peer_.end()) return 0;
+  // Copy: remove_service() edits the indexed vector we are walking.
+  const std::vector<util::ServiceId> doomed = it->second;
   for (auto id : doomed) remove_service(id);
   return doomed.size();
 }
@@ -79,6 +88,7 @@ void ResourceGraph::set_service_load(util::ServiceId id, double load) {
     throw std::out_of_range("ResourceGraph: unknown service " +
                             util::to_string(id));
   }
+  if (it->second.load != load) ++epoch_;
   it->second.load = load;
 }
 
@@ -93,10 +103,11 @@ std::vector<const ServiceEdge*> ResourceGraph::edges_from(StateIndex v) const {
 std::vector<const ServiceEdge*> ResourceGraph::services_of(
     util::PeerId peer) const {
   std::vector<const ServiceEdge*> out;
-  for (const auto& [_, e] : edges_) {
-    if (e.peer == peer) out.push_back(&e);
-  }
-  // Deterministic order regardless of hash iteration.
+  const auto it = by_peer_.find(peer);
+  if (it == by_peer_.end()) return out;
+  out.reserve(it->second.size());
+  for (auto id : it->second) out.push_back(&edges_.at(id));
+  // Deterministic order regardless of insertion sequence.
   std::sort(out.begin(), out.end(),
             [](const ServiceEdge* a, const ServiceEdge* b) {
               return a->id < b->id;

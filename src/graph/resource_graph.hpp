@@ -60,6 +60,12 @@ class ResourceGraph {
 
   void set_service_load(util::ServiceId id, double load);
 
+  // Mutation epoch: bumped by every change that could alter a path query's
+  // outcome — edge insertion/removal and service-load updates. PathCache
+  // entries are valid exactly while the epoch they were computed under
+  // still matches (§ control-plane hot path).
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
   // Outgoing service edges of a state, in insertion order (deterministic).
   [[nodiscard]] std::vector<const ServiceEdge*> edges_from(StateIndex v) const;
   [[nodiscard]] std::vector<const ServiceEdge*> services_of(
@@ -72,6 +78,11 @@ class ResourceGraph {
   std::unordered_map<util::ServiceId, ServiceEdge> edges_;
   // adjacency: state -> service ids (kept sorted by insertion sequence).
   std::vector<std::vector<util::ServiceId>> out_;
+  // secondary index: hosting peer -> service ids, so services_of() and
+  // remove_peer() are proportional to the peer's own offerings instead of
+  // a scan over every edge in the domain.
+  std::unordered_map<util::PeerId, std::vector<util::ServiceId>> by_peer_;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace p2prm::graph

@@ -91,6 +91,9 @@ RmAggregate aggregate_rm_stats(const core::System& system) {
     agg.recoveries_attempted += s.recoveries_attempted;
     agg.recoveries_succeeded += s.recoveries_succeeded;
     agg.member_failures += s.member_failures;
+    agg.search_vertices_popped += s.search_vertices_popped;
+    agg.path_cache_hits += s.path_cache_hits;
+    agg.path_cache_misses += s.path_cache_misses;
     ++agg.domains;
   }
   return agg;

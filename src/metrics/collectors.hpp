@@ -74,6 +74,11 @@ struct RmAggregate {
   std::uint64_t recoveries_attempted = 0;
   std::uint64_t recoveries_succeeded = 0;
   std::uint64_t member_failures = 0;
+  // Control-plane hot-path work: Figure 3 search effort and path-cache
+  // effectiveness across all allocations.
+  std::uint64_t search_vertices_popped = 0;
+  std::uint64_t path_cache_hits = 0;
+  std::uint64_t path_cache_misses = 0;
   std::size_t domains = 0;
 };
 [[nodiscard]] RmAggregate aggregate_rm_stats(const core::System& system);

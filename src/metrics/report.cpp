@@ -111,6 +111,10 @@ std::string metrics_json(const core::System& system) {
   field("rm_rejected", static_cast<double>(rm.rejected));
   field("rm_recoveries_succeeded",
         static_cast<double>(rm.recoveries_succeeded));
+  field("search_vertices_popped",
+        static_cast<double>(rm.search_vertices_popped));
+  field("path_cache_hits", static_cast<double>(rm.path_cache_hits));
+  field("path_cache_misses", static_cast<double>(rm.path_cache_misses));
   field("domains", static_cast<double>(rm.domains));
   field("messages_sent", static_cast<double>(net.messages_sent));
   field("messages_delivered", static_cast<double>(net.messages_delivered));

@@ -22,9 +22,27 @@ bool EventQueue::cancel(EventId id) {
     // cancel ids they know are pending (timer handles), so decrement here.
     if (live_ == 0) return false;
     --live_;
+    if (tombstones() > live_ && tombstones() >= kCompactMinTombstones) {
+      compact();
+    }
     return true;
   }
   return false;
+}
+
+void EventQueue::compact() {
+  const auto keep =
+      std::remove_if(heap_.begin(), heap_.end(), [&](const Entry& e) {
+        return cancelled_.count(e.id) != 0;
+      });
+  stats_.tombstones_compacted += static_cast<std::uint64_t>(heap_.end() - keep);
+  heap_.erase(keep, heap_.end());
+  // Every cancelled id that was still in the heap is now gone, and ids of
+  // already-popped events can never re-enter (ids are unique), so the whole
+  // set can be dropped.
+  cancelled_.clear();
+  std::make_heap(heap_.begin(), heap_.end(), later);
+  ++stats_.compactions;
 }
 
 void EventQueue::drop_cancelled_head() {

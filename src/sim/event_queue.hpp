@@ -3,20 +3,28 @@
 // Events at equal timestamps fire in insertion order (sequence-number
 // tie-break), which is what makes whole-system runs bit-reproducible.
 // Cancellation is lazy: a cancelled event stays in the heap but is skipped
-// on pop, keeping cancel() O(1).
+// on pop, keeping cancel() O(1). When tombstones outnumber live events the
+// heap is compacted in one pass (timer-heavy workloads — retries, churn —
+// otherwise carry a heap mostly full of corpses). Compaction rebuilds the
+// heap array but not the pop order: the (time, id) comparator is a total
+// order, so runs stay bit-identical.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <unordered_set>
 #include <vector>
 
+#include "sim/event_fn.hpp"
 #include "util/time.hpp"
 
 namespace p2prm::sim {
 
 using EventId = std::uint64_t;
-using EventFn = std::function<void()>;
+
+struct EventQueueStats {
+  std::uint64_t compactions = 0;
+  std::uint64_t tombstones_compacted = 0;
+};
 
 class EventQueue {
  public:
@@ -41,6 +49,16 @@ class EventQueue {
 
   [[nodiscard]] std::uint64_t total_scheduled() const { return next_id_; }
 
+  // Cancelled-but-unpopped entries still occupying heap slots.
+  [[nodiscard]] std::size_t tombstones() const {
+    return heap_.size() > live_ ? heap_.size() - live_ : 0;
+  }
+  [[nodiscard]] const EventQueueStats& stats() const { return stats_; }
+
+  // Compact once tombstones exceed the live population and this floor (the
+  // floor keeps small queues from churning on every other cancel).
+  static constexpr std::size_t kCompactMinTombstones = 64;
+
  private:
   struct Entry {
     util::SimTime when;
@@ -54,11 +72,13 @@ class EventQueue {
   }
 
   void drop_cancelled_head();
+  void compact();
 
   std::vector<Entry> heap_;
   std::unordered_set<EventId> cancelled_;
   EventId next_id_ = 0;
   std::size_t live_ = 0;
+  EventQueueStats stats_;
 };
 
 }  // namespace p2prm::sim

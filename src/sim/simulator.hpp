@@ -77,6 +77,8 @@ class Simulator {
   [[nodiscard]] std::uint64_t events_scheduled() const {
     return queue_.total_scheduled();
   }
+  // Read-only view of the pending-event set (tombstone/compaction stats).
+  [[nodiscard]] const EventQueue& queue() const { return queue_; }
 
  private:
   util::SimTime now_ = util::kTimeZero;

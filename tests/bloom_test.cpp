@@ -2,6 +2,7 @@
 
 #include "bloom/bloom_filter.hpp"
 #include "bloom/counting_bloom.hpp"
+#include "core/config.hpp"
 #include "util/rng.hpp"
 
 namespace p2prm::bloom {
@@ -38,6 +39,41 @@ TEST(BloomFilter, FalsePositiveRateNearTheory) {
   }
   const double rate = static_cast<double>(fp) / probes;
   EXPECT_LT(rate, 0.02);  // within 2x of the 1% target
+}
+
+TEST(BloomFilter, ObservedFprWithinTwiceAnalyticBoundAtConfiguredGeometry) {
+  // Statistical gate at the geometry the middleware actually deploys
+  // (SystemConfig's gossip summaries): insert a realistic object
+  // population, probe 100k keys known to be absent, and require the
+  // observed false-positive rate to stay within 2x the analytic
+  // (1 - e^{-kn/m})^k bound. Fixed seed: deterministic, not flaky.
+  const core::SystemConfig config;
+  BloomFilter bf({config.bloom_bits, config.bloom_hashes});
+  const std::size_t n = 500;
+  util::Rng rng(12);
+  std::vector<std::uint64_t> members;
+  members.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Top bit set: disjoint from the probe universe below.
+    members.push_back(rng.next() | (1ULL << 63));
+    bf.insert(members.back());
+  }
+
+  const std::size_t probes = 100000;
+  std::size_t fp = 0;
+  for (std::uint64_t k = 0; k < probes; ++k) {
+    if (bf.possibly_contains(k)) ++fp;  // k has top bit clear: never inserted
+  }
+  const double observed = static_cast<double>(fp) / probes;
+  const double analytic =
+      expected_fpp(config.bloom_bits, config.bloom_hashes, n);
+  EXPECT_LE(observed, 2.0 * analytic)
+      << "observed FP rate " << observed << " over " << probes
+      << " probes exceeds 2x the analytic bound " << analytic << " for (m="
+      << config.bloom_bits << ", k=" << config.bloom_hashes << ", n=" << n
+      << ")";
+  // And the filter is not trivially empty/degenerate: some positives occur.
+  EXPECT_GT(analytic, 0.0);
 }
 
 TEST(BloomFilter, StringsAndIdsSupported) {

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+
 #include "core/info_base.hpp"
 #include "media/catalog.hpp"
 
@@ -128,6 +131,73 @@ TEST(InfoBase, FairnessTracksEffectiveLoads) {
   EXPECT_DOUBLE_EQ(fx.info.current_fairness(), 0.5);
   fx.info.commit_load(PeerId{2}, 10e6);
   EXPECT_DOUBLE_EQ(fx.info.current_fairness(), 1.0);
+}
+
+TEST(InfoBase, LoadIndexMatchesLinearRecomputation) {
+  // Equivalence test for the incrementally maintained load index: after a
+  // random mix of reports, commitments, releases, purges and membership
+  // churn, min/mean utilization must equal a from-scratch linear pass over
+  // the domain — the exact scan the index replaced in admission control.
+  Fixture fx;
+  util::Rng rng(77);
+  std::vector<std::uint64_t> members;
+  for (std::uint64_t id = 10; id < 18; ++id) {
+    fx.add_member(id, rng.uniform(20e6, 120e6));
+    members.push_back(id);
+  }
+
+  const auto check = [&] {
+    // The exact aggregates the pre-index admission helpers computed with a
+    // linear walk: per-member minimum utilization, and capacity-weighted
+    // mean load (total effective load over total capacity).
+    double min_util = std::numeric_limits<double>::infinity();
+    double total_load = 0.0;
+    double total_capacity = 0.0;
+    std::size_t n = 0;
+    for (const auto peer : fx.info.domain().member_ids()) {
+      const auto* rec = fx.info.domain().member(peer);
+      ASSERT_NE(rec, nullptr);
+      const double cap = rec->spec.capacity_ops_per_s;
+      const double load = fx.info.effective_load(peer);
+      min_util = std::min(min_util, cap > 0.0 ? load / cap : 1.0);
+      total_load += load;
+      total_capacity += cap;
+      ++n;
+    }
+    const auto& index = fx.info.load_index();
+    ASSERT_EQ(index.size(), n);
+    EXPECT_DOUBLE_EQ(index.min_utilization(), min_util);
+    const double mean =
+        total_capacity > 0.0 ? total_load / total_capacity : 1.0;
+    EXPECT_NEAR(index.mean_utilization(), mean, 1e-9 * (1.0 + mean));
+  };
+
+  for (int step = 0; step < 200; ++step) {
+    const std::uint64_t roll = rng.below(100);
+    const std::uint64_t peer = members[rng.below(members.size())];
+    if (roll < 35) {
+      ProfilerReport report;
+      report.sample.smoothed_load_ops = rng.uniform(0.0, 80e6);
+      fx.info.record_report(PeerId{peer}, report, util::seconds(step));
+    } else if (roll < 60) {
+      fx.info.commit_load(PeerId{peer}, rng.uniform(1e6, 30e6),
+                          util::seconds(step));
+    } else if (roll < 80) {
+      fx.info.release_load(PeerId{peer}, rng.uniform(1e6, 30e6));
+    } else if (roll < 90) {
+      fx.info.purge_commitments(util::seconds(step));
+    } else if (members.size() > 2 && roll < 95) {
+      const std::size_t victim = rng.below(members.size());
+      fx.info.remove_peer(PeerId{members[victim]});
+      members.erase(members.begin() + static_cast<std::ptrdiff_t>(victim));
+    } else {
+      const std::uint64_t id = 100 + static_cast<std::uint64_t>(step);
+      fx.add_member(id, rng.uniform(20e6, 120e6));
+      members.push_back(id);
+    }
+    check();
+    if (HasFatalFailure()) return;
+  }
 }
 
 TEST(InfoBase, TaskLifecycle) {

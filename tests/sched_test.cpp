@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
+
 #include "sched/processor.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/simulator.hpp"
+#include "util/rng.hpp"
 
 namespace p2prm::sched {
 namespace {
@@ -319,6 +323,99 @@ TEST(Processor, SetPolicyMidStreamReordersQueue) {
   // After the switch the urgent job jumps the queue and makes its deadline.
   EXPECT_EQ(rig.out.finished[0].first, util::JobId{2});
   EXPECT_EQ(rig.out.finished[0].second, JobStatus::Completed);
+}
+
+// ---- LLS vs exhaustive-ordering oracle -----------------------------------
+
+// Does any of the n! non-preemptive orderings meet every deadline? Uses the
+// same nanosecond rounding as the Processor (remaining_time) so the oracle
+// and the executed schedule agree on completion instants.
+bool some_ordering_feasible(const std::vector<Job>& jobs,
+                            double ops_per_second) {
+  std::vector<std::size_t> order(jobs.size());
+  std::iota(order.begin(), order.end(), 0);
+  do {
+    util::SimTime t = 0;
+    bool ok = true;
+    for (const std::size_t i : order) {
+      t += remaining_time(jobs[i], ops_per_second);
+      if (t > jobs[i].absolute_deadline) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return true;
+  } while (std::next_permutation(order.begin(), order.end()));
+  return false;
+}
+
+TEST(Policy, LlsMeetsDeadlinesWheneverSomeOrderingDoes) {
+  // Optimality check against a brute-force oracle: for every random job
+  // set (n <= 8, all released at t=0) where SOME ordering meets all
+  // deadlines, preemptive LLS on the Processor must miss none. Job sizes
+  // and deadlines are whole milliseconds so the 1 ms laxity-hysteresis
+  // quantum cannot flip a feasible schedule into a miss.
+  constexpr double kOps = 1e6;  // 1000 ops == 1 ms
+  std::size_t feasible_sets = 0;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    util::Rng rng(seed);
+    const std::size_t n = 2 + rng.below(7);  // 2..8 jobs
+    std::vector<Job> jobs;
+    for (std::size_t i = 0; i < n; ++i) {
+      // 10..200 ms of work, deadline 50 ms..2 s.
+      jobs.push_back(make_job(i, 0,
+                              util::milliseconds(50 + rng.below(1950)),
+                              static_cast<double>(10 + rng.below(190)) * 1e3));
+    }
+    if (!some_ordering_feasible(jobs, kOps)) continue;
+    ++feasible_sets;
+
+    sim::Simulator sim(seed);
+    std::size_t missed = 0;
+    Processor cpu(sim, {.ops_per_second = kOps, .policy = Policy::LeastLaxity},
+                  [&](const Job&, JobStatus s) {
+                    if (s != JobStatus::Completed) ++missed;
+                  });
+    for (const auto& j : jobs) cpu.submit(j);
+    sim.run_until();
+    EXPECT_EQ(missed, 0u) << "seed " << seed << ": oracle found a feasible "
+                          << n << "-job ordering but LLS missed " << missed;
+  }
+  // The generator must actually exercise the property.
+  EXPECT_GE(feasible_sets, 10u);
+}
+
+TEST(Policy, LlsSelectionMinimizesLaxityAtEveryDispatch) {
+  // Laxity-ordering invariant: at every dispatch instant the selected job's
+  // laxity is within the hysteresis quantum (1 ms) of the ready-set
+  // minimum. Driven as a non-preemptive run-to-completion loop so each
+  // selection is observable.
+  constexpr double kOps = 1e6;
+  const auto policy = make_policy(Policy::LeastLaxity);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    util::Rng rng(seed);
+    const std::size_t n = 2 + rng.below(7);
+    std::vector<Job> ready;
+    for (std::size_t i = 0; i < n; ++i) {
+      ready.push_back(make_job(i, 0,
+                               util::milliseconds(50 + rng.below(1950)),
+                               static_cast<double>(10 + rng.below(190)) * 1e3));
+    }
+    util::SimTime now = 0;
+    while (!ready.empty()) {
+      const std::size_t pick = policy->select(ready, now, kOps);
+      ASSERT_LT(pick, ready.size());
+      util::SimDuration min_laxity = laxity(ready[0], now, kOps);
+      for (const auto& j : ready) {
+        min_laxity = std::min(min_laxity, laxity(j, now, kOps));
+      }
+      EXPECT_LE(laxity(ready[pick], now, kOps),
+                min_laxity + util::milliseconds(1))
+          << "seed " << seed << " at t=" << now;
+      now += remaining_time(ready[pick], kOps);
+      ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+  }
 }
 
 }  // namespace

@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
+
+#include "sim/event_fn.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
+#include "util/rng.hpp"
 
 namespace p2prm::sim {
 namespace {
@@ -38,6 +43,107 @@ TEST(EventQueue, EmptyReportsInfinity) {
   EventQueue q;
   EXPECT_TRUE(q.empty());
   EXPECT_EQ(q.next_time(), util::kTimeInfinity);
+}
+
+TEST(EventQueue, CompactionPreservesPopOrderAndDropsTombstones) {
+  // Equivalence test for tombstone compaction: a cancel-heavy queue must
+  // fire exactly the same surviving events, in exactly the same order, as
+  // one that never compacts (few tombstones -> threshold never trips).
+  util::Rng rng(31);
+  std::vector<util::SimTime> times;
+  for (int i = 0; i < 400; ++i) {
+    times.push_back(static_cast<util::SimTime>(rng.below(10000)));
+  }
+
+  EventQueue heavy;  // cancels 3 of 4 -> compacts
+  std::vector<std::pair<util::SimTime, int>> heavy_fired;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 400; ++i) {
+    const int tag = i;
+    ids.push_back(
+        heavy.push(times[static_cast<std::size_t>(i)],
+                   [&heavy_fired, tag] { heavy_fired.emplace_back(0, tag); }));
+  }
+  for (int i = 0; i < 400; ++i) {
+    if (i % 4 != 0) {
+      EXPECT_TRUE(heavy.cancel(ids[static_cast<std::size_t>(i)]));
+    }
+  }
+  EXPECT_GT(heavy.stats().compactions, 0u);
+  EXPECT_GT(heavy.stats().tombstones_compacted, 0u);
+  while (!heavy.empty()) {
+    auto e = heavy.pop();
+    e.fn();
+    heavy_fired.back().first = e.when;
+  }
+
+  // Reference: only the surviving events ever enter the queue.
+  EventQueue reference;
+  std::vector<std::pair<util::SimTime, int>> ref_fired;
+  for (int i = 0; i < 400; i += 4) {
+    const int tag = i;
+    reference.push(times[static_cast<std::size_t>(i)],
+                   [&ref_fired, tag] { ref_fired.emplace_back(0, tag); });
+  }
+  EXPECT_EQ(reference.stats().compactions, 0u);
+  while (!reference.empty()) {
+    auto e = reference.pop();
+    e.fn();
+    ref_fired.back().first = e.when;
+  }
+
+  // Same events, same times, same relative order: (when, insertion) is a
+  // total order, so compaction cannot reorder anything.
+  ASSERT_EQ(heavy_fired.size(), 100u);
+  for (std::size_t i = 0; i < heavy_fired.size(); ++i) {
+    EXPECT_EQ(heavy_fired[i].first, ref_fired[i].first) << i;
+    EXPECT_EQ(heavy_fired[i].second, ref_fired[i].second) << i;
+  }
+}
+
+TEST(EventQueue, CompactionBelowThresholdNeverTriggers) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 60; ++i) {
+    ids.push_back(q.push(i, [] {}));
+  }
+  // All tombstones, but fewer than kCompactMinTombstones: stay lazy.
+  for (int i = 0; i < 40; ++i) EXPECT_TRUE(q.cancel(ids[static_cast<std::size_t>(i)]));
+  EXPECT_EQ(q.stats().compactions, 0u);
+  EXPECT_EQ(q.tombstones(), 40u);
+  std::size_t fired = 0;
+  while (!q.empty()) {
+    q.pop();
+    ++fired;
+  }
+  EXPECT_EQ(fired, 20u);
+}
+
+TEST(EventFn, MoveOnlyCapturesStayInline) {
+  // The event hot path must not heap-allocate for the typical capture
+  // (a couple of pointers/ids) — including move-only ones.
+  const auto before = EventFn::heap_constructions();
+  auto owned = std::make_unique<int>(41);
+  int result = 0;
+  EventFn fn([p = std::move(owned), &result] { result = *p + 1; });
+  EXPECT_TRUE(static_cast<bool>(fn));
+  EventFn moved = std::move(fn);
+  moved();
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(EventFn::heap_constructions(), before);
+}
+
+TEST(EventFn, OversizedCapturesSpillToHeapAndStillRun) {
+  const auto before = EventFn::heap_constructions();
+  std::array<std::uint64_t, 16> big{};  // 128 bytes: exceeds the SBO buffer
+  big[7] = 9;
+  std::uint64_t seen = 0;
+  EventFn fn([big, &seen] { seen = big[7]; });
+  EXPECT_EQ(EventFn::heap_constructions(), before + 1);
+  EventFn moved = std::move(fn);  // heap case moves the pointer, no realloc
+  moved();
+  EXPECT_EQ(seen, 9u);
+  EXPECT_EQ(EventFn::heap_constructions(), before + 1);
 }
 
 TEST(Simulator, RunsEventsInTimeOrder) {

@@ -1,6 +1,20 @@
 // The structured tracer: buffer semantics and the events the middleware
-// actually emits during a run.
+// actually emits during a run — plus the golden-trace determinism gate.
+//
+// Golden trace: TracerGolden.QuickstartScenarioMatchesCommittedTrace runs
+// the examples/quickstart scenario twice, serializes every trace event and
+// compares the result to tests/golden/quickstart_trace.txt. When a change
+// legitimately alters control-plane behaviour, regenerate the file with
+//
+//   ./build/tests/trace_test --update-golden
+//
+// and commit the diff alongside the change that caused it. This binary
+// links its own main() (NO_MAIN in tests/CMakeLists.txt) to parse the flag.
 #include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string_view>
 
 #include "core/system.hpp"
 #include "core/trace.hpp"
@@ -8,6 +22,10 @@
 #include "workload/heterogeneity.hpp"
 
 namespace p2prm::core {
+
+// Set by this binary's main() on --update-golden (needs external linkage).
+bool g_update_golden = false;
+
 namespace {
 
 TraceEvent make_event(util::SimTime at, TraceKind kind, std::uint64_t task) {
@@ -108,6 +126,94 @@ TEST(TracerIntegration, CapturesTaskLifecycleAndMembership) {
   EXPECT_GE(tracer.count_of(TraceKind::PeerFailed), 1u);
 }
 
+// ---- Golden trace --------------------------------------------------------
+
+// The examples/quickstart scenario, traced: five peers (RM, library,
+// two transcoders, user), one MPEG2 -> MPEG4 task, two minutes of run.
+std::string run_quickstart_trace() {
+  SystemConfig config;
+  config.seed = 2026;
+  System system(config);
+  Tracer tracer;
+  system.set_tracer(&tracer);
+
+  const media::MediaFormat source{media::Codec::MPEG2, media::kRes800x600,
+                                  512};
+  const media::MediaFormat target{media::Codec::MPEG4, media::kRes640x480,
+                                  256};
+  auto add_peer = [&](double capacity_mops, PeerInventory inventory) {
+    overlay::PeerSpec spec;
+    spec.capacity_ops_per_s = capacity_mops * 1e6;
+    spec.online_since = -util::minutes(60);
+    const auto id = system.add_peer(spec, std::move(inventory));
+    system.run_for(util::milliseconds(100));
+    return id;
+  };
+
+  add_peer(120, {});  // founds the domain, becomes RM
+  util::Rng rng(1);
+  const auto movie =
+      media::make_object(system.next_object_id(), source, 15.0, rng);
+  PeerInventory library;
+  library.objects = {movie};
+  add_peer(60, std::move(library));
+  PeerInventory transcoder_a;
+  transcoder_a.services = {
+      {system.next_service_id(), media::TranscoderType{source, target}}};
+  add_peer(80, std::move(transcoder_a));
+  PeerInventory transcoder_b;
+  transcoder_b.services = {
+      {system.next_service_id(), media::TranscoderType{source, target}}};
+  add_peer(40, std::move(transcoder_b));
+  const auto user = add_peer(50, {});
+  system.run_for(util::seconds(2));
+
+  QoSRequirements q;
+  q.object = movie.id;
+  q.acceptable_formats = {target};
+  q.deadline = util::seconds(60);
+  q.importance = 5.0;
+  system.submit_task(user, q);
+  system.run_for(util::minutes(2));
+
+  // One line per event, every field included: any behavioural drift in the
+  // control plane shows up as a text diff against the committed golden.
+  std::ostringstream out;
+  for (const auto& e : tracer.events()) {
+    out << e.at << ' ' << trace_kind_name(e.kind) << " peer="
+        << util::to_string(e.peer) << " task=" << util::to_string(e.task)
+        << " domain=" << util::to_string(e.domain) << " detail=" << e.detail
+        << '\n';
+  }
+  return out.str();
+}
+
+TEST(TracerGolden, QuickstartScenarioMatchesCommittedTrace) {
+  const std::string first = run_quickstart_trace();
+  const std::string second = run_quickstart_trace();
+  // Same seed, same scenario, fresh System: the trace must be identical.
+  ASSERT_EQ(first, second) << "quickstart scenario is nondeterministic";
+  ASSERT_FALSE(first.empty());
+
+  const std::string path =
+      std::string(P2PRM_GOLDEN_DIR) + "/quickstart_trace.txt";
+  if (g_update_golden) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << first;
+    GTEST_SKIP() << "golden updated: " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " — regenerate with: trace_test --update-golden";
+  std::stringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(first, want.str())
+      << "trace diverged from " << path
+      << " — if the behaviour change is intended, rerun with "
+         "--update-golden and commit the new file";
+}
+
 TEST(TracerIntegration, NoTracerMeansNoOverheadOrCrash) {
   SystemConfig config;
   config.seed = 5;
@@ -125,3 +231,13 @@ TEST(TracerIntegration, NoTracerMeansNoOverheadOrCrash) {
 
 }  // namespace
 }  // namespace p2prm::core
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--update-golden") {
+      p2prm::core::g_update_golden = true;
+    }
+  }
+  return RUN_ALL_TESTS();
+}
