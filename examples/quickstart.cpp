@@ -7,21 +7,41 @@
 //   4. Submit a user query (object + acceptable formats + deadline) and run.
 //
 // Build & run:  ./build/examples/quickstart
+//
+// Observability (docs/OBSERVABILITY.md): exporter flags write machine-
+// readable snapshots of the run —
+//   --metrics-json=PATH      flat v1 summary (schema_version 1)
+//   --metrics-json-v2=PATH   typed registry export ("p2prm-metrics/2")
+//   --prometheus=PATH        Prometheus text exposition
+//   --spans=PATH             per-task span trees (enables config.enable_spans)
+#include <fstream>
 #include <iostream>
 
 #include "core/system.hpp"
 #include "media/catalog.hpp"
 #include "metrics/report.hpp"
+#include "obs/span.hpp"
+#include "util/args.hpp"
 
 using namespace p2prm;
 
-int main() {
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const std::string metrics_v1_path = args.get("metrics-json", "");
+  const std::string metrics_v2_path = args.get("metrics-json-v2", "");
+  const std::string prometheus_path = args.get("prometheus", "");
+  const std::string spans_path = args.get("spans", "");
+
   // 1. The system. One config object holds every knob; defaults implement
   //    the paper's design (LLS scheduling, fairness-maximizing allocation,
   //    admission control, backup RM, gossip).
   core::SystemConfig config;
   config.seed = 2026;
+  // Span dumps need the per-hop trace events (off by default).
+  config.enable_spans = !spans_path.empty();
   core::System system(config);
+  core::Tracer tracer;
+  if (!spans_path.empty()) system.set_tracer(&tracer);
 
   // 2. A tiny catalog: one source format, one target, one conversion.
   const media::MediaFormat source{media::Codec::MPEG2, media::kRes800x600, 512};
@@ -94,5 +114,30 @@ int main() {
   std::cout << "\nTraffic:\n";
   metrics::traffic_table(system.network().stats()).print(std::cout);
   (void)source_peer;
+
+  const auto write_or_die = [](const std::string& path, bool ok) {
+    if (!ok) {
+      std::cerr << "failed to write " << path << "\n";
+      std::exit(2);
+    }
+    std::cout << "wrote " << path << "\n";
+  };
+  if (!metrics_v1_path.empty()) {
+    write_or_die(metrics_v1_path,
+                 metrics::write_metrics_json(system, metrics_v1_path));
+  }
+  if (!metrics_v2_path.empty()) {
+    write_or_die(metrics_v2_path,
+                 metrics::write_metrics_json_v2(system, metrics_v2_path));
+  }
+  if (!prometheus_path.empty()) {
+    write_or_die(prometheus_path,
+                 metrics::write_metrics_prometheus(system, prometheus_path));
+  }
+  if (!spans_path.empty()) {
+    std::ofstream out(spans_path);
+    obs::write_spans(obs::build_task_spans(tracer), out);
+    write_or_die(spans_path, static_cast<bool>(out));
+  }
   return record->status == core::TaskStatus::Completed ? 0 : 1;
 }

@@ -97,13 +97,13 @@ int main() {
   util::Table t({"peer", "hops executed", "streams forwarded"});
   for (const auto id : system.peer_ids()) {
     const auto* node = system.peer(id);
-    if (node->peer_stats().hops_executed == 0 &&
-        node->peer_stats().streams_forwarded == 0) {
+    if (node->stats().hops_executed == 0 &&
+        node->stats().streams_forwarded == 0) {
       continue;
     }
     t.cell(util::to_string(id))
-        .cell(node->peer_stats().hops_executed)
-        .cell(node->peer_stats().streams_forwarded)
+        .cell(node->stats().hops_executed)
+        .cell(node->stats().streams_forwarded)
         .end_row();
   }
   t.print(std::cout);

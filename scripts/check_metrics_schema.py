@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Validate a p2prm metrics JSON document (v2, with a v1 fallback check).
+
+Usage:
+    check_metrics_schema.py METRICS.json [--expect-version=2]
+
+Checks, for "p2prm-metrics/2" documents (docs/OBSERVABILITY.md):
+  * schema / schema_version header fields
+  * every sample has name / kind / labels, and a valid metric name
+  * counters and gauges carry `value`; histograms carry per-bucket
+    `buckets` (strictly increasing finite bounds, final le == "+Inf"),
+    `sum` and `count` with count == sum of bucket counts
+  * samples are sorted by (name, labels) and unique — the byte-determinism
+    contract the exporters promise
+
+For flat v1 documents (schema_version == 1) it only checks the version
+field and that every other value is a number, since that format is pinned
+by the bench gate and fault matrix rather than by this script.
+
+Exit status: 0 on success, 1 on validation failure, 2 on usage/IO error.
+Stdlib only.
+"""
+
+import json
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$")
+LABEL_KEY_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+KINDS = ("counter", "gauge", "histogram")
+
+
+class ValidationError(Exception):
+    pass
+
+
+def fail(msg):
+    raise ValidationError(msg)
+
+
+def check_v1(doc):
+    if doc.get("schema_version") != 1:
+        fail("v1: schema_version != 1")
+    for key, value in doc.items():
+        if key == "schema_version":
+            continue
+        if not isinstance(value, (int, float)):
+            fail(f"v1: field {key!r} is not a number")
+    return len(doc) - 1
+
+
+def check_sample(i, sample):
+    where = f"metrics[{i}]"
+    if not isinstance(sample, dict):
+        fail(f"{where}: not an object")
+    name = sample.get("name")
+    if not isinstance(name, str) or not NAME_RE.match(name):
+        fail(f"{where}: bad metric name {name!r}")
+    kind = sample.get("kind")
+    if kind not in KINDS:
+        fail(f"{where} ({name}): bad kind {kind!r}")
+    labels = sample.get("labels")
+    if not isinstance(labels, dict):
+        fail(f"{where} ({name}): labels missing or not an object")
+    for k, v in labels.items():
+        if not LABEL_KEY_RE.match(k):
+            fail(f"{where} ({name}): bad label key {k!r}")
+        if not isinstance(v, str):
+            fail(f"{where} ({name}): label {k!r} value is not a string")
+
+    if kind in ("counter", "gauge"):
+        value = sample.get("value")
+        number_ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+        # JsonWriter renders non-finite doubles as null.
+        if not (number_ok or (kind == "gauge" and value is None)):
+            fail(f"{where} ({name}): {kind} value {value!r} is not a number")
+        if kind == "counter" and (not isinstance(value, int) or value < 0):
+            fail(f"{where} ({name}): counter value {value!r} is not a "
+                 "non-negative integer")
+        if "buckets" in sample:
+            fail(f"{where} ({name}): {kind} must not carry buckets")
+        return
+
+    # Histogram.
+    buckets = sample.get("buckets")
+    if not isinstance(buckets, list) or not buckets:
+        fail(f"{where} ({name}): histogram without buckets")
+    prev_le = None
+    total = 0
+    for j, bucket in enumerate(buckets):
+        last = j == len(buckets) - 1
+        if not isinstance(bucket, dict) or set(bucket) != {"le", "count"}:
+            fail(f"{where} ({name}): bucket[{j}] must have exactly le+count")
+        le, count = bucket["le"], bucket["count"]
+        if last:
+            if le != "+Inf":
+                fail(f"{where} ({name}): last bucket le is {le!r}, not '+Inf'")
+        else:
+            if not isinstance(le, (int, float)) or isinstance(le, bool):
+                fail(f"{where} ({name}): bucket[{j}] le {le!r} is not a number")
+            if prev_le is not None and le <= prev_le:
+                fail(f"{where} ({name}): bucket bounds not strictly increasing")
+            prev_le = le
+        if not isinstance(count, int) or count < 0:
+            fail(f"{where} ({name}): bucket[{j}] count {count!r} invalid")
+        total += count
+    count = sample.get("count")
+    if not isinstance(count, int) or count != total:
+        fail(f"{where} ({name}): count {count!r} != sum of per-bucket "
+             f"counts {total}")
+    if not isinstance(sample.get("sum"), (int, float)):
+        fail(f"{where} ({name}): histogram sum is not a number")
+
+
+def check_v2(doc):
+    if doc.get("schema") != "p2prm-metrics/2":
+        fail(f"schema is {doc.get('schema')!r}, expected 'p2prm-metrics/2'")
+    if doc.get("schema_version") != 2:
+        fail(f"schema_version is {doc.get('schema_version')!r}, expected 2")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, list) or not metrics:
+        fail("metrics missing, not a list, or empty")
+    keys = []
+    for i, sample in enumerate(metrics):
+        check_sample(i, sample)
+        keys.append((sample["name"], tuple(sorted(sample["labels"].items()))))
+    if keys != sorted(keys):
+        fail("samples are not sorted by (name, labels)")
+    if len(keys) != len(set(keys)):
+        fail("duplicate (name, labels) series")
+    return len(metrics)
+
+
+def main(argv):
+    expect = None
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--expect-version="):
+            expect = int(arg.split("=", 1)[1])
+        elif arg.startswith("-"):
+            print(f"unknown flag {arg}", file=sys.stderr)
+            return 2
+        else:
+            paths.append(arg)
+    if len(paths) != 1:
+        print(__doc__.strip().splitlines()[0], file=sys.stderr)
+        print(f"usage: {argv[0]} METRICS.json [--expect-version=N]",
+              file=sys.stderr)
+        return 2
+
+    try:
+        with open(paths[0], encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{paths[0]}: {e}", file=sys.stderr)
+        return 2
+
+    if not isinstance(doc, dict):
+        print(f"{paths[0]}: top level is not an object", file=sys.stderr)
+        return 1
+    version = doc.get("schema_version")
+    if expect is not None and version != expect:
+        print(f"{paths[0]}: schema_version {version!r} != expected {expect}",
+              file=sys.stderr)
+        return 1
+    try:
+        if version == 1:
+            n = check_v1(doc)
+            print(f"{paths[0]}: OK (v1, {n} fields)")
+        elif version == 2:
+            n = check_v2(doc)
+            print(f"{paths[0]}: OK (p2prm-metrics/2, {n} samples)")
+        else:
+            fail(f"unsupported schema_version {version!r}")
+    except ValidationError as e:
+        print(f"{paths[0]}: FAIL: {e}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

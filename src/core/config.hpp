@@ -150,6 +150,13 @@ struct SystemConfig {
   bool redirect_across_domains = true;
   int max_redirects = 3;
 
+  // --- observability ---------------------------------------------------------------
+  // Emit HopStarted/HopCompleted trace events so obs::build_task_spans can
+  // reconstruct full per-task span trees (docs/OBSERVABILITY.md). Off by
+  // default: the coarse lifecycle events stay byte-identical to the golden
+  // traces and hop volume can dwarf the trace ring on long runs.
+  bool enable_spans = false;
+
   // --- workload-facing cost model -------------------------------------------------
   media::CostModelConfig cost_model{};
 };

@@ -118,7 +118,7 @@ void PeerNode::become_rm(util::DomainId domain,
   membership_timer_.cancel();  // RMs do not watch for their own heartbeats
   system_.trace(epoch > 1 ? TraceKind::RmTakeover : TraceKind::RmPromoted,
                 spec_.id, util::TaskId::invalid(), domain,
-                "epoch " + std::to_string(epoch));
+                {{"epoch", epoch}});
   P2PRM_LOG(Info, kLog, system_.simulator().now_seconds())
       << "peer " << spec_.id << " is now RM of domain " << domain << " (epoch "
       << epoch << ")";
@@ -191,14 +191,14 @@ void PeerNode::handle_message(util::PeerId from, const net::Message& message) {
     settle_task_query(m->task);
     system_.ledger().on_rejected(m->task, m->reason);
     system_.trace(TraceKind::TaskRejected, spec_.id, m->task,
-                  util::DomainId::invalid(), m->reason);
+                  util::DomainId::invalid(), {{"reason", m->reason}});
     return;
   }
   if (const auto* m = net::message_cast<TaskFailedMsg>(message)) {
     settle_task_query(m->task);
     system_.ledger().on_failed(m->task, m->reason);
     system_.trace(TraceKind::TaskFailed, spec_.id, m->task,
-                  util::DomainId::invalid(), m->reason);
+                  util::DomainId::invalid(), {{"reason", m->reason}});
     return;
   }
   if (const auto* m = net::message_cast<ReportAck>(message)) {
@@ -355,7 +355,7 @@ void PeerNode::on_rm_heartbeat(util::PeerId from, const overlay::RmHeartbeat& m)
 
 void PeerNode::abdicate(util::PeerId new_rm, std::uint64_t new_epoch) {
   system_.trace(TraceKind::RmDemoted, spec_.id, util::TaskId::invalid(),
-                domain_, "abdicated to " + util::to_string(new_rm));
+                domain_, {{"successor", util::to_string(new_rm)}});
   P2PRM_LOG(Info, kLog, system_.simulator().now_seconds())
       << "peer " << spec_.id << " abdicates RM of domain " << domain_
       << " to " << new_rm << " (epoch " << new_epoch << ")";
@@ -377,7 +377,7 @@ void PeerNode::abdicate(util::PeerId new_rm, std::uint64_t new_epoch) {
 void PeerNode::demote_and_rejoin() {
   if (!rm_) return;
   system_.trace(TraceKind::RmDemoted, spec_.id, util::TaskId::invalid(),
-                domain_, "lost all members");
+                domain_, {{"reason", "lost all members"}});
   P2PRM_LOG(Info, kLog, system_.simulator().now_seconds())
       << "peer " << spec_.id << " demotes itself (domain " << domain_
       << " lost all members) and rejoins";
@@ -504,7 +504,7 @@ void PeerNode::submit_request(util::TaskId task, QoSRequirements q) {
         query_retries_.erase(task);
         system_.ledger().on_rejected(task, "rpc-timeout");
         system_.trace(TraceKind::TaskRejected, spec_.id, task,
-                      util::DomainId::invalid(), "rpc-timeout");
+                      util::DomainId::invalid(), {{"reason", "rpc-timeout"}});
       },
       &stats_.query_retry);
 }
@@ -623,6 +623,12 @@ void PeerNode::on_stream_data(const StreamData& m) {
   session.job_submitted = true;
   job_index_[job.id] = key;
   processor_->submit(job);
+  if (system_.config().enable_spans) {
+    system_.trace(TraceKind::HopStarted, spec_.id, session.spec.task,
+                  util::DomainId::invalid(),
+                  {{"hop", session.spec.hop_index},
+                   {"service", session.spec.type.type_key()}});
+  }
 }
 
 void PeerNode::on_job_finished(const sched::Job& job, sched::JobStatus status) {
@@ -648,6 +654,14 @@ void PeerNode::on_job_finished(const sched::Job& job, sched::JobStatus status) {
   }
 
   ++stats_.hops_executed;
+  if (system_.config().enable_spans) {
+    system_.trace(TraceKind::HopCompleted, spec_.id, session.spec.task,
+                  util::DomainId::invalid(),
+                  {{"hop", session.spec.hop_index},
+                   {"service", session.spec.type.type_key()},
+                   {"exec_s", util::to_seconds(job.completed - job.release)},
+                   {"late", status == sched::JobStatus::CompletedLate ? 1 : 0}});
+  }
   profiler_.record_execution(session.spec.type.type_key(),
                              job.completed - job.release);
   forward_hop_output(session);
@@ -691,7 +705,8 @@ void PeerNode::deliver_to_user(const StreamData& m) {
   }
   system_.ledger().on_completed(m.task, now, missed);
   system_.trace(TraceKind::TaskCompleted, spec_.id, m.task,
-                util::DomainId::invalid(), missed ? "missed" : "on-time");
+                util::DomainId::invalid(),
+                {{"outcome", missed ? "missed" : "on-time"}});
   if (joined_ && my_rm_.valid()) {
     auto done = std::make_unique<TaskCompleted>();
     done->task = m.task;
@@ -754,6 +769,27 @@ void PeerNode::report_tick() {
         send(my_rm_, std::make_unique<ProfilerReport>(pending_report_));
       },
       /*on_exhausted=*/{}, &stats_.report_retry);
+}
+
+void PeerNode::publish(obs::MetricsRegistry& registry) const {
+  const obs::Labels labels{{"peer", util::to_string(spec_.id)}};
+  const auto c = [&](std::string_view name, std::uint64_t v) {
+    registry.counter(name, labels).set(v);
+  };
+  c("peer.hops_executed", stats_.hops_executed);
+  c("peer.hops_cancelled", stats_.hops_cancelled);
+  c("peer.streams_forwarded", stats_.streams_forwarded);
+  c("peer.rejoin_attempts", stats_.rejoin_attempts);
+  c("peer.bytes_sent", stats_.bytes_sent);
+  c("peer.join_retries", stats_.join_retries);
+  sim::publish_retry_stats(stats_.query_retry, registry, "peer.query",
+                           labels);
+  sim::publish_retry_stats(stats_.report_retry, registry, "peer.report",
+                           labels);
+  registry.gauge("peer.active_sessions", labels)
+      .set(static_cast<double>(sessions_.size()));
+  if (processor_) processor_->publish(registry, labels);
+  if (rm_) rm_->publish(registry);
 }
 
 }  // namespace p2prm::core

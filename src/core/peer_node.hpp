@@ -84,7 +84,11 @@ class PeerNode {
   [[nodiscard]] profile::Profiler& profiler() { return profiler_; }
   [[nodiscard]] overlay::ConnectionManager& connections() { return conns_; }
   [[nodiscard]] const PeerInventory& inventory() const { return inventory_; }
-  [[nodiscard]] const PeerStats& peer_stats() const { return stats_; }
+  [[nodiscard]] const PeerStats& stats() const { return stats_; }
+  // Writes peer.* metrics (hop execution, stream forwarding, rejoin and
+  // RPC-retry counters) plus this peer's processor series, labelled with
+  // the peer id. An RM host also publishes its rm.* metrics.
+  void publish(obs::MetricsRegistry& registry) const;
   [[nodiscard]] std::size_t active_sessions() const { return sessions_.size(); }
   // The profiler report period currently in force (RM-announced under
   // adaptive feedback, else the configured default).

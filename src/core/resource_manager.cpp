@@ -376,9 +376,8 @@ bool ResourceManager::try_allocate_and_compose(const TaskQuery& query) {
   ++stats_.tasks_admitted;
   host_.system().trace(TraceKind::TaskAdmitted, host_.id(), query.task,
                        info_.domain().id(),
-                       util::format("%zu hops, fairness %.3f",
-                                    stored.sg.hop_count(),
-                                    result.fairness_after));
+                       {{"hops", stored.sg.hop_count()},
+                        {"fairness", result.fairness_after}});
   stats_.allocation_fairness.add(result.fairness_after);
   stats_.candidates_per_allocation.add(
       static_cast<double>(result.candidates_considered));
@@ -492,8 +491,8 @@ void ResourceManager::redirect_query(const TaskQuery& query,
   ++stats_.redirects_out;
   host_.system().trace(TraceKind::TaskRedirected, host_.id(), query.task,
                        info_.domain().id(),
-                       "to RM " + util::to_string(target) + " (" + reason +
-                           ")");
+                       {{"target_rm", util::to_string(target)},
+                        {"reason", reason}});
 }
 
 void ResourceManager::reject_task(const TaskQuery& query,
@@ -726,7 +725,7 @@ bool ResourceManager::recover_task(util::TaskId task_id, const char* cause,
   compose(*task, result.load_deltas);
   ++stats_.recoveries_succeeded;
   host_.system().trace(TraceKind::TaskRecovered, host_.id(), task_id,
-                       info_.domain().id(), cause);
+                       info_.domain().id(), {{"cause", cause}});
   P2PRM_LOG(Debug, kLog, system.simulator().now_seconds())
       << "RM " << host_.id() << " recomposed task " << task_id << " ("
       << cause << ")";
@@ -862,6 +861,49 @@ void ResourceManager::add_known_rm(overlay::RmInfo info) {
     }
   }
   known_rms_.push_back(info);
+}
+
+void ResourceManager::publish(obs::MetricsRegistry& registry) const {
+  const obs::Labels labels{{"domain", util::to_string(info_.domain().id())}};
+  const auto c = [&](std::string_view name, std::uint64_t v) {
+    registry.counter(name, labels).set(v);
+  };
+  c("rm.queries_received", stats_.queries_received);
+  c("rm.queries_redirected_in", stats_.queries_redirected_in);
+  c("rm.tasks_admitted", stats_.tasks_admitted);
+  c("rm.tasks_rejected", stats_.tasks_rejected);
+  c("rm.redirects_out", stats_.redirects_out);
+  c("rm.allocation_no_object", stats_.allocation_no_object);
+  c("rm.allocation_no_path", stats_.allocation_no_path);
+  c("rm.allocation_deadline", stats_.allocation_deadline);
+  c("rm.tasks_completed", stats_.tasks_completed);
+  c("rm.tasks_missed", stats_.tasks_missed);
+  c("rm.tasks_failed", stats_.tasks_failed);
+  c("rm.member_failures", stats_.member_failures);
+  c("rm.recoveries_attempted", stats_.recoveries_attempted);
+  c("rm.recoveries_succeeded", stats_.recoveries_succeeded);
+  c("rm.reassignments", stats_.reassignments);
+  c("rm.tasks_expired", stats_.tasks_expired);
+  c("rm.qos_updates", stats_.qos_updates);
+  c("rm.qos_replans", stats_.qos_replans);
+  c("rm.joins_accepted", stats_.joins_accepted);
+  c("rm.joins_promoted", stats_.joins_promoted);
+  c("rm.joins_redirected", stats_.joins_redirected);
+  c("rm.duplicate_queries", stats_.duplicate_queries);
+  c("rm.duplicate_reports", stats_.duplicate_reports);
+  c("rm.search_vertices_popped", stats_.search_vertices_popped);
+  c("rm.path_cache_hits", stats_.path_cache_hits);
+  c("rm.path_cache_misses", stats_.path_cache_misses);
+  sim::publish_retry_stats(stats_.backup_sync_retry, registry,
+                           "rm.backup_sync", labels);
+  c("rm.allocations_scored", stats_.allocation_fairness.count());
+  registry.gauge("rm.allocation_fairness_mean", labels)
+      .set(stats_.allocation_fairness.mean());
+  registry.gauge("rm.candidates_per_allocation_mean", labels)
+      .set(stats_.candidates_per_allocation.mean());
+  registry.gauge("rm.domain_members", labels)
+      .set(static_cast<double>(info_.domain().size()));
+  info_.path_cache().publish(registry, labels);
 }
 
 }  // namespace p2prm::core

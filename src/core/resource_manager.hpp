@@ -94,6 +94,10 @@ class ResourceManager {
   [[nodiscard]] gossip::GossipEngine& gossip() { return *gossip_; }
   [[nodiscard]] const gossip::GossipEngine& gossip() const { return *gossip_; }
   [[nodiscard]] const RmStats& stats() const { return stats_; }
+  // Writes rm.* metrics (admission/recovery/redirect counters, fairness
+  // distribution, backup-sync retries, path-cache effectiveness) labelled
+  // with this RM's domain.
+  void publish(obs::MetricsRegistry& registry) const;
   [[nodiscard]] const std::vector<overlay::RmInfo>& known_rms() const {
     return known_rms_;
   }

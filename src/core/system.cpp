@@ -188,7 +188,7 @@ bool System::restart_peer(util::PeerId peer) {
                    });
   raw->start(random_alive_peer(spec.id));
   trace(TraceKind::PeerJoined, spec.id, util::TaskId::invalid(),
-        util::DomainId::invalid(), "restarted");
+        util::DomainId::invalid(), {{"reason", "restarted"}});
   return true;
 }
 
@@ -282,7 +282,7 @@ util::TaskId System::submit_task(util::PeerId origin, QoSRequirements q) {
 }
 
 void System::trace(TraceKind kind, util::PeerId peer, util::TaskId task,
-                   util::DomainId domain, std::string detail) {
+                   util::DomainId domain, obs::Attrs attrs) {
   if (tracer_ == nullptr) return;
   TraceEvent e;
   e.at = sim_.now();
@@ -290,7 +290,8 @@ void System::trace(TraceKind kind, util::PeerId peer, util::TaskId task,
   e.peer = peer;
   e.task = task;
   e.domain = domain;
-  e.detail = std::move(detail);
+  e.detail = derive_detail(kind, attrs);
+  e.attrs = std::move(attrs);
   tracer_->record(std::move(e));
 }
 

@@ -154,6 +154,7 @@ class System {
 
   // --- access ------------------------------------------------------------------------
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] const sim::Simulator& simulator() const { return sim_; }
   [[nodiscard]] net::Network& network() { return *network_; }
   [[nodiscard]] const net::Network& network() const { return *network_; }
   [[nodiscard]] net::Topology& topology() { return topology_; }
@@ -168,10 +169,12 @@ class System {
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
   [[nodiscard]] Tracer* tracer() { return tracer_; }
   // Emits one event if a tracer is attached (timestamp filled in here).
+  // Payload is typed attrs; the legacy `detail` string is derived from them
+  // (core::derive_detail), so call sites state each fact exactly once.
   void trace(TraceKind kind, util::PeerId peer,
              util::TaskId task = util::TaskId::invalid(),
              util::DomainId domain = util::DomainId::invalid(),
-             std::string detail = {});
+             obs::Attrs attrs = {});
 
   // Global id factories (unique across the whole system).
   [[nodiscard]] util::TaskId next_task_id() { return task_ids_.next(); }

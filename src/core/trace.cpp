@@ -13,6 +13,8 @@ std::string_view trace_kind_name(TraceKind kind) {
     case TraceKind::TaskCompleted: return "task.completed";
     case TraceKind::TaskFailed: return "task.failed";
     case TraceKind::TaskRecovered: return "task.recovered";
+    case TraceKind::HopStarted: return "hop.started";
+    case TraceKind::HopCompleted: return "hop.completed";
     case TraceKind::PeerJoined: return "peer.joined";
     case TraceKind::PeerLeft: return "peer.left";
     case TraceKind::PeerFailed: return "peer.failed";
@@ -21,6 +23,58 @@ std::string_view trace_kind_name(TraceKind kind) {
     case TraceKind::RmDemoted: return "rm.demoted";
   }
   return "?";
+}
+
+std::string derive_detail(TraceKind kind, const obs::Attrs& attrs) {
+  if (attrs.empty()) return {};
+  switch (kind) {
+    case TraceKind::RmPromoted:
+    case TraceKind::RmTakeover:
+      if (const auto* epoch = obs::find_attr(attrs, "epoch")) {
+        return "epoch " + obs::to_string(*epoch);
+      }
+      break;
+    case TraceKind::TaskAdmitted:
+      if (obs::find_attr(attrs, "hops") != nullptr &&
+          obs::find_attr(attrs, "fairness") != nullptr) {
+        return util::format("%lld hops, fairness %.3f",
+                            static_cast<long long>(obs::attr_int(attrs, "hops")),
+                            obs::attr_double(attrs, "fairness"));
+      }
+      break;
+    case TraceKind::TaskRedirected:
+      if (const auto* target = obs::find_attr(attrs, "target_rm")) {
+        return "to RM " + obs::to_string(*target) + " (" +
+               obs::attr_string(attrs, "reason") + ")";
+      }
+      break;
+    case TraceKind::TaskRejected:
+    case TraceKind::TaskFailed:
+      return obs::attr_string(attrs, "reason");
+    case TraceKind::TaskRecovered:
+      return obs::attr_string(attrs, "cause");
+    case TraceKind::TaskCompleted:
+      return obs::attr_string(attrs, "outcome");
+    case TraceKind::PeerJoined:
+    case TraceKind::PeerLeft:
+    case TraceKind::PeerFailed:
+      return obs::attr_string(attrs, "reason");
+    case TraceKind::RmDemoted:
+      if (const auto* successor = obs::find_attr(attrs, "successor")) {
+        return "abdicated to " + obs::to_string(*successor);
+      }
+      return obs::attr_string(attrs, "reason");
+    default:
+      break;
+  }
+  std::string out;
+  for (const auto& a : attrs) {
+    if (!out.empty()) out += ' ';
+    out += a.key;
+    out += '=';
+    out += obs::to_string(a.value);
+  }
+  return out;
 }
 
 Tracer::Tracer(std::size_t capacity) : capacity_(std::max<std::size_t>(capacity, 16)) {

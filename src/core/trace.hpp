@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/attr.hpp"
 #include "util/ids.hpp"
 #include "util/table.hpp"
 #include "util/time.hpp"
@@ -27,6 +28,10 @@ enum class TraceKind {
   TaskCompleted,
   TaskFailed,
   TaskRecovered,    // re-planned after failure / reassignment / QoS change
+  // per-hop service execution (emitted only when SystemConfig::enable_spans;
+  // obs::build_task_spans turns these into span trees)
+  HopStarted,
+  HopCompleted,
   // membership & roles
   PeerJoined,
   PeerLeft,
@@ -44,8 +49,16 @@ struct TraceEvent {
   util::PeerId peer;        // acting peer (RM for decisions, subject else)
   util::TaskId task;        // invalid for membership events
   util::DomainId domain;    // invalid when not applicable
-  std::string detail;       // free-form: reason, target, ...
+  obs::Attrs attrs;         // typed payload: reason, hops, fairness, ...
+  std::string detail;       // derived from attrs (derive_detail); legacy view
 };
+
+// The human-readable one-liner the old free-form `detail` field carried,
+// now computed from the typed attrs so emit sites state facts exactly once.
+// Kind-aware: reproduces the historical strings byte-for-byte (the golden
+// quickstart trace pins them); unknown kinds fall back to "k=v k=v".
+[[nodiscard]] std::string derive_detail(TraceKind kind,
+                                        const obs::Attrs& attrs);
 
 class Tracer {
  public:

@@ -56,4 +56,14 @@ void PathCache::clear() {
   primed_ = false;
 }
 
+void PathCache::publish(obs::MetricsRegistry& registry,
+                        obs::Labels labels) const {
+  registry.counter("graph.path_cache.hits", labels).set(stats_.hits);
+  registry.counter("graph.path_cache.misses", labels).set(stats_.misses);
+  registry.counter("graph.path_cache.invalidations", labels)
+      .set(stats_.invalidations);
+  registry.gauge("graph.path_cache.entries", labels)
+      .set(static_cast<double>(entries_.size()));
+}
+
 }  // namespace p2prm::graph

@@ -20,17 +20,21 @@
 
 #include "graph/path_search.hpp"
 #include "graph/resource_graph.hpp"
+#include "obs/metrics_registry.hpp"
 
 namespace p2prm::graph {
 
+// House-style stats struct (cf. RmStats, NetworkStats): cheap counters the
+// cache bumps inline, snapshotted via stats()/publish().
+struct PathCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  // Times the whole cache was dropped because the graph epoch moved.
+  std::uint64_t invalidations = 0;
+};
+
 class PathCache {
  public:
-  struct Stats {
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    // Times the whole cache was dropped because the graph epoch moved.
-    std::uint64_t invalidations = 0;
-  };
 
   // Unpruned Figure 3 enumeration from `start` to `goal`, served from the
   // cache when the graph epoch has not moved since the entry was computed.
@@ -44,7 +48,10 @@ class PathCache {
 
   void clear();
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const PathCacheStats& stats() const { return stats_; }
+  // Writes graph.path_cache.* (hit/miss/invalidation counters plus an
+  // entries gauge) under `labels`.
+  void publish(obs::MetricsRegistry& registry, obs::Labels labels = {}) const;
 
  private:
   struct Key {
@@ -64,7 +71,7 @@ class PathCache {
   std::unordered_map<Key, std::vector<IdPath>, KeyHash> entries_;
   std::uint64_t seen_epoch_ = 0;
   bool primed_ = false;  // false until the first query records an epoch
-  Stats stats_;
+  PathCacheStats stats_;
 };
 
 }  // namespace p2prm::graph

@@ -104,7 +104,7 @@ RetryAggregate aggregate_retry_stats(const core::System& system) {
   for (const auto id : system.peer_ids()) {
     const auto* node = system.peer(id);
     if (node == nullptr) continue;
-    const auto& s = node->peer_stats();
+    const auto& s = node->stats();
     agg.query_retries += s.query_retry.retries;
     agg.query_acked += s.query_retry.acked;
     agg.query_exhausted += s.query_retry.exhausted;

@@ -1,0 +1,18 @@
+// One-call snapshot of every stat source into a MetricsRegistry.
+//
+// This is the composition root of the pull-based metrics API: each
+// component owns its publish(MetricsRegistry&) method (satellite of
+// docs/OBSERVABILITY.md), and publish_all() walks the system wiring them
+// together — ledger outcomes, network traffic, event-queue health, every
+// peer (and through it each RM's domain metrics). Call it at the moment
+// you want a snapshot; nothing is accumulated between calls.
+#pragma once
+
+#include "core/system.hpp"
+#include "obs/metrics_registry.hpp"
+
+namespace p2prm::metrics {
+
+void publish_all(const core::System& system, obs::MetricsRegistry& registry);
+
+}  // namespace p2prm::metrics

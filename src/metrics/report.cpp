@@ -1,8 +1,11 @@
 #include "metrics/report.hpp"
 
-#include <cstdio>
 #include <fstream>
 #include <sstream>
+
+#include "metrics/publish.hpp"
+#include "obs/export.hpp"
+#include "util/json_writer.hpp"
 
 namespace p2prm::metrics {
 
@@ -89,12 +92,15 @@ std::string metrics_json(const core::System& system) {
   const RetryAggregate retry = aggregate_retry_stats(system);
   const RmAggregate rm = aggregate_rm_stats(system);
 
+  // v1: the flat key/value object CI consumers (bench gate, fault matrix)
+  // parse. Numbers keep the historical %.6g rendering; `schema_version`
+  // distinguishes it from the self-describing v2 (metrics_json_v2).
   std::ostringstream out;
-  out << "{\n";
-  const auto field = [&out](const char* key, double value, bool last = false) {
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%.6g", value);
-    out << "  \"" << key << "\": " << buf << (last ? "\n" : ",\n");
+  util::JsonWriter w(out);
+  w.begin_object();
+  w.field("schema_version", 1);
+  const auto field = [&w](const char* key, double value) {
+    w.field_fmt(key, value, "%.6g");
   };
   field("tasks_submitted", static_cast<double>(ledger.submitted()));
   field("tasks_admitted", static_cast<double>(ledger.admitted()));
@@ -133,8 +139,9 @@ std::string metrics_json(const core::System& system) {
   field("duplicate_queries", static_cast<double>(retry.duplicate_queries));
   field("duplicate_reports", static_cast<double>(retry.duplicate_reports));
   field("gossip_anti_entropy_pushes",
-        static_cast<double>(retry.gossip_anti_entropy_pushes), /*last=*/true);
-  out << "}\n";
+        static_cast<double>(retry.gossip_anti_entropy_pushes));
+  w.end_object();
+  out << '\n';
   return out.str();
 }
 
@@ -142,6 +149,34 @@ bool write_metrics_json(const core::System& system, const std::string& path) {
   std::ofstream out(path);
   if (!out) return false;
   out << metrics_json(system);
+  return static_cast<bool>(out);
+}
+
+std::string metrics_json_v2(const core::System& system) {
+  obs::MetricsRegistry registry;
+  publish_all(system, registry);
+  return obs::to_json(registry);
+}
+
+bool write_metrics_json_v2(const core::System& system,
+                           const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << metrics_json_v2(system);
+  return static_cast<bool>(out);
+}
+
+std::string metrics_prometheus(const core::System& system) {
+  obs::MetricsRegistry registry;
+  publish_all(system, registry);
+  return obs::to_prometheus(registry);
+}
+
+bool write_metrics_prometheus(const core::System& system,
+                              const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << metrics_prometheus(system);
   return static_cast<bool>(out);
 }
 

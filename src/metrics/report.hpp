@@ -21,9 +21,23 @@ namespace p2prm::metrics {
 [[nodiscard]] util::Table retry_table(const core::System& system);
 
 // Machine-readable run summary for CI artifacts: task outcomes, retry
-// aggregates and network/fault counters as a flat JSON object.
+// aggregates and network/fault counters as a flat JSON object
+// ("schema_version": 1 — the legacy format the bench gate and fault
+// matrix parse; see docs/OBSERVABILITY.md for the v1 -> v2 migration).
 [[nodiscard]] std::string metrics_json(const core::System& system);
 // Convenience: write metrics_json to `path` (returns false on I/O error).
 bool write_metrics_json(const core::System& system, const std::string& path);
+
+// v2 ("p2prm-metrics/2"): the full typed registry — every component's
+// publish() output as a self-describing sample list, byte-deterministic
+// under a fixed seed. Validated by scripts/check_metrics_schema.py.
+[[nodiscard]] std::string metrics_json_v2(const core::System& system);
+bool write_metrics_json_v2(const core::System& system,
+                           const std::string& path);
+
+// Prometheus text exposition of the same registry snapshot.
+[[nodiscard]] std::string metrics_prometheus(const core::System& system);
+bool write_metrics_prometheus(const core::System& system,
+                              const std::string& path);
 
 }  // namespace p2prm::metrics

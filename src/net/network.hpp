@@ -16,6 +16,7 @@
 
 #include "net/message.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics_registry.hpp"
 #include "sim/simulator.hpp"
 #include "util/ids.hpp"
 
@@ -102,6 +103,9 @@ class Network {
 
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
   void reset_stats() { stats_ = NetworkStats{}; }
+  // Writes net.* counters (delivery/drop/fault breakdown, bytes, and the
+  // per-message-type series labelled {"type": ...}) under `labels`.
+  void publish(obs::MetricsRegistry& registry, obs::Labels labels = {}) const;
 
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] const Topology& topology() const { return topology_; }

@@ -1,0 +1,47 @@
+#include "obs/attr.hpp"
+
+#include <cstdio>
+
+namespace p2prm::obs {
+
+std::string to_string(const AttrValue& v) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return std::to_string(*i);
+  if (const auto* d = std::get_if<double>(&v)) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", *d);
+    return buf;
+  }
+  return std::get<std::string>(v);
+}
+
+const AttrValue* find_attr(const Attrs& attrs, std::string_view key) {
+  for (const auto& a : attrs) {
+    if (a.key == key) return &a.value;
+  }
+  return nullptr;
+}
+
+std::int64_t attr_int(const Attrs& attrs, std::string_view key,
+                      std::int64_t fallback) {
+  const auto* v = find_attr(attrs, key);
+  if (v == nullptr) return fallback;
+  const auto* i = std::get_if<std::int64_t>(v);
+  return i != nullptr ? *i : fallback;
+}
+
+double attr_double(const Attrs& attrs, std::string_view key, double fallback) {
+  const auto* v = find_attr(attrs, key);
+  if (v == nullptr) return fallback;
+  const auto* d = std::get_if<double>(v);
+  return d != nullptr ? *d : fallback;
+}
+
+std::string attr_string(const Attrs& attrs, std::string_view key,
+                        std::string_view fallback) {
+  const auto* v = find_attr(attrs, key);
+  if (v == nullptr) return std::string(fallback);
+  const auto* s = std::get_if<std::string>(v);
+  return s != nullptr ? *s : std::string(fallback);
+}
+
+}  // namespace p2prm::obs

@@ -1,0 +1,56 @@
+// Typed key/value attributes for traces and spans.
+//
+// Replaces the free-form `detail` strings that used to ride on TraceEvent:
+// an attribute is a key plus a string / int / double value, so tooling can
+// filter and aggregate ("fairness > 0.9", "hops == 3") without parsing
+// prose. The legacy `detail` rendering is *derived* from these (see
+// core/trace.cpp), keeping the golden trace stable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <variant>
+#include <vector>
+
+namespace p2prm::obs {
+
+using AttrValue = std::variant<std::int64_t, double, std::string>;
+
+struct Attr {
+  std::string key;
+  AttrValue value;
+
+  Attr(std::string k, std::string v)
+      : key(std::move(k)), value(std::move(v)) {}
+  Attr(std::string k, std::string_view v)
+      : key(std::move(k)), value(std::string(v)) {}
+  Attr(std::string k, const char* v)
+      : key(std::move(k)), value(std::string(v)) {}
+  Attr(std::string k, double v) : key(std::move(k)), value(v) {}
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  Attr(std::string k, T v)
+      : key(std::move(k)), value(static_cast<std::int64_t>(v)) {}
+};
+
+using Attrs = std::vector<Attr>;
+
+// Deterministic rendering: ints as decimal, doubles as %.6g, strings as-is.
+[[nodiscard]] std::string to_string(const AttrValue& v);
+
+// First attribute with `key`, or nullptr.
+[[nodiscard]] const AttrValue* find_attr(const Attrs& attrs,
+                                         std::string_view key);
+
+// Typed lookups with fallbacks (no coercion across types).
+[[nodiscard]] std::int64_t attr_int(const Attrs& attrs, std::string_view key,
+                                    std::int64_t fallback = 0);
+[[nodiscard]] double attr_double(const Attrs& attrs, std::string_view key,
+                                 double fallback = 0.0);
+[[nodiscard]] std::string attr_string(const Attrs& attrs, std::string_view key,
+                                      std::string_view fallback = {});
+
+}  // namespace p2prm::obs

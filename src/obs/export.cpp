@@ -1,0 +1,173 @@
+#include "obs/export.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "util/json_writer.hpp"
+
+namespace p2prm::obs {
+
+namespace {
+
+void write_labels_object(util::JsonWriter& w, const Labels& labels) {
+  w.begin_object();
+  for (const auto& [k, v] : labels) w.field(k, v);
+  w.end_object();
+}
+
+// Shortest round-trip double for Prometheus lines (JSON side uses
+// JsonWriter::value(double) which does the same).
+std::string render_double(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, static_cast<std::size_t>(res.ptr - buf));
+}
+
+void write_prometheus_label_value(std::ostream& out, std::string_view v) {
+  out << '"';
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out << "\\\\"; break;
+      case '"': out << "\\\""; break;
+      case '\n': out << "\\n"; break;
+      default: out << c;
+    }
+  }
+  out << '"';
+}
+
+// {a="x",b="y"} — with `extra` (e.g. le="0.1") appended last.
+void write_prometheus_labels(std::ostream& out, const Labels& labels,
+                             std::string_view extra_key = {},
+                             std::string_view extra_value = {}) {
+  if (labels.empty() && extra_key.empty()) return;
+  out << '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out << ',';
+    first = false;
+    out << k << '=';
+    write_prometheus_label_value(out, v);
+  }
+  if (!extra_key.empty()) {
+    if (!first) out << ',';
+    out << extra_key << '=';
+    write_prometheus_label_value(out, extra_value);
+  }
+  out << '}';
+}
+
+}  // namespace
+
+void write_json(const MetricsRegistry& registry, std::ostream& out) {
+  util::JsonWriter w(out);
+  w.begin_object();
+  w.field("schema", kMetricsSchemaV2);
+  w.field("schema_version", 2);
+  w.key("metrics");
+  w.begin_array();
+  for (const auto& s : registry.snapshot()) {
+    w.begin_object();
+    w.field("name", s.name);
+    w.field("kind", metric_kind_name(s.kind));
+    w.key("labels");
+    write_labels_object(w, s.labels);
+    switch (s.kind) {
+      case MetricKind::Counter:
+        w.field("value", s.counter_value);
+        break;
+      case MetricKind::Gauge:
+        w.field("value", s.gauge_value);
+        break;
+      case MetricKind::Histogram: {
+        w.key("buckets");
+        w.begin_array();
+        for (std::size_t i = 0; i < s.bucket_counts.size(); ++i) {
+          w.begin_object();
+          if (i < s.bounds.size()) {
+            w.field("le", s.bounds[i]);
+          } else {
+            w.field("le", "+Inf");
+          }
+          w.field("count", s.bucket_counts[i]);
+          w.end_object();
+        }
+        w.end_array();
+        w.field("sum", s.sum);
+        w.field("count", s.count);
+        break;
+      }
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << '\n';
+}
+
+std::string to_json(const MetricsRegistry& registry) {
+  std::ostringstream out;
+  write_json(registry, out);
+  return out.str();
+}
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "p2prm_";
+  for (const char c : name) {
+    out += (c == '.' || c == '-') ? '_' : c;
+  }
+  return out;
+}
+
+void write_prometheus(const MetricsRegistry& registry, std::ostream& out) {
+  std::string last_typed;  // one # TYPE line per metric family
+  for (const auto& s : registry.snapshot()) {
+    const std::string name = prometheus_name(s.name);
+    if (name != last_typed) {
+      out << "# TYPE " << name << ' ' << metric_kind_name(s.kind) << '\n';
+      last_typed = name;
+    }
+    switch (s.kind) {
+      case MetricKind::Counter:
+        out << name;
+        write_prometheus_labels(out, s.labels);
+        out << ' ' << s.counter_value << '\n';
+        break;
+      case MetricKind::Gauge:
+        out << name;
+        write_prometheus_labels(out, s.labels);
+        out << ' ' << render_double(s.gauge_value) << '\n';
+        break;
+      case MetricKind::Histogram: {
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < s.bucket_counts.size(); ++i) {
+          cumulative += s.bucket_counts[i];
+          const std::string le =
+              i < s.bounds.size() ? render_double(s.bounds[i]) : "+Inf";
+          out << name << "_bucket";
+          write_prometheus_labels(out, s.labels, "le", le);
+          out << ' ' << cumulative << '\n';
+        }
+        out << name << "_sum";
+        write_prometheus_labels(out, s.labels);
+        out << ' ' << render_double(s.sum) << '\n';
+        out << name << "_count";
+        write_prometheus_labels(out, s.labels);
+        out << ' ' << s.count << '\n';
+        break;
+      }
+    }
+  }
+}
+
+std::string to_prometheus(const MetricsRegistry& registry) {
+  std::ostringstream out;
+  write_prometheus(registry, out);
+  return out.str();
+}
+
+}  // namespace p2prm::obs

@@ -1,0 +1,32 @@
+// Exporters over a MetricsRegistry snapshot.
+//
+// Two formats, both byte-deterministic under fixed seeds (samples are
+// iterated in the registry's sorted order and doubles are rendered with
+// shortest-round-trip to_chars):
+//  * JSON v2 ("p2prm-metrics/2"): self-describing sample list — name,
+//    kind, labels, value (or buckets/sum/count for histograms). Validated
+//    in CI by scripts/check_metrics_schema.py.
+//  * Prometheus text exposition: names mangled to [a-z0-9_] with a
+//    "p2prm_" prefix, histograms expanded to cumulative _bucket/_sum/_count.
+// Schema details and the v1 -> v2 migration table: docs/OBSERVABILITY.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics_registry.hpp"
+
+namespace p2prm::obs {
+
+inline constexpr std::string_view kMetricsSchemaV2 = "p2prm-metrics/2";
+
+void write_json(const MetricsRegistry& registry, std::ostream& out);
+[[nodiscard]] std::string to_json(const MetricsRegistry& registry);
+
+void write_prometheus(const MetricsRegistry& registry, std::ostream& out);
+[[nodiscard]] std::string to_prometheus(const MetricsRegistry& registry);
+
+// "rm.tasks_admitted" -> "p2prm_rm_tasks_admitted".
+[[nodiscard]] std::string prometheus_name(std::string_view name);
+
+}  // namespace p2prm::obs

@@ -1,0 +1,107 @@
+#include "obs/metrics_registry.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace p2prm::obs {
+
+std::string_view metric_kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Gauge: return "gauge";
+    case MetricKind::Histogram: return "histogram";
+  }
+  return "?";
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  sum_ += x;
+  ++count_;
+}
+
+const std::vector<double>& default_latency_bounds_s() {
+  static const std::vector<double> bounds = {0.01, 0.03, 0.1, 0.3,  1.0,
+                                             3.0,  10.0, 30.0, 100.0, 300.0};
+  return bounds;
+}
+
+bool MetricsRegistry::valid_name(std::string_view name) {
+  if (name.empty()) return false;
+  if (!(name.front() >= 'a' && name.front() <= 'z')) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+MetricsRegistry::Metric& MetricsRegistry::intern(std::string_view name,
+                                                 Labels labels,
+                                                 MetricKind kind) {
+  assert(valid_name(name) && "metric names are dotted lowercase");
+  std::sort(labels.begin(), labels.end());
+  auto [it, inserted] = metrics_.try_emplace(
+      Key{std::string(name), std::move(labels)});
+  if (inserted) {
+    it->second.kind = kind;
+  } else {
+    assert(it->second.kind == kind && "metric re-registered as another kind");
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, Labels labels) {
+  return intern(name, std::move(labels), MetricKind::Counter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, Labels labels) {
+  return intern(name, std::move(labels), MetricKind::Gauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds,
+                                      Labels labels) {
+  Metric& m = intern(name, std::move(labels), MetricKind::Histogram);
+  if (!m.histogram) m.histogram = std::make_unique<Histogram>(std::move(bounds));
+  return *m.histogram;
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::snapshot() const {
+  std::vector<Sample> out;
+  out.reserve(metrics_.size());
+  for (const auto& [key, metric] : metrics_) {
+    Sample s;
+    s.name = key.first;
+    s.labels = key.second;
+    s.kind = metric.kind;
+    switch (metric.kind) {
+      case MetricKind::Counter:
+        s.counter_value = metric.counter.value();
+        break;
+      case MetricKind::Gauge:
+        s.gauge_value = metric.gauge.value();
+        break;
+      case MetricKind::Histogram:
+        if (metric.histogram) {
+          s.bounds = metric.histogram->bounds();
+          s.bucket_counts = metric.histogram->bucket_counts();
+          s.sum = metric.histogram->sum();
+          s.count = metric.histogram->count();
+        }
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;  // std::map iteration is already (name, labels)-sorted
+}
+
+}  // namespace p2prm::obs

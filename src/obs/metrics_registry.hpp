@@ -1,0 +1,131 @@
+// Typed metrics registry: the single sink every stat source publishes into.
+//
+// The paper's RM adapts on continuously profiled state (`l_i`, `bw_i`,
+// per-service times, §3/§4.4); the repo's own introspection now follows the
+// same discipline. Components keep their cheap `*Stats` structs on the hot
+// path and implement `publish(MetricsRegistry&) const`, copying current
+// values into named metrics at snapshot time — the registry is pull-based
+// and costs nothing between snapshots (the PR-2 bench gate enforces that).
+//
+// Naming convention (docs/OBSERVABILITY.md): dotted lowercase
+// `<subsystem>.<metric>` (e.g. "rm.tasks_admitted", "net.messages_sent"),
+// with identity carried by labels ("domain", "peer", "type") rather than
+// baked into the name. Iteration order is sorted by (name, labels), so
+// exporter output is byte-deterministic under fixed seeds.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace p2prm::obs {
+
+// Sorted-by-key label set; sorted on intern so equal sets compare equal.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricKind { Counter, Gauge, Histogram };
+[[nodiscard]] std::string_view metric_kind_name(MetricKind kind);
+
+// Monotonic count. Publishers usually set() the current value of their
+// internal counter; incremental users may inc().
+class Counter {
+ public:
+  void inc(std::uint64_t d = 1) { value_ += d; }
+  void set(std::uint64_t v) { value_ = v; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+// Point-in-time measurement (utilization, queue depth, cache size).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double d) { value_ += d; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Cumulative-bucket histogram over fixed upper bounds (Prometheus model):
+// bucket i counts observations <= bounds[i]; one implicit +Inf bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double x);
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  // Per-bucket (non-cumulative) counts; size = bounds().size() + 1, the
+  // last entry being the +Inf overflow bucket.
+  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const {
+    return counts_;
+  }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+
+ private:
+  std::vector<double> bounds_;  // sorted ascending
+  std::vector<std::uint64_t> counts_;
+  double sum_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+// Default latency bounds (seconds) used by the task response-time and hop
+// execution histograms: 10ms .. 5min, roughly x3 per step.
+[[nodiscard]] const std::vector<double>& default_latency_bounds_s();
+
+class MetricsRegistry {
+ public:
+  // Fetch-or-create. The kind of a name+labels pair is fixed by its first
+  // registration; re-registering with a different kind is a programming
+  // error (asserted in debug builds, first registration wins otherwise).
+  Counter& counter(std::string_view name, Labels labels = {});
+  Gauge& gauge(std::string_view name, Labels labels = {});
+  Histogram& histogram(std::string_view name, std::vector<double> bounds,
+                       Labels labels = {});
+
+  // One exported time series. Exactly one of the value groups is
+  // meaningful, selected by `kind`.
+  struct Sample {
+    std::string name;
+    Labels labels;
+    MetricKind kind = MetricKind::Counter;
+    std::uint64_t counter_value = 0;
+    double gauge_value = 0.0;
+    std::vector<double> bounds;                 // histogram only
+    std::vector<std::uint64_t> bucket_counts;   // histogram only
+    double sum = 0.0;                           // histogram only
+    std::uint64_t count = 0;                    // histogram only
+  };
+  // Sorted by (name, labels) — the deterministic exporter order.
+  [[nodiscard]] std::vector<Sample> snapshot() const;
+
+  [[nodiscard]] std::size_t size() const { return metrics_.size(); }
+  [[nodiscard]] bool empty() const { return metrics_.empty(); }
+  void clear() { metrics_.clear(); }
+
+  // Dotted lowercase [a-z0-9_.], starting with a letter.
+  [[nodiscard]] static bool valid_name(std::string_view name);
+
+ private:
+  struct Metric {
+    MetricKind kind;
+    Counter counter;
+    Gauge gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  using Key = std::pair<std::string, Labels>;
+
+  Metric& intern(std::string_view name, Labels labels, MetricKind kind);
+
+  std::map<Key, Metric> metrics_;
+};
+
+}  // namespace p2prm::obs

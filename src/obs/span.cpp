@@ -1,0 +1,236 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace p2prm::obs {
+
+std::string_view span_outcome_name(SpanOutcome o) {
+  switch (o) {
+    case SpanOutcome::Pending: return "pending";
+    case SpanOutcome::Completed: return "completed";
+    case SpanOutcome::Rejected: return "rejected";
+    case SpanOutcome::Failed: return "failed";
+  }
+  return "?";
+}
+
+namespace {
+
+using core::TraceEvent;
+using core::TraceKind;
+
+void clamp_into(Span& child, const Span& parent) {
+  child.start = std::clamp(child.start, parent.start, parent.end);
+  child.end = std::clamp(child.end, child.start, parent.end);
+}
+
+Span point_span(std::string name, const TraceEvent& e) {
+  Span s;
+  s.name = std::move(name);
+  s.start = s.end = e.at;
+  s.peer = e.peer;
+  s.attrs = e.attrs;
+  return s;
+}
+
+// Builds one task's tree from its events (already in time order).
+TaskSpan build_one(util::TaskId task, const std::vector<const TraceEvent*>& evs) {
+  TaskSpan out;
+  out.task = task;
+
+  const TraceEvent* submitted = nullptr;
+  const TraceEvent* admitted = nullptr;
+  const TraceEvent* terminal = nullptr;
+  for (const TraceEvent* e : evs) {
+    switch (e->kind) {
+      case TraceKind::TaskSubmitted:
+        if (submitted == nullptr) submitted = e;
+        break;
+      case TraceKind::TaskAdmitted:
+        if (admitted == nullptr) admitted = e;
+        break;
+      case TraceKind::TaskCompleted:
+      case TraceKind::TaskRejected:
+      case TraceKind::TaskFailed:
+        if (terminal == nullptr) {
+          terminal = e;
+          out.outcome = e->kind == TraceKind::TaskCompleted
+                            ? SpanOutcome::Completed
+                            : (e->kind == TraceKind::TaskRejected
+                                   ? SpanOutcome::Rejected
+                                   : SpanOutcome::Failed);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  // Caller guarantees a TaskSubmitted anchor.
+  out.root.name = "task";
+  out.root.peer = submitted->peer;
+  out.root.start = submitted->at;
+  out.root.end = terminal != nullptr ? terminal->at : evs.back()->at;
+  if (terminal != nullptr) out.root.attrs = terminal->attrs;
+
+  // Admission: submission up to the admit decision (or, when the task never
+  // got admitted, up to its terminal event — the whole life was admission).
+  Span admission;
+  admission.name = "admission";
+  admission.start = submitted->at;
+  admission.end = admitted != nullptr ? admitted->at : out.root.end;
+  admission.peer = admitted != nullptr ? admitted->peer : submitted->peer;
+  if (admitted != nullptr) admission.attrs = admitted->attrs;
+  for (const TraceEvent* e : evs) {
+    if (e->kind == TraceKind::TaskRedirected && e->at <= admission.end) {
+      admission.children.push_back(point_span("redirect", *e));
+    }
+  }
+
+  Span execution;
+  bool have_execution = admitted != nullptr;
+  if (have_execution) {
+    execution.name = "execution";
+    execution.start = admitted->at;
+    execution.end = out.root.end;
+    execution.peer = admitted->peer;
+    // Pair HopStarted/HopCompleted by hop index; a re-planned task can run
+    // the same hop more than once, so each start opens a fresh slot.
+    std::vector<Span> open;
+    for (const TraceEvent* e : evs) {
+      if (e->kind == TraceKind::HopStarted) {
+        Span h = point_span("hop", *e);
+        open.push_back(std::move(h));
+      } else if (e->kind == TraceKind::HopCompleted) {
+        const std::int64_t hop = attr_int(e->attrs, "hop", -1);
+        auto match = std::find_if(open.begin(), open.end(), [&](const Span& s) {
+          return attr_int(s.attrs, "hop", -2) == hop;
+        });
+        Span h;
+        if (match != open.end()) {
+          h = std::move(*match);
+          open.erase(match);
+        } else {
+          // Completion without a recorded start (evicted or spans enabled
+          // mid-run): degrade to a point span.
+          h.name = "hop";
+          h.start = e->at;
+          h.peer = e->peer;
+        }
+        h.end = e->at;
+        h.attrs = e->attrs;  // completion attrs carry exec_s / late too
+        execution.children.push_back(std::move(h));
+      } else if (e->kind == TraceKind::TaskRecovered) {
+        execution.children.push_back(point_span("recovery", *e));
+      }
+    }
+    // Hops still open at the end of the trace ran past the last event.
+    for (Span& h : open) {
+      h.end = execution.end;
+      execution.children.push_back(std::move(h));
+    }
+    std::sort(execution.children.begin(), execution.children.end(),
+              [](const Span& a, const Span& b) {
+                if (a.start != b.start) return a.start < b.start;
+                return attr_int(a.attrs, "hop") < attr_int(b.attrs, "hop");
+              });
+  }
+
+  clamp_into(admission, out.root);
+  for (Span& c : admission.children) clamp_into(c, admission);
+  out.root.children.push_back(std::move(admission));
+  if (have_execution) {
+    clamp_into(execution, out.root);
+    for (Span& c : execution.children) clamp_into(c, execution);
+    out.root.children.push_back(std::move(execution));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<TaskSpan> build_task_spans(const core::Tracer& tracer) {
+  std::map<util::TaskId, std::vector<const TraceEvent*>> by_task;
+  for (const TraceEvent& e : tracer.events()) {
+    if (e.task.valid()) by_task[e.task].push_back(&e);
+  }
+  std::vector<TaskSpan> out;
+  out.reserve(by_task.size());
+  for (const auto& [task, evs] : by_task) {
+    const bool anchored =
+        std::any_of(evs.begin(), evs.end(), [](const TraceEvent* e) {
+          return e->kind == TraceKind::TaskSubmitted;
+        });
+    if (!anchored) continue;  // root evicted from the ring
+    out.push_back(build_one(task, evs));
+  }
+  return out;
+}
+
+std::vector<PathSegment> critical_path(const TaskSpan& span) {
+  std::vector<PathSegment> out;
+  const Span* execution = nullptr;
+  for (const Span& c : span.root.children) {
+    if (c.name == "admission") {
+      out.push_back({"admission", c.duration()});
+    } else if (c.name == "execution") {
+      execution = &c;
+    }
+  }
+  if (execution == nullptr) return out;
+  // Sweep the execution window: service time goes to its hop, everything
+  // between (queueing, stream transfer, RM messaging) to "coordination".
+  util::SimTime cursor = execution->start;
+  for (const Span& h : execution->children) {
+    if (h.name != "hop") continue;
+    if (h.start > cursor) {
+      out.push_back({"coordination", h.start - cursor});
+      cursor = h.start;
+    }
+    if (h.end > cursor) {
+      out.push_back({"hop " + std::to_string(attr_int(h.attrs, "hop")),
+                     h.end - cursor});
+      cursor = h.end;
+    }
+  }
+  if (cursor < execution->end) {
+    out.push_back({"coordination", execution->end - cursor});
+  }
+  return out;
+}
+
+namespace {
+
+void write_span(const Span& s, int depth, std::ostream& out) {
+  for (int i = 0; i < depth; ++i) out << "  ";
+  out << s.name << " [" << util::format_time(s.start) << " .. "
+      << util::format_time(s.end) << "]";
+  if (s.peer.valid()) out << " peer=" << util::to_string(s.peer);
+  for (const Attr& a : s.attrs) {
+    out << ' ' << a.key << '=' << to_string(a.value);
+  }
+  out << '\n';
+  for (const Span& c : s.children) write_span(c, depth + 1, out);
+}
+
+}  // namespace
+
+void write_spans(const std::vector<TaskSpan>& spans, std::ostream& out) {
+  for (const TaskSpan& ts : spans) {
+    out << "task " << util::to_string(ts.task) << " ["
+        << util::format_time(ts.root.start) << " .. "
+        << util::format_time(ts.root.end)
+        << "] outcome=" << span_outcome_name(ts.outcome) << '\n';
+    for (const Span& c : ts.root.children) write_span(c, 1, out);
+  }
+}
+
+std::string to_text(const std::vector<TaskSpan>& spans) {
+  std::ostringstream os;
+  write_spans(spans, os);
+  return os.str();
+}
+
+}  // namespace p2prm::obs

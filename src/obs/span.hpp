@@ -1,0 +1,72 @@
+// Task span trees: the tracing side of the observability API.
+//
+// A task's lifecycle crosses several peers (origin, RM, every hop executor).
+// The Tracer already captures the individual events; build_task_spans()
+// stitches them into one tree per task —
+//
+//   task <id>                      TaskSubmitted .. terminal event
+//     admission                    TaskSubmitted .. TaskAdmitted
+//       redirect (point)           each TaskRedirected along the way
+//     execution                    TaskAdmitted .. terminal event
+//       hop <i>                    HopStarted .. HopCompleted (enable_spans)
+//       recovery (point)           each TaskRecovered re-plan
+//
+// — so "where did the time go?" is one query (critical_path()) instead of a
+// trace-scrape. Child intervals are clamped into their parent, and the root
+// is always anchored at the TaskSubmitted event (span_tree_invariants in
+// tests/obs_test.cpp pins both properties).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "obs/attr.hpp"
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace p2prm::obs {
+
+struct Span {
+  std::string name;           // "task" / "admission" / "execution" / "hop" ...
+  util::SimTime start = 0;
+  util::SimTime end = 0;      // == start for point spans
+  util::PeerId peer;          // acting peer, when known
+  Attrs attrs;                // typed payload copied from the trace events
+  std::vector<Span> children;
+
+  [[nodiscard]] util::SimDuration duration() const { return end - start; }
+};
+
+// Terminal state of a task span, mirroring the lifecycle trace events.
+enum class SpanOutcome { Pending, Completed, Rejected, Failed };
+[[nodiscard]] std::string_view span_outcome_name(SpanOutcome o);
+
+struct TaskSpan {
+  util::TaskId task;
+  SpanOutcome outcome = SpanOutcome::Pending;
+  Span root;  // name "task", start == TaskSubmitted.at
+};
+
+// One tree per task seen in the trace, sorted by task id. Tasks whose
+// TaskSubmitted event was evicted from the ring are skipped (a span tree
+// without its root anchor would violate the invariants).
+[[nodiscard]] std::vector<TaskSpan> build_task_spans(const core::Tracer& tracer);
+
+// Where the task's wall-clock went: contiguous, non-overlapping segments
+// covering [root.start, root.end]. Hop service time is attributed to its
+// hop; the remainder of the execution window (queueing, transfer, RM
+// messaging) lands in "coordination".
+struct PathSegment {
+  std::string name;
+  util::SimDuration duration = 0;
+};
+[[nodiscard]] std::vector<PathSegment> critical_path(const TaskSpan& span);
+
+// Deterministic indented text dump (one line per span), for artifacts and
+// the golden-free determinism test.
+void write_spans(const std::vector<TaskSpan>& spans, std::ostream& out);
+[[nodiscard]] std::string to_text(const std::vector<TaskSpan>& spans);
+
+}  // namespace p2prm::obs

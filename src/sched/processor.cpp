@@ -185,4 +185,21 @@ void Processor::reschedule() {
   }
 }
 
+void Processor::publish(obs::MetricsRegistry& registry,
+                        obs::Labels labels) const {
+  registry.counter("sched.processor.submitted", labels).set(stats_.submitted);
+  registry.counter("sched.processor.completed_on_time", labels)
+      .set(stats_.completed_on_time);
+  registry.counter("sched.processor.completed_late", labels)
+      .set(stats_.completed_late);
+  registry.counter("sched.processor.dropped", labels).set(stats_.dropped);
+  registry.counter("sched.processor.cancelled", labels).set(stats_.cancelled);
+  registry.counter("sched.processor.preemptions", labels)
+      .set(stats_.preemptions);
+  registry.gauge("sched.processor.busy_s", labels)
+      .set(util::to_seconds(stats_.busy_time));
+  registry.gauge("sched.processor.queue_length", labels)
+      .set(static_cast<double>(queue_length()));
+}
+
 }  // namespace p2prm::sched

@@ -11,6 +11,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/metrics_registry.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/simulator.hpp"
 
@@ -82,6 +83,9 @@ class Processor {
   // Cumulative busy time; utilization over a window is a delta of this.
   [[nodiscard]] util::SimDuration busy_time() const;
   [[nodiscard]] const ProcessorStats& stats() const { return stats_; }
+  // Writes sched.processor.* (job outcome counters, preemptions, busy time
+  // and queue-depth gauges) under `labels`.
+  void publish(obs::MetricsRegistry& registry, obs::Labels labels = {}) const;
 
   // Estimated completion time of a hypothetical job of `ops` arriving now,
   // assuming current backlog runs first (conservative FIFO bound). Used by

@@ -70,4 +70,17 @@ EventQueue::Popped EventQueue::pop() {
   return Popped{e.when, e.id, std::move(e.fn)};
 }
 
+void EventQueue::publish(obs::MetricsRegistry& registry,
+                         obs::Labels labels) const {
+  registry.counter("sim.event_queue.scheduled", labels).set(next_id_);
+  registry.counter("sim.event_queue.compactions", labels)
+      .set(stats_.compactions);
+  registry.counter("sim.event_queue.tombstones_compacted", labels)
+      .set(stats_.tombstones_compacted);
+  registry.gauge("sim.event_queue.live", labels)
+      .set(static_cast<double>(live_));
+  registry.gauge("sim.event_queue.tombstones", labels)
+      .set(static_cast<double>(tombstones()));
+}
+
 }  // namespace p2prm::sim

@@ -14,6 +14,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics_registry.hpp"
 #include "sim/event_fn.hpp"
 #include "util/time.hpp"
 
@@ -54,6 +55,9 @@ class EventQueue {
     return heap_.size() > live_ ? heap_.size() - live_ : 0;
   }
   [[nodiscard]] const EventQueueStats& stats() const { return stats_; }
+  // Writes sim.event_queue.* (compaction counters plus live/tombstone
+  // occupancy gauges) under `labels`.
+  void publish(obs::MetricsRegistry& registry, obs::Labels labels = {}) const;
 
   // Compact once tombstones exceed the live population and this floor (the
   // floor keeps small queues from churning on every other cancel).

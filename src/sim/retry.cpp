@@ -57,4 +57,13 @@ bool RetryOp::active() const { return state_ && state_->active; }
 
 int RetryOp::attempts() const { return state_ ? state_->attempt : 0; }
 
+void publish_retry_stats(const RetryStats& stats,
+                         obs::MetricsRegistry& registry,
+                         std::string_view prefix, obs::Labels labels) {
+  const std::string base(prefix);
+  registry.counter(base + ".retries", labels).set(stats.retries);
+  registry.counter(base + ".exhausted", labels).set(stats.exhausted);
+  registry.counter(base + ".acked", labels).set(stats.acked);
+}
+
 }  // namespace p2prm::sim

@@ -12,6 +12,7 @@
 #include <functional>
 #include <memory>
 
+#include "obs/metrics_registry.hpp"
 #include "sim/simulator.hpp"
 #include "util/backoff.hpp"
 
@@ -22,6 +23,12 @@ struct RetryStats {
   std::uint64_t exhausted = 0;   // operations that gave up
   std::uint64_t acked = 0;       // operations acked (any attempt)
 };
+
+// Writes <prefix>.retries/.exhausted/.acked counters under `labels`; the
+// shared shape every RetryStats-bearing component publishes through.
+void publish_retry_stats(const RetryStats& stats,
+                         obs::MetricsRegistry& registry,
+                         std::string_view prefix, obs::Labels labels = {});
 
 class RetryOp {
  public:

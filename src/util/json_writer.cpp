@@ -1,0 +1,172 @@
+#include "util/json_writer.hpp"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace p2prm::util {
+
+void JsonWriter::write_escaped(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void JsonWriter::newline_indent(std::size_t levels) {
+  out_ << '\n';
+  for (std::size_t i = 0; i < levels * static_cast<std::size_t>(indent_width_);
+       ++i) {
+    out_ << ' ';
+  }
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) {
+    assert(!started_ && "only one root value");
+    return;
+  }
+  Frame& top = stack_.back();
+  if (top.is_object) {
+    assert(top.key_pending && "object members need key() first");
+    return;  // key() already positioned the stream
+  }
+  if (top.members > 0) out_ << ',';
+  newline_indent(depth());
+}
+
+void JsonWriter::after_value() {
+  started_ = true;
+  if (stack_.empty()) return;
+  Frame& top = stack_.back();
+  ++top.members;
+  top.key_pending = false;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  assert(!stack_.empty() && stack_.back().is_object && "key() outside object");
+  Frame& top = stack_.back();
+  assert(!top.key_pending && "two keys in a row");
+  if (top.members > 0) out_ << ',';
+  newline_indent(depth());
+  write_escaped(out_, k);
+  out_ << ": ";
+  top.key_pending = true;
+  return *this;
+}
+
+void JsonWriter::open(bool is_object, char brace) {
+  before_value();
+  out_ << brace;
+  stack_.push_back(Frame{is_object, 0, false});
+}
+
+void JsonWriter::close(bool is_object, char brace) {
+  assert(!stack_.empty() && stack_.back().is_object == is_object);
+  assert(!stack_.back().key_pending && "dangling key");
+  const Frame closed = stack_.back();
+  stack_.pop_back();
+  if (closed.members > 0) newline_indent(depth());
+  out_ << brace;
+  after_value();
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  open(true, '{');
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  close(true, '}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  open(false, '[');
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  close(false, ']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  write_escaped(out_, v);
+  after_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ << (v ? "true" : "false");
+  after_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ << v;
+  after_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  out_ << v;
+  after_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    // JSON has no Inf/NaN; null is the least-surprising encoding.
+    out_ << "null";
+  } else {
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof buf, v);
+    out_ << std::string_view(buf, static_cast<std::size_t>(res.ptr - buf));
+  }
+  after_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_fmt(double v, const char* fmt) {
+  before_value();
+  if (!std::isfinite(v)) {
+    out_ << "null";
+  } else {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, fmt, v);
+    out_ << buf;
+  }
+  after_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ << "null";
+  after_value();
+  return *this;
+}
+
+}  // namespace p2prm::util

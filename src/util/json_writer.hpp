@@ -1,0 +1,100 @@
+// Minimal streaming JSON writer.
+//
+// Every machine-readable artifact this repo emits (metrics JSON v1/v2, the
+// bench gate files, span dumps) must be byte-deterministic under a fixed
+// seed: CI diffs two runs with cmp(1). Hand-concatenated strings made that
+// easy to break — a writer centralizes escaping, comma placement and number
+// formatting. Layout matches the house style the v1 metrics JSON
+// established: two-space indent, one key per line, closing brace on its own
+// line.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace p2prm::util {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out, int indent_width = 2)
+      : out_(out), indent_width_(indent_width) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Key of the next member (objects only).
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  // Funnel the remaining integer widths through the 64-bit overloads
+  // (separate named overloads would collide where int64_t is `long`).
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool> &&
+                                 !std::is_same_v<T, std::int64_t> &&
+                                 !std::is_same_v<T, std::uint64_t>,
+                             int> = 0>
+  JsonWriter& value(T v) {
+    if constexpr (std::is_signed_v<T>) {
+      return value(static_cast<std::int64_t>(v));
+    } else {
+      return value(static_cast<std::uint64_t>(v));
+    }
+  }
+  // Shortest round-trip representation (std::to_chars): a parser reads back
+  // the exact double, which the exporter round-trip test depends on.
+  JsonWriter& value(double v);
+  // printf-formatted number (e.g. "%.6g" for the v1-compatible metrics
+  // JSON). `fmt` must produce a valid JSON number for finite inputs.
+  JsonWriter& value_fmt(double v, const char* fmt);
+  JsonWriter& null();
+
+  // key(k) + value(v) in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view k, T&& v) {
+    key(k);
+    return value(static_cast<T&&>(v));
+  }
+  JsonWriter& field_fmt(std::string_view k, double v, const char* fmt) {
+    key(k);
+    return value_fmt(v, fmt);
+  }
+
+  // True once the root container has been closed.
+  [[nodiscard]] bool done() const { return depth() == 0 && started_; }
+
+  static void write_escaped(std::ostream& out, std::string_view s);
+
+ private:
+  struct Frame {
+    bool is_object = false;
+    std::size_t members = 0;
+    bool key_pending = false;  // object: key written, value outstanding
+  };
+
+  [[nodiscard]] std::size_t depth() const { return stack_.size(); }
+  void newline_indent(std::size_t levels);
+  // Positions the stream for the next value/key; writes separators.
+  void before_value();
+  void after_value();
+  void open(bool is_object, char brace);
+  void close(bool is_object, char brace);
+
+  std::ostream& out_;
+  int indent_width_;
+  bool started_ = false;
+  std::vector<Frame> stack_;
+};
+
+}  // namespace p2prm::util

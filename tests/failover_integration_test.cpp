@@ -264,7 +264,7 @@ TEST(Failover, TaskSubmittedMomentsBeforeRmCrashStillResolves) {
   // The answer came from the backup, after at least one retry.
   const auto* node = world.system.peer(origin);
   ASSERT_NE(node, nullptr);
-  EXPECT_GE(node->peer_stats().query_retry.retries, 1u);
+  EXPECT_GE(node->stats().query_retry.retries, 1u);
   const auto rms = world.system.resource_manager_ids();
   ASSERT_EQ(rms.size(), 1u);
   EXPECT_NE(rms[0], rm_id);

@@ -1,0 +1,640 @@
+// The observability stack end to end: JsonWriter, MetricsRegistry,
+// exporters (JSON v2 round-trip, Prometheus text), derive_detail, span
+// trees, and byte-determinism of everything under a fixed seed.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "core/trace.hpp"
+#include "media/catalog.hpp"
+#include "metrics/publish.hpp"
+#include "metrics/report.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/span.hpp"
+#include "util/json_writer.hpp"
+
+namespace p2prm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser for the round-trip test. Numbers keep their raw text
+// so integer counters compare exactly and doubles go through strtod (which
+// inverts the exporter's shortest-round-trip to_chars rendering).
+
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+  Type type = Type::Null;
+  bool boolean = false;
+  std::string text;  // number (raw) or string (unescaped)
+  std::vector<JsonValue> items;
+  std::map<std::string, JsonValue> members;
+
+  [[nodiscard]] double as_double() const {
+    return std::strtod(text.c_str(), nullptr);
+  }
+  [[nodiscard]] std::uint64_t as_u64() const {
+    return std::strtoull(text.c_str(), nullptr, 10);
+  }
+  [[nodiscard]] const JsonValue& at(const std::string& key) const {
+    const auto it = members.find(key);
+    EXPECT_NE(it, members.end()) << "missing key " << key;
+    static const JsonValue null_value;
+    return it == members.end() ? null_value : it->second;
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return members.count(key) > 0;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view s) : s_(s) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    EXPECT_EQ(pos_, s_.size()) << "trailing garbage after JSON value";
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    skip_ws();
+    EXPECT_LT(pos_, s_.size()) << "unexpected end of JSON";
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+  void expect(char c) {
+    EXPECT_EQ(peek(), c);
+    ++pos_;
+  }
+
+  JsonValue value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't':
+      case 'f': return bool_value();
+      case 'n': return null_value();
+      default: return number();
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::Object;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      JsonValue key = string_value();
+      expect(':');
+      v.members[key.text] = value();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::Array;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue string_value() {
+    expect('"');
+    JsonValue v;
+    v.type = JsonValue::Type::String;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\' && pos_ < s_.size()) {
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          case 'u':
+            // Exporters only emit \u00XX for control bytes.
+            c = static_cast<char>(
+                std::strtol(std::string(s_.substr(pos_, 4)).c_str(), nullptr,
+                            16));
+            pos_ += 4;
+            break;
+          default: c = esc;
+        }
+      }
+      v.text += c;
+    }
+    expect('"');
+    return v;
+  }
+
+  JsonValue bool_value() {
+    JsonValue v;
+    v.type = JsonValue::Type::Bool;
+    if (s_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else {
+      EXPECT_EQ(s_.compare(pos_, 5, "false"), 0);
+      pos_ += 5;
+    }
+    return v;
+  }
+
+  JsonValue null_value() {
+    EXPECT_EQ(s_.compare(pos_, 4, "null"), 0);
+    pos_ += 4;
+    JsonValue v;
+    return v;
+  }
+
+  JsonValue number() {
+    JsonValue v;
+    v.type = JsonValue::Type::Number;
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    EXPECT_GT(pos_, start) << "expected a number";
+    v.text = std::string(s_.substr(start, pos_ - start));
+    return v;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+
+TEST(JsonWriter, ObjectLayoutMatchesHouseStyle) {
+  std::ostringstream out;
+  util::JsonWriter w(out);
+  w.begin_object();
+  w.field("alpha", 1);
+  w.field("beta", "two");
+  w.key("nested").begin_object();
+  w.field("gamma", true);
+  w.end_object();
+  w.key("list").begin_array();
+  w.value(1).value(2);
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(out.str(),
+            "{\n"
+            "  \"alpha\": 1,\n"
+            "  \"beta\": \"two\",\n"
+            "  \"nested\": {\n"
+            "    \"gamma\": true\n"
+            "  },\n"
+            "  \"list\": [\n"
+            "    1,\n"
+            "    2\n"
+            "  ]\n"
+            "}");
+  EXPECT_TRUE(w.done());
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  std::ostringstream out;
+  util::JsonWriter w(out);
+  w.begin_object();
+  w.field("k", "a\"b\\c\nd\te");
+  w.end_object();
+  EXPECT_NE(out.str().find("a\\\"b\\\\c\\nd\\te"), std::string::npos);
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  std::ostringstream out;
+  util::JsonWriter w(out);
+  w.begin_object();
+  w.key("o").begin_object();
+  w.end_object();
+  w.key("a").begin_array();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(out.str(), "{\n  \"o\": {},\n  \"a\": []\n}");
+}
+
+TEST(JsonWriter, DoublesRoundTripThroughStrtod) {
+  for (const double x : {0.1, 1.0 / 3.0, 123456.789, 1e-300, -2.5e17}) {
+    std::ostringstream out;
+    util::JsonWriter w(out);
+    w.begin_array();
+    w.value(x);
+    w.end_array();
+    const JsonValue parsed = JsonParser(out.str()).parse();
+    ASSERT_EQ(parsed.items.size(), 1u);
+    EXPECT_EQ(parsed.items[0].as_double(), x);
+  }
+}
+
+TEST(JsonWriter, NonFiniteBecomesNull) {
+  std::ostringstream out;
+  util::JsonWriter w(out);
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.end_array();
+  EXPECT_NE(out.str().find("null"), std::string::npos);
+}
+
+TEST(JsonWriter, FormattedValueUsesPrintfFormat) {
+  std::ostringstream out;
+  util::JsonWriter w(out);
+  w.begin_object();
+  w.field_fmt("x", 0.123456789, "%.6g");
+  w.end_object();
+  EXPECT_NE(out.str().find("0.123457"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+TEST(MetricsRegistry, CountersGaugesAndLookupStability) {
+  obs::MetricsRegistry reg;
+  reg.counter("a.count").inc();
+  reg.counter("a.count").inc(4);
+  reg.gauge("a.level").set(2.5);
+  reg.gauge("a.level").add(0.5);
+  EXPECT_EQ(reg.counter("a.count").value(), 5u);
+  EXPECT_DOUBLE_EQ(reg.gauge("a.level").value(), 3.0);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(MetricsRegistry, LabelSetsAreDistinctSeriesAndSortedOnIntern) {
+  obs::MetricsRegistry reg;
+  reg.counter("x.n", {{"b", "2"}, {"a", "1"}}).set(7);
+  // Same set in a different spelling order must resolve to the same series.
+  reg.counter("x.n", {{"a", "1"}, {"b", "2"}}).inc();
+  reg.counter("x.n", {{"a", "other"}}).set(1);
+  const auto samples = reg.snapshot();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].labels,
+            (obs::Labels{{"a", "1"}, {"b", "2"}}));
+  EXPECT_EQ(samples[0].counter_value, 8u);
+}
+
+TEST(MetricsRegistry, SnapshotSortedByNameThenLabels) {
+  obs::MetricsRegistry reg;
+  reg.counter("z.last").set(1);
+  reg.counter("a.first", {{"peer", "2"}}).set(1);
+  reg.counter("a.first", {{"peer", "1"}}).set(1);
+  reg.gauge("m.middle").set(0);
+  const auto samples = reg.snapshot();
+  ASSERT_EQ(samples.size(), 4u);
+  EXPECT_EQ(samples[0].name, "a.first");
+  EXPECT_EQ(samples[0].labels, (obs::Labels{{"peer", "1"}}));
+  EXPECT_EQ(samples[1].labels, (obs::Labels{{"peer", "2"}}));
+  EXPECT_EQ(samples[2].name, "m.middle");
+  EXPECT_EQ(samples[3].name, "z.last");
+}
+
+TEST(MetricsRegistry, HistogramBucketsAndOverflow) {
+  obs::MetricsRegistry reg;
+  auto& h = reg.histogram("h.lat", {0.1, 1.0, 10.0});
+  h.observe(0.05);   // bucket 0
+  h.observe(0.1);    // bucket 0 (le is inclusive)
+  h.observe(0.5);    // bucket 1
+  h.observe(100.0);  // +Inf overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 100.65);
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 0u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+}
+
+TEST(MetricsRegistry, ValidatesDottedLowercaseNames) {
+  EXPECT_TRUE(obs::MetricsRegistry::valid_name("rm.tasks_admitted"));
+  EXPECT_TRUE(obs::MetricsRegistry::valid_name("a.b.c_d2"));
+  EXPECT_FALSE(obs::MetricsRegistry::valid_name(""));
+  EXPECT_FALSE(obs::MetricsRegistry::valid_name("2starts.with.digit"));
+  EXPECT_FALSE(obs::MetricsRegistry::valid_name("Upper.Case"));
+  EXPECT_FALSE(obs::MetricsRegistry::valid_name("spaces bad"));
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+
+obs::MetricsRegistry sample_registry() {
+  obs::MetricsRegistry reg;
+  reg.counter("rm.tasks_admitted", {{"domain", "0"}}).set(42);
+  reg.counter("rm.tasks_admitted", {{"domain", "1"}}).set(7);
+  reg.gauge("tasks.goodput").set(0.875);
+  auto& h = reg.histogram("tasks.response_time_s", {0.1, 1.0});
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(5.0);
+  return reg;
+}
+
+TEST(JsonExporter, SchemaAndRoundTrip) {
+  const obs::MetricsRegistry reg = sample_registry();
+  const std::string json = obs::to_json(reg);
+  const JsonValue doc = JsonParser(json).parse();
+
+  EXPECT_EQ(doc.at("schema").text, std::string(obs::kMetricsSchemaV2));
+  EXPECT_EQ(doc.at("schema_version").as_u64(), 2u);
+
+  const auto samples = reg.snapshot();
+  const auto& metrics = doc.at("metrics").items;
+  ASSERT_EQ(metrics.size(), samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const auto& m = metrics[i];
+    const auto& s = samples[i];
+    EXPECT_EQ(m.at("name").text, s.name);
+    EXPECT_EQ(m.at("kind").text,
+              std::string(obs::metric_kind_name(s.kind)));
+    obs::Labels labels;
+    for (const auto& [k, v] : m.at("labels").members) {
+      labels.emplace_back(k, v.text);
+    }
+    EXPECT_EQ(labels, s.labels);
+    switch (s.kind) {
+      case obs::MetricKind::Counter:
+        EXPECT_EQ(m.at("value").as_u64(), s.counter_value);
+        break;
+      case obs::MetricKind::Gauge:
+        EXPECT_EQ(m.at("value").as_double(), s.gauge_value);
+        break;
+      case obs::MetricKind::Histogram: {
+        EXPECT_EQ(m.at("count").as_u64(), s.count);
+        EXPECT_EQ(m.at("sum").as_double(), s.sum);
+        // JSON v2 buckets are per-bucket counts (the Prometheus exporter
+        // is the one that accumulates, per that format's convention).
+        const auto& buckets = m.at("buckets").items;
+        ASSERT_EQ(buckets.size(), s.bucket_counts.size());
+        for (std::size_t b = 0; b < buckets.size(); ++b) {
+          EXPECT_EQ(buckets[b].at("count").as_u64(), s.bucket_counts[b]);
+          if (b + 1 == buckets.size()) {
+            EXPECT_EQ(buckets[b].at("le").text, "+Inf");
+          } else {
+            EXPECT_EQ(buckets[b].at("le").as_double(), s.bounds[b]);
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+TEST(PrometheusExporter, NameManglingAndFormat) {
+  EXPECT_EQ(obs::prometheus_name("rm.tasks_admitted"),
+            "p2prm_rm_tasks_admitted");
+  EXPECT_EQ(obs::prometheus_name("graph.path_cache.hits"),
+            "p2prm_graph_path_cache_hits");
+
+  const std::string text = obs::to_prometheus(sample_registry());
+  EXPECT_NE(text.find("# TYPE p2prm_rm_tasks_admitted counter"),
+            std::string::npos);
+  // One TYPE line per family even with two labelled series.
+  const auto first = text.find("# TYPE p2prm_rm_tasks_admitted");
+  EXPECT_EQ(text.find("# TYPE p2prm_rm_tasks_admitted", first + 1),
+            std::string::npos);
+  EXPECT_NE(text.find("p2prm_rm_tasks_admitted{domain=\"0\"} 42"),
+            std::string::npos);
+  EXPECT_NE(text.find("p2prm_rm_tasks_admitted{domain=\"1\"} 7"),
+            std::string::npos);
+  // Histogram expands to cumulative buckets + sum + count.
+  EXPECT_NE(text.find("p2prm_tasks_response_time_s_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("p2prm_tasks_response_time_s_count 3"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// derive_detail: typed attrs must reproduce the legacy strings exactly.
+
+TEST(DeriveDetail, ReproducesLegacyStrings) {
+  using core::TraceKind;
+  using core::derive_detail;
+  EXPECT_EQ(derive_detail(TraceKind::RmPromoted, {{"epoch", 1}}), "epoch 1");
+  EXPECT_EQ(derive_detail(TraceKind::TaskAdmitted,
+                          {{"hops", 1}, {"fairness", 0.2}}),
+            "1 hops, fairness 0.200");
+  EXPECT_EQ(derive_detail(TraceKind::TaskRedirected,
+                          {{"target_rm", "4"}, {"reason", "overloaded"}}),
+            "to RM 4 (overloaded)");
+  EXPECT_EQ(derive_detail(TraceKind::TaskRejected, {{"reason", "rpc-timeout"}}),
+            "rpc-timeout");
+  EXPECT_EQ(derive_detail(TraceKind::TaskCompleted, {{"outcome", "on-time"}}),
+            "on-time");
+  EXPECT_EQ(derive_detail(TraceKind::TaskRecovered, {{"cause", "peer-failed"}}),
+            "peer-failed");
+  EXPECT_EQ(derive_detail(TraceKind::RmDemoted, {{"successor", "9"}}),
+            "abdicated to 9");
+  EXPECT_EQ(derive_detail(TraceKind::RmDemoted,
+                          {{"reason", "lost all members"}}),
+            "lost all members");
+  EXPECT_EQ(derive_detail(TraceKind::PeerJoined, {{"reason", "restarted"}}),
+            "restarted");
+  EXPECT_EQ(derive_detail(TraceKind::PeerJoined, {}), "");
+  // Unknown kind/attr combinations fall back to "k=v" pairs.
+  EXPECT_EQ(derive_detail(TraceKind::HopCompleted, {{"hop", 2}, {"late", 0}}),
+            "hop=2 late=0");
+}
+
+// ---------------------------------------------------------------------------
+// Full-system scenario: spans + determinism + publish_all.
+
+struct ScenarioResult {
+  std::string metrics_v1;
+  std::string metrics_v2;
+  std::string prometheus;
+  std::string span_text;
+  std::vector<obs::TaskSpan> spans;
+};
+
+ScenarioResult run_scenario(std::uint64_t seed) {
+  core::SystemConfig config;
+  config.seed = seed;
+  config.enable_spans = true;
+  core::System system(config);
+  core::Tracer tracer;
+  system.set_tracer(&tracer);
+
+  const media::MediaFormat source{media::Codec::MPEG2, media::kRes800x600,
+                                  512};
+  const media::MediaFormat target{media::Codec::MPEG4, media::kRes640x480,
+                                  256};
+  auto add_peer = [&](double capacity_mops, core::PeerInventory inventory) {
+    overlay::PeerSpec spec;
+    spec.capacity_ops_per_s = capacity_mops * 1e6;
+    spec.online_since = -util::minutes(60);
+    const auto id = system.add_peer(spec, std::move(inventory));
+    system.run_for(util::milliseconds(100));
+    return id;
+  };
+  add_peer(120, {});
+  util::Rng rng(1);
+  const auto movie =
+      media::make_object(system.next_object_id(), source, 15.0, rng);
+  core::PeerInventory library;
+  library.objects = {movie};
+  add_peer(60, std::move(library));
+  core::PeerInventory transcoder;
+  transcoder.services = {
+      {system.next_service_id(), media::TranscoderType{source, target}}};
+  add_peer(80, std::move(transcoder));
+  const auto user = add_peer(50, {});
+  system.run_for(util::seconds(2));
+
+  core::QoSRequirements q;
+  q.object = movie.id;
+  q.acceptable_formats = {target};
+  q.deadline = util::seconds(60);
+  q.importance = 5.0;
+  system.submit_task(user, q);
+  system.run_for(util::minutes(2));
+
+  ScenarioResult r;
+  r.metrics_v1 = metrics::metrics_json(system);
+  r.metrics_v2 = metrics::metrics_json_v2(system);
+  r.prometheus = metrics::metrics_prometheus(system);
+  r.spans = obs::build_task_spans(tracer);
+  r.span_text = obs::to_text(r.spans);
+  return r;
+}
+
+void check_nesting(const obs::Span& parent) {
+  for (const obs::Span& child : parent.children) {
+    EXPECT_GE(child.start, parent.start) << parent.name << "/" << child.name;
+    EXPECT_LE(child.end, parent.end) << parent.name << "/" << child.name;
+    EXPECT_LE(child.start, child.end) << child.name;
+    check_nesting(child);
+  }
+}
+
+TEST(TaskSpans, TreeInvariantsAndCriticalPath) {
+  const ScenarioResult r = run_scenario(2026);
+  ASSERT_EQ(r.spans.size(), 1u);
+  const obs::TaskSpan& ts = r.spans.front();
+  EXPECT_EQ(ts.outcome, obs::SpanOutcome::Completed);
+  EXPECT_EQ(ts.root.name, "task");
+  EXPECT_LE(ts.root.start, ts.root.end);
+  check_nesting(ts.root);
+
+  // submit -> admission -> execution with at least one executed hop.
+  ASSERT_EQ(ts.root.children.size(), 2u);
+  const obs::Span& admission = ts.root.children[0];
+  const obs::Span& execution = ts.root.children[1];
+  EXPECT_EQ(admission.name, "admission");
+  EXPECT_EQ(execution.name, "execution");
+  EXPECT_EQ(admission.start, ts.root.start);
+  EXPECT_EQ(admission.end, execution.start);
+  EXPECT_EQ(execution.end, ts.root.end);
+  bool saw_hop = false;
+  for (const obs::Span& c : execution.children) {
+    if (c.name == "hop") {
+      saw_hop = true;
+      EXPECT_GT(obs::attr_double(c.attrs, "exec_s"), 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_hop);
+
+  // The critical path partitions the whole task interval: segment durations
+  // sum exactly to the root duration.
+  const auto path = critical_path(ts);
+  ASSERT_GE(path.size(), 2u);
+  util::SimDuration total = 0;
+  for (const auto& seg : path) {
+    EXPECT_GE(seg.duration, 0);
+    total += seg.duration;
+  }
+  EXPECT_EQ(total, ts.root.duration());
+}
+
+TEST(Determinism, IdenticalSeedsProduceByteIdenticalExports) {
+  const ScenarioResult a = run_scenario(2026);
+  const ScenarioResult b = run_scenario(2026);
+  EXPECT_EQ(a.metrics_v1, b.metrics_v1);
+  EXPECT_EQ(a.metrics_v2, b.metrics_v2);
+  EXPECT_EQ(a.prometheus, b.prometheus);
+  EXPECT_EQ(a.span_text, b.span_text);
+
+  // And a different seed genuinely changes the output (guards against the
+  // exporters accidentally ignoring the run).
+  const ScenarioResult c = run_scenario(7);
+  EXPECT_NE(a.metrics_v2, c.metrics_v2);
+}
+
+TEST(PublishAll, RegistryMatchesComponentStats) {
+  core::SystemConfig config;
+  config.seed = 2026;
+  core::System system(config);
+  overlay::PeerSpec spec;
+  spec.capacity_ops_per_s = 1e8;
+  spec.online_since = -util::minutes(60);
+  system.add_peer(spec, {});
+  system.run_for(util::seconds(1));
+
+  obs::MetricsRegistry reg;
+  metrics::publish_all(system, reg);
+  EXPECT_EQ(reg.counter("net.messages_sent").value(),
+            system.network().stats().messages_sent);
+  EXPECT_EQ(reg.counter("tasks.submitted").value(), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge("system.peers_alive").value(), 1.0);
+  // The founding peer is an RM: its domain series must be present.
+  EXPECT_EQ(
+      reg.counter("rm.joins_accepted", {{"domain", "0"}}).value(),
+      system.peer(util::PeerId{0})->resource_manager()->stats().joins_accepted);
+  // Every published name follows the naming convention.
+  for (const auto& s : reg.snapshot()) {
+    EXPECT_TRUE(obs::MetricsRegistry::valid_name(s.name)) << s.name;
+  }
+}
+
+TEST(MetricsJsonV1, KeepsLegacyShapeWithSchemaVersion) {
+  core::SystemConfig config;
+  config.seed = 1;
+  core::System system(config);
+  const std::string json = metrics::metrics_json(system);
+  const JsonValue doc = JsonParser(json).parse();
+  EXPECT_EQ(doc.at("schema_version").as_u64(), 1u);
+  // The flat keys CI consumers read must all be present.
+  for (const char* key :
+       {"tasks_submitted", "tasks_admitted", "goodput", "miss_ratio",
+        "messages_sent", "query_retries", "gossip_anti_entropy_pushes"}) {
+    EXPECT_TRUE(doc.has(key)) << key;
+  }
+  EXPECT_EQ(json.back(), '\n');
+}
+
+}  // namespace
+}  // namespace p2prm

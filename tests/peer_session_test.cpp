@@ -64,10 +64,10 @@ TEST(PeerSession, TwoHopPipelineExecutesOnTheRightPeers) {
 
   const auto* record = world.system.ledger().record(task);
   ASSERT_EQ(record->status, TaskStatus::Completed);
-  EXPECT_EQ(world.system.peer(world.host_e1)->peer_stats().hops_executed, 1u);
-  EXPECT_EQ(world.system.peer(world.host_e2)->peer_stats().hops_executed, 1u);
+  EXPECT_EQ(world.system.peer(world.host_e1)->stats().hops_executed, 1u);
+  EXPECT_EQ(world.system.peer(world.host_e2)->stats().hops_executed, 1u);
   // The source forwarded one stream; each hop forwarded its output.
-  EXPECT_EQ(world.system.peer(world.source)->peer_stats().streams_forwarded, 1u);
+  EXPECT_EQ(world.system.peer(world.source)->stats().streams_forwarded, 1u);
   // All sessions cleaned up.
   for (const auto id : world.system.alive_peer_ids()) {
     EXPECT_EQ(world.system.peer(id)->active_sessions(), 0u) << "peer " << id;
@@ -106,7 +106,7 @@ TEST(PeerSession, RepeatedTasksReuseThePipeline) {
     EXPECT_EQ(world.system.ledger().record(task)->status,
               TaskStatus::Completed);
   }
-  EXPECT_EQ(world.system.peer(world.host_e1)->peer_stats().hops_executed, 4u);
+  EXPECT_EQ(world.system.peer(world.host_e1)->stats().hops_executed, 4u);
 }
 
 TEST(PeerSession, HopCancelStopsWorkAndCleansUp) {
