@@ -1,0 +1,295 @@
+#include "check/scenario.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace p2prm::check {
+namespace {
+
+constexpr std::string_view kSchema = "p2prm-fuzz/1";
+
+// Shortest round-trip double formatting (same contract as util::JsonWriter):
+// parse(fmt(x)) == x exactly, and the text is identical across runs.
+std::string fmt_double(double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+bool parse_double(std::string_view s, double& out) {
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), out);
+  return res.ec == std::errc{} && res.ptr == s.data() + s.size();
+}
+
+bool parse_i64(std::string_view s, std::int64_t& out) {
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), out);
+  return res.ec == std::errc{} && res.ptr == s.data() + s.size();
+}
+
+bool parse_u64(std::string_view s, std::uint64_t& out) {
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), out);
+  return res.ec == std::errc{} && res.ptr == s.data() + s.size();
+}
+
+// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const auto pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+}  // namespace
+
+ScenarioSpec ScenarioSpec::generate(std::uint64_t seed) {
+  // Decorrelate from the System/workload RNGs, which also derive from the
+  // spec seed: the generator choosing the scenario must not mirror the
+  // streams that later execute it.
+  util::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x5eed5eed5eed5eedULL);
+  ScenarioSpec spec;
+  spec.seed = seed;
+  spec.peers = static_cast<std::uint32_t>(8 + rng.below(17));           // 8..24
+  spec.max_domain_size = static_cast<std::uint32_t>(4 + rng.below(9));  // 4..12
+  spec.het = static_cast<std::uint32_t>(rng.below(4));
+  spec.task_cap = static_cast<std::uint32_t>(8 + rng.below(25));        // 8..32
+  spec.arrival_rate = rng.uniform(0.4, 1.4);
+  const double work_s = rng.uniform(18.0, 35.0);
+  spec.workload = util::from_seconds(work_s);
+  spec.drain = util::seconds(80);
+
+  spec.churn = rng.bernoulli(0.5);
+  if (spec.churn) {
+    spec.mean_session_s = rng.uniform(25.0, 70.0);
+    spec.crash_fraction = rng.uniform(0.0, 1.0);
+    spec.mean_offline_s = rng.uniform(4.0, 10.0);
+    spec.respawn = true;
+  }
+
+  if (rng.bernoulli(0.5)) {
+    spec.link.loss = rng.uniform(0.0, 0.04);
+    spec.link.dup = rng.bernoulli(0.5) ? rng.uniform(0.0, 0.02) : 0.0;
+    spec.link.reorder = rng.bernoulli(0.5) ? rng.uniform(0.0, 0.05) : 0.0;
+    spec.link.delay = util::milliseconds(static_cast<std::int64_t>(rng.below(20)));
+    spec.link.jitter =
+        util::milliseconds(static_cast<std::int64_t>(rng.below(15)));
+  }
+
+  // Timed events land inside the workload window with enough margin that
+  // every partition heals (and most crash victims restart) well before the
+  // drain's quiescence checks.
+  const auto event_at = [&] {
+    return util::from_seconds(rng.uniform(4.0, std::max(5.0, work_s - 4.0)));
+  };
+  const std::size_t n_partitions = rng.below(3);
+  for (std::size_t i = 0; i < n_partitions; ++i) {
+    PartitionSpec p;
+    p.at = event_at();
+    p.hold = util::from_seconds(rng.uniform(4.0, 12.0));
+    spec.partitions.push_back(p);
+  }
+  const std::size_t n_crashes = rng.below(3);
+  for (std::size_t i = 0; i < n_crashes; ++i) {
+    CrashSpec c;
+    c.at = event_at();
+    c.down = rng.bernoulli(0.8)
+                 ? util::from_seconds(rng.uniform(4.0, 15.0))
+                 : util::SimDuration{-1};
+    c.target_rm = rng.bernoulli(0.5);
+    // Draw the index either way (keeps the seed->spec stream stable), but
+    // normalize it for rm-targeted crashes: the repro string serializes
+    // "rm" without an index, so a nonzero index would not round-trip.
+    const auto index = static_cast<std::uint32_t>(rng.below(spec.peers));
+    c.peer_index = c.target_rm ? 0 : index;
+    spec.crashes.push_back(c);
+  }
+  // Deterministic order regardless of draw order (also gives the shrinker a
+  // stable candidate enumeration).
+  std::sort(spec.partitions.begin(), spec.partitions.end(),
+            [](const PartitionSpec& a, const PartitionSpec& b) {
+              return a.at < b.at;
+            });
+  std::sort(spec.crashes.begin(), spec.crashes.end(),
+            [](const CrashSpec& a, const CrashSpec& b) { return a.at < b.at; });
+  return spec;
+}
+
+std::string ScenarioSpec::repro() const {
+  std::ostringstream out;
+  out << kSchema << ";seed=" << seed << ";peers=" << peers
+      << ";dom=" << max_domain_size << ";het=" << het << ";cap=" << task_cap
+      << ";rate=" << fmt_double(arrival_rate) << ";work=" << workload
+      << ";drain=" << drain << ";churn=" << (churn ? 1 : 0)
+      << ";sess=" << fmt_double(mean_session_s)
+      << ";cfrac=" << fmt_double(crash_fraction)
+      << ";off=" << fmt_double(mean_offline_s) << ";resp=" << (respawn ? 1 : 0)
+      << ";loss=" << fmt_double(link.loss) << ";dup=" << fmt_double(link.dup)
+      << ";reord=" << fmt_double(link.reorder) << ";delay=" << link.delay
+      << ";jit=" << link.jitter << ";cache=" << (path_cache ? 1 : 0)
+      << ";spans=" << (spans ? 1 : 0);
+  out << ";part=";
+  for (std::size_t i = 0; i < partitions.size(); ++i) {
+    if (i) out << '+';
+    out << partitions[i].at << ':' << partitions[i].hold;
+  }
+  out << ";crash=";
+  for (std::size_t i = 0; i < crashes.size(); ++i) {
+    if (i) out << '+';
+    out << crashes[i].at << ':' << crashes[i].down << ':';
+    if (crashes[i].target_rm) {
+      out << "rm";
+    } else {
+      out << 'p' << crashes[i].peer_index;
+    }
+  }
+  return out.str();
+}
+
+std::optional<ScenarioSpec> ScenarioSpec::parse(std::string_view s) {
+  const auto fields = split(s, ';');
+  if (fields.empty() || fields[0] != kSchema) return std::nullopt;
+  ScenarioSpec spec;
+  spec.partitions.clear();
+  spec.crashes.clear();
+
+  for (std::size_t i = 1; i < fields.size(); ++i) {
+    const auto eq = fields[i].find('=');
+    if (eq == std::string_view::npos) return std::nullopt;
+    const auto key = fields[i].substr(0, eq);
+    const auto val = fields[i].substr(eq + 1);
+
+    const auto as_u32 = [&](std::uint32_t& out) {
+      std::uint64_t v;
+      if (!parse_u64(val, v) || v > 0xffffffffULL) return false;
+      out = static_cast<std::uint32_t>(v);
+      return true;
+    };
+    const auto as_bool = [&](bool& out) {
+      if (val != "0" && val != "1") return false;
+      out = val == "1";
+      return true;
+    };
+
+    bool ok = true;
+    if (key == "seed") {
+      ok = parse_u64(val, spec.seed);
+    } else if (key == "peers") {
+      ok = as_u32(spec.peers);
+    } else if (key == "dom") {
+      ok = as_u32(spec.max_domain_size);
+    } else if (key == "het") {
+      ok = as_u32(spec.het);
+    } else if (key == "cap") {
+      ok = as_u32(spec.task_cap);
+    } else if (key == "rate") {
+      ok = parse_double(val, spec.arrival_rate);
+    } else if (key == "work") {
+      ok = parse_i64(val, spec.workload);
+    } else if (key == "drain") {
+      ok = parse_i64(val, spec.drain);
+    } else if (key == "churn") {
+      ok = as_bool(spec.churn);
+    } else if (key == "sess") {
+      ok = parse_double(val, spec.mean_session_s);
+    } else if (key == "cfrac") {
+      ok = parse_double(val, spec.crash_fraction);
+    } else if (key == "off") {
+      ok = parse_double(val, spec.mean_offline_s);
+    } else if (key == "resp") {
+      ok = as_bool(spec.respawn);
+    } else if (key == "loss") {
+      ok = parse_double(val, spec.link.loss);
+    } else if (key == "dup") {
+      ok = parse_double(val, spec.link.dup);
+    } else if (key == "reord") {
+      ok = parse_double(val, spec.link.reorder);
+    } else if (key == "delay") {
+      ok = parse_i64(val, spec.link.delay);
+    } else if (key == "jit") {
+      ok = parse_i64(val, spec.link.jitter);
+    } else if (key == "cache") {
+      ok = as_bool(spec.path_cache);
+    } else if (key == "spans") {
+      ok = as_bool(spec.spans);
+    } else if (key == "part") {
+      if (val.empty()) continue;
+      for (const auto entry : split(val, '+')) {
+        const auto parts = split(entry, ':');
+        PartitionSpec p;
+        if (parts.size() != 2 || !parse_i64(parts[0], p.at) ||
+            !parse_i64(parts[1], p.hold)) {
+          return std::nullopt;
+        }
+        spec.partitions.push_back(p);
+      }
+    } else if (key == "crash") {
+      if (val.empty()) continue;
+      for (const auto entry : split(val, '+')) {
+        const auto parts = split(entry, ':');
+        CrashSpec c;
+        if (parts.size() != 3 || !parse_i64(parts[0], c.at) ||
+            !parse_i64(parts[1], c.down) || parts[2].empty()) {
+          return std::nullopt;
+        }
+        if (parts[2] == "rm") {
+          c.target_rm = true;
+          c.peer_index = 0;
+        } else if (parts[2][0] == 'p') {
+          c.target_rm = false;
+          std::uint64_t idx;
+          if (!parse_u64(parts[2].substr(1), idx) || idx > 0xffffffffULL) {
+            return std::nullopt;
+          }
+          c.peer_index = static_cast<std::uint32_t>(idx);
+        } else {
+          return std::nullopt;
+        }
+        spec.crashes.push_back(c);
+      }
+    } else {
+      return std::nullopt;  // unknown key: refuse rather than drift silently
+    }
+    if (!ok) return std::nullopt;
+  }
+  if (spec.peers == 0 || spec.max_domain_size == 0 || spec.workload <= 0 ||
+      spec.drain < 0 || spec.het > 3) {
+    return std::nullopt;
+  }
+  return spec;
+}
+
+fault::FaultPlan ScenarioSpec::fault_plan(
+    util::SimTime t0, const std::vector<util::PeerId>& bootstrap_order) const {
+  fault::FaultPlan plan;
+  plan.seed = seed * 1000003ULL + 7;
+  plan.default_link.drop_probability = link.loss;
+  plan.default_link.duplicate_probability = link.dup;
+  plan.default_link.reorder_probability = link.reorder;
+  plan.default_link.extra_delay = link.delay;
+  plan.default_link.delay_jitter = link.jitter;
+  for (const auto& p : partitions) {
+    plan.isolate_primary_rm(t0 + p.at, t0 + p.at + p.hold);
+  }
+  for (const auto& c : crashes) {
+    const util::SimTime restart_at =
+        c.down < 0 ? util::kTimeInfinity : t0 + c.at + c.down;
+    if (c.target_rm) {
+      plan.crash_restart_primary_rm(t0 + c.at, restart_at);
+    } else if (!bootstrap_order.empty()) {
+      const auto victim = bootstrap_order[c.peer_index % bootstrap_order.size()];
+      plan.crash_restart(victim, t0 + c.at, restart_at);
+    }
+  }
+  return plan;
+}
+
+}  // namespace p2prm::check

@@ -1,0 +1,136 @@
+#include "check/shrink.hpp"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/runner.hpp"
+
+namespace p2prm::check {
+namespace {
+
+// Every candidate strictly reduces this well-founded measure, so the greedy
+// loop terminates even without a run budget.
+std::uint64_t measure(const ScenarioSpec& s) {
+  std::uint64_t m = 0;
+  m += s.partitions.size() * 16;
+  m += s.crashes.size() * 16;
+  if (s.churn) m += 12;
+  if (!s.link.trivial()) m += 8;
+  if (s.het != 0) m += 4;
+  if (s.arrival_rate > 0.5) m += 2;
+  m += s.peers;
+  m += s.task_cap;
+  m += static_cast<std::uint64_t>(util::to_seconds(s.workload));
+  m += static_cast<std::uint64_t>(util::to_seconds(s.drain)) / 4;
+  return m;
+}
+
+// All one-step reductions of `s`, in decreasing order of expected payoff:
+// whole fault classes first, then single events, then magnitudes.
+std::vector<ScenarioSpec> candidates(const ScenarioSpec& s) {
+  std::vector<ScenarioSpec> out;
+  const auto push = [&](ScenarioSpec c) {
+    if (measure(c) < measure(s)) out.push_back(std::move(c));
+  };
+
+  if (!s.crashes.empty()) {
+    ScenarioSpec c = s;
+    c.crashes.clear();
+    push(std::move(c));
+  }
+  if (!s.partitions.empty()) {
+    ScenarioSpec c = s;
+    c.partitions.clear();
+    push(std::move(c));
+  }
+  if (s.churn) {
+    ScenarioSpec c = s;
+    c.churn = false;
+    push(std::move(c));
+  }
+  if (!s.link.trivial()) {
+    ScenarioSpec c = s;
+    c.link = LinkFaultSpec{};
+    push(std::move(c));
+  }
+  for (std::size_t i = 0; i < s.crashes.size(); ++i) {
+    ScenarioSpec c = s;
+    c.crashes.erase(c.crashes.begin() + static_cast<std::ptrdiff_t>(i));
+    push(std::move(c));
+  }
+  for (std::size_t i = 0; i < s.partitions.size(); ++i) {
+    ScenarioSpec c = s;
+    c.partitions.erase(c.partitions.begin() + static_cast<std::ptrdiff_t>(i));
+    push(std::move(c));
+  }
+  if (s.task_cap > 1) {
+    ScenarioSpec c = s;
+    c.task_cap = std::max(1u, s.task_cap / 2);
+    push(std::move(c));
+  }
+  if (s.peers > 2) {
+    ScenarioSpec c = s;
+    c.peers = std::max(2u, s.peers / 2);
+    push(std::move(c));
+  }
+  if (s.het != 0) {
+    ScenarioSpec c = s;
+    c.het = 0;
+    push(std::move(c));
+  }
+  if (s.arrival_rate > 0.5) {
+    ScenarioSpec c = s;
+    c.arrival_rate = 0.5;
+    push(std::move(c));
+  }
+  if (s.workload > util::seconds(8)) {
+    ScenarioSpec c = s;
+    c.workload = std::max<util::SimDuration>(util::seconds(8), s.workload / 2);
+    push(std::move(c));
+  }
+  if (s.drain > util::seconds(20)) {
+    ScenarioSpec c = s;
+    c.drain = std::max<util::SimDuration>(util::seconds(20), s.drain / 2);
+    push(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const ScenarioSpec& failing,
+                    const FailPredicate& still_fails, std::size_t max_runs) {
+  ShrinkResult result;
+  result.minimal = failing;
+  bool progressed = true;
+  while (progressed && result.runs < max_runs) {
+    progressed = false;
+    for (auto& candidate : candidates(result.minimal)) {
+      if (result.runs >= max_runs) break;
+      ++result.runs;
+      if (!still_fails(candidate)) continue;
+      result.minimal = std::move(candidate);
+      ++result.steps;
+      progressed = true;
+      break;  // restart from the (smaller) spec: big reductions first again
+    }
+  }
+  return result;
+}
+
+FailPredicate make_same_invariant_predicate(std::string invariant) {
+  return [invariant = std::move(invariant)](const ScenarioSpec& spec) {
+    // Oracle failures need the replay harness; invariant failures only the
+    // (much cheaper) single run.
+    const bool is_oracle = invariant.rfind("oracle.", 0) == 0;
+    const RunResult result =
+        is_oracle ? run_spec(spec, true).result : run_scenario(spec);
+    for (const auto& v : result.violations) {
+      if (v.invariant == invariant) return true;
+    }
+    return false;
+  };
+}
+
+}  // namespace p2prm::check

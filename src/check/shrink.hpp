@@ -1,0 +1,39 @@
+// Greedy scenario minimization (delta debugging).
+//
+// Given a failing ScenarioSpec, repeatedly tries strictly-smaller variants —
+// drop fault events, disable churn, clear link faults, halve peers / task
+// cap / durations — and keeps any variant that still fails, until no smaller
+// variant fails or the run budget is exhausted. The result is the repro
+// string CI uploads: a minimal scenario a developer replays with
+// `p2prm_fuzz --repro=...`.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "check/scenario.hpp"
+
+namespace p2prm::check {
+
+// Returns true when `spec` still exhibits the failure being minimized.
+// The canonical predicate re-runs the scenario and checks that the same
+// invariant fires (see make_same_invariant_predicate in shrink.cpp /
+// p2prm_fuzz).
+using FailPredicate = std::function<bool(const ScenarioSpec&)>;
+
+struct ShrinkResult {
+  ScenarioSpec minimal;   // smallest still-failing spec found
+  std::size_t runs = 0;   // predicate evaluations spent
+  std::size_t steps = 0;  // accepted reductions
+};
+
+// `failing` must satisfy the predicate (it is returned unchanged otherwise).
+// The predicate is invoked at most `max_runs` times.
+ShrinkResult shrink(const ScenarioSpec& failing, const FailPredicate& still_fails,
+                    std::size_t max_runs = 200);
+
+// The standard predicate: re-run the candidate with default invariants (no
+// oracle replays) and require a violation of `invariant` to reappear.
+[[nodiscard]] FailPredicate make_same_invariant_predicate(std::string invariant);
+
+}  // namespace p2prm::check

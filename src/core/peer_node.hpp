@@ -96,6 +96,15 @@ class PeerNode {
   [[nodiscard]] std::size_t buffered_early_data() const {
     return early_data_.size();
   }
+  // Backup-RM probes (src/check invariants): the backup designation this
+  // peer last heard from its RM, and the synced info-base copy it would
+  // restore from on takeover.
+  [[nodiscard]] util::PeerId designated_backup() const {
+    return designated_backup_;
+  }
+  [[nodiscard]] const std::optional<InfoBaseSnapshot>& backup_snapshot() const {
+    return backup_copy_;
+  }
 
   // --- plumbing used by ResourceManager and System ------------------------------
   void handle_message(util::PeerId from, const net::Message& message);

@@ -30,6 +30,11 @@ ResourceManager::ResourceManager(PeerNode& host, util::DomainId domain,
       known_rms_(std::move(known_rms)),
       rng_(host.system().simulator().rng().fork()) {
   auto& system = host_.system();
+  // Entries handed over at promotion/takeover count as just-confirmed for
+  // rm_routable()'s no-summary grace window.
+  for (const auto& info : known_rms_) {
+    rm_seen_[info.domain] = system.simulator().now();
+  }
   if (restored) {
     info_.restore(*restored);
     info_.domain().set_resource_manager(host_.id());
@@ -154,18 +159,19 @@ void ResourceManager::on_join_request(util::PeerId from,
   input.max_domain_size = config.max_domain_size;
   input.newcomer_qualifies = overlay::qualifies_for_rm(
       m.spec, system.simulator().now(), config.qualification);
-  input.other_rms_known = !known_rms_.empty();
 
   // Prefer steering the joiner to a domain with spare slots (known from
   // gossip summaries) over founding yet another domain. Among underfull
   // domains pick the one whose RM is closest to the joiner — the paper's
   // domains are *geographical* ("grouped into domains according to their
   // topological proximity", §2); we stand in for an RTT probe with the
-  // network's delay estimate.
+  // network's delay estimate. Only *fresh* summaries count: a dead domain's
+  // frozen summary would bounce the joiner to a dead RM forever.
   util::PeerId underfull_rm = util::PeerId::invalid();
   util::SimDuration best_proximity = util::kTimeInfinity;
   for (const auto& s : gossip_->known()) {
     if (s.domain == info_.domain().id()) continue;
+    if (!gossip_->is_fresh(s.domain)) continue;
     if (s.peer_count < config.max_domain_size &&
         s.resource_manager.valid() && s.resource_manager != host_.id()) {
       const auto rtt =
@@ -176,17 +182,20 @@ void ResourceManager::on_join_request(util::PeerId from,
       }
     }
   }
-  if (!underfull_rm.valid()) {
-    // A known RM we have no summary for yet is a freshly founded domain:
-    // it is almost certainly underfull (gossip simply has not caught up).
-    for (const auto& rm_info : known_rms_) {
-      if (rm_info.rm == host_.id()) continue;
-      if (gossip_->summary_of(rm_info.domain) == nullptr) {
-        underfull_rm = rm_info.rm;
-        break;
-      }
+  // Redirect fallback pool: routable RMs only — fresh summaries, or entries
+  // so recent that a freshly founded domain plausibly has not gossiped yet
+  // (those double as underfull candidates: a new domain is almost certainly
+  // underfull). Dead domains' frozen entries are excluded.
+  std::vector<util::PeerId> redirect_targets;
+  for (const auto& rm_info : known_rms_) {
+    if (!rm_routable(rm_info)) continue;
+    if (!underfull_rm.valid() &&
+        gossip_->summary_of(rm_info.domain) == nullptr) {
+      underfull_rm = rm_info.rm;
     }
+    redirect_targets.push_back(rm_info.rm);
   }
+  input.other_rms_known = !redirect_targets.empty();
   input.underfull_domain_known = underfull_rm.valid();
 
   switch (overlay::decide_join(input)) {
@@ -214,9 +223,10 @@ void ResourceManager::on_join_request(util::PeerId from,
     }
     case overlay::JoinOutcome::Redirect: {
       auto redirect = std::make_unique<overlay::JoinRedirect>();
-      redirect->target_rm = underfull_rm.valid()
-                                ? underfull_rm
-                                : known_rms_[rng_.below(known_rms_.size())].rm;
+      redirect->target_rm =
+          underfull_rm.valid()
+              ? underfull_rm
+              : redirect_targets[rng_.below(redirect_targets.size())];
       host_.send(from, std::move(redirect));
       ++stats_.joins_redirected;
       break;
@@ -469,16 +479,26 @@ void ResourceManager::redirect_query(const TaskQuery& query,
     }
   }
   if (!target.valid()) {
-    // No summary hit: fall back to the least-utilized known domain.
+    // No summary hit: fall back to the least-utilized *fresh* known domain.
+    // Stale summaries belong to possibly-dead RMs; forwarding there strands
+    // the query until its watchdog fires.
     const gossip::DomainSummary* best = nullptr;
     for (const auto& s : gossip_->known()) {
       if (s.domain == info_.domain().id()) continue;
+      if (!gossip_->is_fresh(s.domain)) continue;
       if (best == nullptr || s.utilization() < best->utilization()) best = &s;
     }
     if (best != nullptr) {
       target = best->resource_manager;
     } else {
-      target = known_rms_[rng_.below(known_rms_.size())].rm;
+      // Last resort: a routable RM so new gossip has no summary for it yet.
+      for (const auto& rm_info : known_rms_) {
+        if (gossip_->summary_of(rm_info.domain) == nullptr &&
+            rm_routable(rm_info)) {
+          target = rm_info.rm;
+          break;
+        }
+      }
     }
   }
   if (!target.valid() || target == host_.id()) {
@@ -854,6 +874,7 @@ std::vector<util::PeerId> ResourceManager::rm_peer_ids() const {
 
 void ResourceManager::add_known_rm(overlay::RmInfo info) {
   if (info.rm == host_.id()) return;
+  rm_seen_[info.domain] = host_.system().simulator().now();
   for (auto& existing : known_rms_) {
     if (existing.domain == info.domain) {
       existing.rm = info.rm;  // failover replaced the RM
@@ -861,6 +882,23 @@ void ResourceManager::add_known_rm(overlay::RmInfo info) {
     }
   }
   known_rms_.push_back(info);
+}
+
+bool ResourceManager::rm_routable(const overlay::RmInfo& info) const {
+  if (info.rm == host_.id()) return false;
+  if (gossip_->summary_of(info.domain) != nullptr) {
+    return gossip_->is_fresh(info.domain);
+  }
+  // No summary at all: either a freshly founded domain gossip has not
+  // caught up with (routable — it is almost certainly underfull), or a
+  // domain that died before it ever gossiped (not routable). Distinguish by
+  // the entry's age: the grace ends one staleness window after we learned
+  // of it.
+  const auto stale_after = host_.system().config().gossip.stale_after;
+  if (stale_after <= 0) return true;
+  const auto it = rm_seen_.find(info.domain);
+  if (it == rm_seen_.end()) return false;
+  return host_.system().simulator().now() - it->second <= stale_after;
 }
 
 void ResourceManager::publish(obs::MetricsRegistry& registry) const {

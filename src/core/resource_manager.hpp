@@ -145,6 +145,12 @@ class ResourceManager {
   void publish_summary();
   [[nodiscard]] std::vector<util::PeerId> rm_peer_ids() const;
   void add_known_rm(overlay::RmInfo info);
+  // True when `info` is safe to route a joiner or redirected query to: its
+  // domain's summary is fresh per gossip, or the entry itself is so recent
+  // that a freshly founded domain plausibly has not gossiped yet. Dead
+  // domains fail both tests — without this, routing loops on stale entries
+  // strand joiners forever (found by the scenario fuzzer).
+  [[nodiscard]] bool rm_routable(const overlay::RmInfo& info) const;
   // Remembers a task that reached a terminal state, so a retried (or
   // network-duplicated) TaskQuery for it cannot re-admit it.
   void note_terminal(util::TaskId id);
@@ -155,6 +161,9 @@ class ResourceManager {
   OverloadDetector overload_;
   std::unique_ptr<gossip::GossipEngine> gossip_;
   std::vector<overlay::RmInfo> known_rms_;  // other domains' RMs
+  // When each known_rms_ entry was added or last re-confirmed; bounds the
+  // no-summary-yet grace window in rm_routable().
+  std::unordered_map<util::DomainId, util::SimTime> rm_seen_;
   util::Rng rng_;
   RmStats stats_;
 

@@ -24,6 +24,8 @@ void GossipEngine::start() {
 void GossipEngine::stop() { timer_.cancel(); }
 
 void GossipEngine::set_local_summary(DomainSummary summary) {
+  local_domain_ = summary.domain;
+  refreshed_at_[summary.domain] = sim_.now();
   std::vector<DomainSummary> one{std::move(summary)};
   // Local summaries always win ties: force version-monotonic callers, but
   // replace equal versions too (contents may have been rebuilt).
@@ -39,9 +41,28 @@ void GossipEngine::set_local_summary(DomainSummary summary) {
 }
 
 void GossipEngine::handle_message(util::PeerId from, const GossipMessage& msg) {
-  last_heard_[msg.sender.valid() ? msg.sender : from] = sim_.now();
+  const util::PeerId sender = msg.sender.valid() ? msg.sender : from;
+  last_heard_[sender] = sim_.now();
   const std::size_t changed = reconcile(summaries_, msg.summaries);
+  // Freshness attestation. Only the domain's own RM can vouch for its
+  // domain: third-party copies carry content (freshest-wins above) but must
+  // not extend a dead domain's lifetime by bouncing its frozen summary
+  // around. A domain we had never seen gets one grace window to attest
+  // itself first-hand.
+  for (const auto& s : msg.summaries) {
+    if (s.resource_manager == sender || !refreshed_at_.count(s.domain)) {
+      refreshed_at_[s.domain] = sim_.now();
+    }
+  }
   if (changed && on_change_) on_change_(changed);
+}
+
+bool GossipEngine::is_fresh(util::DomainId domain) const {
+  if (domain == local_domain_) return true;
+  if (config_.stale_after <= 0) return summary_of(domain) != nullptr;
+  const auto it = refreshed_at_.find(domain);
+  if (it == refreshed_at_.end()) return false;
+  return sim_.now() - it->second <= config_.stale_after;
 }
 
 void GossipEngine::push_to(util::PeerId peer) {
@@ -93,12 +114,14 @@ const DomainSummary* GossipEngine::summary_of(util::DomainId domain) const {
 }
 
 namespace {
-template <typename Pred>
+template <typename Pred, typename Fresh>
 std::vector<const DomainSummary*> filter_sorted(
-    const std::vector<DomainSummary>& all, util::DomainId exclude, Pred pred) {
+    const std::vector<DomainSummary>& all, util::DomainId exclude, Pred pred,
+    Fresh fresh) {
   std::vector<const DomainSummary*> out;
   for (const auto& s : all) {
     if (s.domain == exclude) continue;
+    if (!fresh(s.domain)) continue;
     if (pred(s)) out.push_back(&s);
   }
   std::sort(out.begin(), out.end(),
@@ -114,16 +137,18 @@ std::vector<const DomainSummary*> filter_sorted(
 
 std::vector<const DomainSummary*> GossipEngine::domains_with_service(
     std::uint64_t key, util::DomainId exclude) const {
-  return filter_sorted(summaries_, exclude, [&](const DomainSummary& s) {
-    return s.services.possibly_contains(key);
-  });
+  return filter_sorted(
+      summaries_, exclude,
+      [&](const DomainSummary& s) { return s.services.possibly_contains(key); },
+      [&](util::DomainId d) { return is_fresh(d); });
 }
 
 std::vector<const DomainSummary*> GossipEngine::domains_with_object(
     util::ObjectId object, util::DomainId exclude) const {
-  return filter_sorted(summaries_, exclude, [&](const DomainSummary& s) {
-    return s.objects.possibly_contains(object);
-  });
+  return filter_sorted(
+      summaries_, exclude,
+      [&](const DomainSummary& s) { return s.objects.possibly_contains(object); },
+      [&](util::DomainId d) { return is_fresh(d); });
 }
 
 }  // namespace p2prm::gossip

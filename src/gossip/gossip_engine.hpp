@@ -46,6 +46,13 @@ struct GossipConfig {
   // Bound on extra targeted pushes per round (keeps overhead predictable
   // when many partners go silent at once, e.g. during a partition).
   std::size_t max_anti_entropy_pushes = 2;
+  // A foreign summary turns *stale* when its own RM has not attested it
+  // (by pushing to us first-hand) for this long. Stale summaries are kept
+  // and still gossiped — heals reconverge — but is_fresh() reports false,
+  // and routing decisions (join steering, inter-domain task redirect) must
+  // ignore them: a dead domain's frozen summary otherwise misroutes joiners
+  // to a dead RM forever (found by the scenario fuzzer). 0 disables.
+  util::SimDuration stale_after = util::seconds(12);
 };
 
 struct GossipStats {
@@ -87,8 +94,13 @@ class GossipEngine {
     return summaries_;
   }
   [[nodiscard]] const DomainSummary* summary_of(util::DomainId domain) const;
+  // False when the summary is only a stale third-party copy (its RM has not
+  // attested it within stale_after). Unknown domains are not fresh; our own
+  // domain always is.
+  [[nodiscard]] bool is_fresh(util::DomainId domain) const;
   // Domains (excluding `exclude`) whose service summary may contain `key`,
-  // least-utilized first.
+  // least-utilized first. Stale domains are excluded — their RM is possibly
+  // gone and redirecting work there strands it.
   [[nodiscard]] std::vector<const DomainSummary*> domains_with_service(
       std::uint64_t key, util::DomainId exclude) const;
   [[nodiscard]] std::vector<const DomainSummary*> domains_with_object(
@@ -109,7 +121,10 @@ class GossipEngine {
   ChangeFn on_change_;
   util::Rng rng_;
   sim::Timer timer_;
+  util::DomainId local_domain_;  // set by set_local_summary
   std::vector<DomainSummary> summaries_;  // includes our own
+  // Last first-party attestation per domain (see GossipConfig::stale_after).
+  std::unordered_map<util::DomainId, util::SimTime> refreshed_at_;
   // Last time a GossipMessage arrived from each RM peer (anti-entropy).
   std::unordered_map<util::PeerId, util::SimTime> last_heard_;
   GossipStats stats_;

@@ -7,7 +7,13 @@ JoinOutcome decide_join(const JoinDecisionInput& input) {
   if (input.underfull_domain_known) return JoinOutcome::Redirect;
   if (input.newcomer_qualifies) return JoinOutcome::Promote;
   if (input.other_rms_known) return JoinOutcome::Redirect;
-  return JoinOutcome::Reject;
+  // Elastic overflow: the domain is full, no underfull domain is reachable,
+  // the newcomer cannot found a domain of its own (weak peers never satisfy
+  // the RM qualification thresholds) and we know of no live RM to redirect
+  // to. Turning the peer away here strands it forever — it would retry into
+  // the same dead end. max_domain_size is a sizing target, not an admission
+  // guarantee, so absorb the joiner; later splits rebalance the overflow.
+  return JoinOutcome::Accept;
 }
 
 }  // namespace p2prm::overlay

@@ -106,8 +106,13 @@ struct JoinDecisionInput {
   bool underfull_domain_known = false;
 };
 
-// The §4.1 rule. Reject only happens when the domain is full, the newcomer
-// does not qualify, and no other domain is known to redirect to.
+// The §4.1 rule, with one liveness amendment: when the domain is full, the
+// newcomer does not qualify, and no other live domain is known, the RM
+// *accepts* anyway (elastic overflow) rather than rejecting — a rejected
+// weak peer has no move left and would retry into the same dead end
+// forever (a stranding the scenario fuzzer demonstrated under churn).
+// JoinOutcome::Reject survives in the enum for the wire protocol's
+// invalid-target redirect, but decide_join no longer returns it.
 [[nodiscard]] JoinOutcome decide_join(const JoinDecisionInput& input);
 
 }  // namespace p2prm::overlay

@@ -80,6 +80,26 @@ util::SimTime Processor::estimate_completion(double ops) const {
          util::from_seconds(backlog_seconds() + ops / config_.ops_per_second);
 }
 
+std::vector<JobLaxity> Processor::laxity_view() const {
+  std::vector<JobLaxity> out;
+  out.reserve(ready_.size());
+  const util::SimTime now = sim_.now();
+  for (const Job& j : ready_) {
+    const bool is_running = running_ && j.id == *running_;
+    Job settled = j;
+    if (is_running) {
+      // Mid-slice, the running job's remaining_ops is stale (settled only at
+      // scheduling points, same correction as backlog_seconds()).
+      const double done =
+          util::to_seconds(now - slice_start_) * config_.ops_per_second;
+      settled.remaining_ops = std::max(0.0, settled.remaining_ops - done);
+    }
+    out.push_back(JobLaxity{j.id, j.task, is_running,
+                            laxity(settled, now, config_.ops_per_second)});
+  }
+  return out;
+}
+
 void Processor::settle_running() {
   if (!running_) return;
   const util::SimDuration elapsed = sim_.now() - slice_start_;

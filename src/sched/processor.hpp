@@ -25,6 +25,16 @@ struct ProcessorConfig {
   bool drop_hopeless_jobs = false;
 };
 
+// One ready job's laxity as of "now", with the running job's remaining work
+// settled to the current instant (its stored remaining_ops is only updated
+// at scheduling points). Probe for invariant checks (src/check).
+struct JobLaxity {
+  util::JobId id;
+  util::TaskId task;
+  bool running = false;
+  util::SimDuration laxity = 0;
+};
+
 enum class JobStatus {
   Completed,      // finished at or before its deadline
   CompletedLate,  // finished after the deadline (soft real-time miss)
@@ -91,6 +101,10 @@ class Processor {
   // assuming current backlog runs first (conservative FIFO bound). Used by
   // Resource Managers for §3.3 execution-time estimates.
   [[nodiscard]] util::SimTime estimate_completion(double ops) const;
+
+  // Laxity of every ready job at the current instant, correcting the running
+  // job's mid-slice progress. Order matches the ready queue.
+  [[nodiscard]] std::vector<JobLaxity> laxity_view() const;
 
  private:
   void settle_running();

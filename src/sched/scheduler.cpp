@@ -54,13 +54,8 @@ std::size_t select_best(const std::vector<Job>& ready, Better better) {
 
 class LeastLaxityPolicy final : public SchedulingPolicy {
  public:
-  // Preemption hysteresis: a waiting job must beat the running job's laxity
-  // by this margin before it preempts. Pure LLS thrashes between
-  // equal-laxity jobs (a textbook pathology — with nanosecond timestamps it
-  // degenerates into one context switch per nanosecond); the quantum bounds
-  // switches to one per millisecond in the worst case while changing
-  // schedules only by sub-millisecond laxity differences.
-  static constexpr util::SimDuration kLaxityQuantum = util::milliseconds(1);
+  // Preemption hysteresis; see kLlsLaxityQuantum in scheduler.hpp.
+  static constexpr util::SimDuration kLaxityQuantum = kLlsLaxityQuantum;
 
   std::size_t select(const std::vector<Job>& ready, util::SimTime now,
                      double ops_per_second) const override {

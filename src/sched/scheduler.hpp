@@ -30,6 +30,15 @@ enum class Policy {
 [[nodiscard]] std::string_view policy_name(Policy p);
 [[nodiscard]] Policy policy_from_name(std::string_view name);
 
+// LLS preemption hysteresis: a waiting job must beat the running job's
+// laxity by this margin before it preempts. Pure LLS thrashes between
+// equal-laxity jobs (a textbook pathology — with nanosecond timestamps it
+// degenerates into one context switch per nanosecond); the quantum bounds
+// switches to one per millisecond worst case while changing schedules only
+// by sub-millisecond laxity differences. Part of the scheduling contract:
+// the sched.lls_laxity fuzz invariant allows exactly this much inversion.
+inline constexpr util::SimDuration kLlsLaxityQuantum = util::milliseconds(1);
+
 class SchedulingPolicy {
  public:
   virtual ~SchedulingPolicy() = default;

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <unordered_map>
+
 #include "bloom/bloom_filter.hpp"
 #include "bloom/counting_bloom.hpp"
 #include "core/config.hpp"
@@ -145,6 +147,44 @@ TEST(CountingBloom, DuplicateInsertsNeedMatchingErases) {
   EXPECT_TRUE(cbf.possibly_contains("x"));
   EXPECT_TRUE(cbf.erase("x"));
   EXPECT_FALSE(cbf.possibly_contains("x"));
+}
+
+TEST(CountingBloom, RandomChurnNeverFalseNegative) {
+  // Property: under any interleaving of insert / erase / re-insert, every key
+  // the reference multiset says is present must be reported present. (False
+  // *positives* are allowed by construction; false negatives would make
+  // gossip summaries drop live objects from routing — the one failure the
+  // counting variant exists to prevent across deletions.)
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    CountingBloomFilter cbf({8192, 4});
+    util::Rng rng(seed * 101 + 7);
+    std::unordered_map<std::uint64_t, std::size_t> reference;
+    const std::size_t universe = 64;  // small: forces heavy re-add traffic
+    for (std::size_t step = 0; step < 4000; ++step) {
+      const std::uint64_t key = rng.below(universe) * 0x9e3779b9ULL + 1;
+      const auto it = reference.find(key);
+      const bool present = it != reference.end() && it->second > 0;
+      if (present && rng.below(2) == 0) {
+        EXPECT_TRUE(cbf.erase(key)) << "seed " << seed << " step " << step;
+        --reference[key];
+      } else {
+        cbf.insert(key);
+        ++reference[key];
+      }
+      if (step % 97 != 0) continue;  // full sweep every ~100 steps
+      for (const auto& [k, count] : reference) {
+        if (count == 0) continue;
+        EXPECT_TRUE(cbf.possibly_contains(k))
+            << "false negative for key " << k << " (count " << count
+            << ") at seed " << seed << " step " << step;
+      }
+    }
+    // Drain everything: the filter must empty out exactly.
+    for (auto& [k, count] : reference) {
+      for (; count > 0; --count) EXPECT_TRUE(cbf.erase(k));
+    }
+    EXPECT_EQ(cbf.nonzero_counters(), 0u) << "seed " << seed;
+  }
 }
 
 TEST(CountingBloom, ProjectionMatchesMembership) {

@@ -63,8 +63,9 @@ TEST(JoinDecision, PaperRule) {
   EXPECT_EQ(decide_join({10, 10, true, false, false}), JoinOutcome::Promote);
   // Full + does not qualify + other RMs known -> redirect.
   EXPECT_EQ(decide_join({10, 10, false, true, false}), JoinOutcome::Redirect);
-  // Nowhere to go.
-  EXPECT_EQ(decide_join({10, 10, false, false, false}), JoinOutcome::Reject);
+  // Nowhere to go -> elastic overflow: absorb rather than strand the peer
+  // (a weak peer can never qualify for RM, so Reject would loop forever).
+  EXPECT_EQ(decide_join({10, 10, false, false, false}), JoinOutcome::Accept);
 }
 
 TEST(JoinDecision, UnderfullDomainBeatsPromotion) {

@@ -214,6 +214,100 @@ TEST(TracerGolden, QuickstartScenarioMatchesCommittedTrace) {
          "--update-golden and commit the new file";
 }
 
+// The fault scenario, traced: the quickstart topology plus a standby peer,
+// where the RM crashes mid-task (backup takeover) and a transcoder crashes
+// right after (task recovery), then the system drains. Covers the failure
+// paths the quickstart golden never exercises: peer.failed, rm.takeover,
+// task recovery and re-composition.
+std::string run_fault_trace() {
+  SystemConfig config;
+  config.seed = 2027;
+  System system(config);
+  Tracer tracer;
+  system.set_tracer(&tracer);
+
+  const media::MediaFormat source{media::Codec::MPEG2, media::kRes800x600,
+                                  512};
+  const media::MediaFormat target{media::Codec::MPEG4, media::kRes640x480,
+                                  256};
+  auto add_peer = [&](double capacity_mops, PeerInventory inventory) {
+    overlay::PeerSpec spec;
+    spec.capacity_ops_per_s = capacity_mops * 1e6;
+    spec.online_since = -util::minutes(60);
+    const auto id = system.add_peer(spec, std::move(inventory));
+    system.run_for(util::milliseconds(100));
+    return id;
+  };
+
+  const auto rm = add_peer(120, {});  // founds the domain, becomes RM
+  util::Rng rng(2);
+  const auto movie =
+      media::make_object(system.next_object_id(), source, 15.0, rng);
+  PeerInventory library;
+  library.objects = {movie};
+  add_peer(60, std::move(library));
+  PeerInventory transcoder_a;
+  transcoder_a.services = {
+      {system.next_service_id(), media::TranscoderType{source, target}}};
+  const auto worker_a = add_peer(80, std::move(transcoder_a));
+  PeerInventory transcoder_b;
+  transcoder_b.services = {
+      {system.next_service_id(), media::TranscoderType{source, target}}};
+  add_peer(40, std::move(transcoder_b));
+  const auto user = add_peer(50, {});
+  add_peer(90, {});  // standby: becomes the backup / takeover candidate
+  system.run_for(util::seconds(5));  // backup sync settles
+
+  QoSRequirements q;
+  q.object = movie.id;
+  q.acceptable_formats = {target};
+  q.deadline = util::minutes(3);
+  q.importance = 5.0;
+  system.submit_task(user, q);
+  system.run_for(util::seconds(1));
+
+  system.crash_peer(rm);  // backup must take over mid-task
+  system.run_for(util::seconds(20));
+  system.crash_peer(worker_a);  // if it carried the hop: recovery kicks in
+  system.run_for(util::minutes(3));
+
+  std::ostringstream out;
+  for (const auto& e : tracer.events()) {
+    out << e.at << ' ' << trace_kind_name(e.kind) << " peer="
+        << util::to_string(e.peer) << " task=" << util::to_string(e.task)
+        << " domain=" << util::to_string(e.domain) << " detail=" << e.detail
+        << '\n';
+  }
+  return out.str();
+}
+
+TEST(TracerGolden, FaultScenarioMatchesCommittedTrace) {
+  const std::string first = run_fault_trace();
+  const std::string second = run_fault_trace();
+  ASSERT_EQ(first, second) << "fault scenario is nondeterministic";
+  ASSERT_FALSE(first.empty());
+  // The scenario actually exercised the failure machinery.
+  ASSERT_NE(first.find("rm.takeover"), std::string::npos);
+  ASSERT_NE(first.find("peer.failed"), std::string::npos);
+
+  const std::string path = std::string(P2PRM_GOLDEN_DIR) + "/fault_trace.txt";
+  if (g_update_golden) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << first;
+    GTEST_SKIP() << "golden updated: " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " — regenerate with: trace_test --update-golden";
+  std::stringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(first, want.str())
+      << "trace diverged from " << path
+      << " — if the behaviour change is intended, rerun with "
+         "--update-golden and commit the new file";
+}
+
 TEST(TracerIntegration, NoTracerMeansNoOverheadOrCrash) {
   SystemConfig config;
   config.seed = 5;
