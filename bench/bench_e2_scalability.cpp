@@ -13,11 +13,23 @@
 // the same binary produce byte-identical files; CI's perf-smoke job diffs
 // the output against the committed BENCH_PR2.json baseline (see
 // docs/BENCHMARKS.md).
+//
+// Parallel mode (--threads=N [--parallel-json=FILE]): partitions every RM's
+// allocation-replay workload across the sharded engine's worker threads
+// (ShardConcurrent mode, docs/PARALLELISM.md) and sweeps thread counts
+// 1..N, reporting wall-clock speedup. The summed search counters are pure
+// simulation quantities and must be identical at every thread count — the
+// run aborts if they diverge. --parallel-json writes the sweep (plus
+// hardware_threads, since speedup is bounded by physical cores) to FILE;
+// the committed BENCH_PR5.json was produced this way.
 #include <chrono>
 #include <fstream>
+#include <thread>
+#include <vector>
 
 #include "core/allocation.hpp"
 #include "exp_common.hpp"
+#include "sim/parallel.hpp"
 
 using namespace p2prm;
 using namespace p2prm::bench;
@@ -109,6 +121,64 @@ void write_counters(std::ostream& out, const char* name,
       << "    }";
 }
 
+void accumulate(GateCounters& into, const GateCounters& c) {
+  into.vertices_popped += c.vertices_popped;
+  into.sequences_enqueued += c.sequences_enqueued;
+  into.candidates += c.candidates;
+  into.cache_hits += c.cache_hits;
+  into.cache_misses += c.cache_misses;
+  into.found += c.found;
+}
+
+bool counters_equal(const GateCounters& a, const GateCounters& b) {
+  return a.vertices_popped == b.vertices_popped &&
+         a.sequences_enqueued == b.sequences_enqueued &&
+         a.candidates == b.candidates && a.cache_hits == b.cache_hits &&
+         a.cache_misses == b.cache_misses && a.found == b.found;
+}
+
+// One parallel replay: every RM's query batch runs as a single event on the
+// RM's shard (rm index mod threads); shards execute concurrently under the
+// engine's worker pool. Each batch touches only its own InfoBase/PathCache
+// and a private Rng, so the work is shard-confined by construction and the
+// summed counters cannot depend on the thread count.
+struct ReplayOutcome {
+  GateCounters counters;
+  double wall_ms = 0.0;
+};
+
+ReplayOutcome run_parallel_replay(core::System& system,
+                                  const std::vector<core::InfoBase*>& rms,
+                                  const media::Catalog& catalog,
+                                  std::size_t queries_per_rm, unsigned threads,
+                                  std::uint64_t seed) {
+  sim::ParallelConfig pc;
+  pc.threads = threads;
+  pc.lookahead = util::milliseconds(1);
+  pc.mode = sim::ParallelMode::ShardConcurrent;
+  sim::ParallelEngine eng(pc);
+
+  std::vector<GateCounters> per_rm(rms.size());
+  for (std::size_t i = 0; i < rms.size(); ++i) {
+    const auto shard = static_cast<sim::ShardId>(i % threads);
+    eng.schedule(shard, util::milliseconds(1) + static_cast<util::SimTime>(i),
+                 [&system, &per_rm, &catalog, rm = rms[i], i, queries_per_rm,
+                  seed] {
+                   per_rm[i] = run_gate_queries(system, *rm, catalog,
+                                                queries_per_rm, true,
+                                                seed + i);
+                 });
+  }
+  const auto start = std::chrono::steady_clock::now();
+  eng.run_windows_until(util::seconds(1));
+  const auto stop = std::chrono::steady_clock::now();
+
+  ReplayOutcome out;
+  for (const auto& c : per_rm) accumulate(out.counters, c);
+  out.wall_ms = std::chrono::duration<double, std::milli>(stop - start).count();
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -121,6 +191,107 @@ int main(int argc, char** argv) {
   const bool gate_only = args.get_bool("gate-only", false);
   const std::size_t gate_queries = args.get_int("gate-queries", 4096);
   const std::size_t gate_peers = args.get_int("gate-peers", 64);
+  const auto par_threads = static_cast<unsigned>(args.get_int("threads", 0));
+  const std::string par_json = args.get("parallel-json", "");
+
+  if (par_threads > 0) {
+    WorldConfig config;
+    config.peers = gate_peers;
+    config.system.seed = seed;
+    config.system.max_domain_size = 32;
+    World world(config);
+    world.bootstrap();
+    core::System& system = world.system();
+
+    // Every RM with a populated info base, in peer-id order (deterministic
+    // shard assignment and counter order).
+    std::vector<core::InfoBase*> rms;
+    for (const auto id : system.peer_ids()) {
+      auto* node = system.peer(id);
+      if (node == nullptr || !node->alive()) continue;
+      auto* rm = node->resource_manager();
+      if (rm == nullptr || rm->info().all_objects().empty()) continue;
+      rms.push_back(&rm->info());
+    }
+    if (rms.empty()) {
+      std::cerr << "parallel: no RM with objects after bootstrap\n";
+      return 1;
+    }
+
+    print_header("E2-parallel",
+                 "Allocation-replay throughput on the sharded engine "
+                 "(docs/PARALLELISM.md)");
+    std::cout << "peers=" << gate_peers << " rms=" << rms.size()
+              << " queries/rm=" << gate_queries
+              << " hardware_threads=" << std::thread::hardware_concurrency()
+              << "\n\n";
+
+    std::vector<unsigned> sweep;
+    for (unsigned t = 1; t < par_threads; t *= 2) sweep.push_back(t);
+    sweep.push_back(par_threads);
+
+    util::Table t({"threads", "wall (ms)", "speedup", "queries/s",
+                   "vertices_popped"});
+    std::vector<ReplayOutcome> outcomes;
+    for (const unsigned threads : sweep) {
+      // Warm-up pass absorbs first-touch effects; the timed pass follows.
+      run_parallel_replay(system, rms, world.catalog(), gate_queries, threads,
+                          seed);
+      outcomes.push_back(run_parallel_replay(system, rms, world.catalog(),
+                                             gate_queries, threads, seed));
+      const auto& o = outcomes.back();
+      if (!counters_equal(o.counters, outcomes.front().counters)) {
+        std::cerr << "parallel: counters diverge at " << threads
+                  << " threads (vertices_popped "
+                  << outcomes.front().counters.vertices_popped << " vs "
+                  << o.counters.vertices_popped << ")\n";
+        return 1;
+      }
+      const double total_queries =
+          static_cast<double>(rms.size() * gate_queries);
+      t.cell(threads)
+          .cell(o.wall_ms, 1)
+          .cell(outcomes.front().wall_ms / o.wall_ms, 2)
+          .cell(total_queries / (o.wall_ms / 1000.0), 0)
+          .cell(o.counters.vertices_popped)
+          .end_row();
+    }
+    emit(t, args);
+
+    if (!par_json.empty()) {
+      std::ofstream out(par_json);
+      out << "{\n"
+          << "  \"schema\": \"p2prm-bench-parallel/1\",\n"
+          << "  \"bench\": \"e2_scalability\",\n"
+          << "  \"seed\": " << seed << ",\n"
+          << "  \"peers\": " << gate_peers << ",\n"
+          << "  \"rms\": " << rms.size() << ",\n"
+          << "  \"queries_per_rm\": " << gate_queries << ",\n"
+          << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+          << ",\n"
+          << "  \"counters_identical_across_threads\": true,\n"
+          << "  \"vertices_popped\": "
+          << outcomes.front().counters.vertices_popped << ",\n"
+          << "  \"found\": " << outcomes.front().counters.found << ",\n"
+          << "  \"sweep\": [\n";
+      for (std::size_t i = 0; i < sweep.size(); ++i) {
+        char speedup[64];
+        std::snprintf(speedup, sizeof speedup, "%.4g",
+                      outcomes.front().wall_ms / outcomes[i].wall_ms);
+        char wall[64];
+        std::snprintf(wall, sizeof wall, "%.4g", outcomes[i].wall_ms);
+        out << "    {\"threads\": " << sweep[i] << ", \"wall_ms\": " << wall
+            << ", \"speedup\": " << speedup << "}"
+            << (i + 1 < sweep.size() ? ",\n" : "\n");
+      }
+      out << "  ]\n}\n";
+      std::cout << "\nparallel sweep written to " << par_json << "\n";
+    }
+    std::cout << "\nExpectation: speedup approaches min(threads, "
+                 "hardware_threads, active RMs); counters are identical at "
+                 "every thread count (the determinism contract).\n";
+    return 0;
+  }
 
   if (!json_path.empty()) {
     WorldConfig config;

@@ -81,12 +81,13 @@ std::uint64_t behavior_digest(core::System& system, const core::Tracer& tracer) 
 
 RunResult run_scenario(const ScenarioSpec& spec, InvariantChecker& checker,
                        util::SimDuration boundary_period,
-                       const InspectFn& inspect) {
+                       const InspectFn& inspect, unsigned threads) {
   core::SystemConfig sys;
   sys.seed = spec.seed;
   sys.max_domain_size = spec.max_domain_size;
   sys.enable_path_cache = spec.path_cache;
   sys.enable_spans = spec.spans;
+  sys.num_threads = threads;
   // Tight enough that every admitted-but-doomed task is failed and its jobs
   // cancelled well inside the drain window.
   sys.task_gc_grace = util::seconds(15);
@@ -199,10 +200,16 @@ RunResult run_scenario(const ScenarioSpec& spec) {
   return run_scenario(spec, checker);
 }
 
-SeedOutcome run_spec(const ScenarioSpec& spec, bool oracles) {
+RunResult run_scenario(const ScenarioSpec& spec, unsigned threads) {
+  auto checker = InvariantChecker::with_defaults();
+  return run_scenario(spec, checker, util::seconds(2), {}, threads);
+}
+
+SeedOutcome run_spec(const ScenarioSpec& spec, bool oracles,
+                     unsigned parallel_threads, unsigned base_threads) {
   SeedOutcome outcome;
   outcome.spec = spec;
-  outcome.result = run_scenario(spec);
+  outcome.result = run_scenario(spec, base_threads);
   if (!oracles || !outcome.result.ok()) return outcome;
 
   const auto oracle_violation = [&](std::string name, std::string message) {
@@ -253,11 +260,31 @@ SeedOutcome run_spec(const ScenarioSpec& spec, bool oracles) {
     }
   }
 
+  // Parallel ablation: the sharded engine must reproduce the sequential run
+  // bit-for-bit — same digest, and its per-shard counters must satisfy the
+  // parallel.counters invariant (checked inside the replay).
+  if (parallel_threads >= 2) {
+    const RunResult replay = run_scenario(spec, parallel_threads);
+    if (!replay.ok()) {
+      oracle_violation("oracle.parallel",
+                       "parallel replay produced violations: " +
+                           replay.violations.front().invariant);
+    } else if (replay.digest != outcome.result.digest) {
+      std::ostringstream msg;
+      msg << "sequential digest " << std::hex << outcome.result.digest
+          << " != " << std::dec << parallel_threads << "-thread digest "
+          << std::hex << replay.digest;
+      oracle_violation("oracle.parallel", msg.str());
+    }
+  }
+
   return outcome;
 }
 
-SeedOutcome fuzz_seed(std::uint64_t seed, bool oracles) {
-  return run_spec(ScenarioSpec::generate(seed), oracles);
+SeedOutcome fuzz_seed(std::uint64_t seed, bool oracles,
+                      unsigned parallel_threads, unsigned base_threads) {
+  return run_spec(ScenarioSpec::generate(seed), oracles, parallel_threads,
+                  base_threads);
 }
 
 }  // namespace p2prm::check

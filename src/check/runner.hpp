@@ -49,12 +49,16 @@ struct RunResult {
 // set, runs on the final quiescent system before teardown — tests use it to
 // probe end-state beyond what RunResult summarizes.
 using InspectFn = std::function<void(core::System&)>;
+// `threads` > 1 runs the scenario on the sharded parallel engine
+// (SystemConfig::num_threads); the digest, trace, and metrics contract says
+// the result is byte-identical to threads = 1.
 RunResult run_scenario(const ScenarioSpec& spec, InvariantChecker& checker,
                        util::SimDuration boundary_period = util::seconds(2),
-                       const InspectFn& inspect = {});
+                       const InspectFn& inspect = {}, unsigned threads = 1);
 
 // Convenience: fresh default checker.
 RunResult run_scenario(const ScenarioSpec& spec);
+RunResult run_scenario(const ScenarioSpec& spec, unsigned threads);
 
 // One fuzz iteration: generate the spec for `seed`, run it, and — when the
 // base run is clean and `oracles` is set — replay it under the equivalence
@@ -66,10 +70,17 @@ struct SeedOutcome {
   [[nodiscard]] bool ok() const { return result.ok(); }
 };
 
-SeedOutcome fuzz_seed(std::uint64_t seed, bool oracles = true);
+// `parallel_threads` >= 2 adds a parallel-engine replay at that thread
+// count to the oracle set ("oracle.parallel"); 0 or 1 skips it.
+// `base_threads` sets the engine of the *base* run itself (CI's
+// parallel-equivalence job runs the same sweep at 1 and 4 and cmp's the
+// reports byte-for-byte).
+SeedOutcome fuzz_seed(std::uint64_t seed, bool oracles = true,
+                      unsigned parallel_threads = 2, unsigned base_threads = 1);
 
 // Runs the spec (plus oracles when enabled) and reports the outcome — the
 // shared path behind fuzz_seed and `p2prm_fuzz --repro`.
-SeedOutcome run_spec(const ScenarioSpec& spec, bool oracles = true);
+SeedOutcome run_spec(const ScenarioSpec& spec, bool oracles = true,
+                     unsigned parallel_threads = 2, unsigned base_threads = 1);
 
 }  // namespace p2prm::check

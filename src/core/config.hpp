@@ -150,6 +150,14 @@ struct SystemConfig {
   bool redirect_across_domains = true;
   int max_redirects = 3;
 
+  // --- parallel execution (docs/PARALLELISM.md) -------------------------------------
+  // Shard the event loop across this many worker threads, partitioning
+  // peers by domain; lookahead is derived from the topology's latency
+  // floor. 1 (the default) keeps the classic sequential path entirely
+  // untouched. Any N produces byte-identical traces, digests, and metrics
+  // to N=1 (tests/parallel_test.cpp proves it per fuzz seed).
+  unsigned num_threads = 1;
+
   // --- observability ---------------------------------------------------------------
   // Emit HopStarted/HopCompleted trace events so obs::build_task_spans can
   // reconstruct full per-task span trees (docs/OBSERVABILITY.md). Off by

@@ -115,8 +115,25 @@ System::System(SystemConfig config)
       topology_(config.topology),
       placement_rng_(sim_.rng().fork()),
       workload_rng_(sim_.rng().fork()) {
+  if (config_.num_threads > 1) {
+    sim::ParallelConfig pc;
+    pc.threads = config_.num_threads;
+    pc.lookahead = topology_.min_latency();
+    pc.mode = sim::ParallelMode::OrderedCommit;
+    sim_.enable_parallel(pc);
+    sim_.set_shard_router([this](util::PeerId peer) { return shard_of(peer); });
+  }
   network_ = std::make_unique<net::Network>(sim_, topology_,
                                             config.message_drop_probability);
+}
+
+sim::ShardId System::shard_of(util::PeerId peer) const {
+  if (config_.num_threads <= 1) return 0;
+  const auto it = peers_.find(peer);
+  if (it == peers_.end()) return 0;
+  const util::DomainId d = it->second->domain();
+  if (!d.valid()) return 0;
+  return static_cast<sim::ShardId>(d.value() % config_.num_threads);
 }
 
 System::~System() = default;

@@ -184,6 +184,14 @@ class System {
   [[nodiscard]] util::PeerId next_peer_id() { return peer_ids_gen_.next(); }
   [[nodiscard]] util::DomainId next_domain_id() { return domain_ids_.next(); }
 
+  // Domain -> shard mapping for the parallel engine: a peer lives on the
+  // shard of its *current* domain (domain id modulo num_threads), so a
+  // domain split or merge migrates its peers automatically — the router is
+  // consulted afresh at every schedule. Peers with no domain yet (joining,
+  // detached) fall back to shard 0. With the ordered-commit engine the
+  // mapping balances work across shards but can never change behaviour.
+  [[nodiscard]] sim::ShardId shard_of(util::PeerId peer) const;
+
   // Domain census: (domain id, rm peer, member count) per live RM.
   struct DomainInfo {
     util::DomainId domain;

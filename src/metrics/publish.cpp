@@ -28,7 +28,10 @@ void publish_all(const core::System& system, obs::MetricsRegistry& registry) {
       .set(util::to_seconds(system.simulator().now()));
 
   system.network().publish(registry);
-  system.simulator().queue().publish(registry);
+  // Engine-aware: a parallel run emits the byte-identical sim.event_queue.*
+  // values its sequential twin would (sim.parallel.* stays out of the
+  // snapshot for the same reason; publish it explicitly if needed).
+  system.simulator().publish_queue(registry);
   for (util::PeerId id : system.peer_ids()) {
     const core::PeerNode* node = system.peer(id);
     if (node != nullptr && node->alive()) node->publish(registry);

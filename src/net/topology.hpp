@@ -6,6 +6,7 @@
 // that the paper's geographical domains are built from (§2, §4.1).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -57,6 +58,20 @@ class Topology {
 
   [[nodiscard]] const TopologyConfig& config() const { return config_; }
   [[nodiscard]] std::size_t size() const { return coords_.size(); }
+
+  // Lower bound on any peer-to-peer latency: the per-path base floor,
+  // shrunk by the worst-case downward jitter. The parallel engine uses it
+  // as the conservative lookahead — no cross-shard message can arrive
+  // sooner, so shards may safely advance through windows of this width
+  // (docs/PARALLELISM.md).
+  [[nodiscard]] util::SimDuration min_latency() const {
+    double worst = config_.base_latency_s;
+    if (config_.jitter_fraction > 0.0) {
+      worst *= 1.0 - std::min(config_.jitter_fraction, 1.0);
+    }
+    const util::SimDuration floor = util::from_seconds(worst);
+    return floor > 0 ? floor : 1;
+  }
 
  private:
   void ensure_clusters(util::Rng& rng);

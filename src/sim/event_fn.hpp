@@ -10,6 +10,7 @@
 // own non-copyable state.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <new>
@@ -39,7 +40,7 @@ class EventFn {
     } else {
       heap_ = new Fn(std::forward<F>(f));
       vt_ = heap_vt<Fn>();
-      ++heap_constructions_;
+      heap_constructions_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
@@ -66,10 +67,11 @@ class EventFn {
   explicit operator bool() const { return vt_ != nullptr; }
 
   // Process-wide count of callables that spilled to the heap (capture too
-  // large or not nothrow-movable). The simulator is single-threaded, so a
-  // plain counter suffices; benches snapshot it around a workload.
+  // large or not nothrow-movable). Relaxed atomic: the parallel engine's
+  // shard workers construct events concurrently; benches snapshot it around
+  // a workload.
   [[nodiscard]] static std::uint64_t heap_constructions() {
-    return heap_constructions_;
+    return heap_constructions_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -120,7 +122,7 @@ class EventFn {
   void* heap_ = nullptr;
   const VTable* vt_ = nullptr;
 
-  inline static std::uint64_t heap_constructions_ = 0;
+  inline static std::atomic<std::uint64_t> heap_constructions_{0};
 };
 
 }  // namespace p2prm::sim

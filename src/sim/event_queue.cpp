@@ -13,6 +13,14 @@ EventId EventQueue::push(util::SimTime when, EventFn fn) {
   return id;
 }
 
+void EventQueue::push_with_id(util::SimTime when, EventId id, EventFn fn) {
+  // Keep the "could this id still be pending" guard in cancel() sound.
+  if (id >= next_id_) next_id_ = id + 1;
+  heap_.push_back(Entry{when, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  ++live_;
+}
+
 bool EventQueue::cancel(EventId id) {
   if (id >= next_id_) return false;
   // Only mark if it could still be pending; popped events are gone from the
@@ -22,12 +30,19 @@ bool EventQueue::cancel(EventId id) {
     // cancel ids they know are pending (timer handles), so decrement here.
     if (live_ == 0) return false;
     --live_;
-    if (tombstones() > live_ && tombstones() >= kCompactMinTombstones) {
+    if (auto_compact_ && tombstones() > live_ &&
+        tombstones() >= kCompactMinTombstones) {
       compact();
     }
     return true;
   }
   return false;
+}
+
+std::size_t EventQueue::force_compact() {
+  const std::size_t before = stats_.tombstones_compacted;
+  compact();
+  return static_cast<std::size_t>(stats_.tombstones_compacted - before);
 }
 
 void EventQueue::compact() {
@@ -58,6 +73,12 @@ void EventQueue::drop_cancelled_head() {
 util::SimTime EventQueue::next_time() {
   drop_cancelled_head();
   return heap_.empty() ? util::kTimeInfinity : heap_.front().when;
+}
+
+std::optional<EventQueue::Head> EventQueue::peek() {
+  drop_cancelled_head();
+  if (heap_.empty()) return std::nullopt;
+  return Head{heap_.front().when, heap_.front().id};
 }
 
 EventQueue::Popped EventQueue::pop() {

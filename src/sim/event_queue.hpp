@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <unordered_set>
 #include <vector>
 
@@ -31,6 +32,11 @@ class EventQueue {
  public:
   EventId push(util::SimTime when, EventFn fn);
 
+  // Inserts an event under an externally assigned id (the parallel engine
+  // allocates ids globally so per-shard queues share one tie-break order).
+  // Ids must be unique across all pushes into this queue.
+  void push_with_id(util::SimTime when, EventId id, EventFn fn);
+
   // True if the event was still pending.
   bool cancel(EventId id);
 
@@ -39,6 +45,14 @@ class EventQueue {
 
   // Timestamp of the next live event; kTimeInfinity when empty.
   [[nodiscard]] util::SimTime next_time();
+
+  // (time, id) key of the next live event, if any. Used by the parallel
+  // engine's ordered merge to pick the globally minimal event across shards.
+  struct Head {
+    util::SimTime when;
+    EventId id;
+  };
+  [[nodiscard]] std::optional<Head> peek();
 
   // Pops and returns the next live event. Precondition: !empty().
   struct Popped {
@@ -63,6 +77,14 @@ class EventQueue {
   // floor keeps small queues from churning on every other cancel).
   static constexpr std::size_t kCompactMinTombstones = 64;
 
+  // The parallel engine disables the per-queue trigger and compacts all
+  // shards together under a single global threshold, so that the published
+  // compaction counters stay byte-identical to the sequential engine's.
+  void set_auto_compact(bool enabled) { auto_compact_ = enabled; }
+  // Removes every tombstone now; returns how many were dropped. Pop order
+  // is unaffected (the (time, id) comparator is a total order).
+  std::size_t force_compact();
+
  private:
   struct Entry {
     util::SimTime when;
@@ -82,6 +104,7 @@ class EventQueue {
   std::unordered_set<EventId> cancelled_;
   EventId next_id_ = 0;
   std::size_t live_ = 0;
+  bool auto_compact_ = true;
   EventQueueStats stats_;
 };
 

@@ -1,0 +1,360 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "sim/simulator.hpp"
+
+namespace p2prm::sim {
+
+ParallelEngine::ParallelEngine(ParallelConfig config) : config_(config) {
+  if (config_.threads < 1) {
+    throw std::invalid_argument("ParallelEngine: need at least one thread");
+  }
+  if (config_.lookahead < 1) {
+    throw std::invalid_argument("ParallelEngine: lookahead must be positive");
+  }
+  const auto n = static_cast<std::size_t>(config_.threads);
+  queues_ = std::vector<EventQueue>(n);
+  counters_.resize(n);
+  shard_now_.assign(n, util::kTimeZero);
+  mailboxes_ = std::vector<Mailbox>(n * n);
+  // Per-shard auto-compaction would fire on local occupancy, which depends
+  // on the shard partition; the global trigger below fires on the same
+  // occupancy a sequential run sees.
+  for (auto& q : queues_) q.set_auto_compact(false);
+  start_workers();
+}
+
+ParallelEngine::~ParallelEngine() {
+  dispatch(PoolTask::Exit);
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+// --- worker pool -----------------------------------------------------------
+
+void ParallelEngine::start_workers() {
+  workers_.reserve(queues_.size());
+  for (ShardId s = 0; s < shards(); ++s) {
+    workers_.emplace_back([this, s] { worker_main(s); });
+  }
+}
+
+void ParallelEngine::dispatch(PoolTask task) {
+  std::unique_lock<std::mutex> lk(pool_mu_);
+  pool_task_ = task;
+  pool_pending_ = static_cast<unsigned>(workers_.size());
+  ++pool_gen_;
+  pool_cv_.notify_all();
+  done_cv_.wait(lk, [this] { return pool_pending_ == 0; });
+  pool_task_ = PoolTask::None;
+  ++stats_.barriers;
+}
+
+void ParallelEngine::worker_main(ShardId shard) {
+  std::uint64_t seen_gen = 0;
+  for (;;) {
+    PoolTask task;
+    util::SimTime window_end;
+    {
+      std::unique_lock<std::mutex> lk(pool_mu_);
+      pool_cv_.wait(lk, [&] { return pool_gen_ != seen_gen; });
+      seen_gen = pool_gen_;
+      task = pool_task_;
+      window_end = pool_window_end_;
+    }
+    // Outside the lock: each branch touches only this shard's queue,
+    // counters, mailbox row, and clock — the dispatch/done rendezvous is
+    // the only synchronization the window protocol needs.
+    if (task == PoolTask::RunWindow) {
+      auto& q = queues_[shard];
+      while (q.next_time() < window_end) {
+        auto ev = q.pop();
+        shard_now_[shard] = ev.when;
+        ev.fn();
+        ++counters_[shard].executed;
+      }
+    } else if (task == PoolTask::Compact) {
+      queues_[shard].force_compact();
+      ++counters_[shard].compactions;
+    }
+    {
+      std::lock_guard<std::mutex> lk(pool_mu_);
+      if (--pool_pending_ == 0) done_cv_.notify_one();
+    }
+    if (task == PoolTask::Exit) return;
+  }
+}
+
+// --- OrderedCommit ---------------------------------------------------------
+
+EventId ParallelEngine::schedule_global(ShardId shard, util::SimTime when,
+                                        EventFn fn) {
+  assert(shard < shards());
+  const EventId id = next_id_++;
+  queues_[shard].push_with_id(when, id, std::move(fn));
+  owner_.emplace(id, shard);
+  pending_when_.emplace(id, when);
+  ++mirror_live_;
+  ++counters_[shard].scheduled;
+  return id;
+}
+
+bool ParallelEngine::cancel_global(EventId id) {
+  const auto it = owner_.find(id);
+  // Already executed (or never scheduled): the sequential queue's callers
+  // only ever cancel ids they know are pending, so "not found" is the same
+  // answer both engines give in practice.
+  if (it == owner_.end()) return false;
+  const ShardId shard = it->second;
+  if (!queues_[shard].cancel(id)) return false;
+  owner_.erase(it);
+  const auto wit = pending_when_.find(id);
+  assert(wit != pending_when_.end());
+  cancelled_keys_.push(CancelKey{wit->second, id});
+  pending_when_.erase(wit);
+  --mirror_live_;
+  ++mirror_tombstones_;
+  maybe_global_compact();
+  return true;
+}
+
+void ParallelEngine::mirror_prune_before(util::SimTime when, EventId id) {
+  // In the sequential heap every cancelled entry that sorts before the next
+  // live event surfaces at the top and is dropped by drop_cancelled_head()
+  // before that event pops; replay the same drops against the mirror.
+  while (!cancelled_keys_.empty()) {
+    const CancelKey& top = cancelled_keys_.top();
+    if (top.when > when || (top.when == when && top.id > id)) break;
+    cancelled_keys_.pop();
+    --mirror_tombstones_;
+  }
+}
+
+void ParallelEngine::maybe_global_compact() {
+  // The exact sequential trigger, applied to global occupancy. The physical
+  // sweep fans out to the worker pool; each shard clears its own heap.
+  if (mirror_tombstones_ <= mirror_live_ ||
+      mirror_tombstones_ < EventQueue::kCompactMinTombstones) {
+    return;
+  }
+  dispatch(PoolTask::Compact);
+  ++stats_.compactions;
+  stats_.tombstones_compacted += mirror_tombstones_;
+  mirror_tombstones_ = 0;
+  cancelled_keys_ = {};
+}
+
+std::uint64_t ParallelEngine::ordered_run(util::SimTime until,
+                                          std::uint64_t max_events) {
+  assert(sim_ != nullptr);
+  sim_->stop_requested_ = false;
+  std::uint64_t n = 0;
+  while (n < max_events && !sim_->stop_requested_) {
+    // Global-min (time, id) over the shard heads — the same total order the
+    // single sequential heap pops in, because ids are allocated globally.
+    const EventQueue* best_q = nullptr;
+    ShardId best_shard = 0;
+    EventQueue::Head best{};
+    for (ShardId s = 0; s < shards(); ++s) {
+      const auto head = queues_[s].peek();
+      if (!head) continue;
+      if (best_q == nullptr || head->when < best.when ||
+          (head->when == best.when && head->id < best.id)) {
+        best_q = &queues_[s];
+        best_shard = s;
+        best = *head;
+      }
+    }
+    if (best_q == nullptr) {
+      // Queue drained: the sequential drop_cancelled_head() would have
+      // popped every remaining (all-cancelled) entry on its way to "empty".
+      mirror_tombstones_ = 0;
+      cancelled_keys_ = {};
+      break;
+    }
+    mirror_prune_before(best.when, best.id);
+    if (best.when > until) break;
+    auto ev = queues_[best_shard].pop();
+    owner_.erase(ev.id);
+    pending_when_.erase(ev.id);
+    --mirror_live_;
+    if (ev.when >= window_end_) {
+      window_end_ = ev.when + config_.lookahead;
+      ++stats_.windows;
+    }
+    current_shard_ = best_shard;
+    sim_->now_ = ev.when;
+    ev.fn();
+    current_shard_ = 0;
+    ++n;
+    ++sim_->executed_;
+    ++counters_[best_shard].executed;
+  }
+  return n;
+}
+
+std::uint64_t ParallelEngine::run_until(util::SimTime until) {
+  const std::uint64_t n =
+      ordered_run(until, std::numeric_limits<std::uint64_t>::max());
+  if (!sim_->stop_requested_ && until != util::kTimeInfinity &&
+      sim_->now_ < until) {
+    sim_->now_ = until;
+  }
+  return n;
+}
+
+std::uint64_t ParallelEngine::run_events(std::uint64_t max_events) {
+  return ordered_run(util::kTimeInfinity, max_events);
+}
+
+bool ParallelEngine::idle() {
+  const EventQueue* best_q = nullptr;
+  EventQueue::Head best{};
+  for (auto& q : queues_) {
+    const auto head = q.peek();
+    if (!head) continue;
+    if (best_q == nullptr || head->when < best.when ||
+        (head->when == best.when && head->id < best.id)) {
+      best_q = &q;
+      best = *head;
+    }
+  }
+  // Keep the mirror in lockstep: the sequential idle() routes through
+  // next_time(), which prunes head tombstones as a side effect.
+  if (best_q == nullptr) {
+    mirror_tombstones_ = 0;
+    cancelled_keys_ = {};
+    return true;
+  }
+  mirror_prune_before(best.when, best.id);
+  return false;
+}
+
+// --- ShardConcurrent -------------------------------------------------------
+
+ShardEvent ParallelEngine::schedule(ShardId shard, util::SimTime when,
+                                    EventFn fn) {
+  assert(shard < shards());
+  const EventId id = queues_[shard].push(when, std::move(fn));
+  ++counters_[shard].scheduled;
+  return ShardEvent{shard, id};
+}
+
+bool ParallelEngine::cancel(ShardEvent handle) {
+  return queues_[handle.shard].cancel(handle.id);
+}
+
+void ParallelEngine::post(ShardId from, ShardId to, util::SimTime when,
+                          EventFn fn) {
+  assert(from < shards() && to < shards());
+  auto& mb = mailboxes_[static_cast<std::size_t>(from) * shards() + to];
+  mb.staged.push_back(Staged{mb.next_seq++, when, std::move(fn)});
+  ++counters_[from].posts_out;
+}
+
+void ParallelEngine::merge_mailboxes() {
+  // Fixed (src, dst, seq) order: each mailbox is appended in seq order by
+  // its single writer, and the src-major sweep below never depends on which
+  // worker finished its window first.
+  for (ShardId src = 0; src < shards(); ++src) {
+    for (ShardId dst = 0; dst < shards(); ++dst) {
+      auto& mb = mailboxes_[static_cast<std::size_t>(src) * shards() + dst];
+      for (auto& m : mb.staged) {
+        if (m.when < pool_window_end_) ++stats_.lookahead_violations;
+        queues_[dst].push(m.when, std::move(m.fn));
+        ++counters_[dst].scheduled;
+        ++counters_[dst].posts_in;
+        ++stats_.cross_shard_messages;
+        ++stats_.merged_messages;
+      }
+      mb.staged.clear();
+    }
+  }
+}
+
+std::uint64_t ParallelEngine::run_windows_until(util::SimTime until) {
+  std::uint64_t before = 0;
+  for (const auto& c : counters_) before += c.executed;
+  for (;;) {
+    util::SimTime next = util::kTimeInfinity;
+    for (auto& q : queues_) next = std::min(next, q.next_time());
+    if (next == util::kTimeInfinity || next > until) break;
+    // Half-open window [next, end): events at exactly `until` still run.
+    util::SimTime end = next + config_.lookahead;
+    if (until != util::kTimeInfinity && end > until) end = until + 1;
+    pool_window_end_ = end;
+    window_end_ = end;
+    ++stats_.windows;
+    dispatch(PoolTask::RunWindow);
+    merge_mailboxes();
+  }
+  std::uint64_t after = 0;
+  for (const auto& c : counters_) after += c.executed;
+  return after - before;
+}
+
+// --- introspection ---------------------------------------------------------
+
+std::size_t ParallelEngine::physical_live() const {
+  std::size_t n = 0;
+  for (const auto& q : queues_) n += q.size();
+  return n;
+}
+
+std::size_t ParallelEngine::physical_tombstones() const {
+  std::size_t n = 0;
+  for (const auto& q : queues_) n += q.tombstones();
+  return n;
+}
+
+void ParallelEngine::publish_queue_mirror(obs::MetricsRegistry& registry,
+                                          obs::Labels labels) const {
+  // Field-for-field what EventQueue::publish emits after a sequential run
+  // of the same seed — same names, same values.
+  registry.counter("sim.event_queue.scheduled", labels).set(next_id_);
+  registry.counter("sim.event_queue.compactions", labels)
+      .set(stats_.compactions);
+  registry.counter("sim.event_queue.tombstones_compacted", labels)
+      .set(stats_.tombstones_compacted);
+  registry.gauge("sim.event_queue.live", labels)
+      .set(static_cast<double>(mirror_live_));
+  registry.gauge("sim.event_queue.tombstones", labels)
+      .set(static_cast<double>(mirror_tombstones_));
+}
+
+void ParallelEngine::publish(obs::MetricsRegistry& registry,
+                             obs::Labels labels) const {
+  registry.gauge("sim.parallel.shards", labels)
+      .set(static_cast<double>(shards()));
+  registry.counter("sim.parallel.windows", labels).set(stats_.windows);
+  registry.counter("sim.parallel.barriers", labels).set(stats_.barriers);
+  registry.counter("sim.parallel.cross_shard_messages", labels)
+      .set(stats_.cross_shard_messages);
+  registry.counter("sim.parallel.merged_messages", labels)
+      .set(stats_.merged_messages);
+  registry.counter("sim.parallel.lookahead_violations", labels)
+      .set(stats_.lookahead_violations);
+  for (ShardId s = 0; s < shards(); ++s) {
+    obs::Labels shard_labels = labels;
+    shard_labels.emplace_back("shard", std::to_string(s));
+    const ShardCounters& c = counters_[s];
+    registry.counter("sim.parallel.shard.executed", shard_labels)
+        .set(c.executed);
+    registry.counter("sim.parallel.shard.scheduled", shard_labels)
+        .set(c.scheduled);
+    registry.counter("sim.parallel.shard.posts_out", shard_labels)
+        .set(c.posts_out);
+    registry.counter("sim.parallel.shard.posts_in", shard_labels)
+        .set(c.posts_in);
+    registry.counter("sim.parallel.shard.compactions", shard_labels)
+        .set(c.compactions);
+  }
+}
+
+}  // namespace p2prm::sim

@@ -1,0 +1,253 @@
+// Conservative parallel discrete-event engine (docs/PARALLELISM.md).
+//
+// Peers are partitioned by domain onto N shards, each owning its own
+// EventQueue, and time advances in conservative windows bounded by the
+// minimum cross-shard network latency (the lookahead): no event executed
+// inside a window can schedule work for another shard earlier than the
+// window's end, so shards never need to roll back. Cross-shard messages are
+// staged into per-(src, dst) sequence-ordered mailboxes and merged at
+// window barriers in fixed (src, dst, seq) order — the merge result is a
+// pure function of the seed, never of worker completion order.
+//
+// Two execution strategies share the window machinery:
+//
+//  * OrderedCommit (what core::System runs under `num_threads > 1`):
+//    handler invocation is serialized on the coordinating thread in exact
+//    global (time, id) order — the same total order the sequential
+//    EventQueue produces — while the worker pool carries the queue
+//    maintenance (per-shard tombstone compaction fan-out). Full-system
+//    handlers draw from shared order-sensitive state (link jitter/loss RNG,
+//    the task ledger, trace buffers, global id factories), so any truly
+//    concurrent invocation would reorder those draws and diverge; ordered
+//    commit is what makes the parallel run byte-identical to the sequential
+//    one, which the differential battery in tests/parallel_test.cpp proves
+//    per seed.
+//
+//  * ShardConcurrent (engine-level): every worker drains its own shard's
+//    window concurrently and may talk to other shards only via post().
+//    Handlers must be shard-confined: they touch only state owned by their
+//    shard. This is the strategy benchmarks (bench_e2_scalability
+//    --threads) and the TSan stress suite run, and the one that yields
+//    wall-clock speedup today.
+//
+// The engine mirrors the sequential EventQueue's published counters
+// (scheduled / compactions / tombstones) arithmetically — compaction is
+// triggered on global occupancy with the exact sequential rule — so a
+// metrics snapshot of a parallel run is byte-identical to the sequential
+// snapshot, not merely equivalent.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics_registry.hpp"
+#include "sim/event_queue.hpp"
+#include "util/time.hpp"
+
+namespace p2prm::sim {
+
+using ShardId = std::uint32_t;
+
+enum class ParallelMode {
+  OrderedCommit,    // sequential total order; machinery runs on the pool
+  ShardConcurrent,  // shard-confined handlers run concurrently per window
+};
+
+struct ParallelConfig {
+  // Worker threads; one shard per worker.
+  unsigned threads = 2;
+  // Conservative window width: a lower bound on every cross-shard event
+  // delay. core::System derives it from the topology's base latency floor.
+  util::SimDuration lookahead = util::milliseconds(1);
+  ParallelMode mode = ParallelMode::OrderedCommit;
+};
+
+// Deterministic per-shard counters (published as sim.parallel.* with a
+// {"shard": N} label; see docs/PARALLELISM.md).
+struct ShardCounters {
+  std::uint64_t executed = 0;   // events run on (OrderedCommit: for) this shard
+  std::uint64_t scheduled = 0;  // events enqueued into this shard's queue
+  std::uint64_t posts_out = 0;  // cross-shard messages staged from this shard
+  std::uint64_t posts_in = 0;   // cross-shard messages merged into this shard
+  std::uint64_t compactions = 0;  // force-compact passes run on this shard
+};
+
+struct ParallelEngineStats {
+  std::uint64_t windows = 0;   // conservative windows opened
+  std::uint64_t barriers = 0;  // physical worker-pool rendezvous
+  std::uint64_t cross_shard_messages = 0;
+  std::uint64_t merged_messages = 0;  // delivered through mailbox merges
+  // post()s whose delivery time fell inside the posting window — a
+  // violation of the conservative lookahead contract (delivered anyway,
+  // but counted; the sim_test suite asserts this stays zero for well-formed
+  // workloads).
+  std::uint64_t lookahead_violations = 0;
+  // Global compaction passes (the sequential-rule trigger) and tombstones
+  // removed by them; mirrors EventQueueStats of a sequential run.
+  std::uint64_t compactions = 0;
+  std::uint64_t tombstones_compacted = 0;
+};
+
+// Handle for shard-confined cancellation in ShardConcurrent mode.
+struct ShardEvent {
+  ShardId shard = 0;
+  EventId id = 0;
+};
+
+class Simulator;
+
+class ParallelEngine {
+ public:
+  explicit ParallelEngine(ParallelConfig config);
+  ~ParallelEngine();
+
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  [[nodiscard]] const ParallelConfig& config() const { return config_; }
+  [[nodiscard]] ShardId shards() const {
+    return static_cast<ShardId>(queues_.size());
+  }
+
+  // --- OrderedCommit API (driven through Simulator) -------------------------
+  // Binds the Simulator whose clock/stop-flag this engine drives.
+  void bind(Simulator& sim) { sim_ = &sim; }
+  // Schedules under a globally allocated id; `shard` only routes the event
+  // to a queue (it can never change execution order in this mode).
+  EventId schedule_global(ShardId shard, util::SimTime when, EventFn fn);
+  bool cancel_global(EventId id);
+  std::uint64_t run_until(util::SimTime until);
+  std::uint64_t run_events(std::uint64_t max_events);
+  [[nodiscard]] bool idle();
+  [[nodiscard]] std::uint64_t total_scheduled() const { return next_id_; }
+  // Shard of the event currently executing (0 between events) — the default
+  // affinity for schedule calls with no explicit peer.
+  [[nodiscard]] ShardId current_shard() const { return current_shard_; }
+
+  // --- ShardConcurrent API (standalone use: tests, benches) ----------------
+  // Shard-confined scheduling: call only from `shard`'s own handlers, or
+  // from outside run_window()/run_windows_until().
+  ShardEvent schedule(ShardId shard, util::SimTime when, EventFn fn);
+  bool cancel(ShardEvent handle);
+  // Stages a cross-shard event; delivered via the next barrier merge. The
+  // conservative contract requires `when` to be at or past the current
+  // window's end (violations are counted, not dropped).
+  void post(ShardId from, ShardId to, util::SimTime when, EventFn fn);
+  // Clock of one shard as of its last executed event.
+  [[nodiscard]] util::SimTime shard_now(ShardId shard) const {
+    return shard_now_[shard];
+  }
+  // Runs conservative windows until every queue is past `until` (events at
+  // exactly `until` still run). Returns events executed.
+  std::uint64_t run_windows_until(util::SimTime until);
+
+  // --- introspection -------------------------------------------------------
+  [[nodiscard]] const ParallelEngineStats& stats() const { return stats_; }
+  [[nodiscard]] const ShardCounters& shard_counters(ShardId shard) const {
+    return counters_[shard];
+  }
+  // Total pending events / tombstones, mirroring the sequential queue's
+  // accounting (see mirror_* members).
+  [[nodiscard]] std::size_t live() const { return mirror_live_; }
+  [[nodiscard]] std::size_t tombstones() const { return mirror_tombstones_; }
+  // Physical occupancy summed over shard queues (the check:: invariant
+  // compares this against the mirrors).
+  [[nodiscard]] std::size_t physical_live() const;
+  [[nodiscard]] std::size_t physical_tombstones() const;
+  [[nodiscard]] const EventQueue& shard_queue(ShardId shard) const {
+    return queues_[shard];
+  }
+
+  // sim.event_queue.* series with the exact values a sequential run of the
+  // same seed publishes (Simulator::publish_queue routes here).
+  void publish_queue_mirror(obs::MetricsRegistry& registry,
+                            obs::Labels labels = {}) const;
+  // sim.parallel.* engine counters plus per-shard series. Deliberately NOT
+  // part of metrics::publish_all: the v1/v2 snapshots must stay
+  // byte-identical between engines.
+  void publish(obs::MetricsRegistry& registry, obs::Labels labels = {}) const;
+
+ private:
+  struct Staged {
+    std::uint64_t seq;
+    util::SimTime when;
+    EventFn fn;
+  };
+  // One mailbox per (src, dst) pair; only shard `src`'s worker appends, and
+  // only the coordinator drains (after a barrier), so no slot is ever
+  // touched by two threads without a happens-before edge.
+  struct Mailbox {
+    std::vector<Staged> staged;
+    std::uint64_t next_seq = 0;
+  };
+
+  enum class PoolTask { None, RunWindow, Compact, Exit };
+
+  void start_workers();
+  void worker_main(ShardId shard);
+  // Runs `task` on every shard via the worker pool and waits for all.
+  void dispatch(PoolTask task);
+
+  // Mirrors the sequential queue's lazy head-pruning: before executing the
+  // global-min live event `head`, every cancelled-but-unpopped entry that
+  // sorts before it would have surfaced at the sequential heap's head and
+  // been dropped there.
+  void mirror_prune_before(util::SimTime when, EventId id);
+  // Applies the sequential compaction rule to the global occupancy; when it
+  // fires, fans the physical per-shard compaction out to the worker pool.
+  void maybe_global_compact();
+
+  void merge_mailboxes();
+  std::uint64_t ordered_run(util::SimTime until, std::uint64_t max_events);
+
+  ParallelConfig config_;
+  Simulator* sim_ = nullptr;
+
+  std::vector<EventQueue> queues_;
+  std::vector<ShardCounters> counters_;
+  std::vector<util::SimTime> shard_now_;
+  std::vector<Mailbox> mailboxes_;  // [src * shards + dst]
+
+  // OrderedCommit id plumbing: global id counter, id -> shard routing, and
+  // the (when, id) min-heap of still-pending cancelled entries that backs
+  // the sequential-counter mirror.
+  EventId next_id_ = 0;
+  std::unordered_map<EventId, ShardId> owner_;
+  struct CancelKey {
+    util::SimTime when;
+    EventId id;
+    bool operator>(const CancelKey& o) const {
+      if (when != o.when) return when > o.when;
+      return id > o.id;
+    }
+  };
+  std::priority_queue<CancelKey, std::vector<CancelKey>, std::greater<>>
+      cancelled_keys_;
+  std::unordered_map<EventId, util::SimTime> pending_when_;
+  std::size_t mirror_live_ = 0;
+  std::size_t mirror_tombstones_ = 0;
+
+  ShardId current_shard_ = 0;
+  util::SimTime window_end_ = 0;
+  ParallelEngineStats stats_;
+
+  // Worker pool: one thread per shard, generation-counted barrier.
+  std::vector<std::thread> workers_;
+  std::mutex pool_mu_;
+  std::condition_variable pool_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t pool_gen_ = 0;
+  unsigned pool_pending_ = 0;
+  PoolTask pool_task_ = PoolTask::None;
+  util::SimTime pool_window_end_ = 0;
+  std::uint64_t concurrent_executed_ = 0;  // guarded by pool_mu_ during merge
+};
+
+}  // namespace p2prm::sim

@@ -27,6 +27,7 @@ const char* level_name(LogLevel level) {
 void Logger::write(LogLevel level, const std::string& component,
                    const std::string& message, double sim_now_seconds) {
   if (!enabled(level)) return;
+  std::lock_guard<std::mutex> lock(mu_);
   std::ostream& os = sink_ ? *sink_ : std::clog;
   char prefix[64];
   if (sim_now_seconds >= 0.0) {

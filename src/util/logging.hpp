@@ -1,10 +1,14 @@
 // Minimal leveled logging.
 //
 // Off (Warn) by default so tests and benches stay quiet; examples flip it
-// to Info/Debug to narrate protocol activity. Not thread-safe by design:
-// the simulator is single-threaded and deterministic.
+// to Info/Debug to narrate protocol activity. The singleton is shared by
+// every shard worker under the parallel engine, so the level is an atomic
+// (the hot enabled() check stays lock-free) and each write is serialized
+// under a mutex — interleaved but never torn lines.
 #pragma once
 
+#include <atomic>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -16,21 +20,30 @@ class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  [[nodiscard]] LogLevel level() const { return level_; }
-  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const {
+    return level_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= this->level(); }
 
   // `sim_now_seconds` < 0 means "no simulated clock available".
   void write(LogLevel level, const std::string& component,
              const std::string& message, double sim_now_seconds = -1.0);
 
-  // Benches/tests can capture output instead of printing.
-  void set_sink(std::ostream* sink) { sink_ = sink; }
+  // Benches/tests can capture output instead of printing. Call only while
+  // no shard worker is running (setup/teardown).
+  void set_sink(std::ostream* sink) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sink_ = sink;
+  }
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::Warn;
-  std::ostream* sink_ = nullptr;
+  std::atomic<LogLevel> level_{LogLevel::Warn};
+  std::ostream* sink_ = nullptr;  // guarded by mu_
+  std::mutex mu_;
 };
 
 namespace detail {

@@ -1,0 +1,141 @@
+// ThreadSanitizer stress workload for the parallel engine (ctest label
+// tsan-stress; see docs/PARALLELISM.md and docs/TESTING.md).
+//
+// Two hammers:
+//   * a high-churn, fault-enabled fuzz scenario at 8 threads through the
+//     full System stack (OrderedCommit mode: exercises the worker pool,
+//     lockstep compaction fan-out and the mirror accounting under the
+//     invariant checker), sized by P2PRM_STRESS_PEERS — small by default so
+//     plain ctest stays quick, 5000 in CI's TSan job;
+//   * a ShardConcurrent hammer where 8 workers genuinely execute handlers
+//     concurrently, scheduling locally and posting cross-shard every window
+//     — the path where TSan can observe real data races if the mailbox or
+//     barrier protocol is wrong.
+//
+// On failure the scenario test prints the spec's repro string so CI can
+// upload it as an artifact and developers can replay it with
+// `p2prm_fuzz --repro=...`.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "check/invariants.hpp"
+#include "check/runner.hpp"
+#include "check/scenario.hpp"
+#include "sim/parallel.hpp"
+#include "util/time.hpp"
+
+namespace p2prm::check {
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+TEST(ParallelStress, HighChurnFaultScenarioAtEightThreads) {
+  ScenarioSpec spec = ScenarioSpec::generate(42);
+  spec.peers = static_cast<std::uint32_t>(env_u64("P2PRM_STRESS_PEERS", 400));
+  spec.max_domain_size = 16;  // many domains -> all shards stay busy
+  spec.task_cap = spec.peers;
+  spec.arrival_rate = 4.0;
+  spec.churn = true;
+  spec.mean_session_s = 20.0;
+  spec.crash_fraction = 0.5;
+  spec.link.loss = 0.02;
+  spec.link.delay = util::milliseconds(5);
+  spec.link.jitter = util::milliseconds(2);
+
+  // The workload is deliberately hostile, and P2PRM_STRESS_PEERS reshapes
+  // it, so a violation-free run is not guaranteed at every size. What IS
+  // guaranteed — and what this hammer checks while TSan watches the 8-thread
+  // run — is exact equivalence with the sequential execution: same digest,
+  // same violations (if any), and a clean parallel.counters snapshot.
+  auto seq_checker = InvariantChecker::with_defaults();
+  const RunResult seq =
+      run_scenario(spec, seq_checker, util::seconds(2), {}, /*threads=*/1);
+  auto par_checker = InvariantChecker::with_defaults();
+  const RunResult par =
+      run_scenario(spec, par_checker, util::seconds(2), {}, /*threads=*/8);
+
+  EXPECT_EQ(seq.digest, par.digest) << "repro: " << spec.repro();
+  EXPECT_EQ(seq.end_time, par.end_time);
+  EXPECT_EQ(seq.submitted, par.submitted);
+  EXPECT_EQ(seq.trace_events, par.trace_events);
+  ASSERT_EQ(seq.violations.size(), par.violations.size())
+      << "violation sets diverge; first parallel-only: "
+      << (par.violations.empty()
+              ? std::string("none")
+              : par.violations.front().invariant + ": " +
+                    par.violations.front().message)
+      << "\n  repro: " << spec.repro();
+  for (std::size_t i = 0; i < seq.violations.size(); ++i) {
+    EXPECT_EQ(seq.violations[i].invariant, par.violations[i].invariant);
+    EXPECT_EQ(seq.violations[i].message, par.violations[i].message);
+    EXPECT_EQ(seq.violations[i].at, par.violations[i].at);
+  }
+  // parallel.counters is phase-checked inside the parallel run; a violation
+  // there would have shown up above as a parallel-only extra.
+  EXPECT_GT(par.submitted, 0u);
+}
+
+TEST(ParallelStress, ShardConcurrentHammer) {
+  constexpr sim::ShardId kShards = 8;
+  sim::ParallelConfig pc;
+  pc.threads = kShards;
+  pc.lookahead = util::milliseconds(1);
+  pc.mode = sim::ParallelMode::ShardConcurrent;
+  sim::ParallelEngine eng(pc);
+
+  // Per-shard state only its own handlers touch; workers run concurrently.
+  std::array<std::uint64_t, kShards> local_work{};
+  std::array<std::vector<int>, kShards> inbox;
+
+  struct Pump {
+    sim::ParallelEngine& eng;
+    std::array<std::uint64_t, kShards>& local_work;
+    std::array<std::vector<int>, kShards>& inbox;
+    void operator()(sim::ShardId shard, util::SimTime now, int round) const {
+      // Local burst: several same-window events per round.
+      for (int j = 0; j < 4; ++j) {
+        eng.schedule(shard, now + j, [&w = local_work[shard]] { ++w; });
+      }
+      // Fan out to every other shard at the conservative bound.
+      for (sim::ShardId dst = 0; dst < kShards; ++dst) {
+        if (dst == shard) continue;
+        const int tag = static_cast<int>(shard) * 10000 + round;
+        eng.post(shard, dst, now + util::milliseconds(1),
+                 [&box = inbox[dst], tag] { box.push_back(tag); });
+      }
+      if (round >= 199) return;
+      auto self = *this;
+      eng.schedule(shard, now + util::milliseconds(1),
+                   [self, shard, now, round] {
+                     self(shard, now + util::milliseconds(1), round + 1);
+                   });
+    }
+  };
+  const Pump pump{eng, local_work, inbox};
+  for (sim::ShardId s = 0; s < kShards; ++s) {
+    eng.schedule(s, util::milliseconds(1),
+                 [pump, s] { pump(s, util::milliseconds(1), 0); });
+  }
+  eng.run_windows_until(util::seconds(1));
+
+  EXPECT_EQ(eng.stats().lookahead_violations, 0u);
+  constexpr std::uint64_t kRounds = 200;
+  for (sim::ShardId s = 0; s < kShards; ++s) {
+    EXPECT_EQ(local_work[s], kRounds * 4) << "shard " << s;
+    EXPECT_EQ(inbox[s].size(), kRounds * (kShards - 1)) << "shard " << s;
+  }
+  EXPECT_EQ(eng.stats().cross_shard_messages, kRounds * kShards * (kShards - 1));
+  EXPECT_EQ(eng.stats().merged_messages, eng.stats().cross_shard_messages);
+}
+
+}  // namespace
+}  // namespace p2prm::check

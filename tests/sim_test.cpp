@@ -1,10 +1,19 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <chrono>
+#include <cstdint>
 #include <memory>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
 
+#include "obs/export.hpp"
+#include "obs/metrics_registry.hpp"
 #include "sim/event_fn.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/parallel.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -283,6 +292,257 @@ TEST(Simulator, CancelScheduledEvent) {
   EXPECT_TRUE(sim.cancel(id));
   sim.run_until();
   EXPECT_EQ(fired, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel engine (docs/PARALLELISM.md)
+
+// A mixed workload — affinity-routed chains, cancellations triggered from
+// other events, a self-cancelling timer — that records every handler
+// invocation as (now, tag). Identical drivers on both engines must produce
+// identical logs.
+void chain_step(Simulator& sim, std::vector<std::int64_t>& log, int peer,
+                int i) {
+  log.push_back(sim.now() * 100 + peer * 10 + i % 10);
+  if (i >= 30) return;
+  sim.schedule_after(
+      milliseconds(peer + 1) + i * 137,
+      [&sim, &log, peer, i] { chain_step(sim, log, peer, i + 1); },
+      util::PeerId{static_cast<std::uint64_t>(peer)});
+}
+
+std::pair<std::vector<std::int64_t>, std::uint64_t> drive_mixed_workload(
+    Simulator& sim) {
+  std::vector<std::int64_t> log;
+  for (int p = 0; p < 6; ++p) {
+    sim.schedule_after(
+        milliseconds(1) + p, [&sim, &log, p] { chain_step(sim, log, p, 0); },
+        util::PeerId{static_cast<std::uint64_t>(p)});
+  }
+  // Doomed events, each cancelled by an event on a *different* peer's shard.
+  for (int k = 0; k < 120; ++k) {
+    const EventId id = sim.schedule_at(
+        seconds(1) + k, [&log] { log.push_back(-1); },
+        util::PeerId{static_cast<std::uint64_t>(k % 6)});
+    sim.schedule_at(
+        milliseconds(500) + k, [&sim, id] { sim.cancel(id); },
+        util::PeerId{static_cast<std::uint64_t>((k + 1) % 6)});
+  }
+  Timer timer = sim.every(milliseconds(50), [&log] { log.push_back(777); });
+  sim.schedule_at(milliseconds(430), [timer]() mutable { timer.cancel(); });
+  sim.run_until(seconds(2));
+  return {log, sim.events_executed()};
+}
+
+TEST(ParallelEngine, OrderedCommitMatchesSequentialExecution) {
+  Simulator seq(7);
+  const auto seq_out = drive_mixed_workload(seq);
+
+  Simulator par(7);
+  ParallelConfig pc;
+  pc.threads = 4;
+  pc.lookahead = milliseconds(1);
+  pc.mode = ParallelMode::OrderedCommit;
+  par.enable_parallel(pc);
+  par.set_shard_router(
+      [](util::PeerId p) { return static_cast<ShardId>(p.value() % 4); });
+  const auto par_out = drive_mixed_workload(par);
+
+  EXPECT_EQ(seq_out.first, par_out.first);
+  EXPECT_EQ(seq_out.second, par_out.second);
+  EXPECT_EQ(seq.now(), par.now());
+
+  // Conservation: per-shard sums equal the global totals, and more than one
+  // shard did real work (the router is not degenerate).
+  const auto* engine = par.parallel_engine();
+  ASSERT_NE(engine, nullptr);
+  std::uint64_t executed = 0, scheduled = 0;
+  std::size_t active = 0;
+  for (ShardId s = 0; s < engine->shards(); ++s) {
+    executed += engine->shard_counters(s).executed;
+    scheduled += engine->shard_counters(s).scheduled;
+    if (engine->shard_counters(s).executed > 0) ++active;
+  }
+  EXPECT_EQ(executed, par.events_executed());
+  EXPECT_EQ(scheduled, par.events_scheduled());
+  EXPECT_GT(active, 1u);
+}
+
+TEST(ParallelEngine, MirrorCountersMatchSequentialPublish) {
+  // Identical schedule/cancel sequences on both engines; the published
+  // sim.event_queue.* series (scheduled / compactions / tombstones / live)
+  // must be byte-identical, compaction trigger included.
+  const auto drive = [](Simulator& sim) {
+    std::vector<EventId> ids;
+    for (int i = 0; i < 200; ++i) {
+      ids.push_back(sim.schedule_at(
+          milliseconds(10 + i), [] {},
+          util::PeerId{static_cast<std::uint64_t>(i % 2)}));
+    }
+    for (int i = 0; i < 200; ++i) {
+      if (i % 4 != 3) {
+        EXPECT_TRUE(sim.cancel(ids[static_cast<std::size_t>(i)]));
+      }
+    }
+    obs::MetricsRegistry before;
+    sim.publish_queue(before);
+    sim.run_until(seconds(1));
+    obs::MetricsRegistry after;
+    sim.publish_queue(after);
+    return std::pair{obs::to_json(before), obs::to_json(after)};
+  };
+
+  Simulator seq(3);
+  const auto seq_snapshots = drive(seq);
+
+  Simulator par(3);
+  ParallelConfig pc;
+  pc.threads = 2;
+  pc.mode = ParallelMode::OrderedCommit;
+  par.enable_parallel(pc);
+  par.set_shard_router(
+      [](util::PeerId p) { return static_cast<ShardId>(p.value() % 2); });
+  const auto par_snapshots = drive(par);
+
+  EXPECT_EQ(seq_snapshots.first, par_snapshots.first);
+  EXPECT_EQ(seq_snapshots.second, par_snapshots.second);
+
+  // 150 cancellations against 200 events must have fired the global
+  // compaction at the sequential threshold, and the physical sweep runs on
+  // every shard in lockstep with the global counter.
+  const auto* engine = par.parallel_engine();
+  ASSERT_NE(engine, nullptr);
+  EXPECT_GE(engine->stats().compactions, 1u);
+  for (ShardId s = 0; s < engine->shards(); ++s) {
+    EXPECT_EQ(engine->shard_counters(s).compactions,
+              engine->stats().compactions)
+        << "shard " << s;
+  }
+  EXPECT_EQ(engine->live(), engine->physical_live());
+  EXPECT_GE(engine->tombstones(), engine->physical_tombstones());
+}
+
+TEST(ParallelEngine, EnableParallelAfterSchedulingThrows) {
+  Simulator sim;
+  sim.schedule_at(1, [] {});
+  EXPECT_THROW(sim.enable_parallel(ParallelConfig{}), std::logic_error);
+}
+
+TEST(ParallelEngine, ShardConcurrentWindowsRespectLookahead) {
+  ParallelConfig pc;
+  pc.threads = 4;
+  pc.lookahead = milliseconds(1);
+  pc.mode = ParallelMode::ShardConcurrent;
+  ParallelEngine eng(pc);
+
+  // Each shard runs a local chain and relays a token to the next shard at
+  // exactly now + lookahead — the tightest legal cross-shard delay.
+  std::array<std::vector<std::int64_t>, 4> logs;
+  struct Relay {
+    ParallelEngine& eng;
+    std::array<std::vector<std::int64_t>, 4>& logs;
+    util::SimDuration lookahead;
+    void operator()(ShardId shard, util::SimTime now, int hops) const {
+      logs[shard].push_back(now);
+      if (hops >= 64) return;
+      const ShardId next = (shard + 1) % 4;
+      auto self = *this;
+      eng.post(shard, next, now + lookahead,
+               [self, next, now, hops, la = lookahead] {
+                 self(next, now + la, hops + 1);
+               });
+    }
+  };
+  const Relay relay{eng, logs, pc.lookahead};
+  for (ShardId s = 0; s < 4; ++s) {
+    eng.schedule(s, milliseconds(s), [relay, s] {
+      relay(s, milliseconds(s), 0);
+    });
+  }
+  eng.run_windows_until(seconds(1));
+
+  EXPECT_EQ(eng.stats().lookahead_violations, 0u);
+  EXPECT_GT(eng.stats().windows, 0u);
+  EXPECT_GT(eng.stats().cross_shard_messages, 0u);
+  EXPECT_EQ(eng.stats().merged_messages, eng.stats().cross_shard_messages);
+  std::uint64_t posts_out = 0, posts_in = 0, executed = 0;
+  for (ShardId s = 0; s < 4; ++s) {
+    posts_out += eng.shard_counters(s).posts_out;
+    posts_in += eng.shard_counters(s).posts_in;
+    executed += eng.shard_counters(s).executed;
+    EXPECT_LE(eng.shard_now(s), seconds(1));
+    EXPECT_FALSE(logs[s].empty());
+  }
+  EXPECT_EQ(posts_out, eng.stats().cross_shard_messages);
+  EXPECT_EQ(posts_in, eng.stats().cross_shard_messages);
+  EXPECT_EQ(executed, 4u * 65u);
+}
+
+TEST(ParallelEngine, ShardConcurrentCountsLookaheadViolations) {
+  ParallelConfig pc;
+  pc.threads = 2;
+  pc.lookahead = milliseconds(1);
+  pc.mode = ParallelMode::ShardConcurrent;
+  ParallelEngine eng(pc);
+
+  int delivered = 0;
+  eng.schedule(0, milliseconds(5), [&eng, &delivered] {
+    // Posting for "now" lands inside the current window — a violation of
+    // the conservative contract. It is delivered anyway, and counted.
+    eng.post(0, 1, milliseconds(5), [&delivered] { ++delivered; });
+  });
+  eng.run_windows_until(seconds(1));
+
+  EXPECT_EQ(eng.stats().lookahead_violations, 1u);
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(ParallelEngine, MailboxMergeOrderIndependentOfWorkerDelays) {
+  // Shards 0 and 1 both stream tagged messages to shard 2; an artificial
+  // sleep slows one producer's worker. The delivery log on shard 2 must not
+  // depend on which worker finishes its window first.
+  const auto run = [](int slow_shard) {
+    ParallelConfig pc;
+    pc.threads = 3;
+    pc.lookahead = milliseconds(1);
+    pc.mode = ParallelMode::ShardConcurrent;
+    ParallelEngine eng(pc);
+
+    std::vector<int> delivered;  // touched only by shard 2's handlers
+    struct Producer {
+      ParallelEngine& eng;
+      std::vector<int>& delivered;
+      int slow_shard;
+      void operator()(ShardId shard, util::SimTime now, int i) const {
+        if (shard == static_cast<ShardId>(slow_shard)) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        const int tag = static_cast<int>(shard) * 1000 + i;
+        eng.post(shard, 2, now + milliseconds(1),
+                 [this_ = *this, tag] { this_.delivered.push_back(tag); });
+        if (i >= 19) return;
+        auto self = *this;
+        eng.schedule(shard, now + milliseconds(1),
+                     [self, shard, now, i] {
+                       self(shard, now + milliseconds(1), i + 1);
+                     });
+      }
+    };
+    const Producer producer{eng, delivered, slow_shard};
+    for (ShardId s = 0; s < 2; ++s) {
+      eng.schedule(s, milliseconds(1), [producer, s] {
+        producer(s, milliseconds(1), 0);
+      });
+    }
+    eng.run_windows_until(seconds(1));
+    EXPECT_EQ(eng.stats().lookahead_violations, 0u);
+    return delivered;
+  };
+
+  const auto baseline = run(-1);
+  ASSERT_EQ(baseline.size(), 40u);
+  EXPECT_EQ(baseline, run(0));
+  EXPECT_EQ(baseline, run(1));
 }
 
 }  // namespace

@@ -5,6 +5,12 @@
 //   p2prm_fuzz --json                    machine-readable report on stdout
 //   p2prm_fuzz --artifact=repro.txt      write failing repro strings to a file
 //   p2prm_fuzz --no-oracles              skip determinism/cache/span replays
+//   p2prm_fuzz --threads=N               parallel-engine oracle thread count
+//                                        (default 2; 0 or 1 disables it)
+//   p2prm_fuzz --base-threads=N          engine threads for the base run
+//                                        itself (default 1 = sequential); CI
+//                                        runs the sweep at 1 and 4 and cmp's
+//                                        the two --json reports byte-for-byte
 //   p2prm_fuzz --no-shrink               report the original failing scenario
 //
 // Every scenario is fully determined by its seed: the same build and the
@@ -129,6 +135,19 @@ int main(int argc, char** argv) {
   const std::string repro_arg = args.get("repro", "");
   const bool json = args.get_bool("json", false);
   const bool oracles = !args.get_bool("no-oracles", false);
+  const long threads_arg = args.get_int("threads", 2);
+  if (threads_arg < 0 || threads_arg > 64) {
+    std::cerr << "bad --threads; expected 0..64, got " << threads_arg << '\n';
+    return 2;
+  }
+  const auto parallel_threads = static_cast<unsigned>(threads_arg);
+  const long base_threads_arg = args.get_int("base-threads", 1);
+  if (base_threads_arg < 1 || base_threads_arg > 64) {
+    std::cerr << "bad --base-threads; expected 1..64, got " << base_threads_arg
+              << '\n';
+    return 2;
+  }
+  const auto base_threads = static_cast<unsigned>(base_threads_arg);
   const bool do_shrink = !args.get_bool("no-shrink", false);
   const std::string artifact = args.get("artifact", "");
   const std::string log = args.get("log", "");
@@ -173,7 +192,8 @@ int main(int argc, char** argv) {
   std::vector<SeedOutcome> outcomes;
   std::vector<FailureReport> failures;
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    SeedOutcome outcome = p2prm::check::run_spec(specs[i], oracles);
+    SeedOutcome outcome = p2prm::check::run_spec(specs[i], oracles,
+                                                 parallel_threads, base_threads);
     if (!outcome.ok()) {
       FailureReport f;
       f.seed = seeds[i];
