@@ -7,6 +7,10 @@
 // wall-clock noise (see docs/BENCHMARKS.md).
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
 #include "bloom/bloom_filter.hpp"
 #include "core/allocation.hpp"
 #include "fairness/fairness.hpp"
@@ -15,6 +19,8 @@
 #include "media/catalog.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/event_queue.hpp"
+#include "util/arena.hpp"
+#include "util/flat_map.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -207,6 +213,114 @@ void BM_PathCacheRepeatedQuery(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_PathCacheRepeatedQuery)->Range(32, 2048)->Complexity(benchmark::oN);
+
+// The next four benchmarks justify the PR 6 data-layout pass head to
+// head: open-addressing FlatMap vs std::unordered_map on the InfoBase
+// lookup pattern, and the size-classed event Pool vs plain heap
+// allocation on the EventQueue churn pattern. Both pairs use the same
+// seeds and access sequence so only the container differs; the
+// deterministic counters (mean probe length, pool reuse rate) feed the
+// regression gate while the wall-clock columns stay informational.
+
+template <typename Map>
+Map build_lookup_map(std::size_t n) {
+  util::Rng rng(0xF1A7);
+  Map m;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Key drawn before value (operator[]= would evaluate the RHS first).
+    const util::PeerId key{rng.next()};
+    m[key] = rng.next();
+  }
+  return m;
+}
+
+std::vector<util::PeerId> lookup_probe_keys(std::size_t n) {
+  // Same generator state as build_lookup_map: half the probes hit, half
+  // miss — the InfoBase measured_exec_ access mix.
+  util::Rng rng(0xF1A7);
+  std::vector<util::PeerId> keys;
+  keys.reserve(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.emplace_back(rng.next());
+    rng.next();
+  }
+  util::Rng miss(0xD00D);
+  for (std::size_t i = 0; i < n; ++i) keys.emplace_back(miss.next());
+  return keys;
+}
+
+void BM_FlatMapLookup(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m =
+      build_lookup_map<util::FlatMap<util::PeerId, std::uint64_t>>(n);
+  const auto keys = lookup_probe_keys(n);
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (const auto& k : keys) {
+      if (const auto* v = m.find(k)) sum += *v;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  double probes = 0.0;
+  std::size_t hits = 0;
+  for (const auto& k : keys) {
+    if (m.contains(k)) {
+      probes += static_cast<double>(m.probe_length(k));
+      ++hits;
+    }
+  }
+  state.counters["mean_probe_length"] =
+      hits > 0 ? probes / static_cast<double>(hits) : 0.0;
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FlatMapLookup)->Range(256, 16384)->Complexity(benchmark::o1);
+
+void BM_UnorderedMapLookup(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m =
+      build_lookup_map<std::unordered_map<util::PeerId, std::uint64_t>>(n);
+  const auto keys = lookup_probe_keys(n);
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (const auto& k : keys) {
+      if (const auto it = m.find(k); it != m.end()) sum += it->second;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_UnorderedMapLookup)->Range(256, 16384)->Complexity(benchmark::o1);
+
+void BM_ArenaAlloc(benchmark::State& state) {
+  // The EventQueue churn pattern: allocate a wave of spilled callables,
+  // free them, repeat — after the first wave everything comes from the
+  // thread-local freelist.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto before = util::Pool::stats();
+  std::vector<void*> live(n);
+  for (auto _ : state) {
+    for (auto& p : live) p = util::Pool::allocate(48);
+    for (auto& p : live) util::Pool::deallocate(p, 48);
+  }
+  const auto after = util::Pool::stats();
+  const double fresh = static_cast<double>(after.fresh - before.fresh);
+  const double reused = static_cast<double>(after.reused - before.reused);
+  const double total = fresh + reused;
+  state.counters["pool_reuse_rate"] = total > 0.0 ? reused / total : 0.0;
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ArenaAlloc)->Range(256, 4096)->Complexity(benchmark::oN);
+
+void BM_HeapAlloc(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<void*> live(n);
+  for (auto _ : state) {
+    for (auto& p : live) p = ::operator new(48);
+    for (auto& p : live) ::operator delete(p);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_HeapAlloc)->Range(256, 4096)->Complexity(benchmark::oN);
 
 void BM_TypeKey(benchmark::State& state) {
   const media::TranscoderType type{

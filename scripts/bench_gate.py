@@ -1,11 +1,34 @@
 #!/usr/bin/env python3
-"""Benchmark regression gate over deterministic work counters.
+"""Benchmark regression gate over deterministic work counters and, in
+``--wallclock`` mode, median wall-clock speedups.
 
-Compares a freshly generated gate JSON (bench_e2_scalability --json=...)
-against a committed baseline (BENCH_PR2.json) and fails when a named
-counter regresses beyond the tolerance. Counters are simulation
-quantities — vertices popped, candidates evaluated, cache hit rate — not
-wall-clock, so the gate is robust on noisy shared CI runners.
+Counter mode (default) compares a freshly generated gate JSON
+(bench_e2_scalability --json=...) against a committed baseline
+(BENCH_PR2.json) and fails when a named counter regresses beyond the
+tolerance. Counters are simulation quantities — vertices popped,
+candidates evaluated, cache hit rate — not wall-clock, so the gate is
+robust on noisy shared CI runners.
+
+Wall-clock mode (--wallclock) compares a parallel sweep JSON
+(bench_e2_scalability --threads=N --repeats=R --parallel-json=...)
+against a committed baseline (BENCH_PR6.json). It is noise-tolerant by
+construction:
+
+  * the bench reports the *median* of --repeats timed passes (the gate
+    refuses runs with fewer than --min-repeats);
+  * speedups are compared with a *relative* tolerance, never absolute
+    wall times (machines differ);
+  * sweep entries whose thread count exceeds the current runner's
+    hardware_threads are skipped, not failed — a 1- or 2-core runner
+    reports SKIP instead of flaking;
+  * deterministic counter leaves in the same file (vertices_popped,
+    micro.*) are still gated the counter way.
+
+--min-speedup accepts "T:X,T:X" pairs (e.g. "4:2.0,8:3.0"): an absolute
+speedup floor at thread count T, enforced only when the runner has >= T
+hardware threads. This keeps the floor meaningful even when the
+committed baseline was produced on a small machine (its "oversubscribed"
+flag marks that).
 
 Direction convention (see docs/BENCHMARKS.md):
   * keys ending in ``_rate`` or ``_reduction`` are higher-is-better;
@@ -13,8 +36,11 @@ Direction convention (see docs/BENCHMARKS.md):
 
 Usage:
   scripts/bench_gate.py BASELINE.json CURRENT.json [--tolerance 0.25]
+  scripts/bench_gate.py BENCH_PR6.json sweep.json --wallclock \
+      [--wall-tolerance 0.3] [--min-repeats 5] [--min-speedup 4:2.0,8:3.0]
 
-Exit status: 0 when no counter regresses past tolerance, 1 otherwise.
+Exit status: 0 when no counter/speedup regresses past tolerance (or the
+wall-clock section was hardware-skipped), 1 otherwise.
 """
 
 import argparse
@@ -39,32 +65,35 @@ def higher_is_better(key):
     return leaf.endswith("_rate") or leaf.endswith("_reduction")
 
 
-# Configuration echoes (peers, queries, seed) describe the run, they are
-# not performance counters; comparing them would gate on the harness.
-SKIP_LEAVES = {"peers", "queries", "seed"}
+# Configuration echoes (peers, queries, seed, ...) describe the run, they
+# are not performance counters; comparing them would gate on the harness.
+# Wall-clock leaves (_ns/_ms suffixes, speedup) are machine-dependent and
+# only ever compared by the --wallclock logic, never as counters.
+SKIP_LEAVES = {
+    "peers",
+    "queries",
+    "seed",
+    "rms",
+    "queries_per_rm",
+    "repeats",
+    "hardware_threads",
+    "threads",
+    "speedup",
+}
+SKIP_SUFFIXES = ("_ns", "_ms")
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline")
-    parser.add_argument("current")
-    parser.add_argument(
-        "--tolerance",
-        type=float,
-        default=0.25,
-        help="allowed fractional regression (default 0.25 = 25%%)",
-    )
-    args = parser.parse_args()
+def skipped_leaf(key):
+    leaf = key.rsplit(".", 1)[-1]
+    return leaf in SKIP_LEAVES or leaf.endswith(SKIP_SUFFIXES)
 
-    with open(args.baseline) as f:
-        base = flatten(json.load(f))
-    with open(args.current) as f:
-        cur = flatten(json.load(f))
 
+def gate_counters(base, cur, tolerance):
+    """Returns (rows, failures) for the flattened counter comparison."""
     rows = []
     failures = []
     for key in sorted(base):
-        if key.rsplit(".", 1)[-1] in SKIP_LEAVES:
+        if skipped_leaf(key):
             continue
         if key not in cur:
             failures.append(f"counter missing from current run: {key}")
@@ -77,26 +106,151 @@ def main():
         hib = higher_is_better(key)
         # Regression = movement in the bad direction beyond tolerance.
         bad = -delta if hib else delta
-        status = "FAIL" if bad > args.tolerance else "ok"
+        status = "FAIL" if bad > tolerance else "ok"
         if status == "FAIL":
             failures.append(
                 f"{key}: baseline {b:g} -> current {c:g} "
                 f"({delta:+.1%}, {'higher' if hib else 'lower'}-is-better, "
-                f"tolerance {args.tolerance:.0%})"
+                f"tolerance {tolerance:.0%})"
             )
         rows.append((key, b, c, delta, status))
+    return rows, failures
 
+
+def print_rows(rows):
     width = max((len(r[0]) for r in rows), default=10)
     print(f"{'counter':<{width}}  {'baseline':>12}  {'current':>12}  {'delta':>8}  status")
     for key, b, c, delta, status in rows:
         print(f"{key:<{width}}  {b:>12g}  {c:>12g}  {delta:>+8.1%}  {status}")
+
+
+def parse_min_speedup(spec):
+    """Parses "4:2.0,8:3.0" into {4: 2.0, 8: 3.0}."""
+    floors = {}
+    if not spec:
+        return floors
+    for part in spec.split(","):
+        threads, floor = part.split(":")
+        floors[int(threads)] = float(floor)
+    return floors
+
+
+def gate_wallclock(base_raw, cur_raw, args):
+    """Returns a list of failure strings (empty = pass/skip)."""
+    failures = []
+
+    repeats = cur_raw.get("repeats", 1)
+    if repeats < args.min_repeats:
+        return [
+            f"current sweep used repeats={repeats}; the wall-clock gate "
+            f"requires the median of >= {args.min_repeats} passes "
+            f"(rerun with --repeats={args.min_repeats})"
+        ]
+
+    cur_sweep = {e["threads"]: e for e in cur_raw.get("sweep", [])}
+    base_sweep = {e["threads"]: e for e in base_raw.get("sweep", [])}
+    hw = cur_raw.get("hardware_threads", 0)
+    base_oversub = base_raw.get("oversubscribed", False)
+    floors = parse_min_speedup(args.min_speedup)
+
+    print(f"\nwall-clock gate: runner hardware_threads={hw}, "
+          f"baseline oversubscribed={base_oversub}, "
+          f"relative tolerance {args.wall_tolerance:.0%}")
+
+    gated = 0
+    for threads in sorted(cur_sweep):
+        entry = cur_sweep[threads]
+        speedup = entry.get("speedup", 0.0)
+        if hw and threads > hw:
+            print(f"  threads={threads}: SKIP (only {hw} hardware threads)")
+            continue
+        requirement = []
+        # Relative check against the baseline's speedup at the same thread
+        # count — unless the baseline itself was produced oversubscribed,
+        # in which case its speedups carry no information.
+        if not base_oversub and threads in base_sweep:
+            need = base_sweep[threads].get("speedup", 0.0) * (
+                1.0 - args.wall_tolerance
+            )
+            requirement.append((f"baseline*(1-tol) = {need:.2f}", need))
+        if threads in floors:
+            requirement.append((f"--min-speedup floor = {floors[threads]:.2f}",
+                                floors[threads]))
+        if not requirement:
+            print(f"  threads={threads}: speedup {speedup:.2f} (ungated)")
+            continue
+        gated += 1
+        need_desc, need = max(requirement, key=lambda r: r[1])
+        status = "ok" if speedup >= need else "FAIL"
+        print(f"  threads={threads}: speedup {speedup:.2f} vs {need_desc} "
+              f"-> {status}")
+        if status == "FAIL":
+            failures.append(
+                f"speedup at {threads} threads: {speedup:.2f} < {need:.2f} "
+                f"({need_desc})"
+            )
+    if gated == 0:
+        print("  SKIP: no sweep entry fits this runner's hardware; "
+              "wall-clock comparison skipped (counters above still gated)")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional counter regression (default 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--wallclock",
+        action="store_true",
+        help="also gate median wall-clock speedups (parallel sweep JSONs)",
+    )
+    parser.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional speedup regression vs baseline "
+        "(default 0.30 = 30%%)",
+    )
+    parser.add_argument(
+        "--min-repeats",
+        type=int,
+        default=5,
+        help="reject sweeps produced with fewer timed repeats (default 5)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        default="",
+        help='absolute speedup floors as "T:X,T:X" (e.g. "4:2.0,8:3.0"), '
+        "each enforced only when the runner has >= T hardware threads",
+    )
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        base_raw = json.load(f)
+    with open(args.current) as f:
+        cur_raw = json.load(f)
+
+    rows, failures = gate_counters(
+        flatten(base_raw), flatten(cur_raw), args.tolerance
+    )
+    print_rows(rows)
+
+    if args.wallclock:
+        failures += gate_wallclock(base_raw, cur_raw, args)
 
     if failures:
         print("\nREGRESSION GATE FAILED:", file=sys.stderr)
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
         return 1
-    print(f"\ngate passed: {len(rows)} counters within {args.tolerance:.0%}")
+    print(f"\ngate passed: {len(rows)} counters within {args.tolerance:.0%}"
+          + (" + wall-clock sweep" if args.wallclock else ""))
     return 0
 
 

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Finds the first seed whose result differs between two fuzz reports.
+
+Usage: scripts/find_divergent_seed.py seq.json par.json
+
+Both inputs are p2prm-fuzz-report/1 JSONs from the same --seeds range run
+at different --base-threads. Prints the first divergent seed (and the
+differing fields to stderr) and exits 0; prints "none" and exits 1 when
+the per-seed results are identical (the divergence is elsewhere in the
+report, e.g. a structural difference).
+"""
+
+import json
+import sys
+
+
+def by_seed(report):
+    return {entry.get("seed"): entry for entry in report.get("results", [])}
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        a = by_seed(json.load(f))
+    with open(sys.argv[2]) as f:
+        b = by_seed(json.load(f))
+
+    for seed in sorted(set(a) | set(b), key=lambda s: (s is None, s)):
+        ea, eb = a.get(seed), b.get(seed)
+        if ea == eb:
+            continue
+        if ea is None or eb is None:
+            print(f"seed {seed} present in only one report", file=sys.stderr)
+        else:
+            for key in sorted(set(ea) | set(eb)):
+                if ea.get(key) != eb.get(key):
+                    print(
+                        f"seed {seed} field {key}: "
+                        f"{ea.get(key)!r} != {eb.get(key)!r}",
+                        file=sys.stderr,
+                    )
+        print(seed)
+        return 0
+    print("none")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -81,7 +81,8 @@ std::uint64_t behavior_digest(core::System& system, const core::Tracer& tracer) 
 
 RunResult run_scenario(const ScenarioSpec& spec, InvariantChecker& checker,
                        util::SimDuration boundary_period,
-                       const InspectFn& inspect, unsigned threads) {
+                       const InspectFn& inspect, unsigned threads,
+                       const ConfigTweakFn& tweak) {
   core::SystemConfig sys;
   sys.seed = spec.seed;
   sys.max_domain_size = spec.max_domain_size;
@@ -91,6 +92,7 @@ RunResult run_scenario(const ScenarioSpec& spec, InvariantChecker& checker,
   // Tight enough that every admitted-but-doomed task is failed and its jobs
   // cancelled well inside the drain window.
   sys.task_gc_grace = util::seconds(15);
+  if (tweak) tweak(sys);
 
   core::System system(sys);
   // Large capacity: a ring-buffer eviction would make the spans-on replay

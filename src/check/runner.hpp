@@ -17,6 +17,10 @@
 #include "check/invariants.hpp"
 #include "check/scenario.hpp"
 
+namespace p2prm::core {
+struct SystemConfig;
+}  // namespace p2prm::core
+
 namespace p2prm::check {
 
 // Outcome summary of one scenario execution. `digest` is an FNV-1a hash of
@@ -49,12 +53,17 @@ struct RunResult {
 // set, runs on the final quiescent system before teardown — tests use it to
 // probe end-state beyond what RunResult summarizes.
 using InspectFn = std::function<void(core::System&)>;
+// `tweak`, when set, runs on the assembled SystemConfig before the System is
+// built — tests use it to flip engine knobs (e.g. enable_shard_rebalance)
+// that a ScenarioSpec deliberately does not serialize.
+using ConfigTweakFn = std::function<void(core::SystemConfig&)>;
 // `threads` > 1 runs the scenario on the sharded parallel engine
 // (SystemConfig::num_threads); the digest, trace, and metrics contract says
 // the result is byte-identical to threads = 1.
 RunResult run_scenario(const ScenarioSpec& spec, InvariantChecker& checker,
                        util::SimDuration boundary_period = util::seconds(2),
-                       const InspectFn& inspect = {}, unsigned threads = 1);
+                       const InspectFn& inspect = {}, unsigned threads = 1,
+                       const ConfigTweakFn& tweak = {});
 
 // Convenience: fresh default checker.
 RunResult run_scenario(const ScenarioSpec& spec);

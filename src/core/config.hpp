@@ -157,6 +157,18 @@ struct SystemConfig {
   // untouched. Any N produces byte-identical traces, digests, and metrics
   // to N=1 (tests/parallel_test.cpp proves it per fuzz seed).
   unsigned num_threads = 1;
+  // Adaptive shard rebalancing: every `rebalance_interval_windows`
+  // conservative windows the engine hands its per-shard events-per-window
+  // EWMA to the System, which migrates the hottest domains off the hottest
+  // shard (when its EWMA exceeds `rebalance_imbalance` x the mean) and
+  // refreshes the per-(src,dst) lookahead matrix from the new membership's
+  // coordinate bounding boxes. Pure routing: under the ordered-commit
+  // engine the commit order is the global (time, id) order regardless of
+  // which shard queue an event sits in, so this can never change behaviour
+  // (the rebalance differential test in parallel_test.cpp proves it).
+  bool enable_shard_rebalance = true;
+  std::uint64_t rebalance_interval_windows = 64;
+  double rebalance_imbalance = 1.25;
 
   // --- observability ---------------------------------------------------------------
   // Emit HopStarted/HopCompleted trace events so obs::build_task_spans can

@@ -65,19 +65,19 @@ std::vector<util::TaskId> InfoBase::remove_peer(util::PeerId peer) {
   pending_commit_.erase(peer);
   measured_exec_.erase(peer);
   gr_.remove_peer(peer);
-  for (auto it = objects_.begin(); it != objects_.end();) {
-    auto& locs = it->second;
+  // FlatMap forbids erase-during-iteration: strip locations in place, then
+  // drop the emptied object ids in a second pass.
+  std::vector<util::ObjectId> emptied;
+  objects_.for_each([&](const util::ObjectId& id,
+                        std::vector<ObjectLocation>& locs) {
     locs.erase(std::remove_if(locs.begin(), locs.end(),
                               [&](const ObjectLocation& l) {
                                 return l.peer == peer;
                               }),
                locs.end());
-    if (locs.empty()) {
-      it = objects_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+    if (locs.empty()) emptied.push_back(id);
+  });
+  for (const auto id : emptied) objects_.erase(id);
   bump_summary_version();
   return tasks_involving(peer);
 }
@@ -98,10 +98,10 @@ void InfoBase::record_report(util::PeerId peer, const ProfilerReport& report,
 
 double InfoBase::measured_execution_s(util::PeerId peer,
                                       std::uint64_t type_key) const {
-  const auto it = measured_exec_.find(peer);
-  if (it == measured_exec_.end()) return -1.0;
-  const auto jt = it->second.find(type_key);
-  return jt == it->second.end() ? -1.0 : jt->second;
+  const auto* per_type = measured_exec_.find(peer);
+  if (per_type == nullptr) return -1.0;
+  const double* mean = per_type->find(type_key);
+  return mean == nullptr ? -1.0 : *mean;
 }
 
 double InfoBase::effective_load(util::PeerId peer) const {
@@ -163,14 +163,15 @@ void InfoBase::purge_commitments(util::SimTime now) {
 
 const std::vector<ObjectLocation>* InfoBase::locations(
     util::ObjectId object) const {
-  const auto it = objects_.find(object);
-  return it == objects_.end() ? nullptr : &it->second;
+  return objects_.find(object);
 }
 
 std::vector<util::ObjectId> InfoBase::all_objects() const {
   std::vector<util::ObjectId> out;
   out.reserve(objects_.size());
-  for (const auto& [id, _] : objects_) out.push_back(id);
+  objects_.for_each([&](const util::ObjectId& id, const auto&) {
+    out.push_back(id);
+  });
   std::sort(out.begin(), out.end());
   return out;
 }
@@ -193,33 +194,44 @@ void InfoBase::unindex_task(const ActiveTask& t) {
 
 ActiveTask& InfoBase::add_task(ActiveTask task) {
   const util::TaskId id = task.sg.task();
-  const auto it = tasks_.find(id);
-  if (it != tasks_.end()) unindex_task(it->second);
-  ActiveTask& stored = tasks_[id] = std::move(task);
+  if (const std::uint32_t* found = task_index_.find(id)) {
+    // Re-announce of a known task: replace in the same slot so references
+    // handed out earlier keep pointing at the live record.
+    ActiveTask& stored = task_pool_.get(*found);
+    unindex_task(stored);
+    stored = std::move(task);
+    index_task(stored);
+    return stored;
+  }
+  const std::uint32_t slot = task_pool_.emplace(std::move(task));
+  task_index_.try_emplace(id, slot);
+  ActiveTask& stored = task_pool_.get(slot);
   index_task(stored);
   return stored;
 }
 
 ActiveTask* InfoBase::task(util::TaskId id) {
-  const auto it = tasks_.find(id);
-  return it == tasks_.end() ? nullptr : &it->second;
+  const std::uint32_t* slot = task_index_.find(id);
+  return slot == nullptr ? nullptr : &task_pool_.get(*slot);
 }
 
 const ActiveTask* InfoBase::task(util::TaskId id) const {
-  const auto it = tasks_.find(id);
-  return it == tasks_.end() ? nullptr : &it->second;
+  const std::uint32_t* slot = task_index_.find(id);
+  return slot == nullptr ? nullptr : &task_pool_.get(*slot);
 }
 
 void InfoBase::remove_task(util::TaskId id) {
-  const auto it = tasks_.find(id);
-  if (it == tasks_.end()) return;
-  unindex_task(it->second);
-  tasks_.erase(it);
+  const std::uint32_t* found = task_index_.find(id);
+  if (found == nullptr) return;
+  const std::uint32_t slot = *found;
+  unindex_task(task_pool_.get(slot));
+  task_pool_.erase(slot);
+  task_index_.erase(id);
 }
 
 void InfoBase::reindex_task(util::TaskId id) {
-  const auto it = tasks_.find(id);
-  if (it == tasks_.end()) return;
+  const std::uint32_t* slot = task_index_.find(id);
+  if (slot == nullptr) return;
   // The stored sg may already have been replaced, so the index entries for
   // the *old* participants cannot be derived from it; rebuild by scan. A
   // task's graph is only swapped on recovery, so this stays off the
@@ -232,7 +244,7 @@ void InfoBase::reindex_task(util::TaskId id) {
       ++jt;
     }
   }
-  index_task(it->second);
+  index_task(task_pool_.get(*slot));
 }
 
 std::vector<util::TaskId> InfoBase::tasks_involving(util::PeerId peer) const {
@@ -243,12 +255,13 @@ std::vector<util::TaskId> InfoBase::tasks_involving(util::PeerId peer) const {
 
 std::vector<util::TaskId> InfoBase::running_task_ids() const {
   std::vector<util::TaskId> out;
-  for (const auto& [id, t] : tasks_) {
+  task_index_.for_each([&](const util::TaskId& id, const std::uint32_t& slot) {
+    const ActiveTask& t = task_pool_.get(slot);
     if (t.sg.state == graph::TaskState::Running ||
         t.sg.state == graph::TaskState::Composing) {
       out.push_back(id);
     }
-  }
+  });
   std::sort(out.begin(), out.end());
   return out;
 }
@@ -265,7 +278,9 @@ gossip::DomainSummary InfoBase::build_summary(std::size_t bloom_bits,
   const bloom::BloomParameters params{bloom_bits, bloom_hashes};
   s.objects = bloom::BloomFilter(params);
   s.services = bloom::BloomFilter(params);
-  for (const auto& [id, _] : objects_) s.objects.insert(id);
+  objects_.for_each([&](const util::ObjectId& id, const auto&) {
+    s.objects.insert(id);
+  });
   for (const auto* e : gr_.all_services()) {
     s.services.insert(e->type.type_key());
   }
@@ -278,9 +293,9 @@ InfoBaseSnapshot InfoBase::snapshot() const {
   snap.summary_version = summary_version_;
   // Objects grouped by hosting peer.
   std::unordered_map<util::PeerId, std::vector<media::MediaObject>> by_peer;
-  for (const auto& [_, locs] : objects_) {
+  objects_.for_each([&](const auto&, const std::vector<ObjectLocation>& locs) {
     for (const auto& loc : locs) by_peer[loc.peer].push_back(loc.object);
-  }
+  });
   for (auto& [peer, objs] : by_peer) {
     std::sort(objs.begin(), objs.end(),
               [](const media::MediaObject& a, const media::MediaObject& b) {
@@ -300,7 +315,9 @@ InfoBaseSnapshot InfoBase::snapshot() const {
   }
   std::sort(snap.services.begin(), snap.services.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
-  for (const auto& [_, t] : tasks_) snap.tasks.push_back(t);
+  task_index_.for_each([&](const auto&, const std::uint32_t& slot) {
+    snap.tasks.push_back(task_pool_.get(slot));
+  });
   std::sort(snap.tasks.begin(), snap.tasks.end(),
             [](const ActiveTask& a, const ActiveTask& b) {
               return a.sg.task() < b.sg.task();
@@ -312,7 +329,8 @@ void InfoBase::restore(const InfoBaseSnapshot& snap) {
   domain_ = snap.domain;
   summary_version_ = snap.summary_version;
   objects_.clear();
-  tasks_.clear();
+  task_pool_.clear();
+  task_index_.clear();
   tasks_by_peer_.clear();
   pending_commit_.clear();
   gr_ = graph::ResourceGraph();
@@ -326,8 +344,9 @@ void InfoBase::restore(const InfoBaseSnapshot& snap) {
     for (const auto& svc : svcs) gr_.add_service(svc.id, peer, svc.type);
   }
   for (const auto& t : snap.tasks) {
-    ActiveTask& stored = tasks_[t.sg.task()] = t;
-    index_task(stored);
+    const std::uint32_t slot = task_pool_.emplace(t);
+    task_index_.try_emplace(t.sg.task(), slot);
+    index_task(task_pool_.get(slot));
   }
   rebuild_fairness();
 }

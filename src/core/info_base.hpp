@@ -14,6 +14,8 @@
 
 #include "core/load_index.hpp"
 #include "core/messages.hpp"
+#include "util/arena.hpp"
+#include "util/flat_map.hpp"
 #include "fairness/fairness.hpp"
 #include "gossip/summary.hpp"
 #include "graph/path_cache.hpp"
@@ -144,7 +146,7 @@ class InfoBase {
   [[nodiscard]] std::vector<util::TaskId> tasks_involving(
       util::PeerId peer) const;
   [[nodiscard]] std::vector<util::TaskId> running_task_ids() const;
-  [[nodiscard]] std::size_t task_count() const { return tasks_.size(); }
+  [[nodiscard]] std::size_t task_count() const { return task_index_.size(); }
 
   // --- summaries (§3.1 SumO / SumS) ---------------------------------------------
   [[nodiscard]] gossip::DomainSummary build_summary(
@@ -176,14 +178,23 @@ class InfoBase {
 
   overlay::Domain domain_;
   graph::ResourceGraph gr_;
-  std::unordered_map<util::ObjectId, std::vector<ObjectLocation>> objects_;
+  // Object and task tables are open-addressing (util::FlatMap): every task
+  // query probes them, and the node-per-entry layout of unordered_map was
+  // the dominant cache-miss source in the allocation profile. Tasks live in
+  // a SlotPool because add_task/task() hand out ActiveTask references that
+  // must survive unrelated insertions; the FlatMap only maps id -> slot.
+  util::FlatMap<util::ObjectId, std::vector<ObjectLocation>> objects_;
   struct Commitment {
     double rate;
     util::SimTime expires_at;
   };
-  std::unordered_map<util::TaskId, ActiveTask> tasks_;
+  util::SlotPool<ActiveTask> task_pool_;
+  util::FlatMap<util::TaskId, std::uint32_t> task_index_;
+  // pending_commit_ stays an unordered_map: purge_commitments' iteration
+  // order feeds the float accumulation order of the load totals, which the
+  // differential battery pins byte-for-byte.
   std::unordered_map<util::PeerId, std::vector<Commitment>> pending_commit_;
-  std::unordered_map<util::PeerId, std::unordered_map<std::uint64_t, double>>
+  util::FlatMap<util::PeerId, util::FlatMap<std::uint64_t, double>>
       measured_exec_;  // soft state, re-learned after failover
   fairness::IncrementalFairness fairness_;
   LoadIndex load_index_;

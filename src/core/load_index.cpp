@@ -1,50 +1,85 @@
 #include "core/load_index.hpp"
 
+#include <algorithm>
+#include <utility>
+
 namespace p2prm::core {
 
 void LoadIndex::set(util::PeerId peer, double load, double capacity_ops) {
-  const auto it = recs_.find(peer);
-  if (it != recs_.end()) {
-    ordered_.erase({it->second.util, peer});
-    total_load_ -= it->second.load;
-    total_capacity_ -= it->second.capacity;
+  // Totals keep the original subtract-old-then-add-new float sequence so
+  // the accumulated values stay bit-identical to the pre-SoA index.
+  if (const std::uint32_t* slot = slot_of_.find(peer)) {
+    const std::uint32_t i = *slot;
+    total_load_ -= loads_[i];
+    total_capacity_ -= caps_[i];
+    loads_[i] = load;
+    caps_[i] = capacity_ops;
+    utils_[i] = util_of(load, capacity_ops);
+  } else {
+    const auto i = static_cast<std::uint32_t>(peers_.size());
+    peers_.push_back(peer);
+    loads_.push_back(load);
+    caps_.push_back(capacity_ops);
+    utils_.push_back(util_of(load, capacity_ops));
+    slot_of_.try_emplace(peer, i);
   }
-  Rec rec{load, capacity_ops, util_of(load, capacity_ops)};
-  ordered_.insert({rec.util, peer});
-  total_load_ += rec.load;
-  total_capacity_ += rec.capacity;
-  recs_[peer] = rec;
+  total_load_ += load;
+  total_capacity_ += capacity_ops;
+  min_valid_ = false;
 }
 
 void LoadIndex::remove(util::PeerId peer) {
-  const auto it = recs_.find(peer);
-  if (it == recs_.end()) return;
-  ordered_.erase({it->second.util, peer});
-  total_load_ -= it->second.load;
-  total_capacity_ -= it->second.capacity;
-  recs_.erase(it);
-  if (recs_.empty()) {
+  const std::uint32_t* slot = slot_of_.find(peer);
+  if (slot == nullptr) return;
+  const std::uint32_t i = *slot;
+  total_load_ -= loads_[i];
+  total_capacity_ -= caps_[i];
+  const auto last = static_cast<std::uint32_t>(peers_.size() - 1);
+  if (i != last) {
+    peers_[i] = peers_[last];
+    loads_[i] = loads_[last];
+    caps_[i] = caps_[last];
+    utils_[i] = utils_[last];
+    slot_of_.insert_or_assign(peers_[i], i);
+  }
+  peers_.pop_back();
+  loads_.pop_back();
+  caps_.pop_back();
+  utils_.pop_back();
+  slot_of_.erase(peer);
+  if (peers_.empty()) {
     // Re-zero so incremental float error cannot outlive the members.
     total_load_ = 0.0;
     total_capacity_ = 0.0;
   }
+  min_valid_ = false;
 }
 
 void LoadIndex::clear() {
-  recs_.clear();
-  ordered_.clear();
+  peers_.clear();
+  loads_.clear();
+  caps_.clear();
+  utils_.clear();
+  slot_of_.clear();
   total_load_ = 0.0;
   total_capacity_ = 0.0;
+  cached_min_ = std::numeric_limits<double>::infinity();
+  min_valid_ = true;
 }
 
 double LoadIndex::utilization(util::PeerId peer) const {
-  const auto it = recs_.find(peer);
-  return it == recs_.end() ? -1.0 : it->second.util;
+  const std::uint32_t* slot = slot_of_.find(peer);
+  return slot == nullptr ? -1.0 : utils_[*slot];
 }
 
 double LoadIndex::min_utilization() const {
-  if (ordered_.empty()) return std::numeric_limits<double>::infinity();
-  return ordered_.begin()->first;
+  if (!min_valid_) {
+    double m = std::numeric_limits<double>::infinity();
+    for (const double u : utils_) m = std::min(m, u);
+    cached_min_ = m;
+    min_valid_ = true;
+  }
+  return cached_min_;
 }
 
 double LoadIndex::mean_utilization() const {
@@ -52,9 +87,15 @@ double LoadIndex::mean_utilization() const {
 }
 
 std::vector<util::PeerId> LoadIndex::by_utilization(std::size_t limit) const {
+  std::vector<std::pair<double, util::PeerId>> order;
+  order.reserve(peers_.size());
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    order.emplace_back(utils_[i], peers_[i]);
+  }
+  std::sort(order.begin(), order.end());
   std::vector<util::PeerId> out;
-  out.reserve(ordered_.size() < limit ? ordered_.size() : limit);
-  for (const auto& [_, peer] : ordered_) {
+  out.reserve(order.size() < limit ? order.size() : limit);
+  for (const auto& [_, peer] : order) {
     if (out.size() >= limit) break;
     out.push_back(peer);
   }

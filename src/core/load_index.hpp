@@ -3,18 +3,28 @@
 // Admission (§3.2) needs two aggregate questions answered per task query:
 // "is every member above the overload threshold?" (a minimum-utilization
 // query) and "what is the mean domain utilization?" (a ratio of totals).
-// The info base answers both from this index in O(1)/O(log n) instead of
-// re-walking every member and its commitment list, updating it at exactly
-// the points where a peer's effective load changes. info_base_test.cpp
-// checks equivalence against the fresh linear recomputation.
+// The info base answers both from this index, updating it at exactly the
+// points where a peer's effective load changes. info_base_test.cpp checks
+// equivalence against the fresh linear recomputation.
+//
+// Storage is struct-of-arrays: parallel dense vectors of load / capacity /
+// utilization plus an open-addressing id -> slot map. set() — the hot path,
+// hit on every profiler report — is two array stores and a pair of totals
+// updates; the ordered view and the minimum are recomputed on demand from
+// the contiguous utilization array (domains are small, the scan is a few
+// cache lines) with the minimum cached until the next mutation.
+//
+// The running totals follow the exact same subtract-then-add sequence the
+// original node-based index used, so the incrementally accumulated floats —
+// and everything downstream that compares or prints them — are bit-identical
+// across the rewrite.
 #pragma once
 
+#include <cstdint>
 #include <limits>
-#include <set>
-#include <unordered_map>
-#include <utility>
 #include <vector>
 
+#include "util/flat_map.hpp"
 #include "util/ids.hpp"
 
 namespace p2prm::core {
@@ -26,8 +36,8 @@ class LoadIndex {
   void remove(util::PeerId peer);
   void clear();
 
-  [[nodiscard]] std::size_t size() const { return recs_.size(); }
-  [[nodiscard]] bool empty() const { return recs_.empty(); }
+  [[nodiscard]] std::size_t size() const { return peers_.size(); }
+  [[nodiscard]] bool empty() const { return peers_.empty(); }
 
   // Utilization = load / capacity; a peer with no capacity counts as fully
   // utilized (matches admission's convention). Unknown peer: -1.
@@ -45,19 +55,22 @@ class LoadIndex {
       std::size_t limit = std::numeric_limits<std::size_t>::max()) const;
 
  private:
-  struct Rec {
-    double load = 0.0;
-    double capacity = 0.0;
-    double util = 0.0;
-  };
   static double util_of(double load, double capacity) {
     return capacity > 0.0 ? load / capacity : 1.0;
   }
 
-  std::unordered_map<util::PeerId, Rec> recs_;
-  std::set<std::pair<double, util::PeerId>> ordered_;
+  // Parallel arrays, one slot per member; slot_of_ maps id -> slot.
+  // remove() swaps the last slot in, so slots stay dense but unordered —
+  // every ordered answer sorts explicitly.
+  std::vector<util::PeerId> peers_;
+  std::vector<double> loads_;
+  std::vector<double> caps_;
+  std::vector<double> utils_;
+  util::FlatMap<util::PeerId, std::uint32_t> slot_of_;
   double total_load_ = 0.0;
   double total_capacity_ = 0.0;
+  mutable double cached_min_ = std::numeric_limits<double>::infinity();
+  mutable bool min_valid_ = true;
 };
 
 }  // namespace p2prm::core

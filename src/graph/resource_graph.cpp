@@ -28,7 +28,7 @@ const media::MediaFormat& ResourceGraph::state(StateIndex i) const {
 
 void ResourceGraph::add_service(util::ServiceId id, util::PeerId peer,
                                 const media::TranscoderType& type) {
-  if (edges_.count(id)) {
+  if (edge_index_.contains(id)) {
     throw std::logic_error("ResourceGraph: duplicate service id " +
                            util::to_string(id));
   }
@@ -40,73 +40,80 @@ void ResourceGraph::add_service(util::ServiceId id, util::PeerId peer,
   edge.to = add_state(type.output);
   out_[edge.from].push_back(id);
   by_peer_[peer].push_back(id);
-  edges_.emplace(id, edge);
+  const std::uint32_t slot = edge_pool_.emplace(std::move(edge));
+  edge_index_.try_emplace(id, slot);
   ++epoch_;
 }
 
 bool ResourceGraph::remove_service(util::ServiceId id) {
-  const auto it = edges_.find(id);
-  if (it == edges_.end()) return false;
-  auto& adj = out_[it->second.from];
+  const std::uint32_t* found = edge_index_.find(id);
+  if (found == nullptr) return false;
+  const std::uint32_t slot = *found;
+  const ServiceEdge& edge = edge_pool_.get(slot);
+  auto& adj = out_[edge.from];
   adj.erase(std::remove(adj.begin(), adj.end(), id), adj.end());
-  const auto host = by_peer_.find(it->second.peer);
-  if (host != by_peer_.end()) {
-    auto& owned = host->second;
-    owned.erase(std::remove(owned.begin(), owned.end(), id), owned.end());
-    if (owned.empty()) by_peer_.erase(host);
+  if (auto* owned = by_peer_.find(edge.peer)) {
+    owned->erase(std::remove(owned->begin(), owned->end(), id), owned->end());
+    if (owned->empty()) by_peer_.erase(edge.peer);
   }
-  edges_.erase(it);
+  edge_pool_.erase(slot);
+  edge_index_.erase(id);
   ++epoch_;
   return true;
 }
 
 std::size_t ResourceGraph::remove_peer(util::PeerId peer) {
-  const auto it = by_peer_.find(peer);
-  if (it == by_peer_.end()) return 0;
+  const auto* owned = by_peer_.find(peer);
+  if (owned == nullptr) return 0;
   // Copy: remove_service() edits the indexed vector we are walking.
-  const std::vector<util::ServiceId> doomed = it->second;
+  const std::vector<util::ServiceId> doomed = *owned;
   for (auto id : doomed) remove_service(id);
   return doomed.size();
 }
 
 bool ResourceGraph::has_service(util::ServiceId id) const {
-  return edges_.count(id) != 0;
+  return edge_index_.contains(id);
+}
+
+const ServiceEdge& ResourceGraph::edge_at(util::ServiceId id) const {
+  const std::uint32_t* slot = edge_index_.find(id);
+  if (slot == nullptr) {
+    throw std::out_of_range("ResourceGraph: unknown service " +
+                            util::to_string(id));
+  }
+  return edge_pool_.get(*slot);
 }
 
 const ServiceEdge& ResourceGraph::service(util::ServiceId id) const {
-  const auto it = edges_.find(id);
-  if (it == edges_.end()) {
-    throw std::out_of_range("ResourceGraph: unknown service " +
-                            util::to_string(id));
-  }
-  return it->second;
+  return edge_at(id);
 }
 
 void ResourceGraph::set_service_load(util::ServiceId id, double load) {
-  const auto it = edges_.find(id);
-  if (it == edges_.end()) {
+  const std::uint32_t* slot = edge_index_.find(id);
+  if (slot == nullptr) {
     throw std::out_of_range("ResourceGraph: unknown service " +
                             util::to_string(id));
   }
-  if (it->second.load != load) ++epoch_;
-  it->second.load = load;
+  ServiceEdge& edge = edge_pool_.get(*slot);
+  if (edge.load != load) ++epoch_;
+  edge.load = load;
 }
 
 std::vector<const ServiceEdge*> ResourceGraph::edges_from(StateIndex v) const {
   std::vector<const ServiceEdge*> out;
   if (v >= out_.size()) return out;
   out.reserve(out_[v].size());
-  for (auto id : out_[v]) out.push_back(&edges_.at(id));
+  for (auto id : out_[v]) out.push_back(&edge_at(id));
   return out;
 }
 
 std::vector<const ServiceEdge*> ResourceGraph::services_of(
     util::PeerId peer) const {
   std::vector<const ServiceEdge*> out;
-  const auto it = by_peer_.find(peer);
-  if (it == by_peer_.end()) return out;
-  out.reserve(it->second.size());
-  for (auto id : it->second) out.push_back(&edges_.at(id));
+  const auto* owned = by_peer_.find(peer);
+  if (owned == nullptr) return out;
+  out.reserve(owned->size());
+  for (auto id : *owned) out.push_back(&edge_at(id));
   // Deterministic order regardless of insertion sequence.
   std::sort(out.begin(), out.end(),
             [](const ServiceEdge* a, const ServiceEdge* b) {
@@ -117,8 +124,10 @@ std::vector<const ServiceEdge*> ResourceGraph::services_of(
 
 std::vector<const ServiceEdge*> ResourceGraph::all_services() const {
   std::vector<const ServiceEdge*> out;
-  out.reserve(edges_.size());
-  for (const auto& [_, e] : edges_) out.push_back(&e);
+  out.reserve(edge_index_.size());
+  edge_index_.for_each([&](const auto&, const std::uint32_t& slot) {
+    out.push_back(&edge_pool_.get(slot));
+  });
   std::sort(out.begin(), out.end(),
             [](const ServiceEdge* a, const ServiceEdge* b) {
               return a->id < b->id;

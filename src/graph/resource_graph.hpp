@@ -17,6 +17,8 @@
 
 #include "media/catalog.hpp"
 #include "media/transcoder.hpp"
+#include "util/arena.hpp"
+#include "util/flat_map.hpp"
 #include "util/ids.hpp"
 
 namespace p2prm::graph {
@@ -56,7 +58,9 @@ class ResourceGraph {
 
   [[nodiscard]] bool has_service(util::ServiceId id) const;
   [[nodiscard]] const ServiceEdge& service(util::ServiceId id) const;
-  [[nodiscard]] std::size_t service_count() const { return edges_.size(); }
+  [[nodiscard]] std::size_t service_count() const {
+    return edge_index_.size();
+  }
 
   void set_service_load(util::ServiceId id, double load);
 
@@ -73,15 +77,25 @@ class ResourceGraph {
   [[nodiscard]] std::vector<const ServiceEdge*> all_services() const;
 
  private:
+  [[nodiscard]] const ServiceEdge& edge_at(util::ServiceId id) const;
+
   std::vector<media::MediaFormat> states_;
+  // Keyed by a composite format value, not an integral id, so this one map
+  // stays std::unordered_map (FlatMap only hashes ids). It is also cold:
+  // touched on state creation, not per query.
   std::unordered_map<media::MediaFormat, StateIndex> state_index_;
-  std::unordered_map<util::ServiceId, ServiceEdge> edges_;
+  // Edges live in a SlotPool so edges_from()/services_of() can hand out
+  // pointers that — like the old node-based map's — survive unrelated
+  // insertions; the FlatMap only resolves id -> slot. Every path query in
+  // the Figure 3 BFS probes this index, which is why it is open-addressing.
+  util::SlotPool<ServiceEdge> edge_pool_;
+  util::FlatMap<util::ServiceId, std::uint32_t> edge_index_;
   // adjacency: state -> service ids (kept sorted by insertion sequence).
   std::vector<std::vector<util::ServiceId>> out_;
   // secondary index: hosting peer -> service ids, so services_of() and
   // remove_peer() are proportional to the peer's own offerings instead of
   // a scan over every edge in the domain.
-  std::unordered_map<util::PeerId, std::vector<util::ServiceId>> by_peer_;
+  util::FlatMap<util::PeerId, std::vector<util::ServiceId>> by_peer_;
   std::uint64_t epoch_ = 0;
 };
 

@@ -52,15 +52,15 @@ void Topology::place_at(util::PeerId peer, Coordinates c) { coords_[peer] = c; }
 void Topology::remove(util::PeerId peer) { coords_.erase(peer); }
 
 bool Topology::contains(util::PeerId peer) const {
-  return coords_.count(peer) != 0;
+  return coords_.contains(peer);
 }
 
 Coordinates Topology::coordinates(util::PeerId peer) const {
-  const auto it = coords_.find(peer);
-  if (it == coords_.end()) {
+  const Coordinates* c = coords_.find(peer);
+  if (c == nullptr) {
     throw std::out_of_range("Topology: unknown peer " + util::to_string(peer));
   }
-  return it->second;
+  return *c;
 }
 
 util::SimDuration Topology::latency(util::PeerId a, util::PeerId b) const {

@@ -8,9 +8,9 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "util/flat_map.hpp"
 #include "util/ids.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
@@ -65,7 +65,18 @@ class Topology {
   // sooner, so shards may safely advance through windows of this width
   // (docs/PARALLELISM.md).
   [[nodiscard]] util::SimDuration min_latency() const {
-    double worst = config_.base_latency_s;
+    return latency_floor(0.0);
+  }
+
+  // Lower bound on the latency of any peer pair at least `min_distance`
+  // apart: the deterministic linear model evaluated at that distance,
+  // shrunk by the worst-case downward jitter. This is what turns a
+  // shard-to-shard bounding-box distance into a per-pair lookahead: two
+  // shards whose peers are far apart cannot exchange a message faster than
+  // this, so their conservative windows may be that much wider.
+  [[nodiscard]] util::SimDuration latency_floor(double min_distance) const {
+    double worst =
+        config_.base_latency_s + min_distance * config_.latency_per_unit_s;
     if (config_.jitter_fraction > 0.0) {
       worst *= 1.0 - std::min(config_.jitter_fraction, 1.0);
     }
@@ -77,7 +88,9 @@ class Topology {
   void ensure_clusters(util::Rng& rng);
 
   TopologyConfig config_;
-  std::unordered_map<util::PeerId, Coordinates> coords_;
+  // Open-addressing map: latency() sits on the message hot path (two
+  // lookups per send). Never iterated, so slot order is unobservable.
+  util::FlatMap<util::PeerId, Coordinates> coords_;
   std::vector<Coordinates> cluster_centers_;
 };
 

@@ -17,6 +17,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "util/arena.hpp"
+
 namespace p2prm::sim {
 
 class EventFn {
@@ -38,7 +40,10 @@ class EventFn {
       ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
       vt_ = inline_vt<Fn>();
     } else {
-      heap_ = new Fn(std::forward<F>(f));
+      // Spill path: size-classed pool instead of the global heap. The
+      // vtable is instantiated per Fn, so the destroy hook knows sizeof(Fn)
+      // and can return the block to its exact size class.
+      heap_ = util::pool_new<Fn>(std::forward<F>(f));
       vt_ = heap_vt<Fn>();
       heap_constructions_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -107,7 +112,7 @@ class EventFn {
           dst.heap_ = src.heap_;
           src.heap_ = nullptr;
         },
-        [](EventFn& self) { delete static_cast<Fn*>(self.heap_); }};
+        [](EventFn& self) { util::pool_delete(static_cast<Fn*>(self.heap_)); }};
     return &vt;
   }
 

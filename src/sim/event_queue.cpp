@@ -21,11 +21,27 @@ void EventQueue::push_with_id(util::SimTime when, EventId id, EventFn fn) {
   ++live_;
 }
 
+void EventQueue::push_bulk(std::vector<Popped>& batch) {
+  if (batch.empty()) return;
+  // make_heap is O(heap + batch); k sift-ups are O(k log heap). Heapify
+  // when the batch is a meaningful fraction of the heap.
+  const bool heapify = batch.size() >= heap_.size() / 8 + 8;
+  heap_.reserve(heap_.size() + batch.size());
+  for (auto& p : batch) {
+    if (p.id >= next_id_) next_id_ = p.id + 1;
+    heap_.push_back(Entry{p.when, p.id, std::move(p.fn)});
+    if (!heapify) std::push_heap(heap_.begin(), heap_.end(), later);
+  }
+  if (heapify) std::make_heap(heap_.begin(), heap_.end(), later);
+  live_ += batch.size();
+  batch.clear();
+}
+
 bool EventQueue::cancel(EventId id) {
   if (id >= next_id_) return false;
   // Only mark if it could still be pending; popped events are gone from the
   // heap, and double-cancel must not corrupt the live count.
-  if (cancelled_.insert(id).second) {
+  if (cancelled_.insert(id)) {
     // We cannot cheaply tell whether `id` was already popped; callers only
     // cancel ids they know are pending (timer handles), so decrement here.
     if (live_ == 0) return false;
@@ -48,7 +64,7 @@ std::size_t EventQueue::force_compact() {
 void EventQueue::compact() {
   const auto keep =
       std::remove_if(heap_.begin(), heap_.end(), [&](const Entry& e) {
-        return cancelled_.count(e.id) != 0;
+        return cancelled_.contains(e.id);
       });
   stats_.tombstones_compacted += static_cast<std::uint64_t>(heap_.end() - keep);
   heap_.erase(keep, heap_.end());
@@ -62,9 +78,7 @@ void EventQueue::compact() {
 
 void EventQueue::drop_cancelled_head() {
   while (!heap_.empty()) {
-    const auto it = cancelled_.find(heap_.front().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
+    if (!cancelled_.erase(heap_.front().id)) return;
     std::pop_heap(heap_.begin(), heap_.end(), later);
     heap_.pop_back();
   }

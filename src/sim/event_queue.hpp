@@ -12,11 +12,11 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_set>
 #include <vector>
 
 #include "obs/metrics_registry.hpp"
 #include "sim/event_fn.hpp"
+#include "util/flat_map.hpp"
 #include "util/time.hpp"
 
 namespace p2prm::sim {
@@ -62,6 +62,13 @@ class EventQueue {
   };
   Popped pop();
 
+  // Bulk insert of externally-id'd events — the parallel engine's mailbox
+  // merge. Large batches (relative to the heap) append and re-heapify in
+  // one O(n + k) pass instead of k sift-ups; either path yields the same
+  // heap *order* on pop because (time, id) is a total order. Consumes and
+  // clears `batch`.
+  void push_bulk(std::vector<Popped>& batch);
+
   [[nodiscard]] std::uint64_t total_scheduled() const { return next_id_; }
 
   // Cancelled-but-unpopped entries still occupying heap slots.
@@ -101,7 +108,7 @@ class EventQueue {
   void compact();
 
   std::vector<Entry> heap_;
-  std::unordered_set<EventId> cancelled_;
+  util::FlatSet<EventId> cancelled_;
   EventId next_id_ = 0;
   std::size_t live_ = 0;
   bool auto_compact_ = true;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <limits>
 #include <stdexcept>
 #include <string>
@@ -9,6 +10,17 @@
 #include "sim/simulator.hpp"
 
 namespace p2prm::sim {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 ParallelEngine::ParallelEngine(ParallelConfig config) : config_(config) {
   if (config_.threads < 1) {
@@ -20,8 +32,15 @@ ParallelEngine::ParallelEngine(ParallelConfig config) : config_(config) {
   const auto n = static_cast<std::size_t>(config_.threads);
   queues_ = std::vector<EventQueue>(n);
   counters_.resize(n);
+  timers_.resize(n);
   shard_now_.assign(n, util::kTimeZero);
   mailboxes_ = std::vector<Mailbox>(n * n);
+  pair_la_.assign(n * n, config_.lookahead);
+  window_ends_.assign(n, util::kTimeZero);
+  head_after_merge_.assign(n, util::kTimeInfinity);
+  merge_scratch_.resize(n);
+  load_ewma_.assign(n, 0.0);
+  prev_executed_.assign(n, 0);
   // Per-shard auto-compaction would fire on local occupancy, which depends
   // on the shard partition; the global trigger below fires on the same
   // occupancy a sequential run sees.
@@ -36,6 +55,24 @@ ParallelEngine::~ParallelEngine() {
   }
 }
 
+void ParallelEngine::set_pair_lookahead(
+    std::vector<util::SimDuration> matrix) {
+  const std::size_t n = shards();
+  if (matrix.size() != n * n) {
+    throw std::invalid_argument(
+        "ParallelEngine: pair lookahead matrix must be shards^2");
+  }
+  for (std::size_t src = 0; src < n; ++src) {
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      if (src != dst && matrix[src * n + dst] < 1) {
+        throw std::invalid_argument(
+            "ParallelEngine: off-diagonal lookahead must be positive");
+      }
+    }
+  }
+  pair_la_ = std::move(matrix);
+}
+
 // --- worker pool -----------------------------------------------------------
 
 void ParallelEngine::start_workers() {
@@ -45,40 +82,61 @@ void ParallelEngine::start_workers() {
   }
 }
 
-void ParallelEngine::dispatch(PoolTask task) {
-  std::unique_lock<std::mutex> lk(pool_mu_);
+void ParallelEngine::dispatch_async(PoolTask task) {
+  std::lock_guard<std::mutex> lk(pool_mu_);
+  assert(!pool_busy_);
   pool_task_ = task;
   pool_pending_ = static_cast<unsigned>(workers_.size());
   ++pool_gen_;
+  pool_busy_ = true;
   pool_cv_.notify_all();
+}
+
+void ParallelEngine::wait_pool() {
+  std::unique_lock<std::mutex> lk(pool_mu_);
+  if (!pool_busy_) return;
   done_cv_.wait(lk, [this] { return pool_pending_ == 0; });
   pool_task_ = PoolTask::None;
+  pool_busy_ = false;
   ++stats_.barriers;
+}
+
+void ParallelEngine::dispatch(PoolTask task) {
+  dispatch_async(task);
+  wait_pool();
 }
 
 void ParallelEngine::worker_main(ShardId shard) {
   std::uint64_t seen_gen = 0;
   for (;;) {
     PoolTask task;
-    util::SimTime window_end;
     {
+      const std::uint64_t w0 = now_ns();
       std::unique_lock<std::mutex> lk(pool_mu_);
       pool_cv_.wait(lk, [&] { return pool_gen_ != seen_gen; });
       seen_gen = pool_gen_;
       task = pool_task_;
-      window_end = pool_window_end_;
+      timers_[shard].barrier_wait_ns += now_ns() - w0;
     }
     // Outside the lock: each branch touches only this shard's queue,
-    // counters, mailbox row, and clock — the dispatch/done rendezvous is
-    // the only synchronization the window protocol needs.
+    // counters, timers, mailbox row (execute) / column (flush), and clock —
+    // the dispatch/done rendezvous is the only synchronization the window
+    // protocol needs.
     if (task == PoolTask::RunWindow) {
+      const std::uint64_t t0 = now_ns();
       auto& q = queues_[shard];
-      while (q.next_time() < window_end) {
+      const util::SimTime end = window_ends_[shard];
+      while (q.next_time() < end) {
         auto ev = q.pop();
         shard_now_[shard] = ev.when;
         ev.fn();
         ++counters_[shard].executed;
       }
+      timers_[shard].execute_ns += now_ns() - t0;
+    } else if (task == PoolTask::MergeInbox) {
+      const std::uint64_t t0 = now_ns();
+      merge_inbox(shard);
+      timers_[shard].mailbox_flush_ns += now_ns() - t0;
     } else if (task == PoolTask::Compact) {
       queues_[shard].force_compact();
       ++counters_[shard].compactions;
@@ -98,26 +156,23 @@ EventId ParallelEngine::schedule_global(ShardId shard, util::SimTime when,
   assert(shard < shards());
   const EventId id = next_id_++;
   queues_[shard].push_with_id(when, id, std::move(fn));
-  owner_.emplace(id, shard);
-  pending_when_.emplace(id, when);
+  pending_.try_emplace(id, Pending{shard, when});
   ++mirror_live_;
   ++counters_[shard].scheduled;
   return id;
 }
 
 bool ParallelEngine::cancel_global(EventId id) {
-  const auto it = owner_.find(id);
   // Already executed (or never scheduled): the sequential queue's callers
   // only ever cancel ids they know are pending, so "not found" is the same
   // answer both engines give in practice.
-  if (it == owner_.end()) return false;
-  const ShardId shard = it->second;
+  const Pending* p = pending_.find(id);
+  if (p == nullptr) return false;
+  const ShardId shard = p->shard;
+  const util::SimTime when = p->when;
   if (!queues_[shard].cancel(id)) return false;
-  owner_.erase(it);
-  const auto wit = pending_when_.find(id);
-  assert(wit != pending_when_.end());
-  cancelled_keys_.push(CancelKey{wit->second, id});
-  pending_when_.erase(wit);
+  pending_.erase(id);
+  cancelled_keys_.push(CancelKey{when, id});
   --mirror_live_;
   ++mirror_tombstones_;
   maybe_global_compact();
@@ -150,9 +205,29 @@ void ParallelEngine::maybe_global_compact() {
   cancelled_keys_ = {};
 }
 
+void ParallelEngine::note_window() {
+  const double a = config_.load_ewma_alpha;
+  for (ShardId s = 0; s < shards(); ++s) {
+    const std::uint64_t ex = counters_[s].executed;
+    const auto delta = static_cast<double>(ex - prev_executed_[s]);
+    prev_executed_[s] = ex;
+    load_ewma_[s] = a * delta + (1.0 - a) * load_ewma_[s];
+  }
+  if (config_.rebalance_interval_windows == 0 || !rebalance_hook_) return;
+  if (++windows_since_rebalance_ < config_.rebalance_interval_windows) return;
+  windows_since_rebalance_ = 0;
+  ++stats_.rebalances;
+  // The hook runs on the coordinator between windows (ShardConcurrent: at
+  // the flush barrier; OrderedCommit: between two committed events). It
+  // migrates routing and refreshes the lookahead matrix but never touches
+  // the queues, so it cannot perturb the commit order.
+  rebalance_hook_(load_ewma_);
+}
+
 std::uint64_t ParallelEngine::ordered_run(util::SimTime until,
                                           std::uint64_t max_events) {
   assert(sim_ != nullptr);
+  const std::uint64_t t0 = now_ns();
   sim_->stop_requested_ = false;
   std::uint64_t n = 0;
   while (n < max_events && !sim_->stop_requested_) {
@@ -181,12 +256,12 @@ std::uint64_t ParallelEngine::ordered_run(util::SimTime until,
     mirror_prune_before(best.when, best.id);
     if (best.when > until) break;
     auto ev = queues_[best_shard].pop();
-    owner_.erase(ev.id);
-    pending_when_.erase(ev.id);
+    pending_.erase(ev.id);
     --mirror_live_;
     if (ev.when >= window_end_) {
       window_end_ = ev.when + config_.lookahead;
       ++stats_.windows;
+      note_window();
     }
     current_shard_ = best_shard;
     sim_->now_ = ev.when;
@@ -196,6 +271,7 @@ std::uint64_t ParallelEngine::ordered_run(util::SimTime until,
     ++sim_->executed_;
     ++counters_[best_shard].executed;
   }
+  stats_.commit_drain_ns += now_ns() - t0;
   return n;
 }
 
@@ -258,41 +334,93 @@ void ParallelEngine::post(ShardId from, ShardId to, util::SimTime when,
   ++counters_[from].posts_out;
 }
 
-void ParallelEngine::merge_mailboxes() {
-  // Fixed (src, dst, seq) order: each mailbox is appended in seq order by
-  // its single writer, and the src-major sweep below never depends on which
-  // worker finished its window first.
+void ParallelEngine::merge_inbox(ShardId dst) {
+  // Fixed (src, seq) order: each mailbox is appended in seq order by its
+  // single writer during the execute phase, and this column sweep runs
+  // src-major regardless of which worker finished its window first — the
+  // merged sequence (and the per-queue ids it is assigned) is a pure
+  // function of the seed. Ids continue the destination queue's own
+  // sequence, exactly as repeated push() calls would assign them.
+  auto& q = queues_[dst];
+  auto& batch = merge_scratch_[dst];
+  auto& c = counters_[dst];
+  const util::SimTime end = window_ends_[dst];
+  auto id = static_cast<EventId>(q.total_scheduled());
   for (ShardId src = 0; src < shards(); ++src) {
-    for (ShardId dst = 0; dst < shards(); ++dst) {
-      auto& mb = mailboxes_[static_cast<std::size_t>(src) * shards() + dst];
-      for (auto& m : mb.staged) {
-        if (m.when < pool_window_end_) ++stats_.lookahead_violations;
-        queues_[dst].push(m.when, std::move(m.fn));
-        ++counters_[dst].scheduled;
-        ++counters_[dst].posts_in;
-        ++stats_.cross_shard_messages;
-        ++stats_.merged_messages;
-      }
-      mb.staged.clear();
+    auto& mb = mailboxes_[static_cast<std::size_t>(src) * shards() + dst];
+    for (auto& m : mb.staged) {
+      if (m.when < end) ++c.lookahead_violations;
+      batch.push_back(EventQueue::Popped{m.when, id++, std::move(m.fn)});
+      ++c.scheduled;
+      ++c.posts_in;
     }
+    mb.staged.clear();
   }
+  q.push_bulk(batch);
+  head_after_merge_[dst] = q.next_time();
+}
+
+util::SimTime ParallelEngine::plan_windows(
+    const std::vector<util::SimTime>& next, util::SimTime until) {
+  util::SimTime global = util::kTimeInfinity;
+  for (const auto t : next) global = std::min(global, t);
+  if (global == util::kTimeInfinity || global > until) return global;
+  const ShardId n = shards();
+  for (ShardId w = 0; w < n; ++w) {
+    // end[w] = min over src != w of (next[src] + L(src, w)): nothing src
+    // executes this window can reach w earlier, so w may safely run every
+    // event before end[w]. Shards with empty queues execute nothing and
+    // impose no bound. The argmin shard always satisfies
+    // end[argmin] > global, so every window makes progress.
+    util::SimTime end = util::kTimeInfinity;
+    for (ShardId src = 0; src < n; ++src) {
+      if (src == w || next[src] == util::kTimeInfinity) continue;
+      end = std::min(end,
+                     next[src] + pair_la_[static_cast<std::size_t>(src) * n + w]);
+    }
+    // Half-open windows [.., end): events at exactly `until` still run.
+    if (until != util::kTimeInfinity &&
+        (end == util::kTimeInfinity || end > until)) {
+      end = until + 1;
+    }
+    window_ends_[w] = end;
+  }
+  return global;
 }
 
 std::uint64_t ParallelEngine::run_windows_until(util::SimTime until) {
   std::uint64_t before = 0;
   for (const auto& c : counters_) before += c.executed;
+  std::vector<util::SimTime> next(shards());
+  for (ShardId s = 0; s < shards(); ++s) next[s] = queues_[s].next_time();
   for (;;) {
-    util::SimTime next = util::kTimeInfinity;
-    for (auto& q : queues_) next = std::min(next, q.next_time());
-    if (next == util::kTimeInfinity || next > until) break;
-    // Half-open window [next, end): events at exactly `until` still run.
-    util::SimTime end = next + config_.lookahead;
-    if (until != util::kTimeInfinity && end > until) end = until + 1;
-    pool_window_end_ = end;
-    window_end_ = end;
+    std::uint64_t t0 = now_ns();
+    const util::SimTime global = plan_windows(next, until);
+    stats_.window_plan_ns += now_ns() - t0;
+    if (global == util::kTimeInfinity || global > until) break;
     ++stats_.windows;
+    // Execute phase: every worker drains its own window concurrently.
     dispatch(PoolTask::RunWindow);
-    merge_mailboxes();
+    // Flush phase, pipelined: destination workers drain their mailbox
+    // columns while the coordinator folds the window's load sample, runs
+    // the rebalance hook on its interval, and prepares the next plan.
+    dispatch_async(PoolTask::MergeInbox);
+    t0 = now_ns();
+    note_window();
+    stats_.window_plan_ns += now_ns() - t0;
+    wait_pool();
+    // Fold the per-shard merge tallies into the engine aggregates (each is
+    // cumulative and single-writer, so a sum after the barrier is exact).
+    std::uint64_t posts_in = 0;
+    std::uint64_t violations = 0;
+    for (const auto& c : counters_) {
+      posts_in += c.posts_in;
+      violations += c.lookahead_violations;
+    }
+    stats_.cross_shard_messages = posts_in;
+    stats_.merged_messages = posts_in;
+    stats_.lookahead_violations = violations;
+    for (ShardId s = 0; s < shards(); ++s) next[s] = head_after_merge_[s];
   }
   std::uint64_t after = 0;
   for (const auto& c : counters_) after += c.executed;
@@ -340,6 +468,23 @@ void ParallelEngine::publish(obs::MetricsRegistry& registry,
       .set(stats_.merged_messages);
   registry.counter("sim.parallel.lookahead_violations", labels)
       .set(stats_.lookahead_violations);
+  registry.counter("sim.parallel.rebalances", labels).set(stats_.rebalances);
+  // Stage timing breakdown (wall-clock ns; nondeterministic — never part of
+  // a compared snapshot). Totals across workers plus the coordinator rows.
+  std::uint64_t execute_ns = 0, flush_ns = 0, wait_ns = 0;
+  for (ShardId s = 0; s < shards(); ++s) {
+    execute_ns += timers_[s].execute_ns;
+    flush_ns += timers_[s].mailbox_flush_ns;
+    wait_ns += timers_[s].barrier_wait_ns;
+  }
+  registry.counter("sim.parallel.stage.execute_ns", labels).set(execute_ns);
+  registry.counter("sim.parallel.stage.mailbox_flush_ns", labels)
+      .set(flush_ns);
+  registry.counter("sim.parallel.stage.barrier_wait_ns", labels).set(wait_ns);
+  registry.counter("sim.parallel.stage.commit_drain_ns", labels)
+      .set(stats_.commit_drain_ns);
+  registry.counter("sim.parallel.stage.window_plan_ns", labels)
+      .set(stats_.window_plan_ns);
   for (ShardId s = 0; s < shards(); ++s) {
     obs::Labels shard_labels = labels;
     shard_labels.emplace_back("shard", std::to_string(s));
@@ -354,6 +499,8 @@ void ParallelEngine::publish(obs::MetricsRegistry& registry,
         .set(c.posts_in);
     registry.counter("sim.parallel.shard.compactions", shard_labels)
         .set(c.compactions);
+    registry.gauge("sim.parallel.shard.load_ewma", shard_labels)
+        .set(load_ewma_[s]);
   }
 }
 

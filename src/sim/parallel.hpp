@@ -1,13 +1,37 @@
 // Conservative parallel discrete-event engine (docs/PARALLELISM.md).
 //
 // Peers are partitioned by domain onto N shards, each owning its own
-// EventQueue, and time advances in conservative windows bounded by the
-// minimum cross-shard network latency (the lookahead): no event executed
-// inside a window can schedule work for another shard earlier than the
-// window's end, so shards never need to roll back. Cross-shard messages are
-// staged into per-(src, dst) sequence-ordered mailboxes and merged at
-// window barriers in fixed (src, dst, seq) order — the merge result is a
-// pure function of the seed, never of worker completion order.
+// EventQueue, and time advances in conservative windows: no event executed
+// inside a window can schedule work for another shard earlier than that
+// shard's window end, so shards never need to roll back. Windows are
+// *per-shard* and *per-pair*: shard w may run up to
+//
+//   end[w] = min over src != w of (next_time(src) + L(src, w))
+//
+// where L(src, w) is a lower bound on the delay of any src -> w message.
+// By default every L is the global minimum cross-shard latency
+// (ParallelConfig::lookahead); set_pair_lookahead() installs a full
+// (src, dst) matrix derived from the topology (core::System computes it
+// from per-shard coordinate bounding boxes), which widens windows wherever
+// shard pairs are far apart — distant shards constrain each other weakly.
+//
+// Cross-shard messages are staged into per-(src, dst) sequence-ordered
+// mailboxes. At the window barrier each *destination* worker drains its own
+// mailbox column in fixed (src, seq) order and bulk-appends into its queue
+// (EventQueue::push_bulk), so the flush is parallel and batched while the
+// merge result stays a pure function of the seed, never of worker
+// completion order. The coordinator overlaps that flush with its own
+// commit-stage work — stats folding, the load EWMA, the rebalance hook,
+// next-window planning — via a split dispatch (dispatch_async/wait_pool).
+//
+// Load balance: the engine keeps an EWMA of events-executed-per-window per
+// shard and, every ParallelConfig::rebalance_interval_windows windows,
+// hands it to a rebalance hook at a barrier. The hook (core::System)
+// migrates hot domains to cool shards by changing the routing table and
+// refreshes the lookahead matrix; it schedules nothing. Under
+// OrderedCommit, commit order is the global (time, id) order — independent
+// of which queue an event sits in — so rebalancing is byte-neutral there
+// by construction (tests/parallel_test.cpp proves it differentially).
 //
 // Two execution strategies share the window machinery:
 //
@@ -35,6 +59,12 @@
 // triggered on global occupancy with the exact sequential rule — so a
 // metrics snapshot of a parallel run is byte-identical to the sequential
 // snapshot, not merely equivalent.
+//
+// Per-stage wall-clock timers (execute, mailbox flush, barrier wait, commit
+// drain, window planning) are sampled with steady_clock and published only
+// through ParallelEngine::publish (sim.parallel.stage.*), which is
+// deliberately outside metrics::publish_all — they are nondeterministic and
+// must never reach a compared snapshot or an invariant.
 #pragma once
 
 #include <condition_variable>
@@ -44,11 +74,11 @@
 #include <mutex>
 #include <queue>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include "obs/metrics_registry.hpp"
 #include "sim/event_queue.hpp"
+#include "util/flat_map.hpp"
 #include "util/time.hpp"
 
 namespace p2prm::sim {
@@ -65,18 +95,39 @@ struct ParallelConfig {
   unsigned threads = 2;
   // Conservative window width: a lower bound on every cross-shard event
   // delay. core::System derives it from the topology's base latency floor.
+  // set_pair_lookahead() refines it per (src, dst) pair.
   util::SimDuration lookahead = util::milliseconds(1);
   ParallelMode mode = ParallelMode::OrderedCommit;
+  // Invoke the rebalance hook every this many windows (0 = never). The
+  // hook itself is installed with set_rebalance_hook().
+  std::uint64_t rebalance_interval_windows = 0;
+  // Smoothing for the per-shard events-per-window EWMA feeding the hook.
+  double load_ewma_alpha = 0.25;
 };
 
 // Deterministic per-shard counters (published as sim.parallel.* with a
-// {"shard": N} label; see docs/PARALLELISM.md).
-struct ShardCounters {
+// {"shard": N} label; see docs/PARALLELISM.md). Cache-line aligned: in
+// ShardConcurrent mode each shard's worker increments its own entry inside
+// the window loop.
+struct alignas(64) ShardCounters {
   std::uint64_t executed = 0;   // events run on (OrderedCommit: for) this shard
   std::uint64_t scheduled = 0;  // events enqueued into this shard's queue
   std::uint64_t posts_out = 0;  // cross-shard messages staged from this shard
   std::uint64_t posts_in = 0;   // cross-shard messages merged into this shard
   std::uint64_t compactions = 0;  // force-compact passes run on this shard
+  // post()s merged into this shard whose delivery time fell inside the
+  // shard's window — violations of the conservative contract (delivered
+  // anyway, but counted; folded into ParallelEngineStats at each barrier).
+  std::uint64_t lookahead_violations = 0;
+};
+
+// Wall-clock nanoseconds per pipeline stage, one row per shard worker plus
+// a coordinator row inside ParallelEngineStats. Nondeterministic by nature;
+// exported only via publish() for bottleneck visibility.
+struct alignas(64) ShardStageTimers {
+  std::uint64_t execute_ns = 0;       // window execution (ShardConcurrent)
+  std::uint64_t mailbox_flush_ns = 0; // inbound mailbox merge
+  std::uint64_t barrier_wait_ns = 0;  // idle at the dispatch rendezvous
 };
 
 struct ParallelEngineStats {
@@ -84,7 +135,7 @@ struct ParallelEngineStats {
   std::uint64_t barriers = 0;  // physical worker-pool rendezvous
   std::uint64_t cross_shard_messages = 0;
   std::uint64_t merged_messages = 0;  // delivered through mailbox merges
-  // post()s whose delivery time fell inside the posting window — a
+  // post()s whose delivery time fell inside the destination's window — a
   // violation of the conservative lookahead contract (delivered anyway,
   // but counted; the sim_test suite asserts this stays zero for well-formed
   // workloads).
@@ -93,6 +144,12 @@ struct ParallelEngineStats {
   // removed by them; mirrors EventQueueStats of a sequential run.
   std::uint64_t compactions = 0;
   std::uint64_t tombstones_compacted = 0;
+  // Times the rebalance hook ran.
+  std::uint64_t rebalances = 0;
+  // Coordinator-side stage timers (wall-clock ns; see header comment).
+  std::uint64_t commit_drain_ns = 0;  // OrderedCommit ordered_run loop
+  std::uint64_t window_plan_ns = 0;   // ShardConcurrent window planning +
+                                      // stats fold overlapped with flushes
 };
 
 // Handle for shard-confined cancellation in ShardConcurrent mode.
@@ -116,6 +173,29 @@ class ParallelEngine {
     return static_cast<ShardId>(queues_.size());
   }
 
+  // --- adaptive lookahead / rebalancing ------------------------------------
+  // Installs a shards()^2 row-major matrix of per-(src, dst) delay lower
+  // bounds; entry [src * shards() + dst] bounds any src -> dst message
+  // delay from below. Diagonal entries are ignored (a shard never
+  // constrains itself). Every off-diagonal entry must be >= 1 tick. Safe to
+  // call between windows (the rebalance hook does).
+  void set_pair_lookahead(std::vector<util::SimDuration> matrix);
+  [[nodiscard]] util::SimDuration pair_lookahead(ShardId src,
+                                                 ShardId dst) const {
+    return pair_la_[static_cast<std::size_t>(src) * shards() + dst];
+  }
+
+  // Hook invoked at a barrier every config.rebalance_interval_windows
+  // windows with the per-shard events-per-window EWMA. The hook may adjust
+  // routing (outside the engine) and call set_pair_lookahead; it must not
+  // schedule, cancel, or post.
+  void set_rebalance_hook(std::function<void(const std::vector<double>&)> h) {
+    rebalance_hook_ = std::move(h);
+  }
+  [[nodiscard]] const std::vector<double>& shard_load_ewma() const {
+    return load_ewma_;
+  }
+
   // --- OrderedCommit API (driven through Simulator) -------------------------
   // Binds the Simulator whose clock/stop-flag this engine drives.
   void bind(Simulator& sim) { sim_ = &sim; }
@@ -137,8 +217,8 @@ class ParallelEngine {
   ShardEvent schedule(ShardId shard, util::SimTime when, EventFn fn);
   bool cancel(ShardEvent handle);
   // Stages a cross-shard event; delivered via the next barrier merge. The
-  // conservative contract requires `when` to be at or past the current
-  // window's end (violations are counted, not dropped).
+  // conservative contract requires `when` to be at or past the
+  // destination's window end (violations are counted, not dropped).
   void post(ShardId from, ShardId to, util::SimTime when, EventFn fn);
   // Clock of one shard as of its last executed event.
   [[nodiscard]] util::SimTime shard_now(ShardId shard) const {
@@ -152,6 +232,10 @@ class ParallelEngine {
   [[nodiscard]] const ParallelEngineStats& stats() const { return stats_; }
   [[nodiscard]] const ShardCounters& shard_counters(ShardId shard) const {
     return counters_[shard];
+  }
+  [[nodiscard]] const ShardStageTimers& shard_stage_timers(
+      ShardId shard) const {
+    return timers_[shard];
   }
   // Total pending events / tombstones, mirroring the sequential queue's
   // accounting (see mirror_* members).
@@ -169,9 +253,10 @@ class ParallelEngine {
   // same seed publishes (Simulator::publish_queue routes here).
   void publish_queue_mirror(obs::MetricsRegistry& registry,
                             obs::Labels labels = {}) const;
-  // sim.parallel.* engine counters plus per-shard series. Deliberately NOT
-  // part of metrics::publish_all: the v1/v2 snapshots must stay
-  // byte-identical between engines.
+  // sim.parallel.* engine counters, per-shard series, and the stage timing
+  // breakdown. Deliberately NOT part of metrics::publish_all: the v1/v2
+  // snapshots must stay byte-identical between engines, and the stage
+  // timers are wall-clock.
   void publish(obs::MetricsRegistry& registry, obs::Labels labels = {}) const;
 
  private:
@@ -180,20 +265,39 @@ class ParallelEngine {
     util::SimTime when;
     EventFn fn;
   };
-  // One mailbox per (src, dst) pair; only shard `src`'s worker appends, and
-  // only the coordinator drains (after a barrier), so no slot is ever
-  // touched by two threads without a happens-before edge.
+  // One mailbox per (src, dst) pair; only shard `src`'s worker appends
+  // (during its window), and only shard `dst`'s worker drains (during the
+  // flush phase) — the two phases are separated by a barrier, so no slot is
+  // ever touched by two threads without a happens-before edge.
   struct Mailbox {
     std::vector<Staged> staged;
     std::uint64_t next_seq = 0;
   };
 
-  enum class PoolTask { None, RunWindow, Compact, Exit };
+  enum class PoolTask { None, RunWindow, MergeInbox, Compact, Exit };
 
   void start_workers();
   void worker_main(ShardId shard);
-  // Runs `task` on every shard via the worker pool and waits for all.
+  // Runs `task` on every shard via the worker pool. dispatch() waits;
+  // dispatch_async() returns immediately and the coordinator overlaps its
+  // own work until wait_pool().
   void dispatch(PoolTask task);
+  void dispatch_async(PoolTask task);
+  void wait_pool();
+
+  // Drains the inbound mailbox column of `dst` in (src, seq) order into its
+  // queue (bulk append). Runs on dst's worker under PoolTask::MergeInbox.
+  void merge_inbox(ShardId dst);
+
+  // Computes per-shard window ends from shard head times and the pair
+  // matrix; returns the global minimum head time (kTimeInfinity when all
+  // queues are empty). `next` must hold shards() entries.
+  util::SimTime plan_windows(const std::vector<util::SimTime>& next,
+                             util::SimTime until);
+
+  // Folds per-window executed deltas into the EWMA and fires the rebalance
+  // hook on its interval. Called once per window by both strategies.
+  void note_window();
 
   // Mirrors the sequential queue's lazy head-pruning: before executing the
   // global-min live event `head`, every cancelled-but-unpopped entry that
@@ -204,7 +308,6 @@ class ParallelEngine {
   // fires, fans the physical per-shard compaction out to the worker pool.
   void maybe_global_compact();
 
-  void merge_mailboxes();
   std::uint64_t ordered_run(util::SimTime until, std::uint64_t max_events);
 
   ParallelConfig config_;
@@ -212,14 +315,29 @@ class ParallelEngine {
 
   std::vector<EventQueue> queues_;
   std::vector<ShardCounters> counters_;
+  std::vector<ShardStageTimers> timers_;
   std::vector<util::SimTime> shard_now_;
   std::vector<Mailbox> mailboxes_;  // [src * shards + dst]
+  std::vector<util::SimDuration> pair_la_;    // [src * shards + dst]
+  std::vector<util::SimTime> window_ends_;    // per-shard, set by coordinator
+  std::vector<util::SimTime> head_after_merge_;  // published by dst workers
+  std::vector<std::vector<EventQueue::Popped>> merge_scratch_;  // per dst
 
-  // OrderedCommit id plumbing: global id counter, id -> shard routing, and
-  // the (when, id) min-heap of still-pending cancelled entries that backs
-  // the sequential-counter mirror.
+  // Rebalancing state (coordinator-only).
+  std::function<void(const std::vector<double>&)> rebalance_hook_;
+  std::vector<double> load_ewma_;
+  std::vector<std::uint64_t> prev_executed_;
+  std::uint64_t windows_since_rebalance_ = 0;
+
+  // OrderedCommit id plumbing: global id counter, id -> (shard, when)
+  // routing, and the (when, id) min-heap of still-pending cancelled entries
+  // that backs the sequential-counter mirror.
   EventId next_id_ = 0;
-  std::unordered_map<EventId, ShardId> owner_;
+  struct Pending {
+    ShardId shard = 0;
+    util::SimTime when = 0;
+  };
+  util::FlatMap<EventId, Pending> pending_;
   struct CancelKey {
     util::SimTime when;
     EventId id;
@@ -230,7 +348,6 @@ class ParallelEngine {
   };
   std::priority_queue<CancelKey, std::vector<CancelKey>, std::greater<>>
       cancelled_keys_;
-  std::unordered_map<EventId, util::SimTime> pending_when_;
   std::size_t mirror_live_ = 0;
   std::size_t mirror_tombstones_ = 0;
 
@@ -246,8 +363,7 @@ class ParallelEngine {
   std::uint64_t pool_gen_ = 0;
   unsigned pool_pending_ = 0;
   PoolTask pool_task_ = PoolTask::None;
-  util::SimTime pool_window_end_ = 0;
-  std::uint64_t concurrent_executed_ = 0;  // guarded by pool_mu_ during merge
+  bool pool_busy_ = false;  // a dispatch_async has not been waited yet
 };
 
 }  // namespace p2prm::sim

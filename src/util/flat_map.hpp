@@ -1,0 +1,356 @@
+// Open-addressing hash containers for the control-plane hot paths.
+//
+// `std::unordered_map` pays one heap node per element and a pointer chase
+// per probe; the simulator's hottest lookups (event-id routing, cancelled-id
+// checks, object/service/coordinate tables) are all small-key -> small-value
+// maps that want contiguous storage. FlatMap/FlatSet store keys, values and
+// occupancy flags in three parallel vectors (struct-of-arrays), probe
+// linearly from a splitmix64-mixed bucket, and erase by backward-shift so
+// there are no tombstones to skip on the next lookup.
+//
+// Semantics differences from std::unordered_map callers must respect:
+//  * references/pointers into the table are invalidated by insertion
+//    (rehash) and erasure (backward shift) — do not hold them across
+//    mutations;
+//  * iteration order is slot order: deterministic for a fixed insertion
+//    sequence (same keys, same order -> same layout on every run and
+//    platform), but not insertion order — iterate-then-sort, or keep a
+//    side order vector, where ordering is observable;
+//  * erasing while iterating is not supported — collect keys first.
+//
+// Keys are hashed with the same splitmix64 finalizer std::hash<StrongId>
+// uses, so sequential ids spread uniformly.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace p2prm::util {
+
+namespace detail {
+
+inline std::uint64_t mix_u64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+// Extracts the 64-bit payload of either a raw integer or a util::StrongId
+// (anything with a .value() returning an integral).
+template <typename K>
+std::uint64_t key_bits(const K& k) {
+  if constexpr (std::is_integral_v<K>) {
+    return static_cast<std::uint64_t>(k);
+  } else {
+    return static_cast<std::uint64_t>(k.value());
+  }
+}
+
+}  // namespace detail
+
+// FlatMap<K, V>: open-addressing, linear-probing hash map. K must be an
+// integral type or a StrongId; V must be default-constructible and
+// move-assignable.
+template <typename K, typename V>
+class FlatMap {
+ public:
+  FlatMap() = default;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  void clear() {
+    keys_.clear();
+    values_.clear();
+    used_.clear();
+    size_ = 0;
+  }
+
+  void reserve(std::size_t n) {
+    // Grow so that n elements stay under the 7/8 load ceiling.
+    std::size_t cap = kMinCapacity;
+    while (cap - cap / 8 < n) cap <<= 1;
+    if (cap > capacity()) rehash(cap);
+  }
+
+  // Pointer to the mapped value, or nullptr. Invalidated by mutation.
+  [[nodiscard]] V* find(const K& key) {
+    if (size_ == 0) return nullptr;
+    const std::size_t i = find_slot(key);
+    return i != kNone ? &values_[i] : nullptr;
+  }
+  [[nodiscard]] const V* find(const K& key) const {
+    if (size_ == 0) return nullptr;
+    const std::size_t i = find_slot(key);
+    return i != kNone ? &values_[i] : nullptr;
+  }
+  [[nodiscard]] bool contains(const K& key) const {
+    return size_ != 0 && find_slot(key) != kNone;
+  }
+
+  V& operator[](const K& key) {
+    maybe_grow();
+    const std::size_t i = insert_slot(key);
+    if (!used_[i]) {
+      used_[i] = 1;
+      keys_[i] = key;
+      values_[i] = V{};
+      ++size_;
+    }
+    return values_[i];
+  }
+
+  // Returns (value pointer, inserted?). Existing entries are left untouched.
+  std::pair<V*, bool> try_emplace(const K& key, V value = V{}) {
+    maybe_grow();
+    const std::size_t i = insert_slot(key);
+    if (used_[i]) return {&values_[i], false};
+    used_[i] = 1;
+    keys_[i] = key;
+    values_[i] = std::move(value);
+    ++size_;
+    return {&values_[i], true};
+  }
+
+  void insert_or_assign(const K& key, V value) {
+    auto [slot, inserted] = try_emplace(key, std::move(value));
+    if (!inserted) *slot = std::move(value);
+  }
+
+  // True when the key was present. Backward-shift deletion: no tombstones.
+  bool erase(const K& key) {
+    if (size_ == 0) return false;
+    std::size_t i = find_slot(key);
+    if (i == kNone) return false;
+    const std::size_t mask = capacity() - 1;
+    std::size_t hole = i;
+    std::size_t j = i;
+    for (;;) {
+      j = (j + 1) & mask;
+      if (!used_[j]) break;
+      const std::size_t ideal = bucket_of(keys_[j]);
+      // keys_[j] may fill the hole iff its ideal bucket is not cyclically
+      // inside (hole, j] — i.e. the probe from `ideal` passes through the
+      // hole on its way to j.
+      const bool movable = (j > hole) ? (ideal <= hole || ideal > j)
+                                      : (ideal <= hole && ideal > j);
+      if (movable) {
+        keys_[hole] = keys_[j];
+        values_[hole] = std::move(values_[j]);
+        hole = j;
+      }
+    }
+    used_[hole] = 0;
+    values_[hole] = V{};  // release owned resources eagerly
+    --size_;
+    return true;
+  }
+
+  // Calls fn(const K&, V&) (or const V& in the const overload) for every
+  // entry, in slot order. Do not mutate the table from fn.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (std::size_t i = 0; i < capacity(); ++i) {
+      if (used_[i]) fn(keys_[i], values_[i]);
+    }
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < capacity(); ++i) {
+      if (used_[i]) fn(keys_[i], values_[i]);
+    }
+  }
+
+  // Probe length the key currently needs (1 = home slot). 0 when absent.
+  // Deterministic given the insertion sequence; the bench_micro map
+  // benchmark reports the mean as its structural work counter.
+  [[nodiscard]] std::size_t probe_length(const K& key) const {
+    if (size_ == 0) return 0;
+    const std::size_t mask = capacity() - 1;
+    std::size_t i = bucket_of(key);
+    for (std::size_t n = 1; n <= capacity(); ++n) {
+      if (!used_[i]) return 0;
+      if (keys_[i] == key) return n;
+      i = (i + 1) & mask;
+    }
+    return 0;
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 8;
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] std::size_t capacity() const { return used_.size(); }
+
+  [[nodiscard]] std::size_t bucket_of(const K& key) const {
+    return static_cast<std::size_t>(detail::mix_u64(detail::key_bits(key))) &
+           (capacity() - 1);
+  }
+
+  // Slot holding `key`, or kNone.
+  [[nodiscard]] std::size_t find_slot(const K& key) const {
+    const std::size_t mask = capacity() - 1;
+    std::size_t i = bucket_of(key);
+    for (;;) {
+      if (!used_[i]) return kNone;
+      if (keys_[i] == key) return i;
+      i = (i + 1) & mask;
+    }
+  }
+
+  // First slot where `key` lives or may be inserted (capacity must allow).
+  [[nodiscard]] std::size_t insert_slot(const K& key) const {
+    const std::size_t mask = capacity() - 1;
+    std::size_t i = bucket_of(key);
+    for (;;) {
+      if (!used_[i] || keys_[i] == key) return i;
+      i = (i + 1) & mask;
+    }
+  }
+
+  void maybe_grow() {
+    if (capacity() == 0) {
+      rehash(kMinCapacity);
+    } else if (size_ + 1 > capacity() - capacity() / 8) {
+      rehash(capacity() * 2);
+    }
+  }
+
+  void rehash(std::size_t new_cap) {
+    std::vector<K> old_keys = std::move(keys_);
+    std::vector<V> old_values = std::move(values_);
+    std::vector<std::uint8_t> old_used = std::move(used_);
+    keys_.assign(new_cap, K{});
+    values_.assign(new_cap, V{});
+    used_.assign(new_cap, 0);
+    const std::size_t n = size_;
+    size_ = 0;
+    for (std::size_t i = 0; i < old_used.size(); ++i) {
+      if (!old_used[i]) continue;
+      const std::size_t slot = insert_slot(old_keys[i]);
+      assert(!used_[slot]);
+      used_[slot] = 1;
+      keys_[slot] = old_keys[i];
+      values_[slot] = std::move(old_values[i]);
+      ++size_;
+    }
+    assert(size_ == n);
+    (void)n;
+  }
+
+  std::vector<K> keys_;
+  std::vector<V> values_;
+  std::vector<std::uint8_t> used_;
+  std::size_t size_ = 0;
+};
+
+// FlatSet<K>: the key-only twin, used where unordered_set of ids sits on a
+// hot path (EventQueue's cancelled-id table).
+template <typename K>
+class FlatSet {
+ public:
+  FlatSet() = default;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  void clear() {
+    keys_.clear();
+    used_.clear();
+    size_ = 0;
+  }
+
+  [[nodiscard]] bool contains(const K& key) const {
+    if (size_ == 0) return false;
+    const std::size_t mask = capacity() - 1;
+    std::size_t i = bucket_of(key);
+    for (;;) {
+      if (!used_[i]) return false;
+      if (keys_[i] == key) return true;
+      i = (i + 1) & mask;
+    }
+  }
+
+  // True when newly inserted (mirrors unordered_set::insert().second).
+  bool insert(const K& key) {
+    maybe_grow();
+    const std::size_t mask = capacity() - 1;
+    std::size_t i = bucket_of(key);
+    for (;;) {
+      if (!used_[i]) break;
+      if (keys_[i] == key) return false;
+      i = (i + 1) & mask;
+    }
+    used_[i] = 1;
+    keys_[i] = key;
+    ++size_;
+    return true;
+  }
+
+  bool erase(const K& key) {
+    if (size_ == 0) return false;
+    const std::size_t mask = capacity() - 1;
+    std::size_t hole = bucket_of(key);
+    for (;;) {
+      if (!used_[hole]) return false;
+      if (keys_[hole] == key) break;
+      hole = (hole + 1) & mask;
+    }
+    std::size_t j = hole;
+    for (;;) {
+      j = (j + 1) & mask;
+      if (!used_[j]) break;
+      const std::size_t ideal = bucket_of(keys_[j]);
+      const bool movable = (j > hole) ? (ideal <= hole || ideal > j)
+                                      : (ideal <= hole && ideal > j);
+      if (movable) {
+        keys_[hole] = keys_[j];
+        hole = j;
+      }
+    }
+    used_[hole] = 0;
+    --size_;
+    return true;
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 8;
+
+  [[nodiscard]] std::size_t capacity() const { return used_.size(); }
+
+  [[nodiscard]] std::size_t bucket_of(const K& key) const {
+    return static_cast<std::size_t>(detail::mix_u64(detail::key_bits(key))) &
+           (capacity() - 1);
+  }
+
+  void maybe_grow() {
+    if (capacity() == 0) {
+      rehash(kMinCapacity);
+    } else if (size_ + 1 > capacity() - capacity() / 8) {
+      rehash(capacity() * 2);
+    }
+  }
+
+  void rehash(std::size_t new_cap) {
+    std::vector<K> old_keys = std::move(keys_);
+    std::vector<std::uint8_t> old_used = std::move(used_);
+    keys_.assign(new_cap, K{});
+    used_.assign(new_cap, 0);
+    size_ = 0;
+    for (std::size_t i = 0; i < old_used.size(); ++i) {
+      if (old_used[i]) insert(old_keys[i]);
+    }
+  }
+
+  std::vector<K> keys_;
+  std::vector<std::uint8_t> used_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace p2prm::util

@@ -12,6 +12,13 @@
 //                                        runs the sweep at 1 and 4 and cmp's
 //                                        the two --json reports byte-for-byte
 //   p2prm_fuzz --no-shrink               report the original failing scenario
+//   p2prm_fuzz --trace-dump=FILE         single scenario only: write every
+//                                        trace event (one per line) to FILE —
+//                                        CI's parallel-equivalence job reruns
+//                                        a divergent seed at 1 and N threads
+//                                        and diffs the two dumps
+//   p2prm_fuzz --spans                   force span (hop) events on, so the
+//                                        trace dump carries per-hop detail
 //
 // Every scenario is fully determined by its seed: the same build and the
 // same --seeds range produce a byte-identical report (CI runs the sweep
@@ -24,6 +31,8 @@
 
 #include "check/runner.hpp"
 #include "check/shrink.hpp"
+#include "core/system.hpp"
+#include "core/trace.hpp"
 #include "util/args.hpp"
 #include "util/json_writer.hpp"
 #include "util/logging.hpp"
@@ -150,6 +159,8 @@ int main(int argc, char** argv) {
   const auto base_threads = static_cast<unsigned>(base_threads_arg);
   const bool do_shrink = !args.get_bool("no-shrink", false);
   const std::string artifact = args.get("artifact", "");
+  const std::string trace_dump = args.get("trace-dump", "");
+  const bool force_spans = args.get_bool("spans", false);
   const std::string log = args.get("log", "");
   if (log == "debug") {
     p2prm::util::Logger::instance().set_level(p2prm::util::LogLevel::Debug);
@@ -187,6 +198,50 @@ int main(int argc, char** argv) {
       specs.push_back(ScenarioSpec::generate(s));
       seeds.push_back(s);
     }
+  }
+
+  if (!trace_dump.empty()) {
+    // Dedicated single-scenario mode: run once at --base-threads and write
+    // the full trace, one event per line. Two dumps of the same seed at
+    // different thread counts diff cleanly — the parallel-equivalence job's
+    // divergence artifact.
+    if (specs.size() != 1) {
+      std::cerr << "--trace-dump needs exactly one scenario (a single-seed "
+                   "--seeds range or a --repro), got "
+                << specs.size() << '\n';
+      return 2;
+    }
+    ScenarioSpec spec = specs.front();
+    if (force_spans) spec.spans = true;
+    std::ofstream dump(trace_dump);
+    if (!dump) {
+      std::cerr << "cannot open " << trace_dump << " for writing\n";
+      return 2;
+    }
+    std::size_t dumped = 0;
+    const auto inspect = [&](p2prm::core::System& system) {
+      const auto* tracer = system.tracer();
+      if (tracer == nullptr) return;
+      for (const auto& e : tracer->events()) {
+        dump << e.at << ' ' << p2prm::core::trace_kind_name(e.kind);
+        if (e.peer.valid()) dump << " peer=" << e.peer.value();
+        if (e.task.valid()) dump << " task=" << e.task.value();
+        if (e.domain.valid()) dump << " domain=" << e.domain.value();
+        if (!e.detail.empty()) dump << ' ' << e.detail;
+        dump << '\n';
+        ++dumped;
+      }
+    };
+    auto checker = p2prm::check::InvariantChecker::with_defaults();
+    const auto result = p2prm::check::run_scenario(
+        spec, checker, p2prm::util::seconds(2), inspect, base_threads);
+    std::cout << "seed=" << seeds.front() << " threads=" << base_threads
+              << " digest=" << hex64(result.digest) << " events=" << dumped
+              << " -> " << trace_dump << '\n';
+    for (const auto& v : result.violations) {
+      std::cerr << "violation " << v.invariant << ": " << v.message << '\n';
+    }
+    return result.ok() ? 0 : 1;
   }
 
   std::vector<SeedOutcome> outcomes;
