@@ -449,6 +449,13 @@ std::optional<std::string> parallel_counters(System& system, CheckPhase) {
     return "lookahead violated " +
            std::to_string(stats.lookahead_violations) + " times";
   }
+  // Stronger than the lookahead check: an event merged below its shard's
+  // clock was delivered into the executed past — out-of-order execution
+  // the conservative protocol must make impossible.
+  if (stats.causality_violations != 0) {
+    return std::to_string(stats.causality_violations) +
+           " event(s) delivered into a shard's executed past";
+  }
   // Mirror bookkeeping vs. physical shard-queue occupancy: live counts must
   // agree exactly; the mirror's tombstones can only trail the physical ones
   // (per-shard heads prune lazily, no later than the global order does).

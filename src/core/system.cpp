@@ -125,6 +125,12 @@ System::System(SystemConfig config)
       pc.rebalance_interval_windows = config_.rebalance_interval_windows;
     }
     sim_.enable_parallel(pc);
+    // The router mutates the domain_events_ tally (a util::FlatMap, not
+    // thread-safe). That is sound only because System pins OrderedCommit,
+    // where every handler — and therefore every schedule call that
+    // consults the router — runs serially on the coordinator. If System
+    // ever adopts ShardConcurrent, the tally must become per-shard or
+    // atomic before this router can be installed.
     sim_.set_shard_router(
         [this](util::PeerId peer) { return route_peer(peer); });
     if (config_.enable_shard_rebalance) {
@@ -158,7 +164,10 @@ sim::ShardId System::route_peer(util::PeerId peer) {
   if (!d.valid()) return 0;
   // Tally traffic per domain so the rebalancer knows what is hot. The
   // tally influences only routing decisions, never event content, so it is
-  // free to live on the scheduling hot path.
+  // free to live on the scheduling hot path. Unsynchronized by design:
+  // under OrderedCommit (the only mode System runs) scheduling is
+  // serialized on the coordinator — see the note at the router
+  // installation in the constructor.
   if (config_.enable_shard_rebalance) domain_events_[d.value()] += 1.0;
   return domain_shard(d);
 }

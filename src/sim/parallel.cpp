@@ -36,6 +36,7 @@ ParallelEngine::ParallelEngine(ParallelConfig config) : config_(config) {
   shard_now_.assign(n, util::kTimeZero);
   mailboxes_ = std::vector<Mailbox>(n * n);
   pair_la_.assign(n * n, config_.lookahead);
+  rebuild_closure();
   window_ends_.assign(n, util::kTimeZero);
   head_after_merge_.assign(n, util::kTimeInfinity);
   merge_scratch_.resize(n);
@@ -71,6 +72,34 @@ void ParallelEngine::set_pair_lookahead(
     }
   }
   pair_la_ = std::move(matrix);
+  rebuild_closure();
+}
+
+void ParallelEngine::rebuild_closure() {
+  const std::size_t n = shards();
+  pair_closure_.assign(n * n, util::kTimeInfinity);
+  for (std::size_t src = 0; src < n; ++src) {
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      // Only off-diagonal entries are edges; the diagonal of the closure
+      // will come out as the shortest cycle through other shards.
+      if (src != dst) pair_closure_[src * n + dst] = pair_la_[src * n + dst];
+    }
+  }
+  // Floyd-Warshall in the (min, +) semiring. Initializing the diagonal to
+  // infinity (rather than zero) makes every entry the least-delay path of
+  // >= 1 hop — including src == dst, where it is the shortest feedback
+  // cycle. All edges are >= 1 tick, so the recurrence converges.
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const util::SimDuration ik = pair_closure_[i * n + k];
+      if (ik == util::kTimeInfinity) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        const util::SimDuration kj = pair_closure_[k * n + j];
+        if (kj == util::kTimeInfinity) continue;
+        pair_closure_[i * n + j] = std::min(pair_closure_[i * n + j], ik + kj);
+      }
+    }
+  }
 }
 
 // --- worker pool -----------------------------------------------------------
@@ -350,6 +379,11 @@ void ParallelEngine::merge_inbox(ShardId dst) {
     auto& mb = mailboxes_[static_cast<std::size_t>(src) * shards() + dst];
     for (auto& m : mb.staged) {
       if (m.when < end) ++c.lookahead_violations;
+      // Direct out-of-order check, independent of window geometry: a
+      // message below the destination's own clock lands in its executed
+      // past. shard_now_[dst] is this worker's own row, last written by it
+      // during the execute phase — no other thread touches it.
+      if (m.when < shard_now_[dst]) ++c.causality_violations;
       batch.push_back(EventQueue::Popped{m.when, id++, std::move(m.fn)});
       ++c.scheduled;
       ++c.posts_in;
@@ -367,21 +401,32 @@ util::SimTime ParallelEngine::plan_windows(
   if (global == util::kTimeInfinity || global > until) return global;
   const ShardId n = shards();
   for (ShardId w = 0; w < n; ++w) {
-    // end[w] = min over src != w of (next[src] + L(src, w)): nothing src
-    // executes this window can reach w earlier, so w may safely run every
-    // event before end[w]. Shards with empty queues execute nothing and
-    // impose no bound. The argmin shard always satisfies
-    // end[argmin] > global, so every window makes progress.
+    // end[w] = min over src of (next[src] + D(src, w)), D the min-plus
+    // closure of the pair matrix: no message chain rooted at any event
+    // still pending anywhere — across any number of relay hops and window
+    // barriers — can reach w before end[w]. The src == w term (shortest
+    // feedback cycle) is what bounds a shard when every other queue is
+    // empty: an empty shard cannot originate traffic, but it can relay
+    // w's own output back at it. Soundness invariant: everything executed
+    // on w is < end[w], and every later merge into w arrives >= end[w]
+    // (one hop from src costs L(src, w) >= D(src, w)), so no event is ever
+    // delivered into a shard's executed past. Every end[w] is >= global +
+    // min closure entry > global, so the argmin shard always progresses.
     util::SimTime end = util::kTimeInfinity;
     for (ShardId src = 0; src < n; ++src) {
-      if (src == w || next[src] == util::kTimeInfinity) continue;
-      end = std::min(end,
-                     next[src] + pair_la_[static_cast<std::size_t>(src) * n + w]);
+      if (next[src] == util::kTimeInfinity) continue;
+      const util::SimDuration d =
+          pair_closure_[static_cast<std::size_t>(src) * n + w];
+      if (d == util::kTimeInfinity) continue;
+      end = std::min(end, next[src] + d);
     }
     // Half-open windows [.., end): events at exactly `until` still run.
-    if (until != util::kTimeInfinity &&
-        (end == util::kTimeInfinity || end > until)) {
-      end = until + 1;
+    // Only ever clamp DOWN — raising a window end past the conservative
+    // bound would re-open the out-of-order delivery hole. `end` can only
+    // be infinite single-shard (no cross-shard chains exist at all), where
+    // an unbounded window is trivially safe.
+    if (until != util::kTimeInfinity) {
+      end = std::min(end, until + 1);
     }
     window_ends_[w] = end;
   }
@@ -413,13 +458,16 @@ std::uint64_t ParallelEngine::run_windows_until(util::SimTime until) {
     // cumulative and single-writer, so a sum after the barrier is exact).
     std::uint64_t posts_in = 0;
     std::uint64_t violations = 0;
+    std::uint64_t causality = 0;
     for (const auto& c : counters_) {
       posts_in += c.posts_in;
       violations += c.lookahead_violations;
+      causality += c.causality_violations;
     }
     stats_.cross_shard_messages = posts_in;
     stats_.merged_messages = posts_in;
     stats_.lookahead_violations = violations;
+    stats_.causality_violations = causality;
     for (ShardId s = 0; s < shards(); ++s) next[s] = head_after_merge_[s];
   }
   std::uint64_t after = 0;
@@ -468,6 +516,8 @@ void ParallelEngine::publish(obs::MetricsRegistry& registry,
       .set(stats_.merged_messages);
   registry.counter("sim.parallel.lookahead_violations", labels)
       .set(stats_.lookahead_violations);
+  registry.counter("sim.parallel.causality_violations", labels)
+      .set(stats_.causality_violations);
   registry.counter("sim.parallel.rebalances", labels).set(stats_.rebalances);
   // Stage timing breakdown (wall-clock ns; nondeterministic — never part of
   // a compared snapshot). Totals across workers plus the coordinator rows.

@@ -6,10 +6,21 @@
 // shard's window end, so shards never need to roll back. Windows are
 // *per-shard* and *per-pair*: shard w may run up to
 //
-//   end[w] = min over src != w of (next_time(src) + L(src, w))
+//   end[w] = min over src of (next_time(src) + D(src, w))
 //
-// where L(src, w) is a lower bound on the delay of any src -> w message.
-// By default every L is the global minimum cross-shard latency
+// where D is the min-plus shortest-path closure of the pair lookahead
+// matrix L — D(src, w) bounds from below the total delay of any message
+// chain from src to w, across any number of relay hops and any number of
+// window barriers, and D(w, w) is the shortest feedback cycle through w
+// (the earliest a shard's own output can come back at it via other
+// shards). The src == w term is what makes the bound sound when every
+// other queue is empty: an empty shard cannot originate anything, but it
+// can relay, and the closure prices exactly that path. Without it a busy
+// shard could drain far ahead, post, and receive the >= 2-hop reply below
+// its own clock (no rollback machinery exists to recover from that).
+//
+// L(src, w) itself is a lower bound on the delay of any *direct* src -> w
+// message. By default every L is the global minimum cross-shard latency
 // (ParallelConfig::lookahead); set_pair_lookahead() installs a full
 // (src, dst) matrix derived from the topology (core::System computes it
 // from per-shard coordinate bounding boxes), which widens windows wherever
@@ -119,6 +130,11 @@ struct alignas(64) ShardCounters {
   // shard's window — violations of the conservative contract (delivered
   // anyway, but counted; folded into ParallelEngineStats at each barrier).
   std::uint64_t lookahead_violations = 0;
+  // post()s merged into this shard with a delivery time below the shard's
+  // own clock — events delivered into the shard's executed past. This is
+  // the direct out-of-order check (a lookahead violation measured against
+  // the window end may still be causally harmless; this one never is).
+  std::uint64_t causality_violations = 0;
 };
 
 // Wall-clock nanoseconds per pipeline stage, one row per shard worker plus
@@ -140,6 +156,10 @@ struct ParallelEngineStats {
   // but counted; the sim_test suite asserts this stays zero for well-formed
   // workloads).
   std::uint64_t lookahead_violations = 0;
+  // post()s delivered below the destination shard's clock — an event
+  // merged into a shard's executed past. Zero for every workload that
+  // honors the post() contract; the parallel.counters invariant asserts it.
+  std::uint64_t causality_violations = 0;
   // Global compaction passes (the sequential-rule trigger) and tombstones
   // removed by them; mirrors EventQueueStats of a sequential run.
   std::uint64_t compactions = 0;
@@ -176,13 +196,22 @@ class ParallelEngine {
   // --- adaptive lookahead / rebalancing ------------------------------------
   // Installs a shards()^2 row-major matrix of per-(src, dst) delay lower
   // bounds; entry [src * shards() + dst] bounds any src -> dst message
-  // delay from below. Diagonal entries are ignored (a shard never
-  // constrains itself). Every off-diagonal entry must be >= 1 tick. Safe to
-  // call between windows (the rebalance hook does).
+  // delay from below. Diagonal entries are ignored (a shard constrains
+  // itself only through round trips via other shards, priced by the
+  // closure's cycle terms). Every off-diagonal entry must be >= 1 tick.
+  // Safe to call between windows (the rebalance hook does).
   void set_pair_lookahead(std::vector<util::SimDuration> matrix);
   [[nodiscard]] util::SimDuration pair_lookahead(ShardId src,
                                                  ShardId dst) const {
     return pair_la_[static_cast<std::size_t>(src) * shards() + dst];
+  }
+  // Min-plus shortest-path closure of the pair matrix: the least total
+  // delay of any >= 1-hop message chain src -> dst (src == dst: the
+  // shortest feedback cycle). kTimeInfinity when no chain exists (single
+  // shard). This is the bound plan_windows actually uses.
+  [[nodiscard]] util::SimDuration pair_closure(ShardId src,
+                                               ShardId dst) const {
+    return pair_closure_[static_cast<std::size_t>(src) * shards() + dst];
   }
 
   // Hook invoked at a barrier every config.rebalance_interval_windows
@@ -289,11 +318,17 @@ class ParallelEngine {
   // queue (bulk append). Runs on dst's worker under PoolTask::MergeInbox.
   void merge_inbox(ShardId dst);
 
-  // Computes per-shard window ends from shard head times and the pair
-  // matrix; returns the global minimum head time (kTimeInfinity when all
-  // queues are empty). `next` must hold shards() entries.
+  // Computes per-shard window ends from shard head times and the closure
+  // of the pair matrix; returns the global minimum head time (kTimeInfinity
+  // when all queues are empty). `next` must hold shards() entries.
   util::SimTime plan_windows(const std::vector<util::SimTime>& next,
                              util::SimTime until);
+
+  // Recomputes pair_closure_ from pair_la_ (Floyd-Warshall over the
+  // off-diagonal edges; diagonal entries of pair_la_ are never edges, so
+  // the closure diagonal is the shortest cycle through other shards).
+  // Called whenever pair_la_ changes, on the coordinator between windows.
+  void rebuild_closure();
 
   // Folds per-window executed deltas into the EWMA and fires the rebalance
   // hook on its interval. Called once per window by both strategies.
@@ -318,7 +353,8 @@ class ParallelEngine {
   std::vector<ShardStageTimers> timers_;
   std::vector<util::SimTime> shard_now_;
   std::vector<Mailbox> mailboxes_;  // [src * shards + dst]
-  std::vector<util::SimDuration> pair_la_;    // [src * shards + dst]
+  std::vector<util::SimDuration> pair_la_;       // [src * shards + dst]
+  std::vector<util::SimDuration> pair_closure_;  // min-plus closure of pair_la_
   std::vector<util::SimTime> window_ends_;    // per-shard, set by coordinator
   std::vector<util::SimTime> head_after_merge_;  // published by dst workers
   std::vector<std::vector<EventQueue::Popped>> merge_scratch_;  // per dst

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <chrono>
 #include <cstdint>
@@ -601,6 +602,70 @@ TEST(ParallelEngine, ShardConcurrentCountsLookaheadViolations) {
 
   EXPECT_EQ(eng.stats().lookahead_violations, 1u);
   EXPECT_EQ(delivered, 1);
+}
+
+TEST(ParallelEngine, EmptyShardRoundTripStaysCausal) {
+  // Regression for the unsound per-head window plan: shard 0 holds a long
+  // local chain while shard 1 starts empty. An empty peer used to impose
+  // no bound, so shard 0 drained its entire chain in one window; its first
+  // handler's post then round-tripped through shard 1 and the reply
+  // executed far below shard 0's clock — out-of-order, with no rollback.
+  // The closure bound (next[0] + shortest feedback cycle) must keep shard
+  // 0's execution monotone and slot the reply in timestamp order.
+  ParallelConfig pc;
+  pc.threads = 2;
+  pc.lookahead = milliseconds(1);
+  pc.mode = ParallelMode::ShardConcurrent;
+  ParallelEngine eng(pc);
+
+  std::vector<util::SimTime> log0;  // touched only by shard 0's handlers
+  for (int i = 0; i < 20; ++i) {
+    const util::SimTime t = milliseconds(100 + 100 * i);
+    eng.schedule(0, t, [&log0, t] { log0.push_back(t); });
+  }
+  // The chain's first instant also kicks off a ping-pong at the tightest
+  // legal delays: 0 -> 1 arriving 101ms, reply 1 -> 0 arriving 102ms.
+  eng.schedule(0, milliseconds(100), [&eng, &log0] {
+    eng.post(0, 1, milliseconds(101), [&eng, &log0] {
+      eng.post(1, 0, milliseconds(102),
+               [&log0] { log0.push_back(milliseconds(102)); });
+    });
+  });
+  eng.run_windows_until(seconds(3));
+
+  EXPECT_EQ(eng.stats().lookahead_violations, 0u);
+  EXPECT_EQ(eng.stats().causality_violations, 0u);
+  ASSERT_EQ(log0.size(), 21u);
+  EXPECT_TRUE(std::is_sorted(log0.begin(), log0.end()))
+      << "shard 0 executed events out of local time order";
+  EXPECT_EQ(log0[1], milliseconds(102)) << "reply not slotted after 100ms";
+}
+
+TEST(ParallelEngine, PairClosureAccountsForRelaysAndFeedback) {
+  ParallelConfig pc;
+  pc.threads = 3;
+  pc.lookahead = milliseconds(1);
+  pc.mode = ParallelMode::ShardConcurrent;
+  ParallelEngine eng(pc);
+  // Scalar matrix: every direct hop 1ms, every feedback cycle 2ms.
+  EXPECT_EQ(eng.pair_closure(0, 1), milliseconds(1));
+  EXPECT_EQ(eng.pair_closure(0, 0), milliseconds(2));
+
+  eng.set_pair_lookahead(std::vector<util::SimDuration>{
+      0, milliseconds(1), milliseconds(100),    // 0->0 (ignored), 0->1, 0->2
+      milliseconds(50), 0, milliseconds(1),     // 1->0, 1->1 (ignored), 1->2
+      milliseconds(100), milliseconds(100), 0,  // 2->0, 2->1, 2->2 (ignored)
+  });
+  // A relay chain cheaper than the direct promise caps the bound: 0->1->2
+  // costs 2ms although the direct 0->2 entry says 100ms.
+  EXPECT_EQ(eng.pair_closure(0, 2), milliseconds(2));
+  // Diagonal = shortest feedback cycle through other shards, never the
+  // (ignored) diagonal input entry.
+  EXPECT_EQ(eng.pair_closure(0, 0), milliseconds(51));   // 0->1->0
+  EXPECT_EQ(eng.pair_closure(2, 2), milliseconds(101));  // 2->1->2
+  // Direct edges that no relay can beat pass through unchanged.
+  EXPECT_EQ(eng.pair_closure(1, 0), milliseconds(50));
+  EXPECT_EQ(eng.pair_closure(2, 1), milliseconds(100));
 }
 
 TEST(ParallelEngine, MailboxMergeOrderIndependentOfWorkerDelays) {
