@@ -22,6 +22,8 @@
 // run aborts if they diverge. --parallel-json writes the sweep (plus
 // hardware_threads, since speedup is bounded by physical cores) to FILE;
 // the committed BENCH_PR5.json was produced this way.
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <chrono>
 #include <fstream>
@@ -299,6 +301,151 @@ MicroCounters run_micro_counters() {
   return mc;
 }
 
+// Peak resident set in MiB (Linux ru_maxrss is KiB).
+double peak_rss_mib() {
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
+
+// Scale mode (--peers=N [--scale-json=FILE]): the million-peer ceiling run
+// (docs/SCALING.md). A small live core bootstraps normally; the remaining
+// population registers as lazy rows (flat registry only — no PeerNode, no
+// endpoint, no join traffic). Waves of edge peers then materialize, carry a
+// Poisson workload, and demote back to rows once idle. Reports the two
+// numbers the PR-7 gate records: idle bytes/peer of the flat state and
+// simulation events/sec through the active phase.
+int run_scale_mode(std::size_t total_peers, std::size_t live_core,
+                   std::size_t waves, std::size_t wave_peers, double run_s,
+                   double rate_per_peer, std::uint64_t seed,
+                   const std::string& json_path, const util::Args& args) {
+  WorldConfig config;
+  config.peers = live_core;
+  config.system.seed = seed;
+  config.system.max_domain_size = 32;
+  // Million-peer mode runs fully hierarchical: aggregate-backed admission
+  // plus aggregate-carrying summaries (O(domains) inter-RM state).
+  config.system.enable_hierarchical_infobase = true;
+  config.system.gossip_domain_aggregates = true;
+  World world(config);
+
+  print_header("E2-scale", "Single-process peer ceiling: flat rows + lazy "
+               "materialization + hierarchical gossip (docs/SCALING.md)");
+  std::cout << "peers=" << total_peers << " live_core=" << live_core
+            << " waves=" << waves << "x" << wave_peers
+            << " run/wave=" << run_s << "s seed=" << seed << "\n\n";
+
+  const auto reg_start = std::chrono::steady_clock::now();
+  world.bootstrap();
+  core::System& system = world.system();
+  system.reserve_peers(total_peers);
+
+  // Edge population: spec drawn from the same heterogeneity model as the
+  // core, carrying no inventory (consumers). Deliberately bypasses
+  // per-peer object provisioning — an idle peer must cost rows, not heap.
+  util::Rng lazy_rng(seed * 7919 + 101);
+  std::vector<util::PeerId> lazy;
+  const std::size_t lazy_count =
+      total_peers > live_core ? total_peers - live_core : 0;
+  lazy.reserve(lazy_count);
+  for (std::size_t i = 0; i < lazy_count; ++i) {
+    const auto spec = workload::draw_peer_spec(config.het, lazy_rng,
+                                               system.simulator().now());
+    lazy.push_back(system.add_lazy_peer(spec, {}));
+  }
+  const auto reg_stop = std::chrono::steady_clock::now();
+  const double reg_s =
+      std::chrono::duration<double>(reg_stop - reg_start).count();
+
+  const std::size_t footprint = system.peer_registry().footprint_bytes();
+  const double bytes_per_peer =
+      static_cast<double>(footprint) /
+      static_cast<double>(std::max<std::size_t>(1, system.peer_ids().size()));
+
+  // Active phase: waves of edge peers join, work, go idle, demote.
+  const std::uint64_t events_before = system.simulator().events_executed();
+  const auto active_start = std::chrono::steady_clock::now();
+  std::size_t materialized_total = 0;
+  std::size_t demoted_total = 0;
+  std::size_t materialized_peak = system.peer_registry().materialized();
+  for (std::size_t w = 0; w < waves && !lazy.empty(); ++w) {
+    // Stride-sample the wave across the whole lazy range so row locality
+    // does not flatter the run.
+    const std::size_t stride =
+        std::max<std::size_t>(1, lazy.size() / std::max<std::size_t>(
+                                                   1, wave_peers));
+    std::size_t touched = 0;
+    for (std::size_t i = w; i < lazy.size() && touched < wave_peers;
+         i += stride) {
+      if (system.materialize_peer(lazy[i])) ++touched;
+    }
+    materialized_total += touched;
+    world.run_poisson(
+        rate_per_peer * static_cast<double>(live_core + wave_peers),
+        util::from_seconds(run_s), util::seconds(2));
+    materialized_peak =
+        std::max(materialized_peak, system.peer_registry().materialized());
+    demoted_total += system.demote_idle_peers(util::seconds(2));
+  }
+  const auto active_stop = std::chrono::steady_clock::now();
+  const double active_s =
+      std::chrono::duration<double>(active_stop - active_start).count();
+  const std::uint64_t events =
+      system.simulator().events_executed() - events_before;
+  const double events_per_sec =
+      active_s > 0.0 ? static_cast<double>(events) / active_s : 0.0;
+  const double rss = peak_rss_mib();
+
+  util::Table t({"metric", "value"});
+  t.cell("total peers").cell(system.peer_ids().size()).end_row();
+  t.cell("registry bytes/peer").cell(bytes_per_peer, 1).end_row();
+  t.cell("registration wall (s)").cell(reg_s, 1).end_row();
+  t.cell("materialized (waves)").cell(materialized_total).end_row();
+  t.cell("materialized peak").cell(materialized_peak).end_row();
+  t.cell("demoted back to rows").cell(demoted_total).end_row();
+  t.cell("sim events (active)").cell(events).end_row();
+  t.cell("events/sec (wall)").cell(events_per_sec, 0).end_row();
+  t.cell("peak RSS (MiB)").cell(rss, 0).end_row();
+  emit(t, args);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    char b[64], e[64], r[64], g[64], a[64];
+    std::snprintf(b, sizeof b, "%.4g", bytes_per_peer);
+    std::snprintf(e, sizeof e, "%.4g", events_per_sec);
+    std::snprintf(r, sizeof r, "%.4g", rss);
+    std::snprintf(g, sizeof g, "%.4g", reg_s);
+    std::snprintf(a, sizeof a, "%.4g", active_s);
+    out << "{\n"
+        << "  \"schema\": \"p2prm-bench-scale/1\",\n"
+        << "  \"bench\": \"e2_scalability\",\n"
+        << "  \"seed\": " << seed << ",\n"
+        << "  \"peers_total\": " << system.peer_ids().size() << ",\n"
+        << "  \"peers_live_core\": " << live_core << ",\n"
+        << "  \"waves\": " << waves << ",\n"
+        << "  \"wave_peers\": " << wave_peers << ",\n"
+        << "  \"registry_footprint_bytes\": " << footprint << ",\n"
+        << "  \"idle_bytes_per_peer\": " << b << ",\n"
+        << "  \"registration_wall_s\": " << g << ",\n"
+        << "  \"materialized_total\": " << materialized_total << ",\n"
+        << "  \"materialized_peak\": " << materialized_peak << ",\n"
+        << "  \"demoted\": " << demoted_total << ",\n"
+        << "  \"events_executed\": " << events << ",\n"
+        << "  \"active_wall_s\": " << a << ",\n"
+        << "  \"events_per_sec\": " << e << ",\n"
+        << "  \"peak_rss_mib\": " << r << ",\n"
+        << "  \"notes\": \"idle_bytes_per_peer counts flat registry rows + "
+           "id map only (PeerRegistry::footprint_bytes); nodes and stashes "
+           "are excluded by design — see docs/SCALING.md budget table\"\n"
+        << "}\n";
+    std::cout << "\nscale run written to " << json_path << "\n";
+  }
+  std::cout << "\nExpectation: idle bytes/peer stays under the documented "
+               "128 B budget and is independent of total population; "
+               "events/sec reflects only the materialized working set.\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -316,6 +463,15 @@ int main(int argc, char** argv) {
   const auto repeats =
       std::max<std::size_t>(1, static_cast<std::size_t>(
                                    args.get_int("repeats", 5)));
+  const std::size_t scale_peers = args.get_int("peers", 0);
+
+  if (scale_peers > 0) {
+    return run_scale_mode(
+        scale_peers, args.get_int("scale-live", 512),
+        args.get_int("scale-waves", 4), args.get_int("scale-wave-peers", 2000),
+        args.get_double("scale-run-s", 5.0), rate_per_peer, seed,
+        args.get("scale-json", ""), args);
+  }
 
   if (par_threads > 0) {
     // Computed first: the pool counters depend on the thread-local cache

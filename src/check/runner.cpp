@@ -88,6 +88,8 @@ RunResult run_scenario(const ScenarioSpec& spec, InvariantChecker& checker,
   sys.max_domain_size = spec.max_domain_size;
   sys.enable_path_cache = spec.path_cache;
   sys.enable_spans = spec.spans;
+  sys.enable_hierarchical_infobase = spec.hierarchical;
+  sys.gossip_domain_aggregates = spec.hierarchical;
   sys.num_threads = threads;
   // Tight enough that every admitted-but-doomed task is failed and its jobs
   // cancelled well inside the drain window.
@@ -127,6 +129,20 @@ RunResult run_scenario(const ScenarioSpec& spec, InvariantChecker& checker,
       system, factory, spec.peers, util::seconds(5));
   const util::SimTime t0 = system.simulator().now();
 
+  // Lazy population: flat registry rows only, materialized in waves at the
+  // workload boundaries below. Specs are drawn from a dedicated stream so
+  // the live population above is untouched.
+  std::vector<util::PeerId> lazy_ids;
+  if (spec.lazy_peers > 0) {
+    system.reserve_peers(std::size_t{spec.peers} + spec.lazy_peers);
+    util::Rng lazy_rng(spec.seed * 6271 + 29);
+    lazy_ids.reserve(spec.lazy_peers);
+    for (std::uint32_t i = 0; i < spec.lazy_peers; ++i) {
+      lazy_ids.push_back(system.add_lazy_peer(
+          workload::draw_peer_spec(het, lazy_rng, t0), {}));
+    }
+  }
+
   if (!spec.link.trivial() || !spec.partitions.empty() ||
       !spec.crashes.empty()) {
     system.install_fault_plan(spec.fault_plan(t0, bootstrap_order));
@@ -155,23 +171,47 @@ RunResult run_scenario(const ScenarioSpec& spec, InvariantChecker& checker,
   const util::SimTime end = end_work + spec.drain;
   driver.start(end_work);
 
+  // Lazy wave: a round-robin slice of the lazy population joins, then
+  // anything idle (lazy joiners and bored bootstrap peers alike) demotes
+  // back to rows — the materialize/demote lifecycle under fire. The wave
+  // is staggered across the boundary window: a same-instant flood into a
+  // small live core converges pathologically slowly, because every join
+  // contact is another not-yet-joined wave-mate (bootstrap staggers its
+  // joins for the same reason).
+  std::size_t lazy_cursor = 0;
+  const auto run_wave = [&] {
+    if (lazy_ids.empty() || spec.wave_peers == 0) return;
+    for (std::uint32_t i = 0; i < spec.wave_peers; ++i) {
+      const util::PeerId id = lazy_ids[lazy_cursor];
+      lazy_cursor = (lazy_cursor + 1) % lazy_ids.size();
+      const auto offset = boundary_period * static_cast<std::int64_t>(i) /
+                          static_cast<std::int64_t>(spec.wave_peers);
+      system.simulator().schedule_after(
+          offset, [&system, id] { system.materialize_peer(id); });
+    }
+    system.demote_idle_peers(2 * boundary_period);
+  };
+
   // Event-loop-boundary checks: run_until stops *between* events, so every
-  // boundary invariant is evaluated on a consistent world state.
-  const auto run_checked = [&](util::SimTime until) {
+  // boundary invariant is evaluated on a consistent world state. Waves run
+  // only during the workload window — the drain must be able to reach
+  // quiescence with no peers mid-join.
+  const auto run_checked = [&](util::SimTime until, bool waves) {
     util::SimTime next = system.simulator().now() + boundary_period;
     while (next < until) {
       system.simulator().run_until(next);
       checker.check(system, CheckPhase::Boundary);
+      if (waves) run_wave();
       next += boundary_period;
     }
     system.simulator().run_until(until);
     checker.check(system, CheckPhase::Boundary);
   };
 
-  run_checked(end_work);
+  run_checked(end_work, /*waves=*/true);
   driver.stop();
   if (churn) churn->stop();  // drain undisturbed: quiescence must be reachable
-  run_checked(end);
+  run_checked(end, /*waves=*/false);
 
   system.ledger().orphan_pending(system.simulator().now());
   checker.check(system, CheckPhase::Quiescent);

@@ -123,6 +123,23 @@ ScenarioSpec ScenarioSpec::generate(std::uint64_t seed) {
   return spec;
 }
 
+ScenarioSpec ScenarioSpec::generate_scale(std::uint64_t seed,
+                                          std::uint32_t lazy_peers) {
+  ScenarioSpec spec = generate(seed);
+  // Separate stream: adding scale fields must not disturb the base
+  // scenario that `seed` already names.
+  util::Rng rng(seed * 0x2545f4914f6cdd1dULL + 0x5ca1ab1e5ca1ab1eULL);
+  spec.lazy_peers = lazy_peers;
+  spec.wave_peers = static_cast<std::uint32_t>(32 + rng.below(225));  // 32..256
+  spec.hierarchical = rng.bernoulli(0.5);
+  // Hundreds of joiners into domains of 4..12 members converge through
+  // serial split cascades — minutes of sim time, legitimately. Give the
+  // drain room to reach quiescence instead of failing membership checks
+  // on a still-settling overlay.
+  spec.drain = util::seconds(600);
+  return spec;
+}
+
 std::string ScenarioSpec::repro() const {
   std::ostringstream out;
   out << kSchema << ";seed=" << seed << ";peers=" << peers
@@ -135,7 +152,8 @@ std::string ScenarioSpec::repro() const {
       << ";loss=" << fmt_double(link.loss) << ";dup=" << fmt_double(link.dup)
       << ";reord=" << fmt_double(link.reorder) << ";delay=" << link.delay
       << ";jit=" << link.jitter << ";cache=" << (path_cache ? 1 : 0)
-      << ";spans=" << (spans ? 1 : 0);
+      << ";spans=" << (spans ? 1 : 0) << ";lazy=" << lazy_peers
+      << ";wavep=" << wave_peers << ";hier=" << (hierarchical ? 1 : 0);
   out << ";part=";
   for (std::size_t i = 0; i < partitions.size(); ++i) {
     if (i) out << '+';
@@ -220,6 +238,12 @@ std::optional<ScenarioSpec> ScenarioSpec::parse(std::string_view s) {
       ok = as_bool(spec.path_cache);
     } else if (key == "spans") {
       ok = as_bool(spec.spans);
+    } else if (key == "lazy") {
+      ok = as_u32(spec.lazy_peers);
+    } else if (key == "wavep") {
+      ok = as_u32(spec.wave_peers);
+    } else if (key == "hier") {
+      ok = as_bool(spec.hierarchical);
     } else if (key == "part") {
       if (val.empty()) continue;
       for (const auto entry : split(val, '+')) {

@@ -87,10 +87,27 @@ struct ScenarioSpec {
   bool path_cache = true;
   bool spans = false;
 
+  // --- lazy population scale (docs/SCALING.md) ------------------------------
+  // lazy_peers flat registry rows are added after bootstrap. During the
+  // workload window every boundary tick materializes wave_peers of them
+  // (round-robin) and demotes idle materialized peers, fuzzing the
+  // materialize/demote lifecycle under workload, churn and faults.
+  // hierarchical flips both hierarchical-infobase knobs (aggregate
+  // decisions + aggregate gossip).
+  std::uint32_t lazy_peers = 0;
+  std::uint32_t wave_peers = 0;
+  bool hierarchical = false;
+
   friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
 
   // Draws a random scenario, fully determined by `seed`.
   [[nodiscard]] static ScenarioSpec generate(std::uint64_t seed);
+
+  // Scale-flavored scenario: generate(seed) plus `lazy_peers` lazy rows,
+  // a drawn materialization wave size and (half the seeds) hierarchical
+  // mode. CI's nightly scale job sweeps these at >= 100k lazy rows.
+  [[nodiscard]] static ScenarioSpec generate_scale(std::uint64_t seed,
+                                                   std::uint32_t lazy_peers);
 
   // Single-line repro string: "p2prm-fuzz/1;seed=..;peers=..;...". Contains
   // every field, so parse(repro()) == *this.

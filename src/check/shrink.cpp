@@ -23,6 +23,9 @@ std::uint64_t measure(const ScenarioSpec& s) {
   m += s.task_cap;
   m += static_cast<std::uint64_t>(util::to_seconds(s.workload));
   m += static_cast<std::uint64_t>(util::to_seconds(s.drain)) / 4;
+  m += s.lazy_peers / 64 + (s.lazy_peers > 0 ? 1 : 0);
+  m += s.wave_peers;
+  if (s.hierarchical) m += 2;
   return m;
 }
 
@@ -62,6 +65,26 @@ std::vector<ScenarioSpec> candidates(const ScenarioSpec& s) {
   for (std::size_t i = 0; i < s.partitions.size(); ++i) {
     ScenarioSpec c = s;
     c.partitions.erase(c.partitions.begin() + static_cast<std::ptrdiff_t>(i));
+    push(std::move(c));
+  }
+  if (s.lazy_peers > 0) {
+    // Whole-class first (no lazy population at all), then magnitude.
+    ScenarioSpec c = s;
+    c.lazy_peers = 0;
+    c.wave_peers = 0;
+    push(std::move(c));
+    c = s;
+    c.lazy_peers = s.lazy_peers / 2;
+    push(std::move(c));
+  }
+  if (s.wave_peers > 1) {
+    ScenarioSpec c = s;
+    c.wave_peers = s.wave_peers / 2;
+    push(std::move(c));
+  }
+  if (s.hierarchical) {
+    ScenarioSpec c = s;
+    c.hierarchical = false;
     push(std::move(c));
   }
   if (s.task_cap > 1) {

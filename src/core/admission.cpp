@@ -7,11 +7,26 @@ bool domain_overloaded(const InfoBase& info, const SystemConfig& config) {
   // query; the incrementally maintained load index answers it without
   // walking the membership (min_utilization() is +inf for an empty
   // domain, so an RM with no members correctly reports overloaded).
+  if (config.enable_hierarchical_infobase) {
+    // Aggregate path: same min, read through the domain digest. The
+    // digest copies the LoadIndex scalars verbatim, so this branch is
+    // bit-identical to the direct read (scale_test.cpp differential).
+    return info.build_aggregate().min_utilization >=
+           config.overload_utilization;
+  }
   return info.load_index().min_utilization() >= config.overload_utilization;
 }
 
 double mean_domain_utilization(const InfoBase& info) {
   return info.load_index().mean_utilization();
+}
+
+double mean_domain_utilization(const InfoBase& info,
+                               const SystemConfig& config) {
+  if (config.enable_hierarchical_infobase) {
+    return info.build_aggregate().mean_utilization();
+  }
+  return mean_domain_utilization(info);
 }
 
 AdmissionDecision check_admission(const InfoBase& info,
@@ -27,7 +42,7 @@ AdmissionDecision check_admission(const InfoBase& info,
   }
   if (config.min_importance_when_busy > 0.0 &&
       importance < config.min_importance_when_busy &&
-      mean_domain_utilization(info) >= config.busy_utilization) {
+      mean_domain_utilization(info, config) >= config.busy_utilization) {
     d.admit = false;
     d.reason = "low-importance-while-busy";
   }

@@ -40,8 +40,12 @@ struct AdmissionDecision {
 [[nodiscard]] bool domain_overloaded(const InfoBase& info,
                                      const SystemConfig& config);
 
-// Mean effective utilization across the domain (load / capacity).
+// Mean effective utilization across the domain (load / capacity). The
+// config overload routes the read through the hierarchical aggregate when
+// enable_hierarchical_infobase is on (identical value, different path).
 [[nodiscard]] double mean_domain_utilization(const InfoBase& info);
+[[nodiscard]] double mean_domain_utilization(const InfoBase& info,
+                                             const SystemConfig& config);
 
 // Tracks per-peer consecutive overloaded reports ("constantly above a
 // certain threshold", not just a blip).

@@ -100,6 +100,21 @@ struct SystemConfig {
   gossip::GossipConfig gossip{};
   std::size_t bloom_bits = 4096;
   std::size_t bloom_hashes = 4;
+  // Hierarchical info base: admission reads the per-domain aggregate
+  // (gossip::DomainAggregate, O(domains) state) instead of per-peer rows.
+  // The aggregate is built from the same incrementally maintained
+  // LoadIndex values legacy admission reads, so decisions — and therefore
+  // whole deterministic runs — are bit-identical either way
+  // (tests/scale_test.cpp differential, seeds 1..50). Deliberately does
+  // NOT touch the wire; that is gossip_domain_aggregates below.
+  bool enable_hierarchical_infobase = false;
+  // Attach the fixed-size DomainAggregate digest to outgoing
+  // DomainSummary gossip so remote RMs can answer capability /
+  // load-quantile questions without per-peer rows. Grows each summary by
+  // DomainAggregate::wire_size() bytes, which shifts transmission times —
+  // kept separate from enable_hierarchical_infobase so the decision knob
+  // is timing-neutral and golden traces only change when asked.
+  bool gossip_domain_aggregates = false;
 
   // --- allocation (§4.3) --------------------------------------------------------
   AllocatorKind allocator = AllocatorKind::PaperBfs;

@@ -35,10 +35,19 @@ void InfoBase::add_member(const overlay::PeerSpec& spec, util::SimTime now) {
 }
 
 void InfoBase::refresh_load(util::PeerId peer) {
+  const auto* rec = domain_.member(peer);
+  if (rec == nullptr) {
+    // Stale signal for a departed member — a report or commitment racing
+    // its LeaveNotice under delivery jitter. Never resurrect an index row
+    // the removal path reclaimed: the load/fairness indices must track
+    // exactly the domain membership (load_index.equivalence invariant).
+    fairness_.remove(peer);
+    load_index_.remove(peer);
+    return;
+  }
   const double load = effective_load(peer);
   fairness_.set(peer, load);
-  const auto* rec = domain_.member(peer);
-  load_index_.set(peer, load, rec ? rec->spec.capacity_ops_per_s : 0.0);
+  load_index_.set(peer, load, rec->spec.capacity_ops_per_s);
 }
 
 void InfoBase::add_inventory(const PeerAnnounce& announce) {
@@ -84,6 +93,10 @@ std::vector<util::TaskId> InfoBase::remove_peer(util::PeerId peer) {
 
 void InfoBase::record_report(util::PeerId peer, const ProfilerReport& report,
                              util::SimTime now) {
+  // A report can outlive its sender's membership (demotion's LeaveNotice
+  // and a final report race under jitter); Domain::record_report ignores
+  // it, and nothing below may re-create per-peer state either.
+  if (domain_.member(peer) == nullptr) return;
   domain_.record_report(peer, report.sample, now, report.eligible_rm,
                         report.rm_score);
   purge_commitments(now);
@@ -285,6 +298,24 @@ gossip::DomainSummary InfoBase::build_summary(std::size_t bloom_bits,
     s.services.insert(e->type.type_key());
   }
   return s;
+}
+
+gossip::DomainAggregate InfoBase::build_aggregate() const {
+  gossip::DomainAggregate agg;
+  load_index_.for_each(
+      [&](util::PeerId, double load, double cap, double util) {
+        agg.add_peer(cap, load, util);
+      });
+  // Pin the scalars admission compares against to the LoadIndex's own
+  // incrementally accumulated values: the fold above re-adds floats in
+  // slot order, which may differ in the last bit from the index's
+  // subtract-then-add history. Bit-identical inputs -> bit-identical
+  // admission decisions, which the hierarchical differential relies on.
+  agg.peer_count = static_cast<std::uint32_t>(load_index_.size());
+  agg.total_load_ops = load_index_.total_load();
+  agg.total_capacity_ops = load_index_.total_capacity();
+  agg.min_utilization = load_index_.min_utilization();
+  return agg;
 }
 
 InfoBaseSnapshot InfoBase::snapshot() const {

@@ -151,6 +151,12 @@ class InfoBase {
   // --- summaries (§3.1 SumO / SumS) ---------------------------------------------
   [[nodiscard]] gossip::DomainSummary build_summary(
       std::size_t bloom_bits, std::size_t bloom_hashes) const;
+  // Fixed-size hierarchical digest of the domain. Scalar fields (count,
+  // totals, min utilization) are copied verbatim from the incrementally
+  // maintained LoadIndex — the exact values legacy admission reads — so
+  // aggregate-path decisions are bit-identical; only the histograms and
+  // the max are derived per build. O(domain size).
+  [[nodiscard]] gossip::DomainAggregate build_aggregate() const;
   void bump_summary_version() { ++summary_version_; }
   [[nodiscard]] std::uint64_t summary_version() const { return summary_version_; }
 

@@ -54,6 +54,16 @@ class LoadIndex {
   [[nodiscard]] std::vector<util::PeerId> by_utilization(
       std::size_t limit = std::numeric_limits<std::size_t>::max()) const;
 
+  // Calls fn(peer, load, capacity, utilization) per member in slot order
+  // (unordered — fold commutatively or sort). The hierarchical aggregate
+  // builder (InfoBase::build_aggregate) fills its histograms from this.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < peers_.size(); ++i) {
+      fn(peers_[i], loads_[i], caps_[i], utils_[i]);
+    }
+  }
+
  private:
   static double util_of(double load, double capacity) {
     return capacity > 0.0 ? load / capacity : 1.0;

@@ -37,6 +37,7 @@ PeerNode::~PeerNode() { stop_local_work(); }
 
 void PeerNode::start(std::optional<util::PeerId> contact) {
   alive_ = true;
+  last_activity_ = system_.simulator().now();
   if (!contact) {
     // First peer in the network: found the first domain (§4.1).
     become_rm(system_.next_domain_id(), {}, /*epoch=*/1, std::nullopt);
@@ -90,6 +91,26 @@ util::SimDuration PeerNode::current_report_period() const {
   return report_period_ > 0 ? report_period_ : system_.config().report_period;
 }
 
+void PeerNode::system_guarded_schedule(std::int64_t when_or_delay,
+                                       bool absolute,
+                                       std::function<void()> fn) {
+  auto guarded = [weak = std::weak_ptr<char>(life_), fn = std::move(fn)] {
+    if (weak.lock()) fn();
+  };
+  if (absolute) {
+    system_.simulator().schedule_at(when_or_delay, std::move(guarded));
+  } else {
+    system_.simulator().schedule_after(when_or_delay, std::move(guarded));
+  }
+}
+
+bool PeerNode::quiescent() const {
+  return alive_ && joined_ && rm_ == nullptr && sessions_.empty() &&
+         early_data_.empty() && query_retries_.empty() &&
+         job_index_.empty() && !backup_copy_.has_value() &&
+         designated_backup_ != spec_.id;
+}
+
 void PeerNode::send(util::PeerId to, net::MessagePtr message) {
   if (!alive_) return;
   stats_.bytes_sent += message->wire_size() + net::kEnvelopeBytes;
@@ -129,6 +150,10 @@ void PeerNode::become_rm(util::DomainId domain,
 
 void PeerNode::handle_message(util::PeerId from, const net::Message& message) {
   if (!alive_) return;
+  // Deliberately NOT an activity touch: heartbeats and gossip arrive
+  // forever, so counting control traffic would make every member immortal.
+  // Activity = application work (requests, jobs); quiescent() separately
+  // refuses demotion while any protocol state is in flight.
 
   // RM-side protocol first (join requests, reports, task queries, ...).
   if (rm_ && rm_->handle(from, message)) return;
@@ -239,7 +264,7 @@ void PeerNode::on_join_redirect(const overlay::JoinRedirect& m) {
 
 void PeerNode::arm_join_watchdog() {
   const int token = ++join_watchdog_token_;
-  system_.simulator().schedule_after(util::seconds(5), [this, token] {
+  defer_after(util::seconds(5), [this, token] {
     if (!alive_ || joined_ || token != join_watchdog_token_) return;
     schedule_join_retry();
   });
@@ -253,7 +278,7 @@ void PeerNode::schedule_join_retry() {
       policy.delay(join_attempts_, &system_.simulator().rng());
   ++join_attempts_;
   ++stats_.join_retries;
-  system_.simulator().schedule_after(delay, [this] {
+  defer_after(delay, [this] {
     if (!alive_ || joined_) return;
     redirect_hops_ = 0;
     const auto contact = system_.random_alive_peer(spec_.id);
@@ -478,6 +503,7 @@ void PeerNode::rejoin() {
 // User API
 
 void PeerNode::submit_request(util::TaskId task, QoSRequirements q) {
+  last_activity_ = system_.simulator().now();
   auto query = std::make_unique<TaskQuery>();
   query->task = task;
   query->origin = spec_.id;
@@ -549,7 +575,7 @@ void PeerNode::on_graph_compose(const GraphCompose& m) {
   const util::SimTime expiry = std::max(
       m.hop.absolute_deadline + system_.config().task_gc_grace,
       system_.simulator().now() + system_.config().task_gc_grace);
-  system_.simulator().schedule_at(expiry, [this, key, token] {
+  defer_at(expiry, [this, key, token] {
     const auto it = sessions_.find(key);
     if (it == sessions_.end() || it->second.token != token) return;
     if (it->second.job_submitted) return;  // running; completion cleans up
@@ -595,7 +621,7 @@ void PeerNode::on_stream_data(const StreamData& m) {
     // our composition).
     const std::uint64_t token = ++session_tokens_;
     early_data_[key] = {m, token};
-    system_.simulator().schedule_after(
+    defer_after(
         system_.config().task_gc_grace, [this, key, token] {
           const auto e = early_data_.find(key);
           if (e != early_data_.end() && e->second.second == token) {
@@ -632,6 +658,7 @@ void PeerNode::on_stream_data(const StreamData& m) {
 }
 
 void PeerNode::on_job_finished(const sched::Job& job, sched::JobStatus status) {
+  last_activity_ = system_.simulator().now();
   const auto idx = job_index_.find(job.id);
   if (idx == job_index_.end()) return;
   const SessionKey key = idx->second;

@@ -3,6 +3,7 @@
 // hops, and — when selected — hosts the domain's Resource Manager.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -114,6 +115,32 @@ class PeerNode {
   void become_rm(util::DomainId domain, std::vector<overlay::RmInfo> known_rms,
                  std::uint64_t epoch,
                  std::optional<InfoBaseSnapshot> restored);
+
+  // --- lifetime-guarded deferral (docs/SCALING.md) -------------------------
+  // Every one-shot callback a node (or its hosted RM) hands the simulator
+  // must go through these: the wrapper drops the call if the node has been
+  // destroyed by then. This is what makes demotion free to destroy a
+  // PeerNode mid-run — timers and retry-ops are cancelled explicitly by
+  // stop_local_work, network deliveries die on the endpoint epoch, and
+  // deferred lambdas die here.
+  void defer_after(util::SimDuration delay, std::function<void()> fn) {
+    system_guarded_schedule(delay, /*absolute=*/false, std::move(fn));
+  }
+  void defer_at(util::SimTime when, std::function<void()> fn) {
+    system_guarded_schedule(when, /*absolute=*/true, std::move(fn));
+  }
+
+  // --- lazy lifecycle probes (System::demote_peer) -------------------------
+  // A peer is quiescent when demoting it cannot lose work: joined as a
+  // plain member (never an RM and not holding the domain's backup
+  // snapshot), with no sessions, buffered data, queued jobs or in-flight
+  // task RPCs.
+  [[nodiscard]] bool quiescent() const;
+  // Last time this peer did application work — submitted a task or
+  // finished a job (start time when none since). Control traffic
+  // (heartbeats, gossip, reports) deliberately does not count: it never
+  // stops, so it would make every member look permanently busy.
+  [[nodiscard]] util::SimTime last_activity() const { return last_activity_; }
   // Step down with no known successor and rejoin through the overlay (an
   // RM that lost every member to failure detection is almost certainly the
   // partitioned one). Invoked by the hosted ResourceManager via a deferred
@@ -164,10 +191,16 @@ class PeerNode {
   void settle_task_query(util::TaskId task);
 
   void stop_local_work();
+  void system_guarded_schedule(std::int64_t when_or_delay, bool absolute,
+                               std::function<void()> fn);
 
   System& system_;
   overlay::PeerSpec spec_;
   PeerInventory inventory_;
+  // Lifetime guard: deferred callbacks hold a weak_ptr and no-op once the
+  // node is destroyed (demotion). The pointee is irrelevant.
+  std::shared_ptr<char> life_ = std::make_shared<char>('\0');
+  util::SimTime last_activity_ = 0;
 
   std::unique_ptr<sched::Processor> processor_;
   profile::Profiler profiler_;

@@ -599,9 +599,11 @@ void ResourceManager::adaptation_tick() {
   // moved on). Step down and rejoin — deferred to a fresh event because
   // demotion destroys this object.
   if (!stale.empty() && info_.domain().size() <= 1) {
+    // Deferred through the host's lifetime guard: the node may be
+    // destroyed (demotion/teardown) before this fires.
     PeerNode* host = &host_;
     const util::DomainId d = info_.domain().id();
-    system.simulator().schedule_after(1, [host, d] {
+    host_.defer_after(1, [host, d] {
       auto* rm = host->resource_manager();
       if (host->alive() && rm != nullptr && rm->domain_id() == d &&
           rm->info().domain().size() <= 1) {
@@ -861,8 +863,13 @@ void ResourceManager::backup_sync_tick() {
 
 void ResourceManager::publish_summary() {
   const auto& config = host_.system().config();
-  gossip_->set_local_summary(
-      info_.build_summary(config.bloom_bits, config.bloom_hashes));
+  auto summary = info_.build_summary(config.bloom_bits, config.bloom_hashes);
+  if (config.gossip_domain_aggregates) {
+    // Attach the fixed-size domain digest so remote RMs can answer
+    // capability / load-quantile questions without per-peer rows.
+    summary.aggregate = info_.build_aggregate();
+  }
+  gossip_->set_local_summary(std::move(summary));
 }
 
 std::vector<util::PeerId> ResourceManager::rm_peer_ids() const {

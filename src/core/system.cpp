@@ -149,18 +149,18 @@ sim::ShardId System::domain_shard(util::DomainId d) const {
 
 sim::ShardId System::shard_of(util::PeerId peer) const {
   if (config_.num_threads <= 1) return 0;
-  const auto it = peers_.find(peer);
-  if (it == peers_.end()) return 0;
-  const util::DomainId d = it->second->domain();
+  const PeerNode* node = registry_.node_of(peer);
+  if (node == nullptr) return 0;
+  const util::DomainId d = node->domain();
   if (!d.valid()) return 0;
   return domain_shard(d);
 }
 
 sim::ShardId System::route_peer(util::PeerId peer) {
   if (config_.num_threads <= 1) return 0;
-  const auto it = peers_.find(peer);
-  if (it == peers_.end()) return 0;
-  const util::DomainId d = it->second->domain();
+  const PeerNode* node = registry_.node_of(peer);
+  if (node == nullptr) return 0;
+  const util::DomainId d = node->domain();
   if (!d.valid()) return 0;
   // Tally traffic per domain so the rebalancer knows what is hot. The
   // tally influences only routing decisions, never event content, so it is
@@ -235,9 +235,10 @@ std::vector<util::SimDuration> System::compute_pair_lookahead() const {
   std::vector<Box> boxes(n);
   // Min/max folds are commutative, so the unordered peer iteration cannot
   // leak ordering into the result.
-  for (const auto& [id, node] : peers_) {
-    if (!node->alive() || !topology_.contains(id)) continue;
-    const util::DomainId d = node->domain();
+  registry_.for_each_node([&](std::uint32_t row, const PeerNode& node) {
+    const util::PeerId id = registry_.id(row);
+    if (!node.alive() || !topology_.contains(id)) return;
+    const util::DomainId d = node.domain();
     const sim::ShardId s = d.valid() ? domain_shard(d) : 0;
     const net::Coordinates c = topology_.coordinates(id);
     Box& b = boxes[s];
@@ -249,7 +250,7 @@ std::vector<util::SimDuration> System::compute_pair_lookahead() const {
       b.max_x = std::max(b.max_x, c.x);
       b.max_y = std::max(b.max_y, c.y);
     }
-  }
+  });
   std::vector<util::SimDuration> matrix(n * n, topology_.min_latency());
   for (std::size_t src = 0; src < n; ++src) {
     for (std::size_t dst = 0; dst < n; ++dst) {
@@ -272,6 +273,17 @@ std::vector<util::SimDuration> System::compute_pair_lookahead() const {
 
 System::~System() = default;
 
+PeerNode* System::build_node(std::uint32_t row, overlay::PeerSpec spec,
+                             PeerInventory inventory) {
+  auto node = std::make_unique<PeerNode>(*this, spec, std::move(inventory));
+  PeerNode* raw = registry_.attach_node(row, std::move(node));
+  network_->attach(spec.id, spec.link,
+                   [raw](util::PeerId from, const net::Message& m) {
+                     raw->handle_message(from, m);
+                   });
+  return raw;
+}
+
 util::PeerId System::add_peer(const overlay::PeerSpec& spec_template,
                               PeerInventory inventory,
                               std::optional<net::Coordinates> at,
@@ -283,20 +295,16 @@ util::PeerId System::add_peer(const overlay::PeerSpec& spec_template,
   // what makes RM qualification attainable); never let it sit in the future.
   if (spec.online_since > sim_.now()) spec.online_since = sim_.now();
 
+  net::Coordinates coords;
   if (at) {
-    topology_.place_at(spec.id, *at);
+    coords = *at;
+    topology_.place_at(spec.id, coords);
   } else {
-    topology_.place(spec.id, placement_rng_);
+    coords = topology_.place(spec.id, placement_rng_);
   }
 
-  auto node = std::make_unique<PeerNode>(*this, spec, std::move(inventory));
-  PeerNode* raw = node.get();
-  peers_[spec.id] = std::move(node);
-
-  network_->attach(spec.id, spec.link,
-                   [raw](util::PeerId from, const net::Message& m) {
-                     raw->handle_message(from, m);
-                   });
+  const std::uint32_t row = registry_.add_row(spec, coords, PeerState::Live);
+  PeerNode* raw = build_node(row, spec, std::move(inventory));
 
   std::optional<util::PeerId> boot = contact;
   if (!boot) boot = random_alive_peer(spec.id);
@@ -304,39 +312,116 @@ util::PeerId System::add_peer(const overlay::PeerSpec& spec_template,
   return spec.id;
 }
 
-void System::leave_peer(util::PeerId peer) {
-  const auto it = peers_.find(peer);
-  if (it == peers_.end()) return;
-  it->second->leave();
+util::PeerId System::add_lazy_peer(const overlay::PeerSpec& spec_template,
+                                   PeerInventory inventory,
+                                   std::optional<net::Coordinates> at) {
+  overlay::PeerSpec spec = spec_template;
+  if (!spec.id.valid()) spec.id = next_peer_id();
+  if (spec.online_since > sim_.now()) spec.online_since = sim_.now();
+  // Coordinates are drawn now (same rng the eager path uses) but live only
+  // in the row until materialization keeps the topology table O(materialized).
+  const net::Coordinates coords = at ? *at : topology_.draw(placement_rng_);
+  registry_.add_row(spec, coords, PeerState::Lazy);
+  registry_.stash_inventory(spec.id, std::move(inventory));
+  return spec.id;
+}
+
+bool System::materialize_peer(util::PeerId peer,
+                              std::optional<util::PeerId> contact) {
+  const std::uint32_t row = registry_.row_of(peer);
+  if (row == PeerRegistry::kNoSlot ||
+      registry_.state(row) != PeerState::Lazy) {
+    return false;
+  }
+  overlay::PeerSpec spec = registry_.spec(row);
+  if (spec.online_since > sim_.now()) spec.online_since = sim_.now();
+  topology_.place_at(peer, registry_.coordinates(row));
+  registry_.set_state(row, PeerState::Live);
+  PeerNode* raw = build_node(row, spec, registry_.take_inventory(peer));
+  std::optional<util::PeerId> boot = contact;
+  if (!boot) boot = random_alive_peer(peer);
+  raw->start(boot);
+  return true;
+}
+
+bool System::demote_peer(util::PeerId peer) {
+  const std::uint32_t row = registry_.row_of(peer);
+  if (row == PeerRegistry::kNoSlot) return false;
+  PeerNode* node = registry_.node(row);
+  if (node == nullptr || !node->quiescent()) return false;
+  // Graceful departure so the RM drops the member promptly, then tear the
+  // node down for real. Destroying mid-run is safe: every deferred
+  // callback a node schedules is routed through its lifetime guard
+  // (PeerNode::defer_after), timers/retry-ops are cancelled by
+  // stop_local_work, and in-flight network deliveries are invalidated by
+  // the endpoint epoch bump on detach.
+  node->leave();
   network_->detach(peer);
+  topology_.remove(peer);
+  registry_.stash_inventory(peer, node->inventory());
+  registry_.detach_node(row).reset();
+  registry_.set_state(row, PeerState::Lazy);
+  return true;
+}
+
+std::size_t System::demote_idle_peers(util::SimDuration min_idle) {
+  // Candidates first: demote_peer mutates the node storage mid-iteration.
+  std::vector<util::PeerId> idle;
+  registry_.for_each_node([&](std::uint32_t row, const PeerNode& node) {
+    if (node.quiescent() && sim_.now() - node.last_activity() >= min_idle) {
+      idle.push_back(registry_.id(row));
+    }
+  });
+  std::sort(idle.begin(), idle.end());
+  std::size_t demoted = 0;
+  for (const util::PeerId id : idle) {
+    if (demote_peer(id)) ++demoted;
+  }
+  return demoted;
+}
+
+void System::leave_peer(util::PeerId peer) {
+  const std::uint32_t row = registry_.row_of(peer);
+  if (row == PeerRegistry::kNoSlot) return;
+  PeerNode* node = registry_.node(row);
+  if (node == nullptr) return;
+  node->leave();
+  network_->detach(peer);
+  if (registry_.state(row) == PeerState::Live) {
+    registry_.set_state(row, PeerState::Left);
+  }
 }
 
 void System::crash_peer(util::PeerId peer) {
-  const auto it = peers_.find(peer);
-  if (it == peers_.end()) return;
+  const std::uint32_t row = registry_.row_of(peer);
+  if (row == PeerRegistry::kNoSlot) return;
+  PeerNode* node = registry_.node(row);
+  if (node == nullptr) return;
   network_->detach(peer);  // detach first: a crash sends nothing
-  it->second->crash();
+  node->crash();
+  if (registry_.state(row) == PeerState::Live) {
+    registry_.set_state(row, PeerState::Crashed);
+  }
 }
 
 bool System::restart_peer(util::PeerId peer) {
-  const auto it = peers_.find(peer);
-  if (it == peers_.end() || it->second->alive()) return false;
-  overlay::PeerSpec spec = it->second->spec();
-  PeerInventory inventory = it->second->inventory();
+  const std::uint32_t row = registry_.row_of(peer);
+  if (row == PeerRegistry::kNoSlot) return false;
+  PeerNode* old = registry_.node(row);
+  if (old == nullptr || old->alive()) return false;
+  overlay::PeerSpec spec = old->spec();
+  PeerInventory inventory = old->inventory();
   // The process restarted: uptime history starts over (this matters for RM
   // qualification), but identity, placement and stored media survive.
   spec.online_since = sim_.now();
-  auto node = std::make_unique<PeerNode>(*this, spec, std::move(inventory));
-  PeerNode* raw = node.get();
+  registry_.set_online_since(row, spec.online_since);
   // The dead node may still be referenced by simulator callbacks it
   // scheduled before crashing (they no-op once !alive_). Park it instead of
-  // destroying it — nodes are never freed mid-run.
-  retired_.push_back(std::move(it->second));
-  it->second = std::move(node);
-  network_->attach(spec.id, spec.link,
-                   [raw](util::PeerId from, const net::Message& m) {
-                     raw->handle_message(from, m);
-                   });
+  // destroying it — restarts keep the historical never-free-mid-run
+  // behaviour (demotion is the lifecycle that proves destruction safe).
+  retired_.push_back(registry_.detach_node(row));
+  registry_.set_state(row, PeerState::Live);
+  PeerNode* raw = build_node(row, spec, std::move(inventory));
   raw->start(random_alive_peer(spec.id));
   trace(TraceKind::PeerJoined, spec.id, util::TaskId::invalid(),
         util::DomainId::invalid(), {{"reason", "restarted"}});
@@ -357,49 +442,59 @@ fault::FaultInjector& System::install_fault_plan(fault::FaultPlan plan) {
   return *fault_injector_;
 }
 
-PeerNode* System::peer(util::PeerId id) {
-  const auto it = peers_.find(id);
-  return it == peers_.end() ? nullptr : it->second.get();
-}
+PeerNode* System::peer(util::PeerId id) { return registry_.node_of(id); }
 
 const PeerNode* System::peer(util::PeerId id) const {
-  const auto it = peers_.find(id);
-  return it == peers_.end() ? nullptr : it->second.get();
+  return registry_.node_of(id);
 }
 
 std::vector<util::PeerId> System::peer_ids() const {
   std::vector<util::PeerId> out;
-  out.reserve(peers_.size());
-  for (const auto& [id, _] : peers_) out.push_back(id);
+  out.reserve(registry_.size());
+  registry_.for_each_row(
+      [&](std::uint32_t row) { out.push_back(registry_.id(row)); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<util::PeerId> System::materialized_peer_ids() const {
+  std::vector<util::PeerId> out;
+  out.reserve(registry_.materialized());
+  registry_.for_each_node([&](std::uint32_t row, const PeerNode&) {
+    out.push_back(registry_.id(row));
+  });
   std::sort(out.begin(), out.end());
   return out;
 }
 
 std::vector<util::PeerId> System::alive_peer_ids() const {
   std::vector<util::PeerId> out;
-  for (const auto& [id, node] : peers_) {
-    if (node->alive()) out.push_back(id);
-  }
+  registry_.for_each_node([&](std::uint32_t row, const PeerNode& node) {
+    if (node.alive()) out.push_back(registry_.id(row));
+  });
   std::sort(out.begin(), out.end());
   return out;
 }
 
 std::vector<util::PeerId> System::resource_manager_ids() const {
   std::vector<util::PeerId> out;
-  for (const auto& [id, node] : peers_) {
-    if (node->alive() && node->resource_manager() != nullptr) out.push_back(id);
-  }
+  registry_.for_each_node([&](std::uint32_t row, const PeerNode& node) {
+    if (node.alive() && node.resource_manager() != nullptr) {
+      out.push_back(registry_.id(row));
+    }
+  });
   std::sort(out.begin(), out.end());
   return out;
 }
 
 std::optional<util::PeerId> System::random_alive_peer(util::PeerId exclude) {
   std::vector<util::PeerId> candidates;
-  for (const auto& [id, node] : peers_) {
-    if (id != exclude && node->alive() && node->joined()) {
+  registry_.for_each_node([&](std::uint32_t row, const PeerNode& node) {
+    const util::PeerId id = registry_.id(row);
+    if (id != exclude && node.alive() && node.joined()) {
       candidates.push_back(id);
     }
-  }
+  });
   if (candidates.empty()) return std::nullopt;
   std::sort(candidates.begin(), candidates.end());
   return candidates[placement_rng_.below(candidates.size())];
@@ -407,9 +502,9 @@ std::optional<util::PeerId> System::random_alive_peer(util::PeerId exclude) {
 
 std::size_t System::alive_count() const {
   std::size_t n = 0;
-  for (const auto& [_, node] : peers_) {
-    if (node->alive()) ++n;
-  }
+  registry_.for_each_node([&](std::uint32_t, const PeerNode& node) {
+    if (node.alive()) ++n;
+  });
   return n;
 }
 
@@ -424,6 +519,14 @@ util::TaskId System::submit_task(util::PeerId origin, QoSRequirements q) {
   trace(TraceKind::TaskSubmitted, origin, id);
 
   PeerNode* node = peer(origin);
+  if (node == nullptr) {
+    // First touch of a lazy peer: materialize it and start its join. The
+    // join handshake takes network round-trips, so this first task is
+    // still rejected — cold-start semantics (docs/SCALING.md): the touch
+    // buys *future* submissions a live origin.
+    materialize_peer(origin);
+    node = peer(origin);
+  }
   if (node == nullptr || !node->alive() || !node->joined()) {
     ledger_.on_rejected(id, "origin-unavailable");
     return id;
@@ -459,13 +562,13 @@ bool System::update_task_deadline(util::TaskId task,
 
 std::vector<System::DomainInfo> System::domains() const {
   std::vector<DomainInfo> out;
-  for (const auto& [id, node] : peers_) {
-    const auto* rm = node->resource_manager();
-    if (node->alive() && rm != nullptr) {
-      out.push_back(DomainInfo{rm->info().domain().id(), id,
+  registry_.for_each_node([&](std::uint32_t row, const PeerNode& node) {
+    const auto* rm = node.resource_manager();
+    if (node.alive() && rm != nullptr) {
+      out.push_back(DomainInfo{rm->info().domain().id(), registry_.id(row),
                                rm->info().domain().size()});
     }
-  }
+  });
   std::sort(out.begin(), out.end(), [](const DomainInfo& a, const DomainInfo& b) {
     return a.domain < b.domain;
   });

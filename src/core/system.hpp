@@ -10,6 +10,7 @@
 
 #include "core/config.hpp"
 #include "core/peer_node.hpp"
+#include "core/peer_registry.hpp"
 #include "core/trace.hpp"
 #include "fault/fault_plan.hpp"
 #include "net/network.hpp"
@@ -121,6 +122,36 @@ class System {
   // unknown or the peer is still alive.
   bool restart_peer(util::PeerId peer);
 
+  // --- lazy population (docs/SCALING.md) -------------------------------------
+  // Pre-sizes the flat registry for a bulk registration (exact bytes/peer
+  // accounting at scale; optional otherwise).
+  void reserve_peers(std::size_t n) { registry_.reserve(n); }
+  // Registers a peer as a bare registry row: coordinates are drawn (or
+  // taken from `at`) and the inventory stashed, but no PeerNode, network
+  // endpoint or join traffic exists until the peer is first touched. Costs
+  // a few dozen bytes (PeerRegistry::footprint_bytes accounts it exactly).
+  util::PeerId add_lazy_peer(const overlay::PeerSpec& spec_template,
+                             PeerInventory inventory,
+                             std::optional<net::Coordinates> at = std::nullopt);
+  // First touch: builds the lazy peer's full state (node, endpoint, join).
+  // No-op (false) unless the id names a Lazy row. submit_task materializes
+  // its origin implicitly; the first tasks can still be rejected
+  // "origin-unavailable" while the join handshake runs — cold-start
+  // semantics, see docs/SCALING.md.
+  bool materialize_peer(util::PeerId peer,
+                        std::optional<util::PeerId> contact = std::nullopt);
+  // Returns a quiescent, joined, non-RM peer to a bare row: graceful
+  // leave, endpoint detached, inventory stashed back, node destroyed.
+  // Refuses (false) peers with any in-flight local state (sessions, query
+  // retries, queued jobs) or an RM role.
+  bool demote_peer(util::PeerId peer);
+  // Demotes every materialized peer with no application activity (task
+  // submissions, job completions) for at least `min_idle`. Returns how
+  // many were demoted.
+  std::size_t demote_idle_peers(util::SimDuration min_idle);
+
+  [[nodiscard]] const PeerRegistry& peer_registry() const { return registry_; }
+
   // --- fault injection -------------------------------------------------------
   // Installs and arms a deterministic fault plan (docs/FAULT_MODEL.md):
   // link-level loss/delay/duplication/reordering plus scheduled partitions
@@ -133,7 +164,11 @@ class System {
 
   [[nodiscard]] PeerNode* peer(util::PeerId id);
   [[nodiscard]] const PeerNode* peer(util::PeerId id) const;
+  // Every registered peer id, lazy rows included, sorted. O(population):
+  // prefer materialized_peer_ids() in per-snapshot paths at scale.
   [[nodiscard]] std::vector<util::PeerId> peer_ids() const;
+  // Ids of peers that currently own a PeerNode, sorted.
+  [[nodiscard]] std::vector<util::PeerId> materialized_peer_ids() const;
   [[nodiscard]] std::vector<util::PeerId> alive_peer_ids() const;
   [[nodiscard]] std::vector<util::PeerId> resource_manager_ids() const;
   [[nodiscard]] std::optional<util::PeerId> random_alive_peer(
@@ -207,6 +242,10 @@ class System {
   [[nodiscard]] std::vector<DomainInfo> domains() const;
 
  private:
+  // Constructs a PeerNode for a registered row and wires its network
+  // endpoint (shared by add_peer, materialize_peer and restart_peer).
+  PeerNode* build_node(std::uint32_t row, overlay::PeerSpec spec,
+                       PeerInventory inventory);
   // The engine's shard router: shard_of plus per-domain traffic tallies
   // (the rebalancer's signal for *what* to migrate).
   sim::ShardId route_peer(util::PeerId peer);
@@ -224,9 +263,13 @@ class System {
   sim::Simulator sim_;
   net::Topology topology_;
   std::unique_ptr<net::Network> network_;
-  std::unordered_map<util::PeerId, std::unique_ptr<PeerNode>> peers_;
+  // Flat SoA rows for every peer; PeerNodes only for materialized ones.
+  PeerRegistry registry_;
   // Crashed nodes replaced by restart_peer(). Kept alive until teardown:
   // simulator callbacks they scheduled may still fire (guarded by alive_).
+  // (Demotion, by contrast, *destroys* the node — every deferred callback
+  // a node schedules is routed through its lifetime guard, so that is
+  // safe; restart keeps the parking behaviour to stay byte-identical.)
   std::vector<std::unique_ptr<PeerNode>> retired_;
   std::unique_ptr<fault::FaultInjector> fault_injector_;
   TaskLedger ledger_;

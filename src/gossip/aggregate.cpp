@@ -1,0 +1,66 @@
+#include "gossip/aggregate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p2prm::gossip {
+
+std::size_t DomainAggregate::capability_bucket(double capacity_ops) {
+  if (!(capacity_ops > kCapBase)) return 0;
+  const double b = std::floor(std::log2(capacity_ops / kCapBase));
+  return std::min<std::size_t>(kBuckets - 1, static_cast<std::size_t>(b));
+}
+
+std::size_t DomainAggregate::load_bucket(double utilization) {
+  for (std::size_t i = 0; i + 1 < kBuckets; ++i) {
+    if (utilization < kLoadEdges[i]) return i;
+  }
+  return kBuckets - 1;
+}
+
+void DomainAggregate::add_peer(double capacity_ops, double load_ops,
+                               double utilization) {
+  ++peer_count;
+  total_capacity_ops += capacity_ops;
+  total_load_ops += load_ops;
+  min_utilization = std::min(min_utilization, utilization);
+  max_utilization = std::max(max_utilization, utilization);
+  ++capability_hist[capability_bucket(capacity_ops)];
+  ++load_hist[load_bucket(utilization)];
+}
+
+void DomainAggregate::merge(const DomainAggregate& other) {
+  peer_count += other.peer_count;
+  total_capacity_ops += other.total_capacity_ops;
+  total_load_ops += other.total_load_ops;
+  min_utilization = std::min(min_utilization, other.min_utilization);
+  max_utilization = std::max(max_utilization, other.max_utilization);
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    capability_hist[i] += other.capability_hist[i];
+    load_hist[i] += other.load_hist[i];
+  }
+}
+
+double DomainAggregate::mean_utilization() const {
+  return total_capacity_ops > 0.0 ? total_load_ops / total_capacity_ops : 1.0;
+}
+
+double DomainAggregate::load_quantile(double q) const {
+  if (peer_count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the quantile peer, 1-based: ceil(q * n), at least 1.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * peer_count)));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cum += load_hist[i];
+    if (cum >= rank) {
+      // The top band has no finite upper edge; report the tracked max.
+      if (i + 1 == kBuckets) return max_utilization;
+      return kLoadEdges[i];
+    }
+  }
+  return max_utilization;
+}
+
+}  // namespace p2prm::gossip

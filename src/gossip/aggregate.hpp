@@ -1,0 +1,78 @@
+// Per-domain gossip aggregate — the hierarchical InfoBase row (§3.1, §4.4).
+//
+// At million-peer scale an RM cannot gossip (or store) per-peer rows for
+// remote domains: the info base must stay O(domains), not O(peers). The
+// aggregate is the fixed-size domain digest that replaces the per-peer
+// view for everything inter-domain admission and redirection actually
+// read: member count, capacity/load totals, the utilization extremes, a
+// log-bucketed capability histogram and a coarse utilization-quantile
+// sketch (after the slicing papers' "answer rank queries from maintained
+// order" idea, collapsed to fixed buckets so the row is constant-size).
+//
+// Exactness contract: InfoBase::build_aggregate() copies peer_count,
+// totals and min_utilization verbatim from the incrementally maintained
+// LoadIndex — the same cached values legacy admission reads — so decisions
+// made through the aggregate are bit-identical to the per-peer path
+// (tests/scale_test.cpp proves this on seeds 1..50). Only the histograms
+// are derived per build.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace p2prm::gossip {
+
+struct DomainAggregate {
+  // Histogram geometry. Capability buckets are log2-spaced starting at
+  // kCapBase ops/s (bucket i covers [kCapBase*2^i, kCapBase*2^(i+1)),
+  // clamped at both ends). Load buckets are the utilization bands the
+  // adaptation thresholds live in; the final band catches >= 1.0.
+  static constexpr std::size_t kBuckets = 8;
+  static constexpr double kCapBase = 64.0;
+  static constexpr std::array<double, kBuckets> kLoadEdges = {
+      0.25, 0.50, 0.70, 0.80, 0.90, 0.95, 1.00,
+      std::numeric_limits<double>::infinity()};
+
+  std::uint32_t peer_count = 0;
+  double total_capacity_ops = 0.0;
+  double total_load_ops = 0.0;
+  double min_utilization = std::numeric_limits<double>::infinity();
+  double max_utilization = -std::numeric_limits<double>::infinity();
+  std::array<std::uint32_t, kBuckets> capability_hist{};
+  std::array<std::uint32_t, kBuckets> load_hist{};
+
+  [[nodiscard]] static std::size_t capability_bucket(double capacity_ops);
+  [[nodiscard]] static std::size_t load_bucket(double utilization);
+
+  // Folds one member in. Commutative in every field, so fold order does
+  // not matter. `utilization` is passed explicitly to inherit LoadIndex's
+  // zero-capacity convention (counts as fully utilized).
+  void add_peer(double capacity_ops, double load_ops, double utilization);
+
+  // Element-wise union of two domain digests (gossip reconciliation of
+  // partial views). Commutative and associative.
+  void merge(const DomainAggregate& other);
+
+  // total_load / total_capacity, or 1.0 when the domain has no capacity —
+  // LoadIndex::mean_utilization()'s convention, NOT DomainSummary's
+  // (which returns 0.0); callers choosing between the two paths must pick
+  // one convention and stick to it.
+  [[nodiscard]] double mean_utilization() const;
+
+  // Upper edge of the utilization band containing the q-th quantile peer
+  // (q in [0,1]); the sketch answer, exact to one band. Empty aggregate
+  // or q over the top band: max_utilization (or 0 when empty).
+  [[nodiscard]] double load_quantile(double q) const;
+
+  [[nodiscard]] bool empty() const { return peer_count == 0; }
+
+  // 4 scalar counts/totals/extremes (8B each, count padded) + two u32
+  // histograms.
+  [[nodiscard]] std::size_t wire_size() const {
+    return 8 * 5 + 2 * kBuckets * 4;
+  }
+};
+
+}  // namespace p2prm::gossip

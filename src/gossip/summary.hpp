@@ -8,9 +8,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "bloom/bloom_filter.hpp"
+#include "gossip/aggregate.hpp"
 #include "util/ids.hpp"
 #include "util/time.hpp"
 
@@ -30,11 +32,18 @@ struct DomainSummary {
   bloom::BloomFilter objects{};   // SumO_k
   bloom::BloomFilter services{};  // SumS_k  (keyed by TranscoderType::type_key)
 
+  // Hierarchical digest of the domain (histograms + utilization extremes),
+  // populated only when SystemConfig::gossip_domain_aggregates is on;
+  // absent summaries cost exactly the legacy wire bytes, so golden traces
+  // with the knob off are unchanged.
+  std::optional<DomainAggregate> aggregate;
+
   [[nodiscard]] double utilization() const {
     return total_capacity_ops > 0.0 ? total_load_ops / total_capacity_ops : 0.0;
   }
   [[nodiscard]] std::size_t wire_size() const {
-    return 8 * 6 + objects.wire_size() + services.wire_size();
+    return 8 * 6 + objects.wire_size() + services.wire_size() +
+           (aggregate ? aggregate->wire_size() : 0);
   }
 };
 

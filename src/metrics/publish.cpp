@@ -1,8 +1,11 @@
 #include "metrics/publish.hpp"
 
+#include <algorithm>
+
 namespace p2prm::metrics {
 
-void publish_all(const core::System& system, obs::MetricsRegistry& registry) {
+void publish_system(const core::System& system,
+                    obs::MetricsRegistry& registry) {
   const core::TaskLedger& ledger = system.ledger();
   registry.counter("tasks.submitted").set(ledger.submitted());
   registry.counter("tasks.admitted").set(ledger.admitted());
@@ -32,9 +35,35 @@ void publish_all(const core::System& system, obs::MetricsRegistry& registry) {
   // values its sequential twin would (sim.parallel.* stays out of the
   // snapshot for the same reason; publish it explicitly if needed).
   system.simulator().publish_queue(registry);
-  for (util::PeerId id : system.peer_ids()) {
+  system.peer_registry().publish(registry);
+}
+
+void publish_all(const core::System& system, obs::MetricsRegistry& registry) {
+  publish_system(system, registry);
+  // Materialized ids only: lazy rows have no node and therefore no series,
+  // so skipping them is output-identical and O(materialized) not O(peers).
+  for (util::PeerId id : system.materialized_peer_ids()) {
     const core::PeerNode* node = system.peer(id);
     if (node != nullptr && node->alive()) node->publish(registry);
+  }
+}
+
+void publish_streamed(const core::System& system, std::size_t chunk_peers,
+                      const SampleSink& sink) {
+  if (chunk_peers == 0) chunk_peers = 1;
+  obs::MetricsRegistry scratch;
+  publish_system(system, scratch);
+  scratch.for_each_sample(sink);
+
+  const auto ids = system.materialized_peer_ids();
+  for (std::size_t begin = 0; begin < ids.size(); begin += chunk_peers) {
+    scratch.clear();
+    const std::size_t end = std::min(begin + chunk_peers, ids.size());
+    for (std::size_t i = begin; i < end; ++i) {
+      const core::PeerNode* node = system.peer(ids[i]);
+      if (node != nullptr && node->alive()) node->publish(scratch);
+    }
+    scratch.for_each_sample(sink);
   }
 }
 

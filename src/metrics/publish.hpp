@@ -6,7 +6,15 @@
 // together — ledger outcomes, network traffic, event-queue health, every
 // peer (and through it each RM's domain metrics). Call it at the moment
 // you want a snapshot; nothing is accumulated between calls.
+//
+// publish_streamed() is the million-peer variant: the same series, but
+// drained to a sink in chunks of peers so peak exporter memory is
+// O(system series + chunk), never O(peers). obs_test.cpp proves the
+// streamed sample set equals the monolithic snapshot for any chunk size.
 #pragma once
+
+#include <cstddef>
+#include <functional>
 
 #include "core/system.hpp"
 #include "obs/metrics_registry.hpp"
@@ -14,5 +22,19 @@
 namespace p2prm::metrics {
 
 void publish_all(const core::System& system, obs::MetricsRegistry& registry);
+
+// System-wide series only (ledger, network, event queue, peer registry
+// gauges) — publish_all minus the per-peer loop.
+void publish_system(const core::System& system, obs::MetricsRegistry& registry);
+
+using SampleSink = std::function<void(const obs::MetricsRegistry::Sample&)>;
+
+// Streams the full publish_all() series to `sink` without ever holding
+// them all: system-wide series first (sorted), then materialized peers in
+// ascending id order, `chunk_peers` at a time, each chunk's series sorted
+// within itself. The emitted multiset of samples is identical to
+// snapshotting publish_all(); only the global interleaving differs.
+void publish_streamed(const core::System& system, std::size_t chunk_peers,
+                      const SampleSink& sink);
 
 }  // namespace p2prm::metrics

@@ -29,7 +29,7 @@ void Topology::ensure_clusters(util::Rng& rng) {
   }
 }
 
-Coordinates Topology::place(util::PeerId peer, util::Rng& rng) {
+Coordinates Topology::draw(util::Rng& rng) {
   Coordinates c;
   if (config_.cluster_count > 0) {
     ensure_clusters(rng);
@@ -43,6 +43,11 @@ Coordinates Topology::place(util::PeerId peer, util::Rng& rng) {
     c.x = rng.uniform(0.0, config_.world_size);
     c.y = rng.uniform(0.0, config_.world_size);
   }
+  return c;
+}
+
+Coordinates Topology::place(util::PeerId peer, util::Rng& rng) {
+  const Coordinates c = draw(rng);
   coords_[peer] = c;
   return c;
 }
@@ -65,7 +70,17 @@ Coordinates Topology::coordinates(util::PeerId peer) const {
 
 util::SimDuration Topology::latency(util::PeerId a, util::PeerId b) const {
   if (a == b) return 0;
-  const double d = distance(coordinates(a), coordinates(b));
+  // A peer demoted back to a lazy registry row keeps its coordinates in
+  // the row, not here (the table stays O(materialized)). An in-flight
+  // estimate can still name such a peer — the RM's LeaveNotice is
+  // asynchronous — so degrade to the conservative worst case (the world
+  // diagonal) instead of throwing. Unreachable before demotion existed:
+  // leave/crash never removed coordinates.
+  const Coordinates* ca = coords_.find(a);
+  const Coordinates* cb = coords_.find(b);
+  const double d = (ca != nullptr && cb != nullptr)
+                       ? distance(*ca, *cb)
+                       : config_.world_size * std::sqrt(2.0);
   const double s = config_.base_latency_s + d * config_.latency_per_unit_s;
   return util::from_seconds(s);
 }

@@ -40,6 +40,11 @@ class Topology {
  public:
   explicit Topology(TopologyConfig config = {});
 
+  // Draws placement coordinates without registering the peer. Lazy peers
+  // (docs/SCALING.md) keep their draw in the flat registry row and only
+  // enter the topology when they materialize, so the coordinate table
+  // scales with the *materialized* population.
+  Coordinates draw(util::Rng& rng);
   // Places a peer (clustered placement draws the cluster first).
   Coordinates place(util::PeerId peer, util::Rng& rng);
   // Places at explicit coordinates (tests, reproducing figures).

@@ -75,9 +75,8 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
   return *m.histogram;
 }
 
-std::vector<MetricsRegistry::Sample> MetricsRegistry::snapshot() const {
-  std::vector<Sample> out;
-  out.reserve(metrics_.size());
+void MetricsRegistry::for_each_sample(
+    const std::function<void(const Sample&)>& fn) const {
   for (const auto& [key, metric] : metrics_) {
     Sample s;
     s.name = key.first;
@@ -99,9 +98,15 @@ std::vector<MetricsRegistry::Sample> MetricsRegistry::snapshot() const {
         }
         break;
     }
-    out.push_back(std::move(s));
-  }
-  return out;  // std::map iteration is already (name, labels)-sorted
+    fn(s);
+  }  // std::map iteration is already (name, labels)-sorted
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::snapshot() const {
+  std::vector<Sample> out;
+  out.reserve(metrics_.size());
+  for_each_sample([&](const Sample& s) { out.push_back(s); });
+  return out;
 }
 
 }  // namespace p2prm::obs

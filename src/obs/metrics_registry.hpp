@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -106,6 +107,13 @@ class MetricsRegistry {
   };
   // Sorted by (name, labels) — the deterministic exporter order.
   [[nodiscard]] std::vector<Sample> snapshot() const;
+
+  // Streaming snapshot: calls fn(const Sample&) per series in the same
+  // (name, labels) order, without materializing the whole vector. The
+  // million-peer exporter path (metrics::publish_streamed) drains scratch
+  // registries through this, keeping peak exporter memory O(chunk).
+  void for_each_sample(
+      const std::function<void(const Sample&)>& fn) const;
 
   [[nodiscard]] std::size_t size() const { return metrics_.size(); }
   [[nodiscard]] bool empty() const { return metrics_.empty(); }

@@ -13,9 +13,11 @@ void Domain::add_member(const PeerSpec& spec, util::SimTime now) {
   rec.joined_at = now;
   rec.last_report = now;
   members_[spec.id] = rec;
+  slices_.upsert(spec.id, rec.score, rec.eligible_rm);
 }
 
 bool Domain::remove_member(util::PeerId peer) {
+  slices_.remove(peer);
   return members_.erase(peer) > 0;
 }
 
@@ -44,6 +46,7 @@ void Domain::record_report(util::PeerId peer, const profile::LoadSample& sample,
   it->second.last_report = now;
   it->second.eligible_rm = eligible;
   it->second.score = score;
+  slices_.upsert(peer, score, eligible);
 }
 
 std::vector<util::PeerId> Domain::stale_members(
@@ -58,6 +61,10 @@ std::vector<util::PeerId> Domain::stale_members(
 }
 
 std::vector<util::PeerId> Domain::eligible_ranked() const {
+  return slices_.ranked(rm_);
+}
+
+std::vector<util::PeerId> Domain::eligible_ranked_scan() const {
   std::vector<std::pair<double, util::PeerId>> ranked;
   for (const auto& [id, rec] : members_) {
     if (id == rm_ || !rec.eligible_rm) continue;
@@ -74,9 +81,7 @@ std::vector<util::PeerId> Domain::eligible_ranked() const {
 }
 
 std::optional<util::PeerId> Domain::backup() const {
-  const auto ranked = eligible_ranked();
-  if (ranked.empty()) return std::nullopt;
-  return ranked.front();
+  return slices_.top(rm_);
 }
 
 double Domain::total_capacity_ops() const {

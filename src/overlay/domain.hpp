@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "overlay/peer.hpp"
+#include "overlay/slice_index.hpp"
 #include "profile/profiler.hpp"
 #include "util/ids.hpp"
 
@@ -57,9 +58,15 @@ class Domain {
 
   // --- RM succession ---------------------------------------------------------
   // Eligible members ranked by score desc (ties by id asc), excluding the
-  // current RM. The head is the backup Resource Manager.
+  // current RM. The head is the backup Resource Manager. Served from the
+  // incrementally maintained capability slice index; eligible_ranked_scan()
+  // is the legacy collect-and-sort, kept as the differential oracle
+  // (tests/scale_test.cpp proves both identical on seeds 1..20 — the
+  // comparator is a strict total order, so the result is unique).
   [[nodiscard]] std::vector<util::PeerId> eligible_ranked() const;
+  [[nodiscard]] std::vector<util::PeerId> eligible_ranked_scan() const;
   [[nodiscard]] std::optional<util::PeerId> backup() const;
+  [[nodiscard]] const SliceIndex& slices() const { return slices_; }
 
   // --- aggregates -------------------------------------------------------------
   [[nodiscard]] double total_capacity_ops() const;
@@ -72,6 +79,8 @@ class Domain {
   util::PeerId rm_;
   std::uint64_t epoch_ = 0;
   std::unordered_map<util::PeerId, MemberRecord> members_;
+  // Capability order maintained under membership/report churn.
+  SliceIndex slices_;
 };
 
 }  // namespace p2prm::overlay

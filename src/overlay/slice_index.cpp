@@ -1,0 +1,80 @@
+#include "overlay/slice_index.hpp"
+
+#include <algorithm>
+
+namespace p2prm::overlay {
+
+namespace {
+// The capability order: higher score first, ties broken by lower id.
+[[nodiscard]] bool precedes(double score_a, util::PeerId id_a, double score_b,
+                            util::PeerId id_b) {
+  if (score_a != score_b) return score_a > score_b;
+  return id_a < id_b;
+}
+}  // namespace
+
+std::size_t SliceIndex::lower_bound(double score, util::PeerId id) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), std::pair{score, id},
+      [](const Entry& e, const std::pair<double, util::PeerId>& key) {
+        return precedes(e.score, e.id, key.first, key.second);
+      });
+  return static_cast<std::size_t>(it - entries_.begin());
+}
+
+void SliceIndex::upsert(util::PeerId id, double score, bool eligible) {
+  remove(id);
+  Entry e{score, id, eligible};
+  entries_.insert(entries_.begin() +
+                      static_cast<std::ptrdiff_t>(lower_bound(score, id)),
+                  e);
+}
+
+bool SliceIndex::remove(util::PeerId id) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].id == id) {
+      entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+const SliceIndex::Entry* SliceIndex::find(util::PeerId id) const {
+  for (const Entry& e : entries_) {
+    if (e.id == id) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<util::PeerId> SliceIndex::ranked(util::PeerId exclude) const {
+  std::vector<util::PeerId> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    if (e.eligible && e.id != exclude) out.push_back(e.id);
+  }
+  return out;
+}
+
+std::optional<util::PeerId> SliceIndex::top(util::PeerId exclude) const {
+  for (const Entry& e : entries_) {
+    if (e.eligible && e.id != exclude) return e.id;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> SliceIndex::rank_of(util::PeerId id) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].id == id) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> SliceIndex::slice_of(util::PeerId id,
+                                                std::size_t slices) const {
+  const auto rank = rank_of(id);
+  if (!rank || slices == 0 || entries_.empty()) return std::nullopt;
+  return std::min(slices - 1, *rank * slices / entries_.size());
+}
+
+}  // namespace p2prm::overlay

@@ -1,0 +1,66 @@
+// Capability-ordered slice index (after "Distributed Slicing in Dynamic
+// Systems", PAPERS.md).
+//
+// The slicing papers' observation: to pick "the most capable peers" under
+// churn you do not need to re-sort the population per query — maintain the
+// capability order incrementally as reports arrive and answer rank/slice
+// queries from the maintained order. Domains are bounded (max_domain_size),
+// so the maintained order is a small sorted vector: updates are O(domain)
+// memmoves, and RM-election / backup-selection queries become a filtered
+// scan of an already-ordered sequence instead of a collect-and-sort per
+// call. The order is the strict total order (score desc, id asc) — exactly
+// the comparator the legacy full scan sorts by, which is what makes the
+// slice-vs-scan differential (tests/scale_test.cpp, seeds 1..20) exact.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "util/ids.hpp"
+
+namespace p2prm::overlay {
+
+class SliceIndex {
+ public:
+  struct Entry {
+    double score = 0.0;
+    util::PeerId id;
+    bool eligible = false;
+  };
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  void clear() { entries_.clear(); }
+
+  // Inserts or repositions `id` at its (score, id) rank.
+  void upsert(util::PeerId id, double score, bool eligible);
+  bool remove(util::PeerId id);
+  [[nodiscard]] const Entry* find(util::PeerId id) const;
+
+  // Eligible ids in capability order (score desc, ties id asc), skipping
+  // `exclude` (the current RM). The head is the backup candidate.
+  [[nodiscard]] std::vector<util::PeerId> ranked(
+      util::PeerId exclude = util::PeerId::invalid()) const;
+  [[nodiscard]] std::optional<util::PeerId> top(
+      util::PeerId exclude = util::PeerId::invalid()) const;
+
+  // Slicing-paper queries: the 0-based rank of `id` in the capability
+  // order, and the slice (0 = most capable) it falls in when the
+  // population is cut into `slices` equal groups.
+  [[nodiscard]] std::optional<std::size_t> rank_of(util::PeerId id) const;
+  [[nodiscard]] std::optional<std::size_t> slice_of(util::PeerId id,
+                                                    std::size_t slices) const;
+
+  // Whole order, most capable first (aggregation histograms iterate it).
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  // Sorted by (score desc, id asc) — a strict total order, so the layout
+  // is unique regardless of update sequence.
+  std::vector<Entry> entries_;
+
+  [[nodiscard]] std::size_t lower_bound(double score, util::PeerId id) const;
+};
+
+}  // namespace p2prm::overlay

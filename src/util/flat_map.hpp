@@ -119,8 +119,14 @@ class FlatMap {
   }
 
   void insert_or_assign(const K& key, V value) {
-    auto [slot, inserted] = try_emplace(key, std::move(value));
-    if (!inserted) *slot = std::move(value);
+    maybe_grow();
+    const std::size_t i = insert_slot(key);
+    if (!used_[i]) {
+      used_[i] = 1;
+      keys_[i] = key;
+      ++size_;
+    }
+    values_[i] = std::move(value);
   }
 
   // True when the key was present. Backward-shift deletion: no tombstones.
@@ -167,6 +173,10 @@ class FlatMap {
     }
   }
 
+  // Bucket count of the open-addressing table (memory accounting: the
+  // table owns capacity() * (sizeof(K) + sizeof(V) + 1) bytes).
+  [[nodiscard]] std::size_t capacity() const { return used_.size(); }
+
   // Probe length the key currently needs (1 = home slot). 0 when absent.
   // Deterministic given the insertion sequence; the bench_micro map
   // benchmark reports the mean as its structural work counter.
@@ -185,8 +195,6 @@ class FlatMap {
  private:
   static constexpr std::size_t kMinCapacity = 8;
   static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
-
-  [[nodiscard]] std::size_t capacity() const { return used_.size(); }
 
   [[nodiscard]] std::size_t bucket_of(const K& key) const {
     return static_cast<std::size_t>(detail::mix_u64(detail::key_bits(key))) &
@@ -227,7 +235,10 @@ class FlatMap {
     std::vector<V> old_values = std::move(values_);
     std::vector<std::uint8_t> old_used = std::move(used_);
     keys_.assign(new_cap, K{});
-    values_.assign(new_cap, V{});
+    // resize (not assign) so V only needs default + move construction —
+    // move-only values (unique_ptr slots) are supported.
+    values_.clear();
+    values_.resize(new_cap);
     used_.assign(new_cap, 0);
     const std::size_t n = size_;
     size_ = 0;

@@ -620,6 +620,50 @@ TEST(PublishAll, RegistryMatchesComponentStats) {
   }
 }
 
+TEST(PublishStreamed, ChunkedEqualsMonolithicForAnyChunkSize) {
+  core::SystemConfig config;
+  config.seed = 2027;
+  core::System system(config);
+  for (int i = 0; i < 6; ++i) {
+    overlay::PeerSpec spec;
+    spec.capacity_ops_per_s = 1e8;
+    system.add_peer(spec, {});
+    system.run_for(util::seconds(1));
+  }
+  system.run_for(util::seconds(3));
+
+  obs::MetricsRegistry mono;
+  metrics::publish_all(system, mono);
+  const auto expected = mono.snapshot();
+  ASSERT_FALSE(expected.empty());
+
+  const auto key = [](const obs::MetricsRegistry::Sample& s) {
+    return std::pair{s.name, s.labels};
+  };
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{5}, std::size_t{100}}) {
+    std::vector<obs::MetricsRegistry::Sample> streamed;
+    metrics::publish_streamed(
+        system, chunk,
+        [&](const obs::MetricsRegistry::Sample& s) { streamed.push_back(s); });
+    // Streaming changes only the global interleaving; once re-sorted the
+    // series must match the monolithic snapshot exactly.
+    std::sort(streamed.begin(), streamed.end(),
+              [&](const auto& a, const auto& b) { return key(a) < key(b); });
+    ASSERT_EQ(streamed.size(), expected.size()) << "chunk " << chunk;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(key(streamed[i]), key(expected[i]));
+      EXPECT_EQ(streamed[i].kind, expected[i].kind);
+      EXPECT_EQ(streamed[i].counter_value, expected[i].counter_value);
+      EXPECT_EQ(streamed[i].gauge_value, expected[i].gauge_value);
+      EXPECT_EQ(streamed[i].bounds, expected[i].bounds);
+      EXPECT_EQ(streamed[i].bucket_counts, expected[i].bucket_counts);
+      EXPECT_EQ(streamed[i].sum, expected[i].sum);
+      EXPECT_EQ(streamed[i].count, expected[i].count);
+    }
+  }
+}
+
 TEST(MetricsJsonV1, KeepsLegacyShapeWithSchemaVersion) {
   core::SystemConfig config;
   config.seed = 1;

@@ -1,0 +1,405 @@
+// PR-7 scale battery (docs/SCALING.md): locks in the three mechanisms the
+// million-peer ceiling rests on.
+//
+//   1. Flat per-peer state — an idle (lazy) peer costs registry rows only,
+//      under the documented 128 B/peer budget, and a materialize/demote
+//      round trip preserves identity, placement and inventory.
+//   2. Capability slice index — RM-election and backup-selection answers
+//      from the incrementally maintained order are identical to the legacy
+//      collect-and-sort under arbitrary membership/report churn (the
+//      comparator is a strict total order, so equality is exact, not
+//      probabilistic).
+//   3. Hierarchical info base — admission through the per-domain aggregate
+//      is bit-identical to the per-peer path (the aggregate copies the
+//      LoadIndex scalars verbatim), unit-level across seeds 1..50 and
+//      end-to-end on full simulations.
+//
+// Sized by env vars so the tier-1 run stays fast: P2PRM_SCALE_PEERS (lazy
+// rows, default 100000) and P2PRM_SCALE_FULL=1 (widens the end-to-end
+// differential to 1000 peers; CI's nightly scale job sets it).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <tuple>
+
+#include "check/runner.hpp"
+#include "check/scenario.hpp"
+#include "core/admission.hpp"
+#include "core/system.hpp"
+#include "media/catalog.hpp"
+#include "net/network.hpp"
+#include "overlay/domain.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/heterogeneity.hpp"
+#include "workload/requests.hpp"
+
+namespace p2prm {
+namespace {
+
+using namespace core;
+using namespace workload;
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+SystemConfig small_config(std::uint64_t seed = 7) {
+  SystemConfig config;
+  config.seed = seed;
+  config.max_domain_size = 16;
+  return config;
+}
+
+struct SmallWorld {
+  media::Catalog catalog = media::ladder_catalog();
+  System system;
+  util::Rng rng{123};
+  ObjectPopulation population;
+  PeerFactory factory;
+
+  explicit SmallWorld(SystemConfig config = small_config())
+      : system(config),
+        population(catalog, {}, system, rng),
+        factory(make_peer_factory(catalog, population, {}, {}, system, rng)) {}
+};
+
+// --- 1. flat state & lazy lifecycle -----------------------------------------
+
+TEST(ScaleLazy, HundredThousandLazyRowsUnderBudget) {
+  const auto lazy_rows = env_u64("P2PRM_SCALE_PEERS", 100000);
+  SmallWorld world;
+  bootstrap_network(world.system, world.factory, 16);
+
+  world.system.reserve_peers(lazy_rows + 16);
+  util::Rng spec_rng(41);
+  for (std::uint64_t i = 0; i < lazy_rows; ++i) {
+    const auto spec = draw_peer_spec({}, spec_rng, world.system.simulator().now());
+    world.system.add_lazy_peer(spec, {});
+  }
+  const auto& reg = world.system.peer_registry();
+  EXPECT_EQ(reg.size(), lazy_rows + 16);
+  EXPECT_EQ(reg.materialized(), 16u);
+
+  // The documented idle budget (docs/SCALING.md budget table): flat rows
+  // plus the id->row map, at current capacity, never exceed 128 B/peer.
+  const double bytes_per_peer =
+      static_cast<double>(reg.footprint_bytes()) /
+      static_cast<double>(reg.size());
+  EXPECT_LE(bytes_per_peer, 128.0)
+      << "idle bytes/peer over documented budget";
+
+  // Lazy rows must not inflate O(materialized) structures.
+  EXPECT_EQ(world.system.alive_peer_ids().size(), 16u);
+  EXPECT_EQ(world.system.materialized_peer_ids().size(), 16u);
+}
+
+TEST(ScaleLazy, MaterializeDemoteRoundTripPreservesIdentity) {
+  SmallWorld world;
+  bootstrap_network(world.system, world.factory, 8);
+
+  // Lazy peer with a real provisioned inventory: the stash must survive
+  // the round trip. Tiny capability keeps it out of RM/backup election —
+  // a designated backup is never quiescent, so it could not demote.
+  auto [spec, inventory] = world.factory();
+  spec.capacity_ops_per_s = 1e3;
+  const std::size_t objects = inventory.objects.size();
+  const auto id = world.system.add_lazy_peer(spec, std::move(inventory));
+  EXPECT_EQ(world.system.peer(id), nullptr);
+
+  ASSERT_TRUE(world.system.materialize_peer(id));
+  world.system.run_for(util::seconds(3));
+  auto* node = world.system.peer(id);
+  ASSERT_NE(node, nullptr);
+  EXPECT_TRUE(node->joined());
+  EXPECT_EQ(node->inventory().objects.size(), objects);
+  const auto coords_live = world.system.topology().coordinates(id);
+
+  // Idle since start -> demotable once quiescent.
+  const std::size_t demoted =
+      world.system.demote_idle_peers(util::seconds(1));
+  EXPECT_GE(demoted, 1u);
+  EXPECT_EQ(world.system.peer(id), nullptr);
+  EXPECT_FALSE(world.system.topology().contains(id));
+
+  // Round trip again: same id, same placement, inventory restored.
+  ASSERT_TRUE(world.system.materialize_peer(id));
+  world.system.run_for(util::seconds(3));
+  node = world.system.peer(id);
+  ASSERT_NE(node, nullptr);
+  EXPECT_TRUE(node->joined());
+  EXPECT_EQ(node->spec().id, id);
+  EXPECT_EQ(node->inventory().objects.size(), objects);
+  const auto coords_again = world.system.topology().coordinates(id);
+  EXPECT_EQ(coords_live.x, coords_again.x);
+  EXPECT_EQ(coords_live.y, coords_again.y);
+}
+
+TEST(ScaleLazy, DemotionRefusesBusyAndRmPeers) {
+  SmallWorld world;
+  const auto ids = bootstrap_network(world.system, world.factory, 8);
+  const auto rms = world.system.resource_manager_ids();
+  ASSERT_FALSE(rms.empty());
+  // The RM holds the domain: never demotable, however idle.
+  EXPECT_FALSE(world.system.demote_peer(rms.front()));
+  // Unknown / lazy ids are refused too.
+  EXPECT_FALSE(world.system.demote_peer(util::PeerId{999999}));
+}
+
+TEST(ScaleLazy, SubmitTaskMaterializesLazyOrigin) {
+  SmallWorld world;
+  bootstrap_network(world.system, world.factory, 16);
+  auto [spec, inventory] = world.factory();
+  const auto id = world.system.add_lazy_peer(spec, std::move(inventory));
+  ASSERT_EQ(world.system.peer(id), nullptr);
+
+  RequestSynthesizer synthesizer(world.catalog, world.population, {});
+  world.system.submit_task(id, synthesizer.draw(world.rng));
+  // First touch: the origin now exists and is joining (cold-start
+  // semantics — the first task itself may be rejected while the join
+  // handshake runs; docs/SCALING.md).
+  EXPECT_NE(world.system.peer(id), nullptr);
+  world.system.run_for(util::seconds(3));
+  EXPECT_TRUE(world.system.peer(id)->joined());
+}
+
+// --- 2. slice index vs full scan --------------------------------------------
+
+TEST(ScaleSlice, RankedElectionMatchesFullScanUnderChurn) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    util::Rng rng(seed);
+    overlay::Domain domain(util::DomainId{1}, util::PeerId{1});
+    std::vector<util::PeerId> members;
+
+    for (int step = 0; step < 400; ++step) {
+      const double roll = rng.uniform(0.0, 1.0);
+      if (roll < 0.35 || members.size() < 3) {
+        overlay::PeerSpec spec;
+        spec.id = util::PeerId{seed * 100000 + static_cast<std::uint64_t>(step)};
+        spec.capacity_ops_per_s = rng.uniform(1e6, 100e6);
+        domain.add_member(spec, step);
+        members.push_back(spec.id);
+      } else if (roll < 0.55) {
+        const auto victim = members[rng.below(members.size())];
+        domain.remove_member(victim);
+        members.erase(std::find(members.begin(), members.end(), victim));
+      } else {
+        const auto peer = members[rng.below(members.size())];
+        profile::LoadSample sample;
+        sample.smoothed_load_ops = rng.uniform(0.0, 50e6);
+        // Coarse scores on purpose: ties exercise the id tie-break.
+        const double score = std::floor(rng.uniform(0.0, 8.0));
+        domain.record_report(peer, sample, step, rng.bernoulli(0.7), score);
+      }
+      ASSERT_EQ(domain.eligible_ranked(), domain.eligible_ranked_scan())
+          << "seed " << seed << " step " << step;
+      const auto ranked = domain.eligible_ranked_scan();
+      const auto backup = domain.backup();
+      if (ranked.empty()) {
+        EXPECT_FALSE(backup.has_value());
+      } else {
+        ASSERT_TRUE(backup.has_value());
+        EXPECT_EQ(*backup, ranked.front());
+      }
+    }
+  }
+}
+
+TEST(ScaleSlice, SliceQueriesFollowCapabilityOrder) {
+  overlay::SliceIndex idx;
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    idx.upsert(util::PeerId{i}, static_cast<double>(i), true);
+  }
+  // Highest score ranks first.
+  EXPECT_EQ(idx.rank_of(util::PeerId{10}), std::size_t{0});
+  EXPECT_EQ(idx.rank_of(util::PeerId{1}), std::size_t{9});
+  // Two slices: top half vs bottom half.
+  EXPECT_EQ(idx.slice_of(util::PeerId{10}, 2), std::size_t{0});
+  EXPECT_EQ(idx.slice_of(util::PeerId{1}, 2), std::size_t{1});
+}
+
+// --- 3. hierarchical aggregate vs legacy ------------------------------------
+
+TEST(ScaleHierarchical, AdmissionBitExactAcrossFiftySeeds) {
+  SystemConfig legacy;
+  SystemConfig hier;
+  hier.enable_hierarchical_infobase = true;
+
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    util::Rng rng(seed);
+    InfoBase info(util::DomainId{1}, util::PeerId{1});
+    for (int step = 0; step < 200; ++step) {
+      const std::uint64_t peer = 1 + rng.below(32);
+      if (!info.domain().has_member(util::PeerId{peer})) {
+        overlay::PeerSpec spec;
+        spec.id = util::PeerId{peer};
+        spec.capacity_ops_per_s = rng.uniform(1e6, 100e6);
+        info.add_member(spec, step);
+      }
+      ProfilerReport report;
+      report.sample.smoothed_load_ops = rng.uniform(0.0, 120e6);
+      info.record_report(util::PeerId{peer}, report, step);
+      if (rng.bernoulli(0.3)) {
+        info.commit_load(util::PeerId{peer}, rng.uniform(0.0, 10e6), step);
+      }
+
+      // Bit-exact, not approximately equal: the aggregate copies the
+      // LoadIndex scalars verbatim.
+      const auto agg = info.build_aggregate();
+      ASSERT_EQ(agg.min_utilization, info.load_index().min_utilization());
+      ASSERT_EQ(agg.total_load_ops, info.load_index().total_load());
+      ASSERT_EQ(agg.total_capacity_ops, info.load_index().total_capacity());
+      ASSERT_EQ(agg.mean_utilization(), info.load_index().mean_utilization());
+      ASSERT_EQ(agg.peer_count, info.load_index().size());
+
+      ASSERT_EQ(domain_overloaded(info, hier), domain_overloaded(info, legacy))
+          << "seed " << seed << " step " << step;
+      ASSERT_EQ(mean_domain_utilization(info, hier),
+                mean_domain_utilization(info, legacy));
+      const double importance = rng.uniform(0.0, 1.0);
+      const auto a = check_admission(info, hier, importance);
+      const auto b = check_admission(info, legacy, importance);
+      ASSERT_EQ(a.admit, b.admit);
+      ASSERT_EQ(a.domain_overloaded, b.domain_overloaded);
+      ASSERT_EQ(a.reason, b.reason);
+    }
+  }
+}
+
+TEST(ScaleHierarchical, AggregateHistogramsAreConsistent) {
+  InfoBase info(util::DomainId{1}, util::PeerId{1});
+  util::Rng rng(5);
+  for (std::uint64_t peer = 1; peer <= 24; ++peer) {
+    overlay::PeerSpec spec;
+    spec.id = util::PeerId{peer};
+    spec.capacity_ops_per_s = rng.uniform(1e6, 100e6);
+    info.add_member(spec, 0);
+    ProfilerReport report;
+    report.sample.smoothed_load_ops = rng.uniform(0.0, 80e6);
+    info.record_report(util::PeerId{peer}, report, 0);
+  }
+  const auto agg = info.build_aggregate();
+  std::uint32_t cap_total = 0;
+  std::uint32_t load_total = 0;
+  for (std::size_t i = 0; i < gossip::DomainAggregate::kBuckets; ++i) {
+    cap_total += agg.capability_hist[i];
+    load_total += agg.load_hist[i];
+  }
+  EXPECT_EQ(cap_total, agg.peer_count);
+  EXPECT_EQ(load_total, agg.peer_count);
+  EXPECT_GE(agg.max_utilization, agg.min_utilization);
+  // Quantile sketch brackets the extremes.
+  EXPECT_GE(agg.load_quantile(1.0), agg.load_quantile(0.0));
+  // Merge of two halves equals the whole (counts and totals).
+  gossip::DomainAggregate a;
+  gossip::DomainAggregate b;
+  info.load_index().for_each(
+      [&](util::PeerId peer, double load, double cap, double util) {
+        (peer.value() % 2 == 0 ? a : b).add_peer(cap, load, util);
+      });
+  a.merge(b);
+  EXPECT_EQ(a.peer_count, agg.peer_count);
+  EXPECT_EQ(a.capability_hist, agg.capability_hist);
+  EXPECT_EQ(a.load_hist, agg.load_hist);
+}
+
+TEST(ScaleHierarchical, EndToEndDecisionsMatchLegacy) {
+  const bool full = env_u64("P2PRM_SCALE_FULL", 0) != 0;
+  const std::size_t peers = full ? 1000 : 128;
+  const std::uint64_t max_seed = full ? 50 : 5;
+
+  for (std::uint64_t seed = 1; seed <= max_seed; ++seed) {
+    auto run = [&](bool hierarchical) {
+      SystemConfig config = small_config(seed);
+      config.enable_hierarchical_infobase = hierarchical;
+      config.max_domain_size = 32;
+      SmallWorld world(config);
+      bootstrap_network(world.system, world.factory, peers);
+      RequestSynthesizer synthesizer(world.catalog, world.population, {});
+      WorkloadDriver driver(
+          world.system,
+          std::make_unique<PoissonArrivals>(0.05 * static_cast<double>(peers)),
+          synthesizer);
+      driver.start(world.system.simulator().now() + util::seconds(20));
+      world.system.run_for(util::seconds(30));
+      const auto& ledger = world.system.ledger();
+      return std::tuple{ledger.submitted(), ledger.admitted(),
+                        ledger.rejected(), ledger.completed(),
+                        ledger.missed(),
+                        world.system.resource_manager_ids(),
+                        world.system.domains().size()};
+    };
+    // Same seed, knob flipped: the decision knob is timing-neutral (it
+    // does not touch the wire — that is gossip_domain_aggregates), so the
+    // whole deterministic run must be identical, completions included.
+    ASSERT_EQ(run(false), run(true)) << "seed " << seed;
+  }
+}
+
+// --- 4. lazy-scale fuzz scenarios -------------------------------------------
+
+TEST(ScaleFuzz, LazyWaveScenarioRoundTripsAndHoldsInvariants) {
+  const auto lazy = static_cast<std::uint32_t>(
+      env_u64("P2PRM_SCALE_PEERS", 100000));
+  const auto spec = check::ScenarioSpec::generate_scale(1, lazy);
+  EXPECT_EQ(spec.lazy_peers, lazy);
+  EXPECT_GE(spec.wave_peers, 64u);
+  // The scale fields ride the same single-line repro contract as the rest
+  // of the spec.
+  const auto parsed = check::ScenarioSpec::parse(spec.repro());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, spec);
+
+  // One full run under invariant checking, plus the determinism oracle
+  // (same spec, same digest). The heavier ablation oracles run in the
+  // nightly p2prm_fuzz --scale sweep, not here.
+  auto checker = check::InvariantChecker::with_defaults();
+  const auto result = check::run_scenario(spec, checker);
+  for (const auto& v : result.violations) {
+    ADD_FAILURE() << v.invariant << ": " << v.message;
+  }
+  EXPECT_GT(result.submitted, 0u);
+  auto checker2 = check::InvariantChecker::with_defaults();
+  const auto replay = check::run_scenario(spec, checker2);
+  EXPECT_EQ(replay.digest, result.digest) << "scale scenario must replay"
+                                             " byte-identically";
+}
+
+TEST(ScaleHierarchical, AggregateGossipCarriesBytesAndStaysHealthy) {
+  // gossip_domain_aggregates is the wire half of the hierarchical mode:
+  // summaries grow by DomainAggregate::wire_size() and the system must
+  // stay healthy. Run the same seeded world with and without it.
+  auto run = [](bool aggregates) {
+    SystemConfig config = small_config(11);
+    config.gossip_domain_aggregates = aggregates;
+    config.enable_hierarchical_infobase = aggregates;
+    SmallWorld world(config);
+    bootstrap_network(world.system, world.factory, 48);
+    RequestSynthesizer synthesizer(world.catalog, world.population, {});
+    WorkloadDriver driver(world.system,
+                          std::make_unique<PoissonArrivals>(2.0), synthesizer);
+    driver.start(world.system.simulator().now() + util::seconds(15));
+    world.system.run_for(util::seconds(25));
+    return std::tuple{world.system.network().stats().bytes_sent,
+                      world.system.ledger().submitted(),
+                      world.system.ledger().admitted(),
+                      world.system.domains().size()};
+  };
+  const auto [bytes_off, sub_off, adm_off, dom_off] = run(false);
+  const auto [bytes_on, sub_on, adm_on, dom_on] = run(true);
+  EXPECT_GT(bytes_on, bytes_off) << "summaries should carry aggregate bytes";
+  EXPECT_GT(sub_on, 0u);
+  EXPECT_GT(adm_on, 0u);
+  EXPECT_GE(dom_on, 2u);
+  // The workload itself is seed-identical; admissions may differ slightly
+  // (timing shifts), but not collapse.
+  EXPECT_EQ(sub_on, sub_off);
+  EXPECT_GE(adm_on * 10, adm_off * 9);
+}
+
+}  // namespace
+}  // namespace p2prm

@@ -19,6 +19,12 @@
 //                                        and diffs the two dumps
 //   p2prm_fuzz --spans                   force span (hop) events on, so the
 //                                        trace dump carries per-hop detail
+//   p2prm_fuzz --scale=N                 scale-flavored sweep: each generated
+//                                        scenario carries N lazy registry
+//                                        rows, materialization waves and
+//                                        (half the seeds) hierarchical mode
+//                                        (ScenarioSpec::generate_scale); CI's
+//                                        nightly scale job runs this at 100k
 //
 // Every scenario is fully determined by its seed: the same build and the
 // same --seeds range produce a byte-identical report (CI runs the sweep
@@ -161,6 +167,13 @@ int main(int argc, char** argv) {
   const std::string artifact = args.get("artifact", "");
   const std::string trace_dump = args.get("trace-dump", "");
   const bool force_spans = args.get_bool("spans", false);
+  const long scale_arg = args.get_int("scale", 0);
+  if (scale_arg < 0 || scale_arg > 10000000) {
+    std::cerr << "bad --scale; expected 0..10000000 lazy rows, got "
+              << scale_arg << '\n';
+    return 2;
+  }
+  const auto scale_lazy = static_cast<std::uint32_t>(scale_arg);
   const std::string log = args.get("log", "");
   if (log == "debug") {
     p2prm::util::Logger::instance().set_level(p2prm::util::LogLevel::Debug);
@@ -195,7 +208,8 @@ int main(int argc, char** argv) {
       return 2;
     }
     for (std::uint64_t s = range.begin; s < range.end; ++s) {
-      specs.push_back(ScenarioSpec::generate(s));
+      specs.push_back(scale_lazy > 0 ? ScenarioSpec::generate_scale(s, scale_lazy)
+                                     : ScenarioSpec::generate(s));
       seeds.push_back(s);
     }
   }
