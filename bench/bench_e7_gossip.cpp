@@ -10,6 +10,8 @@
 
 #include "bloom/bloom_filter.hpp"
 #include "gossip/gossip_engine.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
 #include "util/args.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -49,7 +51,7 @@ ConvergenceResult run_convergence(std::size_t domains, std::size_t fanout,
     engines.push_back(std::move(engine));
     auto* raw = engines.back().get();
     net.attach(id, {}, [raw](util::PeerId from, const net::Message& m) {
-      if (const auto* g = net::message_cast<gossip::GossipMessage>(m)) {
+      if (const auto* g = net::message_as<gossip::GossipMessage>(m)) {
         raw->handle_message(from, *g);
       }
     });

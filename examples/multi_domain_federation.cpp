@@ -103,7 +103,7 @@ int main() {
             << rm1->stats().queries_redirected_in << " redirected in)\n";
 
   std::cout << "\nTraffic (control plane shows gossip + redirect activity):\n";
-  metrics::traffic_table(system.network().stats()).print(std::cout);
+  metrics::traffic_table(system.transport().stats()).print(std::cout);
 
   return record->status == core::TaskStatus::Completed ? 0 : 1;
 }

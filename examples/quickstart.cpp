@@ -8,6 +8,13 @@
 //
 // Build & run:  ./build/examples/quickstart
 //
+// Transport (docs/TRANSPORT.md): the same scenario can run over either
+// control-plane backend —
+//   --transport=sim       simulated network, deterministic (default)
+//   --transport=socket    real loopback TCP inside this one process
+//   --time-scale=S        socket only: wall-seconds per sim-second (0.05)
+//   --base-port=P         socket only: peer N listens on P+N (19000)
+//
 // Observability (docs/OBSERVABILITY.md): exporter flags write machine-
 // readable snapshots of the run —
 //   --metrics-json=PATH      flat v1 summary (schema_version 1)
@@ -16,6 +23,7 @@
 //   --spans=PATH             per-task span trees (enables config.enable_spans)
 #include <fstream>
 #include <iostream>
+#include <stdexcept>
 
 #include "core/system.hpp"
 #include "media/catalog.hpp"
@@ -39,6 +47,20 @@ int main(int argc, char** argv) {
   config.seed = 2026;
   // Span dumps need the per-hop trace events (off by default).
   config.enable_spans = !spans_path.empty();
+  try {
+    config.transport =
+        core::transport_kind_from_name(args.get("transport", "sim"));
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+  if (config.transport == core::TransportKind::Socket) {
+    // 0.05 wall-seconds per sim-second: the ~2min scenario finishes in a
+    // few wall seconds while leaving loopback ample room to keep up.
+    config.socket.time_scale = args.get_double("time-scale", 0.05);
+    config.socket.base_port = static_cast<std::uint16_t>(
+        args.get_int("base-port", config.socket.base_port));
+  }
   core::System system(config);
   core::Tracer tracer;
   if (!spans_path.empty()) system.set_tracer(&tracer);
@@ -99,8 +121,10 @@ int main(int argc, char** argv) {
             << movie.format.to_string() << " -> " << target.to_string()
             << ")\n";
 
-  // 4. Run and inspect the outcome.
+  // 4. Run and inspect the outcome. The drain is a no-op in sim mode; over
+  //    sockets it flushes whatever the kernel still has in flight.
   system.run_for(util::minutes(2));
+  system.drain_transport(/*wall_ms=*/300);
   const auto* record = system.ledger().record(task);
   std::cout << "task status: " << core::task_status_name(record->status);
   if (record->finished >= 0) {
@@ -112,7 +136,7 @@ int main(int argc, char** argv) {
   std::cout << "\n\n";
   metrics::task_table(system.ledger()).print(std::cout);
   std::cout << "\nTraffic:\n";
-  metrics::traffic_table(system.network().stats()).print(std::cout);
+  metrics::traffic_table(system.transport().stats()).print(std::cout);
   (void)source_peer;
 
   const auto write_or_die = [](const std::string& path, bool ok) {

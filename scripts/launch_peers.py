@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Launch a multi-process p2prm socket deployment and assert its outcome.
+
+Spawns one p2prm_peer process per peer (docs/TRANSPORT.md), all rebuilding
+the identical DeploymentPlan from the seed. Optionally kill -9 the founding
+Resource Manager (peer 0) mid-run to exercise backup-RM failover over real
+sockets — the CI transport-smoke job runs exactly that with 32 processes.
+
+    scripts/launch_peers.py --binary build/tools/p2prm_peer --peers 32 \
+        --kill-rm-after 2.5 --log-dir /tmp/p2prm-smoke
+
+Assertions (exit 0 only if all hold):
+  * every surviving process exits 0 and prints one valid JSON line,
+  * every survivor joined the overlay,
+  * with --kill-rm-after: no survivor still follows the dead RM (peer 0),
+    and all survivors agree on the takeover RM (the deployment is forced
+    into a single domain via --max-domain-size > peers),
+  * the survivors completed at least one task between them.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+
+def parse_args() -> argparse.Namespace:
+    p = argparse.ArgumentParser(description=__doc__)
+    p.add_argument("--binary", default="build/tools/p2prm_peer")
+    p.add_argument("--peers", type=int, default=32)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--base-port", type=int, default=26000)
+    p.add_argument("--time-scale", type=float, default=0.2,
+                   help="wall-seconds per sim-second")
+    p.add_argument("--workload-s", type=int, default=20)
+    p.add_argument("--drain-s", type=int, default=25)
+    p.add_argument("--task-cap", type=int, default=24)
+    p.add_argument("--arrival-rate", type=float, default=0.6)
+    p.add_argument("--kill-rm-after", type=float, default=0.0,
+                   help="wall-seconds after launch to kill -9 peer 0 "
+                        "(0 = never; pick a point inside the workload window)")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="wall-seconds before the whole deployment is killed")
+    p.add_argument("--log-dir", default="/tmp/p2prm-peers")
+    return p.parse_args()
+
+
+def main() -> int:
+    args = parse_args()
+    log_dir = pathlib.Path(args.log_dir)
+    log_dir.mkdir(parents=True, exist_ok=True)
+
+    # Single domain: failover then has exactly one right answer.
+    max_domain_size = args.peers + 8
+
+    procs = {}
+    files = []
+    for k in range(args.peers):
+        out = open(log_dir / f"peer{k}.json", "w")
+        err = open(log_dir / f"peer{k}.log", "w")
+        files += [out, err]
+        cmd = [
+            args.binary,
+            f"--seed={args.seed}",
+            f"--peers={args.peers}",
+            f"--peer-index={k}",
+            f"--base-port={args.base_port}",
+            f"--time-scale={args.time_scale}",
+            f"--workload-s={args.workload_s}",
+            f"--drain-s={args.drain_s}",
+            f"--task-cap={args.task_cap}",
+            f"--arrival-rate={args.arrival_rate}",
+            f"--max-domain-size={max_domain_size}",
+        ]
+        procs[k] = subprocess.Popen(cmd, stdout=out, stderr=err)
+    print(f"launched {args.peers} peer processes (seed {args.seed}, "
+          f"base port {args.base_port})")
+
+    killed_rm = False
+    if args.kill_rm_after > 0:
+        time.sleep(args.kill_rm_after)
+        rm = procs[0]
+        if rm.poll() is None:
+            rm.send_signal(signal.SIGKILL)
+            killed_rm = True
+            print(f"kill -9 peer 0 (pid {rm.pid}) "
+                  f"at t+{args.kill_rm_after:.1f}s")
+        else:
+            print(f"ERROR: peer 0 already exited (rc {rm.returncode}) "
+                  "before the kill point", file=sys.stderr)
+
+    deadline = time.monotonic() + args.timeout
+    for k, proc in procs.items():
+        budget = max(0.0, deadline - time.monotonic())
+        try:
+            proc.wait(timeout=budget)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+            print(f"ERROR: peer {k} exceeded the {args.timeout:.0f}s "
+                  "deadline and was killed", file=sys.stderr)
+    for f in files:
+        f.close()
+
+    survivors = [k for k in procs if not (killed_rm and k == 0)]
+    failures = []
+    results = {}
+    for k in survivors:
+        rc = procs[k].returncode
+        if rc != 0:
+            failures.append(f"peer {k} exited {rc}")
+            continue
+        text = (log_dir / f"peer{k}.json").read_text().strip()
+        try:
+            results[k] = json.loads(text.splitlines()[-1])
+        except (json.JSONDecodeError, IndexError):
+            failures.append(f"peer {k} printed no valid JSON line: {text!r}")
+
+    for k, r in sorted(results.items()):
+        print(f"peer {k:3d}: joined={r['joined']} final_rm={r['final_rm']} "
+              f"submitted={r['submitted']} completed={r['completed']} "
+              f"rejected={r['rejected']} failed={r['failed']}")
+
+    not_joined = [k for k, r in results.items() if not r["joined"]]
+    if not_joined:
+        failures.append(f"peers never joined the overlay: {not_joined}")
+
+    if killed_rm and results:
+        final_rms = {r["final_rm"] for r in results.values()}
+        if 0 in final_rms:
+            stuck = [k for k, r in results.items() if r["final_rm"] == 0]
+            failures.append(f"peers still follow the dead RM: {stuck}")
+        if -1 in final_rms:
+            lost = [k for k, r in results.items() if r["final_rm"] == -1]
+            failures.append(f"peers lost their RM entirely: {lost}")
+        agreed = final_rms - {0, -1}
+        if len(agreed) != 1:
+            failures.append(
+                f"survivors disagree on the takeover RM: {sorted(final_rms)}")
+        else:
+            print(f"failover: survivors agree on RM {agreed.pop()}")
+
+    completed = sum(r["completed"] for r in results.values())
+    if completed == 0:
+        failures.append("no survivor completed a single task")
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"\nOK: {len(results)} survivors, {completed} tasks completed"
+          + (", failover clean" if killed_rm else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

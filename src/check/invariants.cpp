@@ -113,7 +113,7 @@ std::optional<std::string> ledger_conservation(System& system,
 // --- network conservation -----------------------------------------------------
 
 std::optional<std::string> net_conservation(System& system, CheckPhase) {
-  const auto& s = system.network().stats();
+  const auto& s = system.transport().stats();
   // Every send (plus injected duplicates) ends in at most one terminal
   // counter; the remainder is still in flight.
   const std::uint64_t terminal = s.messages_delivered + s.messages_dropped +

@@ -143,8 +143,12 @@ RunResult run_scenario(const ScenarioSpec& spec, InvariantChecker& checker,
     }
   }
 
-  if (!spec.link.trivial() || !spec.partitions.empty() ||
-      !spec.crashes.empty()) {
+  if ((!spec.link.trivial() || !spec.partitions.empty() ||
+       !spec.crashes.empty()) &&
+      system.has_sim_network()) {
+    // Fault injection (link shaping, partitions, scheduled crashes) only
+    // exists in the sim Network; a socket-transport run executes the same
+    // workload without the fault plan.
     system.install_fault_plan(spec.fault_plan(t0, bootstrap_order));
   }
 
@@ -196,15 +200,17 @@ RunResult run_scenario(const ScenarioSpec& spec, InvariantChecker& checker,
   // boundary invariant is evaluated on a consistent world state. Waves run
   // only during the workload window — the drain must be able to reach
   // quiescence with no peers mid-join.
+  // System::run_until (not simulator().run_until) so a socket-transport run
+  // pumps its sockets between event batches via the realtime driver.
   const auto run_checked = [&](util::SimTime until, bool waves) {
     util::SimTime next = system.simulator().now() + boundary_period;
     while (next < until) {
-      system.simulator().run_until(next);
+      system.run_until(next);
       checker.check(system, CheckPhase::Boundary);
       if (waves) run_wave();
       next += boundary_period;
     }
-    system.simulator().run_until(until);
+    system.run_until(until);
     checker.check(system, CheckPhase::Boundary);
   };
 
@@ -213,6 +219,7 @@ RunResult run_scenario(const ScenarioSpec& spec, InvariantChecker& checker,
   if (churn) churn->stop();  // drain undisturbed: quiescence must be reachable
   run_checked(end, /*waves=*/false);
 
+  system.drain_transport(/*wall_ms=*/200);  // no-op in sim mode
   system.ledger().orphan_pending(system.simulator().now());
   checker.check(system, CheckPhase::Quiescent);
   if (inspect) inspect(system);
@@ -230,8 +237,8 @@ RunResult run_scenario(const ScenarioSpec& spec, InvariantChecker& checker,
   result.orphaned = ledger.orphaned();
   result.missed = ledger.missed();
   result.trace_events = tracer.total_recorded();
-  result.net_sent = system.network().stats().messages_sent;
-  result.net_delivered = system.network().stats().messages_delivered;
+  result.net_sent = system.transport().stats().messages_sent;
+  result.net_delivered = system.transport().stats().messages_delivered;
   result.domains = system.domains().size();
   result.alive = system.alive_count();
   return result;
@@ -248,10 +255,15 @@ RunResult run_scenario(const ScenarioSpec& spec, unsigned threads) {
 }
 
 SeedOutcome run_spec(const ScenarioSpec& spec, bool oracles,
-                     unsigned parallel_threads, unsigned base_threads) {
+                     unsigned parallel_threads, unsigned base_threads,
+                     const ConfigTweakFn& tweak) {
   SeedOutcome outcome;
   outcome.spec = spec;
-  outcome.result = run_scenario(spec, base_threads);
+  {
+    auto checker = InvariantChecker::with_defaults();
+    outcome.result =
+        run_scenario(spec, checker, util::seconds(2), {}, base_threads, tweak);
+  }
   if (!oracles || !outcome.result.ok()) return outcome;
 
   const auto oracle_violation = [&](std::string name, std::string message) {

@@ -88,8 +88,12 @@ SeedOutcome fuzz_seed(std::uint64_t seed, bool oracles = true,
                       unsigned parallel_threads = 2, unsigned base_threads = 1);
 
 // Runs the spec (plus oracles when enabled) and reports the outcome — the
-// shared path behind fuzz_seed and `p2prm_fuzz --repro`.
+// shared path behind fuzz_seed and `p2prm_fuzz --repro`. `tweak` applies to
+// the base run only (oracle replays keep the untweaked config) — the
+// fuzzer's --transport=socket rides this hook, which is also why socket
+// runs force oracles off: replay digests are timing-dependent there.
 SeedOutcome run_spec(const ScenarioSpec& spec, bool oracles = true,
-                     unsigned parallel_threads = 2, unsigned base_threads = 1);
+                     unsigned parallel_threads = 2, unsigned base_threads = 1,
+                     const ConfigTweakFn& tweak = {});
 
 }  // namespace p2prm::check

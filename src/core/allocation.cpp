@@ -40,7 +40,7 @@ namespace {
 // and inter-hop transfers. Excludes the final hop->sink transfer (added by
 // evaluate_path); monotone in path length, so usable as a BFS pruner.
 [[nodiscard]] util::SimDuration partial_cost(const InfoBase& info,
-                                             const net::Network& network,
+                                             const net::Transport& network,
                                              const SystemConfig& config,
                                              util::PeerId source_peer,
                                              double media_seconds,
@@ -62,7 +62,7 @@ namespace {
 
 }  // namespace
 
-PathEvaluation evaluate_path(const InfoBase& info, const net::Network& network,
+PathEvaluation evaluate_path(const InfoBase& info, const net::Transport& network,
                              const SystemConfig& config,
                              const AllocationRequest& request,
                              const ObjectLocation& source,
@@ -118,7 +118,7 @@ PathEvaluation evaluate_path(const InfoBase& info, const net::Network& network,
 }
 
 std::vector<PathEvaluation> enumerate_candidates(
-    const InfoBase& info, const net::Network& network,
+    const InfoBase& info, const net::Transport& network,
     const SystemConfig& config, const AllocationRequest& request,
     bool exhaustive, graph::SearchStats* stats) {
   std::vector<PathEvaluation> out;
@@ -205,7 +205,7 @@ namespace {
 // choice to `pick`.
 template <typename Pick>
 AllocationResult allocate_with(const InfoBase& info,
-                               const net::Network& network,
+                               const net::Transport& network,
                                const SystemConfig& config,
                                const AllocationRequest& request,
                                bool exhaustive, Pick pick) {
@@ -242,7 +242,7 @@ AllocationResult allocate_with(const InfoBase& info,
 
 class PaperBfsAllocator final : public Allocator {
  public:
-  AllocationResult allocate(const InfoBase& info, const net::Network& network,
+  AllocationResult allocate(const InfoBase& info, const net::Transport& network,
                             const SystemConfig& config,
                             const AllocationRequest& request,
                             util::Rng&) const override {
@@ -262,7 +262,7 @@ class PaperBfsAllocator final : public Allocator {
 
 class ExhaustiveAllocator final : public Allocator {
  public:
-  AllocationResult allocate(const InfoBase& info, const net::Network& network,
+  AllocationResult allocate(const InfoBase& info, const net::Transport& network,
                             const SystemConfig& config,
                             const AllocationRequest& request,
                             util::Rng&) const override {
@@ -281,7 +281,7 @@ class ExhaustiveAllocator final : public Allocator {
 
 class MinHopAllocator final : public Allocator {
  public:
-  AllocationResult allocate(const InfoBase& info, const net::Network& network,
+  AllocationResult allocate(const InfoBase& info, const net::Transport& network,
                             const SystemConfig& config,
                             const AllocationRequest& request,
                             util::Rng&) const override {
@@ -300,7 +300,7 @@ class MinHopAllocator final : public Allocator {
 
 class RandomAllocator final : public Allocator {
  public:
-  AllocationResult allocate(const InfoBase& info, const net::Network& network,
+  AllocationResult allocate(const InfoBase& info, const net::Transport& network,
                             const SystemConfig& config,
                             const AllocationRequest& request,
                             util::Rng& rng) const override {
@@ -315,7 +315,7 @@ class RandomAllocator final : public Allocator {
 
 class LeastLoadedAllocator final : public Allocator {
  public:
-  AllocationResult allocate(const InfoBase& info, const net::Network& network,
+  AllocationResult allocate(const InfoBase& info, const net::Transport& network,
                             const SystemConfig& config,
                             const AllocationRequest& request,
                             util::Rng&) const override {

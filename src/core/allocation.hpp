@@ -19,7 +19,7 @@
 #include "core/config.hpp"
 #include "core/info_base.hpp"
 #include "graph/path_search.hpp"
-#include "net/network.hpp"
+#include "net/transport.hpp"
 #include "util/rng.hpp"
 
 namespace p2prm::core {
@@ -69,7 +69,7 @@ class Allocator {
  public:
   virtual ~Allocator() = default;
   [[nodiscard]] virtual AllocationResult allocate(
-      const InfoBase& info, const net::Network& network,
+      const InfoBase& info, const net::Transport& network,
       const SystemConfig& config, const AllocationRequest& request,
       util::Rng& rng) const = 0;
   [[nodiscard]] virtual AllocatorKind kind() const = 0;
@@ -95,7 +95,7 @@ class Allocator {
 
 // Full evaluation of one candidate path (possibly empty = direct delivery).
 [[nodiscard]] PathEvaluation evaluate_path(
-    const InfoBase& info, const net::Network& network,
+    const InfoBase& info, const net::Transport& network,
     const SystemConfig& config, const AllocationRequest& request,
     const ObjectLocation& source, const media::MediaFormat& target,
     const graph::EdgePath& path);
@@ -103,7 +103,7 @@ class Allocator {
 // Every evaluated candidate across all (source replica, acceptable target,
 // path) combinations, using the paper's BFS (or the exhaustive enumerator).
 [[nodiscard]] std::vector<PathEvaluation> enumerate_candidates(
-    const InfoBase& info, const net::Network& network,
+    const InfoBase& info, const net::Transport& network,
     const SystemConfig& config, const AllocationRequest& request,
     bool exhaustive, graph::SearchStats* stats);
 

@@ -25,4 +25,18 @@ AllocatorKind allocator_from_name(std::string_view name) {
   throw std::invalid_argument("unknown allocator: " + std::string(name));
 }
 
+std::string_view transport_kind_name(TransportKind k) {
+  switch (k) {
+    case TransportKind::Sim: return "sim";
+    case TransportKind::Socket: return "socket";
+  }
+  return "?";
+}
+
+TransportKind transport_kind_from_name(std::string_view name) {
+  if (name == "sim") return TransportKind::Sim;
+  if (name == "socket") return TransportKind::Socket;
+  throw std::invalid_argument("unknown transport: " + std::string(name));
+}
+
 }  // namespace p2prm::core

@@ -12,6 +12,7 @@
 
 #include "gossip/gossip_engine.hpp"
 #include "media/transcoder.hpp"
+#include "net/socket_transport.hpp"
 #include "net/topology.hpp"
 #include "overlay/peer.hpp"
 #include "sched/scheduler.hpp"
@@ -29,6 +30,14 @@ enum class AllocatorKind {
 };
 [[nodiscard]] std::string_view allocator_name(AllocatorKind k);
 [[nodiscard]] AllocatorKind allocator_from_name(std::string_view name);
+
+// Which net::Transport backend carries the control plane
+// (docs/TRANSPORT.md). Sim is the deterministic simulated network; Socket
+// runs the same protocol over real loopback TCP, paced by the realtime
+// driver.
+enum class TransportKind { Sim, Socket };
+[[nodiscard]] std::string_view transport_kind_name(TransportKind k);
+[[nodiscard]] TransportKind transport_kind_from_name(std::string_view name);
 
 // Per-message-class retry/timeout/backoff policies (see docs/FAULT_MODEL.md).
 // A policy's `initial` is that class's ack timeout; `max_attempts` counts
@@ -58,6 +67,18 @@ struct SystemConfig {
   // --- substrate -----------------------------------------------------------
   net::TopologyConfig topology{};
   double message_drop_probability = 0.0;
+
+  // --- transport (docs/TRANSPORT.md) ---------------------------------------
+  // Socket mode runs the identical protocol stack over loopback TCP. It is
+  // incompatible with the parallel engine (num_threads > 1) and with
+  // fault plans (both are properties of the simulated network); System
+  // rejects those combinations at construction / installation time.
+  TransportKind transport = TransportKind::Sim;
+  net::SocketConfig socket{};
+  // First value minted by every id family (tasks, jobs, services, ...).
+  // Per-process deployments give each process a disjoint base so ids stay
+  // globally unique across the wire; 0 keeps classic single-process ids.
+  std::uint64_t id_base = 0;
 
   // --- retry / timeout hardening -------------------------------------------
   // The protocol tolerates loss passively (watchdogs, GC, periodic gossip);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "overlay/wire_fields.hpp"
+
 namespace p2prm::core {
 
 bool ActiveTask::all_hops_done() const {
@@ -16,13 +18,248 @@ std::optional<std::size_t> ActiveTask::first_pending_hop() const {
   return std::nullopt;
 }
 
+// ---- snapshot wire codec ----------------------------------------------------
+// Serialization of the backup-sync payload: the domain's membership table,
+// the object/service inventory and every active task's service graph. The
+// decode side rebuilds Domain and ServiceGraph through their public APIs.
+
+namespace {
+
+// spec + joined_at + last_report + sample + eligible + score.
+constexpr std::size_t kMemberRecordBytes =
+    wire::kPeerSpecBytes + 8 + 8 + wire::kLoadSampleBytes + 1 + 8;
+
+std::size_t domain_wire_size(const overlay::Domain& d) {
+  return 8 + 8 + 8 + 4 + d.size() * kMemberRecordBytes;
+}
+
+void encode_domain(net::Writer& w, const overlay::Domain& d) {
+  w.id(d.id());
+  w.id(d.resource_manager());
+  w.u64(d.epoch());
+  const auto ids = d.member_ids();  // sorted: deterministic wire bytes
+  w.count(ids.size());
+  for (const auto peer : ids) {
+    const overlay::MemberRecord& m = *d.member(peer);
+    wire::encode(w, m.spec);
+    w.time(m.joined_at);
+    w.time(m.last_report);
+    wire::encode(w, m.last_sample);
+    w.boolean(m.eligible_rm);
+    w.f64(m.score);
+  }
+}
+
+overlay::Domain decode_domain(net::Reader& r) {
+  const auto id = r.id<util::DomainIdTag>();
+  const auto rm = r.id<util::PeerIdTag>();
+  overlay::Domain d(id, rm);
+  d.set_epoch(r.u64());
+  const std::size_t n = r.count(kMemberRecordBytes);
+  for (std::size_t i = 0; i < n; ++i) {
+    const overlay::PeerSpec spec = wire::decode_peer_spec(r);
+    const util::SimTime joined_at = r.time();
+    const util::SimTime last_report = r.time();
+    const profile::LoadSample sample = wire::decode_load_sample(r);
+    const bool eligible = r.boolean();
+    const double score = r.f64();
+    if (!r.ok()) break;
+    d.add_member(spec, joined_at);
+    d.record_report(spec.id, sample, last_report, eligible, score);
+  }
+  return d;
+}
+
+// service + peer + type + ops + compute + transfer.
+constexpr std::size_t kServiceHopBytes = 8 + 8 + wire::kTranscoderTypeBytes +
+                                         8 + 8 + 8;
+
+std::size_t service_graph_wire_size(const graph::ServiceGraph& sg) {
+  return 8 * 4 + 2 * wire::kMediaFormatBytes + 1 + 8 * 3 + 4 +
+         sg.hop_count() * kServiceHopBytes;
+}
+
+void encode_service_graph(net::Writer& w, const graph::ServiceGraph& sg) {
+  w.id(sg.task());
+  w.id(sg.source_peer());
+  w.id(sg.object());
+  w.id(sg.sink_peer());
+  wire::encode(w, sg.source_format());
+  wire::encode(w, sg.target_format());
+  w.u8(static_cast<std::uint8_t>(sg.state));
+  w.time(sg.composed_at);
+  w.time(sg.started_at);
+  w.time(sg.completed_at);
+  w.count(sg.hop_count());
+  for (const auto& h : sg.hops()) {
+    w.id(h.service);
+    w.id(h.peer);
+    wire::encode(w, h.type);
+    w.f64(h.estimated_ops);
+    w.time(h.estimated_compute_time);
+    w.time(h.estimated_transfer_time);
+  }
+}
+
+graph::ServiceGraph decode_service_graph(net::Reader& r) {
+  const auto task = r.id<util::TaskIdTag>();
+  const auto source = r.id<util::PeerIdTag>();
+  const auto object = r.id<util::ObjectIdTag>();
+  const auto sink = r.id<util::PeerIdTag>();
+  const media::MediaFormat src_fmt = wire::decode_media_format(r);
+  const media::MediaFormat tgt_fmt = wire::decode_media_format(r);
+  graph::ServiceGraph sg(task, source, object, sink, src_fmt, tgt_fmt);
+  sg.state = static_cast<graph::TaskState>(r.u8());
+  sg.composed_at = r.time();
+  sg.started_at = r.time();
+  sg.completed_at = r.time();
+  const std::size_t n = r.count(kServiceHopBytes);
+  for (std::size_t i = 0; i < n; ++i) {
+    graph::ServiceHop h;
+    h.service = r.id<util::ServiceIdTag>();
+    h.peer = r.id<util::PeerIdTag>();
+    h.type = wire::decode_transcoder_type(r);
+    h.estimated_ops = r.f64();
+    h.estimated_compute_time = r.time();
+    h.estimated_transfer_time = r.time();
+    sg.add_hop(h);
+  }
+  return sg;
+}
+
+std::size_t active_task_wire_size(const ActiveTask& t) {
+  return service_graph_wire_size(t.sg) + qos_wire_size(t.q) + 8 + 8 + 8 + 4 +
+         t.hop_done.size() + 8 + 8;
+}
+
+void encode_active_task(net::Writer& w, const ActiveTask& t) {
+  encode_service_graph(w, t.sg);
+  encode_qos(w, t.q);
+  w.id(t.origin);
+  w.time(t.submitted_at);
+  w.time(t.absolute_deadline);
+  w.count(t.hop_done.size());
+  for (const bool b : t.hop_done) w.boolean(b);
+  w.i64(t.recompositions);
+  w.time(t.estimated_execution);
+}
+
+ActiveTask decode_active_task(net::Reader& r) {
+  ActiveTask t;
+  t.sg = decode_service_graph(r);
+  t.q = decode_qos(r);
+  t.origin = r.id<util::PeerIdTag>();
+  t.submitted_at = r.time();
+  t.absolute_deadline = r.time();
+  const std::size_t n = r.count(1);
+  t.hop_done.resize(n);
+  for (std::size_t i = 0; i < n; ++i) t.hop_done[i] = r.boolean();
+  t.recompositions = static_cast<int>(r.i64());
+  t.estimated_execution = r.time();
+  return t;
+}
+
+}  // namespace
+
 std::size_t InfoBaseSnapshot::wire_size() const {
-  std::size_t n = 64;
-  n += domain.size() * 96;
-  for (const auto& [_, objs] : objects) n += 16 + objs.size() * 64;
-  for (const auto& [_, svcs] : services) n += 16 + svcs.size() * 32;
-  for (const auto& t : tasks) n += 64 + t.sg.hop_count() * 48;
+  std::size_t n = domain_wire_size(domain) + 4 + 4 + 4 + 8;
+  for (const auto& [_, objs] : objects) {
+    n += 8 + 4;
+    for (const auto& o : objs) n += wire::wire_sizeof(o);
+  }
+  for (const auto& [_, svcs] : services) {
+    n += 8 + 4 + svcs.size() * (8 + wire::kTranscoderTypeBytes);
+  }
+  for (const auto& t : tasks) n += active_task_wire_size(t);
   return n;
+}
+
+void InfoBaseSnapshot::encode(net::Writer& w) const {
+  encode_domain(w, domain);
+  w.count(objects.size());
+  for (const auto& [peer, objs] : objects) {
+    w.id(peer);
+    w.count(objs.size());
+    for (const auto& o : objs) wire::encode(w, o);
+  }
+  w.count(services.size());
+  for (const auto& [peer, svcs] : services) {
+    w.id(peer);
+    w.count(svcs.size());
+    for (const auto& s : svcs) {
+      w.id(s.id);
+      wire::encode(w, s.type);
+    }
+  }
+  w.count(tasks.size());
+  for (const auto& t : tasks) encode_active_task(w, t);
+  w.u64(summary_version);
+}
+
+InfoBaseSnapshot InfoBaseSnapshot::decode(net::Reader& r) {
+  InfoBaseSnapshot snap;
+  snap.domain = decode_domain(r);
+  const std::size_t no = r.count(12);
+  snap.objects.reserve(no);
+  for (std::size_t i = 0; i < no && r.ok(); ++i) {
+    const auto peer = r.id<util::PeerIdTag>();
+    const std::size_t k = r.count(37);
+    std::vector<media::MediaObject> objs;
+    objs.reserve(k);
+    for (std::size_t j = 0; j < k; ++j) {
+      objs.push_back(wire::decode_media_object(r));
+    }
+    snap.objects.emplace_back(peer, std::move(objs));
+  }
+  const std::size_t ns = r.count(12);
+  snap.services.reserve(ns);
+  for (std::size_t i = 0; i < ns && r.ok(); ++i) {
+    const auto peer = r.id<util::PeerIdTag>();
+    const std::size_t k = r.count(8 + wire::kTranscoderTypeBytes);
+    std::vector<ServiceOffering> svcs;
+    svcs.reserve(k);
+    for (std::size_t j = 0; j < k; ++j) {
+      ServiceOffering s;
+      s.id = r.id<util::ServiceIdTag>();
+      s.type = wire::decode_transcoder_type(r);
+      svcs.push_back(s);
+    }
+    snap.services.emplace_back(peer, std::move(svcs));
+  }
+  const std::size_t nt = r.count(64);
+  snap.tasks.reserve(nt);
+  for (std::size_t i = 0; i < nt && r.ok(); ++i) {
+    snap.tasks.push_back(decode_active_task(r));
+  }
+  snap.summary_version = r.u64();
+  return snap;
+}
+
+void BackupSync::encode_body(net::Writer& w) const {
+  snapshot.encode(w);
+  w.count(known_rms.size());
+  for (const auto& i : known_rms) wire::encode(w, i);
+  w.u64(seq);
+}
+
+BackupSync BackupSync::decode_body(net::Reader& r) {
+  BackupSync m;
+  m.snapshot = InfoBaseSnapshot::decode(r);
+  const std::size_t n = r.count(wire::kRmInfoBytes);
+  m.known_rms.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m.known_rms.push_back(wire::decode_rm_info(r));
+  }
+  m.seq = r.u64();
+  return m;
+}
+
+void BackupSyncAck::encode_body(net::Writer& w) const { w.u64(seq); }
+
+BackupSyncAck BackupSyncAck::decode_body(net::Reader& r) {
+  BackupSyncAck m;
+  m.seq = r.u64();
+  return m;
 }
 
 InfoBase::InfoBase(util::DomainId domain, util::PeerId rm)

@@ -58,6 +58,8 @@ struct InfoBaseSnapshot {
   std::uint64_t summary_version = 0;
 
   [[nodiscard]] std::size_t wire_size() const;
+  void encode(net::Writer& w) const;
+  [[nodiscard]] static InfoBaseSnapshot decode(net::Reader& r);
 };
 
 struct BackupSync final : net::Message {
@@ -67,20 +69,30 @@ struct BackupSync final : net::Message {
   // Monotonic per-RM sequence; acked by the backup so a lost snapshot is
   // retried instead of leaving the backup a full sync period stale.
   std::uint64_t seq = 0;
+  static constexpr net::WireType kType = net::WireType::BackupSync;
   std::size_t wire_size() const override {
-    return snapshot.wire_size() + known_rms.size() * 16;
+    return net::kFrameHeaderBytes + snapshot.wire_size() + 4 +
+           known_rms.size() * 16 + 8;
   }
   std::string_view type_name() const override { return "core.backup_sync"; }
+  net::WireType wire_type() const override { return kType; }
+  void encode_body(net::Writer& w) const override;
+  static BackupSync decode_body(net::Reader& r);
 };
 
 // Backup RM -> primary RM: acknowledges BackupSync `seq` (when
 // SystemConfig::ack_backup_sync is on).
 struct BackupSyncAck final : net::Message {
   std::uint64_t seq = 0;
-  std::size_t wire_size() const override { return 16; }
+
+  static constexpr net::WireType kType = net::WireType::BackupSyncAck;
+  std::size_t wire_size() const override { return net::kFrameHeaderBytes + 8; }
   std::string_view type_name() const override {
     return "core.backup_sync_ack";
   }
+  net::WireType wire_type() const override { return kType; }
+  void encode_body(net::Writer& w) const override;
+  static BackupSyncAck decode_body(net::Reader& r);
 };
 
 class InfoBase {

@@ -1,0 +1,345 @@
+// Wire codecs of the task-protocol messages (declared in messages.hpp).
+//
+// Body layouts are flat field-order encodings using the net::Writer /
+// net::Reader primitives and the shared field codecs in
+// overlay/wire_fields.hpp. Every wire_size() in the header states the
+// exact body size these implementations produce; the codec round-trip
+// property test (tests/codec_test.cpp) enforces the match.
+#include "core/messages.hpp"
+
+#include "overlay/wire_fields.hpp"
+
+namespace p2prm::core {
+
+std::size_t qos_wire_size(const QoSRequirements& q) {
+  return 8 + 4 + q.acceptable_formats.size() * wire::kMediaFormatBytes + 8 + 8;
+}
+
+void encode_qos(net::Writer& w, const QoSRequirements& q) {
+  w.id(q.object);
+  w.count(q.acceptable_formats.size());
+  for (const auto& f : q.acceptable_formats) wire::encode(w, f);
+  w.time(q.deadline);
+  w.f64(q.importance);
+}
+
+QoSRequirements decode_qos(net::Reader& r) {
+  QoSRequirements q;
+  q.object = r.id<util::ObjectIdTag>();
+  const std::size_t n = r.count(wire::kMediaFormatBytes);
+  q.acceptable_formats.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    q.acceptable_formats.push_back(wire::decode_media_format(r));
+  }
+  q.deadline = r.time();
+  q.importance = r.f64();
+  return q;
+}
+
+// ---- PeerAnnounce -----------------------------------------------------------
+
+std::size_t PeerAnnounce::wire_size() const {
+  std::size_t n = net::kFrameHeaderBytes + wire::kPeerSpecBytes + 4 + 4 +
+                  services.size() * (8 + wire::kTranscoderTypeBytes);
+  for (const auto& o : objects) n += wire::wire_sizeof(o);
+  return n;
+}
+
+void PeerAnnounce::encode_body(net::Writer& w) const {
+  wire::encode(w, spec);
+  w.count(objects.size());
+  for (const auto& o : objects) wire::encode(w, o);
+  w.count(services.size());
+  for (const auto& s : services) {
+    w.id(s.id);
+    wire::encode(w, s.type);
+  }
+}
+
+PeerAnnounce PeerAnnounce::decode_body(net::Reader& r) {
+  PeerAnnounce m;
+  m.spec = wire::decode_peer_spec(r);
+  const std::size_t no = r.count(37);  // smallest MediaObject encoding
+  m.objects.reserve(no);
+  for (std::size_t i = 0; i < no; ++i) {
+    m.objects.push_back(wire::decode_media_object(r));
+  }
+  const std::size_t ns = r.count(8 + wire::kTranscoderTypeBytes);
+  m.services.reserve(ns);
+  for (std::size_t i = 0; i < ns; ++i) {
+    ServiceOffering s;
+    s.id = r.id<util::ServiceIdTag>();
+    s.type = wire::decode_transcoder_type(r);
+    m.services.push_back(s);
+  }
+  return m;
+}
+
+// ---- TaskQuery --------------------------------------------------------------
+
+void TaskQuery::encode_body(net::Writer& w) const {
+  w.id(task);
+  w.id(origin);
+  encode_qos(w, q);
+  w.time(submitted_at);
+  w.i64(redirect_count);
+}
+
+TaskQuery TaskQuery::decode_body(net::Reader& r) {
+  TaskQuery m;
+  m.task = r.id<util::TaskIdTag>();
+  m.origin = r.id<util::PeerIdTag>();
+  m.q = decode_qos(r);
+  m.submitted_at = r.time();
+  m.redirect_count = static_cast<int>(r.i64());
+  return m;
+}
+
+// ---- TaskReject / TaskAccept ------------------------------------------------
+
+void TaskReject::encode_body(net::Writer& w) const {
+  w.id(task);
+  w.str(reason);
+}
+
+TaskReject TaskReject::decode_body(net::Reader& r) {
+  TaskReject m;
+  m.task = r.id<util::TaskIdTag>();
+  m.reason = r.str();
+  return m;
+}
+
+void TaskAccept::encode_body(net::Writer& w) const {
+  w.id(task);
+  w.id(serving_rm);
+  w.time(estimated_execution);
+}
+
+TaskAccept TaskAccept::decode_body(net::Reader& r) {
+  TaskAccept m;
+  m.task = r.id<util::TaskIdTag>();
+  m.serving_rm = r.id<util::PeerIdTag>();
+  m.estimated_execution = r.time();
+  return m;
+}
+
+// ---- GraphCompose -----------------------------------------------------------
+
+void GraphCompose::encode_body(net::Writer& w) const {
+  w.id(hop.task);
+  w.u64(hop.hop_index);
+  w.id(hop.service);
+  wire::encode(w, hop.type);
+  w.id(hop.rm);
+  w.id(hop.prev_peer);
+  w.id(hop.next_peer);
+  w.boolean(hop.next_is_sink);
+  w.id(hop.object);
+  w.f64(hop.media_seconds);
+  w.time(hop.absolute_deadline);
+  w.f64(hop.importance);
+}
+
+GraphCompose GraphCompose::decode_body(net::Reader& r) {
+  GraphCompose m;
+  m.hop.task = r.id<util::TaskIdTag>();
+  m.hop.hop_index = static_cast<std::size_t>(r.u64());
+  m.hop.service = r.id<util::ServiceIdTag>();
+  m.hop.type = wire::decode_transcoder_type(r);
+  m.hop.rm = r.id<util::PeerIdTag>();
+  m.hop.prev_peer = r.id<util::PeerIdTag>();
+  m.hop.next_peer = r.id<util::PeerIdTag>();
+  m.hop.next_is_sink = r.boolean();
+  m.hop.object = r.id<util::ObjectIdTag>();
+  m.hop.media_seconds = r.f64();
+  m.hop.absolute_deadline = r.time();
+  m.hop.importance = r.f64();
+  return m;
+}
+
+// ---- SourceStart / StreamData ----------------------------------------------
+
+void SourceStart::encode_body(net::Writer& w) const {
+  w.id(task);
+  w.id(object);
+  w.id(first_hop);
+  w.boolean(first_is_sink);
+  w.f64(media_seconds);
+  wire::encode(w, format);
+  w.time(absolute_deadline);
+  w.id(rm);
+}
+
+SourceStart SourceStart::decode_body(net::Reader& r) {
+  SourceStart m;
+  m.task = r.id<util::TaskIdTag>();
+  m.object = r.id<util::ObjectIdTag>();
+  m.first_hop = r.id<util::PeerIdTag>();
+  m.first_is_sink = r.boolean();
+  m.media_seconds = r.f64();
+  m.format = wire::decode_media_format(r);
+  m.absolute_deadline = r.time();
+  m.rm = r.id<util::PeerIdTag>();
+  return m;
+}
+
+void StreamData::encode_body(net::Writer& w) const {
+  w.id(task);
+  w.u64(dest_hop_index);
+  w.boolean(for_sink);
+  w.id(object);
+  wire::encode(w, format);
+  w.f64(media_seconds);
+  w.time(pipeline_started_at);
+  w.time(sent_at);
+  // The media payload itself: zeros stand in for stream content, but the
+  // frame genuinely occupies the modelled size on a real wire.
+  w.zeros(payload_bytes());
+}
+
+StreamData StreamData::decode_body(net::Reader& r) {
+  StreamData m;
+  m.task = r.id<util::TaskIdTag>();
+  m.dest_hop_index = static_cast<std::size_t>(r.u64());
+  m.for_sink = r.boolean();
+  m.object = r.id<util::ObjectIdTag>();
+  m.format = wire::decode_media_format(r);
+  m.media_seconds = r.f64();
+  m.pipeline_started_at = r.time();
+  m.sent_at = r.time();
+  r.skip(m.payload_bytes());
+  return m;
+}
+
+// ---- execution feedback -----------------------------------------------------
+
+void HopDone::encode_body(net::Writer& w) const {
+  w.id(task);
+  w.u64(hop_index);
+  w.time(execution_time);
+  w.boolean(missed_local_deadline);
+}
+
+HopDone HopDone::decode_body(net::Reader& r) {
+  HopDone m;
+  m.task = r.id<util::TaskIdTag>();
+  m.hop_index = static_cast<std::size_t>(r.u64());
+  m.execution_time = r.time();
+  m.missed_local_deadline = r.boolean();
+  return m;
+}
+
+void TaskCompleted::encode_body(net::Writer& w) const {
+  w.id(task);
+  w.time(completed_at);
+  w.boolean(missed_deadline);
+}
+
+TaskCompleted TaskCompleted::decode_body(net::Reader& r) {
+  TaskCompleted m;
+  m.task = r.id<util::TaskIdTag>();
+  m.completed_at = r.time();
+  m.missed_deadline = r.boolean();
+  return m;
+}
+
+void TaskFailedMsg::encode_body(net::Writer& w) const {
+  w.id(task);
+  w.str(reason);
+}
+
+TaskFailedMsg TaskFailedMsg::decode_body(net::Reader& r) {
+  TaskFailedMsg m;
+  m.task = r.id<util::TaskIdTag>();
+  m.reason = r.str();
+  return m;
+}
+
+void HopFailed::encode_body(net::Writer& w) const {
+  w.id(task);
+  w.u64(hop_index);
+  w.str(reason);
+}
+
+HopFailed HopFailed::decode_body(net::Reader& r) {
+  HopFailed m;
+  m.task = r.id<util::TaskIdTag>();
+  m.hop_index = static_cast<std::size_t>(r.u64());
+  m.reason = r.str();
+  return m;
+}
+
+// ---- ProfilerReport / ReportAck --------------------------------------------
+
+void ProfilerReport::encode_body(net::Writer& w) const {
+  wire::encode(w, sample);
+  w.boolean(eligible_rm);
+  w.f64(rm_score);
+  w.u64(active_hops);
+  w.count(measured_exec_s.size());
+  for (const auto& [key, mean] : measured_exec_s) {
+    w.u64(key);
+    w.f64(mean);
+  }
+  w.u64(seq);
+}
+
+ProfilerReport ProfilerReport::decode_body(net::Reader& r) {
+  ProfilerReport m;
+  m.sample = wire::decode_load_sample(r);
+  m.eligible_rm = r.boolean();
+  m.rm_score = r.f64();
+  m.active_hops = static_cast<std::size_t>(r.u64());
+  const std::size_t n = r.count(16);
+  m.measured_exec_s.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t key = r.u64();
+    const double mean = r.f64();
+    m.measured_exec_s.emplace_back(key, mean);
+  }
+  m.seq = r.u64();
+  return m;
+}
+
+void ReportAck::encode_body(net::Writer& w) const { w.u64(seq); }
+
+ReportAck ReportAck::decode_body(net::Reader& r) {
+  ReportAck m;
+  m.seq = r.u64();
+  return m;
+}
+
+// ---- adaptation -------------------------------------------------------------
+
+void HopCancel::encode_body(net::Writer& w) const {
+  w.id(task);
+  w.u64(hop_index);
+}
+
+HopCancel HopCancel::decode_body(net::Reader& r) {
+  HopCancel m;
+  m.task = r.id<util::TaskIdTag>();
+  m.hop_index = static_cast<std::size_t>(r.u64());
+  return m;
+}
+
+void TaskQosUpdate::encode_body(net::Writer& w) const {
+  w.id(task);
+  w.time(new_deadline);
+  w.count(new_acceptable_formats.size());
+  for (const auto& f : new_acceptable_formats) wire::encode(w, f);
+}
+
+TaskQosUpdate TaskQosUpdate::decode_body(net::Reader& r) {
+  TaskQosUpdate m;
+  m.task = r.id<util::TaskIdTag>();
+  m.new_deadline = r.time();
+  const std::size_t n = r.count(wire::kMediaFormatBytes);
+  m.new_acceptable_formats.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m.new_acceptable_formats.push_back(wire::decode_media_format(r));
+  }
+  return m;
+}
+
+}  // namespace p2prm::core

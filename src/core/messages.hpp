@@ -30,10 +30,12 @@ struct PeerAnnounce final : net::Message {
   std::vector<media::MediaObject> objects;
   std::vector<ServiceOffering> services;
 
-  std::size_t wire_size() const override {
-    return 48 + objects.size() * 64 + services.size() * 32;
-  }
+  static constexpr net::WireType kType = net::WireType::PeerAnnounce;
+  std::size_t wire_size() const override;
   std::string_view type_name() const override { return "core.peer_announce"; }
+  net::WireType wire_type() const override { return kType; }
+  void encode_body(net::Writer& w) const override;
+  static PeerAnnounce decode_body(net::Reader& r);
 };
 
 // ---- task submission --------------------------------------------------------
@@ -48,6 +50,11 @@ struct QoSRequirements {
   double importance = 1.0;
 };
 
+// Shared QoS codec (TaskQuery embeds it; so does the backup-sync snapshot).
+[[nodiscard]] std::size_t qos_wire_size(const QoSRequirements& q);
+void encode_qos(net::Writer& w, const QoSRequirements& q);
+[[nodiscard]] QoSRequirements decode_qos(net::Reader& r);
+
 struct TaskQuery final : net::Message {
   util::TaskId task;
   util::PeerId origin;  // the requesting peer == the media sink
@@ -55,25 +62,39 @@ struct TaskQuery final : net::Message {
   util::SimTime submitted_at = 0;
   int redirect_count = 0;
 
+  static constexpr net::WireType kType = net::WireType::TaskQuery;
   std::size_t wire_size() const override {
-    return 64 + q.acceptable_formats.size() * 12;
+    return net::kFrameHeaderBytes + 60 + q.acceptable_formats.size() * 9;
   }
   std::string_view type_name() const override { return "core.task_query"; }
+  net::WireType wire_type() const override { return kType; }
+  void encode_body(net::Writer& w) const override;
+  static TaskQuery decode_body(net::Reader& r);
 };
 
 struct TaskReject final : net::Message {
   util::TaskId task;
   std::string reason;
-  std::size_t wire_size() const override { return 24 + reason.size(); }
+  static constexpr net::WireType kType = net::WireType::TaskReject;
+  std::size_t wire_size() const override {
+    return net::kFrameHeaderBytes + 12 + reason.size();
+  }
   std::string_view type_name() const override { return "core.task_reject"; }
+  net::WireType wire_type() const override { return kType; }
+  void encode_body(net::Writer& w) const override;
+  static TaskReject decode_body(net::Reader& r);
 };
 
 struct TaskAccept final : net::Message {
   util::TaskId task;
   util::PeerId serving_rm;
   util::SimDuration estimated_execution = 0;
-  std::size_t wire_size() const override { return 32; }
+  static constexpr net::WireType kType = net::WireType::TaskAccept;
+  std::size_t wire_size() const override { return net::kFrameHeaderBytes + 24; }
   std::string_view type_name() const override { return "core.task_accept"; }
+  net::WireType wire_type() const override { return kType; }
+  void encode_body(net::Writer& w) const override;
+  static TaskAccept decode_body(net::Reader& r);
 };
 
 // ---- service-graph composition (§4.3) -------------------------------------------
@@ -98,8 +119,12 @@ struct HopSpec {
 
 struct GraphCompose final : net::Message {
   HopSpec hop;
-  std::size_t wire_size() const override { return 96; }
+  static constexpr net::WireType kType = net::WireType::GraphCompose;
+  std::size_t wire_size() const override { return net::kFrameHeaderBytes + 99; }
   std::string_view type_name() const override { return "core.graph_compose"; }
+  net::WireType wire_type() const override { return kType; }
+  void encode_body(net::Writer& w) const override;
+  static GraphCompose decode_body(net::Reader& r);
 };
 
 // RM -> source peer: begin pushing the object into the chain.
@@ -112,8 +137,12 @@ struct SourceStart final : net::Message {
   media::MediaFormat format{};
   util::SimTime absolute_deadline = 0;
   util::PeerId rm;
-  std::size_t wire_size() const override { return 72; }
+  static constexpr net::WireType kType = net::WireType::SourceStart;
+  std::size_t wire_size() const override { return net::kFrameHeaderBytes + 58; }
   std::string_view type_name() const override { return "core.source_start"; }
+  net::WireType wire_type() const override { return kType; }
+  void encode_body(net::Writer& w) const override;
+  static SourceStart decode_body(net::Reader& r);
 };
 
 // The media payload moving between pipeline stages. wire_size is the real
@@ -132,8 +161,17 @@ struct StreamData final : net::Message {
     return static_cast<std::size_t>(static_cast<double>(format.bitrate_kbps) *
                                     1000.0 / 8.0 * media_seconds);
   }
-  std::size_t wire_size() const override { return 64 + payload_bytes(); }
+  static constexpr net::WireType kType = net::WireType::StreamData;
+  // Metadata plus the modelled media payload (zero bytes on a real wire),
+  // so a loopback frame genuinely occupies the stream size the simulator
+  // charges for it.
+  std::size_t wire_size() const override {
+    return net::kFrameHeaderBytes + 58 + payload_bytes();
+  }
   std::string_view type_name() const override { return "core.stream_data"; }
+  net::WireType wire_type() const override { return kType; }
+  void encode_body(net::Writer& w) const override;
+  static StreamData decode_body(net::Reader& r);
 };
 
 // ---- execution feedback (§4.4 intra-domain propagation) ---------------------------
@@ -144,8 +182,12 @@ struct HopDone final : net::Message {
   std::size_t hop_index = 0;
   util::SimDuration execution_time = 0;  // measured by the local profiler
   bool missed_local_deadline = false;
-  std::size_t wire_size() const override { return 40; }
+  static constexpr net::WireType kType = net::WireType::HopDone;
+  std::size_t wire_size() const override { return net::kFrameHeaderBytes + 25; }
   std::string_view type_name() const override { return "core.hop_done"; }
+  net::WireType wire_type() const override { return kType; }
+  void encode_body(net::Writer& w) const override;
+  static HopDone decode_body(net::Reader& r);
 };
 
 // Sink (the requesting peer) -> RM on delivery.
@@ -153,16 +195,26 @@ struct TaskCompleted final : net::Message {
   util::TaskId task;
   util::SimTime completed_at = 0;
   bool missed_deadline = false;
-  std::size_t wire_size() const override { return 32; }
+  static constexpr net::WireType kType = net::WireType::TaskCompleted;
+  std::size_t wire_size() const override { return net::kFrameHeaderBytes + 17; }
   std::string_view type_name() const override { return "core.task_completed"; }
+  net::WireType wire_type() const override { return kType; }
+  void encode_body(net::Writer& w) const override;
+  static TaskCompleted decode_body(net::Reader& r);
 };
 
 // RM -> origin peer: the task is unrecoverable.
 struct TaskFailedMsg final : net::Message {
   util::TaskId task;
   std::string reason;
-  std::size_t wire_size() const override { return 24 + reason.size(); }
+  static constexpr net::WireType kType = net::WireType::TaskFailed;
+  std::size_t wire_size() const override {
+    return net::kFrameHeaderBytes + 12 + reason.size();
+  }
   std::string_view type_name() const override { return "core.task_failed"; }
+  net::WireType wire_type() const override { return kType; }
+  void encode_body(net::Writer& w) const override;
+  static TaskFailedMsg decode_body(net::Reader& r);
 };
 
 // Hop peer -> RM: this hop cannot complete (e.g. its job was dropped as
@@ -171,8 +223,14 @@ struct HopFailed final : net::Message {
   util::TaskId task;
   std::size_t hop_index = 0;
   std::string reason;
-  std::size_t wire_size() const override { return 32 + reason.size(); }
+  static constexpr net::WireType kType = net::WireType::HopFailed;
+  std::size_t wire_size() const override {
+    return net::kFrameHeaderBytes + 20 + reason.size();
+  }
   std::string_view type_name() const override { return "core.hop_failed"; }
+  net::WireType wire_type() const override { return kType; }
+  void encode_body(net::Writer& w) const override;
+  static HopFailed decode_body(net::Reader& r);
 };
 
 // Peer -> RM, periodic (§4.4 intra-domain propagation). Carries the load
@@ -190,10 +248,14 @@ struct ProfilerReport final : net::Message {
   // a lost report without the RM ever applying stale state (it keeps the
   // highest seq seen per member).
   std::uint64_t seq = 0;
+  static constexpr net::WireType kType = net::WireType::ProfilerReport;
   std::size_t wire_size() const override {
-    return 80 + measured_exec_s.size() * 16;
+    return net::kFrameHeaderBytes + 101 + measured_exec_s.size() * 16;
   }
   std::string_view type_name() const override { return "core.profiler_report"; }
+  net::WireType wire_type() const override { return kType; }
+  void encode_body(net::Writer& w) const override;
+  static ProfilerReport decode_body(net::Reader& r);
 };
 
 // RM -> peer: acknowledges ProfilerReport `seq` (when
@@ -201,8 +263,12 @@ struct ProfilerReport final : net::Message {
 // retry policy's timeout triggers a resend of the same sample.
 struct ReportAck final : net::Message {
   std::uint64_t seq = 0;
-  std::size_t wire_size() const override { return 16; }
+  static constexpr net::WireType kType = net::WireType::ReportAck;
+  std::size_t wire_size() const override { return net::kFrameHeaderBytes + 8; }
   std::string_view type_name() const override { return "core.report_ack"; }
+  net::WireType wire_type() const override { return kType; }
+  void encode_body(net::Writer& w) const override;
+  static ReportAck decode_body(net::Reader& r);
 };
 
 // ---- adaptation (§4.5) -----------------------------------------------------------
@@ -211,8 +277,12 @@ struct ReportAck final : net::Message {
 struct HopCancel final : net::Message {
   util::TaskId task;
   std::size_t hop_index = 0;
-  std::size_t wire_size() const override { return 24; }
+  static constexpr net::WireType kType = net::WireType::HopCancel;
+  std::size_t wire_size() const override { return net::kFrameHeaderBytes + 16; }
   std::string_view type_name() const override { return "core.hop_cancel"; }
+  net::WireType wire_type() const override { return kType; }
+  void encode_body(net::Writer& w) const override;
+  static HopCancel decode_body(net::Reader& r);
 };
 
 // Origin peer -> RM: dynamic QoS renegotiation ("Users may change QoS
@@ -225,10 +295,14 @@ struct TaskQosUpdate final : net::Message {
   util::SimDuration new_deadline = 0;
   // Optionally replace the acceptable target formats (empty = keep).
   std::vector<media::MediaFormat> new_acceptable_formats;
+  static constexpr net::WireType kType = net::WireType::TaskQosUpdate;
   std::size_t wire_size() const override {
-    return 32 + new_acceptable_formats.size() * 12;
+    return net::kFrameHeaderBytes + 20 + new_acceptable_formats.size() * 9;
   }
   std::string_view type_name() const override { return "core.task_qos_update"; }
+  net::WireType wire_type() const override { return kType; }
+  void encode_body(net::Writer& w) const override;
+  static TaskQosUpdate decode_body(net::Reader& r);
 };
 
 }  // namespace p2prm::core

@@ -114,7 +114,7 @@ bool PeerNode::quiescent() const {
 void PeerNode::send(util::PeerId to, net::MessagePtr message) {
   if (!alive_) return;
   stats_.bytes_sent += message->wire_size() + net::kEnvelopeBytes;
-  system_.network().send(spec_.id, to, std::move(message));
+  system_.transport().send(spec_.id, to, std::move(message));
 }
 
 // ---------------------------------------------------------------------------
@@ -158,7 +158,7 @@ void PeerNode::handle_message(util::PeerId from, const net::Message& message) {
   // RM-side protocol first (join requests, reports, task queries, ...).
   if (rm_ && rm_->handle(from, message)) return;
 
-  if (const auto* m = net::message_cast<overlay::JoinRequest>(message)) {
+  if (const auto* m = net::message_as<overlay::JoinRequest>(message)) {
     // Not an RM: "a random peer who redirects it to the Resource Manager".
     (void)m;
     auto redirect = std::make_unique<overlay::JoinRedirect>();
@@ -166,76 +166,76 @@ void PeerNode::handle_message(util::PeerId from, const net::Message& message) {
     send(from, std::move(redirect));
     return;
   }
-  if (const auto* m = net::message_cast<overlay::JoinRedirect>(message)) {
+  if (const auto* m = net::message_as<overlay::JoinRedirect>(message)) {
     on_join_redirect(*m);
     return;
   }
-  if (const auto* m = net::message_cast<overlay::JoinAccept>(message)) {
+  if (const auto* m = net::message_as<overlay::JoinAccept>(message)) {
     on_join_accept(from, *m);
     return;
   }
-  if (const auto* m = net::message_cast<overlay::JoinPromote>(message)) {
+  if (const auto* m = net::message_as<overlay::JoinPromote>(message)) {
     on_join_promote(*m);
     return;
   }
-  if (const auto* m = net::message_cast<overlay::RmHeartbeat>(message)) {
+  if (const auto* m = net::message_as<overlay::RmHeartbeat>(message)) {
     on_rm_heartbeat(from, *m);
     return;
   }
-  if (const auto* m = net::message_cast<overlay::RmTakeover>(message)) {
+  if (const auto* m = net::message_as<overlay::RmTakeover>(message)) {
     on_rm_takeover(from, *m);
     return;
   }
-  if (const auto* m = net::message_cast<BackupSync>(message)) {
+  if (const auto* m = net::message_as<BackupSync>(message)) {
     on_backup_sync(*m, from);
     return;
   }
-  if (const auto* m = net::message_cast<GraphCompose>(message)) {
+  if (const auto* m = net::message_as<GraphCompose>(message)) {
     on_graph_compose(*m);
     return;
   }
-  if (const auto* m = net::message_cast<SourceStart>(message)) {
+  if (const auto* m = net::message_as<SourceStart>(message)) {
     on_source_start(*m);
     return;
   }
-  if (const auto* m = net::message_cast<StreamData>(message)) {
+  if (const auto* m = net::message_as<StreamData>(message)) {
     profiler_.record_communication(from, system_.simulator().now() - m->sent_at);
     on_stream_data(*m);
     return;
   }
-  if (const auto* m = net::message_cast<HopCancel>(message)) {
+  if (const auto* m = net::message_as<HopCancel>(message)) {
     on_hop_cancel(*m);
     return;
   }
-  if (const auto* m = net::message_cast<TaskAccept>(message)) {
+  if (const auto* m = net::message_as<TaskAccept>(message)) {
     settle_task_query(m->task);
     system_.ledger().on_estimate(m->task, m->estimated_execution);
     return;
   }
-  if (const auto* m = net::message_cast<TaskReject>(message)) {
+  if (const auto* m = net::message_as<TaskReject>(message)) {
     settle_task_query(m->task);
     system_.ledger().on_rejected(m->task, m->reason);
     system_.trace(TraceKind::TaskRejected, spec_.id, m->task,
                   util::DomainId::invalid(), {{"reason", m->reason}});
     return;
   }
-  if (const auto* m = net::message_cast<TaskFailedMsg>(message)) {
+  if (const auto* m = net::message_as<TaskFailedMsg>(message)) {
     settle_task_query(m->task);
     system_.ledger().on_failed(m->task, m->reason);
     system_.trace(TraceKind::TaskFailed, spec_.id, m->task,
                   util::DomainId::invalid(), {{"reason", m->reason}});
     return;
   }
-  if (const auto* m = net::message_cast<ReportAck>(message)) {
+  if (const auto* m = net::message_as<ReportAck>(message)) {
     if (m->seq == report_seq_) report_retry_op_.ack();
     return;
   }
-  if (net::message_cast<TaskQuery>(message) != nullptr && joined_ &&
+  if (net::message_as<TaskQuery>(message) != nullptr && joined_ &&
       my_rm_.valid() && my_rm_ != spec_.id) {
     // A query reached a peer that stopped being RM (stale sender view, RM
     // failover): forward to the RM we currently know.
     auto fwd = std::make_unique<TaskQuery>(
-        *net::message_cast<TaskQuery>(message));
+        *net::message_as<TaskQuery>(message));
     send(my_rm_, std::move(fwd));
     return;
   }

@@ -51,7 +51,7 @@ ResourceManager::ResourceManager(PeerNode& host, util::DomainId domain,
     info_.add_inventory(self);
   }
   gossip_ = std::make_unique<gossip::GossipEngine>(
-      system.simulator(), system.network(), host_.id(),
+      system.simulator(), system.transport(), host_.id(),
       system.config().gossip, [this] { return rm_peer_ids(); });
   gossip_->set_on_change([this](std::size_t) {
     // Learn new RMs (new domains, failovers) from incoming summaries.
@@ -96,51 +96,51 @@ void ResourceManager::stop() {
 // Dispatch
 
 bool ResourceManager::handle(util::PeerId from, const net::Message& message) {
-  if (const auto* m = net::message_cast<overlay::JoinRequest>(message)) {
+  if (const auto* m = net::message_as<overlay::JoinRequest>(message)) {
     on_join_request(from, *m);
     return true;
   }
-  if (net::message_cast<overlay::LeaveNotice>(message) != nullptr) {
+  if (net::message_as<overlay::LeaveNotice>(message) != nullptr) {
     on_leave(from);
     return true;
   }
-  if (const auto* m = net::message_cast<PeerAnnounce>(message)) {
+  if (const auto* m = net::message_as<PeerAnnounce>(message)) {
     on_peer_announce(*m);
     return true;
   }
-  if (const auto* m = net::message_cast<ProfilerReport>(message)) {
+  if (const auto* m = net::message_as<ProfilerReport>(message)) {
     on_profiler_report(from, *m);
     return true;
   }
-  if (const auto* m = net::message_cast<TaskQuery>(message)) {
+  if (const auto* m = net::message_as<TaskQuery>(message)) {
     on_task_query(*m);
     return true;
   }
-  if (const auto* m = net::message_cast<HopDone>(message)) {
+  if (const auto* m = net::message_as<HopDone>(message)) {
     on_hop_done(from, *m);
     return true;
   }
-  if (const auto* m = net::message_cast<TaskCompleted>(message)) {
+  if (const auto* m = net::message_as<TaskCompleted>(message)) {
     on_task_completed(*m);
     return true;
   }
-  if (const auto* m = net::message_cast<HopFailed>(message)) {
+  if (const auto* m = net::message_as<HopFailed>(message)) {
     if (auto* task = info_.task(m->task)) fail_task(*task, m->reason);
     return true;
   }
-  if (const auto* m = net::message_cast<TaskQosUpdate>(message)) {
+  if (const auto* m = net::message_as<TaskQosUpdate>(message)) {
     on_qos_update(*m);
     return true;
   }
-  if (const auto* m = net::message_cast<overlay::RmPeerIntro>(message)) {
+  if (const auto* m = net::message_as<overlay::RmPeerIntro>(message)) {
     on_rm_intro(*m);
     return true;
   }
-  if (const auto* m = net::message_cast<BackupSyncAck>(message)) {
+  if (const auto* m = net::message_as<BackupSyncAck>(message)) {
     if (m->seq == backup_sync_seq_) backup_sync_retry_op_.ack();
     return true;
   }
-  if (const auto* m = net::message_cast<gossip::GossipMessage>(message)) {
+  if (const auto* m = net::message_as<gossip::GossipMessage>(message)) {
     gossip_->handle_message(from, *m);
     return true;
   }
@@ -175,7 +175,7 @@ void ResourceManager::on_join_request(util::PeerId from,
     if (s.peer_count < config.max_domain_size &&
         s.resource_manager.valid() && s.resource_manager != host_.id()) {
       const auto rtt =
-          system.network().estimate_delay(from, s.resource_manager, 64);
+          system.transport().estimate_delay(from, s.resource_manager, 64);
       if (rtt < best_proximity) {
         underfull_rm = s.resource_manager;
         best_proximity = rtt;
@@ -359,7 +359,7 @@ bool ResourceManager::try_allocate_and_compose(const TaskQuery& query) {
   request.submitted_at = query.submitted_at;
 
   const AllocationResult result = allocator_->allocate(
-      info_, system.network(), system.config(), request, rng_);
+      info_, system.transport(), system.config(), request, rng_);
   stats_.search_vertices_popped += result.search.vertices_popped;
   stats_.path_cache_hits += result.search.cache_hits;
   stats_.path_cache_misses += result.search.cache_misses;
@@ -722,7 +722,7 @@ bool ResourceManager::recover_task(util::TaskId task_id, const char* cause,
   request.submitted_at = task->submitted_at;
 
   const AllocationResult result = allocator_->allocate(
-      info_, system.network(), system.config(), request, rng_);
+      info_, system.transport(), system.config(), request, rng_);
   stats_.search_vertices_popped += result.search.vertices_popped;
   stats_.path_cache_hits += result.search.cache_hits;
   stats_.path_cache_misses += result.search.cache_misses;

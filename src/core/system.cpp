@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
+#include "core/wire_registry.hpp"
 #include "fault/fault_injector.hpp"
 
 namespace p2prm::core {
@@ -116,6 +118,20 @@ System::System(SystemConfig config)
       topology_(config.topology),
       placement_rng_(sim_.rng().fork()),
       workload_rng_(sim_.rng().fork()) {
+  if (config_.id_base != 0) {
+    task_ids_ = util::IdGenerator<util::TaskId>(config_.id_base);
+    job_ids_ = util::IdGenerator<util::JobId>(config_.id_base);
+    service_ids_ = util::IdGenerator<util::ServiceId>(config_.id_base);
+    object_ids_ = util::IdGenerator<util::ObjectId>(config_.id_base);
+    peer_ids_gen_ = util::IdGenerator<util::PeerId>(config_.id_base);
+    domain_ids_ = util::IdGenerator<util::DomainId>(config_.id_base);
+  }
+  if (config_.transport == TransportKind::Socket && config_.num_threads > 1) {
+    // The parallel engine's ordered-commit machinery is a property of the
+    // simulated event loop; real sockets are paced by the wall clock.
+    throw std::invalid_argument(
+        "socket transport requires num_threads == 1");
+  }
   if (config_.num_threads > 1) {
     sim::ParallelConfig pc;
     pc.threads = config_.num_threads;
@@ -138,8 +154,29 @@ System::System(SystemConfig config)
           [this](const std::vector<double>& ewma) { rebalance_shards(ewma); });
     }
   }
-  network_ = std::make_unique<net::Network>(sim_, topology_,
-                                            config.message_drop_probability);
+  if (config_.transport == TransportKind::Socket) {
+    socket_transport_ = std::make_unique<net::SocketTransport>(
+        config_.socket, &decode_message);
+    transport_ = socket_transport_.get();
+    realtime_ = std::make_unique<net::RealtimeDriver>(
+        sim_, *socket_transport_, config_.socket.time_scale);
+  } else {
+    network_ = std::make_unique<net::Network>(
+        sim_, topology_, config.message_drop_probability);
+    transport_ = network_.get();
+  }
+}
+
+void System::run_until(util::SimTime t) {
+  if (realtime_ != nullptr) {
+    realtime_->run_until(t);
+  } else {
+    sim_.run_until(t);
+  }
+}
+
+void System::drain_transport(int wall_ms) {
+  if (realtime_ != nullptr) realtime_->drain(wall_ms);
 }
 
 sim::ShardId System::domain_shard(util::DomainId d) const {
@@ -277,10 +314,10 @@ PeerNode* System::build_node(std::uint32_t row, overlay::PeerSpec spec,
                              PeerInventory inventory) {
   auto node = std::make_unique<PeerNode>(*this, spec, std::move(inventory));
   PeerNode* raw = registry_.attach_node(row, std::move(node));
-  network_->attach(spec.id, spec.link,
-                   [raw](util::PeerId from, const net::Message& m) {
-                     raw->handle_message(from, m);
-                   });
+  transport_->attach(spec.id, spec.link,
+                     [raw](util::PeerId from, const net::Message& m) {
+                       raw->handle_message(from, m);
+                     });
   return raw;
 }
 
@@ -356,7 +393,7 @@ bool System::demote_peer(util::PeerId peer) {
   // stop_local_work, and in-flight network deliveries are invalidated by
   // the endpoint epoch bump on detach.
   node->leave();
-  network_->detach(peer);
+  transport_->detach(peer);
   topology_.remove(peer);
   registry_.stash_inventory(peer, node->inventory());
   registry_.detach_node(row).reset();
@@ -386,7 +423,7 @@ void System::leave_peer(util::PeerId peer) {
   PeerNode* node = registry_.node(row);
   if (node == nullptr) return;
   node->leave();
-  network_->detach(peer);
+  transport_->detach(peer);
   if (registry_.state(row) == PeerState::Live) {
     registry_.set_state(row, PeerState::Left);
   }
@@ -397,7 +434,7 @@ void System::crash_peer(util::PeerId peer) {
   if (row == PeerRegistry::kNoSlot) return;
   PeerNode* node = registry_.node(row);
   if (node == nullptr) return;
-  network_->detach(peer);  // detach first: a crash sends nothing
+  transport_->detach(peer);  // detach first: a crash sends nothing
   node->crash();
   if (registry_.state(row) == PeerState::Live) {
     registry_.set_state(row, PeerState::Crashed);
@@ -429,6 +466,11 @@ bool System::restart_peer(util::PeerId peer) {
 }
 
 fault::FaultInjector& System::install_fault_plan(fault::FaultPlan plan) {
+  if (network_ == nullptr) {
+    // Fault plans hook the simulated network's delivery pipeline; on the
+    // socket transport, faults are real (kill -9 the process instead).
+    throw std::logic_error("fault plans require the sim transport");
+  }
   fault::FaultInjector::Hooks hooks;
   hooks.crash = [this](util::PeerId p) { crash_peer(p); };
   hooks.restart = [this](util::PeerId p) { restart_peer(p); };

@@ -14,6 +14,8 @@
 #include "core/trace.hpp"
 #include "fault/fault_plan.hpp"
 #include "net/network.hpp"
+#include "net/realtime.hpp"
+#include "net/socket_transport.hpp"
 #include "net/topology.hpp"
 #include "sim/simulator.hpp"
 #include "util/flat_map.hpp"
@@ -185,12 +187,28 @@ class System {
   bool update_task_deadline(util::TaskId task, util::SimDuration new_deadline);
 
   // --- run -------------------------------------------------------------------------
-  void run_for(util::SimDuration d) { sim_.run_until(sim_.now() + d); }
-  void run_until(util::SimTime t) { sim_.run_until(t); }
+  // Sim mode: runs the event loop to the target sim time. Socket mode: the
+  // realtime driver paces sim time against the wall clock and pumps socket
+  // I/O between event batches.
+  void run_for(util::SimDuration d) { run_until(sim_.now() + d); }
+  void run_until(util::SimTime t);
+  // Socket mode only: linger up to `wall_ms`, flushing outbound frames and
+  // processing stragglers, before a process exits. No-op in sim mode.
+  void drain_transport(int wall_ms);
 
   // --- access ------------------------------------------------------------------------
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] const sim::Simulator& simulator() const { return sim_; }
+  // The control-plane message fabric. All protocol traffic (joins, task
+  // queries, gossip, stream data) goes through this interface; in sim mode
+  // it is the deterministic net::Network, in socket mode a
+  // net::SocketTransport speaking length-prefixed frames over loopback.
+  [[nodiscard]] net::Transport& transport() { return *transport_; }
+  [[nodiscard]] const net::Transport& transport() const { return *transport_; }
+  // The simulated network, when running in sim mode (partitions, fault
+  // hooks, topology-derived delays). nullptr-deref hazard in socket mode:
+  // guard with has_sim_network() in code that may run under either.
+  [[nodiscard]] bool has_sim_network() const { return network_ != nullptr; }
   [[nodiscard]] net::Network& network() { return *network_; }
   [[nodiscard]] const net::Network& network() const { return *network_; }
   [[nodiscard]] net::Topology& topology() { return topology_; }
@@ -262,7 +280,13 @@ class System {
   SystemConfig config_;
   sim::Simulator sim_;
   net::Topology topology_;
+  // Exactly one of these two backends exists, per config_.transport.
   std::unique_ptr<net::Network> network_;
+  std::unique_ptr<net::SocketTransport> socket_transport_;
+  // Points at whichever backend is live. Never null after construction.
+  net::Transport* transport_ = nullptr;
+  // Paces sim time against the wall clock in socket mode; null in sim mode.
+  std::unique_ptr<net::RealtimeDriver> realtime_;
   // Flat SoA rows for every peer; PeerNodes only for materialized ones.
   PeerRegistry registry_;
   // Crashed nodes replaced by restart_peer(). Kept alive until teardown:

@@ -1,0 +1,92 @@
+#include "core/wire_registry.hpp"
+
+#include <array>
+
+#include "core/info_base.hpp"
+#include "core/messages.hpp"
+#include "gossip/gossip_engine.hpp"
+#include "overlay/membership.hpp"
+
+namespace p2prm::core {
+
+namespace {
+
+template <typename T>
+net::MessagePtr decode_as(net::Reader& r) {
+  auto m = std::make_unique<T>(T::decode_body(r));
+  // A valid body is consumed exactly: trailing garbage means a framing bug
+  // or a hostile peer, and partially-initialized messages must not escape.
+  if (!r.done()) return nullptr;
+  return m;
+}
+
+template <typename T>
+constexpr WireEntry entry(std::string_view name) {
+  return WireEntry{T::kType, name, &decode_as<T>};
+}
+
+// The single source of truth for what can appear on a production wire.
+// Keep ordered by tag value.
+constexpr std::array kRegistry = {
+    entry<overlay::JoinRequest>("overlay.join_request"),
+    entry<overlay::JoinRedirect>("overlay.join_redirect"),
+    entry<overlay::JoinAccept>("overlay.join_accept"),
+    entry<overlay::JoinPromote>("overlay.join_promote"),
+    entry<overlay::LeaveNotice>("overlay.leave"),
+    entry<overlay::RmHeartbeat>("overlay.rm_heartbeat"),
+    entry<overlay::RmTakeover>("overlay.rm_takeover"),
+    entry<overlay::RmPeerIntro>("overlay.rm_intro"),
+    entry<PeerAnnounce>("core.peer_announce"),
+    entry<TaskQuery>("core.task_query"),
+    entry<TaskReject>("core.task_reject"),
+    entry<TaskAccept>("core.task_accept"),
+    entry<GraphCompose>("core.graph_compose"),
+    entry<SourceStart>("core.source_start"),
+    entry<StreamData>("core.stream_data"),
+    entry<HopDone>("core.hop_done"),
+    entry<TaskCompleted>("core.task_completed"),
+    entry<TaskFailedMsg>("core.task_failed"),
+    entry<HopFailed>("core.hop_failed"),
+    entry<ProfilerReport>("core.profiler_report"),
+    entry<ReportAck>("core.report_ack"),
+    entry<HopCancel>("core.hop_cancel"),
+    entry<TaskQosUpdate>("core.task_qos_update"),
+    entry<BackupSync>("core.backup_sync"),
+    entry<BackupSyncAck>("core.backup_sync_ack"),
+    entry<gossip::GossipMessage>("gossip.summaries"),
+};
+
+// Compile-time tag uniqueness: a duplicated WireType value anywhere in the
+// registry is a build error, not a runtime surprise.
+constexpr bool tags_unique() {
+  for (std::size_t i = 0; i < kRegistry.size(); ++i) {
+    for (std::size_t j = i + 1; j < kRegistry.size(); ++j) {
+      if (kRegistry[i].type == kRegistry[j].type) return false;
+    }
+  }
+  return true;
+}
+static_assert(tags_unique(), "duplicate WireType tag in the message registry");
+
+constexpr bool tags_valid() {
+  for (const auto& e : kRegistry) {
+    if (e.type == net::WireType::Invalid) return false;
+    if (e.type >= net::WireType::TestBase) return false;
+  }
+  return true;
+}
+static_assert(tags_valid(),
+              "registry entries must use production (non-test) wire tags");
+
+}  // namespace
+
+std::span<const WireEntry> wire_registry() { return kRegistry; }
+
+net::MessagePtr decode_message(net::WireType type, net::Reader& r) {
+  for (const auto& e : kRegistry) {
+    if (e.type == type) return e.decode(r);
+  }
+  return nullptr;
+}
+
+}  // namespace p2prm::core

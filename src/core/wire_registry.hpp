@@ -1,0 +1,41 @@
+// The production message registry: wire tag -> decoder.
+//
+// core is the lowest layer that sees every module defining messages
+// (overlay membership, gossip digests, the task protocol), so the decode
+// table lives here rather than in net. The socket transport receives
+// decode_message as a plain function pointer (net::SocketTransport does
+// not link against core).
+//
+// Registration is manual; wire_registry.cpp keeps the list and enforces
+// at compile time that every registered tag is unique. The codec
+// round-trip property test iterates entries() so a type added here is
+// automatically fuzzed.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "net/codec.hpp"
+#include "net/message.hpp"
+#include "net/wire.hpp"
+
+namespace p2prm::core {
+
+struct WireEntry {
+  net::WireType type = net::WireType::Invalid;
+  std::string_view type_name;
+  // Decodes one message body from `r`; returns nullptr when the body is
+  // malformed (r latches !ok(), or trailing bytes remain).
+  net::MessagePtr (*decode)(net::Reader& r) = nullptr;
+};
+
+// Every production message type, ordered by tag.
+[[nodiscard]] std::span<const WireEntry> wire_registry();
+
+// Tag-dispatch decode of one frame body. Returns nullptr for unknown tags
+// and malformed bodies (the socket transport counts those and drops the
+// frame; a hostile or corrupt peer must not take the process down).
+[[nodiscard]] net::MessagePtr decode_message(net::WireType type,
+                                             net::Reader& r);
+
+}  // namespace p2prm::core

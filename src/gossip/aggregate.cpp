@@ -63,4 +63,26 @@ double DomainAggregate::load_quantile(double q) const {
   return max_utilization;
 }
 
+void DomainAggregate::encode(net::Writer& w) const {
+  w.u64(peer_count);  // padded to 8 so the row stays 8-aligned (wire_size)
+  w.f64(total_capacity_ops);
+  w.f64(total_load_ops);
+  w.f64(min_utilization);
+  w.f64(max_utilization);
+  for (const auto v : capability_hist) w.u32(v);
+  for (const auto v : load_hist) w.u32(v);
+}
+
+DomainAggregate DomainAggregate::decode(net::Reader& r) {
+  DomainAggregate a;
+  a.peer_count = static_cast<std::uint32_t>(r.u64());
+  a.total_capacity_ops = r.f64();
+  a.total_load_ops = r.f64();
+  a.min_utilization = r.f64();
+  a.max_utilization = r.f64();
+  for (auto& v : a.capability_hist) v = r.u32();
+  for (auto& v : a.load_hist) v = r.u32();
+  return a;
+}
+
 }  // namespace p2prm::gossip

@@ -22,6 +22,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "net/codec.hpp"
+
 namespace p2prm::gossip {
 
 struct DomainAggregate {
@@ -73,6 +75,9 @@ struct DomainAggregate {
   [[nodiscard]] std::size_t wire_size() const {
     return 8 * 5 + 2 * kBuckets * 4;
   }
+
+  void encode(net::Writer& w) const;
+  [[nodiscard]] static DomainAggregate decode(net::Reader& r);
 };
 
 }  // namespace p2prm::gossip

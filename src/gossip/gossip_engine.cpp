@@ -4,11 +4,27 @@
 
 namespace p2prm::gossip {
 
-GossipEngine::GossipEngine(sim::Simulator& simulator, net::Network& network,
+void GossipMessage::encode_body(net::Writer& w) const {
+  w.id(sender);
+  w.count(summaries.size());
+  for (const auto& s : summaries) s.encode(w);
+}
+
+GossipMessage GossipMessage::decode_body(net::Reader& r) {
+  GossipMessage m;
+  m.sender = r.id<util::PeerIdTag>();
+  // Smallest summary: six 8-byte scalars + two empty-ish blooms + flag.
+  const std::size_t n = r.count(8 * 6 + 1);
+  m.summaries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) m.summaries.push_back(DomainSummary::decode(r));
+  return m;
+}
+
+GossipEngine::GossipEngine(sim::Simulator& simulator, net::Transport& transport,
                            util::PeerId self, GossipConfig config,
                            PeerProvider rm_peers)
     : sim_(simulator),
-      net_(network),
+      net_(transport),
       self_(self),
       config_(config),
       rm_peers_(std::move(rm_peers)),

@@ -16,7 +16,7 @@
 
 #include "gossip/summary.hpp"
 #include "net/message.hpp"
-#include "net/network.hpp"
+#include "net/transport.hpp"
 #include "sim/simulator.hpp"
 
 namespace p2prm::gossip {
@@ -25,14 +25,18 @@ struct GossipMessage final : net::Message {
   util::PeerId sender;
   std::vector<DomainSummary> summaries;
 
+  static constexpr net::WireType kType = net::WireType::GossipSummaries;
   [[nodiscard]] std::size_t wire_size() const override {
-    std::size_t n = 16;
+    std::size_t n = net::kFrameHeaderBytes + 8 + 4;
     for (const auto& s : summaries) n += s.wire_size();
     return n;
   }
   [[nodiscard]] std::string_view type_name() const override {
     return "gossip.summaries";
   }
+  net::WireType wire_type() const override { return kType; }
+  void encode_body(net::Writer& w) const override;
+  static GossipMessage decode_body(net::Reader& r);
 };
 
 struct GossipConfig {
@@ -69,7 +73,7 @@ class GossipEngine {
   // Invoked whenever reconciliation changed at least one summary.
   using ChangeFn = std::function<void(std::size_t changed)>;
 
-  GossipEngine(sim::Simulator& simulator, net::Network& network,
+  GossipEngine(sim::Simulator& simulator, net::Transport& transport,
                util::PeerId self, GossipConfig config, PeerProvider rm_peers);
   ~GossipEngine();
 
@@ -114,7 +118,7 @@ class GossipEngine {
   void push_to(util::PeerId peer);
 
   sim::Simulator& sim_;
-  net::Network& net_;
+  net::Transport& net_;
   util::PeerId self_;
   GossipConfig config_;
   PeerProvider rm_peers_;

@@ -4,6 +4,65 @@
 
 namespace p2prm::gossip {
 
+std::size_t bloom_wire_size(const bloom::BloomFilter& f) {
+  return 4 + 4 + 8 + f.words().size() * 8;
+}
+
+void encode_bloom(net::Writer& w, const bloom::BloomFilter& f) {
+  w.u32(static_cast<std::uint32_t>(f.bit_count()));
+  w.u32(static_cast<std::uint32_t>(f.hash_count()));
+  w.u64(f.inserted());
+  for (const auto word : f.words()) w.u64(word);
+}
+
+bloom::BloomFilter decode_bloom(net::Reader& r) {
+  bloom::BloomParameters params;
+  params.bits = r.u32();
+  params.hashes = r.u32();
+  const std::uint64_t inserted = r.u64();
+  const std::size_t nwords = (params.bits + 63) / 64;
+  // Corrupt/truncated geometry (a legit encode always has bits and hashes
+  // > 0): latch the failure instead of ballooning an allocation or letting
+  // the BloomFilter constructor throw out of a frame decoder.
+  if (!r.ok() || params.bits == 0 || params.hashes == 0 ||
+      nwords * 8 > r.remaining()) {
+    r.skip(r.remaining() + 1);
+    return bloom::BloomFilter{};
+  }
+  std::vector<std::uint64_t> words(nwords);
+  for (auto& word : words) word = r.u64();
+  bloom::BloomFilter f(params);
+  f.adopt_words(std::move(words), static_cast<std::size_t>(inserted));
+  return f;
+}
+
+void DomainSummary::encode(net::Writer& w) const {
+  w.id(domain);
+  w.id(resource_manager);
+  w.u64(version);
+  w.u64(peer_count);
+  w.f64(total_capacity_ops);
+  w.f64(total_load_ops);
+  encode_bloom(w, objects);
+  encode_bloom(w, services);
+  w.boolean(aggregate.has_value());
+  if (aggregate) aggregate->encode(w);
+}
+
+DomainSummary DomainSummary::decode(net::Reader& r) {
+  DomainSummary s;
+  s.domain = r.id<util::DomainIdTag>();
+  s.resource_manager = r.id<util::PeerIdTag>();
+  s.version = r.u64();
+  s.peer_count = static_cast<std::size_t>(r.u64());
+  s.total_capacity_ops = r.f64();
+  s.total_load_ops = r.f64();
+  s.objects = decode_bloom(r);
+  s.services = decode_bloom(r);
+  if (r.boolean()) s.aggregate = DomainAggregate::decode(r);
+  return s;
+}
+
 std::size_t reconcile(std::vector<DomainSummary>& into,
                       const std::vector<DomainSummary>& from) {
   std::size_t changed = 0;

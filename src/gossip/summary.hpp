@@ -13,10 +13,18 @@
 
 #include "bloom/bloom_filter.hpp"
 #include "gossip/aggregate.hpp"
+#include "net/codec.hpp"
 #include "util/ids.hpp"
 #include "util/time.hpp"
 
 namespace p2prm::gossip {
+
+// Bloom filter wire codec (bloom sits below net in the layering, so the
+// codec lives here with its only wire consumer): geometry + insert count +
+// the raw bitmap words.
+[[nodiscard]] std::size_t bloom_wire_size(const bloom::BloomFilter& f);
+void encode_bloom(net::Writer& w, const bloom::BloomFilter& f);
+[[nodiscard]] bloom::BloomFilter decode_bloom(net::Reader& r);
 
 struct DomainSummary {
   util::DomainId domain;
@@ -42,9 +50,12 @@ struct DomainSummary {
     return total_capacity_ops > 0.0 ? total_load_ops / total_capacity_ops : 0.0;
   }
   [[nodiscard]] std::size_t wire_size() const {
-    return 8 * 6 + objects.wire_size() + services.wire_size() +
+    return 8 * 6 + bloom_wire_size(objects) + bloom_wire_size(services) + 1 +
            (aggregate ? aggregate->wire_size() : 0);
   }
+
+  void encode(net::Writer& w) const;
+  [[nodiscard]] static DomainSummary decode(net::Reader& r);
 };
 
 // Freshest-wins merge of summary sets: for each domain keep the higher

@@ -30,7 +30,7 @@ void publish_system(const core::System& system,
   registry.gauge("system.now_s")
       .set(util::to_seconds(system.simulator().now()));
 
-  system.network().publish(registry);
+  system.transport().publish(registry);
   // Engine-aware: a parallel run emits the byte-identical sim.event_queue.*
   // values its sequential twin would (sim.parallel.* stays out of the
   // snapshot for the same reason; publish it explicitly if needed).

@@ -88,7 +88,7 @@ util::Table retry_table(const core::System& system) {
 
 std::string metrics_json(const core::System& system) {
   const auto& ledger = system.ledger();
-  const auto& net = system.network().stats();
+  const auto& net = system.transport().stats();
   const RetryAggregate retry = aggregate_retry_stats(system);
   const RmAggregate rm = aggregate_rm_stats(system);
 

@@ -1,0 +1,151 @@
+// Bounds-checked binary codec primitives for the wire protocol.
+//
+// Little-endian, fixed-width integers; doubles via bit_cast of their IEEE
+// representation; strings and vectors carry a u32 length prefix. Writer
+// appends to a byte vector; Reader consumes a span and latches a failure
+// flag instead of throwing, so a truncated or corrupt frame decodes to
+// "not ok" rather than UB (the socket transport drops such frames and
+// counts them).
+//
+// Every concrete net::Message implements encode_body()/decode_body() with
+// these primitives, and its wire_size() must equal the encoded frame size
+// exactly — the codec round-trip property test (tests/codec_test.cpp) pins
+// that, so sim traffic accounting and real socket frames cannot drift.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace p2prm::net {
+
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) { append(&v, sizeof v); }
+  void u32(std::uint32_t v) { append(&v, sizeof v); }
+  void u64(std::uint64_t v) { append(&v, sizeof v); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  template <typename Tag>
+  void id(util::StrongId<Tag> v) {
+    u64(v.value());
+  }
+  void time(util::SimTime v) { i64(v); }  // SimDuration is the same type
+
+  // u32 length prefix + raw bytes.
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    append(s.data(), s.size());
+  }
+  // Count prefix for any repeated field; elements follow.
+  void count(std::size_t n) { u32(static_cast<std::uint32_t>(n)); }
+  // Zero padding (unused reserved bytes / modelled payload bulk).
+  void zeros(std::size_t n) { out_.resize(out_.size() + n, 0); }
+
+  [[nodiscard]] std::size_t size() const { return out_.size(); }
+
+ private:
+  void append(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    out_.insert(out_.end(), b, b + n);
+  }
+  std::vector<std::uint8_t>& out_;
+};
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  // True when every byte was consumed and no read overran.
+  [[nodiscard]] bool done() const { return ok_ && pos_ == size_; }
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+
+  std::uint8_t u8() {
+    std::uint8_t v = 0;
+    take(&v, sizeof v);
+    return v;
+  }
+  std::uint16_t u16() {
+    std::uint16_t v = 0;
+    take(&v, sizeof v);
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    take(&v, sizeof v);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    take(&v, sizeof v);
+    return v;
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  bool boolean() { return u8() != 0; }
+
+  template <typename Tag>
+  util::StrongId<Tag> id() {
+    return util::StrongId<Tag>{u64()};
+  }
+  util::SimTime time() { return i64(); }
+
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (!ok_ || n > remaining()) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  // Count prefix, bounded: a hostile/corrupt count larger than the bytes
+  // that could possibly back it fails the read instead of ballooning an
+  // allocation. `min_elem_bytes` is the smallest encoding of one element.
+  std::size_t count(std::size_t min_elem_bytes = 1) {
+    const std::uint32_t n = u32();
+    if (!ok_ || (min_elem_bytes > 0 && n > remaining() / min_elem_bytes)) {
+      ok_ = false;
+      return 0;
+    }
+    return n;
+  }
+  void skip(std::size_t n) {
+    if (n > remaining()) {
+      ok_ = false;
+      return;
+    }
+    pos_ += n;
+  }
+
+ private:
+  void take(void* out, std::size_t n) {
+    if (!ok_ || n > remaining()) {
+      ok_ = false;
+      std::memset(out, 0, n);
+      return;
+    }
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+  }
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace p2prm::net

@@ -2,15 +2,24 @@
 //
 // Concrete message structs live in the modules that own the protocol
 // (overlay join, profiler reports, task queries, gossip digests, ...).
-// Each message reports a wire size so the network can model transmission
-// delay and the experiments can account control-plane overhead in bytes,
-// and a type name for per-type traffic statistics.
+// Each message carries:
+//   - a stable WireType tag (net/wire.hpp) used for dispatch and framing,
+//   - a binary codec (encode_body + a static decode in its own module),
+//   - a wire size equal to its encoded frame size, used for transmission
+//     delay and traffic accounting,
+//   - a type name for per-type traffic statistics.
+//
+// Handlers dispatch on the tag via message_as<T> — no RTTI. The decode
+// registry (tag -> decoder, with the compile-time tag-uniqueness check)
+// lives in core/wire_registry.{hpp,cpp}.
 #pragma once
 
 #include <cstddef>
 #include <memory>
 #include <string_view>
 
+#include "net/codec.hpp"
+#include "net/wire.hpp"
 #include "util/ids.hpp"
 
 namespace p2prm::net {
@@ -19,24 +28,33 @@ class Message {
  public:
   virtual ~Message() = default;
 
-  // Serialized size in bytes (headers included). Used for transmission
-  // delay and traffic accounting; it does not need to match any real codec,
-  // only to scale with the information carried.
+  // Serialized size in bytes: kFrameHeaderBytes plus the encoded body.
+  // Must match encode_frame()'s output exactly (tests/codec_test.cpp);
+  // the sim Network and the socket transport account the same bytes.
   [[nodiscard]] virtual std::size_t wire_size() const = 0;
 
   // Stable name used as the statistics key, e.g. "overlay.join_request".
   [[nodiscard]] virtual std::string_view type_name() const = 0;
+
+  // Stable wire tag (each concrete type also exposes it as `kType`).
+  [[nodiscard]] virtual WireType wire_type() const = 0;
+
+  // Serializes the body (everything after the frame header) into `w`.
+  virtual void encode_body(Writer& w) const = 0;
 };
 
 using MessagePtr = std::unique_ptr<Message>;
 
-// Fixed per-message envelope overhead added to every wire_size().
+// Fixed per-message envelope overhead added to every wire_size() by the
+// transports (TCP/IP-ish framing the codec does not model).
 inline constexpr std::size_t kEnvelopeBytes = 40;
 
-// Downcast helper: returns nullptr when the runtime type differs.
+// Tag-dispatch downcast: returns nullptr when the wire type differs.
+// T must be a concrete message type exposing `static constexpr WireType
+// kType`. Replaces the old dynamic_cast-based message_cast.
 template <typename T>
-[[nodiscard]] const T* message_cast(const Message& m) {
-  return dynamic_cast<const T*>(&m);
+[[nodiscard]] const T* message_as(const Message& m) {
+  return m.wire_type() == T::kType ? static_cast<const T*>(&m) : nullptr;
 }
 
 }  // namespace p2prm::net

@@ -176,32 +176,7 @@ void Network::schedule_delivery(util::PeerId from, util::PeerId to,
 
 void Network::publish(obs::MetricsRegistry& registry,
                       obs::Labels labels) const {
-  registry.counter("net.messages_sent", labels).set(stats_.messages_sent);
-  registry.counter("net.messages_delivered", labels)
-      .set(stats_.messages_delivered);
-  registry.counter("net.messages_dropped", labels)
-      .set(stats_.messages_dropped);
-  registry.counter("net.messages_partitioned", labels)
-      .set(stats_.messages_partitioned);
-  registry.counter("net.messages_undeliverable", labels)
-      .set(stats_.messages_undeliverable);
-  registry.counter("net.messages_fault_dropped", labels)
-      .set(stats_.messages_fault_dropped);
-  registry.counter("net.messages_duplicated", labels)
-      .set(stats_.messages_duplicated);
-  registry.counter("net.messages_delayed", labels)
-      .set(stats_.messages_delayed);
-  registry.counter("net.bytes_sent", labels).set(stats_.bytes_sent);
-  for (const auto& [type, count] : stats_.per_type_count) {
-    obs::Labels typed = labels;
-    typed.emplace_back("type", type);
-    registry.counter("net.messages_by_type", typed).set(count);
-  }
-  for (const auto& [type, bytes] : stats_.per_type_bytes) {
-    obs::Labels typed = labels;
-    typed.emplace_back("type", type);
-    registry.counter("net.bytes_by_type", typed).set(bytes);
-  }
+  publish_stats(stats_, registry, std::move(labels));
 }
 
 }  // namespace p2prm::net

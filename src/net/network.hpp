@@ -1,46 +1,28 @@
 // Message-level overlay transport on top of the simulator.
 //
-// Delivery delay = propagation latency (Topology) + transmission delay
-// (wire size over the bottleneck of sender uplink / receiver downlink).
-// Messages to detached (failed / departed) peers are silently dropped —
-// exactly the failure signal the paper's RMs and backup RMs react to.
-// All control-plane traffic is accounted per message type so experiments
-// can report protocol overhead.
+// The sim backend of net::Transport (see net/transport.hpp). Delivery
+// delay = propagation latency (Topology) + transmission delay (wire size
+// over the bottleneck of sender uplink / receiver downlink). Messages to
+// detached (failed / departed) peers are silently dropped — exactly the
+// failure signal the paper's RMs and backup RMs react to. All control-
+// plane traffic is accounted per message type so experiments can report
+// protocol overhead. Partition injection and the fault hook are sim-only
+// extras beyond the Transport contract.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <map>
 #include <unordered_map>
 
 #include "net/message.hpp"
 #include "net/topology.hpp"
+#include "net/transport.hpp"
 #include "obs/metrics_registry.hpp"
 #include "sim/simulator.hpp"
 #include "util/ids.hpp"
 
 namespace p2prm::net {
-
-struct LinkCapacity {
-  double uplink_bytes_per_s = 1.25e6;    // ~10 Mbit/s default
-  double downlink_bytes_per_s = 1.25e6;
-};
-
-struct NetworkStats {
-  std::uint64_t messages_sent = 0;
-  std::uint64_t messages_delivered = 0;
-  std::uint64_t messages_dropped = 0;     // random loss
-  std::uint64_t messages_partitioned = 0; // blocked by an active partition
-  std::uint64_t messages_undeliverable = 0;  // receiver detached
-  std::uint64_t messages_fault_dropped = 0;  // dropped by a FaultHook
-  std::uint64_t messages_duplicated = 0;     // extra copies from a FaultHook
-  std::uint64_t messages_delayed = 0;        // extra delay from a FaultHook
-  std::uint64_t bytes_sent = 0;
-  // Keyed by Message::type_name(). std::map keeps report output sorted.
-  std::map<std::string, std::uint64_t> per_type_count;
-  std::map<std::string, std::uint64_t> per_type_bytes;
-};
 
 // What a fault-injection layer may do to one message send. The hook is
 // consulted once per send, after partition filtering; the network applies
@@ -63,24 +45,22 @@ class FaultHook {
                                 std::string_view type) = 0;
 };
 
-class Network {
+class Network final : public Transport {
  public:
-  using Handler =
-      std::function<void(util::PeerId from, const Message& message)>;
-
   Network(sim::Simulator& simulator, Topology& topology,
           double drop_probability = 0.0);
 
   // Attach a peer endpoint. The handler runs at delivery time. A peer must
   // already be placed in the topology.
-  void attach(util::PeerId peer, LinkCapacity capacity, Handler handler);
+  void attach(util::PeerId peer, LinkCapacity capacity,
+              Handler handler) override;
   // Detach (departure or crash): pending deliveries to this peer vanish.
-  void detach(util::PeerId peer);
-  [[nodiscard]] bool attached(util::PeerId peer) const;
+  void detach(util::PeerId peer) override;
+  [[nodiscard]] bool attached(util::PeerId peer) const override;
 
   // Fire-and-forget unicast. Ownership of the message transfers; delivery
   // (if any) happens strictly after `now`.
-  void send(util::PeerId from, util::PeerId to, MessagePtr message);
+  void send(util::PeerId from, util::PeerId to, MessagePtr message) override;
 
   // --- partition injection ("dynamic environments", failure testing) ------
   // Splits the network: peers listed in `groups[i]` form island i+1; every
@@ -101,11 +81,12 @@ class Network {
   void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
   [[nodiscard]] FaultHook* fault_hook() const { return fault_hook_; }
 
-  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  [[nodiscard]] const NetworkStats& stats() const override { return stats_; }
   void reset_stats() { stats_ = NetworkStats{}; }
   // Writes net.* counters (delivery/drop/fault breakdown, bytes, and the
   // per-message-type series labelled {"type": ...}) under `labels`.
-  void publish(obs::MetricsRegistry& registry, obs::Labels labels = {}) const;
+  void publish(obs::MetricsRegistry& registry,
+               obs::Labels labels = {}) const override;
 
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] const Topology& topology() const { return topology_; }
@@ -113,8 +94,8 @@ class Network {
   // Estimated one-way delay for a message of `bytes` from a to b under the
   // current capacities — what an RM uses to predict communication times
   // when composing a service graph (§3.3). Does not include jitter/loss.
-  [[nodiscard]] util::SimDuration estimate_delay(util::PeerId a, util::PeerId b,
-                                                 std::size_t bytes) const;
+  [[nodiscard]] util::SimDuration estimate_delay(
+      util::PeerId a, util::PeerId b, std::size_t bytes) const override;
 
  private:
   struct Endpoint {

@@ -1,0 +1,69 @@
+#include "net/realtime.hpp"
+
+#include <algorithm>
+
+namespace p2prm::net {
+
+RealtimeDriver::RealtimeDriver(sim::Simulator& sim, SocketTransport& transport,
+                               double time_scale)
+    : sim_(sim),
+      transport_(transport),
+      time_scale_(time_scale > 0.0 ? time_scale : 1.0) {}
+
+util::SimTime RealtimeDriver::wall_to_sim(Clock::time_point t) const {
+  const auto wall_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t - wall_epoch_)
+          .count();
+  return sim_epoch_ +
+         static_cast<util::SimTime>(static_cast<double>(wall_ns) /
+                                    time_scale_);
+}
+
+void RealtimeDriver::run_until(util::SimTime until) {
+  if (!started_) {
+    // The wall epoch anchors at the first run call, not construction, so
+    // setup cost (binding listeners, building peers) is not charged to the
+    // scenario clock.
+    started_ = true;
+    wall_epoch_ = Clock::now();
+    sim_epoch_ = sim_.now();
+  }
+  while (sim_.now() < until) {
+    const util::SimTime wall_sim = wall_to_sim(Clock::now());
+    const util::SimTime target = std::min(until, std::max(wall_sim, sim_.now()));
+    if (target > sim_.now()) sim_.run_until(target);
+    if (sim_.now() >= until) break;
+
+    // Sleep in poll() until the next simulator timer is due in wall terms,
+    // capped at 20ms so connect backoffs and freshly scheduled events stay
+    // responsive. Inbound frames wake the poll immediately regardless.
+    const util::SimTime next = std::min(until, sim_.next_event_time());
+    int timeout_ms = 20;
+    if (next != util::kTimeInfinity && next > wall_sim) {
+      const double wall_ns =
+          static_cast<double>(next - wall_sim) * time_scale_;
+      timeout_ms = static_cast<int>(std::min(20.0, wall_ns / 1e6));
+    } else if (next <= wall_sim) {
+      timeout_ms = 0;  // work is already due; just poll-and-go
+    }
+    transport_.pump(std::max(0, timeout_ms));
+  }
+}
+
+void RealtimeDriver::drain(int wall_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(wall_ms);
+  while (Clock::now() < deadline) {
+    transport_.pump(5);
+    // Handlers triggered by late frames may schedule immediate follow-ups
+    // (acks); run anything due at the frozen clock.
+    sim_.run_until(sim_.now());
+    if (transport_.flushed() && sim_.idle()) {
+      // Nothing left to write and nothing queued: linger a little for
+      // stragglers, then leave early.
+      transport_.pump(50);
+      if (transport_.flushed()) return;
+    }
+  }
+}
+
+}  // namespace p2prm::net

@@ -1,0 +1,50 @@
+// net::RealtimeDriver — runs the discrete-event simulator against the wall
+// clock so protocol timers (heartbeats, retry backoffs, gossip rounds) fire
+// in real time while the SocketTransport carries the messages.
+//
+// The mapping is linear: sim time advances time_scale-times slower than
+// wall time (time_scale = 1 means one sim-second per wall-second). Each
+// loop iteration runs every due simulator event, then pumps socket I/O
+// with a poll timeout bounded by the next timer deadline — so the process
+// sleeps in poll() and wakes for whichever comes first, a frame or a
+// timer. Inbound handlers schedule follow-up events as usual; they run on
+// the next iteration.
+//
+// sim::Simulator::run_until advances now() to the target even when the
+// queue drains, which is exactly what keeps sim time glued to the wall
+// here.
+#pragma once
+
+#include <chrono>
+
+#include "net/socket_transport.hpp"
+#include "sim/simulator.hpp"
+
+namespace p2prm::net {
+
+class RealtimeDriver {
+ public:
+  RealtimeDriver(sim::Simulator& sim, SocketTransport& transport,
+                 double time_scale);
+
+  // Runs until sim time `until` (wall time ~ (until - start) * time_scale).
+  void run_until(util::SimTime until);
+
+  // Lingers up to `wall_ms`, pumping I/O at the frozen sim time, so final
+  // outbound frames flush and last inbound reports are processed before a
+  // process exits.
+  void drain(int wall_ms);
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  [[nodiscard]] util::SimTime wall_to_sim(Clock::time_point t) const;
+
+  sim::Simulator& sim_;
+  SocketTransport& transport_;
+  double time_scale_;
+  bool started_ = false;
+  Clock::time_point wall_epoch_{};
+  util::SimTime sim_epoch_ = 0;
+};
+
+}  // namespace p2prm::net

@@ -1,0 +1,408 @@
+#include "net/socket_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "net/message.hpp"
+
+namespace p2prm::net {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+// TCP self-connect detection: connecting to a not-yet-bound loopback port
+// inside the ephemeral range can complete as a simultaneous open to our
+// own ephemeral port. The "link" then swallows every frame. Treat it as a
+// failed connect so the backoff path retries toward the real listener.
+bool self_connected(int fd) {
+  sockaddr_in local{}, remote{};
+  socklen_t ll = sizeof local, rl = sizeof remote;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&local), &ll) != 0) {
+    return false;
+  }
+  if (::getpeername(fd, reinterpret_cast<sockaddr*>(&remote), &rl) != 0) {
+    return false;
+  }
+  return local.sin_port == remote.sin_port &&
+         local.sin_addr.s_addr == remote.sin_addr.s_addr;
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(SocketConfig config, Decoder decoder)
+    : config_(std::move(config)), decoder_(decoder) {}
+
+SocketTransport::~SocketTransport() {
+  for (auto& [id, ep] : endpoints_) close_fd(ep.listen_fd);
+  for (auto& [id, s] : sessions_) close_fd(s.fd);
+  for (auto& in : inbound_) close_fd(in.fd);
+}
+
+std::uint16_t SocketTransport::port_of(util::PeerId peer) const {
+  const std::uint64_t port = config_.base_port + peer.value();
+  if (port > 65535) {
+    throw std::runtime_error("peer id " + util::to_string(peer) +
+                             " maps past port 65535; lower base_port");
+  }
+  return static_cast<std::uint16_t>(port);
+}
+
+void SocketTransport::attach(util::PeerId peer, LinkCapacity /*capacity*/,
+                             Handler handler) {
+  Endpoint& ep = endpoints_[peer.value()];
+  ep.handler = std::move(handler);
+  if (ep.listen_fd >= 0) return;  // re-attach (restart): keep the listener
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket(): " + std::string(strerror(errno)));
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_of(peer));
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("bad transport host: " + config_.host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 64) != 0) {
+    const std::string err = strerror(errno);
+    ::close(fd);
+    endpoints_.erase(peer.value());
+    throw std::runtime_error("cannot listen on port " +
+                             std::to_string(port_of(peer)) + ": " + err);
+  }
+  set_nonblocking(fd);
+  ep.listen_fd = fd;
+}
+
+void SocketTransport::detach(util::PeerId peer) {
+  auto it = endpoints_.find(peer.value());
+  if (it == endpoints_.end()) return;
+  close_fd(it->second.listen_fd);
+  endpoints_.erase(it);
+  // Inbound connections stay open; frames addressed to the detached peer
+  // are dropped at dispatch (undeliverable), like the sim's epoch bump.
+}
+
+bool SocketTransport::attached(util::PeerId peer) const {
+  return endpoints_.contains(peer.value());
+}
+
+SocketTransport::Clock::duration SocketTransport::scaled(
+    util::SimDuration d) const {
+  const double ns = static_cast<double>(d) * config_.time_scale;
+  return std::chrono::nanoseconds(static_cast<std::int64_t>(ns));
+}
+
+SocketTransport::Session& SocketTransport::session_to(util::PeerId to) {
+  auto [it, fresh] = sessions_.try_emplace(to.value());
+  if (fresh) start_connect(to, it->second);
+  return it->second;
+}
+
+void SocketTransport::start_connect(util::PeerId to, Session& s) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    fail_session(s);
+    return;
+  }
+  set_nonblocking(fd);
+  set_nodelay(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_of(to));
+  ::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr);
+  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  if (rc == 0) {
+    if (self_connected(fd)) {
+      ::close(fd);
+      fail_session(s);
+      return;
+    }
+    s.fd = fd;
+    s.state = LinkState::Connected;
+    s.attempt = 0;
+  } else if (errno == EINPROGRESS) {
+    s.fd = fd;
+    s.state = LinkState::Connecting;
+  } else {
+    ::close(fd);
+    fail_session(s);
+  }
+}
+
+void SocketTransport::fail_session(Session& s) {
+  close_fd(s.fd);
+  // Everything queued was addressed to a peer we now know is unreachable.
+  stats_.messages_undeliverable += s.out_frames;
+  s.out.clear();
+  s.out_off = 0;
+  s.out_frames = 0;
+  s.state = LinkState::Backoff;
+  // Past the policy's schedule, keep probing at max_delay: a kill -9'd
+  // process may restart, and nothing else would ever reopen the link.
+  const int capped =
+      std::min(s.attempt, std::max(0, config_.connect.max_attempts - 1));
+  s.retry_at = Clock::now() + scaled(config_.connect.delay(capped, &backoff_rng_));
+  ++s.attempt;
+}
+
+void SocketTransport::send(util::PeerId from, util::PeerId to,
+                           MessagePtr message) {
+  if (message == nullptr) return;
+  const std::string name{message->type_name()};
+  ++stats_.messages_sent;
+  ++stats_.per_type_count[name];
+
+  Session& s = session_to(to);
+  if (s.state == LinkState::Backoff && Clock::now() >= s.retry_at) {
+    start_connect(to, s);
+  }
+  if (s.state == LinkState::Backoff) {
+    ++stats_.messages_undeliverable;
+    return;
+  }
+  const std::size_t queued = s.out.size() - s.out_off;
+  const std::size_t before = s.out.size();
+  encode_frame(from, to, *message, s.out);
+  const std::size_t frame_bytes = s.out.size() - before;
+  if (queued + frame_bytes > config_.max_queued_bytes) {
+    s.out.resize(before);  // roll the frame back
+    ++stats_.messages_undeliverable;
+    return;
+  }
+  ++s.out_frames;
+  stats_.bytes_sent += frame_bytes;
+  stats_.per_type_bytes[name] += frame_bytes;
+}
+
+util::SimDuration SocketTransport::estimate_delay(util::PeerId /*a*/,
+                                                  util::PeerId /*b*/,
+                                                  std::size_t bytes) const {
+  // Loopback: flat sub-millisecond latency plus ~1 GbE transmission.
+  const double transmit_s = static_cast<double>(bytes) / 125e6;
+  return util::microseconds(100) +
+         static_cast<util::SimDuration>(transmit_s * 1e9);
+}
+
+void SocketTransport::publish(obs::MetricsRegistry& registry,
+                              obs::Labels labels) const {
+  publish_stats(stats_, registry, std::move(labels));
+}
+
+bool SocketTransport::flushed() const {
+  for (const auto& [id, s] : sessions_) {
+    if (s.state != LinkState::Backoff && s.out.size() > s.out_off) return false;
+  }
+  return true;
+}
+
+void SocketTransport::drain_writes(Session& s) {
+  while (s.out_off < s.out.size()) {
+    const ssize_t n = ::send(s.fd, s.out.data() + s.out_off,
+                             s.out.size() - s.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      s.out_off += static_cast<std::size_t>(n);
+    } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;
+    } else {
+      fail_session(s);
+      return;
+    }
+  }
+  if (s.out_off == s.out.size()) {
+    s.out.clear();
+    s.out_off = 0;
+    s.out_frames = 0;
+  } else if (s.out_off > (1u << 16)) {
+    // Compact so the buffer does not grow without bound under backpressure.
+    s.out.erase(s.out.begin(),
+                s.out.begin() + static_cast<std::ptrdiff_t>(s.out_off));
+    s.out_off = 0;
+  }
+}
+
+void SocketTransport::deliver_frame(const std::uint8_t* data, std::size_t len,
+                                    std::size_t& delivered) {
+  Reader r(data, len);
+  const FrameHeader h = read_frame_header(r);
+  if (!r.ok()) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  auto ep = endpoints_.find(h.to.value());
+  if (ep == endpoints_.end()) {
+    // Local peer left/crashed between the remote's send and our dispatch.
+    ++stats_.messages_undeliverable;
+    return;
+  }
+  MessagePtr m = decoder_ != nullptr ? decoder_(h.type, r) : nullptr;
+  if (m == nullptr) {
+    // Unknown tag or malformed body: a version skew or a corrupt stream.
+    // Count and drop; a bad frame must never take the process down.
+    ++stats_.messages_dropped;
+    return;
+  }
+  ++stats_.messages_delivered;
+  ++delivered;
+  ep->second.handler(h.from, *m);
+}
+
+bool SocketTransport::read_frames(Inbound& in, std::size_t& delivered) {
+  std::uint8_t chunk[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(in.fd, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      in.buf.insert(in.buf.end(), chunk, chunk + n);
+      if (static_cast<std::size_t>(n) < sizeof chunk) break;
+    } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;
+    } else {
+      return false;  // EOF or error: remote closed
+    }
+  }
+  std::size_t off = 0;
+  while (in.buf.size() - off >= 4) {
+    std::uint32_t len = 0;
+    std::memcpy(&len, in.buf.data() + off, sizeof len);
+    if (len < kFrameHeaderBytes - 4 || len > kMaxFrameBytes) {
+      return false;  // corrupt stream: desynced framing, drop the connection
+    }
+    if (in.buf.size() - off - 4 < len) break;  // frame incomplete
+    deliver_frame(in.buf.data() + off + 4, len, delivered);
+    off += 4 + len;
+  }
+  if (off > 0) {
+    in.buf.erase(in.buf.begin(), in.buf.begin() + static_cast<std::ptrdiff_t>(off));
+  }
+  return true;
+}
+
+std::size_t SocketTransport::pump(int timeout_ms) {
+  // Retry sessions whose backoff expired (opportunistically, even with no
+  // fresh send: heartbeat traffic depends on the link coming back).
+  const auto now = Clock::now();
+  for (auto& [id, s] : sessions_) {
+    if (s.state == LinkState::Backoff && now >= s.retry_at) {
+      start_connect(util::PeerId{id}, s);
+    }
+  }
+
+  std::vector<pollfd> fds;
+  // Index maps from fds[] position back to the owning object.
+  enum class Kind { Listener, Session, Inbound };
+  struct Ref {
+    Kind kind;
+    std::uint64_t id;    // endpoint/session key
+    std::size_t index;   // inbound index
+  };
+  std::vector<Ref> refs;
+  for (auto& [id, ep] : endpoints_) {
+    if (ep.listen_fd < 0) continue;
+    fds.push_back({ep.listen_fd, POLLIN, 0});
+    refs.push_back({Kind::Listener, id, 0});
+  }
+  for (auto& [id, s] : sessions_) {
+    if (s.fd < 0) continue;
+    short events = 0;
+    if (s.state == LinkState::Connecting) events = POLLOUT;
+    if (s.state == LinkState::Connected && s.out_off < s.out.size()) {
+      events = POLLOUT;
+    }
+    if (events == 0) continue;
+    fds.push_back({s.fd, events, 0});
+    refs.push_back({Kind::Session, id, 0});
+  }
+  for (std::size_t i = 0; i < inbound_.size(); ++i) {
+    fds.push_back({inbound_[i].fd, POLLIN, 0});
+    refs.push_back({Kind::Inbound, 0, i});
+  }
+
+  if (fds.empty()) return 0;
+  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  std::size_t delivered = 0;
+  if (ready <= 0) return 0;
+
+  std::vector<std::size_t> dead_inbound;
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    if (fds[i].revents == 0) continue;
+    const Ref ref = refs[i];
+    switch (ref.kind) {
+      case Kind::Listener: {
+        auto it = endpoints_.find(ref.id);
+        if (it == endpoints_.end()) break;
+        for (;;) {
+          const int cfd = ::accept(it->second.listen_fd, nullptr, nullptr);
+          if (cfd < 0) break;
+          set_nonblocking(cfd);
+          set_nodelay(cfd);
+          inbound_.push_back(Inbound{cfd, {}});
+        }
+        break;
+      }
+      case Kind::Session: {
+        auto it = sessions_.find(ref.id);
+        if (it == sessions_.end()) break;
+        Session& s = it->second;
+        if (s.state == LinkState::Connecting) {
+          int err = 0;
+          socklen_t len = sizeof err;
+          ::getsockopt(s.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+          if (err != 0 || (fds[i].revents & (POLLERR | POLLHUP)) != 0 ||
+              self_connected(s.fd)) {
+            fail_session(s);
+            break;
+          }
+          s.state = LinkState::Connected;
+          s.attempt = 0;
+        }
+        if (s.state == LinkState::Connected) drain_writes(s);
+        break;
+      }
+      case Kind::Inbound: {
+        Inbound& in = inbound_[ref.index];
+        if ((fds[i].revents & POLLNVAL) != 0 ||
+            !read_frames(in, delivered)) {
+          dead_inbound.push_back(ref.index);
+        }
+        break;
+      }
+    }
+  }
+  // Remove dead inbound connections (descending index keeps indices valid).
+  std::sort(dead_inbound.rbegin(), dead_inbound.rend());
+  for (const std::size_t idx : dead_inbound) {
+    close_fd(inbound_[idx].fd);
+    inbound_.erase(inbound_.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+  return delivered;
+}
+
+}  // namespace p2prm::net

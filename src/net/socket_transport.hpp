@@ -1,0 +1,154 @@
+// net::SocketTransport — the Transport backend that runs the control plane
+// over real non-blocking POSIX sockets on localhost.
+//
+// Topology: every peer id maps to a fixed TCP port (base_port + id), and a
+// process listens on one port per peer it hosts. Outbound traffic shares
+// one TCP connection per *remote peer* — frames carry (from, to) in the
+// header (net/wire.hpp), so many local peers multiplex one connection and
+// the receiving process dispatches on `to`.
+//
+// The transport is single-threaded and pump-driven: send() only encodes
+// and queues; all socket I/O (connect completion, accept, read, write,
+// reconnect backoff) happens inside pump(), which the realtime driver
+// calls between simulator event batches. That preserves the Transport
+// contract that delivery never happens inline with send().
+//
+// Failure semantics mirror the sim Network: a refused/reset connection
+// puts the session into Backoff (retry schedule from
+// SocketConfig.connect, a util::BackoffPolicy) and frames sent meanwhile
+// are dropped and counted undeliverable — the same silent-loss signal the
+// RM failure detector and backup-RM takeover react to when a process is
+// kill -9'd.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "net/wire.hpp"
+#include "util/backoff.hpp"
+#include "util/rng.hpp"
+
+namespace p2prm::net {
+
+// Deployment parameters shared by every process of one run (the launcher
+// passes them on each peer's command line).
+struct SocketConfig {
+  std::string host = "127.0.0.1";
+  // Peer id N listens on base_port + N. The default sits below Linux's
+  // ephemeral range (32768+): connecting to an unbound port inside that
+  // range can self-connect (simultaneous open to one's own ephemeral
+  // port), leaving a link that looks established but delivers nothing.
+  // The transport also detects and kills self-connects defensively.
+  std::uint16_t base_port = 19000;
+  // Wall-seconds per sim-second for the realtime driver: 1.0 runs the
+  // scenario in real time, 0.1 runs it 10x faster than modelled time.
+  double time_scale = 1.0;
+  // Reconnect schedule after a refused or reset connection. Delays are in
+  // sim-time units and scaled by time_scale into wall time; once the
+  // schedule is exhausted the transport keeps retrying at max_delay (a
+  // restarted process must eventually be rediscovered).
+  util::BackoffPolicy connect{util::milliseconds(50), 2.0, util::seconds(2),
+                              8, 0.1};
+  // Bound on bytes queued toward one remote peer while its connection is
+  // still being established; overflow drops frames as undeliverable.
+  std::size_t max_queued_bytes = 8u << 20;
+};
+
+class SocketTransport final : public Transport {
+ public:
+  // Decodes one frame body by tag (core::decode_message in production; the
+  // indirection keeps net below core in the layering). Returns nullptr for
+  // unknown tags and malformed bodies.
+  using Decoder = MessagePtr (*)(WireType type, Reader& body);
+
+  SocketTransport(SocketConfig config, Decoder decoder);
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  // --- Transport -------------------------------------------------------------
+  // attach() binds and listens on port_of(peer). Throws std::runtime_error
+  // when the port is taken (two deployments colliding is a configuration
+  // error worth failing loudly on).
+  void attach(util::PeerId peer, LinkCapacity capacity,
+              Handler handler) override;
+  void detach(util::PeerId peer) override;
+  [[nodiscard]] bool attached(util::PeerId peer) const override;
+  void send(util::PeerId from, util::PeerId to, MessagePtr message) override;
+  // Flat loopback heuristic: ~100us plus transmission at ~1 GbE. The RM
+  // only uses this to rank candidate paths, so absolute accuracy is not
+  // load-bearing.
+  [[nodiscard]] util::SimDuration estimate_delay(
+      util::PeerId a, util::PeerId b, std::size_t bytes) const override;
+  [[nodiscard]] const NetworkStats& stats() const override { return stats_; }
+  void publish(obs::MetricsRegistry& registry,
+               obs::Labels labels = {}) const override;
+
+  // --- pump ------------------------------------------------------------------
+  // One I/O round: waits up to timeout_ms for socket readiness, then
+  // accepts, completes connects, drains writes, reads frames and invokes
+  // handlers. Returns the number of messages delivered to local handlers.
+  std::size_t pump(int timeout_ms);
+
+  // True when every outbound queue has been flushed to the kernel (used to
+  // linger briefly at shutdown so final reports are not cut off).
+  [[nodiscard]] bool flushed() const;
+
+  [[nodiscard]] std::uint16_t port_of(util::PeerId peer) const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  enum class LinkState { Connecting, Connected, Backoff };
+
+  // One outbound connection per remote peer, shared by all local senders.
+  struct Session {
+    int fd = -1;
+    LinkState state = LinkState::Connecting;
+    int attempt = 0;  // connect attempts since the last success
+    Clock::time_point retry_at{};
+    std::vector<std::uint8_t> out;  // un-flushed frame bytes
+    std::size_t out_off = 0;        // bytes of `out` already written
+    std::size_t out_frames = 0;     // frames represented by `out`
+  };
+
+  // One accepted inbound connection; frames are dispatched on header.to,
+  // so the transport never needs to know which remote it belongs to.
+  struct Inbound {
+    int fd = -1;
+    std::vector<std::uint8_t> buf;
+  };
+
+  struct Endpoint {
+    int listen_fd = -1;
+    Handler handler;
+  };
+
+  Session& session_to(util::PeerId to);
+  void start_connect(util::PeerId to, Session& s);
+  // Connection refused/reset/exhausted queue: drop pending frames as
+  // undeliverable and schedule the next connect attempt.
+  void fail_session(Session& s);
+  void drain_writes(Session& s);
+  // Reads as much as is available, slicing complete frames off the front
+  // of the buffer. Returns false when the connection died.
+  bool read_frames(Inbound& in, std::size_t& delivered);
+  void deliver_frame(const std::uint8_t* data, std::size_t len,
+                     std::size_t& delivered);
+  [[nodiscard]] Clock::duration scaled(util::SimDuration d) const;
+
+  SocketConfig config_;
+  Decoder decoder_;
+  NetworkStats stats_;
+  std::unordered_map<std::uint64_t, Endpoint> endpoints_;
+  std::unordered_map<std::uint64_t, Session> sessions_;
+  std::vector<Inbound> inbound_;
+  util::Rng backoff_rng_{0x5eeded};
+};
+
+}  // namespace p2prm::net

@@ -1,0 +1,33 @@
+#include "net/transport.hpp"
+
+namespace p2prm::net {
+
+void publish_stats(const NetworkStats& stats, obs::MetricsRegistry& registry,
+                   obs::Labels labels) {
+  registry.counter("net.messages_sent", labels).set(stats.messages_sent);
+  registry.counter("net.messages_delivered", labels)
+      .set(stats.messages_delivered);
+  registry.counter("net.messages_dropped", labels).set(stats.messages_dropped);
+  registry.counter("net.messages_partitioned", labels)
+      .set(stats.messages_partitioned);
+  registry.counter("net.messages_undeliverable", labels)
+      .set(stats.messages_undeliverable);
+  registry.counter("net.messages_fault_dropped", labels)
+      .set(stats.messages_fault_dropped);
+  registry.counter("net.messages_duplicated", labels)
+      .set(stats.messages_duplicated);
+  registry.counter("net.messages_delayed", labels).set(stats.messages_delayed);
+  registry.counter("net.bytes_sent", labels).set(stats.bytes_sent);
+  for (const auto& [type, count] : stats.per_type_count) {
+    obs::Labels typed = labels;
+    typed.emplace_back("type", type);
+    registry.counter("net.messages_by_type", typed).set(count);
+  }
+  for (const auto& [type, bytes] : stats.per_type_bytes) {
+    obs::Labels typed = labels;
+    typed.emplace_back("type", type);
+    registry.counter("net.bytes_by_type", typed).set(bytes);
+  }
+}
+
+}  // namespace p2prm::net

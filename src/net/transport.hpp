@@ -1,0 +1,90 @@
+// The pluggable message transport the control plane runs on.
+//
+// Two backends implement this interface:
+//   - net::Network    — the deterministic simulator transport (modelled
+//                       latency/bandwidth, partitions, fault hooks). Still
+//                       the determinism oracle for every test.
+//   - net::SocketTransport — real non-blocking POSIX sockets on localhost
+//                       with length-prefixed frames (net/wire.hpp), used by
+//                       the p2prm_peer binary and the loopback deployment.
+//
+// The contract both share, and every protocol layer relies on:
+//   - send() is fire-and-forget unicast; delivery happens strictly after
+//     the send returns (never inline).
+//   - Messages to unreachable peers (detached endpoints, dead processes)
+//     are silently dropped and counted as undeliverable — exactly the
+//     failure signal the paper's RM failure detection and backup-RM
+//     takeover react to. There is no connection-level error upcall.
+//   - Delivery order per (from, to) pair is FIFO.
+//
+// See docs/TRANSPORT.md for the full API and frame-format description.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "net/message.hpp"
+#include "obs/metrics_registry.hpp"
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace p2prm::net {
+
+struct LinkCapacity {
+  double uplink_bytes_per_s = 1.25e6;    // ~10 Mbit/s default
+  double downlink_bytes_per_s = 1.25e6;
+};
+
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;     // random loss
+  std::uint64_t messages_partitioned = 0; // blocked by an active partition
+  std::uint64_t messages_undeliverable = 0;  // receiver detached/unreachable
+  std::uint64_t messages_fault_dropped = 0;  // dropped by a FaultHook
+  std::uint64_t messages_duplicated = 0;     // extra copies from a FaultHook
+  std::uint64_t messages_delayed = 0;        // extra delay from a FaultHook
+  std::uint64_t bytes_sent = 0;
+  // Keyed by Message::type_name(). std::map keeps report output sorted.
+  std::map<std::string, std::uint64_t> per_type_count;
+  std::map<std::string, std::uint64_t> per_type_bytes;
+};
+
+// Writes the net.* counter series for `stats` (shared by both backends, so
+// dashboards read the same schema whichever transport ran).
+void publish_stats(const NetworkStats& stats, obs::MetricsRegistry& registry,
+                   obs::Labels labels);
+
+class Transport {
+ public:
+  using Handler =
+      std::function<void(util::PeerId from, const Message& message)>;
+
+  virtual ~Transport() = default;
+
+  // Attach a local peer endpoint. The handler runs at delivery time.
+  virtual void attach(util::PeerId peer, LinkCapacity capacity,
+                      Handler handler) = 0;
+  // Detach (departure or crash): pending deliveries to this peer vanish.
+  virtual void detach(util::PeerId peer) = 0;
+  [[nodiscard]] virtual bool attached(util::PeerId peer) const = 0;
+
+  // Fire-and-forget unicast. Ownership of the message transfers; delivery
+  // (if any) happens strictly after the call returns.
+  virtual void send(util::PeerId from, util::PeerId to, MessagePtr message) = 0;
+
+  // Estimated one-way delay for a message of `bytes` from a to b — what an
+  // RM uses to predict communication times when composing a service graph
+  // (§3.3). Sim: modelled latency + transmission. Socket: a flat RTT/2
+  // heuristic scaled into sim time.
+  [[nodiscard]] virtual util::SimDuration estimate_delay(
+      util::PeerId a, util::PeerId b, std::size_t bytes) const = 0;
+
+  [[nodiscard]] virtual const NetworkStats& stats() const = 0;
+  virtual void publish(obs::MetricsRegistry& registry,
+                       obs::Labels labels = {}) const = 0;
+};
+
+}  // namespace p2prm::net

@@ -1,0 +1,33 @@
+#include "net/wire.hpp"
+
+#include <bit>
+
+#include "net/message.hpp"
+
+namespace p2prm::net {
+
+static_assert(std::endian::native == std::endian::little,
+              "wire codec assumes a little-endian host");
+
+void encode_frame(util::PeerId from, util::PeerId to, const Message& message,
+                  std::vector<std::uint8_t>& out) {
+  const std::size_t start = out.size();
+  Writer w(out);
+  w.u32(0);  // length placeholder
+  w.id(from);
+  w.id(to);
+  w.u16(static_cast<std::uint16_t>(message.wire_type()));
+  message.encode_body(w);
+  const std::uint32_t len = static_cast<std::uint32_t>(out.size() - start - 4);
+  std::memcpy(out.data() + start, &len, sizeof len);
+}
+
+FrameHeader read_frame_header(Reader& r) {
+  FrameHeader h;
+  h.from = r.id<util::PeerIdTag>();
+  h.to = r.id<util::PeerIdTag>();
+  h.type = static_cast<WireType>(r.u16());
+  return h;
+}
+
+}  // namespace p2prm::net

@@ -1,0 +1,102 @@
+// Stable wire-type tags and the frame format of the socket transport.
+//
+// Every concrete net::Message carries a WireType tag — a stable u16 that
+// identifies the codec on the wire and replaces RTTI dispatch in message
+// handlers (net::message_as<T> compares tags instead of dynamic_cast).
+//
+// Frame layout (little-endian), as produced by encode_frame():
+//
+//   [u32 length][u64 from][u64 to][u16 tag][body...]
+//
+// `length` counts everything after itself (from, to, tag, body), so a
+// stream reader needs exactly 4 bytes before it knows how much to buffer.
+// Message::wire_size() == the full frame size (kFrameHeaderBytes + body),
+// which keeps the simulator's traffic accounting byte-identical to what
+// the socket transport actually transmits.
+//
+// Tag ranges (gaps left for growth; values are wire-stable, never reuse):
+//   0x0001 - 0x001F  overlay membership protocol
+//   0x0020 - 0x005F  core task / feedback / backup protocol
+//   0x0060 - 0x007F  gossip
+//   0x7F00 - 0x7FFF  reserved for test-local messages (never shipped)
+//
+// The full production registry — with the compile-time uniqueness check —
+// lives in core/wire_registry.{hpp,cpp}, above every module that defines
+// messages; the net layer only knows the enum and the frame shape.
+#pragma once
+
+#include <cstdint>
+
+#include "net/codec.hpp"
+#include "util/ids.hpp"
+
+namespace p2prm::net {
+
+enum class WireType : std::uint16_t {
+  Invalid = 0x0000,
+
+  // overlay/membership.hpp
+  JoinRequest = 0x0001,
+  JoinRedirect = 0x0002,
+  JoinAccept = 0x0003,
+  JoinPromote = 0x0004,
+  LeaveNotice = 0x0005,
+  RmHeartbeat = 0x0006,
+  RmTakeover = 0x0007,
+  RmPeerIntro = 0x0008,
+
+  // core/messages.hpp
+  PeerAnnounce = 0x0020,
+  TaskQuery = 0x0021,
+  TaskReject = 0x0022,
+  TaskAccept = 0x0023,
+  GraphCompose = 0x0024,
+  SourceStart = 0x0025,
+  StreamData = 0x0026,
+  HopDone = 0x0027,
+  TaskCompleted = 0x0028,
+  TaskFailed = 0x0029,
+  HopFailed = 0x002A,
+  ProfilerReport = 0x002B,
+  ReportAck = 0x002C,
+  HopCancel = 0x002D,
+  TaskQosUpdate = 0x002E,
+
+  // core/info_base.hpp
+  BackupSync = 0x0040,
+  BackupSyncAck = 0x0041,
+
+  // gossip/gossip_engine.hpp
+  GossipSummaries = 0x0060,
+
+  // Test-local range (tests define tags here; never registered, never on a
+  // production wire).
+  TestBase = 0x7F00,
+};
+
+// [u32 length][u64 from][u64 to][u16 tag] — prepended to every body.
+inline constexpr std::size_t kFrameHeaderBytes = 4 + 8 + 8 + 2;
+// Largest frame the socket transport will accept before declaring the
+// stream corrupt. Generous: the biggest real frames are BackupSync
+// snapshots and StreamData payloads (tens of MB of modelled media).
+inline constexpr std::size_t kMaxFrameBytes = 256u << 20;
+
+class Message;
+
+// Addressing header of one decoded frame.
+struct FrameHeader {
+  util::PeerId from;
+  util::PeerId to;
+  WireType type = WireType::Invalid;
+};
+
+// Serializes a full frame (header + tag + body). The result's size equals
+// message.wire_size() — enforced by the codec round-trip test.
+void encode_frame(util::PeerId from, util::PeerId to, const Message& message,
+                  std::vector<std::uint8_t>& out);
+
+// Parses the 18-byte post-length header (from/to/tag) and positions `r` at
+// the body. `r` must span the frame *after* the u32 length prefix.
+[[nodiscard]] FrameHeader read_frame_header(Reader& r);
+
+}  // namespace p2prm::net

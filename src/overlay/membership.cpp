@@ -1,6 +1,92 @@
 #include "overlay/membership.hpp"
 
+#include "overlay/wire_fields.hpp"
+
 namespace p2prm::overlay {
+
+// ---- codecs -----------------------------------------------------------------
+
+void JoinRequest::encode_body(net::Writer& w) const { wire::encode(w, spec); }
+JoinRequest JoinRequest::decode_body(net::Reader& r) {
+  JoinRequest m;
+  m.spec = wire::decode_peer_spec(r);
+  return m;
+}
+
+void JoinRedirect::encode_body(net::Writer& w) const { w.id(target_rm); }
+JoinRedirect JoinRedirect::decode_body(net::Reader& r) {
+  JoinRedirect m;
+  m.target_rm = r.id<util::PeerIdTag>();
+  return m;
+}
+
+void JoinAccept::encode_body(net::Writer& w) const {
+  w.id(domain);
+  w.id(rm);
+  w.u64(epoch);
+}
+JoinAccept JoinAccept::decode_body(net::Reader& r) {
+  JoinAccept m;
+  m.domain = r.id<util::DomainIdTag>();
+  m.rm = r.id<util::PeerIdTag>();
+  m.epoch = r.u64();
+  return m;
+}
+
+void JoinPromote::encode_body(net::Writer& w) const {
+  w.id(new_domain);
+  w.count(known_rms.size());
+  for (const auto& i : known_rms) wire::encode(w, i);
+}
+JoinPromote JoinPromote::decode_body(net::Reader& r) {
+  JoinPromote m;
+  m.new_domain = r.id<util::DomainIdTag>();
+  const std::size_t n = r.count(wire::kRmInfoBytes);
+  m.known_rms.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) m.known_rms.push_back(wire::decode_rm_info(r));
+  return m;
+}
+
+void LeaveNotice::encode_body(net::Writer&) const {}
+LeaveNotice LeaveNotice::decode_body(net::Reader&) { return {}; }
+
+void RmHeartbeat::encode_body(net::Writer& w) const {
+  w.id(domain);
+  w.u64(epoch);
+  w.id(backup);
+  w.time(report_period);
+}
+RmHeartbeat RmHeartbeat::decode_body(net::Reader& r) {
+  RmHeartbeat m;
+  m.domain = r.id<util::DomainIdTag>();
+  m.epoch = r.u64();
+  m.backup = r.id<util::PeerIdTag>();
+  m.report_period = r.time();
+  return m;
+}
+
+void RmTakeover::encode_body(net::Writer& w) const {
+  w.id(domain);
+  w.u64(epoch);
+}
+RmTakeover RmTakeover::decode_body(net::Reader& r) {
+  RmTakeover m;
+  m.domain = r.id<util::DomainIdTag>();
+  m.epoch = r.u64();
+  return m;
+}
+
+void RmPeerIntro::encode_body(net::Writer& w) const {
+  w.count(rms.size());
+  for (const auto& i : rms) wire::encode(w, i);
+}
+RmPeerIntro RmPeerIntro::decode_body(net::Reader& r) {
+  RmPeerIntro m;
+  const std::size_t n = r.count(wire::kRmInfoBytes);
+  m.rms.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) m.rms.push_back(wire::decode_rm_info(r));
+  return m;
+}
 
 JoinOutcome decide_join(const JoinDecisionInput& input) {
   if (input.domain_size < input.max_domain_size) return JoinOutcome::Accept;

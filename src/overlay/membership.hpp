@@ -28,24 +28,39 @@ struct RmInfo {
 
 struct JoinRequest final : net::Message {
   PeerSpec spec;
-  std::size_t wire_size() const override { return 48; }
+
+  static constexpr net::WireType kType = net::WireType::JoinRequest;
+  std::size_t wire_size() const override { return net::kFrameHeaderBytes + 40; }
   std::string_view type_name() const override { return "overlay.join_request"; }
+  net::WireType wire_type() const override { return kType; }
+  void encode_body(net::Writer& w) const override;
+  static JoinRequest decode_body(net::Reader& r);
 };
 
 // A non-RM contact (or an RM that cannot take the peer) points the joiner
 // at another Resource Manager.
 struct JoinRedirect final : net::Message {
   util::PeerId target_rm;
-  std::size_t wire_size() const override { return 16; }
+
+  static constexpr net::WireType kType = net::WireType::JoinRedirect;
+  std::size_t wire_size() const override { return net::kFrameHeaderBytes + 8; }
   std::string_view type_name() const override { return "overlay.join_redirect"; }
+  net::WireType wire_type() const override { return kType; }
+  void encode_body(net::Writer& w) const override;
+  static JoinRedirect decode_body(net::Reader& r);
 };
 
 struct JoinAccept final : net::Message {
   util::DomainId domain;
   util::PeerId rm;
   std::uint64_t epoch = 0;
-  std::size_t wire_size() const override { return 32; }
+
+  static constexpr net::WireType kType = net::WireType::JoinAccept;
+  std::size_t wire_size() const override { return net::kFrameHeaderBytes + 24; }
   std::string_view type_name() const override { return "overlay.join_accept"; }
+  net::WireType wire_type() const override { return kType; }
+  void encode_body(net::Writer& w) const override;
+  static JoinAccept decode_body(net::Reader& r);
 };
 
 // Domain full and the joiner qualifies: it becomes the RM of a fresh
@@ -53,13 +68,24 @@ struct JoinAccept final : net::Message {
 struct JoinPromote final : net::Message {
   util::DomainId new_domain;
   std::vector<RmInfo> known_rms;
-  std::size_t wire_size() const override { return 16 + known_rms.size() * 16; }
+
+  static constexpr net::WireType kType = net::WireType::JoinPromote;
+  std::size_t wire_size() const override {
+    return net::kFrameHeaderBytes + 12 + known_rms.size() * 16;
+  }
   std::string_view type_name() const override { return "overlay.join_promote"; }
+  net::WireType wire_type() const override { return kType; }
+  void encode_body(net::Writer& w) const override;
+  static JoinPromote decode_body(net::Reader& r);
 };
 
 struct LeaveNotice final : net::Message {
-  std::size_t wire_size() const override { return 8; }
+  static constexpr net::WireType kType = net::WireType::LeaveNotice;
+  std::size_t wire_size() const override { return net::kFrameHeaderBytes; }
   std::string_view type_name() const override { return "overlay.leave"; }
+  net::WireType wire_type() const override { return kType; }
+  void encode_body(net::Writer& w) const override;
+  static LeaveNotice decode_body(net::Reader& r);
 };
 
 // RM -> members, periodic. Absence of heartbeats is how members (and above
@@ -71,23 +97,40 @@ struct RmHeartbeat final : net::Message {
   // §4.4 adaptive feedback frequency: the period members should report at
   // (0 = keep whatever you are doing).
   util::SimDuration report_period = 0;
-  std::size_t wire_size() const override { return 40; }
+
+  static constexpr net::WireType kType = net::WireType::RmHeartbeat;
+  std::size_t wire_size() const override { return net::kFrameHeaderBytes + 32; }
   std::string_view type_name() const override { return "overlay.rm_heartbeat"; }
+  net::WireType wire_type() const override { return kType; }
+  void encode_body(net::Writer& w) const override;
+  static RmHeartbeat decode_body(net::Reader& r);
 };
 
 // Backup -> members after RM failure: "I am the Resource Manager now".
 struct RmTakeover final : net::Message {
   util::DomainId domain;
   std::uint64_t epoch = 0;  // already bumped past the dead RM's epoch
-  std::size_t wire_size() const override { return 24; }
+
+  static constexpr net::WireType kType = net::WireType::RmTakeover;
+  std::size_t wire_size() const override { return net::kFrameHeaderBytes + 16; }
   std::string_view type_name() const override { return "overlay.rm_takeover"; }
+  net::WireType wire_type() const override { return kType; }
+  void encode_body(net::Writer& w) const override;
+  static RmTakeover decode_body(net::Reader& r);
 };
 
 // RM <-> RM introduction when a new domain is created or an RM changes.
 struct RmPeerIntro final : net::Message {
   std::vector<RmInfo> rms;
-  std::size_t wire_size() const override { return 8 + rms.size() * 16; }
+
+  static constexpr net::WireType kType = net::WireType::RmPeerIntro;
+  std::size_t wire_size() const override {
+    return net::kFrameHeaderBytes + 4 + rms.size() * 16;
+  }
   std::string_view type_name() const override { return "overlay.rm_intro"; }
+  net::WireType wire_type() const override { return kType; }
+  void encode_body(net::Writer& w) const override;
+  static RmPeerIntro decode_body(net::Reader& r);
 };
 
 // ---- join decision rule -------------------------------------------------------

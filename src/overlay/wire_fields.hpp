@@ -1,0 +1,140 @@
+// Wire codecs for the nested value types messages embed.
+//
+// Lives in overlay (the lowest layer that sees net, media and profile at
+// once) under the cross-module p2prm::wire namespace. Each type gets the
+// trio encode / decode / wire_sizeof; message codecs in overlay, gossip
+// and core compose these. Sizes are exact: the codec round-trip test pins
+// wire_sizeof against the encoder's actual output.
+#pragma once
+
+#include "media/format.hpp"
+#include "media/transcoder.hpp"
+#include "net/codec.hpp"
+#include "overlay/membership.hpp"
+#include "overlay/peer.hpp"
+#include "profile/profiler.hpp"
+
+namespace p2prm::wire {
+
+// ---- media::MediaFormat (9 bytes) -----------------------------------------
+
+inline constexpr std::size_t kMediaFormatBytes = 1 + 2 + 2 + 4;
+
+inline void encode(net::Writer& w, const media::MediaFormat& f) {
+  w.u8(static_cast<std::uint8_t>(f.codec));
+  w.u16(f.resolution.width);
+  w.u16(f.resolution.height);
+  w.u32(f.bitrate_kbps);
+}
+inline media::MediaFormat decode_media_format(net::Reader& r) {
+  media::MediaFormat f;
+  f.codec = static_cast<media::Codec>(r.u8());
+  f.resolution.width = r.u16();
+  f.resolution.height = r.u16();
+  f.bitrate_kbps = r.u32();
+  return f;
+}
+
+// ---- media::TranscoderType (18 bytes) -------------------------------------
+
+inline constexpr std::size_t kTranscoderTypeBytes = 2 * kMediaFormatBytes;
+
+inline void encode(net::Writer& w, const media::TranscoderType& t) {
+  encode(w, t.input);
+  encode(w, t.output);
+}
+inline media::TranscoderType decode_transcoder_type(net::Reader& r) {
+  media::TranscoderType t;
+  t.input = decode_media_format(r);
+  t.output = decode_media_format(r);
+  return t;
+}
+
+// ---- media::MediaObject (37 + name bytes) ---------------------------------
+
+inline std::size_t wire_sizeof(const media::MediaObject& o) {
+  return 8 + (4 + o.name.size()) + kMediaFormatBytes + 8 + 8;
+}
+inline void encode(net::Writer& w, const media::MediaObject& o) {
+  w.id(o.id);
+  w.str(o.name);
+  encode(w, o.format);
+  w.f64(o.duration_s);
+  w.u64(o.content_hash);
+}
+inline media::MediaObject decode_media_object(net::Reader& r) {
+  media::MediaObject o;
+  o.id = r.id<util::ObjectIdTag>();
+  o.name = r.str();
+  o.format = decode_media_format(r);
+  o.duration_s = r.f64();
+  o.content_hash = r.u64();
+  return o;
+}
+
+// ---- overlay::PeerSpec (40 bytes) -----------------------------------------
+
+inline constexpr std::size_t kPeerSpecBytes = 8 + 8 + 8 + 8 + 8;
+
+inline void encode(net::Writer& w, const overlay::PeerSpec& s) {
+  w.id(s.id);
+  w.f64(s.capacity_ops_per_s);
+  w.f64(s.link.uplink_bytes_per_s);
+  w.f64(s.link.downlink_bytes_per_s);
+  w.time(s.online_since);
+}
+inline overlay::PeerSpec decode_peer_spec(net::Reader& r) {
+  overlay::PeerSpec s;
+  s.id = r.id<util::PeerIdTag>();
+  s.capacity_ops_per_s = r.f64();
+  s.link.uplink_bytes_per_s = r.f64();
+  s.link.downlink_bytes_per_s = r.f64();
+  s.online_since = r.time();
+  return s;
+}
+
+// ---- profile::LoadSample (72 bytes) ---------------------------------------
+
+inline constexpr std::size_t kLoadSampleBytes = 9 * 8;
+
+inline void encode(net::Writer& w, const profile::LoadSample& s) {
+  w.time(s.at);
+  w.f64(s.utilization);
+  w.f64(s.load_ops);
+  w.f64(s.bandwidth_bytes_per_s);
+  w.u64(s.queue_length);
+  w.f64(s.backlog_seconds);
+  w.f64(s.smoothed_utilization);
+  w.f64(s.smoothed_load_ops);
+  w.f64(s.smoothed_bandwidth);
+}
+inline profile::LoadSample decode_load_sample(net::Reader& r) {
+  profile::LoadSample s;
+  s.at = r.time();
+  s.utilization = r.f64();
+  s.load_ops = r.f64();
+  s.bandwidth_bytes_per_s = r.f64();
+  s.queue_length = static_cast<std::size_t>(r.u64());
+  s.backlog_seconds = r.f64();
+  s.smoothed_utilization = r.f64();
+  s.smoothed_load_ops = r.f64();
+  s.smoothed_bandwidth = r.f64();
+  return s;
+}
+
+// ---- overlay::RmInfo (16 bytes) -------------------------------------------
+
+inline constexpr std::size_t kRmInfoBytes = 8 + 8;
+
+inline void encode(net::Writer& w, const overlay::RmInfo& i) {
+  w.id(i.domain);
+  w.id(i.rm);
+}
+inline overlay::RmInfo decode_rm_info(net::Reader& r) {
+  overlay::RmInfo i;
+  i.domain = r.id<util::DomainIdTag>();
+  i.rm = r.id<util::PeerIdTag>();
+  return i;
+}
+
+}  // namespace p2prm::wire

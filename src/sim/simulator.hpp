@@ -102,6 +102,12 @@ class Simulator {
     return engine_ ? engine_->idle()
                    : queue_.next_time() == util::kTimeInfinity;
   }
+  // Time of the earliest pending event (kTimeInfinity when idle). The
+  // realtime driver uses it to size poll() timeouts; sequential engine
+  // only (the socket transport never runs parallel).
+  [[nodiscard]] util::SimTime next_event_time() {
+    return engine_ ? util::kTimeInfinity : queue_.next_time();
+  }
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
   [[nodiscard]] std::uint64_t events_scheduled() const {
     return engine_ ? engine_->total_scheduled() : queue_.total_scheduled();

@@ -1,0 +1,137 @@
+#include "workload/deployment.hpp"
+
+#include <utility>
+
+#include "media/catalog.hpp"
+
+namespace p2prm::workload {
+
+DeploymentConfig DeploymentConfig::benign(std::uint64_t seed,
+                                          std::uint32_t peers) {
+  DeploymentConfig c;
+  c.seed = seed;
+  c.peers = peers;
+  // Light load, generous deadlines: the steady state is "everything
+  // completes", which both transports must reproduce exactly.
+  c.arrival_rate = 0.5;
+  c.task_cap = 20;
+  // Short clips: a realtime transcode takes about the object's duration,
+  // and every pipeline must finish inside the drain window.
+  c.population.min_duration_s = 2.0;
+  c.population.max_duration_s = 6.0;
+  // A small, fully hosted object universe: provisioning covers objects
+  // round-robin before replicating, so object_count <= peers *
+  // objects_per_peer guarantees every request has a source somewhere.
+  c.population.object_count = 12;
+  c.requests.min_deadline_tightness = 6.0;
+  c.requests.max_deadline_tightness = 12.0;
+  c.requests.max_target_steps = 2;
+  return c;
+}
+
+DeploymentOutcome DeploymentOutcome::from(const core::TaskLedger& ledger) {
+  DeploymentOutcome o;
+  o.submitted = ledger.submitted();
+  o.admitted = ledger.admitted();
+  o.completed = ledger.completed();
+  o.rejected = ledger.rejected();
+  o.failed = ledger.failed();
+  o.orphaned = ledger.orphaned();
+  o.pending = ledger.pending();
+  return o;
+}
+
+DeploymentPlan DeploymentPlan::build(const DeploymentConfig& config) {
+  DeploymentPlan plan;
+  plan.config = config;
+
+  const media::Catalog catalog = media::ladder_catalog();
+  // The population and provisioning helpers mint object/service ids from a
+  // System. Minting from the *live* System would diverge across processes
+  // (each runs with a different id_base), so a throwaway sim-mode System —
+  // same seed everywhere, simulator never run — supplies the generators.
+  core::SystemConfig mint_config;
+  mint_config.seed = config.seed;
+  core::System mint(mint_config);
+
+  util::Rng rng{config.seed ^ 0xde91074b1eULL};
+  ObjectPopulation population(catalog, config.population, mint, rng);
+
+  plan.peers.reserve(config.peers);
+  for (std::uint32_t i = 0; i < config.peers; ++i) {
+    PlannedPeer p;
+    p.spec = draw_peer_spec(config.het, rng, /*now=*/0);
+    p.spec.id = util::PeerId{i};
+    p.inventory =
+        provision_inventory(catalog, population, config.provision, mint, rng);
+    plan.peers.push_back(std::move(p));
+  }
+
+  RequestSynthesizer synth(catalog, population, config.requests);
+  double t_s = 0.0;
+  const double mean_gap_s =
+      config.arrival_rate > 0.0 ? 1.0 / config.arrival_rate : 1.0;
+  while (plan.submissions.size() < config.task_cap) {
+    t_s += rng.exponential(mean_gap_s);
+    const auto at = static_cast<util::SimDuration>(t_s * 1e9);
+    if (at > config.workload) break;
+    PlannedSubmission s;
+    s.at = at;
+    s.origin = static_cast<std::uint32_t>(rng.below(config.peers));
+    s.qos = synth.draw(rng);
+    plan.submissions.push_back(std::move(s));
+  }
+  return plan;
+}
+
+core::SystemConfig DeploymentPlan::system_config(
+    core::TransportKind transport, std::uint32_t first_peer_index) const {
+  core::SystemConfig sc;
+  sc.seed = config.seed;
+  sc.max_domain_size = config.max_domain_size;
+  sc.transport = transport;
+  if (transport == core::TransportKind::Socket) {
+    // Disjoint per-process id spaces: process k's tasks/jobs/services can
+    // cross the wire without colliding with anyone else's. (The plan's own
+    // object/service ids are below any base: they came from the shared
+    // minting System.)
+    sc.id_base =
+        (static_cast<std::uint64_t>(first_peer_index) + 1) << 32;
+    sc.socket.base_port = config.base_port;
+    sc.socket.time_scale = config.time_scale;
+  }
+  return sc;
+}
+
+void DeploymentPlan::schedule(core::System& system, std::uint32_t first,
+                              std::uint32_t last) const {
+  auto& sim = system.simulator();
+  for (std::uint32_t i = first; i < last && i < peers.size(); ++i) {
+    const PlannedPeer& p = peers[i];
+    // Peers join staggered by *global* index, so a multi-process
+    // deployment and the single-process replay order joins the same way.
+    const util::SimTime at = config.stagger * i;
+    const std::optional<util::PeerId> contact =
+        i == 0 ? std::nullopt : std::optional<util::PeerId>(util::PeerId{0});
+    sim.schedule_at(at, [&system, p, contact] {
+      system.add_peer(p.spec, p.inventory, std::nullopt, contact);
+    });
+  }
+  const util::SimTime start = config.workload_start();
+  for (const PlannedSubmission& s : submissions) {
+    if (s.origin < first || s.origin >= last) continue;
+    sim.schedule_at(start + s.at, [&system, s] {
+      system.submit_task(util::PeerId{s.origin}, s.qos);
+    });
+  }
+}
+
+DeploymentOutcome DeploymentPlan::run(core::TransportKind transport) const {
+  core::System system(system_config(transport, 0));
+  schedule(system, 0, static_cast<std::uint32_t>(peers.size()));
+  system.run_for(config.total_duration());
+  system.drain_transport(/*wall_ms=*/500);
+  return DeploymentOutcome::from(system.ledger());
+}
+
+}  // namespace p2prm::workload

@@ -1,0 +1,121 @@
+// Deterministic deployment plans for the socket transport
+// (docs/TRANSPORT.md).
+//
+// A DeploymentPlan is the complete description of one multi-process run:
+// every peer's spec and inventory, and the full submission schedule. It is
+// a pure function of DeploymentConfig (everything derives from the seed),
+// so each process of a deployment rebuilds the *identical* plan locally
+// and instantiates only its own slice — no coordinator, no config files,
+// just `p2prm_peer --seed=S --peers=N --peer-index=K` on N command lines.
+//
+// The same plan also runs entirely in-process, either on the simulated
+// network or on loopback sockets; tests/transport_equivalence_test.cpp
+// uses that to check the two transports reach the same steady state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/messages.hpp"
+#include "core/peer_node.hpp"
+#include "core/system.hpp"
+#include "workload/heterogeneity.hpp"
+#include "workload/requests.hpp"
+
+namespace p2prm::workload {
+
+struct DeploymentConfig {
+  std::uint64_t seed = 1;
+  std::uint32_t peers = 16;
+  std::size_t max_domain_size = 8;
+
+  // --- timeline (per process, from its local t = 0) -------------------------
+  // Peers are injected staggered (peer i at i * stagger) so joins do not
+  // stampede the contact peer; submissions start after the last join has
+  // had `warmup` to settle, and the run drains for `drain` afterwards.
+  util::SimDuration stagger = util::milliseconds(20);
+  util::SimDuration warmup = util::seconds(5);
+  util::SimDuration workload = util::seconds(20);
+  util::SimDuration drain = util::seconds(25);
+
+  // --- workload -------------------------------------------------------------
+  std::uint32_t task_cap = 24;
+  double arrival_rate = 0.6;  // tasks/s across the whole deployment
+
+  // --- socket-mode knobs (ignored by the sim transport) -----------------------
+  std::uint16_t base_port = 19000;  // peer i listens on base_port + i
+  double time_scale = 1.0;          // wall-seconds per sim-second
+
+  HeterogeneityConfig het{};
+  PopulationConfig population{};
+  ProvisionConfig provision{};
+  RequestConfig requests{};
+
+  // The deployment's equivalence claim is about steady state, not exact
+  // timing, so default requests are benign: generous deadlines and light
+  // load mean every task should complete on either transport.
+  [[nodiscard]] static DeploymentConfig benign(std::uint64_t seed,
+                                               std::uint32_t peers);
+
+  [[nodiscard]] util::SimDuration workload_start() const {
+    return stagger * peers + warmup;
+  }
+  [[nodiscard]] util::SimDuration total_duration() const {
+    return workload_start() + workload + drain;
+  }
+};
+
+struct PlannedPeer {
+  overlay::PeerSpec spec;  // spec.id == PeerId{index in plan}
+  core::PeerInventory inventory;
+};
+
+struct PlannedSubmission {
+  util::SimDuration at = 0;  // relative to workload start
+  std::uint32_t origin = 0;  // peer index
+  core::QoSRequirements qos;
+};
+
+// Terminal ledger counts of one run (or one process's share of it).
+struct DeploymentOutcome {
+  std::size_t submitted = 0;
+  std::size_t admitted = 0;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+  std::size_t failed = 0;
+  std::size_t orphaned = 0;
+  std::size_t pending = 0;
+
+  [[nodiscard]] static DeploymentOutcome from(const core::TaskLedger& ledger);
+};
+
+struct DeploymentPlan {
+  DeploymentConfig config;
+  std::vector<PlannedPeer> peers;
+  std::vector<PlannedSubmission> submissions;
+
+  // Builds the full plan. Deterministic: two processes calling this with
+  // equal configs get byte-identical plans (object and service ids
+  // included — they are minted by a throwaway System seeded from the
+  // config, never by the live one).
+  [[nodiscard]] static DeploymentPlan build(const DeploymentConfig& config);
+
+  // SystemConfig for the process hosting peers [first, last) of this plan.
+  // Socket mode gives each process a disjoint id space derived from
+  // `first` so task/job ids never collide across the wire.
+  [[nodiscard]] core::SystemConfig system_config(
+      core::TransportKind transport, std::uint32_t first_peer_index) const;
+
+  // Schedules peers [first, last) into `system`: injection (staggered by
+  // global index), then every submission originating in the range. Peer 0
+  // founds the domain; everyone else joins through PeerId{0}.
+  void schedule(core::System& system, std::uint32_t first,
+                std::uint32_t last) const;
+
+  // Runs the whole plan in one process on the chosen transport and
+  // returns the final ledger counts.
+  [[nodiscard]] DeploymentOutcome run(core::TransportKind transport) const;
+};
+
+}  // namespace p2prm::workload

@@ -20,8 +20,13 @@ namespace {
 using util::PeerId;
 
 struct Ping final : net::Message {
+  static constexpr net::WireType kType = net::WireType::TestBase;
   std::size_t wire_size() const override { return 100; }
   std::string_view type_name() const override { return "test.ping"; }
+  net::WireType wire_type() const override { return kType; }
+  void encode_body(net::Writer& w) const override {
+    w.zeros(100 - net::kFrameHeaderBytes);
+  }
 };
 
 // Two peers, a counter on the receiver, and an injector running `plan`.

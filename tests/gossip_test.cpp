@@ -2,6 +2,8 @@
 
 #include "gossip/gossip_engine.hpp"
 #include "gossip/summary.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
 
 namespace p2prm::gossip {
 namespace {
@@ -60,7 +62,7 @@ struct GossipRig {
       engines.push_back(std::move(engine));
       GossipEngine* raw = engines.back().get();
       net.attach(id, {}, [raw](PeerId from, const net::Message& m) {
-        if (const auto* g = net::message_cast<GossipMessage>(m)) {
+        if (const auto* g = net::message_as<GossipMessage>(m)) {
           raw->handle_message(from, *g);
         }
       });

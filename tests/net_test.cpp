@@ -12,8 +12,14 @@ using util::PeerId;
 struct Ping final : Message {
   int payload = 0;
   std::size_t bytes = 100;
+  static constexpr WireType kType = WireType::TestBase;
   std::size_t wire_size() const override { return bytes; }
   std::string_view type_name() const override { return "test.ping"; }
+  WireType wire_type() const override { return kType; }
+  void encode_body(Writer& w) const override {
+    w.i64(payload);
+    if (bytes > kFrameHeaderBytes + 8) w.zeros(bytes - kFrameHeaderBytes - 8);
+  }
 };
 
 struct Rig {
@@ -98,7 +104,7 @@ TEST(Network, DeliversWithLatency) {
   rig.attach(PeerId{1}, {0, 0}, [](PeerId, const Message&) {});
   rig.attach(PeerId{2}, {1000, 0}, [&](PeerId from, const Message& m) {
     EXPECT_EQ(from, PeerId{1});
-    got = message_cast<Ping>(m)->payload;
+    got = message_as<Ping>(m)->payload;
     delivered_at = rig.sim.now();
   });
   auto ping = std::make_unique<Ping>();
@@ -115,7 +121,7 @@ TEST(Network, TransmissionDelayScalesWithSize) {
   util::SimTime small_at = 0, big_at = 0;
   rig.attach(PeerId{1}, {0, 0}, [](PeerId, const Message&) {});
   rig.attach(PeerId{2}, {0, 1}, [&](PeerId, const Message& m) {
-    if (message_cast<Ping>(m)->payload == 1) small_at = rig.sim.now();
+    if (message_as<Ping>(m)->payload == 1) small_at = rig.sim.now();
     else big_at = rig.sim.now();
   });
   auto small = std::make_unique<Ping>();
@@ -239,7 +245,7 @@ TEST(Network, UplinkSerializesConcurrentStreams) {
   LinkCapacity slow{10000, 1e9};  // 10 KB/s up, fat down
   rig.attach(PeerId{1}, {0, 0}, [](PeerId, const Message&) {}, slow);
   rig.attach(PeerId{2}, {0, 1}, [&](PeerId, const Message& m) {
-    if (message_cast<Ping>(m)->payload == 1) first_at = rig.sim.now();
+    if (message_as<Ping>(m)->payload == 1) first_at = rig.sim.now();
     else second_at = rig.sim.now();
   });
   // Two 10 KB messages sent back to back: each needs ~1s on the wire, so

@@ -1,0 +1,78 @@
+// Sim-vs-loopback equivalence (the tentpole proof obligation of the
+// transport redesign, see docs/TRANSPORT.md).
+//
+// The same benign DeploymentPlan runs twice — once on the deterministic sim
+// Network, once over real loopback TCP — and must reach the *same steady
+// state at the ledger level*: every planned submission submitted, admitted
+// and completed, nothing rejected/failed/orphaned, on both transports. The
+// claim is deliberately about terminal counts, not timing: socket delivery
+// order across peer pairs is scheduling-dependent, so byte-level digests
+// would not be stable, but a benign workload's outcome is.
+//
+// Labelled `long`: three seeds, each running a full (accelerated) realtime
+// deployment of ~28 sim-seconds at time_scale 0.05.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "workload/deployment.hpp"
+
+namespace {
+
+using namespace p2prm;
+
+workload::DeploymentConfig config_for(std::uint64_t seed,
+                                      std::uint16_t base_port) {
+  workload::DeploymentConfig c =
+      workload::DeploymentConfig::benign(seed, /*peers=*/10);
+  // Compact timeline: ~28 sim-seconds; at time_scale 0.05 a socket run
+  // takes ~1.5 wall-seconds. The drain stays generous relative to the
+  // pipelines in flight (clips are 2-6 media-seconds).
+  c.workload = util::seconds(8);
+  c.drain = util::seconds(15);
+  c.task_cap = 10;
+  c.base_port = base_port;
+  c.time_scale = 0.05;
+  return c;
+}
+
+class TransportEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TransportEquivalence, BenignPlanReachesTheSameSteadyState) {
+  const std::uint64_t seed = GetParam();
+  // Distinct port range per seed: ctest may run suites concurrently.
+  const auto base_port = static_cast<std::uint16_t>(25000 + 100 * seed);
+  const workload::DeploymentConfig config = config_for(seed, base_port);
+  const workload::DeploymentPlan plan = workload::DeploymentPlan::build(config);
+  ASSERT_GT(plan.submissions.size(), 0u) << "degenerate plan for seed " << seed;
+
+  const workload::DeploymentOutcome sim =
+      plan.run(core::TransportKind::Sim);
+  const workload::DeploymentOutcome socket =
+      plan.run(core::TransportKind::Socket);
+
+  // Both transports executed the full plan...
+  EXPECT_EQ(sim.submitted, plan.submissions.size());
+  EXPECT_EQ(socket.submitted, plan.submissions.size());
+  // ...and reached the identical benign steady state.
+  EXPECT_EQ(sim.completed, sim.submitted) << "sim run left work unfinished";
+  EXPECT_EQ(socket.completed, socket.submitted)
+      << "socket run left work unfinished";
+  EXPECT_EQ(sim.rejected, 0u);
+  EXPECT_EQ(socket.rejected, 0u);
+  EXPECT_EQ(sim.failed, 0u);
+  EXPECT_EQ(socket.failed, 0u);
+  EXPECT_EQ(sim.orphaned, 0u);
+  EXPECT_EQ(socket.orphaned, 0u);
+  EXPECT_EQ(sim.pending, 0u);
+  EXPECT_EQ(socket.pending, 0u);
+
+  EXPECT_EQ(sim.submitted, socket.submitted);
+  EXPECT_EQ(sim.admitted, socket.admitted);
+  EXPECT_EQ(sim.completed, socket.completed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransportEquivalence,
+                         ::testing::Values(1u, 2u, 3u));
+
+}  // namespace

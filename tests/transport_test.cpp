@@ -1,0 +1,166 @@
+// SocketTransport unit tests: real loopback TCP, single process.
+//
+// Each suite uses its own base_port so parallel ctest runs of this binary
+// and the deployment suites never collide. Wall-clock loops are bounded by
+// generous deadlines (seconds) but normally finish in milliseconds — every
+// socket involved is on 127.0.0.1.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/messages.hpp"
+#include "core/wire_registry.hpp"
+#include "net/socket_transport.hpp"
+#include "util/ids.hpp"
+
+namespace {
+
+using namespace p2prm;
+using Clock = std::chrono::steady_clock;
+
+net::SocketConfig config_at(std::uint16_t base_port) {
+  net::SocketConfig c;
+  c.base_port = base_port;
+  // Wall == sim for the backoff schedule; the tests pump with their own
+  // wall deadlines and do not care about the mapping.
+  c.time_scale = 1.0;
+  c.connect.initial = util::milliseconds(5);
+  c.connect.max_delay = util::milliseconds(50);
+  return c;
+}
+
+std::unique_ptr<core::ReportAck> ack(std::uint64_t seq) {
+  auto m = std::make_unique<core::ReportAck>();
+  m->seq = seq;
+  return m;
+}
+
+// Pumps until `done()` or the wall deadline; returns whether done() held.
+template <typename Pred>
+bool pump_until(net::SocketTransport& t, Pred done, int deadline_ms = 5000) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(deadline_ms);
+  while (!done()) {
+    if (Clock::now() > deadline) return false;
+    t.pump(/*timeout_ms=*/10);
+  }
+  return true;
+}
+
+TEST(SocketTransport, PortAssignmentFollowsPeerId) {
+  net::SocketTransport t(config_at(24000), &core::decode_message);
+  EXPECT_EQ(t.port_of(util::PeerId{0}), 24000);
+  EXPECT_EQ(t.port_of(util::PeerId{7}), 24007);
+}
+
+TEST(SocketTransport, LoopbackDeliveryAndFifoOrder) {
+  net::SocketTransport t(config_at(24100), &core::decode_message);
+  std::vector<std::uint64_t> seen;
+  util::PeerId seen_from{};
+  t.attach(util::PeerId{0}, {}, [](util::PeerId, const net::Message&) {});
+  t.attach(util::PeerId{1}, {},
+           [&](util::PeerId from, const net::Message& m) {
+             seen_from = from;
+             const auto* a = net::message_as<core::ReportAck>(m);
+             ASSERT_NE(a, nullptr);
+             seen.push_back(a->seq);
+           });
+  ASSERT_TRUE(t.attached(util::PeerId{0}));
+  ASSERT_TRUE(t.attached(util::PeerId{1}));
+
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    t.send(util::PeerId{0}, util::PeerId{1}, ack(i));
+  }
+  // Delivery never happens inline with send().
+  EXPECT_TRUE(seen.empty());
+
+  ASSERT_TRUE(pump_until(t, [&] { return seen.size() == 10; }));
+  EXPECT_EQ(seen_from, util::PeerId{0});
+  // TCP gives per-connection ordering; the contract promises per-(from,to)
+  // FIFO on top of it.
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(seen[i], i);
+
+  EXPECT_EQ(t.stats().messages_sent, 10u);
+  EXPECT_EQ(t.stats().messages_delivered, 10u);
+  EXPECT_EQ(t.stats().per_type_count.at("core.report_ack"), 10u);
+  EXPECT_TRUE(t.flushed());
+}
+
+TEST(SocketTransport, TwoTransportsAcrossRealConnections) {
+  // Two transports in one process model two OS processes: frames cross a
+  // real accepted TCP connection, not an in-process shortcut.
+  net::SocketTransport a(config_at(24200), &core::decode_message);
+  net::SocketTransport b(config_at(24200), &core::decode_message);
+  std::vector<std::uint64_t> seen;
+  a.attach(util::PeerId{0}, {}, [](util::PeerId, const net::Message&) {});
+  b.attach(util::PeerId{1}, {},
+           [&](util::PeerId, const net::Message& m) {
+             seen.push_back(net::message_as<core::ReportAck>(m)->seq);
+           });
+
+  a.send(util::PeerId{0}, util::PeerId{1}, ack(42));
+  const auto deadline = Clock::now() + std::chrono::seconds(5);
+  while (seen.empty() && Clock::now() < deadline) {
+    a.pump(5);
+    b.pump(5);
+  }
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], 42u);
+  EXPECT_EQ(a.stats().messages_sent, 1u);
+  EXPECT_EQ(b.stats().messages_delivered, 1u);
+}
+
+TEST(SocketTransport, UnreachablePeerCountsUndeliverable) {
+  net::SocketTransport t(config_at(24300), &core::decode_message);
+  t.attach(util::PeerId{0}, {}, [](util::PeerId, const net::Message&) {});
+  // Peer 9 never attached anywhere: the connect is refused, the session
+  // enters backoff, and the queued frame is dropped as undeliverable — the
+  // silent-loss signal RM failure detection relies on.
+  t.send(util::PeerId{0}, util::PeerId{9}, ack(1));
+  ASSERT_TRUE(
+      pump_until(t, [&] { return t.stats().messages_undeliverable >= 1; }));
+  EXPECT_EQ(t.stats().messages_delivered, 0u);
+
+  // Frames sent while the session sits in backoff are dropped immediately.
+  t.send(util::PeerId{0}, util::PeerId{9}, ack(2));
+  ASSERT_TRUE(
+      pump_until(t, [&] { return t.stats().messages_undeliverable >= 2; }));
+}
+
+TEST(SocketTransport, DetachClosesTheEndpoint) {
+  net::SocketTransport t(config_at(24400), &core::decode_message);
+  std::size_t delivered = 0;
+  t.attach(util::PeerId{0}, {}, [](util::PeerId, const net::Message&) {});
+  t.attach(util::PeerId{1}, {},
+           [&](util::PeerId, const net::Message&) { ++delivered; });
+  t.detach(util::PeerId{1});
+  EXPECT_FALSE(t.attached(util::PeerId{1}));
+
+  // Messages toward the departed peer end up undeliverable, not delivered.
+  t.send(util::PeerId{0}, util::PeerId{1}, ack(1));
+  ASSERT_TRUE(
+      pump_until(t, [&] { return t.stats().messages_undeliverable >= 1; }));
+  EXPECT_EQ(delivered, 0u);
+}
+
+TEST(SocketTransport, AttachOnATakenPortThrows) {
+  net::SocketTransport a(config_at(24500), &core::decode_message);
+  net::SocketTransport b(config_at(24500), &core::decode_message);
+  a.attach(util::PeerId{0}, {}, [](util::PeerId, const net::Message&) {});
+  EXPECT_THROW(
+      b.attach(util::PeerId{0}, {}, [](util::PeerId, const net::Message&) {}),
+      std::runtime_error);
+}
+
+TEST(SocketTransport, EstimateDelayScalesWithBytes) {
+  net::SocketTransport t(config_at(24600), &core::decode_message);
+  const auto small = t.estimate_delay(util::PeerId{0}, util::PeerId{1}, 100);
+  const auto large =
+      t.estimate_delay(util::PeerId{0}, util::PeerId{1}, 10'000'000);
+  EXPECT_GT(small, 0);
+  EXPECT_GT(large, small);
+}
+
+}  // namespace

@@ -25,6 +25,15 @@
 //                                        (half the seeds) hierarchical mode
 //                                        (ScenarioSpec::generate_scale); CI's
 //                                        nightly scale job runs this at 100k
+//   p2prm_fuzz --transport=sim|socket    control-plane backend (default sim).
+//                                        socket runs each scenario over real
+//                                        loopback TCP (docs/TRANSPORT.md): it
+//                                        forces --no-oracles (replay digests
+//                                        are timing-dependent), is rejected
+//                                        with --base-threads > 1 (the
+//                                        parallel engine is sim-only), and
+//                                        skips fault plans (sim-only). Tune
+//                                        with --time-scale / --base-port.
 //
 // Every scenario is fully determined by its seed: the same build and the
 // same --seeds range produce a byte-identical report (CI runs the sweep
@@ -174,6 +183,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   const auto scale_lazy = static_cast<std::uint32_t>(scale_arg);
+  const std::string transport_arg = args.get("transport", "sim");
+  const double time_scale = args.get_double("time-scale", 0.05);
+  const auto base_port =
+      static_cast<std::uint16_t>(args.get_int("base-port", 19000));
   const std::string log = args.get("log", "");
   if (log == "debug") {
     p2prm::util::Logger::instance().set_level(p2prm::util::LogLevel::Debug);
@@ -186,6 +199,34 @@ int main(int argc, char** argv) {
   for (const auto& key : args.unused()) {
     std::cerr << "unknown flag --" << key << '\n';
     return 2;
+  }
+
+  bool socket_transport = false;
+  if (transport_arg == "socket") {
+    socket_transport = true;
+  } else if (transport_arg != "sim") {
+    std::cerr << "bad --transport; expected sim or socket, got "
+              << transport_arg << '\n';
+    return 2;
+  }
+  bool run_oracles = oracles;
+  p2prm::check::ConfigTweakFn tweak;
+  if (socket_transport) {
+    if (base_threads > 1) {
+      std::cerr << "--transport=socket requires --base-threads=1 (the "
+                   "parallel engine is sim-only)\n";
+      return 2;
+    }
+    if (run_oracles) {
+      std::cerr << "note: --transport=socket forces --no-oracles (socket "
+                   "replay digests are timing-dependent)\n";
+      run_oracles = false;
+    }
+    tweak = [time_scale, base_port](p2prm::core::SystemConfig& sys) {
+      sys.transport = p2prm::core::TransportKind::Socket;
+      sys.socket.time_scale = time_scale;
+      sys.socket.base_port = base_port;
+    };
   }
 
   std::vector<ScenarioSpec> specs;
@@ -248,7 +289,7 @@ int main(int argc, char** argv) {
     };
     auto checker = p2prm::check::InvariantChecker::with_defaults();
     const auto result = p2prm::check::run_scenario(
-        spec, checker, p2prm::util::seconds(2), inspect, base_threads);
+        spec, checker, p2prm::util::seconds(2), inspect, base_threads, tweak);
     std::cout << "seed=" << seeds.front() << " threads=" << base_threads
               << " digest=" << hex64(result.digest) << " events=" << dumped
               << " -> " << trace_dump << '\n';
@@ -261,8 +302,8 @@ int main(int argc, char** argv) {
   std::vector<SeedOutcome> outcomes;
   std::vector<FailureReport> failures;
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    SeedOutcome outcome = p2prm::check::run_spec(specs[i], oracles,
-                                                 parallel_threads, base_threads);
+    SeedOutcome outcome = p2prm::check::run_spec(
+        specs[i], run_oracles, parallel_threads, base_threads, tweak);
     if (!outcome.ok()) {
       FailureReport f;
       f.seed = seeds[i];

@@ -1,0 +1,109 @@
+// p2prm_peer — one process of a socket-transport deployment
+// (docs/TRANSPORT.md).
+//
+// Every process of a run is launched with the same plan parameters plus
+// its own --peer-index; it rebuilds the identical workload::DeploymentPlan
+// from the seed, hosts exactly its peer, submits that peer's share of the
+// workload schedule, and at the end prints one JSON line with its ledger
+// counts and final view of the domain — which scripts/launch_peers.py
+// aggregates and asserts on.
+//
+//   # a 4-peer deployment on loopback, 5x faster than real time
+//   for K in 0 1 2 3; do
+//     ./build/tools/p2prm_peer --seed=7 --peers=4 --peer-index=$K \
+//         --time-scale=0.2 &
+//   done; wait
+//
+// With --peer-index=all the whole deployment runs inside this single
+// process (every peer still talks TCP through loopback) — handy for
+// debugging the transport without a process zoo.
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "core/system.hpp"
+#include "util/args.hpp"
+#include "util/logging.hpp"
+#include "workload/deployment.hpp"
+
+namespace {
+
+using namespace p2prm;
+
+int run(const util::Args& args) {
+  workload::DeploymentConfig config = workload::DeploymentConfig::benign(
+      static_cast<std::uint64_t>(args.get_int("seed", 1)),
+      static_cast<std::uint32_t>(args.get_int("peers", 4)));
+  config.workload = util::seconds(args.get_int("workload-s", 20));
+  config.drain = util::seconds(args.get_int("drain-s", 25));
+  config.task_cap = static_cast<std::uint32_t>(
+      args.get_int("task-cap", static_cast<std::int64_t>(config.task_cap)));
+  config.arrival_rate = args.get_double("arrival-rate", config.arrival_rate);
+  // The failover smoke raises this above the peer count so the deployment
+  // forms a single domain — then every survivor must agree on who replaced
+  // the killed RM.
+  config.max_domain_size = static_cast<std::size_t>(args.get_int(
+      "max-domain-size", static_cast<std::int64_t>(config.max_domain_size)));
+
+  const std::string index_arg = args.get("peer-index", "all");
+  const bool whole = index_arg == "all";
+  const std::uint32_t first =
+      whole ? 0 : static_cast<std::uint32_t>(std::stoul(index_arg));
+  const std::uint32_t last = whole ? config.peers : first + 1;
+  if (first >= config.peers) {
+    std::cerr << "--peer-index=" << first << " out of range (peers="
+              << config.peers << ")\n";
+    return 2;
+  }
+
+  config.base_port = static_cast<std::uint16_t>(
+      args.get_int("base-port", config.base_port));
+  config.time_scale = args.get_double("time-scale", 1.0);
+
+  const workload::DeploymentPlan plan = workload::DeploymentPlan::build(config);
+  core::System system(plan.system_config(core::TransportKind::Socket, first));
+  plan.schedule(system, first, last);
+  system.run_for(config.total_duration());
+  // Flush final reports/acks before tearing the process down.
+  system.drain_transport(/*wall_ms=*/1000);
+
+  const auto outcome = workload::DeploymentOutcome::from(system.ledger());
+  // The peer's final view of the control plane: who it currently follows.
+  std::uint64_t final_rm = ~0ull;
+  bool joined = false;
+  if (const core::PeerNode* node = system.peer(util::PeerId{first});
+      node != nullptr && node->alive()) {
+    joined = node->joined();
+    if (node->current_rm().valid()) final_rm = node->current_rm().value();
+  }
+
+  // One compact JSON line: the launcher parses each process's stdout.
+  const auto& ns = system.transport().stats();
+  std::cout << "{\"peer_index\":" << (whole ? -1 : static_cast<int>(first))
+            << ",\"joined\":" << (joined ? "true" : "false")
+            << ",\"final_rm\":"
+            << (final_rm == ~0ull ? -1 : static_cast<std::int64_t>(final_rm))
+            << ",\"submitted\":" << outcome.submitted
+            << ",\"admitted\":" << outcome.admitted
+            << ",\"completed\":" << outcome.completed
+            << ",\"rejected\":" << outcome.rejected
+            << ",\"failed\":" << outcome.failed
+            << ",\"orphaned\":" << outcome.orphaned
+            << ",\"pending\":" << outcome.pending
+            << ",\"messages_sent\":" << ns.messages_sent
+            << ",\"messages_delivered\":" << ns.messages_delivered << "}"
+            << std::endl;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Args args(argc, argv);
+    return run(args);
+  } catch (const std::exception& e) {
+    std::cerr << "p2prm_peer: " << e.what() << "\n";
+    return 1;
+  }
+}
