@@ -82,7 +82,8 @@ int run_fault_scenario(const util::Args& args, const std::string& fault_spec) {
     plan.crash_restart_primary_rm(t0 + util::seconds(25),
                                   t0 + util::seconds(40));
   }
-  auto& injector = world.system().install_fault_plan(std::move(plan));
+  world.system().install_fault_plan(std::move(plan));
+  auto& injector = *world.system().fault_injector();
 
   const std::size_t submitted = world.run_poisson(
       rate, util::from_seconds(measure_s), util::seconds(60));

@@ -4,36 +4,63 @@
 Spawns one p2prm_peer process per peer (docs/TRANSPORT.md), all rebuilding
 the identical DeploymentPlan from the seed. Optionally kill -9 the founding
 Resource Manager (peer 0) mid-run to exercise backup-RM failover over real
-sockets — the CI transport-smoke job runs exactly that with 32 processes.
+sockets — the CI transport-smoke job runs exactly that with ~100 processes
+and 5% injected frame loss (--fault-loss), and the transport-fault-matrix
+job sweeps {loss, partition, crash-restart} classes over several seeds
+(docs/FAULT_MODEL.md).
 
     scripts/launch_peers.py --binary build/tools/p2prm_peer --peers 32 \
-        --kill-rm-after 2.5 --log-dir /tmp/p2prm-smoke
+        --kill-rm-after 2.5 --fault-loss 0.05 --log-dir /tmp/p2prm-smoke
+
+Port handling: the requested --base-port range is probed before launch and
+shifted upward while any port is taken (a parallel CI job, a TIME_WAIT
+leftover); if a peer still loses the bind race at startup ("cannot listen
+on port"), the whole deployment is torn down and relaunched on the next
+shifted range. Exit 2 only after --port-retries exhausted ranges.
 
 Assertions (exit 0 only if all hold):
   * every surviving process exits 0 and prints one valid JSON line,
-  * every survivor joined the overlay,
+  * every survivor joined the overlay — except up to --max-stranded
+    stragglers whose loss-delayed join straddled the RM kill (their only
+    contact was the dead peer 0, so they end unjoined or as self-founded
+    singleton domains; both count against the budget),
   * with --kill-rm-after: no survivor still follows the dead RM (peer 0),
-    and all survivors agree on the takeover RM (the deployment is forced
-    into a single domain via --max-domain-size > peers),
-  * the survivors completed at least one task between them.
+    and all non-stranded survivors agree on the takeover RM (the
+    deployment is forced into a single domain via --max-domain-size >
+    peers),
+  * the survivors completed at least one task between them,
+  * with --fault-loss: the shims demonstrably dropped frames, and no
+    frame ever reached a decoder corrupted (frames_corrupt stays 0 —
+    loopback does not corrupt, so any hit means a framing bug).
+
+--selftest runs the launcher's own unit tests (port probing, the outcome
+evaluation rules) and exits; CI invokes it before the real drills.
 """
 from __future__ import annotations
 
 import argparse
+import errno
 import json
 import pathlib
 import signal
+import socket
 import subprocess
 import sys
 import time
 
+# p2prm_peer prints this (via the SocketTransport attach throw) when it
+# loses the bind race despite the preflight probe.
+LISTEN_FAILURE = "cannot listen on port"
 
-def parse_args() -> argparse.Namespace:
+
+def parse_args(argv=None) -> argparse.Namespace:
     p = argparse.ArgumentParser(description=__doc__)
     p.add_argument("--binary", default="build/tools/p2prm_peer")
     p.add_argument("--peers", type=int, default=32)
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--base-port", type=int, default=26000)
+    p.add_argument("--port-retries", type=int, default=8,
+                   help="how many shifted port ranges to try on EADDRINUSE")
     p.add_argument("--time-scale", type=float, default=0.2,
                    help="wall-seconds per sim-second")
     p.add_argument("--workload-s", type=int, default=20)
@@ -43,46 +70,201 @@ def parse_args() -> argparse.Namespace:
     p.add_argument("--kill-rm-after", type=float, default=0.0,
                    help="wall-seconds after launch to kill -9 peer 0 "
                         "(0 = never; pick a point inside the workload window)")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="FaultPlan seed passed to every process "
+                        "(0 = derive from --seed)")
+    p.add_argument("--fault-loss", type=float, default=0.0,
+                   help="uniform frame-drop probability injected by every "
+                        "process's fault shim")
+    p.add_argument("--partition-at-s", type=int, default=2,
+                   help="partition start, sim-seconds after workload start")
+    p.add_argument("--partition-hold-s", type=int, default=0,
+                   help="cut peer 0 off for this many sim-seconds "
+                        "(0 = no partition)")
+    p.add_argument("--max-stranded", type=int, default=0,
+                   help="tolerated stragglers (fault drills only): peers "
+                        "that never joined, or that founded a singleton "
+                        "domain of themselves after the RM kill. Their only "
+                        "contact was peer 0, so a join whose loss-delayed "
+                        "retries straddle the kill strands them by design")
+    p.add_argument("--peer-log-level", default="",
+                   help="forward as p2prm_peer --log-level (e.g. debug); "
+                        "per-peer stderr lands in <log-dir>/peerK.log")
     p.add_argument("--timeout", type=float, default=300.0,
                    help="wall-seconds before the whole deployment is killed")
     p.add_argument("--log-dir", default="/tmp/p2prm-peers")
-    return p.parse_args()
+    p.add_argument("--selftest", action="store_true",
+                   help="run the launcher's own unit tests and exit")
+    return p.parse_args(argv)
 
 
-def main() -> int:
-    args = parse_args()
-    log_dir = pathlib.Path(args.log_dir)
-    log_dir.mkdir(parents=True, exist_ok=True)
+def ports_free(base_port: int, count: int) -> bool:
+    """True when every port in [base_port, base_port + count) binds."""
+    for port in range(base_port, base_port + count):
+        with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as s:
+            s.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            try:
+                s.bind(("127.0.0.1", port))
+            except OSError as e:
+                if e.errno in (errno.EADDRINUSE, errno.EACCES):
+                    return False
+                raise
+    return True
 
-    # Single domain: failover then has exactly one right answer.
-    max_domain_size = args.peers + 8
 
+def pick_base_port(base_port: int, count: int, retries: int) -> int:
+    """First base of a fully free range, shifting upward; -1 if exhausted."""
+    stride = count + 16  # headroom so shifted ranges never overlap
+    for attempt in range(retries):
+        candidate = base_port + attempt * stride
+        if candidate + count >= 65536:
+            break
+        if ports_free(candidate, count):
+            return candidate
+    return -1
+
+
+def build_cmd(args: argparse.Namespace, k: int, base_port: int,
+              max_domain_size: int) -> list[str]:
+    cmd = [
+        args.binary,
+        f"--seed={args.seed}",
+        f"--peers={args.peers}",
+        f"--peer-index={k}",
+        f"--base-port={base_port}",
+        f"--time-scale={args.time_scale}",
+        f"--workload-s={args.workload_s}",
+        f"--drain-s={args.drain_s}",
+        f"--task-cap={args.task_cap}",
+        f"--arrival-rate={args.arrival_rate}",
+        f"--max-domain-size={max_domain_size}",
+    ]
+    # Fault flags only when faulty, so a benign drill matches the flags the
+    # suite used before the fault layer existed.
+    if args.fault_seed:
+        cmd.append(f"--fault-seed={args.fault_seed}")
+    if args.fault_loss > 0:
+        cmd.append(f"--fault-loss={args.fault_loss}")
+    if args.partition_hold_s > 0:
+        cmd.append(f"--partition-at-s={args.partition_at_s}")
+        cmd.append(f"--partition-hold-s={args.partition_hold_s}")
+    if args.peer_log_level:
+        cmd.append(f"--log-level={args.peer_log_level}")
+    return cmd
+
+
+def evaluate(results: dict[int, dict], killed_rm: bool,
+             fault_loss: float, max_stranded: int = 0) -> list[str]:
+    """Outcome assertions over the parsed per-process JSON lines.
+
+    Pure so --selftest can drive it with canned fixtures.
+
+    `max_stranded` exists for fault drills: a peer whose (loss-delayed)
+    join straddles the RM kill is stranded by design — its only contact
+    was peer 0. It shows up either as never joined, or (if its retries
+    exhausted after the kill) as the sole founder of a fresh singleton
+    domain with itself as RM. CI tolerates a small bounded number of
+    such stragglers and excludes them from the takeover checks, which
+    only make sense for peers that were ever part of the overlay.
+    """
+    failures: list[str] = []
+
+    stranded = [k for k, r in sorted(results.items()) if not r["joined"]]
+    cohort = {k: r for k, r in results.items() if r["joined"]}
+
+    if killed_rm and cohort:
+        # A peer claiming *itself* as RM with no followers founded a
+        # singleton domain after its retries dead-ended on the killed
+        # peer 0 — a straggler, not a takeover participant. (The real
+        # takeover RM also reports itself, but its followers agree.)
+        votes: dict[int, int] = {}
+        for r in cohort.values():
+            votes[r["final_rm"]] = votes.get(r["final_rm"], 0) + 1
+        self_founded = [k for k, r in sorted(cohort.items())
+                        if r["final_rm"] == k and votes[k] == 1]
+        stranded += self_founded
+        cohort = {k: r for k, r in cohort.items() if k not in self_founded}
+
+        final_rms = {r["final_rm"] for r in cohort.values()}
+        if 0 in final_rms:
+            stuck = [k for k, r in cohort.items() if r["final_rm"] == 0]
+            failures.append(f"peers still follow the dead RM: {stuck}")
+        if -1 in final_rms:
+            lost = [k for k, r in cohort.items() if r["final_rm"] == -1]
+            failures.append(f"peers lost their RM entirely: {lost}")
+        agreed = final_rms - {0, -1}
+        if len(agreed) != 1:
+            failures.append(
+                f"survivors disagree on the takeover RM: {sorted(final_rms)}")
+
+    if len(stranded) > max_stranded:
+        failures.append(
+            f"stranded peers (never joined, or self-founded after the "
+            f"kill): {sorted(stranded)} (tolerance {max_stranded})")
+
+    completed = sum(r["completed"] for r in results.values())
+    if completed == 0:
+        failures.append("no survivor completed a single task")
+
+    if fault_loss > 0 and results:
+        dropped = sum(r.get("fault_dropped", 0) for r in results.values())
+        if dropped == 0:
+            failures.append(
+                "--fault-loss set but no process dropped a frame "
+                "(shim not installed?)")
+
+    corrupt = sum(r.get("frames_corrupt", 0) for r in results.values())
+    if corrupt > 0:
+        failures.append(
+            f"{corrupt} corrupt frames on loopback — framing bug, not noise")
+
+    return failures
+
+
+def launch_once(args: argparse.Namespace, base_port: int,
+                log_dir: pathlib.Path):
+    """One full deployment. Returns (procs, killed_rm, bind_race_lost)."""
+    max_domain_size = args.peers + 8  # single domain: one right failover answer
     procs = {}
     files = []
     for k in range(args.peers):
         out = open(log_dir / f"peer{k}.json", "w")
         err = open(log_dir / f"peer{k}.log", "w")
         files += [out, err]
-        cmd = [
-            args.binary,
-            f"--seed={args.seed}",
-            f"--peers={args.peers}",
-            f"--peer-index={k}",
-            f"--base-port={args.base_port}",
-            f"--time-scale={args.time_scale}",
-            f"--workload-s={args.workload_s}",
-            f"--drain-s={args.drain_s}",
-            f"--task-cap={args.task_cap}",
-            f"--arrival-rate={args.arrival_rate}",
-            f"--max-domain-size={max_domain_size}",
-        ]
-        procs[k] = subprocess.Popen(cmd, stdout=out, stderr=err)
+        procs[k] = subprocess.Popen(
+            build_cmd(args, k, base_port, max_domain_size),
+            stdout=out, stderr=err)
     print(f"launched {args.peers} peer processes (seed {args.seed}, "
-          f"base port {args.base_port})")
+          f"base port {base_port})")
+
+    # Early-failure watch: a peer that loses the bind race exits within a
+    # couple of seconds with LISTEN_FAILURE on stderr. Catch it before the
+    # kill point so the whole deployment can relaunch on a shifted range.
+    grace_deadline = time.monotonic() + min(2.0, args.timeout)
+    while time.monotonic() < grace_deadline:
+        early = [k for k, p in procs.items() if p.poll() not in (None, 0)]
+        if early:
+            break
+        time.sleep(0.05)
+    for k, p in procs.items():
+        if p.poll() not in (None, 0):
+            text = (log_dir / f"peer{k}.log").read_text()
+            if LISTEN_FAILURE in text:
+                print(f"peer {k} lost the bind race on range {base_port}+; "
+                      "tearing down for a shifted relaunch", file=sys.stderr)
+                for proc in procs.values():
+                    if proc.poll() is None:
+                        proc.kill()
+                for proc in procs.values():
+                    proc.wait()
+                for f in files:
+                    f.close()
+                return procs, False, True
 
     killed_rm = False
     if args.kill_rm_after > 0:
-        time.sleep(args.kill_rm_after)
+        already = time.monotonic() - (grace_deadline - min(2.0, args.timeout))
+        time.sleep(max(0.0, args.kill_rm_after - already))
         rm = procs[0]
         if rm.poll() is None:
             rm.send_signal(signal.SIGKILL)
@@ -105,6 +287,38 @@ def main() -> int:
                   "deadline and was killed", file=sys.stderr)
     for f in files:
         f.close()
+    return procs, killed_rm, False
+
+
+def run_deployment(args: argparse.Namespace) -> int:
+    log_dir = pathlib.Path(args.log_dir)
+    log_dir.mkdir(parents=True, exist_ok=True)
+
+    procs: dict[int, subprocess.Popen] = {}
+    killed_rm = False
+    launched = False
+    for attempt in range(max(1, args.port_retries)):
+        base_port = pick_base_port(args.base_port, args.peers,
+                                   args.port_retries)
+        if base_port < 0:
+            print(f"ERROR: no free range of {args.peers} ports at or above "
+                  f"{args.base_port}", file=sys.stderr)
+            return 2
+        if base_port != args.base_port:
+            print(f"port range {args.base_port}+ busy; shifted to "
+                  f"{base_port}+")
+        procs, killed_rm, bind_race_lost = launch_once(args, base_port,
+                                                       log_dir)
+        if not bind_race_lost:
+            launched = True
+            break
+        # The loser freed nothing in our range: someone else owns a port.
+        # Start the next probe above the contested range.
+        args.base_port = base_port + args.peers + 16
+    if not launched:
+        print(f"ERROR: exhausted {args.port_retries} port ranges",
+              file=sys.stderr)
+        return 2
 
     survivors = [k for k in procs if not (killed_rm and k == 0)]
     failures = []
@@ -123,39 +337,171 @@ def main() -> int:
     for k, r in sorted(results.items()):
         print(f"peer {k:3d}: joined={r['joined']} final_rm={r['final_rm']} "
               f"submitted={r['submitted']} completed={r['completed']} "
-              f"rejected={r['rejected']} failed={r['failed']}")
+              f"rejected={r['rejected']} failed={r['failed']} "
+              f"fault_dropped={r.get('fault_dropped', 0)}")
 
-    not_joined = [k for k, r in results.items() if not r["joined"]]
-    if not_joined:
-        failures.append(f"peers never joined the overlay: {not_joined}")
+    failures += evaluate(results, killed_rm, args.fault_loss,
+                         args.max_stranded)
 
-    if killed_rm and results:
-        final_rms = {r["final_rm"] for r in results.values()}
-        if 0 in final_rms:
-            stuck = [k for k, r in results.items() if r["final_rm"] == 0]
-            failures.append(f"peers still follow the dead RM: {stuck}")
-        if -1 in final_rms:
-            lost = [k for k, r in results.items() if r["final_rm"] == -1]
-            failures.append(f"peers lost their RM entirely: {lost}")
-        agreed = final_rms - {0, -1}
-        if len(agreed) != 1:
-            failures.append(
-                f"survivors disagree on the takeover RM: {sorted(final_rms)}")
-        else:
-            print(f"failover: survivors agree on RM {agreed.pop()}")
-
-    completed = sum(r["completed"] for r in results.values())
-    if completed == 0:
-        failures.append("no survivor completed a single task")
+    # Machine-readable aggregate for the CI artifact.
+    summary = {
+        "peers": args.peers,
+        "seed": args.seed,
+        "killed_rm": killed_rm,
+        "fault_loss": args.fault_loss,
+        "partition_hold_s": args.partition_hold_s,
+        "survivors": len(results),
+        "completed": sum(r["completed"] for r in results.values()),
+        "fault_dropped": sum(r.get("fault_dropped", 0)
+                             for r in results.values()),
+        "partitioned": sum(r.get("partitioned", 0)
+                           for r in results.values()),
+        "failures": failures,
+    }
+    (log_dir / "summary.json").write_text(json.dumps(summary, indent=2) + "\n")
 
     if failures:
         print("\nFAIL:", file=sys.stderr)
         for f in failures:
             print(f"  - {f}", file=sys.stderr)
         return 1
-    print(f"\nOK: {len(results)} survivors, {completed} tasks completed"
-          + (", failover clean" if killed_rm else ""))
+    if killed_rm and results:
+        votes: dict[int, int] = {}
+        for r in results.values():
+            if r["final_rm"] not in (0, -1):
+                votes[r["final_rm"]] = votes.get(r["final_rm"], 0) + 1
+        takeover = max(votes, key=votes.get)
+        print(f"failover: survivors agree on RM {takeover}")
+    print(f"\nOK: {len(results)} survivors, {summary['completed']} tasks "
+          f"completed" + (", failover clean" if killed_rm else ""))
     return 0
+
+
+# ---- selftest ---------------------------------------------------------------
+
+
+def selftest() -> int:
+    """Unit tests for the launcher's own logic (no p2prm_peer needed)."""
+    import unittest
+
+    class PortProbe(unittest.TestCase):
+        def test_free_range_is_accepted(self):
+            base = pick_base_port(36000, 4, 4)
+            self.assertEqual(base, 36000)
+
+        def test_busy_port_shifts_the_range(self):
+            with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as s:
+                s.bind(("127.0.0.1", 0))
+                busy = s.getsockname()[1]
+                # A range starting at the busy port must be rejected and
+                # the probe must land on a later, free range.
+                self.assertFalse(ports_free(busy, 1))
+                shifted = pick_base_port(busy, 1, 8)
+                self.assertGreater(shifted, busy)
+
+        def test_exhausted_retries_reports_failure(self):
+            self.assertEqual(pick_base_port(65530, 32, 3), -1)
+
+    class Evaluation(unittest.TestCase):
+        def ok(self, k=0, **kw):
+            r = {"joined": True, "final_rm": 3, "submitted": 2,
+                 "completed": 2, "rejected": 0, "failed": 0,
+                 "fault_dropped": 0, "partitioned": 0, "frames_corrupt": 0}
+            r.update(kw)
+            return (k, r)
+
+        def test_clean_run_passes(self):
+            results = dict([self.ok(0), self.ok(1)])
+            self.assertEqual(evaluate(results, False, 0.0), [])
+
+        def test_unjoined_peer_fails(self):
+            results = dict([self.ok(0), self.ok(1, joined=False)])
+            self.assertTrue(any("never joined" in f
+                                for f in evaluate(results, False, 0.0)))
+
+        def test_unjoined_peer_within_tolerance_passes(self):
+            results = dict([self.ok(0), self.ok(1, joined=False,
+                                                final_rm=-1, completed=0)])
+            self.assertEqual(
+                evaluate(results, False, 0.0, max_stranded=1), [])
+
+        def test_unjoined_peers_over_tolerance_fail(self):
+            results = dict([self.ok(0),
+                            self.ok(1, joined=False, final_rm=-1),
+                            self.ok(2, joined=False, final_rm=-1)])
+            self.assertTrue(any("stranded" in f
+                                for f in evaluate(results, False, 0.0,
+                                                  max_stranded=1)))
+
+        def test_tolerated_straggler_is_excluded_from_rm_checks(self):
+            # The straggler's final_rm=-1 must not count as "lost the RM"
+            # or break takeover agreement: it was never in the overlay.
+            results = dict([self.ok(1, final_rm=3), self.ok(2, final_rm=3),
+                            self.ok(3, joined=False, final_rm=-1,
+                                    completed=0)])
+            self.assertEqual(
+                evaluate(results, True, 0.0, max_stranded=1), [])
+
+        def test_self_founded_singleton_counts_as_stranded(self):
+            # Peer 4 joined late, dead-ended on the killed RM, and founded
+            # a fresh domain of itself: tolerated within the budget, fatal
+            # without one.
+            results = dict([self.ok(1, final_rm=3), self.ok(2, final_rm=3),
+                            self.ok(3, final_rm=3),
+                            self.ok(4, final_rm=4, completed=0)])
+            self.assertEqual(
+                evaluate(results, True, 0.0, max_stranded=1), [])
+            self.assertTrue(any("stranded" in f
+                                for f in evaluate(results, True, 0.0)))
+
+        def test_real_takeover_rm_is_not_a_straggler(self):
+            # The elected RM reports itself too — but its followers agree,
+            # so it must never be classified as self-founded.
+            results = dict([self.ok(3, final_rm=3), self.ok(2, final_rm=3)])
+            self.assertEqual(evaluate(results, True, 0.0), [])
+
+        def test_follower_of_dead_rm_fails(self):
+            results = dict([self.ok(1), self.ok(2, final_rm=0)])
+            self.assertTrue(any("dead RM" in f
+                                for f in evaluate(results, True, 0.0)))
+
+        def test_takeover_disagreement_fails(self):
+            results = dict([self.ok(1, final_rm=3), self.ok(2, final_rm=4)])
+            self.assertTrue(any("disagree" in f
+                                for f in evaluate(results, True, 0.0)))
+
+        def test_loss_without_drops_fails(self):
+            results = dict([self.ok(0), self.ok(1)])
+            self.assertTrue(any("no process dropped" in f
+                                for f in evaluate(results, False, 0.05)))
+
+        def test_loss_with_drops_passes(self):
+            results = dict([self.ok(0, fault_dropped=17), self.ok(1)])
+            self.assertEqual(evaluate(results, False, 0.05), [])
+
+        def test_corrupt_frames_fail(self):
+            results = dict([self.ok(0, frames_corrupt=1)])
+            self.assertTrue(any("framing bug" in f
+                                for f in evaluate(results, False, 0.0)))
+
+        def test_no_completions_fails(self):
+            results = dict([self.ok(0, completed=0), self.ok(1, completed=0)])
+            self.assertTrue(any("no survivor completed" in f
+                                for f in evaluate(results, False, 0.0)))
+
+    suite = unittest.TestSuite()
+    loader = unittest.TestLoader()
+    suite.addTests(loader.loadTestsFromTestCase(PortProbe))
+    suite.addTests(loader.loadTestsFromTestCase(Evaluation))
+    runner = unittest.TextTestRunner(verbosity=2)
+    return 0 if runner.run(suite).wasSuccessful() else 1
+
+
+def main() -> int:
+    args = parse_args()
+    if args.selftest:
+        return selftest()
+    return run_deployment(args)
 
 
 if __name__ == "__main__":

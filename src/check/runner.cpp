@@ -143,12 +143,11 @@ RunResult run_scenario(const ScenarioSpec& spec, InvariantChecker& checker,
     }
   }
 
-  if ((!spec.link.trivial() || !spec.partitions.empty() ||
-       !spec.crashes.empty()) &&
-      system.has_sim_network()) {
-    // Fault injection (link shaping, partitions, scheduled crashes) only
-    // exists in the sim Network; a socket-transport run executes the same
-    // workload without the fault plan.
+  if (!spec.link.trivial() || !spec.partitions.empty() ||
+      !spec.crashes.empty()) {
+    // Fault injection runs on either transport: the sim Network hooks its
+    // delivery pipeline, the socket transport installs a frame-granularity
+    // shim executing the same plan (docs/TRANSPORT.md).
     system.install_fault_plan(spec.fault_plan(t0, bootstrap_order));
   }
 

@@ -38,6 +38,7 @@ PeerNode::~PeerNode() { stop_local_work(); }
 void PeerNode::start(std::optional<util::PeerId> contact) {
   alive_ = true;
   last_activity_ = system_.simulator().now();
+  boot_contact_ = contact;
   if (!contact) {
     // First peer in the network: found the first domain (§4.1).
     become_rm(system_.next_domain_id(), {}, /*epoch=*/1, std::nullopt);
@@ -281,17 +282,25 @@ void PeerNode::schedule_join_retry() {
   defer_after(delay, [this] {
     if (!alive_ || joined_) return;
     redirect_hops_ = 0;
-    const auto contact = system_.random_alive_peer(spec_.id);
+    std::optional<util::PeerId> contact = system_.random_alive_peer(spec_.id);
     if (!contact) {
-      // Nobody reachable. Once the policy's attempts are spent on lonely
-      // retries, assume the rest of the network is gone and found a fresh
-      // domain — otherwise a sole survivor would stay detached forever.
+      // Nobody hosted locally. Once the policy's attempts are spent,
+      // assume the rest of the network is gone and found a fresh domain —
+      // otherwise a sole survivor would stay detached forever. Until
+      // then, keep retrying: in a multi-process deployment this System
+      // hosts only its own slice of the overlay, so an empty local
+      // registry says nothing about the bootstrap contact across the
+      // wire (a join whose first exchange lost a frame must not strand).
       if (system_.config().retry.join.exhausted(join_attempts_ - 1)) {
         become_rm(system_.next_domain_id(), {}, /*epoch=*/1, std::nullopt);
         return;
       }
-      schedule_join_retry();
-      return;
+      if (boot_contact_ && *boot_contact_ != spec_.id) {
+        contact = boot_contact_;
+      } else {
+        schedule_join_retry();
+        return;
+      }
     }
     auto req = std::make_unique<overlay::JoinRequest>();
     req->spec = spec_;
@@ -347,7 +356,12 @@ void PeerNode::announce_to_rm() {
 }
 
 void PeerNode::on_rm_heartbeat(util::PeerId from, const overlay::RmHeartbeat& m) {
-  if (!joined_) return;
+  if (!joined_) {
+    // Heartbeats retry what a lost RmTakeover announced once: a dropped-out
+    // member of this domain gets re-adopted on the next beat.
+    try_readopt(from, m.domain, m.epoch);
+    return;
+  }
   if (rm_) {
     // Split-brain resolution: a heartbeat for our own domain with a higher
     // epoch means a backup took over while we were partitioned away (the
@@ -411,8 +425,41 @@ void PeerNode::demote_and_rejoin() {
   rejoin();
 }
 
+bool PeerNode::try_readopt(util::PeerId from, util::DomainId domain,
+                           std::uint64_t epoch) {
+  // A member that gave up on a silent dead RM (rejoin()) may hear the
+  // takeover only after it dropped out — the backup's detection and our
+  // own rejoin threshold race, and under CPU contention or frame loss the
+  // announcement can arrive arbitrarily late. Re-adopt instead of
+  // ignoring: our rejoin JoinRequest went to a possibly-dead bootstrap
+  // contact, so the new RM's takeover/heartbeat traffic can be the only
+  // live endpoint we ever hear from again.
+  P2PRM_LOG(Trace, kLog, system_.simulator().now_seconds())
+      << "peer " << spec_.id << " readopt offer from " << from << " (domain "
+      << domain << " epoch " << epoch << "; mine " << domain_ << " epoch "
+      << epoch_ << " joined=" << joined_ << ")";
+  if (alive_ == false || joined_ || rm_) return false;
+  if (domain != domain_ || epoch < epoch_) return false;
+  joined_ = true;
+  redirect_hops_ = 0;
+  join_attempts_ = 0;
+  ++join_watchdog_token_;  // disarm any pending join watchdog
+  epoch_ = epoch;
+  my_rm_ = from;
+  last_rm_heartbeat_ = system_.simulator().now();
+  conns_.open(my_rm_, overlay::ConnectionPurpose::Control);
+  announce_to_rm();
+  P2PRM_LOG(Debug, kLog, system_.simulator().now_seconds())
+      << "peer " << spec_.id << " re-adopted into domain " << domain_
+      << " by RM " << from << " (epoch " << epoch << ")";
+  return true;
+}
+
 void PeerNode::on_rm_takeover(util::PeerId from, const overlay::RmTakeover& m) {
-  if (!joined_) return;
+  if (!joined_) {
+    try_readopt(from, m.domain, m.epoch);
+    return;
+  }
   if (rm_) {
     if (m.domain == domain_ && from != spec_.id &&
         m.epoch > rm_->info().domain().epoch()) {
@@ -432,6 +479,9 @@ void PeerNode::on_backup_sync(const BackupSync& m, util::PeerId from) {
   if (!joined_ || rm_ || from != my_rm_) return;
   backup_copy_ = m.snapshot;
   backup_known_rms_ = m.known_rms;
+  P2PRM_LOG(Trace, kLog, system_.simulator().now_seconds())
+      << "backup " << spec_.id << " accepted sync seq " << m.seq << " ("
+      << m.snapshot.domain.size() << " members)";
   if (system_.config().ack_backup_sync && m.seq != 0) {
     auto ack = std::make_unique<BackupSyncAck>();
     ack->seq = m.seq;
@@ -473,7 +523,8 @@ void PeerNode::membership_check_tick() {
     }
     P2PRM_LOG(Info, kLog, system_.simulator().now_seconds())
         << "backup " << spec_.id << " took over domain " << domain_
-        << " after RM " << dead_rm << " failed";
+        << " after RM " << dead_rm << " failed (" << members.size()
+        << " members in snapshot)";
     return;
   }
 

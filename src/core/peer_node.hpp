@@ -238,6 +238,11 @@ class PeerNode {
   ProfilerReport pending_report_;
   // Join progress: redirect hops this attempt; retries scheduled with
   // backoff when an attempt dead-ends (rejection or a redirect loop).
+  // The bootstrap contact is remembered because in a multi-process
+  // deployment this System hosts only a slice of the overlay: when
+  // random_alive_peer finds nobody locally, retries must still go out
+  // across the wire instead of concluding the network is gone.
+  std::optional<util::PeerId> boot_contact_;
   int redirect_hops_ = 0;
   int join_attempts_ = 0;
   int join_watchdog_token_ = 0;
@@ -245,6 +250,11 @@ class PeerNode {
   // Arms a timeout for the join request just sent: a lost request (drop,
   // partition, dead contact) must not leave the peer detached forever.
   void arm_join_watchdog();
+  // Re-adopts this peer into `domain` under `from` after it dropped out
+  // via rejoin(): the takeover RM's announcement/heartbeats are
+  // authoritative for members whose silence threshold fired first.
+  bool try_readopt(util::PeerId from, util::DomainId domain,
+                   std::uint64_t epoch);
 };
 
 }  // namespace p2prm::core

@@ -6,6 +6,7 @@
 
 #include "core/wire_registry.hpp"
 #include "fault/fault_injector.hpp"
+#include "fault/frame_shim.hpp"
 
 namespace p2prm::core {
 
@@ -465,12 +466,7 @@ bool System::restart_peer(util::PeerId peer) {
   return true;
 }
 
-fault::FaultInjector& System::install_fault_plan(fault::FaultPlan plan) {
-  if (network_ == nullptr) {
-    // Fault plans hook the simulated network's delivery pipeline; on the
-    // socket transport, faults are real (kill -9 the process instead).
-    throw std::logic_error("fault plans require the sim transport");
-  }
+void System::install_fault_plan(fault::FaultPlan plan) {
   fault::FaultInjector::Hooks hooks;
   hooks.crash = [this](util::PeerId p) { crash_peer(p); };
   hooks.restart = [this](util::PeerId p) { restart_peer(p); };
@@ -478,10 +474,20 @@ fault::FaultInjector& System::install_fault_plan(fault::FaultPlan plan) {
     const auto rms = resource_manager_ids();
     return rms.empty() ? util::PeerId::invalid() : rms.front();
   };
-  fault_injector_ = std::make_unique<fault::FaultInjector>(
-      sim_, *network_, std::move(plan), std::move(hooks));
-  fault_injector_->arm();
-  return *fault_injector_;
+  if (network_ != nullptr) {
+    // Sim mode: the injector hooks the Network's delivery pipeline.
+    fault_injector_ = std::make_unique<fault::FaultInjector>(
+        sim_, *network_, std::move(plan), std::move(hooks));
+    fault_injector_->arm();
+    return;
+  }
+  // Socket mode: a frame-granularity shim on the transport executes the
+  // link faults and partition cuts (docs/TRANSPORT.md); crash/restart
+  // events reuse the same peer-lifecycle hooks (crash_peer detaches the
+  // listener, so remote frames drop exactly as for a killed process).
+  socket_fault_ = std::make_unique<fault::SocketFaultInjector>(
+      sim_, *socket_transport_, std::move(plan), std::move(hooks));
+  socket_fault_->arm();
 }
 
 PeerNode* System::peer(util::PeerId id) { return registry_.node_of(id); }

@@ -23,6 +23,7 @@
 
 namespace p2prm::fault {
 class FaultInjector;
+class SocketFaultInjector;
 }
 
 namespace p2prm::core {
@@ -158,10 +159,17 @@ class System {
   // Installs and arms a deterministic fault plan (docs/FAULT_MODEL.md):
   // link-level loss/delay/duplication/reordering plus scheduled partitions
   // and crash-restarts, all reproducible from plan.seed. Call before
-  // running the simulation. The returned injector exposes the event trace.
-  fault::FaultInjector& install_fault_plan(fault::FaultPlan plan);
+  // running the simulation. Works on both transports: sim mode hooks the
+  // Network's delivery pipeline (fault::FaultInjector, exposed via
+  // fault_injector()); socket mode installs a frame-granularity shim on
+  // the SocketTransport plus the same scheduled partition/crash events
+  // (fault::SocketFaultInjector, exposed via socket_fault_injector()).
+  void install_fault_plan(fault::FaultPlan plan);
   [[nodiscard]] fault::FaultInjector* fault_injector() {
     return fault_injector_.get();
+  }
+  [[nodiscard]] fault::SocketFaultInjector* socket_fault_injector() {
+    return socket_fault_.get();
   }
 
   [[nodiscard]] PeerNode* peer(util::PeerId id);
@@ -296,6 +304,9 @@ class System {
   // safe; restart keeps the parking behaviour to stay byte-identical.)
   std::vector<std::unique_ptr<PeerNode>> retired_;
   std::unique_ptr<fault::FaultInjector> fault_injector_;
+  // Socket-mode counterpart (declared after socket_transport_, so it is
+  // destroyed first and clears its shim pointer off the live transport).
+  std::unique_ptr<fault::SocketFaultInjector> socket_fault_;
   TaskLedger ledger_;
   Tracer* tracer_ = nullptr;
   util::Rng placement_rng_;

@@ -77,4 +77,23 @@ std::string to_string(const FaultEvent& e) {
   return buf;
 }
 
+std::uint64_t fingerprint_events(const std::vector<FaultEvent>& events) {
+  // FNV-1a over the packed event fields; order-sensitive by construction.
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const auto& e : events) {
+    mix(static_cast<std::uint64_t>(e.at));
+    mix(static_cast<std::uint64_t>(e.action));
+    mix(e.a.value());
+    mix(e.b.value());
+    mix(static_cast<std::uint64_t>(e.delay));
+  }
+  return h;
+}
+
 }  // namespace p2prm::fault

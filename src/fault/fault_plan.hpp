@@ -112,4 +112,11 @@ struct FaultEvent {
 };
 [[nodiscard]] std::string to_string(const FaultEvent& e);
 
+// Order-sensitive FNV-1a digest of an event sequence; equal across two
+// runs iff the sequences are identical. Shared by the sim FaultInjector's
+// trace_fingerprint() and the socket FrameShim's decision_fingerprint() so
+// the two artifacts digest identically.
+[[nodiscard]] std::uint64_t fingerprint_events(
+    const std::vector<FaultEvent>& events);
+
 }  // namespace p2prm::fault

@@ -1,0 +1,169 @@
+#include "fault/frame_shim.hpp"
+
+#include <stdexcept>
+
+#include "net/socket_transport.hpp"
+#include "util/rng.hpp"
+
+namespace p2prm::fault {
+
+namespace {
+
+// Decorrelation constants for the per-frame hash (odd 64-bit mixers).
+constexpr std::uint64_t kFromSalt = 0xA24BAED4963EE407ULL;
+constexpr std::uint64_t kToSalt = 0x9FB21C651E98DF25ULL;
+constexpr std::uint64_t kSeqSalt = 0x2545F4914F6CDD1DULL;
+
+}  // namespace
+
+FrameShim::FrameShim(FaultPlan plan) : plan_(std::move(plan)) {}
+
+net::FrameFaultVerdict FrameShim::on_frame(util::PeerId from, util::PeerId to,
+                                           std::uint64_t link_seq,
+                                           std::size_t /*bytes*/) {
+  const LinkFaults& link = plan_.link(from, to);
+  net::FrameFaultVerdict v;
+  if (link.trivial()) return v;
+
+  // A private RNG per frame, seeded by (plan seed, from, to, link_seq):
+  // decisions are a pure function of the frame's identity, never of what
+  // other links transmitted first.
+  std::uint64_t state = plan_.seed ^ (from.value() * kFromSalt) ^
+                        (to.value() * kToSalt) ^ (link_seq * kSeqSalt);
+  util::Rng rng(util::splitmix64(state));
+
+  const auto record = [&](FaultAction action, util::SimDuration delay = 0) {
+    log_.push_back(FaultEvent{static_cast<util::SimTime>(link_seq), action,
+                              from, to, delay});
+  };
+
+  // Same decision order as the sim FaultInjector::on_send, so a LinkFaults
+  // config means the same thing on both transports.
+  if (link.drop_probability > 0.0 && rng.bernoulli(link.drop_probability)) {
+    v.drop = true;
+    record(FaultAction::Drop);
+    return v;
+  }
+  if (link.extra_delay > 0 || link.delay_jitter > 0) {
+    v.extra_delay = link.extra_delay;
+    if (link.delay_jitter > 0) {
+      v.extra_delay += static_cast<util::SimDuration>(
+          rng.below(static_cast<std::uint64_t>(link.delay_jitter) + 1));
+    }
+    if (v.extra_delay > 0) record(FaultAction::Delay, v.extra_delay);
+  }
+  if (link.reorder_probability > 0.0 &&
+      rng.bernoulli(link.reorder_probability)) {
+    v.extra_delay += link.reorder_delay;
+    record(FaultAction::Reorder, link.reorder_delay);
+  }
+  if (link.duplicate_probability > 0.0 &&
+      rng.bernoulli(link.duplicate_probability)) {
+    v.duplicate_after =
+        util::milliseconds(1) +
+        static_cast<util::SimDuration>(rng.below(util::milliseconds(10)));
+    record(FaultAction::Duplicate, v.duplicate_after);
+  }
+  return v;
+}
+
+bool FrameShim::severed(util::PeerId a, util::PeerId b) const {
+  if (islands_.empty() || a == b) return false;
+  const auto ia = islands_.find(a.value());
+  const auto ib = islands_.find(b.value());
+  const int ga = ia == islands_.end() ? 0 : ia->second;
+  const int gb = ib == islands_.end() ? 0 : ib->second;
+  return ga != gb;
+}
+
+void FrameShim::start_partition(
+    const std::vector<std::vector<util::PeerId>>& groups, util::SimTime at) {
+  islands_.clear();
+  int island = 1;
+  for (const auto& group : groups) {
+    for (const auto peer : group) islands_[peer.value()] = island;
+    ++island;
+  }
+  if (islands_.empty()) return;  // set_partition({}) reads as a no-op
+  ++epoch_;
+  util::PeerId first;
+  if (!groups.empty() && !groups.front().empty()) first = groups.front().front();
+  log_.push_back(FaultEvent{at, FaultAction::PartitionStart, first,
+                            util::PeerId::invalid(), 0});
+}
+
+void FrameShim::heal_partition(util::SimTime at) {
+  if (islands_.empty()) return;
+  islands_.clear();
+  ++epoch_;
+  log_.push_back(FaultEvent{at, FaultAction::PartitionHeal,
+                            util::PeerId::invalid(), util::PeerId::invalid(),
+                            0});
+}
+
+void FrameShim::note(FaultAction action, util::PeerId victim,
+                     util::SimTime at) {
+  log_.push_back(
+      FaultEvent{at, action, victim, util::PeerId::invalid(), 0});
+}
+
+std::uint64_t FrameShim::decision_fingerprint() const {
+  return fingerprint_events(log_);
+}
+
+SocketFaultInjector::SocketFaultInjector(sim::Simulator& simulator,
+                                         net::SocketTransport& transport,
+                                         FaultPlan plan, Hooks hooks)
+    : sim_(simulator),
+      transport_(transport),
+      hooks_(std::move(hooks)),
+      shim_(std::move(plan)) {}
+
+SocketFaultInjector::~SocketFaultInjector() {
+  if (transport_.fault_shim() == &shim_) transport_.set_fault_shim(nullptr);
+}
+
+void SocketFaultInjector::arm() {
+  if (armed_) throw std::logic_error("SocketFaultInjector::arm: already armed");
+  armed_ = true;
+  transport_.set_fault_shim(&shim_);
+
+  for (const auto& p : shim_.plan().partitions) {
+    sim_.schedule_at(p.at, [this, &p] {
+      auto groups = p.groups;
+      if (p.isolate_primary_rm) {
+        const util::PeerId rm =
+            hooks_.primary_rm ? hooks_.primary_rm() : util::PeerId::invalid();
+        if (!rm.valid()) return;  // nobody to isolate; skip
+        groups = {{rm}};
+      }
+      shim_.start_partition(groups, sim_.now());
+    });
+    if (p.heal_at != util::kTimeInfinity) {
+      sim_.schedule_at(p.heal_at,
+                       [this] { shim_.heal_partition(sim_.now()); });
+    }
+  }
+
+  for (const auto& c : shim_.plan().crashes) {
+    sim_.schedule_at(c.at, [this, &c] {
+      util::PeerId victim = c.peer;
+      if (c.target_primary_rm) {
+        victim =
+            hooks_.primary_rm ? hooks_.primary_rm() : util::PeerId::invalid();
+      }
+      if (!victim.valid() || !hooks_.crash) return;
+      hooks_.crash(victim);
+      shim_.note(FaultAction::Crash, victim, sim_.now());
+      if (c.restart_at != util::kTimeInfinity) {
+        sim_.schedule_at(c.restart_at, [this, victim] {
+          if (!hooks_.restart) return;
+          hooks_.restart(victim);
+          shim_.note(FaultAction::Restart, victim, sim_.now());
+        });
+      }
+    });
+  }
+}
+
+}  // namespace p2prm::fault

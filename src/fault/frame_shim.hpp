@@ -1,0 +1,114 @@
+// Socket-mode execution of a FaultPlan (docs/TRANSPORT.md).
+//
+// Two pieces:
+//
+//   FrameShim — the net::FrameFaultShim the SocketTransport consults on
+//   every frame. Stochastic link faults (drop/delay/jitter/reorder/
+//   duplicate) are decided per frame by a *stateless* hash of
+//   (plan seed, from, to, link_seq): unlike the sim FaultInjector's single
+//   RNG stream, no decision depends on traffic interleaving across links,
+//   so every process of a multi-process deployment — each seeing only its
+//   own outbound frames — shims identically, and two runs of one seed make
+//   identical decisions for identical frame sequences. Partition state
+//   (islands as in net::Network::set_partition) is mutated by scheduled
+//   events and exposed to the transport via severed()/partition_epoch().
+//
+//   SocketFaultInjector — the scheduler: installs the shim on the
+//   transport and schedules the plan's timed events (partition start/heal,
+//   crash/restart) on the simulator, resolving isolate_primary_rm /
+//   target_primary_rm at fire time through the same Hooks contract as the
+//   sim-mode FaultInjector. core::System wires itself in via
+//   System::install_fault_plan(), which picks the injector matching the
+//   active transport.
+//
+// Decision log: every verdict and scheduled event is appended to a
+// FaultEvent trace. Frame decisions record the link sequence number in
+// `at` (wall time would break reproducibility); scheduled events record
+// sim time. decision_fingerprint() digests the log for the CI determinism
+// check.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "net/fault_shim.hpp"
+#include "sim/simulator.hpp"
+
+namespace p2prm::net {
+class SocketTransport;
+}
+
+namespace p2prm::fault {
+
+class FrameShim final : public net::FrameFaultShim {
+ public:
+  explicit FrameShim(FaultPlan plan);
+
+  // --- net::FrameFaultShim ---------------------------------------------------
+  net::FrameFaultVerdict on_frame(util::PeerId from, util::PeerId to,
+                                  std::uint64_t link_seq,
+                                  std::size_t bytes) override;
+  [[nodiscard]] bool severed(util::PeerId a, util::PeerId b) const override;
+  [[nodiscard]] std::uint64_t partition_epoch() const override {
+    return epoch_;
+  }
+
+  // --- partition control (scheduled events, or tests directly) ---------------
+  void start_partition(const std::vector<std::vector<util::PeerId>>& groups,
+                       util::SimTime at);
+  void heal_partition(util::SimTime at);
+
+  // Appends a scheduled (non-link) event to the decision log.
+  void note(FaultAction action, util::PeerId victim, util::SimTime at);
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] const std::vector<FaultEvent>& decisions() const {
+    return log_;
+  }
+  // Order-sensitive FNV-1a digest of the decision log; equal across two
+  // runs iff the logs are identical (same digest primitive as
+  // FaultInjector::trace_fingerprint).
+  [[nodiscard]] std::uint64_t decision_fingerprint() const;
+
+ private:
+  FaultPlan plan_;
+  std::uint64_t epoch_ = 0;
+  // peer -> island id; empty = no active partition, unlisted peers are
+  // island 0 (net::Network::set_partition semantics).
+  std::map<std::uint64_t, int> islands_;
+  std::vector<FaultEvent> log_;
+};
+
+class SocketFaultInjector {
+ public:
+  // Same crash/restart/primary-RM delegation contract as the sim injector.
+  using Hooks = FaultInjector::Hooks;
+
+  SocketFaultInjector(sim::Simulator& simulator,
+                      net::SocketTransport& transport, FaultPlan plan,
+                      Hooks hooks = {});
+  ~SocketFaultInjector();
+
+  SocketFaultInjector(const SocketFaultInjector&) = delete;
+  SocketFaultInjector& operator=(const SocketFaultInjector&) = delete;
+
+  // Installs the shim on the transport and schedules every timed event.
+  // Call exactly once, before running past the plan's earliest event.
+  void arm();
+
+  [[nodiscard]] FrameShim& shim() { return shim_; }
+  [[nodiscard]] const FrameShim& shim() const { return shim_; }
+  [[nodiscard]] const FaultPlan& plan() const { return shim_.plan(); }
+
+ private:
+  sim::Simulator& sim_;
+  net::SocketTransport& transport_;
+  Hooks hooks_;
+  FrameShim shim_;
+  bool armed_ = false;
+};
+
+}  // namespace p2prm::fault

@@ -1,0 +1,58 @@
+// The frame-granularity fault interface of the socket transport.
+//
+// net::SocketTransport consults an installed FrameFaultShim on every
+// outbound frame (drop/delay/duplicate verdicts) and on every inbound
+// dispatch (active partition cuts), and watches partition_epoch() to reset
+// TCP sessions that cross a freshly declared cut — the socket-mode
+// equivalent of the sim Network's FaultHook + set_partition().
+//
+// The interface lives in net (below fault in the layering) so the
+// transport needs no fault dependency; the production implementation is
+// fault::FrameShim (src/fault/frame_shim.hpp), which executes a
+// fault::FaultPlan. Determinism contract: on_frame() must be a pure
+// function of (plan, from, to, link_seq) — never of wall time or call
+// order across links — so every process of a deployment, each seeing only
+// its own traffic, makes identical per-frame decisions, and two runs of
+// the same seed produce identical decision logs for identical frame
+// sequences. See docs/TRANSPORT.md ("Socket-mode fault injection").
+#pragma once
+
+#include <cstdint>
+
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace p2prm::net {
+
+// One verdict per outbound frame (mirrors net::FaultDecision, at frame
+// rather than message granularity).
+struct FrameFaultVerdict {
+  bool drop = false;
+  // Hold the frame back this long (sim time, scaled to wall time by the
+  // transport) before flushing it — Delay/Jitter/Reorder at TCP
+  // granularity. Later frames on the link overtake it.
+  util::SimDuration extra_delay = 0;
+  // When > 0, flush a second copy of the frame this long after the first.
+  util::SimDuration duplicate_after = 0;
+};
+
+class FrameFaultShim {
+ public:
+  virtual ~FrameFaultShim() = default;
+
+  // Verdict for the link_seq-th frame ever sent on the ordered (from, to)
+  // link. `bytes` is the full frame size (header + body + trailer).
+  virtual FrameFaultVerdict on_frame(util::PeerId from, util::PeerId to,
+                                     std::uint64_t link_seq,
+                                     std::size_t bytes) = 0;
+
+  // True when an active scheduled partition separates a and b (islands as
+  // in net::Network::set_partition). Consulted on send and on dispatch.
+  [[nodiscard]] virtual bool severed(util::PeerId a, util::PeerId b) const = 0;
+
+  // Bumped on every partition start/heal. The transport polls it each
+  // pump() and resets the TCP sessions that cross a new cut.
+  [[nodiscard]] virtual std::uint64_t partition_epoch() const = 0;
+};
+
+}  // namespace p2prm::net

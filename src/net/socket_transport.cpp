@@ -14,10 +14,13 @@
 #include <stdexcept>
 
 #include "net/message.hpp"
+#include "util/logging.hpp"
 
 namespace p2prm::net {
 
 namespace {
+
+constexpr const char* kLog = "net";
 
 void set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
@@ -100,6 +103,9 @@ void SocketTransport::attach(util::PeerId peer, LinkCapacity /*capacity*/,
   }
   set_nonblocking(fd);
   ep.listen_fd = fd;
+  P2PRM_LOG(Debug, kLog, -1.0)
+      << "peer " << peer << " listening on " << config_.host << ":"
+      << port_of(peer);
 }
 
 void SocketTransport::detach(util::PeerId peer) {
@@ -130,7 +136,9 @@ SocketTransport::Session& SocketTransport::session_to(util::PeerId to) {
 void SocketTransport::start_connect(util::PeerId to, Session& s) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
-    fail_session(s);
+    P2PRM_LOG(Debug, kLog, -1.0)
+        << "session to " << to << ": socket() failed: " << strerror(errno);
+    fail_session(to, s);
     return;
   }
   set_nonblocking(fd);
@@ -143,7 +151,8 @@ void SocketTransport::start_connect(util::PeerId to, Session& s) {
   if (rc == 0) {
     if (self_connected(fd)) {
       ::close(fd);
-      fail_session(s);
+      P2PRM_LOG(Trace, kLog, -1.0) << "session to " << to << ": self-connect";
+      fail_session(to, s);
       return;
     }
     s.fd = fd;
@@ -153,15 +162,21 @@ void SocketTransport::start_connect(util::PeerId to, Session& s) {
     s.fd = fd;
     s.state = LinkState::Connecting;
   } else {
+    const int saved = errno;
     ::close(fd);
-    fail_session(s);
+    P2PRM_LOG(Trace, kLog, -1.0)
+        << "session to " << to << ": connect() failed: " << strerror(saved);
+    fail_session(to, s);
   }
 }
 
-void SocketTransport::fail_session(Session& s) {
+void SocketTransport::fail_session(util::PeerId to, Session& s) {
   close_fd(s.fd);
   // Everything queued was addressed to a peer we now know is unreachable.
   stats_.messages_undeliverable += s.out_frames;
+  P2PRM_LOG(Debug, kLog, -1.0)
+      << "session to " << to << " failed (attempt " << s.attempt << ", "
+      << s.out_frames << " queued frames dropped)";
   s.out.clear();
   s.out_off = 0;
   s.out_frames = 0;
@@ -181,10 +196,56 @@ void SocketTransport::send(util::PeerId from, util::PeerId to,
   ++stats_.messages_sent;
   ++stats_.per_type_count[name];
 
+  // The shim is consulted before any connection state: its verdicts must
+  // depend only on (plan, from, to, link_seq), and link_seq counts frames
+  // *offered* to the link — backoff and reconnect timing are wall-clock
+  // noise that must not perturb the decision stream.
+  FrameFaultVerdict verdict;
+  if (shim_ != nullptr) {
+    if (shim_->severed(from, to)) {
+      ++stats_.messages_partitioned;
+      return;
+    }
+    const std::uint64_t seq = link_seq_[{from.value(), to.value()}]++;
+    verdict = shim_->on_frame(from, to, seq,
+                              message->wire_size() + kFrameCrcBytes);
+    if (verdict.drop) {
+      ++stats_.messages_fault_dropped;
+      return;
+    }
+  }
+
   Session& s = session_to(to);
   if (s.state == LinkState::Backoff && Clock::now() >= s.retry_at) {
     start_connect(to, s);
   }
+
+  if (verdict.extra_delay > 0 || verdict.duplicate_after > 0) {
+    // Delay/Reorder/Duplicate at TCP granularity: encode to a side buffer
+    // and flush from pump() once the deadline passes; later frames on the
+    // link overtake the held one.
+    HeldFrame held;
+    held.from = from;
+    held.to = to;
+    encode_frame(from, to, *message, held.frame);
+    stats_.bytes_sent += held.frame.size();
+    stats_.per_type_bytes[name] += held.frame.size();
+    const auto now = Clock::now();
+    held.release = now + scaled(verdict.extra_delay);
+    if (verdict.extra_delay > 0) ++stats_.messages_delayed;
+    if (verdict.duplicate_after > 0) {
+      HeldFrame copy = held;
+      copy.release =
+          now + scaled(verdict.extra_delay + verdict.duplicate_after);
+      ++stats_.messages_duplicated;
+      stats_.bytes_sent += copy.frame.size();
+      stats_.per_type_bytes[name] += copy.frame.size();
+      held_.push_back(std::move(copy));
+    }
+    held_.push_back(std::move(held));
+    return;
+  }
+
   if (s.state == LinkState::Backoff) {
     ++stats_.messages_undeliverable;
     return;
@@ -203,6 +264,70 @@ void SocketTransport::send(util::PeerId from, util::PeerId to,
   stats_.per_type_bytes[name] += frame_bytes;
 }
 
+void SocketTransport::set_fault_shim(FrameFaultShim* shim) {
+  shim_ = shim;
+  shim_epoch_seen_ = shim != nullptr ? shim->partition_epoch() : 0;
+}
+
+void SocketTransport::release_held(Clock::time_point now) {
+  for (std::size_t i = 0; i < held_.size();) {
+    if (held_[i].release > now) {
+      ++i;
+      continue;
+    }
+    HeldFrame held = std::move(held_[i]);
+    held_.erase(held_.begin() + static_cast<std::ptrdiff_t>(i));
+    // A cut declared while the frame was in the delay queue swallows it —
+    // same as a message in flight when the sim partitions.
+    if (shim_ != nullptr && shim_->severed(held.from, held.to)) {
+      ++stats_.messages_partitioned;
+      continue;
+    }
+    Session& s = session_to(held.to);
+    if (s.state == LinkState::Backoff && now >= s.retry_at) {
+      start_connect(held.to, s);
+    }
+    if (s.state == LinkState::Backoff) {
+      ++stats_.messages_undeliverable;
+      continue;
+    }
+    if (s.out.size() - s.out_off + held.frame.size() >
+        config_.max_queued_bytes) {
+      ++stats_.messages_undeliverable;
+      continue;
+    }
+    s.out.insert(s.out.end(), held.frame.begin(), held.frame.end());
+    ++s.out_frames;
+  }
+}
+
+void SocketTransport::apply_partition_resets() {
+  // Model the cut as real TCP faults: sessions crossing it are reset
+  // (queued frames become undeliverable, reconnects back off) — but only
+  // when *every* attached local peer is severed from the remote, because a
+  // session is shared by all local senders and resetting a link that
+  // still carries permitted traffic would overshoot the plan.
+  for (auto& [id, s] : sessions_) {
+    if (s.fd < 0) continue;
+    bool any_sender = false, all_severed = true;
+    for (const auto& [local, ep] : endpoints_) {
+      // The remote's own local endpoint (single-process loopback runs) is
+      // never a sender on this session and a peer is never severed from
+      // itself — it must not veto the reset.
+      if (local == id) continue;
+      any_sender = true;
+      if (!shim_->severed(util::PeerId{local}, util::PeerId{id})) {
+        all_severed = false;
+        break;
+      }
+    }
+    if (any_sender && all_severed) {
+      ++stats_.sessions_reset;
+      fail_session(util::PeerId{id}, s);
+    }
+  }
+}
+
 util::SimDuration SocketTransport::estimate_delay(util::PeerId /*a*/,
                                                   util::PeerId /*b*/,
                                                   std::size_t bytes) const {
@@ -218,13 +343,14 @@ void SocketTransport::publish(obs::MetricsRegistry& registry,
 }
 
 bool SocketTransport::flushed() const {
+  if (!held_.empty()) return false;
   for (const auto& [id, s] : sessions_) {
     if (s.state != LinkState::Backoff && s.out.size() > s.out_off) return false;
   }
   return true;
 }
 
-void SocketTransport::drain_writes(Session& s) {
+void SocketTransport::drain_writes(util::PeerId to, Session& s) {
   while (s.out_off < s.out.size()) {
     const ssize_t n = ::send(s.fd, s.out.data() + s.out_off,
                              s.out.size() - s.out_off, MSG_NOSIGNAL);
@@ -233,7 +359,9 @@ void SocketTransport::drain_writes(Session& s) {
     } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       break;
     } else {
-      fail_session(s);
+      P2PRM_LOG(Trace, kLog, -1.0)
+          << "session to " << to << ": write failed: " << strerror(errno);
+      fail_session(to, s);
       return;
     }
   }
@@ -251,10 +379,23 @@ void SocketTransport::drain_writes(Session& s) {
 
 void SocketTransport::deliver_frame(const std::uint8_t* data, std::size_t len,
                                     std::size_t& delivered) {
-  Reader r(data, len);
+  // Integrity gate before any decode: a frame whose CRC-32C trailer does
+  // not match is counted and dropped whole — the session stays up, because
+  // corruption of one frame says nothing about stream framing.
+  if (!frame_crc_ok(data, len)) {
+    ++stats_.frames_corrupt;
+    return;
+  }
+  Reader r(data, len - kFrameCrcBytes);
   const FrameHeader h = read_frame_header(r);
   if (!r.ok()) {
     ++stats_.messages_dropped;
+    return;
+  }
+  if (shim_ != nullptr && shim_->severed(h.from, h.to)) {
+    // The frame crossed a cut declared while it was in flight (or was sent
+    // by a process that had not yet fired the partition event).
+    ++stats_.messages_partitioned;
     return;
   }
   auto ep = endpoints_.find(h.to.value());
@@ -292,7 +433,7 @@ bool SocketTransport::read_frames(Inbound& in, std::size_t& delivered) {
   while (in.buf.size() - off >= 4) {
     std::uint32_t len = 0;
     std::memcpy(&len, in.buf.data() + off, sizeof len);
-    if (len < kFrameHeaderBytes - 4 || len > kMaxFrameBytes) {
+    if (len < kFrameHeaderBytes - 4 + kFrameCrcBytes || len > kMaxFrameBytes) {
       return false;  // corrupt stream: desynced framing, drop the connection
     }
     if (in.buf.size() - off - 4 < len) break;  // frame incomplete
@@ -306,9 +447,16 @@ bool SocketTransport::read_frames(Inbound& in, std::size_t& delivered) {
 }
 
 std::size_t SocketTransport::pump(int timeout_ms) {
+  const auto now = Clock::now();
+  if (shim_ != nullptr) {
+    if (shim_->partition_epoch() != shim_epoch_seen_) {
+      shim_epoch_seen_ = shim_->partition_epoch();
+      apply_partition_resets();
+    }
+    release_held(now);
+  }
   // Retry sessions whose backoff expired (opportunistically, even with no
   // fresh send: heartbeat traffic depends on the link coming back).
-  const auto now = Clock::now();
   for (auto& [id, s] : sessions_) {
     if (s.state == LinkState::Backoff && now >= s.retry_at) {
       start_connect(util::PeerId{id}, s);
@@ -377,13 +525,17 @@ std::size_t SocketTransport::pump(int timeout_ms) {
           ::getsockopt(s.fd, SOL_SOCKET, SO_ERROR, &err, &len);
           if (err != 0 || (fds[i].revents & (POLLERR | POLLHUP)) != 0 ||
               self_connected(s.fd)) {
-            fail_session(s);
+            P2PRM_LOG(Trace, kLog, -1.0)
+                << "session to " << util::PeerId{ref.id} << " (port "
+                << port_of(util::PeerId{ref.id})
+                << "): async connect failed: " << strerror(err);
+            fail_session(util::PeerId{ref.id}, s);
             break;
           }
           s.state = LinkState::Connected;
           s.attempt = 0;
         }
-        if (s.state == LinkState::Connected) drain_writes(s);
+        if (s.state == LinkState::Connected) drain_writes(util::PeerId{ref.id}, s);
         break;
       }
       case Kind::Inbound: {

@@ -27,6 +27,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include <map>
+
+#include "net/fault_shim.hpp"
 #include "net/transport.hpp"
 #include "net/wire.hpp"
 #include "util/backoff.hpp"
@@ -101,6 +104,17 @@ class SocketTransport final : public Transport {
 
   [[nodiscard]] std::uint16_t port_of(util::PeerId peer) const;
 
+  // --- fault shim ------------------------------------------------------------
+  // Install (or clear, with nullptr) the frame-granularity fault shim.
+  // While installed, every outbound frame gets a drop/delay/duplicate
+  // verdict, frames crossing an active partition cut are blackholed on
+  // send *and* dispatch, and pump() resets TCP sessions that cross a
+  // freshly declared cut (counted net.socket.reset). The shim outlives
+  // this transport's use of it — callers own the lifetime
+  // (fault::SocketFaultInjector clears the pointer on destruction).
+  void set_fault_shim(FrameFaultShim* shim);
+  [[nodiscard]] FrameFaultShim* fault_shim() const { return shim_; }
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -129,18 +143,33 @@ class SocketTransport final : public Transport {
     Handler handler;
   };
 
+  // One frame held back by a shim Delay/Reorder verdict (or the trailing
+  // copy of a Duplicate verdict), released into its session's out buffer
+  // once `release` passes.
+  struct HeldFrame {
+    Clock::time_point release{};
+    util::PeerId from;
+    util::PeerId to;
+    std::vector<std::uint8_t> frame;
+  };
+
   Session& session_to(util::PeerId to);
   void start_connect(util::PeerId to, Session& s);
   // Connection refused/reset/exhausted queue: drop pending frames as
   // undeliverable and schedule the next connect attempt.
-  void fail_session(Session& s);
-  void drain_writes(Session& s);
+  void fail_session(util::PeerId to, Session& s);
+  void drain_writes(util::PeerId to, Session& s);
   // Reads as much as is available, slicing complete frames off the front
   // of the buffer. Returns false when the connection died.
   bool read_frames(Inbound& in, std::size_t& delivered);
   void deliver_frame(const std::uint8_t* data, std::size_t len,
                      std::size_t& delivered);
   [[nodiscard]] Clock::duration scaled(util::SimDuration d) const;
+  // Move due held frames into their sessions' out buffers.
+  void release_held(Clock::time_point now);
+  // After a partition epoch change: reset every session whose remote is
+  // severed from all attached local peers.
+  void apply_partition_resets();
 
   SocketConfig config_;
   Decoder decoder_;
@@ -149,6 +178,12 @@ class SocketTransport final : public Transport {
   std::unordered_map<std::uint64_t, Session> sessions_;
   std::vector<Inbound> inbound_;
   util::Rng backoff_rng_{0x5eeded};
+
+  FrameFaultShim* shim_ = nullptr;
+  std::uint64_t shim_epoch_seen_ = 0;
+  // Frames offered per ordered (from, to) link — the shim's decision index.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> link_seq_;
+  std::vector<HeldFrame> held_;
 };
 
 }  // namespace p2prm::net

@@ -18,6 +18,13 @@ void publish_stats(const NetworkStats& stats, obs::MetricsRegistry& registry,
       .set(stats.messages_duplicated);
   registry.counter("net.messages_delayed", labels).set(stats.messages_delayed);
   registry.counter("net.bytes_sent", labels).set(stats.bytes_sent);
+  // Socket-mode fault/integrity series (docs/TRANSPORT.md). Same loss
+  // signal RM failure detection consumes; all 0 under the sim transport.
+  registry.counter("net.socket.corrupt", labels).set(stats.frames_corrupt);
+  registry.counter("net.socket.dropped", labels)
+      .set(stats.messages_fault_dropped);
+  registry.counter("net.socket.delayed", labels).set(stats.messages_delayed);
+  registry.counter("net.socket.reset", labels).set(stats.sessions_reset);
   for (const auto& [type, count] : stats.per_type_count) {
     obs::Labels typed = labels;
     typed.emplace_back("type", type);

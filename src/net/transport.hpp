@@ -46,6 +46,9 @@ struct NetworkStats {
   std::uint64_t messages_fault_dropped = 0;  // dropped by a FaultHook
   std::uint64_t messages_duplicated = 0;     // extra copies from a FaultHook
   std::uint64_t messages_delayed = 0;        // extra delay from a FaultHook
+  // Socket-only (always 0 on the sim transport):
+  std::uint64_t frames_corrupt = 0;   // CRC-32C trailer mismatch, dropped
+  std::uint64_t sessions_reset = 0;   // TCP sessions reset by a partition cut
   std::uint64_t bytes_sent = 0;
   // Keyed by Message::type_name(). std::map keeps report output sorted.
   std::map<std::string, std::uint64_t> per_type_count;

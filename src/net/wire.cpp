@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "net/message.hpp"
+#include "util/crc32c.hpp"
 
 namespace p2prm::net {
 
@@ -18,8 +19,17 @@ void encode_frame(util::PeerId from, util::PeerId to, const Message& message,
   w.id(to);
   w.u16(static_cast<std::uint16_t>(message.wire_type()));
   message.encode_body(w);
+  // CRC-32C over everything between the length prefix and the trailer.
+  w.u32(util::crc32c(out.data() + start + 4, out.size() - start - 4));
   const std::uint32_t len = static_cast<std::uint32_t>(out.size() - start - 4);
   std::memcpy(out.data() + start, &len, sizeof len);
+}
+
+bool frame_crc_ok(const std::uint8_t* post_len, std::size_t len) {
+  if (len < kFrameHeaderBytes - 4 + kFrameCrcBytes) return false;
+  std::uint32_t trailer = 0;
+  std::memcpy(&trailer, post_len + len - kFrameCrcBytes, sizeof trailer);
+  return util::crc32c(post_len, len - kFrameCrcBytes) == trailer;
 }
 
 FrameHeader read_frame_header(Reader& r) {

@@ -6,13 +6,25 @@
 //
 // Frame layout (little-endian), as produced by encode_frame():
 //
-//   [u32 length][u64 from][u64 to][u16 tag][body...]
+//   [u32 length][u64 from][u64 to][u16 tag][body...][u32 crc]
 //
-// `length` counts everything after itself (from, to, tag, body), so a
+// `length` counts everything after itself (from, to, tag, body, crc), so a
 // stream reader needs exactly 4 bytes before it knows how much to buffer.
-// Message::wire_size() == the full frame size (kFrameHeaderBytes + body),
-// which keeps the simulator's traffic accounting byte-identical to what
-// the socket transport actually transmits.
+// The trailer is the CRC-32C (util/crc32c.hpp) of everything between the
+// length prefix and the trailer; a receiver verifies it before attempting
+// any decode, counts mismatches (net.socket.corrupt) and drops the frame
+// while keeping the connection alive.
+//
+// Frame format version 2 (version 1 had no trailer). The bump is a
+// socket-wire concern only and is NOT reflected in Message::wire_size():
+// wire_size() == kFrameHeaderBytes + body, exactly as in v1, so the
+// simulator's traffic accounting — and every golden trace and digest
+// recorded against it — is unchanged. The sim transport never frames
+// messages at all; on a real socket the 4-byte trailer rides inside the
+// per-message envelope allowance (net::kEnvelopeBytes) that already
+// stands in for unmodelled framing overhead. All processes of one
+// deployment run the same binary (the plan is rebuilt from one seed), so
+// the version is negotiated by construction rather than on the wire.
 //
 // Tag ranges (gaps left for growth; values are wire-stable, never reuse):
 //   0x0001 - 0x001F  overlay membership protocol
@@ -76,6 +88,10 @@ enum class WireType : std::uint16_t {
 
 // [u32 length][u64 from][u64 to][u16 tag] — prepended to every body.
 inline constexpr std::size_t kFrameHeaderBytes = 4 + 8 + 8 + 2;
+// [u32 crc] — CRC-32C trailer appended after every body (frame format v2).
+inline constexpr std::size_t kFrameCrcBytes = 4;
+// Socket frame format version. v1: no trailer. v2: CRC-32C trailer.
+inline constexpr std::uint32_t kFrameVersion = 2;
 // Largest frame the socket transport will accept before declaring the
 // stream corrupt. Generous: the biggest real frames are BackupSync
 // snapshots and StreamData payloads (tens of MB of modelled media).
@@ -90,13 +106,21 @@ struct FrameHeader {
   WireType type = WireType::Invalid;
 };
 
-// Serializes a full frame (header + tag + body). The result's size equals
-// message.wire_size() — enforced by the codec round-trip test.
+// Serializes a full frame (header + tag + body + crc trailer). The result's
+// size equals message.wire_size() + kFrameCrcBytes — enforced by the codec
+// round-trip test (wire_size() itself excludes the trailer; see above).
 void encode_frame(util::PeerId from, util::PeerId to, const Message& message,
                   std::vector<std::uint8_t>& out);
 
+// Verifies the CRC-32C trailer of one frame. `post_len` spans the frame
+// *after* the u32 length prefix (`len` bytes: from/to/tag/body/crc).
+// Returns false for frames too short to carry a trailer.
+[[nodiscard]] bool frame_crc_ok(const std::uint8_t* post_len, std::size_t len);
+
 // Parses the 18-byte post-length header (from/to/tag) and positions `r` at
-// the body. `r` must span the frame *after* the u32 length prefix.
+// the body. `r` must span the frame *after* the u32 length prefix; callers
+// that received the frame off a socket must check frame_crc_ok() first and
+// exclude the trailer from the Reader's span.
 [[nodiscard]] FrameHeader read_frame_header(Reader& r);
 
 }  // namespace p2prm::net

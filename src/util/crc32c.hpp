@@ -1,0 +1,24 @@
+// CRC-32C (Castagnoli) — the frame integrity checksum of the socket
+// transport (net/wire.hpp, docs/TRANSPORT.md).
+//
+// Software, table-driven, no hardware dependency: the control plane's
+// frame rate is a few thousand frames per second, so a byte-at-a-time
+// table walk is far from any hot path. The Castagnoli polynomial
+// (0x1EDC6F41, reflected 0x82F63B78) is the iSCSI/ext4 choice: Hamming
+// distance 4 up to 2^31-1 bits, so every 1-3 bit error in any frame the
+// transport will ever carry is detected, and random corruption slips
+// through with probability ~2^-32.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace p2prm::util {
+
+// Running CRC: pass the previous return value as `seed` to extend a
+// checksum over discontiguous buffers. The single-shot call is
+// crc32c(data, len).
+[[nodiscard]] std::uint32_t crc32c(const std::uint8_t* data, std::size_t len,
+                                   std::uint32_t seed = 0);
+
+}  // namespace p2prm::util

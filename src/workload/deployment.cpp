@@ -84,6 +84,26 @@ DeploymentPlan DeploymentPlan::build(const DeploymentConfig& config) {
   return plan;
 }
 
+fault::FaultPlan DeploymentPlan::fault_plan() const {
+  fault::FaultPlan plan;
+  plan.seed = config.fault_seed != 0 ? config.fault_seed
+                                     : config.seed * 1000003 + 7;
+  plan.default_link.drop_probability = config.fault_loss;
+  plan.default_link.duplicate_probability = config.fault_duplicate;
+  plan.default_link.reorder_probability = config.fault_reorder;
+  plan.default_link.extra_delay = config.fault_delay;
+  plan.default_link.delay_jitter = config.fault_jitter;
+  if (config.partition_hold > 0 && config.peers > 1) {
+    // Isolate the bootstrap RM (peer 0) by explicit id: it becomes island 1
+    // and every unlisted peer stays on island 0. isolate_primary_rm would
+    // resolve the victim from the local RM table at fire time, which a
+    // process hosting a non-RM slice of the deployment cannot do.
+    const util::SimTime at = config.workload_start() + config.partition_at;
+    plan.add_partition(at, at + config.partition_hold, {{util::PeerId{0}}});
+  }
+  return plan;
+}
+
 core::SystemConfig DeploymentPlan::system_config(
     core::TransportKind transport, std::uint32_t first_peer_index) const {
   core::SystemConfig sc;
@@ -128,10 +148,14 @@ void DeploymentPlan::schedule(core::System& system, std::uint32_t first,
 
 DeploymentOutcome DeploymentPlan::run(core::TransportKind transport) const {
   core::System system(system_config(transport, 0));
+  if (config.faulty()) system.install_fault_plan(fault_plan());
   schedule(system, 0, static_cast<std::uint32_t>(peers.size()));
   system.run_for(config.total_duration());
   system.drain_transport(/*wall_ms=*/500);
-  return DeploymentOutcome::from(system.ledger());
+  DeploymentOutcome outcome = DeploymentOutcome::from(system.ledger());
+  outcome.fault_dropped = system.transport().stats().messages_fault_dropped;
+  outcome.partitioned = system.transport().stats().messages_partitioned;
+  return outcome;
 }
 
 }  // namespace p2prm::workload

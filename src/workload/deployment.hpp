@@ -20,6 +20,7 @@
 #include "core/messages.hpp"
 #include "core/peer_node.hpp"
 #include "core/system.hpp"
+#include "fault/fault_plan.hpp"
 #include "workload/heterogeneity.hpp"
 #include "workload/requests.hpp"
 
@@ -46,6 +47,28 @@ struct DeploymentConfig {
   // --- socket-mode knobs (ignored by the sim transport) -----------------------
   std::uint16_t base_port = 19000;  // peer i listens on base_port + i
   double time_scale = 1.0;          // wall-seconds per sim-second
+
+  // --- fault injection (both transports; docs/FAULT_MODEL.md) ---------------
+  // A non-trivial block makes DeploymentPlan::fault_plan() non-empty; the
+  // plan is a pure function of this config, so every process of a
+  // deployment rebuilds the identical plan and shims its frames the same
+  // way (the per-frame decisions hash (fault_seed, from, to, link_seq)).
+  std::uint64_t fault_seed = 0;         // 0 = derive from `seed`
+  double fault_loss = 0.0;              // uniform drop probability, [0,1]
+  double fault_duplicate = 0.0;         // deliver one extra copy
+  double fault_reorder = 0.0;           // hold back, let later sends overtake
+  util::SimDuration fault_delay = 0;    // fixed extra one-way delay
+  util::SimDuration fault_jitter = 0;   // plus U[0, jitter] per message
+  // Partition: cut peer 0 (the bootstrap RM) off from everyone for
+  // [partition_at, partition_at + partition_hold), relative to workload
+  // start. hold == 0 disables the partition.
+  util::SimDuration partition_at = util::seconds(2);
+  util::SimDuration partition_hold = 0;
+
+  [[nodiscard]] bool faulty() const {
+    return fault_loss > 0.0 || fault_duplicate > 0.0 || fault_reorder > 0.0 ||
+           fault_delay > 0 || fault_jitter > 0 || partition_hold > 0;
+  }
 
   HeterogeneityConfig het{};
   PopulationConfig population{};
@@ -87,6 +110,11 @@ struct DeploymentOutcome {
   std::size_t orphaned = 0;
   std::size_t pending = 0;
 
+  // Transport-level fault evidence (filled by run(), zero in from()):
+  // proves an injected plan actually fired rather than silently no-opping.
+  std::uint64_t fault_dropped = 0;  // frames/messages dropped by the plan
+  std::uint64_t partitioned = 0;    // blackholed by an active partition
+
   [[nodiscard]] static DeploymentOutcome from(const core::TaskLedger& ledger);
 };
 
@@ -100,6 +128,12 @@ struct DeploymentPlan {
   // included — they are minted by a throwaway System seeded from the
   // config, never by the live one).
   [[nodiscard]] static DeploymentPlan build(const DeploymentConfig& config);
+
+  // The deployment's fault plan (empty when !config.faulty()). Seed-pure
+  // and built from explicit peer ids only — never "the current primary RM",
+  // which a process hosting a non-RM slice could not resolve — so every
+  // process of the deployment installs a byte-identical plan.
+  [[nodiscard]] fault::FaultPlan fault_plan() const;
 
   // SystemConfig for the process hosting peers [first, last) of this plan.
   // Socket mode gives each process a disjoint id space derived from

@@ -4,12 +4,15 @@
 // message instances, and the test pins the three codec contracts the
 // socket transport depends on:
 //
-//   1. encode_frame() output size == Message::wire_size() exactly (the sim
-//      Network charges transmission for wire_size() bytes, so the two
-//      transports account identical traffic),
+//   1. encode_frame() output size == Message::wire_size() +
+//      kFrameCrcBytes exactly (the sim Network charges transmission for
+//      wire_size() bytes — the CRC-32C trailer is a socket-wire concern
+//      that rides inside the envelope allowance; see net/wire.hpp),
 //   2. decode(encode(m)) re-encodes byte-identically (lossless codec),
 //   3. truncated bodies decode to nullptr, never UB (a corrupt or hostile
-//      stream drops frames instead of taking the process down).
+//      stream drops frames instead of taking the process down),
+//   4. corrupting any 1-4 bits/bytes of a valid frame is rejected by a
+//      receiver-side gate (length sanity or CRC) before any decode runs.
 //
 // The generator table is keyed by WireType and checked for completeness
 // against the registry, so adding a message type without a generator here
@@ -426,12 +429,18 @@ TEST(CodecRegistry, RoundTripIsExactAndSized) {
       EXPECT_EQ(original->type_name(), e.type_name);
 
       const auto frame = frame_of(*original, from, to);
-      // Contract 1: honest sizes — the frame occupies exactly wire_size().
-      ASSERT_EQ(frame.size(), original->wire_size())
+      // Contract 1: honest sizes — the frame occupies exactly wire_size()
+      // plus the CRC trailer, and a pristine frame passes the CRC gate.
+      ASSERT_EQ(frame.size(), original->wire_size() + net::kFrameCrcBytes)
+          << e.type_name << " iter " << iter;
+      ASSERT_TRUE(net::frame_crc_ok(frame.data() + 4, frame.size() - 4))
           << e.type_name << " iter " << iter;
 
       // Contract 2: decode is lossless; the re-encoded frame is identical.
-      net::Reader r(frame.data() + 4, frame.size() - 4);
+      // The Reader spans the post-length region minus the trailer, exactly
+      // as the socket transport slices it after the CRC check.
+      const std::size_t span = frame.size() - 4 - net::kFrameCrcBytes;
+      net::Reader r(frame.data() + 4, span);
       const net::FrameHeader header = net::read_frame_header(r);
       ASSERT_TRUE(r.ok());
       EXPECT_EQ(header.from, from);
@@ -443,7 +452,7 @@ TEST(CodecRegistry, RoundTripIsExactAndSized) {
           << e.type_name << " iter " << iter;
 
       // The tag-dispatch entry point resolves to the same decoder.
-      net::Reader r2(frame.data() + 4, frame.size() - 4);
+      net::Reader r2(frame.data() + 4, span);
       (void)net::read_frame_header(r2);
       EXPECT_NE(core::decode_message(e.type, r2), nullptr);
     }
@@ -477,6 +486,68 @@ TEST(CodecRegistry, TruncatedBodiesDecodeToNull) {
       }
     }
   }
+}
+
+// Contract 4: frame corruption never reaches a decoder. Models the exact
+// gate order of SocketTransport::read_frames()/deliver_frame(): the u32
+// length prefix is checked for sanity and stream agreement first (a
+// corrupted prefix desyncs framing and kills the connection), then the
+// CRC-32C trailer is verified over everything after the prefix; only a
+// frame that passes both is decoded. Every injected corruption — 1-4
+// random bit flips or byte overwrites anywhere in the frame, length
+// prefix included — must be caught by one of the two gates. Deterministic
+// seeds: the corpus is fixed, so detection is 100%, not probabilistic.
+TEST(CodecRegistry, CorruptedFramesAreAlwaysRejected) {
+  const auto generators = make_generators();
+  util::Rng rng(0xbadc4c);
+  std::size_t injected = 0, caught_by_length = 0, caught_by_crc = 0;
+  for (const auto& e : core::wire_registry()) {
+    const auto it = generators.find(e.type);
+    ASSERT_NE(it, generators.end()) << e.type_name;
+    for (int iter = 0; iter < 200; ++iter) {
+      const net::MessagePtr original = it->second(rng);
+      const auto frame =
+          frame_of(*original, util::PeerId{rng.below(1u << 16)},
+                   util::PeerId{rng.below(1u << 16)});
+
+      auto corrupted = frame;
+      const std::uint64_t flips = 1 + rng.below(4);
+      for (std::uint64_t f = 0; f < flips; ++f) {
+        const std::size_t pos = rng.below(corrupted.size());
+        if (rng.bernoulli(0.5)) {
+          corrupted[pos] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+        } else {
+          corrupted[pos] ^=
+              static_cast<std::uint8_t>(1 + rng.below(255));  // byte rewrite
+        }
+      }
+      if (corrupted == frame) continue;  // XOR flips cancelled out
+      ++injected;
+
+      // Gate 1 — framing: the length prefix must both pass the sanity
+      // bounds and agree with the bytes actually on the stream.
+      net::Reader len_r(corrupted.data(), 4);
+      const std::uint32_t len = len_r.u32();
+      const bool framing_ok =
+          len == corrupted.size() - 4 &&
+          len >= net::kFrameHeaderBytes - 4 + net::kFrameCrcBytes &&
+          len <= net::kMaxFrameBytes;
+      if (!framing_ok) {
+        ++caught_by_length;
+        continue;
+      }
+      // Gate 2 — CRC: must reject before any decode is attempted.
+      const bool crc_ok = net::frame_crc_ok(corrupted.data() + 4, len);
+      EXPECT_FALSE(crc_ok) << e.type_name << " iter " << iter
+                           << ": corruption slipped past both gates";
+      caught_by_crc += !crc_ok;
+    }
+  }
+  // The corpus is large and both gates fired: 26 types x 200 iters minus
+  // the rare cancelled flips, split between prefix and post-prefix hits.
+  EXPECT_EQ(injected, caught_by_length + caught_by_crc);
+  EXPECT_GT(caught_by_length, 0u);
+  EXPECT_GT(caught_by_crc, 0u);
 }
 
 TEST(CodecRegistry, UnknownTagDecodesToNull) {

@@ -205,7 +205,8 @@ RunResult run_faulted_world(std::uint64_t plan_seed) {
   plan.default_link.reorder_probability = 0.05;
   plan.isolate_primary_rm(t0 + util::seconds(10), t0 + util::seconds(15));
   plan.crash_restart_primary_rm(t0 + util::seconds(20), t0 + util::seconds(28));
-  auto& injector = system.install_fault_plan(std::move(plan));
+  system.install_fault_plan(std::move(plan));
+  auto& injector = *system.fault_injector();
 
   workload::RequestConfig rc;
   workload::RequestSynthesizer synth(catalog, population, rc);

@@ -1,19 +1,37 @@
 // Sim-vs-loopback equivalence (the tentpole proof obligation of the
 // transport redesign, see docs/TRANSPORT.md).
 //
-// The same benign DeploymentPlan runs twice — once on the deterministic sim
-// Network, once over real loopback TCP — and must reach the *same steady
-// state at the ledger level*: every planned submission submitted, admitted
-// and completed, nothing rejected/failed/orphaned, on both transports. The
-// claim is deliberately about terminal counts, not timing: socket delivery
-// order across peer pairs is scheduling-dependent, so byte-level digests
-// would not be stable, but a benign workload's outcome is.
+// The same DeploymentPlan runs twice — once on the deterministic sim
+// Network, once over real loopback TCP — and must reach the same steady
+// state at the ledger level. The claim is deliberately about terminal
+// counts, not timing: socket delivery order across peer pairs is
+// scheduling-dependent, so byte-level digests would not be stable, but
+// the workload's outcome is.
 //
-// Labelled `long`: three seeds, each running a full (accelerated) realtime
+// Three fault profiles per seed (docs/FAULT_MODEL.md), with a layered
+// contract:
+//   benign     — byte-identical terminal ledgers: identical admission
+//                decisions (structural rejections included) and every
+//                admitted task completes on both transports.
+//   loss       — 3% uniform frame loss on every link. The injectors draw
+//                from different RNG streams per transport (message-level
+//                RNG vs per-frame hash shim), so they drop *different*
+//                traffic and exact completion counts may differ; what must
+//                hold on both: loss demonstrably fired, every task still
+//                got an admission decision (retried control plane), and
+//                nothing was orphaned.
+//   partition  — the bootstrap RM is cut off for 3 s mid-workload and
+//                healed long before the drain ends; both transports must
+//                blackhole traffic during the window, then reconverge to a
+//                decided, orphan-free ledger.
+//
+// Labelled `long fault`: each combo runs a full (accelerated) realtime
 // deployment of ~28 sim-seconds at time_scale 0.05.
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <string>
+#include <tuple>
 
 #include "workload/deployment.hpp"
 
@@ -21,7 +39,18 @@ namespace {
 
 using namespace p2prm;
 
-workload::DeploymentConfig config_for(std::uint64_t seed,
+enum class Profile { Benign, Loss, Partition };
+
+const char* profile_name(Profile p) {
+  switch (p) {
+    case Profile::Benign: return "Benign";
+    case Profile::Loss: return "Loss";
+    case Profile::Partition: return "Partition";
+  }
+  return "?";
+}
+
+workload::DeploymentConfig config_for(std::uint64_t seed, Profile profile,
                                       std::uint16_t base_port) {
   workload::DeploymentConfig c =
       workload::DeploymentConfig::benign(seed, /*peers=*/10);
@@ -33,46 +62,113 @@ workload::DeploymentConfig config_for(std::uint64_t seed,
   c.task_cap = 10;
   c.base_port = base_port;
   c.time_scale = 0.05;
+  switch (profile) {
+    case Profile::Benign:
+      break;
+    case Profile::Loss:
+      c.fault_loss = 0.03;
+      break;
+    case Profile::Partition:
+      c.partition_at = util::seconds(2);
+      c.partition_hold = util::seconds(3);
+      break;
+  }
   return c;
 }
 
-class TransportEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+using Combo = std::tuple<std::uint64_t, Profile>;
 
-TEST_P(TransportEquivalence, BenignPlanReachesTheSameSteadyState) {
-  const std::uint64_t seed = GetParam();
-  // Distinct port range per seed: ctest may run suites concurrently.
-  const auto base_port = static_cast<std::uint16_t>(25000 + 100 * seed);
-  const workload::DeploymentConfig config = config_for(seed, base_port);
+class TransportEquivalence : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(TransportEquivalence, PlanReachesTheSameSteadyState) {
+  const auto [seed, profile] = GetParam();
+  // Distinct port range per combo: ctest may run suites concurrently.
+  const auto index = static_cast<std::uint16_t>(
+      (seed - 1) * 3 + static_cast<std::uint16_t>(profile));
+  const auto base_port = static_cast<std::uint16_t>(25000 + 100 * index);
+  const workload::DeploymentConfig config =
+      config_for(seed, profile, base_port);
   const workload::DeploymentPlan plan = workload::DeploymentPlan::build(config);
   ASSERT_GT(plan.submissions.size(), 0u) << "degenerate plan for seed " << seed;
+  ASSERT_EQ(config.faulty(), profile != Profile::Benign);
 
   const workload::DeploymentOutcome sim =
       plan.run(core::TransportKind::Sim);
   const workload::DeploymentOutcome socket =
       plan.run(core::TransportKind::Socket);
 
-  // Both transports executed the full plan...
+  const auto dump = [](const char* label,
+                       const workload::DeploymentOutcome& o) {
+    std::cout << "  " << label << ": submitted=" << o.submitted
+              << " admitted=" << o.admitted << " completed=" << o.completed
+              << " rejected=" << o.rejected << " failed=" << o.failed
+              << " orphaned=" << o.orphaned << " pending=" << o.pending
+              << "\n";
+  };
+  dump("sim   ", sim);
+  dump("socket", socket);
+
+  // Every profile: both transports executed the full plan, the retried
+  // control plane gave every task an admission decision despite the
+  // faults, and nothing was orphaned (no peer actually died).
   EXPECT_EQ(sim.submitted, plan.submissions.size());
   EXPECT_EQ(socket.submitted, plan.submissions.size());
-  // ...and reached the identical benign steady state.
-  EXPECT_EQ(sim.completed, sim.submitted) << "sim run left work unfinished";
-  EXPECT_EQ(socket.completed, socket.submitted)
-      << "socket run left work unfinished";
-  EXPECT_EQ(sim.rejected, 0u);
-  EXPECT_EQ(socket.rejected, 0u);
-  EXPECT_EQ(sim.failed, 0u);
-  EXPECT_EQ(socket.failed, 0u);
+  EXPECT_EQ(sim.admitted + sim.rejected, sim.submitted)
+      << "sim run stranded a task without an admission decision";
+  EXPECT_EQ(socket.admitted + socket.rejected, socket.submitted)
+      << "socket run stranded a task without an admission decision";
   EXPECT_EQ(sim.orphaned, 0u);
   EXPECT_EQ(socket.orphaned, 0u);
-  EXPECT_EQ(sim.pending, 0u);
-  EXPECT_EQ(socket.pending, 0u);
 
-  EXPECT_EQ(sim.submitted, socket.submitted);
-  EXPECT_EQ(sim.admitted, socket.admitted);
-  EXPECT_EQ(sim.completed, socket.completed);
+  switch (profile) {
+    case Profile::Benign:
+      // The strong claim: byte-identical terminal ledgers. Rejections are
+      // allowed (admission control can structurally reject a plan's task)
+      // but must be the *same* deterministic decision on both transports,
+      // and everything admitted completes — nothing fails, stalls or
+      // leaks.
+      EXPECT_EQ(sim.admitted, socket.admitted);
+      EXPECT_EQ(sim.completed, socket.completed);
+      EXPECT_EQ(sim.rejected, socket.rejected);
+      EXPECT_EQ(sim.completed, sim.admitted)
+          << "sim run left admitted work unfinished";
+      EXPECT_EQ(socket.completed, socket.admitted)
+          << "socket run left admitted work unfinished";
+      EXPECT_EQ(sim.failed, 0u);
+      EXPECT_EQ(socket.failed, 0u);
+      EXPECT_EQ(sim.pending, 0u);
+      EXPECT_EQ(socket.pending, 0u);
+      EXPECT_EQ(sim.fault_dropped, 0u);
+      EXPECT_EQ(socket.fault_dropped, 0u);
+      break;
+    case Profile::Loss:
+      // The two injectors draw from different RNG streams (message-level
+      // vs per-frame hash), so they drop *different* traffic and a task
+      // whose stream lost a frame may stall on one transport and not the
+      // other. The equivalence claim is therefore about the fault layer
+      // and the control plane, not exact completion counts: loss
+      // demonstrably fired on both transports, and every decision above
+      // still held.
+      EXPECT_GT(sim.fault_dropped, 0u) << "sim injector never dropped";
+      EXPECT_GT(socket.fault_dropped, 0u) << "socket shim never dropped";
+      break;
+    case Profile::Partition:
+      // Both transports blackholed traffic during the window; after the
+      // heal the control plane reconverged (admission decisions above).
+      EXPECT_GT(sim.partitioned, 0u) << "sim partition never severed";
+      EXPECT_GT(socket.partitioned, 0u) << "socket partition never severed";
+      break;
+  }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, TransportEquivalence,
-                         ::testing::Values(1u, 2u, 3u));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, TransportEquivalence,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u),
+                       ::testing::Values(Profile::Benign, Profile::Loss,
+                                         Profile::Partition)),
+    [](const ::testing::TestParamInfo<Combo>& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) +
+             profile_name(std::get<1>(info.param));
+    });
 
 }  // namespace

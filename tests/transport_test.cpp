@@ -6,6 +6,11 @@
 // socket involved is on 127.0.0.1.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -13,7 +18,10 @@
 
 #include "core/messages.hpp"
 #include "core/wire_registry.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/frame_shim.hpp"
 #include "net/socket_transport.hpp"
+#include "net/wire.hpp"
 #include "util/ids.hpp"
 
 namespace {
@@ -161,6 +169,238 @@ TEST(SocketTransport, EstimateDelayScalesWithBytes) {
       t.estimate_delay(util::PeerId{0}, util::PeerId{1}, 10'000'000);
   EXPECT_GT(small, 0);
   EXPECT_GT(large, small);
+}
+
+// ---- frame fault shim (docs/FAULT_MODEL.md, docs/TRANSPORT.md) -------------
+
+fault::FaultPlan mixed_plan(std::uint64_t seed) {
+  fault::FaultPlan plan;
+  plan.seed = seed;
+  plan.default_link.drop_probability = 0.2;
+  plan.default_link.duplicate_probability = 0.1;
+  plan.default_link.reorder_probability = 0.1;
+  plan.default_link.extra_delay = util::milliseconds(5);
+  plan.default_link.delay_jitter = util::milliseconds(10);
+  return plan;
+}
+
+bool same_verdict(const net::FrameFaultVerdict& a,
+                  const net::FrameFaultVerdict& b) {
+  return a.drop == b.drop && a.extra_delay == b.extra_delay &&
+         a.duplicate_after == b.duplicate_after;
+}
+
+// The cross-process contract: two shims built from the same plan take the
+// same decision for every frame, byte-for-byte (decision logs fingerprint
+// identically), and a different seed diverges.
+TEST(FrameShim, SameSeedSameDecisionsDifferentSeedDiverges) {
+  fault::FrameShim a(mixed_plan(7));
+  fault::FrameShim b(mixed_plan(7));
+  fault::FrameShim c(mixed_plan(8));
+  for (std::uint64_t from = 0; from < 4; ++from) {
+    for (std::uint64_t to = 0; to < 4; ++to) {
+      if (from == to) continue;
+      for (std::uint64_t seq = 0; seq < 200; ++seq) {
+        const auto va = a.on_frame(util::PeerId{from}, util::PeerId{to}, seq,
+                                   256);
+        const auto vb = b.on_frame(util::PeerId{from}, util::PeerId{to}, seq,
+                                   256);
+        (void)c.on_frame(util::PeerId{from}, util::PeerId{to}, seq, 256);
+        ASSERT_TRUE(same_verdict(va, vb))
+            << from << "->" << to << " seq " << seq;
+      }
+    }
+  }
+  EXPECT_FALSE(a.decisions().empty());
+  EXPECT_EQ(a.decision_fingerprint(), b.decision_fingerprint());
+  EXPECT_NE(a.decision_fingerprint(), c.decision_fingerprint());
+}
+
+// Decisions are a pure function of (plan, from, to, link_seq) — the order
+// frames from different links reach the shim cannot matter, because two
+// processes of one deployment see completely different interleavings.
+TEST(FrameShim, DecisionsAreIndependentOfCallOrder) {
+  fault::FrameShim forward(mixed_plan(9));
+  fault::FrameShim reverse(mixed_plan(9));
+  struct Key {
+    std::uint64_t from, to, seq;
+  };
+  std::vector<Key> schedule;
+  for (std::uint64_t from = 0; from < 3; ++from) {
+    for (std::uint64_t to = 0; to < 3; ++to) {
+      if (from == to) continue;
+      for (std::uint64_t seq = 0; seq < 50; ++seq) {
+        schedule.push_back({from, to, seq});
+      }
+    }
+  }
+  std::vector<net::FrameFaultVerdict> fwd(schedule.size());
+  std::vector<net::FrameFaultVerdict> rev(schedule.size());
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const Key& k = schedule[i];
+    fwd[i] = forward.on_frame(util::PeerId{k.from}, util::PeerId{k.to}, k.seq,
+                              256);
+  }
+  for (std::size_t i = schedule.size(); i-- > 0;) {
+    const Key& k = schedule[i];
+    rev[i] = reverse.on_frame(util::PeerId{k.from}, util::PeerId{k.to}, k.seq,
+                              256);
+  }
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    EXPECT_TRUE(same_verdict(fwd[i], rev[i])) << "schedule index " << i;
+  }
+}
+
+TEST(FrameShim, PartitionSeversIslandsAndHeals) {
+  fault::FrameShim shim(fault::FaultPlan{});
+  EXPECT_EQ(shim.partition_epoch(), 0u);
+  EXPECT_FALSE(shim.severed(util::PeerId{1}, util::PeerId{2}));
+
+  // Peer 1 becomes island 1; unlisted peers share island 0 (the same
+  // semantics as net::Network::set_partition).
+  shim.start_partition({{util::PeerId{1}}}, util::seconds(1));
+  EXPECT_EQ(shim.partition_epoch(), 1u);
+  EXPECT_TRUE(shim.severed(util::PeerId{1}, util::PeerId{2}));
+  EXPECT_TRUE(shim.severed(util::PeerId{2}, util::PeerId{1}));
+  EXPECT_FALSE(shim.severed(util::PeerId{2}, util::PeerId{3}));
+  EXPECT_FALSE(shim.severed(util::PeerId{1}, util::PeerId{1}));
+
+  shim.heal_partition(util::seconds(2));
+  EXPECT_EQ(shim.partition_epoch(), 2u);
+  EXPECT_FALSE(shim.severed(util::PeerId{1}, util::PeerId{2}));
+  // Both edges of the window are on the decision log.
+  int starts = 0, heals = 0;
+  for (const auto& e : shim.decisions()) {
+    starts += e.action == fault::FaultAction::PartitionStart;
+    heals += e.action == fault::FaultAction::PartitionHeal;
+  }
+  EXPECT_EQ(starts, 1);
+  EXPECT_EQ(heals, 1);
+}
+
+// ---- shim wired into a live transport --------------------------------------
+
+TEST(SocketTransportFault, ShimLossOfOneDropsEverythingAtSend) {
+  net::SocketTransport t(config_at(24700), &core::decode_message);
+  fault::FrameShim shim(fault::FaultPlan::uniform_loss(1.0, 3));
+  t.set_fault_shim(&shim);
+  std::size_t delivered = 0;
+  t.attach(util::PeerId{0}, {}, [](util::PeerId, const net::Message&) {});
+  t.attach(util::PeerId{1}, {},
+           [&](util::PeerId, const net::Message&) { ++delivered; });
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    t.send(util::PeerId{0}, util::PeerId{1}, ack(i));
+  }
+  // Dropped at send: nothing was ever queued, so the transport is flushed.
+  EXPECT_EQ(t.stats().messages_fault_dropped, 20u);
+  EXPECT_TRUE(t.flushed());
+  for (int i = 0; i < 20; ++i) t.pump(1);
+  EXPECT_EQ(delivered, 0u);
+  EXPECT_EQ(t.stats().messages_sent, 20u);
+}
+
+TEST(SocketTransportFault, ShimDelayHoldsThenDeliversAll) {
+  net::SocketTransport t(config_at(24750), &core::decode_message);
+  fault::FaultPlan plan;
+  plan.seed = 5;
+  plan.default_link.extra_delay = util::milliseconds(30);
+  fault::FrameShim shim(plan);
+  t.set_fault_shim(&shim);
+  std::size_t delivered = 0;
+  t.attach(util::PeerId{0}, {}, [](util::PeerId, const net::Message&) {});
+  t.attach(util::PeerId{1}, {},
+           [&](util::PeerId, const net::Message&) { ++delivered; });
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    t.send(util::PeerId{0}, util::PeerId{1}, ack(i));
+  }
+  // Held frames keep the transport un-flushed until released and written.
+  EXPECT_EQ(t.stats().messages_delayed, 5u);
+  EXPECT_FALSE(t.flushed());
+  ASSERT_TRUE(pump_until(t, [&] { return delivered == 5; }));
+}
+
+TEST(SocketTransportFault, ShimDuplicateDeliversAnExtraCopy) {
+  net::SocketTransport t(config_at(24780), &core::decode_message);
+  fault::FaultPlan plan;
+  plan.seed = 5;
+  plan.default_link.duplicate_probability = 1.0;
+  fault::FrameShim shim(plan);
+  t.set_fault_shim(&shim);
+  std::size_t delivered = 0;
+  t.attach(util::PeerId{0}, {}, [](util::PeerId, const net::Message&) {});
+  t.attach(util::PeerId{1}, {},
+           [&](util::PeerId, const net::Message&) { ++delivered; });
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    t.send(util::PeerId{0}, util::PeerId{1}, ack(i));
+  }
+  EXPECT_EQ(t.stats().messages_duplicated, 10u);
+  ASSERT_TRUE(pump_until(t, [&] { return delivered == 20; }));
+}
+
+// A partition blackholes frames in both directions and resets the live
+// sessions that cross the cut; healing restores delivery.
+TEST(SocketTransportFault, PartitionBlackholesResetsThenHeals) {
+  net::SocketTransport t(config_at(24800), &core::decode_message);
+  fault::FrameShim shim(fault::FaultPlan{});
+  t.set_fault_shim(&shim);
+  std::size_t delivered = 0;
+  t.attach(util::PeerId{0}, {}, [](util::PeerId, const net::Message&) {});
+  t.attach(util::PeerId{1}, {},
+           [&](util::PeerId, const net::Message&) { ++delivered; });
+
+  t.send(util::PeerId{0}, util::PeerId{1}, ack(1));
+  ASSERT_TRUE(pump_until(t, [&] { return delivered == 1; }));
+
+  shim.start_partition({{util::PeerId{1}}}, 0);
+  // pump() notices the epoch change and resets the crossing session.
+  ASSERT_TRUE(pump_until(t, [&] { return t.stats().sessions_reset >= 1; }));
+  t.send(util::PeerId{0}, util::PeerId{1}, ack(2));
+  EXPECT_EQ(t.stats().messages_partitioned, 1u);
+  for (int i = 0; i < 10; ++i) t.pump(1);
+  EXPECT_EQ(delivered, 1u);
+
+  shim.heal_partition(0);
+  t.send(util::PeerId{0}, util::PeerId{1}, ack(3));
+  ASSERT_TRUE(pump_until(t, [&] { return delivered == 2; }));
+}
+
+// A corrupted frame injected over a real TCP connection is rejected by the
+// CRC gate, counted, and dropped — and the connection keeps working: a
+// valid frame behind it on the same stream is still delivered.
+TEST(SocketTransportFault, CorruptFrameIsCountedDroppedAndSessionSurvives) {
+  net::SocketTransport t(config_at(24900), &core::decode_message);
+  std::size_t delivered = 0;
+  t.attach(util::PeerId{1}, {},
+           [&](util::PeerId, const net::Message&) { ++delivered; });
+
+  // A hand-rolled client connection to peer 1's listener.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(t.port_of(util::PeerId{1}));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  const auto deadline = Clock::now() + std::chrono::seconds(5);
+  while (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ASSERT_LT(Clock::now(), deadline);
+    t.pump(5);
+  }
+
+  std::vector<std::uint8_t> corrupt;
+  net::encode_frame(util::PeerId{0}, util::PeerId{1}, *ack(7), corrupt);
+  corrupt[10] ^= 0x40;  // one bit inside the post-length region
+  std::vector<std::uint8_t> valid;
+  net::encode_frame(util::PeerId{0}, util::PeerId{1}, *ack(8), valid);
+  ASSERT_EQ(::write(fd, corrupt.data(), corrupt.size()),
+            static_cast<ssize_t>(corrupt.size()));
+  ASSERT_EQ(::write(fd, valid.data(), valid.size()),
+            static_cast<ssize_t>(valid.size()));
+
+  // The valid frame arrives; the corrupt one was counted and dropped.
+  ASSERT_TRUE(pump_until(t, [&] { return delivered == 1; }));
+  EXPECT_EQ(t.stats().frames_corrupt, 1u);
+  EXPECT_EQ(t.stats().messages_delivered, 1u);
+  ::close(fd);
 }
 
 }  // namespace

@@ -29,11 +29,12 @@
 //                                        socket runs each scenario over real
 //                                        loopback TCP (docs/TRANSPORT.md): it
 //                                        forces --no-oracles (replay digests
-//                                        are timing-dependent), is rejected
+//                                        are timing-dependent) and is rejected
 //                                        with --base-threads > 1 (the
-//                                        parallel engine is sim-only), and
-//                                        skips fault plans (sim-only). Tune
-//                                        with --time-scale / --base-port.
+//                                        parallel engine is sim-only). Fault
+//                                        plans run through the socket fault
+//                                        shim with all invariants checked.
+//                                        Tune with --time-scale / --base-port.
 //
 // Every scenario is fully determined by its seed: the same build and the
 // same --seeds range produce a byte-identical report (CI runs the sweep

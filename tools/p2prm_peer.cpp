@@ -10,8 +10,7 @@
 //
 //   # a 4-peer deployment on loopback, 5x faster than real time
 //   for K in 0 1 2 3; do
-//     ./build/tools/p2prm_peer --seed=7 --peers=4 --peer-index=$K \
-//         --time-scale=0.2 &
+//     ./build/tools/p2prm_peer --seed=7 --peers=4 --peer-index=$K --time-scale=0.2 &
 //   done; wait
 //
 // With --peer-index=all the whole deployment runs inside this single
@@ -22,6 +21,7 @@
 #include <string>
 
 #include "core/system.hpp"
+#include "fault/frame_shim.hpp"
 #include "util/args.hpp"
 #include "util/logging.hpp"
 #include "workload/deployment.hpp"
@@ -30,7 +30,54 @@ namespace {
 
 using namespace p2prm;
 
+// --shim-probe=N: feed N synthetic frames per ordered link through the
+// fault shim this deployment would install and print the decision counts
+// plus the decision-log fingerprint. Pure computation — no sockets, no
+// simulator — so two invocations with equal flags must print identical
+// output; CI diffs them as the cross-process shim-determinism check.
+int shim_probe(const workload::DeploymentPlan& plan, std::uint64_t frames) {
+  fault::FrameShim shim(plan.fault_plan());
+  std::uint64_t drops = 0, delays = 0, duplicates = 0;
+  const std::uint32_t peers = plan.config.peers;
+  for (std::uint32_t from = 0; from < peers; ++from) {
+    for (std::uint32_t to = 0; to < peers; ++to) {
+      if (from == to) continue;
+      for (std::uint64_t seq = 0; seq < frames; ++seq) {
+        const auto v =
+            shim.on_frame(util::PeerId{from}, util::PeerId{to}, seq, 256);
+        drops += v.drop;
+        delays += v.extra_delay > 0;
+        duplicates += v.duplicate_after > 0;
+      }
+    }
+  }
+  std::cout << "{\"probe_frames_per_link\":" << frames
+            << ",\"links\":" << static_cast<std::uint64_t>(peers) * (peers - 1)
+            << ",\"drops\":" << drops << ",\"delays\":" << delays
+            << ",\"duplicates\":" << duplicates << ",\"fingerprint\":\""
+            << shim.decision_fingerprint() << "\"}" << std::endl;
+  return 0;
+}
+
 int run(const util::Args& args) {
+  // --log-level=debug routes the overlay's join/failover narration to
+  // stderr, which the launcher captures per peer — the first thing to
+  // reach for when a drill strands a peer.
+  if (const std::string level = args.get("log-level", ""); !level.empty()) {
+    util::LogLevel parsed = util::LogLevel::Warn;
+    if (level == "trace") parsed = util::LogLevel::Trace;
+    else if (level == "debug") parsed = util::LogLevel::Debug;
+    else if (level == "info") parsed = util::LogLevel::Info;
+    else if (level == "warn") parsed = util::LogLevel::Warn;
+    else if (level == "error") parsed = util::LogLevel::Error;
+    else if (level == "off") parsed = util::LogLevel::Off;
+    else {
+      std::cerr << "unknown --log-level=" << level << "\n";
+      return 2;
+    }
+    util::Logger::instance().set_level(parsed);
+  }
+
   workload::DeploymentConfig config = workload::DeploymentConfig::benign(
       static_cast<std::uint64_t>(args.get_int("seed", 1)),
       static_cast<std::uint32_t>(args.get_int("peers", 4)));
@@ -60,8 +107,25 @@ int run(const util::Args& args) {
       args.get_int("base-port", config.base_port));
   config.time_scale = args.get_double("time-scale", 1.0);
 
+  // Fault injection (docs/FAULT_MODEL.md): the flags only parameterize the
+  // DeploymentConfig, so every process rebuilds the identical FaultPlan
+  // and its frame shim takes the same decision for every (from, to, seq).
+  config.fault_seed =
+      static_cast<std::uint64_t>(args.get_int("fault-seed", 0));
+  config.fault_loss = args.get_double("fault-loss", 0.0);
+  config.fault_duplicate = args.get_double("fault-duplicate", 0.0);
+  config.fault_delay = util::milliseconds(args.get_int("fault-delay-ms", 0));
+  config.fault_jitter = util::milliseconds(args.get_int("fault-jitter-ms", 0));
+  config.partition_at = util::seconds(args.get_int("partition-at-s", 2));
+  config.partition_hold =
+      util::seconds(args.get_int("partition-hold-s", 0));
+
   const workload::DeploymentPlan plan = workload::DeploymentPlan::build(config);
+  if (const std::int64_t probe = args.get_int("shim-probe", 0); probe > 0) {
+    return shim_probe(plan, static_cast<std::uint64_t>(probe));
+  }
   core::System system(plan.system_config(core::TransportKind::Socket, first));
+  if (config.faulty()) system.install_fault_plan(plan.fault_plan());
   plan.schedule(system, first, last);
   system.run_for(config.total_duration());
   // Flush final reports/acks before tearing the process down.
@@ -91,7 +155,12 @@ int run(const util::Args& args) {
             << ",\"orphaned\":" << outcome.orphaned
             << ",\"pending\":" << outcome.pending
             << ",\"messages_sent\":" << ns.messages_sent
-            << ",\"messages_delivered\":" << ns.messages_delivered << "}"
+            << ",\"messages_delivered\":" << ns.messages_delivered
+            << ",\"undeliverable\":" << ns.messages_undeliverable
+            << ",\"fault_dropped\":" << ns.messages_fault_dropped
+            << ",\"partitioned\":" << ns.messages_partitioned
+            << ",\"frames_corrupt\":" << ns.frames_corrupt
+            << ",\"sessions_reset\":" << ns.sessions_reset << "}"
             << std::endl;
   return 0;
 }
