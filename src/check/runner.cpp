@@ -8,6 +8,7 @@
 #include "core/trace.hpp"
 #include "media/catalog.hpp"
 #include "net/network.hpp"
+#include "stream/engine.hpp"
 #include "util/rng.hpp"
 #include "workload/arrivals.hpp"
 #include "workload/churn.hpp"
@@ -90,7 +91,10 @@ RunResult run_scenario(const ScenarioSpec& spec, InvariantChecker& checker,
   sys.enable_spans = spec.spans;
   sys.enable_hierarchical_infobase = spec.hierarchical;
   sys.gossip_domain_aggregates = spec.hierarchical;
-  sys.num_threads = threads;
+  // The streaming engine shares the sequential event loop (its callbacks
+  // mutate engine state directly), so stream scenarios pin the base engine
+  // to one thread; run_spec likewise skips the parallel oracle for them.
+  sys.num_threads = spec.stream ? 1 : threads;
   // Tight enough that every admitted-but-doomed task is failed and its jobs
   // cancelled well inside the drain window.
   sys.task_gc_grace = util::seconds(15);
@@ -149,6 +153,62 @@ RunResult run_scenario(const ScenarioSpec& spec, InvariantChecker& checker,
     // delivery pipeline, the socket transport installs a frame-granularity
     // shim executing the same plan (docs/TRANSPORT.md).
     system.install_fault_plan(spec.fault_plan(t0, bootstrap_order));
+  }
+
+  // Streaming overlay: a StreamEngine on the same simulator, its pool the
+  // bootstrap population, its liveness probe the System's peer state — so
+  // the fault plan and churn schedule break chains mid-stream. shared_ptr:
+  // the stream.accounting closure registered on `checker` (whose lifetime
+  // the caller owns) must never dangle.
+  std::shared_ptr<stream::StreamEngine> engine;
+  if (spec.stream) {
+    workload::StreamingConfig scfg;
+    scfg.seed = spec.seed;
+    scfg.channels = spec.stream_channels;
+    scfg.viewers = spec.stream_viewers;
+    scfg.flash_crowd = spec.stream_flash;
+    scfg.chunk_period = util::milliseconds(spec.stream_chunk_ms);
+    // The stream spans the workload window; every outcome commits within
+    // deadline + grace of the last chunk, well inside the drain.
+    scfg.live_window = spec.workload;
+    scfg.flash_at = spec.workload / 3;
+
+    core::SystemConfig stream_sys = sys;
+    static constexpr core::AllocatorKind kStreamAllocs[] = {
+        core::AllocatorKind::PaperBfs, core::AllocatorKind::MaxUtil,
+        core::AllocatorKind::DetStream};
+    stream_sys.allocator = kStreamAllocs[spec.stream_alloc % 3];
+
+    const workload::StreamPlan plan =
+        workload::StreamingScenario(catalog, scfg)
+            .build(bootstrap_order, bootstrap_order);
+    engine = std::make_shared<stream::StreamEngine>(
+        system.simulator(), system.transport(), stream_sys, plan);
+    const auto& conversions = catalog.conversions();
+    std::uint64_t stream_service = 1'000'000;
+    std::size_t conv_cursor = 0;
+    for (const util::PeerId id : bootstrap_order) {
+      const core::PeerNode* node = system.peer(id);
+      if (node == nullptr) continue;
+      // Every conversion lands on several peers (round-robin over the
+      // catalog): chain feasibility stays a policy question, not a lottery.
+      std::vector<core::ServiceOffering> services;
+      for (std::size_t s = 0; s < 4; ++s) {
+        services.push_back(core::ServiceOffering{
+            util::ServiceId{stream_service++},
+            conversions[conv_cursor++ % conversions.size()]});
+      }
+      engine->add_peer(node->spec(), services);
+    }
+    engine->set_alive_probe([&system](util::PeerId p) {
+      const core::PeerNode* n = system.peer(p);
+      return n != nullptr && n->alive();
+    });
+    engine->start();
+    checker.add("stream.accounting", /*quiescent_only=*/false,
+                [engine](core::System&, CheckPhase) {
+                  return engine->accounting_error();
+                });
   }
 
   workload::RequestSynthesizer synthesizer(catalog, population, req);
@@ -226,6 +286,11 @@ RunResult run_scenario(const ScenarioSpec& spec, InvariantChecker& checker,
   RunResult result;
   result.violations = checker.violations();
   result.digest = behavior_digest(system, tracer);
+  if (engine) {
+    // Fold every chunk outcome in: the determinism / cache / span oracles
+    // now also prove the streaming overlay byte-stable.
+    fnv_mix_u64(result.digest, engine->digest());
+  }
   result.end_time = system.simulator().now();
 
   const auto& ledger = system.ledger();
@@ -316,7 +381,9 @@ SeedOutcome run_spec(const ScenarioSpec& spec, bool oracles,
   // Parallel ablation: the sharded engine must reproduce the sequential run
   // bit-for-bit — same digest, and its per-shard counters must satisfy the
   // parallel.counters invariant (checked inside the replay).
-  if (parallel_threads >= 2) {
+  // Stream scenarios are pinned to the sequential engine (the streaming
+  // overlay shares its event loop), so the parallel ablation is vacuous.
+  if (parallel_threads >= 2 && !spec.stream) {
     const RunResult replay = run_scenario(spec, parallel_threads);
     if (!replay.ok()) {
       oracle_violation("oracle.parallel",

@@ -140,6 +140,23 @@ ScenarioSpec ScenarioSpec::generate_scale(std::uint64_t seed,
   return spec;
 }
 
+ScenarioSpec ScenarioSpec::generate_stream(std::uint64_t seed) {
+  ScenarioSpec spec = generate(seed);
+  // Separate stream: the streaming overlay must not disturb the base
+  // scenario that `seed` already names (same idiom as generate_scale).
+  util::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x57e40f0e57e40f0eULL);
+  spec.stream = true;
+  spec.stream_channels = static_cast<std::uint32_t>(1 + rng.below(3));  // 1..3
+  spec.stream_viewers = static_cast<std::uint32_t>(4 + rng.below(13));  // 4..16
+  spec.stream_flash =
+      rng.bernoulli(0.5) ? static_cast<std::uint32_t>(8 + rng.below(17))  // 8..24
+                         : 0;
+  spec.stream_chunk_ms =
+      static_cast<std::uint32_t>(250 + 50 * rng.below(16));  // 250..1000
+  spec.stream_alloc = static_cast<std::uint32_t>(rng.below(3));
+  return spec;
+}
+
 std::string ScenarioSpec::repro() const {
   std::ostringstream out;
   out << kSchema << ";seed=" << seed << ";peers=" << peers
@@ -153,7 +170,10 @@ std::string ScenarioSpec::repro() const {
       << ";reord=" << fmt_double(link.reorder) << ";delay=" << link.delay
       << ";jit=" << link.jitter << ";cache=" << (path_cache ? 1 : 0)
       << ";spans=" << (spans ? 1 : 0) << ";lazy=" << lazy_peers
-      << ";wavep=" << wave_peers << ";hier=" << (hierarchical ? 1 : 0);
+      << ";wavep=" << wave_peers << ";hier=" << (hierarchical ? 1 : 0)
+      << ";strm=" << (stream ? 1 : 0) << ";schan=" << stream_channels
+      << ";sview=" << stream_viewers << ";sflash=" << stream_flash
+      << ";schunk=" << stream_chunk_ms << ";salloc=" << stream_alloc;
   out << ";part=";
   for (std::size_t i = 0; i < partitions.size(); ++i) {
     if (i) out << '+';
@@ -244,6 +264,18 @@ std::optional<ScenarioSpec> ScenarioSpec::parse(std::string_view s) {
       ok = as_u32(spec.wave_peers);
     } else if (key == "hier") {
       ok = as_bool(spec.hierarchical);
+    } else if (key == "strm") {
+      ok = as_bool(spec.stream);
+    } else if (key == "schan") {
+      ok = as_u32(spec.stream_channels);
+    } else if (key == "sview") {
+      ok = as_u32(spec.stream_viewers);
+    } else if (key == "sflash") {
+      ok = as_u32(spec.stream_flash);
+    } else if (key == "schunk") {
+      ok = as_u32(spec.stream_chunk_ms);
+    } else if (key == "salloc") {
+      ok = as_u32(spec.stream_alloc);
     } else if (key == "part") {
       if (val.empty()) continue;
       for (const auto entry : split(val, '+')) {
@@ -286,6 +318,11 @@ std::optional<ScenarioSpec> ScenarioSpec::parse(std::string_view s) {
   }
   if (spec.peers == 0 || spec.max_domain_size == 0 || spec.workload <= 0 ||
       spec.drain < 0 || spec.het > 3) {
+    return std::nullopt;
+  }
+  if (spec.stream &&
+      (spec.stream_channels == 0 || spec.stream_chunk_ms == 0 ||
+       spec.stream_alloc > 2)) {
     return std::nullopt;
   }
   return spec;

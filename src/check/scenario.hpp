@@ -98,6 +98,23 @@ struct ScenarioSpec {
   std::uint32_t wave_peers = 0;
   bool hierarchical = false;
 
+  // --- streaming overlay (docs/STREAMING.md) --------------------------------
+  // When `stream` is set the runner drives a stream::StreamEngine on the
+  // same simulator: stream_channels live channels, stream_viewers churning
+  // viewers (plus a stream_flash flash crowd when nonzero), one chunk every
+  // stream_chunk_ms, all under the placement policy stream_alloc indexes
+  // ({paper-bfs, max-util, det-stream}). The engine couples to the fault
+  // plan through a liveness probe and its accounting identity is checked at
+  // every event-loop boundary ("stream.accounting"). Stream scenarios are
+  // sim-transport, single-thread only (the engine shares the sequential
+  // event loop), so the parallel oracle is skipped for them.
+  bool stream = false;
+  std::uint32_t stream_channels = 2;
+  std::uint32_t stream_viewers = 8;
+  std::uint32_t stream_flash = 0;
+  std::uint32_t stream_chunk_ms = 500;
+  std::uint32_t stream_alloc = 0;  // {0: paper-bfs, 1: max-util, 2: det-stream}
+
   friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
 
   // Draws a random scenario, fully determined by `seed`.
@@ -108,6 +125,11 @@ struct ScenarioSpec {
   // mode. CI's nightly scale job sweeps these at >= 100k lazy rows.
   [[nodiscard]] static ScenarioSpec generate_scale(std::uint64_t seed,
                                                    std::uint32_t lazy_peers);
+
+  // Streaming-flavored scenario: generate(seed) plus a streaming overlay
+  // drawn from a dedicated rng stream, so the base scenario `seed` already
+  // names is untouched. `p2prm_fuzz --stream` sweeps these.
+  [[nodiscard]] static ScenarioSpec generate_stream(std::uint64_t seed);
 
   // Single-line repro string: "p2prm-fuzz/1;seed=..;peers=..;...". Contains
   // every field, so parse(repro()) == *this.

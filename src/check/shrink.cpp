@@ -26,6 +26,12 @@ std::uint64_t measure(const ScenarioSpec& s) {
   m += s.lazy_peers / 64 + (s.lazy_peers > 0 ? 1 : 0);
   m += s.wave_peers;
   if (s.hierarchical) m += 2;
+  if (s.stream) {
+    m += 6;
+    m += s.stream_channels;
+    m += s.stream_viewers;
+    m += s.stream_flash / 2 + (s.stream_flash > 0 ? 1 : 0);
+  }
   return m;
 }
 
@@ -56,6 +62,31 @@ std::vector<ScenarioSpec> candidates(const ScenarioSpec& s) {
     ScenarioSpec c = s;
     c.link = LinkFaultSpec{};
     push(std::move(c));
+  }
+  if (s.stream) {
+    // Whole class first (no streaming overlay), then the flash crowd, then
+    // viewer/channel magnitudes.
+    ScenarioSpec c = s;
+    c.stream = false;
+    push(std::move(c));
+    if (s.stream_flash > 0) {
+      c = s;
+      c.stream_flash = 0;
+      push(std::move(c));
+      c = s;
+      c.stream_flash = s.stream_flash / 2;
+      push(std::move(c));
+    }
+    if (s.stream_viewers > 1) {
+      c = s;
+      c.stream_viewers = s.stream_viewers / 2;
+      push(std::move(c));
+    }
+    if (s.stream_channels > 1) {
+      c = s;
+      c.stream_channels = s.stream_channels / 2;
+      push(std::move(c));
+    }
   }
   for (std::size_t i = 0; i < s.crashes.size(); ++i) {
     ScenarioSpec c = s;

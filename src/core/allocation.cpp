@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 namespace p2prm::core {
 
@@ -334,6 +335,95 @@ class LeastLoadedAllocator final : public Allocator {
   AllocatorKind kind() const override { return AllocatorKind::LeastLoaded; }
 };
 
+// Ordering helpers shared by the deterministic streaming policies. Candidate
+// enumeration order is itself deterministic, but these make the tie-breaks
+// explicit instead of relying on "first enumerated wins".
+[[nodiscard]] bool hops_lex_less(const PathEvaluation& a,
+                                 const PathEvaluation& b) {
+  const std::size_t n = std::min(a.hops.size(), b.hops.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a.hops[i].peer != b.hops[i].peer) return a.hops[i].peer < b.hops[i].peer;
+  }
+  return a.hops.size() < b.hops.size();
+}
+
+class MaxUtilAllocator final : public Allocator {
+ public:
+  AllocationResult allocate(const InfoBase& info, const net::Transport& network,
+                            const SystemConfig& config,
+                            const AllocationRequest& request,
+                            util::Rng&) const override {
+    return allocate_with(
+        info, network, config, request, /*exhaustive=*/false,
+        [&info](const std::vector<const PathEvaluation*>& feasible) {
+          // Utilization-maximizing placement after the P2P live-streaming
+          // scheme: consolidate work onto the peers already carrying load
+          // (best-fit packing) so idle capacity stays in one piece for
+          // future chains. Score = mean post-assignment utilization of the
+          // touched peers; direct delivery touches none and wastes nothing,
+          // so it scores above every transcoding chain.
+          const auto mean_util = [&info](const PathEvaluation& ev) {
+            if (ev.load_deltas.empty()) {
+              return std::numeric_limits<double>::infinity();
+            }
+            double sum = 0.0;
+            for (const auto& [peer, delta] : ev.load_deltas) {
+              const auto* rec = info.domain().member(peer);
+              if (rec == nullptr) continue;
+              sum += (info.effective_load(peer) + delta) /
+                     rec->spec.capacity_ops_per_s;
+            }
+            return sum / static_cast<double>(ev.load_deltas.size());
+          };
+          const PathEvaluation* best = feasible.front();
+          double best_score = mean_util(*best);
+          for (const auto* c : feasible) {
+            const double score = mean_util(*c);
+            if (score > best_score ||
+                (score == best_score &&
+                 (c->hops.size() < best->hops.size() ||
+                  (c->hops.size() == best->hops.size() &&
+                   hops_lex_less(*c, *best))))) {
+              best = c;
+              best_score = score;
+            }
+          }
+          return best;
+        });
+  }
+  AllocatorKind kind() const override { return AllocatorKind::MaxUtil; }
+};
+
+class DetStreamAllocator final : public Allocator {
+ public:
+  AllocationResult allocate(const InfoBase& info, const net::Transport& network,
+                            const SystemConfig& config,
+                            const AllocationRequest& request,
+                            util::Rng&) const override {
+    return allocate_with(
+        info, network, config, request, /*exhaustive=*/false,
+        [](const std::vector<const PathEvaluation*>& feasible) {
+          // Deterministic near-optimal chain placement: minimize estimated
+          // completion time outright (the greedy bound from the
+          // deterministic P2P streaming line of work), with fully ordered
+          // tie-breaks — fewer hops, then lexicographic hop peer ids — so
+          // the choice never depends on enumeration order or the RNG.
+          const PathEvaluation* best = feasible.front();
+          for (const auto* c : feasible) {
+            if (c->exec_time < best->exec_time ||
+                (c->exec_time == best->exec_time &&
+                 (c->hops.size() < best->hops.size() ||
+                  (c->hops.size() == best->hops.size() &&
+                   hops_lex_less(*c, *best))))) {
+              best = c;
+            }
+          }
+          return best;
+        });
+  }
+  AllocatorKind kind() const override { return AllocatorKind::DetStream; }
+};
+
 }  // namespace
 
 std::unique_ptr<Allocator> make_allocator(AllocatorKind kind) {
@@ -345,6 +435,9 @@ std::unique_ptr<Allocator> make_allocator(AllocatorKind kind) {
     case AllocatorKind::Random: return std::make_unique<RandomAllocator>();
     case AllocatorKind::LeastLoaded:
       return std::make_unique<LeastLoadedAllocator>();
+    case AllocatorKind::MaxUtil: return std::make_unique<MaxUtilAllocator>();
+    case AllocatorKind::DetStream:
+      return std::make_unique<DetStreamAllocator>();
   }
   throw std::invalid_argument("make_allocator: bad kind");
 }

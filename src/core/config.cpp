@@ -12,6 +12,8 @@ std::string_view allocator_name(AllocatorKind k) {
     case AllocatorKind::MinHop: return "min-hop";
     case AllocatorKind::Random: return "random";
     case AllocatorKind::LeastLoaded: return "least-loaded";
+    case AllocatorKind::MaxUtil: return "max-util";
+    case AllocatorKind::DetStream: return "det-stream";
   }
   return "?";
 }
@@ -22,7 +24,12 @@ AllocatorKind allocator_from_name(std::string_view name) {
   if (name == "min-hop") return AllocatorKind::MinHop;
   if (name == "random") return AllocatorKind::Random;
   if (name == "least-loaded") return AllocatorKind::LeastLoaded;
-  throw std::invalid_argument("unknown allocator: " + std::string(name));
+  if (name == "max-util") return AllocatorKind::MaxUtil;
+  if (name == "det-stream") return AllocatorKind::DetStream;
+  throw std::invalid_argument(
+      "unknown allocator: " + std::string(name) +
+      " (valid: paper-bfs, exhaustive, min-hop, random, least-loaded, "
+      "max-util, det-stream)");
 }
 
 std::string_view transport_kind_name(TransportKind k) {

@@ -27,6 +27,8 @@ enum class AllocatorKind {
   MinHop,       // first feasible path found by BFS (fewest hops)
   Random,       // uniformly random feasible path
   LeastLoaded,  // feasible path minimizing max post-assignment utilization
+  MaxUtil,      // consolidating best-fit: max mean post-assignment utilization
+  DetStream,    // deterministic min completion time (docs/STREAMING.md)
 };
 [[nodiscard]] std::string_view allocator_name(AllocatorKind k);
 [[nodiscard]] AllocatorKind allocator_from_name(std::string_view name);

@@ -1,0 +1,199 @@
+#include "workload/streaming.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+
+namespace p2prm::workload {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void fnv_mix_u64(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_mix_format(std::uint64_t& h, const media::MediaFormat& f) {
+  fnv_mix_u64(h, static_cast<std::uint64_t>(f.codec));
+  fnv_mix_u64(h, f.resolution.pixels());
+  fnv_mix_u64(h, f.bitrate_kbps);
+}
+
+}  // namespace
+
+std::uint64_t StreamPlan::digest() const {
+  std::uint64_t h = kFnvOffset;
+  fnv_mix_u64(h, config.seed);
+  fnv_mix_u64(h, static_cast<std::uint64_t>(config.chunk_period));
+  fnv_mix_u64(h, static_cast<std::uint64_t>(config.chunk_deadline));
+  fnv_mix_u64(h, static_cast<std::uint64_t>(config.late_grace));
+  for (const ChannelPlan& ch : channels) {
+    fnv_mix_u64(h, ch.id);
+    fnv_mix_u64(h, ch.source.value());
+    fnv_mix_u64(h, ch.object.value());
+    fnv_mix_format(h, ch.source_format);
+    // The derived chunk schedule, explicitly: start + k * period.
+    for (std::uint32_t k = 0; k < ch.chunk_count; ++k) {
+      fnv_mix_u64(h, static_cast<std::uint64_t>(
+                         ch.start + static_cast<util::SimDuration>(k) *
+                                        config.chunk_period));
+    }
+  }
+  for (const ViewerPlan& v : viewers) {
+    fnv_mix_u64(h, v.id);
+    fnv_mix_u64(h, v.channel);
+    fnv_mix_u64(h, v.sink.value());
+    fnv_mix_format(h, v.target);
+    fnv_mix_u64(h, static_cast<std::uint64_t>(v.join));
+    fnv_mix_u64(h, static_cast<std::uint64_t>(v.leave));
+    fnv_mix_u64(h, v.flash ? 1 : 0);
+  }
+  return h;
+}
+
+StreamingScenario::StreamingScenario(const media::Catalog& catalog,
+                                     StreamingConfig config)
+    : catalog_(catalog), config_(config) {}
+
+bool StreamingScenario::format_reachable(const media::Catalog& catalog,
+                                         const media::MediaFormat& from,
+                                         const media::MediaFormat& to) {
+  if (from == to) return true;
+  if (!catalog.has_format(from) || !catalog.has_format(to)) return false;
+  std::unordered_set<std::size_t> seen{catalog.index_of(from)};
+  std::queue<media::MediaFormat> frontier;
+  frontier.push(from);
+  while (!frontier.empty()) {
+    const media::MediaFormat f = frontier.front();
+    frontier.pop();
+    for (const media::TranscoderType& t : catalog.conversions_from(f)) {
+      if (t.output == to) return true;
+      const std::size_t idx = catalog.index_of(t.output);
+      if (seen.insert(idx).second) frontier.push(t.output);
+    }
+  }
+  return false;
+}
+
+void StreamingScenario::validate(const media::Catalog& catalog,
+                                 const StreamPlan& plan) {
+  for (const ViewerPlan& v : plan.viewers) {
+    if (v.channel >= plan.channels.size()) {
+      throw std::invalid_argument("stream plan: viewer " +
+                                  std::to_string(v.id) +
+                                  " references unknown channel " +
+                                  std::to_string(v.channel));
+    }
+    const media::MediaFormat& src = plan.channels[v.channel].source_format;
+    if (!format_reachable(catalog, src, v.target)) {
+      throw std::invalid_argument(
+          "stream plan: viewer " + std::to_string(v.id) + " wants " +
+          v.target.to_string() + " but no conversion path exists from " +
+          src.to_string() + " (channel " + std::to_string(v.channel) + ")");
+    }
+  }
+}
+
+StreamPlan StreamingScenario::build(
+    const std::vector<util::PeerId>& sources,
+    const std::vector<util::PeerId>& sinks) const {
+  if (sources.empty() || sinks.empty()) {
+    throw std::invalid_argument("stream plan: empty source or sink peer list");
+  }
+  // Channel feeds start from formats that can actually fan out: formats
+  // with at least one outgoing conversion.
+  std::vector<media::MediaFormat> feed_formats;
+  for (const media::MediaFormat& f : catalog_.formats()) {
+    if (!catalog_.conversions_from(f).empty()) feed_formats.push_back(f);
+  }
+  if (feed_formats.empty()) {
+    throw std::invalid_argument(
+        "stream plan: catalog has no format with outgoing conversions");
+  }
+
+  // Decorrelated stream so callers sharing a master seed with other
+  // generators (the fuzzer does) keep those plans undisturbed.
+  util::Rng rng(config_.seed * 0x9e3779b97f4a7c15ULL + 0x57e4457e4457e44ULL);
+  StreamPlan plan;
+  plan.config = config_;
+
+  const auto chunk_count = static_cast<std::uint32_t>(
+      config_.live_window / std::max<util::SimDuration>(config_.chunk_period, 1));
+  for (std::uint32_t c = 0; c < config_.channels; ++c) {
+    ChannelPlan ch;
+    ch.id = c;
+    ch.source = sources[c % sources.size()];
+    ch.object = util::ObjectId{0x57AE0000ULL + c};
+    ch.source_format = feed_formats[rng.below(feed_formats.size())];
+    ch.start = 0;
+    ch.chunk_count = chunk_count;
+    plan.channels.push_back(ch);
+  }
+
+  // Per-channel reachable target sets (computed once; viewers draw from
+  // them, so no-path pairs cannot be generated).
+  std::vector<std::vector<media::MediaFormat>> targets(plan.channels.size());
+  for (std::size_t c = 0; c < plan.channels.size(); ++c) {
+    for (const media::MediaFormat& f : catalog_.formats()) {
+      if (format_reachable(catalog_, plan.channels[c].source_format, f)) {
+        targets[c].push_back(f);
+      }
+    }
+  }
+
+  const util::SimTime live_end = config_.live_window;
+  std::uint32_t viewer_id = 0;
+  const auto add_viewer = [&](std::uint32_t channel, util::SimTime join,
+                              bool flash) {
+    join = std::clamp<util::SimTime>(join, 0, live_end - 1);
+    ViewerPlan v;
+    v.id = viewer_id++;
+    v.channel = channel;
+    v.sink = sinks[rng.below(sinks.size())];
+    v.target = targets[channel][rng.below(targets[channel].size())];
+    v.join = join;
+    v.leave = std::min<util::SimTime>(
+        join + std::max<util::SimDuration>(
+                   util::from_seconds(rng.exponential(config_.mean_watch_s)),
+                   util::milliseconds(100)),
+        live_end);
+    v.flash = flash;
+    plan.viewers.push_back(v);
+  };
+
+  for (std::uint32_t i = 0; i < config_.viewers; ++i) {
+    const auto channel =
+        static_cast<std::uint32_t>(rng.below(plan.channels.size()));
+    const auto join = static_cast<util::SimTime>(
+        config_.first_join +
+        rng.below(static_cast<std::uint64_t>(
+            std::max<util::SimTime>(live_end - config_.first_join, 1))));
+    add_viewer(channel, join, /*flash=*/false);
+  }
+  if (config_.flash_crowd > 0) {
+    const auto hot =
+        static_cast<std::uint32_t>(rng.below(plan.channels.size()));
+    for (std::uint32_t i = 0; i < config_.flash_crowd; ++i) {
+      const auto jitter = static_cast<util::SimTime>(rng.below(
+          static_cast<std::uint64_t>(
+              std::max<util::SimDuration>(config_.flash_spread, 1))));
+      add_viewer(hot, config_.flash_at + jitter, /*flash=*/true);
+    }
+  }
+
+  std::sort(plan.viewers.begin(), plan.viewers.end(),
+            [](const ViewerPlan& a, const ViewerPlan& b) {
+              return a.join != b.join ? a.join < b.join : a.id < b.id;
+            });
+  validate(catalog_, plan);
+  return plan;
+}
+
+}  // namespace p2prm::workload

@@ -1,0 +1,112 @@
+// Continuous live-streaming workload (docs/STREAMING.md).
+//
+// The paper's motivating application is live media distribution with
+// in-network transcoding, but the request/response workloads elsewhere in
+// src/workload only exercise one-shot tasks. StreamingScenario synthesizes
+// the missing shape: channels that emit chunks on a fixed period for a
+// live window, viewers that join and leave (plus an optional flash crowd),
+// and per-viewer target formats that require multi-hop transcoding chains
+// through the media::Catalog.
+//
+// The scenario is a *plan*: a pure, deterministic value derived from
+// (catalog, config, peer lists). The stream::StreamEngine executes plans;
+// tests compare them structurally and via digest().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "media/catalog.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace p2prm::workload {
+
+struct ChannelPlan {
+  std::uint32_t id = 0;
+  util::PeerId source;                // peer hosting the live feed
+  util::ObjectId object;              // id of the channel's media object
+  media::MediaFormat source_format{};
+  util::SimTime start = 0;            // first chunk generated here
+  std::uint32_t chunk_count = 0;      // chunks emitted over the live window
+
+  friend bool operator==(const ChannelPlan&, const ChannelPlan&) = default;
+};
+
+struct ViewerPlan {
+  std::uint32_t id = 0;
+  std::uint32_t channel = 0;
+  util::PeerId sink;                  // where chunks are delivered
+  media::MediaFormat target{};        // desired presentation format
+  util::SimTime join = 0;
+  util::SimTime leave = 0;            // always > join
+  bool flash = false;                 // part of the seeded flash crowd
+
+  friend bool operator==(const ViewerPlan&, const ViewerPlan&) = default;
+};
+
+struct StreamingConfig {
+  std::uint64_t seed = 1;
+  std::uint32_t channels = 3;
+  std::uint32_t viewers = 18;         // steady-state viewers over the run
+  // Flash crowd: this many extra viewers join one hot channel within
+  // `flash_spread` of `flash_at`. 0 disables the burst.
+  std::uint32_t flash_crowd = 0;
+  util::SimTime flash_at = util::seconds(8);
+  util::SimDuration flash_spread = util::milliseconds(200);
+  util::SimTime first_join = util::seconds(1);
+  util::SimDuration live_window = util::seconds(20);  // channel air time
+  util::SimDuration chunk_period = util::milliseconds(500);
+  // Per-chunk delivery budget after generation; `late_grace` past it the
+  // chunk still counts as late rather than dropped.
+  util::SimDuration chunk_deadline = util::milliseconds(2000);
+  util::SimDuration late_grace = util::milliseconds(1000);
+  double mean_watch_s = 8.0;          // exponential viewer session length
+
+  friend bool operator==(const StreamingConfig&,
+                         const StreamingConfig&) = default;
+};
+
+struct StreamPlan {
+  StreamingConfig config{};
+  std::vector<ChannelPlan> channels;
+  std::vector<ViewerPlan> viewers;    // sorted by (join, id)
+
+  // FNV-1a over every schedule-determining field, including the derived
+  // per-channel chunk times; equal plans <=> equal digests in practice.
+  [[nodiscard]] std::uint64_t digest() const;
+
+  friend bool operator==(const StreamPlan&, const StreamPlan&) = default;
+};
+
+// Builds deterministic StreamPlans from a catalog and a seeded config.
+class StreamingScenario {
+ public:
+  StreamingScenario(const media::Catalog& catalog, StreamingConfig config);
+
+  // Same (catalog, config, sources, sinks) -> structurally identical plan.
+  // Channels pick source peers round-robin from `sources`; viewer sinks are
+  // drawn from `sinks`. Throws std::invalid_argument when the catalog has
+  // no format with outgoing conversions or either peer list is empty.
+  // The returned plan always passes validate().
+  [[nodiscard]] StreamPlan build(const std::vector<util::PeerId>& sources,
+                                 const std::vector<util::PeerId>& sinks) const;
+
+  // True when `to` is reachable from `from` through the catalog's
+  // conversion graph (zero hops included: from == to).
+  [[nodiscard]] static bool format_reachable(const media::Catalog& catalog,
+                                             const media::MediaFormat& from,
+                                             const media::MediaFormat& to);
+
+  // Rejects no-path (channel source format -> viewer target) pairs up
+  // front — at scenario build, not mid-run. Throws std::invalid_argument
+  // naming the first offending viewer.
+  static void validate(const media::Catalog& catalog, const StreamPlan& plan);
+
+ private:
+  const media::Catalog& catalog_;
+  StreamingConfig config_;
+};
+
+}  // namespace p2prm::workload

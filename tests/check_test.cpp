@@ -64,6 +64,39 @@ TEST(ScenarioSpec, ReproRoundTripsHandCraftedFaults) {
   EXPECT_EQ(*parsed, spec);
 }
 
+TEST(ScenarioSpec, GenerateStreamRoundTripsAndKeepsBaseScenario) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const ScenarioSpec spec = ScenarioSpec::generate_stream(seed);
+    EXPECT_TRUE(spec.stream);
+    EXPECT_GE(spec.stream_channels, 1u);
+    EXPECT_GE(spec.stream_viewers, 1u);
+    EXPECT_LE(spec.stream_alloc, 2u);
+    // Shrinker-compatible: the one-line repro reproduces the whole spec.
+    const auto parsed = ScenarioSpec::parse(spec.repro());
+    ASSERT_TRUE(parsed.has_value()) << spec.repro();
+    EXPECT_EQ(*parsed, spec) << spec.repro();
+    // The streaming overlay rides a dedicated rng stream: the base scenario
+    // the seed names is byte-identical with and without it.
+    ScenarioSpec base = spec;
+    base.stream = false;
+    base.stream_channels = ScenarioSpec{}.stream_channels;
+    base.stream_viewers = ScenarioSpec{}.stream_viewers;
+    base.stream_flash = ScenarioSpec{}.stream_flash;
+    base.stream_chunk_ms = ScenarioSpec{}.stream_chunk_ms;
+    base.stream_alloc = ScenarioSpec{}.stream_alloc;
+    EXPECT_EQ(base, ScenarioSpec::generate(seed)) << "seed " << seed;
+  }
+}
+
+TEST(ScenarioSpec, ParseRejectsInvalidStreamFields) {
+  ScenarioSpec spec = ScenarioSpec::generate_stream(3);
+  spec.stream_alloc = 7;  // only {0, 1, 2} name placement policies
+  EXPECT_FALSE(ScenarioSpec::parse(spec.repro()).has_value());
+  spec = ScenarioSpec::generate_stream(3);
+  spec.stream_chunk_ms = 0;
+  EXPECT_FALSE(ScenarioSpec::parse(spec.repro()).has_value());
+}
+
 TEST(ScenarioSpec, ParseRejectsGarbage) {
   EXPECT_FALSE(ScenarioSpec::parse("").has_value());
   EXPECT_FALSE(ScenarioSpec::parse("not-a-repro").has_value());
@@ -153,6 +186,33 @@ TEST(Runner, DigestIsDeterministicAcrossRuns) {
   ScenarioSpec other = spec;
   other.seed = 8;
   EXPECT_NE(run_scenario(other).digest, a.digest);
+}
+
+TEST(Runner, StreamScenarioChecksAccountingAndStaysDeterministic) {
+  ScenarioSpec spec = small_clean_spec();
+  spec.stream = true;
+  spec.stream_channels = 2;
+  spec.stream_viewers = 6;
+  spec.stream_flash = 8;
+  spec.stream_chunk_ms = 500;
+  spec.stream_alloc = 2;  // det-stream
+
+  auto checker = InvariantChecker::with_defaults();
+  const RunResult a = run_scenario(spec, checker);
+  for (const auto& v : a.violations) {
+    ADD_FAILURE() << v.invariant << ": " << v.message;
+  }
+  // The streaming overlay registered its boundary invariant on the checker.
+  const auto names = checker.invariant_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "stream.accounting"),
+            names.end());
+
+  // Deterministic, and distinguishable from the same base scenario without
+  // the overlay (the digest folds every chunk outcome in).
+  EXPECT_EQ(run_scenario(spec).digest, a.digest);
+  ScenarioSpec base = spec;
+  base.stream = false;
+  EXPECT_NE(run_scenario(base).digest, a.digest);
 }
 
 TEST(Runner, AblationOraclesHoldOnCleanScenario) {

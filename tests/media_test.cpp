@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "media/catalog.hpp"
 #include "media/format.hpp"
 #include "media/transcoder.hpp"
+#include "workload/streaming.hpp"
 
 namespace p2prm::media {
 namespace {
@@ -140,6 +143,58 @@ TEST(LadderCatalog, EveryNonBottomFormatHasAnOutgoingConversion) {
       EXPECT_FALSE(cat.conversions_from(f).empty()) << f.to_string();
     }
   }
+}
+
+TEST(Catalog, StreamReachabilityMatchesFigure1Edges) {
+  const Figure1Catalog fig = figure1_catalog();
+  using workload::StreamingScenario;
+  // The paper's three v1->v3 paths make v3 reachable from v1.
+  EXPECT_TRUE(StreamingScenario::format_reachable(fig.catalog, fig.v1, fig.v3));
+  // Reachability is reflexive without needing an edge.
+  EXPECT_TRUE(StreamingScenario::format_reachable(fig.catalog, fig.v3, fig.v3));
+  // e7: v5 -> v4, multi-hop v1 -> v4 via e1,e4.
+  EXPECT_TRUE(StreamingScenario::format_reachable(fig.catalog, fig.v5, fig.v4));
+  EXPECT_TRUE(StreamingScenario::format_reachable(fig.catalog, fig.v1, fig.v4));
+  // v3 is a sink: no outgoing conversions, so nothing else is reachable.
+  EXPECT_FALSE(StreamingScenario::format_reachable(fig.catalog, fig.v3, fig.v1));
+  EXPECT_FALSE(StreamingScenario::format_reachable(fig.catalog, fig.v3, fig.v2));
+  // Unknown formats are unreachable, not a crash.
+  const MediaFormat alien{Codec::MPEG4, kRes320x240, 999};
+  EXPECT_FALSE(StreamingScenario::format_reachable(fig.catalog, alien, fig.v3));
+  EXPECT_FALSE(StreamingScenario::format_reachable(fig.catalog, fig.v1, alien));
+}
+
+TEST(Catalog, NoPathViewerRejectedAtScenarioBuild) {
+  // A viewer whose target has no conversion path from the channel feed is a
+  // plan-construction error (std::invalid_argument naming the viewer), not
+  // a mid-run placement failure.
+  const Figure1Catalog fig = figure1_catalog();
+  workload::StreamPlan plan;
+  workload::ChannelPlan ch;
+  ch.id = 0;
+  ch.source = util::PeerId{1};
+  ch.object = util::ObjectId{1};
+  ch.source_format = fig.v3;  // dead end: v3 has no outgoing conversions
+  ch.start = 0;
+  ch.chunk_count = 4;
+  plan.channels.push_back(ch);
+  workload::ViewerPlan v;
+  v.id = 0;
+  v.channel = 0;
+  v.sink = util::PeerId{2};
+  v.target = fig.v1;
+  v.join = 0;
+  v.leave = util::seconds(1);
+  plan.viewers.push_back(v);
+  EXPECT_THROW(workload::StreamingScenario::validate(fig.catalog, plan),
+               std::invalid_argument);
+  // Same-format viewing needs no conversion path at all.
+  plan.viewers[0].target = fig.v3;
+  EXPECT_NO_THROW(workload::StreamingScenario::validate(fig.catalog, plan));
+  // A viewer naming a channel the plan does not have is also a build error.
+  plan.viewers[0].channel = 3;
+  EXPECT_THROW(workload::StreamingScenario::validate(fig.catalog, plan),
+               std::invalid_argument);
 }
 
 TEST(MakeObject, PopulatesMetadata) {

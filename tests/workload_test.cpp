@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "core/system.hpp"
 #include "media/catalog.hpp"
 #include "workload/arrivals.hpp"
 #include "workload/churn.hpp"
 #include "workload/heterogeneity.hpp"
 #include "workload/requests.hpp"
+#include "workload/streaming.hpp"
 
 namespace p2prm::workload {
 namespace {
@@ -209,6 +212,73 @@ TEST(Churn, StatsTrackDepartures) {
   EXPECT_GT(churn.stats().departures, 3u);
   EXPECT_GT(churn.stats().respawns, 0u);
   EXPECT_GT(system.alive_count(), 2u);
+}
+
+TEST(Streaming, PlanIsDeterministicPerSeed) {
+  const media::Catalog catalog = media::ladder_catalog();
+  StreamingConfig cfg;
+  cfg.seed = 31;
+  cfg.channels = 3;
+  cfg.viewers = 15;
+  cfg.flash_crowd = 12;
+  const std::vector<util::PeerId> sources{util::PeerId{1}, util::PeerId{2}};
+  std::vector<util::PeerId> sinks;
+  for (std::uint64_t i = 0; i < 10; ++i) sinks.push_back(util::PeerId{100 + i});
+
+  const StreamPlan a = StreamingScenario(catalog, cfg).build(sources, sinks);
+  const StreamPlan b = StreamingScenario(catalog, cfg).build(sources, sinks);
+  EXPECT_EQ(a, b);  // full plan: channels, viewers, timings
+  EXPECT_EQ(a.digest(), b.digest());
+
+  // The chunk schedule is part of the plan: same seed, same schedule.
+  ASSERT_EQ(a.channels.size(), cfg.channels);
+  for (const ChannelPlan& ch : a.channels) {
+    EXPECT_EQ(ch.chunk_count,
+              static_cast<std::uint32_t>(cfg.live_window / cfg.chunk_period));
+    EXPECT_EQ(ch.start, 0);
+  }
+
+  StreamingConfig other = cfg;
+  other.seed = 32;
+  const StreamPlan c = StreamingScenario(catalog, other).build(sources, sinks);
+  EXPECT_NE(a.digest(), c.digest());
+}
+
+TEST(Streaming, GeneratedPlansAreFeasibleAndFlashCrowdIsSeeded) {
+  const media::Catalog catalog = media::ladder_catalog();
+  StreamingConfig cfg;
+  cfg.seed = 9;
+  cfg.channels = 2;
+  cfg.viewers = 20;
+  cfg.flash_crowd = 16;
+  const std::vector<util::PeerId> sources{util::PeerId{5}};
+  const std::vector<util::PeerId> sinks{util::PeerId{50}, util::PeerId{51}};
+  const StreamPlan plan = StreamingScenario(catalog, cfg).build(sources, sinks);
+
+  // build() validates: every viewer target is reachable from its channel
+  // feed, so no-path pairs cannot leave the generator.
+  EXPECT_NO_THROW(StreamingScenario::validate(catalog, plan));
+  for (const ViewerPlan& v : plan.viewers) {
+    EXPECT_TRUE(StreamingScenario::format_reachable(
+        catalog, plan.channels[v.channel].source_format, v.target));
+    EXPECT_LT(v.join, v.leave);
+    EXPECT_LE(v.leave, cfg.live_window);
+  }
+
+  // The flash crowd: exactly flash_crowd extra viewers, all on one hot
+  // channel, joining within [flash_at, flash_at + flash_spread).
+  std::uint32_t flash = 0;
+  std::set<std::uint32_t> flash_channels;
+  for (const ViewerPlan& v : plan.viewers) {
+    if (!v.flash) continue;
+    ++flash;
+    flash_channels.insert(v.channel);
+    EXPECT_GE(v.join, cfg.flash_at);
+    EXPECT_LT(v.join, cfg.flash_at + cfg.flash_spread);
+  }
+  EXPECT_EQ(flash, cfg.flash_crowd);
+  EXPECT_EQ(flash_channels.size(), 1u);
+  EXPECT_EQ(plan.viewers.size(), std::size_t{cfg.viewers} + cfg.flash_crowd);
 }
 
 }  // namespace

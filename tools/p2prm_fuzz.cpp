@@ -25,6 +25,15 @@
 //                                        (half the seeds) hierarchical mode
 //                                        (ScenarioSpec::generate_scale); CI's
 //                                        nightly scale job runs this at 100k
+//   p2prm_fuzz --stream                  streaming-flavored sweep: each
+//                                        generated scenario additionally runs
+//                                        a live-streaming overlay (viewer
+//                                        churn, flash crowds, chain placement
+//                                        under the fault plan) with the
+//                                        stream.accounting invariant checked
+//                                        at every boundary
+//                                        (ScenarioSpec::generate_stream).
+//                                        Sim transport, --base-threads=1 only.
 //   p2prm_fuzz --transport=sim|socket    control-plane backend (default sim).
 //                                        socket runs each scenario over real
 //                                        loopback TCP (docs/TRANSPORT.md): it
@@ -184,6 +193,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   const auto scale_lazy = static_cast<std::uint32_t>(scale_arg);
+  const bool stream_mode = args.get_bool("stream", false);
   const std::string transport_arg = args.get("transport", "sim");
   const double time_scale = args.get_double("time-scale", 0.05);
   const auto base_port =
@@ -249,10 +259,29 @@ int main(int argc, char** argv) {
                 << seeds_arg << '\n';
       return 2;
     }
+    if (stream_mode && scale_lazy > 0) {
+      std::cerr << "--stream and --scale are mutually exclusive scenario "
+                   "flavors\n";
+      return 2;
+    }
     for (std::uint64_t s = range.begin; s < range.end; ++s) {
-      specs.push_back(scale_lazy > 0 ? ScenarioSpec::generate_scale(s, scale_lazy)
-                                     : ScenarioSpec::generate(s));
+      specs.push_back(stream_mode ? ScenarioSpec::generate_stream(s)
+                      : scale_lazy > 0
+                          ? ScenarioSpec::generate_scale(s, scale_lazy)
+                          : ScenarioSpec::generate(s));
       seeds.push_back(s);
+    }
+  }
+  for (const auto& spec : specs) {
+    if (!spec.stream) continue;
+    // The streaming overlay shares the sequential sim event loop.
+    if (socket_transport) {
+      std::cerr << "stream scenarios require --transport=sim\n";
+      return 2;
+    }
+    if (base_threads > 1) {
+      std::cerr << "stream scenarios require --base-threads=1\n";
+      return 2;
     }
   }
 
